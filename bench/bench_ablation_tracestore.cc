@@ -1,0 +1,90 @@
+// Ablation: trace-store write/read throughput (google-benchmark).
+//
+// Graft's overhead story (§5) depends on trace appends being cheap and
+// trace files staying small ("often in the kilobytes"). This bench measures
+// the append path for both backends across record sizes, and the read-back
+// scan the GUI performs.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/logging.h"
+#include "io/trace_store.h"
+
+namespace {
+
+std::string MakeRecord(size_t size) { return std::string(size, 'x'); }
+
+void BM_InMemoryAppend(benchmark::State& state) {
+  graft::InMemoryTraceStore store;
+  std::string record = MakeRecord(static_cast<size_t>(state.range(0)));
+  int64_t i = 0;
+  for (auto _ : state) {
+    GRAFT_CHECK_OK(store.Append("job/superstep_000001/worker_000.vtrace",
+                                record));
+    ++i;
+  }
+  state.SetBytesProcessed(i * state.range(0));
+}
+BENCHMARK(BM_InMemoryAppend)->Arg(64)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_LocalDirAppend(benchmark::State& state) {
+  std::string dir = "/tmp/graft_bench_store";
+  std::filesystem::remove_all(dir);
+  auto store = graft::LocalDirTraceStore::Open(dir);
+  GRAFT_CHECK(store.ok());
+  std::string record = MakeRecord(static_cast<size_t>(state.range(0)));
+  int64_t i = 0;
+  for (auto _ : state) {
+    GRAFT_CHECK_OK(
+        (*store)->Append("job/superstep_000001/worker_000.vtrace", record));
+    ++i;
+  }
+  state.SetBytesProcessed(i * state.range(0));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_LocalDirAppend)->Arg(64)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_InMemoryReadAll(benchmark::State& state) {
+  graft::InMemoryTraceStore store;
+  std::string record = MakeRecord(256);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    GRAFT_CHECK_OK(store.Append("job/superstep_000001/worker_000.vtrace",
+                                record));
+  }
+  for (auto _ : state) {
+    auto records = store.ReadAll("job/superstep_000001/worker_000.vtrace");
+    GRAFT_CHECK(records.ok());
+    benchmark::DoNotOptimize(records->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InMemoryReadAll)->Arg(100)->Arg(10000);
+
+void BM_LocalDirReadAll(benchmark::State& state) {
+  std::string dir = "/tmp/graft_bench_store_read";
+  std::filesystem::remove_all(dir);
+  auto store = graft::LocalDirTraceStore::Open(dir);
+  GRAFT_CHECK(store.ok());
+  std::string record = MakeRecord(256);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    GRAFT_CHECK_OK(
+        (*store)->Append("job/superstep_000001/worker_000.vtrace", record));
+  }
+  GRAFT_CHECK_OK((*store)->Flush());
+  for (auto _ : state) {
+    auto records =
+        (*store)->ReadAll("job/superstep_000001/worker_000.vtrace");
+    GRAFT_CHECK(records.ok());
+    benchmark::DoNotOptimize(records->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_LocalDirReadAll)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

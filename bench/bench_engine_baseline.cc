@@ -1,0 +1,47 @@
+// Supplementary: raw BSP-engine throughput (google-benchmark).
+//
+// Not a paper table, but the denominator of every Figure 7 bar: how fast the
+// Giraph-clone substrate moves messages without any debugging. PageRank on
+// Erdos-Renyi graphs at two sizes, plus SSSP, reporting messages/second.
+
+#include <benchmark/benchmark.h>
+
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "graph/generators.h"
+
+namespace {
+
+void BM_PageRank(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  auto graph = graft::graph::GenerateErdosRenyi(n, n * 8, /*seed=*/3);
+  uint64_t messages = 0;
+  for (auto _ : state) {
+    auto result = graft::algos::RunPageRank(graph, /*iterations=*/5,
+                                            /*num_workers=*/2);
+    GRAFT_CHECK(result.ok()) << result.status();
+    messages += result->stats.total_messages;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PageRank)->Arg(10'000)->Arg(50'000)->Unit(benchmark::kMillisecond);
+
+void BM_Sssp(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  auto graph = graft::graph::GenerateErdosRenyi(n, n * 8, /*seed=*/5);
+  graft::graph::AssignRandomWeights(&graph, 1.0, 10.0, 11, false);
+  uint64_t messages = 0;
+  for (auto _ : state) {
+    auto result = graft::algos::RunSssp(graph, graph.IdAt(0), 2);
+    GRAFT_CHECK(result.ok()) << result.status();
+    messages += result->stats.total_messages;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+}
+BENCHMARK(BM_Sssp)->Arg(10'000)->Arg(50'000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

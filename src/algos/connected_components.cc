@@ -1,0 +1,62 @@
+#include "algos/connected_components.h"
+
+#include <set>
+
+#include "pregel/loader.h"
+
+namespace graft {
+namespace algos {
+
+using pregel::Int64Value;
+
+void ConnectedComponentsComputation::Compute(
+    pregel::ComputeContext<CCTraits>& ctx, pregel::Vertex<CCTraits>& vertex,
+    const std::vector<Int64Value>& messages) {
+  if (ctx.superstep() == 0) {
+    // Component id starts as the vertex's own id and only decreases.
+    vertex.set_value(Int64Value{vertex.id()});
+    ctx.SendMessageToAllEdges(vertex, vertex.value());
+    vertex.VoteToHalt();
+    return;
+  }
+  int64_t best = vertex.value().value;
+  for (const Int64Value& m : messages) {
+    if (m.value < best) best = m.value;
+  }
+  if (best < vertex.value().value) {
+    vertex.set_value(Int64Value{best});
+    ctx.SendMessageToAllEdges(vertex, vertex.value());
+  }
+  vertex.VoteToHalt();
+}
+
+pregel::ComputationFactory<CCTraits> MakeConnectedComponentsFactory() {
+  return [] { return std::make_unique<ConnectedComponentsComputation>(); };
+}
+
+Result<CCResult> RunConnectedComponents(const graph::SimpleGraph& g,
+                                        int num_workers) {
+  pregel::Engine<CCTraits>::Options options;
+  options.num_workers = num_workers;
+  options.job_id = "connected-components";
+  // The min-combiner keeps inboxes at one message per vertex.
+  options.combiner = [](const Int64Value& a, const Int64Value& b) {
+    return Int64Value{std::min(a.value, b.value)};
+  };
+  auto vertices = pregel::LoadUnweighted<CCTraits>(
+      g, [](VertexId) { return Int64Value{0}; });
+  pregel::Engine<CCTraits> engine(options, std::move(vertices),
+                                  MakeConnectedComponentsFactory());
+  CCResult result;
+  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
+  std::set<int64_t> components;
+  engine.ForEachVertex([&](const pregel::Vertex<CCTraits>& v) {
+    result.component[v.id()] = v.value().value;
+    components.insert(v.value().value);
+  });
+  result.num_components = static_cast<int64_t>(components.size());
+  return result;
+}
+
+}  // namespace algos
+}  // namespace graft

@@ -1,0 +1,49 @@
+#ifndef GRAFT_ALGOS_CONNECTED_COMPONENTS_H_
+#define GRAFT_ALGOS_CONNECTED_COMPONENTS_H_
+
+#include <map>
+#include <memory>
+
+#include "common/result.h"
+#include "graph/simple_graph.h"
+#include "pregel/computation.h"
+#include "pregel/engine.h"
+
+namespace graft {
+namespace algos {
+
+/// HCC-style connected components (the algorithm behind the paper's Figure 5
+/// screenshot, "a connected components algorithm, where the values are
+/// vertex IDs"): every vertex repeatedly adopts the minimum component id it
+/// has heard of and propagates changes. Works on undirected (symmetric)
+/// graphs.
+struct CCTraits {
+  using VertexValue = pregel::Int64Value;
+  using EdgeValue = pregel::NullValue;
+  using Message = pregel::Int64Value;
+};
+
+class ConnectedComponentsComputation : public pregel::Computation<CCTraits> {
+ public:
+  void Compute(pregel::ComputeContext<CCTraits>& ctx,
+               pregel::Vertex<CCTraits>& vertex,
+               const std::vector<pregel::Int64Value>& messages) override;
+};
+
+/// Returns the factory for plugging into an Engine or a Graft debug run.
+pregel::ComputationFactory<CCTraits> MakeConnectedComponentsFactory();
+
+/// Convenience driver: loads `g` (assumed symmetric), runs to convergence,
+/// returns the component id per vertex.
+struct CCResult {
+  pregel::JobStats stats;
+  std::map<VertexId, int64_t> component;
+  int64_t num_components = 0;
+};
+Result<CCResult> RunConnectedComponents(const graph::SimpleGraph& g,
+                                        int num_workers = 2);
+
+}  // namespace algos
+}  // namespace graft
+
+#endif  // GRAFT_ALGOS_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,294 @@
+#include "algos/graph_coloring.h"
+
+#include <algorithm>
+#include <set>
+
+#include "pregel/loader.h"
+
+namespace graft {
+namespace algos {
+
+using pregel::AggregatorOp;
+using pregel::AggregatorSpec;
+using pregel::AggValue;
+
+std::string_view GCStateName(GCState state) {
+  switch (state) {
+    case GCState::kUnknown:
+      return "UNKNOWN";
+    case GCState::kTentativelyInSet:
+      return "TENTATIVELY_IN_SET";
+    case GCState::kInSet:
+      return "IN_SET";
+    case GCState::kNotInSet:
+      return "NOT_IN_SET";
+    case GCState::kColored:
+      return "COLORED";
+  }
+  return "?";
+}
+
+std::string_view GCMessageTypeName(GCMessageType type) {
+  switch (type) {
+    case GCMessageType::kTentative:
+      return "TENTATIVE";
+    case GCMessageType::kInSet:
+      return "NBR_IN_SET";
+    case GCMessageType::kColored:
+      return "NBR_COLORED";
+  }
+  return "?";
+}
+
+void GraphColoringComputation::Compute(pregel::ComputeContext<GCTraits>& ctx,
+                                       pregel::Vertex<GCTraits>& vertex,
+                                       const std::vector<GCMessage>& messages) {
+  if (vertex.value().state == GCState::kColored) {
+    // Colored vertices have left the logical graph; a stray message (e.g. a
+    // COLORED notification crossing ours) must not resurrect them.
+    vertex.VoteToHalt();
+    return;
+  }
+  const std::string phase =
+      ctx.GetAggregated(kGCPhaseAggregator).IsText()
+          ? ctx.GetAggregated(kGCPhaseAggregator).AsText()
+          : std::string(kGCPhaseSelect);
+  if (phase == kGCPhaseSelect) {
+    RunSelect(ctx, vertex, messages);
+  } else if (phase == kGCPhaseResolve) {
+    RunResolve(ctx, vertex, messages);
+  } else if (phase == kGCPhaseUpdate) {
+    RunUpdate(ctx, vertex, messages);
+  } else if (phase == kGCPhaseColor) {
+    RunColor(ctx, vertex, messages);
+  } else {
+    throw pregel::VertexComputeError("GC: unknown phase '" + phase + "'");
+  }
+}
+
+void GraphColoringComputation::RunSelect(pregel::ComputeContext<GCTraits>& ctx,
+                                         pregel::Vertex<GCTraits>& vertex,
+                                         const std::vector<GCMessage>& messages) {
+  GCVertexValue value = vertex.value();
+  // Absorb COLORED notifications from the previous round's COLOR phase.
+  for (const GCMessage& m : messages) {
+    if (m.type == GCMessageType::kColored) {
+      --value.active_degree;
+    }
+  }
+  if (value.active_degree < 0) value.active_degree = 0;
+  // Only undecided vertices participate; a round may take several
+  // SELECT/RESOLVE/UPDATE iterations and earlier winners (kInSet) and
+  // excluded vertices (kNotInSet) must keep their decision until COLOR.
+  if (value.state != GCState::kUnknown) {
+    vertex.set_value(value);
+    return;
+  }
+  if (value.active_degree == 0) {
+    // No uncolored neighbors left: joining the set is always safe.
+    value.state = GCState::kInSet;
+    vertex.set_value(value);
+    return;
+  }
+  double select_probability = 1.0 / (2.0 * value.active_degree);
+  if (ctx.rng().NextBool(select_probability)) {
+    value.state = GCState::kTentativelyInSet;
+    value.tentative_r = ctx.rng().NextDouble();
+    ctx.SendMessageToAllEdges(
+        vertex, GCMessage{GCMessageType::kTentative, vertex.id(),
+                          value.tentative_r});
+  }
+  vertex.set_value(value);
+}
+
+void GraphColoringComputation::RunResolve(
+    pregel::ComputeContext<GCTraits>& ctx, pregel::Vertex<GCTraits>& vertex,
+    const std::vector<GCMessage>& messages) {
+  GCVertexValue value = vertex.value();
+  if (value.state != GCState::kTentativelyInSet) return;
+  bool beaten = false;
+  auto beats_me = [&](const GCMessage& m) {
+    return m.type == GCMessageType::kTentative &&
+           (m.r < value.tentative_r ||
+            (m.r == value.tentative_r && m.sender < vertex.id()));
+  };
+  if (buggy_) {
+    // BUG (§4.1): the author meant to scan every tentative neighbor but
+    // only consults the first incoming message. With two or more tentative
+    // neighbors, a losing vertex can stay in the set next to a winner, and
+    // the pair later receives the same color.
+    if (!messages.empty() && beats_me(messages[0])) beaten = true;
+  } else {
+    for (const GCMessage& m : messages) {
+      if (beats_me(m)) {
+        beaten = true;
+        break;
+      }
+    }
+  }
+  if (beaten) {
+    value.state = GCState::kUnknown;
+  } else {
+    value.state = GCState::kInSet;
+    ctx.SendMessageToAllEdges(
+        vertex, GCMessage{GCMessageType::kInSet, vertex.id(), 0.0});
+  }
+  vertex.set_value(value);
+}
+
+void GraphColoringComputation::RunUpdate(pregel::ComputeContext<GCTraits>& ctx,
+                                         pregel::Vertex<GCTraits>& vertex,
+                                         const std::vector<GCMessage>& messages) {
+  GCVertexValue value = vertex.value();
+  if (value.state == GCState::kUnknown) {
+    for (const GCMessage& m : messages) {
+      if (m.type == GCMessageType::kInSet) {
+        value.state = GCState::kNotInSet;
+        break;
+      }
+    }
+  }
+  if (value.state == GCState::kUnknown) {
+    ctx.Aggregate(kGCUndecidedAggregator, AggValue{int64_t{1}});
+  }
+  vertex.set_value(value);
+}
+
+void GraphColoringComputation::RunColor(pregel::ComputeContext<GCTraits>& ctx,
+                                        pregel::Vertex<GCTraits>& vertex,
+                                        const std::vector<GCMessage>& messages) {
+  (void)messages;
+  GCVertexValue value = vertex.value();
+  if (value.state == GCState::kInSet) {
+    AggValue color = ctx.GetAggregated(kGCColorAggregator);
+    value.color = color.IsInt() ? static_cast<int32_t>(color.AsInt()) : 0;
+    value.state = GCState::kColored;
+    ctx.SendMessageToAllEdges(
+        vertex, GCMessage{GCMessageType::kColored, vertex.id(), 0.0});
+    vertex.set_value(value);
+    vertex.VoteToHalt();
+    return;
+  }
+  // Losers re-arm for the next round.
+  value.state = GCState::kUnknown;
+  vertex.set_value(value);
+  ctx.Aggregate(kGCUncoloredAggregator, AggValue{int64_t{1}});
+}
+
+void GraphColoringMaster::Initialize(pregel::MasterContext& ctx) {
+  GRAFT_CHECK_OK(ctx.RegisterAggregator(
+      kGCPhaseAggregator, AggregatorSpec{AggregatorOp::kOverwrite,
+                                         AggValue{std::string(kGCPhaseSelect)},
+                                         /*persistent=*/true}));
+  GRAFT_CHECK_OK(ctx.RegisterAggregator(
+      kGCColorAggregator,
+      AggregatorSpec{AggregatorOp::kOverwrite, AggValue{int64_t{0}},
+                     /*persistent=*/true}));
+  GRAFT_CHECK_OK(ctx.RegisterAggregator(
+      kGCUndecidedAggregator,
+      AggregatorSpec{AggregatorOp::kSum, AggValue{int64_t{0}},
+                     /*persistent=*/false}));
+  GRAFT_CHECK_OK(ctx.RegisterAggregator(
+      kGCUncoloredAggregator,
+      AggregatorSpec{AggregatorOp::kSum, AggValue{int64_t{0}},
+                     /*persistent=*/false}));
+}
+
+void GraphColoringMaster::Compute(pregel::MasterContext& ctx) {
+  if (ctx.superstep() == 0) {
+    GRAFT_CHECK_OK(ctx.SetAggregated(kGCPhaseAggregator,
+                                     AggValue{std::string(kGCPhaseSelect)}));
+    GRAFT_CHECK_OK(
+        ctx.SetAggregated(kGCColorAggregator, AggValue{int64_t{0}}));
+    return;
+  }
+  const std::string phase = ctx.GetAggregated(kGCPhaseAggregator).AsText();
+  std::string next;
+  if (phase == kGCPhaseSelect) {
+    next = kGCPhaseResolve;
+  } else if (phase == kGCPhaseResolve) {
+    next = kGCPhaseUpdate;
+  } else if (phase == kGCPhaseUpdate) {
+    int64_t undecided = ctx.GetAggregated(kGCUndecidedAggregator).AsInt();
+    next = undecided > 0 ? kGCPhaseSelect : kGCPhaseColor;
+  } else {  // COLOR
+    // BUG (§3.4 master variant): reads gc.undecided — which a finished MIS
+    // round always leaves at 0 — where gc.uncolored was intended, halting
+    // the whole computation after the first color.
+    int64_t remaining =
+        buggy_ ? ctx.GetAggregated(kGCUndecidedAggregator).AsInt()
+               : ctx.GetAggregated(kGCUncoloredAggregator).AsInt();
+    if (remaining == 0) {
+      ctx.HaltComputation();
+      return;
+    }
+    int64_t color = ctx.GetAggregated(kGCColorAggregator).AsInt();
+    GRAFT_CHECK_OK(
+        ctx.SetAggregated(kGCColorAggregator, AggValue{color + 1}));
+    next = kGCPhaseSelect;
+  }
+  GRAFT_CHECK_OK(
+      ctx.SetAggregated(kGCPhaseAggregator, AggValue{std::string(next)}));
+}
+
+pregel::ComputationFactory<GCTraits> MakeGraphColoringFactory(bool buggy) {
+  return [buggy] { return std::make_unique<GraphColoringComputation>(buggy); };
+}
+
+pregel::MasterFactory MakeGraphColoringMasterFactory(bool buggy_master) {
+  return [buggy_master] {
+    return std::make_unique<GraphColoringMaster>(buggy_master);
+  };
+}
+
+std::vector<pregel::Vertex<GCTraits>> LoadGraphColoringVertices(
+    const graph::SimpleGraph& g) {
+  return pregel::LoadUnweighted<GCTraits>(g, [&g](VertexId id) {
+    GCVertexValue v;
+    v.active_degree =
+        static_cast<int32_t>(g.OutEdgesOf(id).size());
+    return v;
+  });
+}
+
+Result<ColoringResult> RunGraphColoring(const graph::SimpleGraph& g,
+                                        bool buggy, int num_workers,
+                                        uint64_t seed) {
+  pregel::Engine<GCTraits>::Options options;
+  options.num_workers = num_workers;
+  options.seed = seed;
+  options.job_id = buggy ? "graph-coloring-buggy" : "graph-coloring";
+  pregel::Engine<GCTraits> engine(options, LoadGraphColoringVertices(g),
+                                  MakeGraphColoringFactory(buggy),
+                                  MakeGraphColoringMasterFactory());
+  ColoringResult result;
+  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
+  std::set<int32_t> colors;
+  engine.ForEachVertex([&](const pregel::Vertex<GCTraits>& v) {
+    result.color[v.id()] = v.value().color;
+    colors.insert(v.value().color);
+  });
+  result.num_colors = static_cast<int32_t>(colors.size());
+  return result;
+}
+
+std::vector<std::pair<VertexId, VertexId>> FindColoringConflicts(
+    const graph::SimpleGraph& g, const std::map<VertexId, int32_t>& color) {
+  std::vector<std::pair<VertexId, VertexId>> conflicts;
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    VertexId u = g.IdAt(i);
+    auto cu = color.find(u);
+    if (cu == color.end()) continue;
+    for (const auto& e : g.OutEdges(i)) {
+      if (u >= e.target) continue;  // each undirected pair once
+      auto cv = color.find(e.target);
+      if (cv != color.end() && cu->second == cv->second) {
+        conflicts.emplace_back(u, e.target);
+      }
+    }
+  }
+  return conflicts;
+}
+
+}  // namespace algos
+}  // namespace graft

@@ -1,0 +1,138 @@
+#include "algos/max_weight_matching.h"
+
+#include <algorithm>
+
+#include "pregel/loader.h"
+
+namespace graft {
+namespace algos {
+
+std::string_view MWMStateName(MWMState state) {
+  switch (state) {
+    case MWMState::kActive:
+      return "ACTIVE";
+    case MWMState::kMatched:
+      return "MATCHED";
+    case MWMState::kIsolated:
+      return "ISOLATED";
+  }
+  return "?";
+}
+
+void MaxWeightMatchingComputation::Compute(
+    pregel::ComputeContext<MWMTraits>& ctx, pregel::Vertex<MWMTraits>& vertex,
+    const std::vector<MWMMessage>& messages) {
+  MWMVertexValue value = vertex.value();
+  if (value.state != MWMState::kActive) {
+    vertex.VoteToHalt();
+    return;
+  }
+  if (ctx.superstep() % 2 == 0) {
+    // PROPOSE. First prune edges to neighbors that matched last round.
+    for (const MWMMessage& m : messages) {
+      if (m.type == MWMMessageType::kMatched) {
+        vertex.RemoveEdgesTo(m.sender);
+      }
+    }
+    if (vertex.num_edges() == 0) {
+      value.state = MWMState::kIsolated;
+      vertex.set_value(value);
+      vertex.VoteToHalt();
+      return;
+    }
+    // Argmax-weight neighbor; ties broken towards the larger id so both
+    // endpoints of an equal-weight edge make consistent choices.
+    const auto& edges = vertex.edges();
+    size_t best = 0;
+    for (size_t i = 1; i < edges.size(); ++i) {
+      if (edges[i].value.value > edges[best].value.value ||
+          (edges[i].value.value == edges[best].value.value &&
+           edges[i].target > edges[best].target)) {
+        best = i;
+      }
+    }
+    value.proposed_to = edges[best].target;
+    vertex.set_value(value);
+    ctx.SendMessage(value.proposed_to,
+                    MWMMessage{MWMMessageType::kPropose, vertex.id()});
+    return;
+  }
+  // MATCH: did our pick propose to us?
+  bool mutual = std::any_of(messages.begin(), messages.end(),
+                            [&](const MWMMessage& m) {
+                              return m.type == MWMMessageType::kPropose &&
+                                     m.sender == value.proposed_to;
+                            });
+  if (mutual) {
+    value.state = MWMState::kMatched;
+    value.matched_to = value.proposed_to;
+    vertex.set_value(value);
+    ctx.SendMessageToAllEdges(vertex,
+                              MWMMessage{MWMMessageType::kMatched, vertex.id()});
+    vertex.VoteToHalt();
+    return;
+  }
+  // No match this round; stay for the next PROPOSE superstep. The explicit
+  // self-message-free path: remain active by not halting.
+  vertex.set_value(value);
+}
+
+pregel::ComputationFactory<MWMTraits> MakeMaxWeightMatchingFactory() {
+  return [] { return std::make_unique<MaxWeightMatchingComputation>(); };
+}
+
+std::vector<pregel::Vertex<MWMTraits>> LoadMatchingVertices(
+    const graph::SimpleGraph& g) {
+  return pregel::LoadVertices<MWMTraits>(
+      g, [](VertexId) { return MWMVertexValue{}; },
+      [](VertexId, VertexId, double w) { return pregel::DoubleValue{w}; });
+}
+
+Result<MatchingResult> RunMaxWeightMatching(const graph::SimpleGraph& g,
+                                            int num_workers,
+                                            int64_t max_supersteps) {
+  pregel::Engine<MWMTraits>::Options options;
+  options.num_workers = num_workers;
+  options.max_supersteps = max_supersteps;
+  options.job_id = "max-weight-matching";
+  pregel::Engine<MWMTraits> engine(options, LoadMatchingVertices(g),
+                                   MakeMaxWeightMatchingFactory());
+  MatchingResult result;
+  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
+  result.converged =
+      result.stats.termination == pregel::TerminationReason::kAllHalted;
+  engine.ForEachVertex([&](const pregel::Vertex<MWMTraits>& v) {
+    const MWMVertexValue& value = v.value();
+    if (value.state == MWMState::kMatched && v.id() < value.matched_to) {
+      result.matching[v.id()] = value.matched_to;
+      auto w = g.EdgeWeight(v.id(), value.matched_to);
+      if (w.ok()) result.total_weight += *w;
+    }
+  });
+  return result;
+}
+
+std::string ValidateMatching(const graph::SimpleGraph& g,
+                             const std::map<VertexId, VertexId>& matching) {
+  std::map<VertexId, VertexId> partner;
+  for (const auto& [u, v] : matching) {
+    if (u >= v) {
+      return StrFormat("pair (%lld,%lld) not normalized u<v",
+                       static_cast<long long>(u), static_cast<long long>(v));
+    }
+    if (!g.HasEdge(u, v) || !g.HasEdge(v, u)) {
+      return StrFormat("matched pair (%lld,%lld) is not an edge",
+                       static_cast<long long>(u), static_cast<long long>(v));
+    }
+    if (partner.count(u) != 0 || partner.count(v) != 0) {
+      return StrFormat("vertex matched twice in pair (%lld,%lld)",
+                       static_cast<long long>(u), static_cast<long long>(v));
+    }
+    partner[u] = v;
+    partner[v] = u;
+  }
+  return "";
+}
+
+}  // namespace algos
+}  // namespace graft

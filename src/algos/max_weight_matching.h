@@ -1,0 +1,158 @@
+#ifndef GRAFT_ALGOS_MAX_WEIGHT_MATCHING_H_
+#define GRAFT_ALGOS_MAX_WEIGHT_MATCHING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/string_util.h"
+#include "graph/simple_graph.h"
+#include "pregel/computation.h"
+#include "pregel/engine.h"
+
+namespace graft {
+namespace algos {
+
+/// Approximate maximum-weight matching (Preis's ½-approximation [23],
+/// vertex-centric formulation), the §4.3 debugging scenario: in each round
+/// every live vertex points at its maximum-weight neighbor; if two vertices
+/// point at each other, the edge joins the matching and both endpoints (with
+/// all incident edges) leave the graph. On a correctly-encoded weighted
+/// undirected graph the locally-heaviest-edge argument guarantees progress
+/// every round, so the algorithm terminates. The paper's scenario feeds it a
+/// corrupted graph whose symmetric edges disagree on weight — mutual
+/// pointing can then never happen for some vertices and the job loops
+/// forever (bounded here only by Options::max_supersteps).
+///
+/// Rounds take two supersteps:
+///   even (PROPOSE): pick argmax-weight neighbor, remember it, send PROPOSE.
+///   odd  (MATCH):   if our pick proposed to us too, record the match, tell
+///                   every neighbor MATCHED, and halt. Unmatched vertices
+///                   prune edges to matched neighbors at the start of the
+///                   next PROPOSE superstep.
+
+enum class MWMState : uint8_t {
+  kActive = 0,
+  kMatched = 1,
+  kIsolated = 2,  // ran out of neighbors without matching
+};
+
+std::string_view MWMStateName(MWMState state);
+
+struct MWMVertexValue {
+  MWMState state = MWMState::kActive;
+  VertexId matched_to = -1;
+  VertexId proposed_to = -1;
+
+  void Write(BinaryWriter& w) const {
+    w.WriteU8(static_cast<uint8_t>(state));
+    w.WriteSignedVarint(matched_to);
+    w.WriteSignedVarint(proposed_to);
+  }
+  static Result<MWMVertexValue> Read(BinaryReader& r) {
+    MWMVertexValue v;
+    GRAFT_ASSIGN_OR_RETURN(uint8_t state, r.ReadU8());
+    if (state > static_cast<uint8_t>(MWMState::kIsolated)) {
+      return Status::OutOfRange("bad MWMState " + std::to_string(state));
+    }
+    v.state = static_cast<MWMState>(state);
+    GRAFT_ASSIGN_OR_RETURN(v.matched_to, r.ReadSignedVarint());
+    GRAFT_ASSIGN_OR_RETURN(v.proposed_to, r.ReadSignedVarint());
+    return v;
+  }
+  std::string ToString() const {
+    return StrFormat("%s matched_to=%lld proposed_to=%lld",
+                     std::string(MWMStateName(state)).c_str(),
+                     static_cast<long long>(matched_to),
+                     static_cast<long long>(proposed_to));
+  }
+  std::string ToCpp() const {
+    return StrFormat(
+        "graft::algos::MWMVertexValue{static_cast<graft::algos::MWMState>(%d), "
+        "%lld, %lld}",
+        static_cast<int>(state), static_cast<long long>(matched_to),
+        static_cast<long long>(proposed_to));
+  }
+  friend bool operator==(const MWMVertexValue&, const MWMVertexValue&) = default;
+};
+
+enum class MWMMessageType : uint8_t {
+  kPropose = 0,
+  kMatched = 1,
+};
+
+struct MWMMessage {
+  MWMMessageType type = MWMMessageType::kPropose;
+  VertexId sender = 0;
+
+  void Write(BinaryWriter& w) const {
+    w.WriteU8(static_cast<uint8_t>(type));
+    w.WriteSignedVarint(sender);
+  }
+  static Result<MWMMessage> Read(BinaryReader& r) {
+    MWMMessage m;
+    GRAFT_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+    if (type > static_cast<uint8_t>(MWMMessageType::kMatched)) {
+      return Status::OutOfRange("bad MWMMessageType " + std::to_string(type));
+    }
+    m.type = static_cast<MWMMessageType>(type);
+    GRAFT_ASSIGN_OR_RETURN(m.sender, r.ReadSignedVarint());
+    return m;
+  }
+  std::string ToString() const {
+    return StrFormat("%s(from=%lld)",
+                     type == MWMMessageType::kPropose ? "PROPOSE" : "MATCHED",
+                     static_cast<long long>(sender));
+  }
+  std::string ToCpp() const {
+    return StrFormat(
+        "graft::algos::MWMMessage{static_cast<graft::algos::MWMMessageType>(%d), "
+        "%lld}",
+        static_cast<int>(type), static_cast<long long>(sender));
+  }
+  friend bool operator==(const MWMMessage&, const MWMMessage&) = default;
+};
+
+struct MWMTraits {
+  using VertexValue = MWMVertexValue;
+  using EdgeValue = pregel::DoubleValue;  // edge weight
+  using Message = MWMMessage;
+};
+
+class MaxWeightMatchingComputation : public pregel::Computation<MWMTraits> {
+ public:
+  void Compute(pregel::ComputeContext<MWMTraits>& ctx,
+               pregel::Vertex<MWMTraits>& vertex,
+               const std::vector<MWMMessage>& messages) override;
+};
+
+pregel::ComputationFactory<MWMTraits> MakeMaxWeightMatchingFactory();
+
+std::vector<pregel::Vertex<MWMTraits>> LoadMatchingVertices(
+    const graph::SimpleGraph& g);
+
+struct MatchingResult {
+  pregel::JobStats stats;
+  /// matched pairs, each with u < v.
+  std::map<VertexId, VertexId> matching;
+  double total_weight = 0.0;
+  bool converged = false;  // false = hit the superstep cap (§4.3's symptom)
+};
+
+/// Runs MWM on a weighted symmetric graph; `max_supersteps` is the safety
+/// cap that stands in for "we see that it enters an infinite loop".
+Result<MatchingResult> RunMaxWeightMatching(const graph::SimpleGraph& g,
+                                            int num_workers = 2,
+                                            int64_t max_supersteps = 2000);
+
+/// Checks that `matching` is a valid matching in `g` (edges exist, pairs are
+/// mutual, no vertex matched twice). Empty string = valid; otherwise a
+/// description of the first violation.
+std::string ValidateMatching(const graph::SimpleGraph& g,
+                             const std::map<VertexId, VertexId>& matching);
+
+}  // namespace algos
+}  // namespace graft
+
+#endif  // GRAFT_ALGOS_MAX_WEIGHT_MATCHING_H_

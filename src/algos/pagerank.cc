@@ -1,0 +1,85 @@
+#include "algos/pagerank.h"
+
+#include <cmath>
+
+#include "pregel/loader.h"
+
+namespace graft {
+namespace algos {
+
+using pregel::AggregatorOp;
+using pregel::AggregatorSpec;
+using pregel::AggValue;
+using pregel::DoubleValue;
+
+void PageRankComputation::Compute(
+    pregel::ComputeContext<PageRankTraits>& ctx,
+    pregel::Vertex<PageRankTraits>& vertex,
+    const std::vector<DoubleValue>& messages) {
+  double old_rank = vertex.value().value;
+  if (ctx.superstep() == 0) {
+    vertex.set_value(
+        DoubleValue{1.0 / static_cast<double>(ctx.total_num_vertices())});
+  } else {
+    double incoming = 0.0;
+    for (const DoubleValue& m : messages) incoming += m.value;
+    double n = static_cast<double>(ctx.total_num_vertices());
+    vertex.set_value(DoubleValue{(1.0 - damping_) / n + damping_ * incoming});
+    ctx.Aggregate("pagerank.delta",
+                  AggValue{std::fabs(vertex.value().value - old_rank)});
+  }
+  if (ctx.superstep() < max_iterations_) {
+    size_t degree = vertex.num_edges();
+    if (degree > 0) {
+      ctx.SendMessageToAllEdges(
+          vertex,
+          DoubleValue{vertex.value().value / static_cast<double>(degree)});
+    } else {
+      ctx.Aggregate("pagerank.dangling", AggValue{vertex.value().value});
+    }
+  } else {
+    vertex.VoteToHalt();
+  }
+}
+
+void PageRankMaster::Initialize(pregel::MasterContext& ctx) {
+  GRAFT_CHECK_OK(ctx.RegisterAggregator(
+      "pagerank.delta",
+      AggregatorSpec{AggregatorOp::kSum, AggValue{0.0}, false}));
+  GRAFT_CHECK_OK(ctx.RegisterAggregator(
+      "pagerank.dangling",
+      AggregatorSpec{AggregatorOp::kSum, AggValue{0.0}, false}));
+}
+
+void PageRankMaster::Compute(pregel::MasterContext& ctx) {
+  if (ctx.superstep() > max_iterations_) {
+    ctx.HaltComputation();
+  }
+}
+
+Result<PageRankResult> RunPageRank(const graph::SimpleGraph& g,
+                                   int iterations, int num_workers) {
+  pregel::Engine<PageRankTraits>::Options options;
+  options.num_workers = num_workers;
+  options.job_id = "pagerank";
+  options.combiner = [](const DoubleValue& a, const DoubleValue& b) {
+    return DoubleValue{a.value + b.value};
+  };
+  auto vertices = pregel::LoadUnweighted<PageRankTraits>(
+      g, [](VertexId) { return DoubleValue{0.0}; });
+  pregel::Engine<PageRankTraits> engine(
+      options, std::move(vertices),
+      [iterations] { return std::make_unique<PageRankComputation>(iterations); },
+      [iterations]() -> std::unique_ptr<pregel::MasterCompute> {
+        return std::make_unique<PageRankMaster>(iterations);
+      });
+  PageRankResult result;
+  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
+  engine.ForEachVertex([&](const pregel::Vertex<PageRankTraits>& v) {
+    result.rank[v.id()] = v.value().value;
+  });
+  return result;
+}
+
+}  // namespace algos
+}  // namespace graft

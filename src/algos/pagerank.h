@@ -1,0 +1,64 @@
+#ifndef GRAFT_ALGOS_PAGERANK_H_
+#define GRAFT_ALGOS_PAGERANK_H_
+
+#include <map>
+#include <memory>
+
+#include "common/result.h"
+#include "graph/simple_graph.h"
+#include "pregel/computation.h"
+#include "pregel/engine.h"
+#include "pregel/master.h"
+
+namespace graft {
+namespace algos {
+
+/// Classic Pregel PageRank with a fixed iteration count coordinated by a
+/// master.compute() — the canonical "hello world" of vertex-centric systems
+/// and our quickstart example workload.
+struct PageRankTraits {
+  using VertexValue = pregel::DoubleValue;
+  using EdgeValue = pregel::NullValue;
+  using Message = pregel::DoubleValue;
+};
+
+class PageRankComputation : public pregel::Computation<PageRankTraits> {
+ public:
+  explicit PageRankComputation(int max_iterations, double damping = 0.85)
+      : max_iterations_(max_iterations), damping_(damping) {}
+
+  void Compute(pregel::ComputeContext<PageRankTraits>& ctx,
+               pregel::Vertex<PageRankTraits>& vertex,
+               const std::vector<pregel::DoubleValue>& messages) override;
+
+ private:
+  int max_iterations_;
+  double damping_;
+};
+
+/// Master tracking the dangling-mass and L1-delta aggregators; halts after
+/// `max_iterations` supersteps.
+class PageRankMaster : public pregel::MasterCompute {
+ public:
+  explicit PageRankMaster(int max_iterations)
+      : max_iterations_(max_iterations) {}
+
+  void Initialize(pregel::MasterContext& ctx) override;
+  void Compute(pregel::MasterContext& ctx) override;
+
+ private:
+  int max_iterations_;
+};
+
+struct PageRankResult {
+  pregel::JobStats stats;
+  std::map<VertexId, double> rank;
+};
+
+Result<PageRankResult> RunPageRank(const graph::SimpleGraph& g,
+                                   int iterations = 20, int num_workers = 2);
+
+}  // namespace algos
+}  // namespace graft
+
+#endif  // GRAFT_ALGOS_PAGERANK_H_

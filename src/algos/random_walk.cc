@@ -1,0 +1,51 @@
+#include "algos/random_walk.h"
+
+#include "pregel/loader.h"
+
+namespace graft {
+namespace algos {
+
+namespace {
+
+template <typename Traits>
+Result<RandomWalkResult> RunImpl(const graph::SimpleGraph& g, int num_steps,
+                                 int64_t initial_walkers, int num_workers,
+                                 uint64_t seed, const char* job_id) {
+  typename pregel::Engine<Traits>::Options options;
+  options.num_workers = num_workers;
+  options.seed = seed;
+  options.job_id = job_id;
+  auto vertices = pregel::LoadUnweighted<Traits>(
+      g, [](VertexId) { return pregel::Int64Value{0}; });
+  pregel::Engine<Traits> engine(
+      options, std::move(vertices),
+      MakeRandomWalkFactory<Traits>(num_steps, initial_walkers));
+  RandomWalkResult result;
+  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
+  engine.ForEachVertex([&](const pregel::Vertex<Traits>& v) {
+    result.walkers[v.id()] = v.value().value;
+    result.total_walkers += v.value().value;
+    if (v.value().value < 0) ++result.negative_message_vertices;
+  });
+  return result;
+}
+
+}  // namespace
+
+Result<RandomWalkResult> RunRandomWalk(const graph::SimpleGraph& g,
+                                       int num_steps, int64_t initial_walkers,
+                                       int num_workers, uint64_t seed) {
+  return RunImpl<RWTraits>(g, num_steps, initial_walkers, num_workers, seed,
+                           "random-walk");
+}
+
+Result<RandomWalkResult> RunRandomWalkShort(const graph::SimpleGraph& g,
+                                            int num_steps,
+                                            int64_t initial_walkers,
+                                            int num_workers, uint64_t seed) {
+  return RunImpl<RWShortTraits>(g, num_steps, initial_walkers, num_workers,
+                                seed, "random-walk-short");
+}
+
+}  // namespace algos
+}  // namespace graft

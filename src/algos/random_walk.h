@@ -1,0 +1,132 @@
+#ifndef GRAFT_ALGOS_RANDOM_WALK_H_
+#define GRAFT_ALGOS_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/result.h"
+#include "graph/simple_graph.h"
+#include "pregel/computation.h"
+#include "pregel/engine.h"
+#include "pregel/master.h"
+
+namespace graft {
+namespace algos {
+
+/// Random walk simulation from the GPS paper [24], the §4.2 debugging
+/// scenario: every vertex starts with `initial_walkers` walkers (100 in the
+/// paper); each superstep, every walker independently moves to a uniformly
+/// random out-neighbor. Vertices tally per-neighbor counters and send them
+/// as messages; a vertex's next walker count is the sum of its incoming
+/// counters. The master halts after a fixed number of steps.
+///
+/// The buggy variant reproduces the paper's defect exactly: "to optimize the
+/// memory and network I/O, our implementation declares the counters and
+/// messages as 16-bit short primitive types" — so a vertex funneling more
+/// than 32767 walkers to one neighbor sends a negative counter (two's-
+/// complement wraparound), destroying walker conservation. The Graft message
+/// constraint "messages are non-negative" catches it (§4.2).
+
+/// Buggy variant: 16-bit counter messages.
+struct RWShortTraits {
+  using VertexValue = pregel::Int64Value;  // walkers currently here
+  using EdgeValue = pregel::NullValue;
+  using Message = pregel::ShortValue;  // per-neighbor walker counter
+};
+
+/// Fixed variant: 64-bit counter messages.
+struct RWTraits {
+  using VertexValue = pregel::Int64Value;
+  using EdgeValue = pregel::NullValue;
+  using Message = pregel::Int64Value;
+};
+
+/// Shared implementation; Traits picks the counter width. The per-walker
+/// random moves come from the context RNG, so a Graft replay of any captured
+/// (vertex, superstep) reproduces the exact same walker dispersal.
+template <typename Traits>
+class RandomWalkComputation : public pregel::Computation<Traits> {
+ public:
+  RandomWalkComputation(int num_steps, int64_t initial_walkers)
+      : num_steps_(num_steps), initial_walkers_(initial_walkers) {}
+
+  void Compute(pregel::ComputeContext<Traits>& ctx,
+               pregel::Vertex<Traits>& vertex,
+               const std::vector<typename Traits::Message>& messages) override {
+    int64_t walkers;
+    if (ctx.superstep() == 0) {
+      walkers = initial_walkers_;
+    } else {
+      walkers = 0;
+      for (const auto& m : messages) walkers += m.value;
+      if (vertex.num_edges() == 0) {
+        // Sinks cannot disperse, so they retain walkers across supersteps;
+        // overwriting would silently destroy them (walker conservation is
+        // the invariant the fixed variant is tested against).
+        walkers += vertex.value().value;
+      }
+    }
+    vertex.set_value(pregel::Int64Value{walkers});
+    if (ctx.superstep() >= num_steps_ || vertex.num_edges() == 0 ||
+        walkers <= 0) {
+      vertex.VoteToHalt();
+      return;
+    }
+    // One counter per out-neighbor; each walker bumps a random counter.
+    // With the ShortValue message type the counter increments wrap at
+    // 32767 exactly like a Java short (§4.2's bug).
+    counters_.assign(vertex.num_edges(), typename Traits::Message{});
+    for (int64_t w = 0; w < walkers; ++w) {
+      size_t pick = static_cast<size_t>(ctx.rng().NextBounded(counters_.size()));
+      ++counters_[pick].value;
+    }
+    const auto& edges = vertex.edges();
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (counters_[i].value != 0) {
+        ctx.SendMessage(edges[i].target, counters_[i]);
+      }
+    }
+  }
+
+ private:
+  int num_steps_;
+  int64_t initial_walkers_;
+  // Worker-local scratch, reused across Compute() calls (safe: one
+  // Computation instance per worker thread).
+  std::vector<typename Traits::Message> counters_;
+};
+
+struct RandomWalkResult {
+  pregel::JobStats stats;
+  std::map<VertexId, int64_t> walkers;
+  int64_t total_walkers = 0;  // should equal V * initial_walkers if no bug
+  int64_t negative_message_vertices = 0;
+};
+
+/// Runs the fixed (64-bit) variant.
+Result<RandomWalkResult> RunRandomWalk(const graph::SimpleGraph& g,
+                                       int num_steps,
+                                       int64_t initial_walkers = 100,
+                                       int num_workers = 2,
+                                       uint64_t seed = 0x2a11ULL);
+
+/// Runs the buggy (16-bit) variant from §4.2.
+Result<RandomWalkResult> RunRandomWalkShort(const graph::SimpleGraph& g,
+                                            int num_steps,
+                                            int64_t initial_walkers = 100,
+                                            int num_workers = 2,
+                                            uint64_t seed = 0x2a11ULL);
+
+template <typename Traits>
+pregel::ComputationFactory<Traits> MakeRandomWalkFactory(
+    int num_steps, int64_t initial_walkers) {
+  return [num_steps, initial_walkers] {
+    return std::make_unique<RandomWalkComputation<Traits>>(num_steps,
+                                                           initial_walkers);
+  };
+}
+
+}  // namespace algos
+}  // namespace graft
+
+#endif  // GRAFT_ALGOS_RANDOM_WALK_H_

@@ -1,0 +1,61 @@
+#include "algos/sssp.h"
+
+#include <limits>
+
+#include "pregel/loader.h"
+
+namespace graft {
+namespace algos {
+
+using pregel::DoubleValue;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void SsspComputation::Compute(pregel::ComputeContext<SsspTraits>& ctx,
+                              pregel::Vertex<SsspTraits>& vertex,
+                              const std::vector<DoubleValue>& messages) {
+  double candidate = ctx.superstep() == 0 && vertex.id() == source_
+                         ? 0.0
+                         : vertex.value().value;
+  for (const DoubleValue& m : messages) {
+    if (m.value < candidate) candidate = m.value;
+  }
+  if (candidate < vertex.value().value) {
+    vertex.set_value(DoubleValue{candidate});
+    for (const auto& edge : vertex.edges()) {
+      ctx.SendMessage(edge.target, DoubleValue{candidate + edge.value.value});
+    }
+  }
+  vertex.VoteToHalt();
+}
+
+Result<SsspResult> RunSssp(const graph::SimpleGraph& g, VertexId source,
+                           int num_workers) {
+  if (!g.HasVertex(source)) {
+    return Status::InvalidArgument("SSSP source vertex " +
+                                   std::to_string(source) + " not in graph");
+  }
+  pregel::Engine<SsspTraits>::Options options;
+  options.num_workers = num_workers;
+  options.job_id = "sssp";
+  options.combiner = [](const DoubleValue& a, const DoubleValue& b) {
+    return DoubleValue{std::min(a.value, b.value)};
+  };
+  auto vertices = pregel::LoadVertices<SsspTraits>(
+      g, [](VertexId) { return DoubleValue{kInf}; },
+      [](VertexId, VertexId, double w) { return DoubleValue{w}; });
+  pregel::Engine<SsspTraits> engine(
+      options, std::move(vertices),
+      [source] { return std::make_unique<SsspComputation>(source); });
+  SsspResult result;
+  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
+  engine.ForEachVertex([&](const pregel::Vertex<SsspTraits>& v) {
+    result.distance[v.id()] = v.value().value;
+  });
+  return result;
+}
+
+}  // namespace algos
+}  // namespace graft

@@ -1,0 +1,47 @@
+#ifndef GRAFT_ALGOS_SSSP_H_
+#define GRAFT_ALGOS_SSSP_H_
+
+#include <map>
+
+#include "common/result.h"
+#include "graph/simple_graph.h"
+#include "pregel/computation.h"
+#include "pregel/engine.h"
+
+namespace graft {
+namespace algos {
+
+/// Single-source shortest paths, the textbook Pregel algorithm: vertices
+/// hold a tentative distance (infinity initially), relax on incoming
+/// distances, and propagate improvements along weighted out-edges.
+struct SsspTraits {
+  using VertexValue = pregel::DoubleValue;  // tentative distance
+  using EdgeValue = pregel::DoubleValue;    // edge weight
+  using Message = pregel::DoubleValue;      // candidate distance
+};
+
+class SsspComputation : public pregel::Computation<SsspTraits> {
+ public:
+  explicit SsspComputation(VertexId source) : source_(source) {}
+
+  void Compute(pregel::ComputeContext<SsspTraits>& ctx,
+               pregel::Vertex<SsspTraits>& vertex,
+               const std::vector<pregel::DoubleValue>& messages) override;
+
+ private:
+  VertexId source_;
+};
+
+struct SsspResult {
+  pregel::JobStats stats;
+  /// Distance per vertex; unreachable vertices hold +infinity.
+  std::map<VertexId, double> distance;
+};
+
+Result<SsspResult> RunSssp(const graph::SimpleGraph& g, VertexId source,
+                           int num_workers = 2);
+
+}  // namespace algos
+}  // namespace graft
+
+#endif  // GRAFT_ALGOS_SSSP_H_

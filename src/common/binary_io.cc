@@ -1,0 +1,133 @@
+#include "common/binary_io.h"
+
+namespace graft {
+
+void BinaryWriter::WriteVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<char>(v));
+}
+
+void BinaryWriter::WriteSignedVarint(int64_t v) { WriteVarint(ZigzagEncode(v)); }
+
+void BinaryWriter::WriteFixed32(uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, 4);
+  buffer_.append(bytes, 4);
+}
+
+void BinaryWriter::WriteFixed64(uint64_t v) {
+  char bytes[8];
+  std::memcpy(bytes, &v, 8);
+  buffer_.append(bytes, 8);
+}
+
+void BinaryWriter::WriteDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  WriteFixed64(bits);
+}
+
+void BinaryWriter::WriteFloat(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  WriteFixed32(bits);
+}
+
+void BinaryWriter::WriteString(std::string_view s) {
+  WriteVarint(s.size());
+  buffer_.append(s.data(), s.size());
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+Status BinaryReader::CheckAvailable(size_t n) const {
+  if (pos_ + n > data_.size()) {
+    return Status::OutOfRange("binary read past end of buffer (need " +
+                              std::to_string(n) + " bytes at offset " +
+                              std::to_string(pos_) + ", size " +
+                              std::to_string(data_.size()) + ")");
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::Skip(size_t n) {
+  GRAFT_RETURN_NOT_OK(CheckAvailable(n));
+  pos_ += n;
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  GRAFT_RETURN_NOT_OK(CheckAvailable(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<bool> BinaryReader::ReadBool() {
+  GRAFT_ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+  return v != 0;
+}
+
+Result<uint64_t> BinaryReader::ReadVarint() {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    GRAFT_RETURN_NOT_OK(CheckAvailable(1));
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (shift >= 64 || (shift == 63 && (byte & 0x7f) > 1)) {
+      return Status::OutOfRange("varint overflows 64 bits");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return result;
+}
+
+Result<int64_t> BinaryReader::ReadSignedVarint() {
+  GRAFT_ASSIGN_OR_RETURN(uint64_t v, ReadVarint());
+  return ZigzagDecode(v);
+}
+
+Result<uint32_t> BinaryReader::ReadFixed32() {
+  GRAFT_RETURN_NOT_OK(CheckAvailable(4));
+  uint32_t v;
+  std::memcpy(&v, data_.data() + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadFixed64() {
+  GRAFT_RETURN_NOT_OK(CheckAvailable(8));
+  uint64_t v;
+  std::memcpy(&v, data_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  GRAFT_ASSIGN_OR_RETURN(uint64_t bits, ReadFixed64());
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+Result<float> BinaryReader::ReadFloat() {
+  GRAFT_ASSIGN_OR_RETURN(uint32_t bits, ReadFixed32());
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  GRAFT_ASSIGN_OR_RETURN(uint64_t size, ReadVarint());
+  GRAFT_RETURN_NOT_OK(CheckAvailable(size));
+  std::string s(data_.substr(pos_, size));
+  pos_ += size;
+  return s;
+}
+
+}  // namespace graft

@@ -1,0 +1,153 @@
+#include "common/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace graft {
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  Context& top = stack_.back();
+  if (top == Context::kArray) {
+    if (has_elements_.back()) out_.push_back(',');
+    has_elements_.back() = true;
+  } else if (top == Context::kObjectAwaitValue) {
+    top = Context::kObjectAwaitKey;
+  } else {
+    assert(false && "JSON value emitted where an object key was required");
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back(Context::kObjectAwaitKey);
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == Context::kObjectAwaitKey);
+  out_.push_back('}');
+  stack_.pop_back();
+  has_elements_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back(Context::kArray);
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == Context::kArray);
+  out_.push_back(']');
+  stack_.pop_back();
+  has_elements_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && stack_.back() == Context::kObjectAwaitKey);
+  if (has_elements_.back()) out_.push_back(',');
+  has_elements_.back() = true;
+  out_.push_back('"');
+  out_ += Escape(key);
+  out_ += "\":";
+  stack_.back() = Context::kObjectAwaitValue;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  out_ += Escape(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (std::isfinite(value)) {
+    out_ += StrFormat("%.17g", value);
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf literals.
+  }
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::KV(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+void JsonWriter::KV(std::string_view key, const char* value) {
+  Key(key);
+  String(value);
+}
+void JsonWriter::KV(std::string_view key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+void JsonWriter::KV(std::string_view key, uint64_t value) {
+  Key(key);
+  UInt(value);
+}
+void JsonWriter::KV(std::string_view key, double value) {
+  Key(key);
+  Double(value);
+}
+void JsonWriter::KV(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+}  // namespace graft

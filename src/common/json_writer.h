@@ -1,0 +1,63 @@
+#ifndef GRAFT_COMMON_JSON_WRITER_H_
+#define GRAFT_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graft {
+
+/// Minimal streaming JSON emitter used by the Graft GUI exporters
+/// (tabular/node-link/violations views serialize captured traces to JSON so
+/// that any front-end — the paper used a browser GUI — can render them).
+///
+/// The writer validates nesting at runtime via an explicit context stack;
+/// misuse (e.g. a value where a key is required) aborts in debug builds.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes an object key; must be inside an object.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Convenience: Key(k) followed by the value.
+  void KV(std::string_view key, std::string_view value);
+  void KV(std::string_view key, const char* value);
+  void KV(std::string_view key, int64_t value);
+  void KV(std::string_view key, uint64_t value);
+  void KV(std::string_view key, int value) { KV(key, static_cast<int64_t>(value)); }
+  void KV(std::string_view key, double value);
+  void KV(std::string_view key, bool value);
+
+  /// The finished document. Valid once all containers are closed.
+  const std::string& str() const { return out_; }
+  std::string&& TakeString() { return std::move(out_); }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  enum class Context : uint8_t { kObjectAwaitKey, kObjectAwaitValue, kArray };
+
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Context> stack_;
+  std::vector<bool> has_elements_;
+};
+
+}  // namespace graft
+
+#endif  // GRAFT_COMMON_JSON_WRITER_H_

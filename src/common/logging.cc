@@ -1,0 +1,84 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace graft {
+
+namespace {
+
+std::atomic<int> g_log_level{-1};
+
+int ReadInitialLevel() {
+  const char* env = std::getenv("GRAFT_LOG_LEVEL");
+  if (env != nullptr && *env != '\0') {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return v;
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarning:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?????";
+}
+
+std::mutex& OutputMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  int v = g_log_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = ReadInitialLevel();
+    g_log_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  const char* base = std::strrchr(file_, '/');
+  base = (base != nullptr) ? base + 1 : file_;
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  {
+    std::lock_guard<std::mutex> lock(OutputMutex());
+    std::fprintf(stderr, "[%s %lld.%03lld %s:%d] %s\n", LevelName(level_),
+                 static_cast<long long>(ms / 1000),
+                 static_cast<long long>(ms % 1000), base, line_,
+                 stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace graft

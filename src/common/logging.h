@@ -1,0 +1,85 @@
+#ifndef GRAFT_COMMON_LOGGING_H_
+#define GRAFT_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace graft {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped. Default: Info.
+/// Overridable via the GRAFT_LOG_LEVEL environment variable (0-4).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink. Collects the message and emits it (with level,
+/// timestamp, and source location) on destruction. Fatal messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define GRAFT_LOG_ENABLED(level) ((level) >= ::graft::GetLogLevel())
+
+#define GRAFT_LOG(severity)                                              \
+  if (!GRAFT_LOG_ENABLED(::graft::LogLevel::k##severity)) {              \
+  } else                                                                 \
+    ::graft::internal::LogMessage(::graft::LogLevel::k##severity,        \
+                                  __FILE__, __LINE__)                    \
+        .stream()
+
+/// Invariant check that is active in all build modes. On failure logs the
+/// condition and aborts; use for internal invariants, not user input.
+#define GRAFT_CHECK(condition)                                          \
+  if (condition) {                                                      \
+  } else                                                                \
+    ::graft::internal::LogMessage(::graft::LogLevel::kFatal, __FILE__,  \
+                                  __LINE__)                             \
+            .stream()                                                   \
+        << "Check failed: " #condition " "
+
+#define GRAFT_CHECK_OK(expr)                                            \
+  do {                                                                  \
+    ::graft::Status _graft_check_status = (expr);                       \
+    GRAFT_CHECK(_graft_check_status.ok())                               \
+        << _graft_check_status.ToString();                              \
+  } while (false)
+
+#define GRAFT_DCHECK(condition) assert(condition)
+
+}  // namespace graft
+
+#endif  // GRAFT_COMMON_LOGGING_H_

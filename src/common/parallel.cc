@@ -1,0 +1,36 @@
+#include "common/parallel.h"
+
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace graft {
+
+void RunOnWorkers(int num_workers, const std::function<void(int)>& fn) {
+  GRAFT_CHECK(num_workers >= 1) << "need at least one worker";
+  if (num_workers == 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_workers) - 1);
+  for (int w = 1; w < num_workers; ++w) {
+    threads.emplace_back([&fn, w] { fn(w); });
+  }
+  fn(0);
+  for (auto& t : threads) t.join();
+}
+
+ShardRange ComputeShardRange(size_t n, int num_shards, int shard) {
+  GRAFT_CHECK(num_shards >= 1);
+  GRAFT_CHECK(shard >= 0 && shard < num_shards);
+  size_t base = n / static_cast<size_t>(num_shards);
+  size_t extra = n % static_cast<size_t>(num_shards);
+  size_t s = static_cast<size_t>(shard);
+  size_t begin = s * base + (s < extra ? s : extra);
+  size_t len = base + (s < extra ? 1 : 0);
+  return ShardRange{begin, begin + len};
+}
+
+}  // namespace graft

@@ -1,0 +1,24 @@
+#ifndef GRAFT_COMMON_PARALLEL_H_
+#define GRAFT_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace graft {
+
+/// Runs fn(worker_index) on `num_workers` threads and joins them all.
+/// Worker 0 runs on the calling thread. Used by the Pregel engine for the
+/// per-superstep vertex phase and by graph generators.
+void RunOnWorkers(int num_workers, const std::function<void(int)>& fn);
+
+/// Splits [0, n) into `num_shards` contiguous ranges; returns the half-open
+/// range [begin, end) of shard `shard`.
+struct ShardRange {
+  size_t begin;
+  size_t end;
+};
+ShardRange ComputeShardRange(size_t n, int num_shards, int shard);
+
+}  // namespace graft
+
+#endif  // GRAFT_COMMON_PARALLEL_H_

@@ -1,0 +1,63 @@
+#ifndef GRAFT_COMMON_RANDOM_H_
+#define GRAFT_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace graft {
+
+/// SplitMix64: tiny, fast, statistically solid for our purposes, and —
+/// critically for Graft — fully deterministic and serializable. The engine
+/// hands every (job seed, superstep, vertex) a fresh Rng so that replaying a
+/// captured vertex context reproduces the exact same random choices the
+/// cluster run made (see DESIGN.md §1, "Deterministic replay").
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Derives a child generator deterministically; used to key RNGs by
+  /// (seed, superstep, vertex id) without correlation between streams.
+  static Rng ForStream(uint64_t seed, uint64_t stream_a, uint64_t stream_b);
+
+  /// Next raw 64 random bits.
+  uint64_t Next64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses Lemire's multiply-shift
+  /// rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Current internal state; together with the constructor this makes the
+  /// generator fully serializable into vertex traces.
+  uint64_t state() const { return state_; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Stateless 64-bit mix (the SplitMix64 finalizer); used for hash
+/// partitioning and stream derivation.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace graft
+
+#endif  // GRAFT_COMMON_RANDOM_H_

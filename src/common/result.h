@@ -1,0 +1,79 @@
+#ifndef GRAFT_COMMON_RESULT_H_
+#define GRAFT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace graft {
+
+/// A value-or-error holder in the style of arrow::Result. A Result is either
+/// OK and holds a T, or holds a non-OK Status. Accessing the value of an
+/// errored Result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value; mirrors arrow::Result ergonomics so
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Constructing from an OK
+  /// status is a programming error.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, else `fallback`.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error
+/// status to the caller.
+#define GRAFT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define GRAFT_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define GRAFT_ASSIGN_OR_RETURN_NAME(x, y) GRAFT_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define GRAFT_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  GRAFT_ASSIGN_OR_RETURN_IMPL(                                               \
+      GRAFT_ASSIGN_OR_RETURN_NAME(_graft_result_, __COUNTER__), lhs, (expr))
+
+}  // namespace graft
+
+#endif  // GRAFT_COMMON_RESULT_H_

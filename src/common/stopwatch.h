@@ -1,0 +1,36 @@
+#ifndef GRAFT_COMMON_STOPWATCH_H_
+#define GRAFT_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace graft {
+
+/// Monotonic wall-clock timer for superstep timings and the Figure 7
+/// overhead benchmark.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  int64_t ElapsedMillis() const { return ElapsedMicros() / 1000; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace graft
+
+#endif  // GRAFT_COMMON_STOPWATCH_H_

@@ -1,0 +1,192 @@
+#ifndef GRAFT_DEBUG_CAPTURE_MANAGER_H_
+#define GRAFT_DEBUG_CAPTURE_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "debug/debug_config.h"
+#include "debug/vertex_trace.h"
+#include "io/trace_store.h"
+#include "pregel/vertex.h"
+
+namespace graft {
+namespace debug {
+
+/// Trace-file naming convention inside the TraceStore (the stand-in for the
+/// paper's HDFS trace directory).
+std::string VertexTraceFile(const std::string& job_id, int64_t superstep,
+                            int worker);
+std::string MasterTraceFile(const std::string& job_id, int64_t superstep);
+std::string JobTracePrefix(const std::string& job_id);
+
+/// Per-debug-run shared state: the resolved capture target set (specified +
+/// random + their neighbors), the capture counters, and the trace sink.
+/// Thread-safe: worker threads consult the (immutable after Prepare) target
+/// set and append through the store's own synchronization.
+template <pregel::JobTraits Traits>
+class CaptureManager {
+ public:
+  CaptureManager(TraceStore* store, const DebugConfig<Traits>* config,
+                 std::string job_id)
+      : store_(store), config_(config), job_id_(std::move(job_id)) {
+    GRAFT_CHECK(store_ != nullptr);
+    GRAFT_CHECK(config_ != nullptr);
+    has_message_constraint_ = config_->HasMessageValueConstraint();
+    has_vertex_value_constraint_ = config_->HasVertexValueConstraint();
+    capture_all_active_ = config_->CaptureAllActiveVertices();
+    max_captures_ = config_->MaxCaptures();
+  }
+
+  CaptureManager(const CaptureManager&) = delete;
+  CaptureManager& operator=(const CaptureManager&) = delete;
+
+  /// Resolves categories 1 and 2 against the loaded graph: picks the random
+  /// sample, then expands the base set with out-neighbors when requested.
+  /// Call once, after graph load and before Engine::Run.
+  void PrepareTargets(const std::vector<pregel::Vertex<Traits>>& vertices) {
+    targets_.clear();
+    for (VertexId id : config_->VerticesToCapture()) {
+      targets_[id] |= kReasonSpecified;
+    }
+    int num_random = config_->NumRandomVerticesToCapture();
+    if (num_random > 0 && !vertices.empty()) {
+      // Reservoir-free sampling: draw distinct indices.
+      Rng rng(Mix64(config_->RandomSeed() ^ 0x5a3bULL));
+      std::unordered_map<size_t, bool> chosen;
+      size_t want = std::min(static_cast<size_t>(num_random), vertices.size());
+      while (chosen.size() < want) {
+        chosen.emplace(static_cast<size_t>(rng.NextBounded(vertices.size())),
+                       true);
+      }
+      for (const auto& [index, unused] : chosen) {
+        (void)unused;
+        targets_[vertices[index].id()] |= kReasonRandom;
+      }
+    }
+    if (config_->CaptureNeighborsOfVertices() && !targets_.empty()) {
+      std::vector<VertexId> neighbors;
+      for (const auto& v : vertices) {
+        auto it = targets_.find(v.id());
+        if (it == targets_.end() ||
+            (it->second & (kReasonSpecified | kReasonRandom)) == 0) {
+          continue;
+        }
+        for (const auto& e : v.edges()) neighbors.push_back(e.target);
+      }
+      for (VertexId n : neighbors) targets_[n] |= kReasonNeighbor;
+    }
+  }
+
+  /// Reason bits from categories 1/2 (+neighbors) for this vertex, or 0.
+  uint32_t TargetReasons(VertexId id) const {
+    auto it = targets_.find(id);
+    return it == targets_.end() ? 0 : it->second;
+  }
+
+  const DebugConfig<Traits>& config() const { return *config_; }
+  const std::string& job_id() const { return job_id_; }
+
+  bool has_message_constraint() const { return has_message_constraint_; }
+  bool has_vertex_value_constraint() const {
+    return has_vertex_value_constraint_;
+  }
+  bool capture_all_active() const { return capture_all_active_; }
+
+  /// True while the safety-net threshold has not been reached.
+  bool UnderCaptureLimit() const {
+    return captures_.load(std::memory_order_relaxed) < max_captures_;
+  }
+
+  /// Accounts a capture that was skipped because the threshold was hit.
+  void CountSkippedByLimit() {
+    dropped_by_limit_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Appends a vertex trace (if still under the limit). Returns whether it
+  /// was written.
+  bool RecordVertexTrace(const VertexTrace<Traits>& trace, int worker) {
+    uint64_t n = captures_.fetch_add(1, std::memory_order_relaxed);
+    if (n >= max_captures_) {
+      captures_.fetch_sub(1, std::memory_order_relaxed);
+      ++dropped_by_limit_;
+      return false;
+    }
+    if ((trace.reasons & (kReasonVertexValue | kReasonMessageValue)) != 0) {
+      violations_.fetch_add(trace.violations.size(),
+                            std::memory_order_relaxed);
+    }
+    if (trace.exception.has_value()) {
+      exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    GRAFT_CHECK_OK(store_->Append(
+        VertexTraceFile(job_id_, trace.superstep, worker), trace.Serialize()));
+    return true;
+  }
+
+  void RecordMasterTrace(const MasterTrace& trace) {
+    GRAFT_CHECK_OK(store_->Append(MasterTraceFile(job_id_, trace.superstep),
+                                  trace.Serialize()));
+  }
+
+  uint64_t num_captures() const {
+    return captures_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_violations() const {
+    return violations_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_exceptions() const {
+    return exceptions_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_dropped_by_limit() const {
+    return dropped_by_limit_.load(std::memory_order_relaxed);
+  }
+
+  /// Total bytes of trace data this job has written — the paper's "small
+  /// log files" claim is checked against this in the benches.
+  uint64_t TraceBytes() const {
+    return store_->TotalBytes(JobTracePrefix(job_id_));
+  }
+
+ private:
+  TraceStore* store_;
+  const DebugConfig<Traits>* config_;
+  std::string job_id_;
+
+  std::unordered_map<VertexId, uint32_t> targets_;
+  bool has_message_constraint_ = false;
+  bool has_vertex_value_constraint_ = false;
+  bool capture_all_active_ = false;
+  uint64_t max_captures_ = 0;
+
+  std::atomic<uint64_t> captures_{0};
+  std::atomic<uint64_t> violations_{0};
+  std::atomic<uint64_t> exceptions_{0};
+  std::atomic<uint64_t> dropped_by_limit_{0};
+};
+
+inline std::string VertexTraceFile(const std::string& job_id,
+                                   int64_t superstep, int worker) {
+  return StrFormat("%s/superstep_%06lld/worker_%03d.vtrace", job_id.c_str(),
+                   static_cast<long long>(superstep), worker);
+}
+
+inline std::string MasterTraceFile(const std::string& job_id,
+                                   int64_t superstep) {
+  return StrFormat("%s/superstep_%06lld/master.mtrace", job_id.c_str(),
+                   static_cast<long long>(superstep));
+}
+
+inline std::string JobTracePrefix(const std::string& job_id) {
+  return job_id + "/";
+}
+
+}  // namespace debug
+}  // namespace graft
+
+#endif  // GRAFT_DEBUG_CAPTURE_MANAGER_H_

@@ -1,0 +1,202 @@
+#ifndef GRAFT_DEBUG_DEBUG_CONFIG_H_
+#define GRAFT_DEBUG_DEBUG_CONFIG_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pregel/vertex.h"
+
+namespace graft {
+namespace debug {
+
+/// The user-facing capture specification (§3.1, Figure 2). Users subclass
+/// and override what they need; everything defaults to "capture nothing
+/// except exceptions". The five capture categories:
+///
+///   1. vertices listed by id (optionally plus their neighbors)
+///   2. a random sample of a given size (optionally plus neighbors)
+///   3. vertices whose post-compute value violates a constraint
+///   4. vertices that send a message violating a constraint
+///   5. vertices that raise exceptions
+///
+/// plus the capture-all-active alternative, a per-superstep filter, and the
+/// max-captures "safety net" threshold the paper describes.
+template <pregel::JobTraits Traits>
+class DebugConfig {
+ public:
+  using VertexValue = typename Traits::VertexValue;
+  using Message = typename Traits::Message;
+
+  virtual ~DebugConfig() = default;
+
+  /// Category 1: capture these vertex ids.
+  virtual std::vector<VertexId> VerticesToCapture() const { return {}; }
+
+  /// Category 2: capture this many uniformly-random vertices.
+  virtual int NumRandomVerticesToCapture() const { return 0; }
+
+  /// Also capture the out-neighbors of category-1/2 vertices.
+  virtual bool CaptureNeighborsOfVertices() const { return false; }
+
+  /// Category 3. Return true when `value` satisfies the constraint; a false
+  /// return captures the vertex with reason kReasonVertexValue. Override
+  /// HasVertexValueConstraint() too (it gates the per-vertex check).
+  virtual bool HasVertexValueConstraint() const { return false; }
+  virtual bool VertexValueConstraint(const VertexValue& value, VertexId id,
+                                     int64_t superstep) const {
+    (void)value;
+    (void)id;
+    (void)superstep;
+    return true;
+  }
+
+  /// Category 4. Checked on every SendMessage while instrumented. Return
+  /// true when the message satisfies the constraint. Note the paper's
+  /// limitation (§7): the constraint may depend on the destination id but
+  /// not the destination's value.
+  virtual bool HasMessageValueConstraint() const { return false; }
+  virtual bool MessageValueConstraint(const Message& message,
+                                      VertexId source, VertexId destination,
+                                      int64_t superstep) const {
+    (void)message;
+    (void)source;
+    (void)destination;
+    (void)superstep;
+    return true;
+  }
+
+  /// Category 5: capture vertices whose Compute() throws. On by default.
+  virtual bool CaptureExceptions() const { return true; }
+
+  /// After capturing an exception, rethrow it so the job aborts (Giraph
+  /// behaviour), or swallow it and let the run continue — handy when
+  /// gathering many exception contexts in one run.
+  virtual bool AbortOnException() const { return true; }
+
+  /// Alternative mode: capture every vertex that executes Compute().
+  /// The §4.3 scenario combines this with ShouldCaptureSuperstep to inspect
+  /// the small active graph after superstep 500.
+  virtual bool CaptureAllActiveVertices() const { return false; }
+
+  /// Limits capturing to selected supersteps. Default: all.
+  virtual bool ShouldCaptureSuperstep(int64_t superstep) const {
+    (void)superstep;
+    return true;
+  }
+
+  /// The adjustable safety-net threshold: once this many vertex contexts
+  /// have been captured, Graft stops capturing (§3.1).
+  virtual uint64_t MaxCaptures() const { return 10'000'000; }
+
+  /// Seed for the category-2 random sample, so debug runs are repeatable.
+  virtual uint64_t RandomSeed() const { return 0xdeb06u; }
+};
+
+/// Closure-driven DebugConfig for composing configs programmatically (the
+/// Table 3 DC-* configurations in the benchmark harness use this; examples
+/// subclass DebugConfig directly, mirroring the paper's Figure 2).
+template <pregel::JobTraits Traits>
+class ConfigurableDebugConfig : public DebugConfig<Traits> {
+ public:
+  using VertexValue = typename Traits::VertexValue;
+  using Message = typename Traits::Message;
+  using VertexValuePredicate =
+      std::function<bool(const VertexValue&, VertexId, int64_t)>;
+  using MessagePredicate =
+      std::function<bool(const Message&, VertexId, VertexId, int64_t)>;
+  using SuperstepPredicate = std::function<bool(int64_t)>;
+
+  ConfigurableDebugConfig& set_vertices(std::vector<VertexId> ids) {
+    vertices_ = std::move(ids);
+    return *this;
+  }
+  ConfigurableDebugConfig& set_num_random(int n) {
+    num_random_ = n;
+    return *this;
+  }
+  ConfigurableDebugConfig& set_capture_neighbors(bool v) {
+    capture_neighbors_ = v;
+    return *this;
+  }
+  ConfigurableDebugConfig& set_vertex_value_constraint(
+      VertexValuePredicate p) {
+    vertex_value_constraint_ = std::move(p);
+    return *this;
+  }
+  ConfigurableDebugConfig& set_message_value_constraint(MessagePredicate p) {
+    message_constraint_ = std::move(p);
+    return *this;
+  }
+  ConfigurableDebugConfig& set_capture_all_active(bool v) {
+    capture_all_active_ = v;
+    return *this;
+  }
+  ConfigurableDebugConfig& set_superstep_filter(SuperstepPredicate p) {
+    superstep_filter_ = std::move(p);
+    return *this;
+  }
+  ConfigurableDebugConfig& set_max_captures(uint64_t n) {
+    max_captures_ = n;
+    return *this;
+  }
+  ConfigurableDebugConfig& set_abort_on_exception(bool v) {
+    abort_on_exception_ = v;
+    return *this;
+  }
+  ConfigurableDebugConfig& set_random_seed(uint64_t seed) {
+    random_seed_ = seed;
+    return *this;
+  }
+
+  std::vector<VertexId> VerticesToCapture() const override {
+    return vertices_;
+  }
+  int NumRandomVerticesToCapture() const override { return num_random_; }
+  bool CaptureNeighborsOfVertices() const override {
+    return capture_neighbors_;
+  }
+  bool HasVertexValueConstraint() const override {
+    return vertex_value_constraint_ != nullptr;
+  }
+  bool VertexValueConstraint(const VertexValue& value, VertexId id,
+                             int64_t superstep) const override {
+    return vertex_value_constraint_ == nullptr ||
+           vertex_value_constraint_(value, id, superstep);
+  }
+  bool HasMessageValueConstraint() const override {
+    return message_constraint_ != nullptr;
+  }
+  bool MessageValueConstraint(const Message& message, VertexId source,
+                              VertexId destination,
+                              int64_t superstep) const override {
+    return message_constraint_ == nullptr ||
+           message_constraint_(message, source, destination, superstep);
+  }
+  bool CaptureAllActiveVertices() const override {
+    return capture_all_active_;
+  }
+  bool ShouldCaptureSuperstep(int64_t superstep) const override {
+    return superstep_filter_ == nullptr || superstep_filter_(superstep);
+  }
+  uint64_t MaxCaptures() const override { return max_captures_; }
+  bool AbortOnException() const override { return abort_on_exception_; }
+  uint64_t RandomSeed() const override { return random_seed_; }
+
+ private:
+  std::vector<VertexId> vertices_;
+  int num_random_ = 0;
+  bool capture_neighbors_ = false;
+  VertexValuePredicate vertex_value_constraint_;
+  MessagePredicate message_constraint_;
+  bool capture_all_active_ = false;
+  SuperstepPredicate superstep_filter_;
+  uint64_t max_captures_ = 10'000'000;
+  bool abort_on_exception_ = true;
+  uint64_t random_seed_ = 0xdeb06u;
+};
+
+}  // namespace debug
+}  // namespace graft
+
+#endif  // GRAFT_DEBUG_DEBUG_CONFIG_H_

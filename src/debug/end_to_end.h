@@ -1,0 +1,46 @@
+#ifndef GRAFT_DEBUG_END_TO_END_H_
+#define GRAFT_DEBUG_END_TO_END_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/simple_graph.h"
+
+namespace graft {
+namespace debug {
+
+/// Binding for end-to-end test generation (§3.4 "Small Graph Construction
+/// and End-To-End Tests"): the offline GUI mode lets a user draw a small
+/// graph and obtain either the adjacency-list text file (see
+/// graph::WriteAdjacencyText) or "an end-to-end test code template, which
+/// contains code that constructs the graph programmatically" — this is the
+/// latter.
+struct EndToEndBinding {
+  std::vector<std::string> includes;
+  std::string test_suite;
+  std::string test_name;
+  /// Snippet run after `graph` is built; must populate
+  /// `std::map<graft::VertexId, std::string> final_values`, e.g.
+  ///   auto result = graft::algos::RunConnectedComponents(graph).value();
+  ///   std::map<graft::VertexId, std::string> final_values;
+  ///   for (auto& [id, c] : result.component)
+  ///     final_values[id] = std::to_string(c);
+  std::string runner_snippet;
+};
+
+/// Emits a compilable gtest file that (1) constructs `g` programmatically,
+/// (2) runs the user's program to termination via `runner_snippet`, and
+/// (3) asserts the expected final value per vertex. When `expected` is
+/// empty, assertions are emitted as TODO comments for the user to fill in —
+/// the "from scratch" flavor; passing the values from an actual run gives
+/// the "from actual run" flavor (§1 architecture figure).
+std::string GenerateEndToEndTest(
+    const graph::SimpleGraph& g,
+    const std::map<VertexId, std::string>& expected,
+    const EndToEndBinding& binding);
+
+}  // namespace debug
+}  // namespace graft
+
+#endif  // GRAFT_DEBUG_END_TO_END_H_

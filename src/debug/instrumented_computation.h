@@ -1,0 +1,318 @@
+#ifndef GRAFT_DEBUG_INSTRUMENTED_COMPUTATION_H_
+#define GRAFT_DEBUG_INSTRUMENTED_COMPUTATION_H_
+
+#include <memory>
+#include <optional>
+#include <typeinfo>
+#include <utility>
+#include <vector>
+
+#include "debug/capture_manager.h"
+#include "debug/vertex_trace.h"
+#include "pregel/computation.h"
+#include "pregel/compute_context.h"
+
+namespace graft {
+namespace debug {
+
+/// The Graft Instrumenter (§3.1). The paper wraps the user's
+/// vertex.compute() with Javassist bytecode rewriting; the C++ equivalent is
+/// this decorator, which the DebugRunner substitutes for the user's
+/// Computation. On every Compute() call it:
+///
+///   1. wraps the engine's ComputeContext in an interceptor that records
+///      outgoing messages (for eagerly-captured vertices) and checks the
+///      message-value constraint on each send (category 4);
+///   2. calls the user's original Compute(), catching any exception
+///      (category 5);
+///   3. checks the vertex-value constraint on the post-compute value
+///      (category 3);
+///   4. decides whether the vertex should be captured — it is targeted
+///      (categories 1/2 ± neighbors), capture-all-active is on, or a
+///      constraint/exception fired — and if so appends the full vertex
+///      context to the trace store.
+///
+/// Cost discipline (this is what the Figure 7 overhead bench measures): the
+/// per-vertex work scales with what the DebugConfig actually asks for. An
+/// untargeted vertex pays
+///   * nothing extra beyond a hash lookup and a try/catch frame when only
+///     exception capture is on (the DC-sp floor);
+///   * one virtual indirection per SendMessage when a message constraint is
+///     configured (DC-msg);
+///   * one predicate call after Compute() when a vertex-value constraint is
+///     configured (DC-vv).
+/// The full trace is materialized only when a capture actually happens.
+template <pregel::JobTraits Traits>
+class InstrumentedComputation : public pregel::Computation<Traits> {
+ public:
+  using Message = typename Traits::Message;
+  using VertexT = pregel::Vertex<Traits>;
+  using VertexValue = typename Traits::VertexValue;
+  using EdgeT = pregel::Edge<typename Traits::EdgeValue>;
+
+  InstrumentedComputation(std::unique_ptr<pregel::Computation<Traits>> inner,
+                          CaptureManager<Traits>* manager)
+      : inner_(std::move(inner)), manager_(manager) {
+    GRAFT_CHECK(inner_ != nullptr);
+    GRAFT_CHECK(manager_ != nullptr);
+  }
+
+  void Compute(pregel::ComputeContext<Traits>& ctx, VertexT& vertex,
+               const std::vector<Message>& messages) override {
+    const int64_t superstep = ctx.superstep();
+    const bool selected =
+        manager_->config().ShouldCaptureSuperstep(superstep);
+    uint32_t target_reasons = 0;
+    if (selected) {
+      target_reasons = manager_->TargetReasons(vertex.id());
+      if (manager_->capture_all_active()) target_reasons |= kReasonAllActive;
+    }
+    const bool under_limit = manager_->UnderCaptureLimit();
+    if (target_reasons != 0 && !under_limit) {
+      manager_->CountSkippedByLimit();
+    }
+    const bool eager = target_reasons != 0 && under_limit;
+    const bool check_msgs = selected && manager_->has_message_constraint();
+    const bool check_vv = selected && manager_->has_vertex_value_constraint();
+    const bool catch_exceptions =
+        selected && manager_->config().CaptureExceptions();
+
+    if (!eager && !check_msgs && !check_vv && !catch_exceptions) {
+      inner_->Compute(ctx, vertex, messages);
+      return;
+    }
+    if (!eager && !check_msgs && !check_vv) {
+      // Exceptions-only path (the DC-sp floor for untargeted vertices):
+      // beyond one RNG-state read, zero work until a throw actually
+      // happens. The trace then snapshots the post-throw state
+      // (edges_snapshot_post) — the value may reflect partial mutation,
+      // which the trace flags.
+      const uint64_t entry_rng_state = ctx.rng().state();
+      try {
+        inner_->Compute(ctx, vertex, messages);
+        return;
+      } catch (const std::exception& e) {
+        CaptureExceptionLazily(ctx, vertex, messages, entry_rng_state,
+                               ExceptionInfo{
+                                   typeid(e).name(), e.what(),
+                                   StrFormat("at Compute() superstep=%lld "
+                                             "vertex=%lld job=%s",
+                                             static_cast<long long>(superstep),
+                                             static_cast<long long>(
+                                                 vertex.id()),
+                                             manager_->job_id().c_str())});
+      }
+      return;
+    }
+
+    // Cheap entry-state snapshot; needed by any capture that fires.
+    const VertexValue value_before = vertex.value();
+    const uint64_t rng_state = ctx.rng().state();
+    std::vector<EdgeT> edges_before;
+    if (eager) edges_before = vertex.edges();
+
+    Interceptor ictx(&ctx, manager_, vertex.id(), check_msgs,
+                     /*record_outcome=*/eager);
+    pregel::ComputeContext<Traits>& call_ctx =
+        (eager || check_msgs) ? static_cast<pregel::ComputeContext<Traits>&>(
+                                    ictx)
+                              : ctx;
+
+    std::optional<ExceptionInfo> exception;
+    try {
+      inner_->Compute(call_ctx, vertex, messages);
+    } catch (const std::exception& e) {
+      exception = ExceptionInfo{
+          typeid(e).name(), e.what(),
+          StrFormat("at Compute() superstep=%lld vertex=%lld job=%s",
+                    static_cast<long long>(superstep),
+                    static_cast<long long>(vertex.id()),
+                    manager_->job_id().c_str())};
+    }
+
+    uint32_t reasons = target_reasons;
+    std::vector<ViolationInfo> violations = ictx.TakeViolations();
+    if (!violations.empty()) reasons |= kReasonMessageValue;
+    if (exception.has_value() && catch_exceptions) {
+      reasons |= kReasonException;
+    }
+    if (check_vv &&
+        !manager_->config().VertexValueConstraint(vertex.value(), vertex.id(),
+                                                  superstep)) {
+      reasons |= kReasonVertexValue;
+      violations.push_back(
+          ViolationInfo{ViolationInfo::Kind::kVertexValue, vertex.id(), 0,
+                        vertex.value().ToString()});
+    }
+
+    if (reasons != 0 && manager_->UnderCaptureLimit()) {
+      VertexTrace<Traits> trace;
+      trace.superstep = superstep;
+      trace.id = vertex.id();
+      trace.reasons = reasons;
+      trace.value_before = value_before;
+      trace.rng_state = rng_state;
+      if (eager) {
+        trace.edges = std::move(edges_before);
+      } else {
+        // The capture decision was made only after Compute() ran; the edge
+        // snapshot therefore reflects any local edge mutations it made.
+        trace.edges = vertex.edges();
+        trace.edges_snapshot_post = true;
+      }
+      trace.incoming = messages;
+      trace.aggregators = ctx.VisibleAggregators();
+      trace.total_vertices = ctx.total_num_vertices();
+      trace.total_edges = ctx.total_num_edges();
+      trace.value_after = vertex.value();
+      trace.halted_after = vertex.halted();
+      trace.outgoing = ictx.TakeOutgoing();
+      trace.aggregations = ictx.TakeAggregations();
+      trace.violations = std::move(violations);
+      trace.exception = exception;
+      manager_->RecordVertexTrace(trace, ctx.worker_index());
+    }
+
+    if (exception.has_value() &&
+        manager_->config().AbortOnException()) {
+      // Re-raise so the engine aborts the job, like an uncaught exception in
+      // a Giraph worker. The captured trace survives for post-mortem use.
+      throw pregel::VertexComputeError(exception->message);
+    }
+  }
+
+ private:
+  /// Builds and records a best-effort trace for an exception caught on the
+  /// zero-overhead path, then honors AbortOnException.
+  void CaptureExceptionLazily(pregel::ComputeContext<Traits>& ctx,
+                              VertexT& vertex,
+                              const std::vector<Message>& messages,
+                              uint64_t entry_rng_state,
+                              ExceptionInfo exception) {
+    std::string message = exception.message;
+    if (manager_->UnderCaptureLimit()) {
+      VertexTrace<Traits> trace;
+      trace.superstep = ctx.superstep();
+      trace.id = vertex.id();
+      trace.reasons = kReasonException;
+      trace.value_before = vertex.value();  // post-throw snapshot
+      trace.rng_state = entry_rng_state;
+      trace.edges = vertex.edges();
+      trace.edges_snapshot_post = true;
+      trace.incoming = messages;
+      trace.aggregators = ctx.VisibleAggregators();
+      trace.total_vertices = ctx.total_num_vertices();
+      trace.total_edges = ctx.total_num_edges();
+      trace.value_after = vertex.value();
+      trace.halted_after = vertex.halted();
+      trace.exception = std::move(exception);
+      manager_->RecordVertexTrace(trace, ctx.worker_index());
+    }
+    if (manager_->config().AbortOnException()) {
+      throw pregel::VertexComputeError(message);
+    }
+  }
+
+  /// Context decorator: forwards everything to the engine's context, checks
+  /// the message-value constraint on each send, and (for eager captures)
+  /// records outgoing messages and aggregator updates.
+  class Interceptor final : public pregel::ComputeContext<Traits> {
+   public:
+    using EdgeValue = typename Traits::EdgeValue;
+
+    Interceptor(pregel::ComputeContext<Traits>* inner,
+                CaptureManager<Traits>* manager, VertexId vertex_id,
+                bool check_messages, bool record_outcome)
+        : inner_(inner),
+          manager_(manager),
+          vertex_id_(vertex_id),
+          check_messages_(check_messages),
+          record_outcome_(record_outcome) {}
+
+    std::vector<ViolationInfo>&& TakeViolations() {
+      return std::move(violations_);
+    }
+    std::vector<std::pair<VertexId, Message>>&& TakeOutgoing() {
+      return std::move(outgoing_);
+    }
+    std::vector<std::pair<std::string, pregel::AggValue>>&&
+    TakeAggregations() {
+      return std::move(aggregations_);
+    }
+
+    int64_t superstep() const override { return inner_->superstep(); }
+    int64_t total_num_vertices() const override {
+      return inner_->total_num_vertices();
+    }
+    int64_t total_num_edges() const override {
+      return inner_->total_num_edges();
+    }
+    void SendMessage(VertexId target, const Message& message) override {
+      if (check_messages_ &&
+          !manager_->config().MessageValueConstraint(
+              message, vertex_id_, target, inner_->superstep())) {
+        violations_.push_back(
+            ViolationInfo{ViolationInfo::Kind::kMessageValue, vertex_id_,
+                          target, message.ToString()});
+      }
+      if (record_outcome_) outgoing_.emplace_back(target, message);
+      inner_->SendMessage(target, message);
+    }
+    pregel::AggValue GetAggregated(const std::string& name) const override {
+      return inner_->GetAggregated(name);
+    }
+    void Aggregate(const std::string& name,
+                   const pregel::AggValue& update) override {
+      if (record_outcome_) aggregations_.emplace_back(name, update);
+      inner_->Aggregate(name, update);
+    }
+    const std::map<std::string, pregel::AggValue>& VisibleAggregators()
+        const override {
+      return inner_->VisibleAggregators();
+    }
+    Rng& rng() override { return inner_->rng(); }
+    void RemoveVertexRequest(VertexId id) override {
+      inner_->RemoveVertexRequest(id);
+    }
+    void AddEdgeRequest(VertexId source, VertexId target,
+                        const EdgeValue& value) override {
+      inner_->AddEdgeRequest(source, target, value);
+    }
+    void RemoveEdgeRequest(VertexId source, VertexId target) override {
+      inner_->RemoveEdgeRequest(source, target);
+    }
+    int worker_index() const override { return inner_->worker_index(); }
+
+   private:
+    pregel::ComputeContext<Traits>* inner_;
+    CaptureManager<Traits>* manager_;
+    VertexId vertex_id_;
+    bool check_messages_;
+    bool record_outcome_;
+
+    std::vector<ViolationInfo> violations_;
+    std::vector<std::pair<VertexId, Message>> outgoing_;
+    std::vector<std::pair<std::string, pregel::AggValue>> aggregations_;
+  };
+
+  std::unique_ptr<pregel::Computation<Traits>> inner_;
+  CaptureManager<Traits>* manager_;
+};
+
+/// Wraps a user factory so every worker's Computation is instrumented —
+/// the programmatic equivalent of "the Graft Instrumenter takes as input the
+/// user's DebugConfig file and vertex.compute() function" (§3.1).
+template <pregel::JobTraits Traits>
+pregel::ComputationFactory<Traits> InstrumentFactory(
+    pregel::ComputationFactory<Traits> user_factory,
+    CaptureManager<Traits>* manager) {
+  return [user_factory = std::move(user_factory), manager] {
+    return std::make_unique<InstrumentedComputation<Traits>>(user_factory(),
+                                                             manager);
+  };
+}
+
+}  // namespace debug
+}  // namespace graft
+
+#endif  // GRAFT_DEBUG_INSTRUMENTED_COMPUTATION_H_

@@ -1,0 +1,169 @@
+#ifndef GRAFT_DEBUG_MOCK_CONTEXT_H_
+#define GRAFT_DEBUG_MOCK_CONTEXT_H_
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "pregel/compute_context.h"
+#include "pregel/master.h"
+
+namespace graft {
+namespace debug {
+
+/// The C++ analogue of the Mockito mock objects in the paper's generated
+/// JUnit files (§3.3, Figure 6): a fully scriptable ComputeContext that
+/// replays a captured vertex context — superstep number, global totals,
+/// aggregator values, RNG stream — and records everything the replayed
+/// Compute() call does (sends, aggregations, mutation requests) for
+/// inspection or assertion.
+///
+/// Both the in-process Reproducer and the generated test files use this
+/// class, so a generated file is plain code against the public API.
+template <pregel::JobTraits Traits>
+class MockComputeContext : public pregel::ComputeContext<Traits> {
+ public:
+  using Message = typename Traits::Message;
+  using EdgeValue = typename Traits::EdgeValue;
+
+  MockComputeContext() : rng_(0) {}
+
+  // -- scripting the captured context --
+  void set_superstep(int64_t s) { superstep_ = s; }
+  void set_total_num_vertices(int64_t n) { total_vertices_ = n; }
+  void set_total_num_edges(int64_t n) { total_edges_ = n; }
+  void set_aggregated(const std::string& name, pregel::AggValue value) {
+    aggregators_[name] = std::move(value);
+  }
+  /// Restores the exact RNG stream the vertex saw on the cluster.
+  void set_rng_state(uint64_t state) { rng_ = Rng(state); }
+  void set_worker_index(int w) { worker_ = w; }
+
+  // -- recorded effects --
+  const std::vector<std::pair<VertexId, Message>>& sent_messages() const {
+    return sent_;
+  }
+  const std::vector<std::pair<std::string, pregel::AggValue>>& aggregations()
+      const {
+    return aggregations_;
+  }
+  const std::vector<VertexId>& removed_vertices() const {
+    return removed_vertices_;
+  }
+  const std::vector<std::tuple<VertexId, VertexId, EdgeValue>>& added_edges()
+      const {
+    return added_edges_;
+  }
+  const std::vector<std::pair<VertexId, VertexId>>& removed_edges() const {
+    return removed_edges_;
+  }
+
+  // -- ComputeContext interface --
+  int64_t superstep() const override { return superstep_; }
+  int64_t total_num_vertices() const override { return total_vertices_; }
+  int64_t total_num_edges() const override { return total_edges_; }
+  void SendMessage(VertexId target, const Message& message) override {
+    sent_.emplace_back(target, message);
+  }
+  pregel::AggValue GetAggregated(const std::string& name) const override {
+    auto it = aggregators_.find(name);
+    return it == aggregators_.end() ? pregel::AggValue{} : it->second;
+  }
+  void Aggregate(const std::string& name,
+                 const pregel::AggValue& update) override {
+    aggregations_.emplace_back(name, update);
+  }
+  const std::map<std::string, pregel::AggValue>& VisibleAggregators()
+      const override {
+    return aggregators_;
+  }
+  Rng& rng() override { return rng_; }
+  void RemoveVertexRequest(VertexId id) override {
+    removed_vertices_.push_back(id);
+  }
+  void AddEdgeRequest(VertexId source, VertexId target,
+                      const EdgeValue& value) override {
+    added_edges_.emplace_back(source, target, value);
+  }
+  void RemoveEdgeRequest(VertexId source, VertexId target) override {
+    removed_edges_.emplace_back(source, target);
+  }
+  int worker_index() const override { return worker_; }
+
+ private:
+  int64_t superstep_ = 0;
+  int64_t total_vertices_ = 0;
+  int64_t total_edges_ = 0;
+  std::map<std::string, pregel::AggValue> aggregators_;
+  Rng rng_;
+  int worker_ = 0;
+
+  std::vector<std::pair<VertexId, Message>> sent_;
+  std::vector<std::pair<std::string, pregel::AggValue>> aggregations_;
+  std::vector<VertexId> removed_vertices_;
+  std::vector<std::tuple<VertexId, VertexId, EdgeValue>> added_edges_;
+  std::vector<std::pair<VertexId, VertexId>> removed_edges_;
+};
+
+/// Scriptable MasterContext for reproducing master.compute() executions
+/// (§3.4): seeded with a captured MasterTrace's aggregator values, it
+/// records SetAggregated overwrites and the halt decision.
+class MockMasterContext : public pregel::MasterContext {
+ public:
+  void set_superstep(int64_t s) { superstep_ = s; }
+  void set_total_num_vertices(int64_t n) { total_vertices_ = n; }
+  void set_total_num_edges(int64_t n) { total_edges_ = n; }
+  void set_aggregated(const std::string& name, pregel::AggValue value) {
+    aggregators_[name] = std::move(value);
+  }
+  void set_rng_state(uint64_t state) { rng_ = Rng(state); }
+
+  const std::vector<std::pair<std::string, pregel::AggValue>>& set_calls()
+      const {
+    return set_calls_;
+  }
+
+  int64_t superstep() const override { return superstep_; }
+  int64_t total_num_vertices() const override { return total_vertices_; }
+  int64_t total_num_edges() const override { return total_edges_; }
+  Status RegisterAggregator(const std::string& name,
+                            const pregel::AggregatorSpec& spec) override {
+    specs_[name] = spec;
+    if (aggregators_.count(name) == 0) aggregators_[name] = spec.initial;
+    return Status::OK();
+  }
+  pregel::AggValue GetAggregated(const std::string& name) const override {
+    auto it = aggregators_.find(name);
+    return it == aggregators_.end() ? pregel::AggValue{} : it->second;
+  }
+  Status SetAggregated(const std::string& name,
+                       const pregel::AggValue& value) override {
+    aggregators_[name] = value;
+    set_calls_.emplace_back(name, value);
+    return Status::OK();
+  }
+  const std::map<std::string, pregel::AggValue>& VisibleAggregators()
+      const override {
+    return aggregators_;
+  }
+  void HaltComputation() override { halted_ = true; }
+  bool IsHalted() const override { return halted_; }
+  Rng& rng() override { return rng_; }
+
+ private:
+  int64_t superstep_ = 0;
+  int64_t total_vertices_ = 0;
+  int64_t total_edges_ = 0;
+  std::map<std::string, pregel::AggValue> aggregators_;
+  std::map<std::string, pregel::AggregatorSpec> specs_;
+  std::vector<std::pair<std::string, pregel::AggValue>> set_calls_;
+  bool halted_ = false;
+  Rng rng_{0};
+};
+
+}  // namespace debug
+}  // namespace graft
+
+#endif  // GRAFT_DEBUG_MOCK_CONTEXT_H_

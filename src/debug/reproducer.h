@@ -1,0 +1,155 @@
+#ifndef GRAFT_DEBUG_REPRODUCER_H_
+#define GRAFT_DEBUG_REPRODUCER_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "debug/mock_context.h"
+#include "debug/vertex_trace.h"
+#include "pregel/computation.h"
+#include "pregel/master.h"
+
+namespace graft {
+namespace debug {
+
+/// What a replayed Compute() call did, for diffing against the recorded
+/// outcome in the trace.
+template <pregel::JobTraits Traits>
+struct ReplayOutcome {
+  typename Traits::VertexValue value_after{};
+  bool voted_halt = false;
+  std::vector<std::pair<VertexId, typename Traits::Message>> sent;
+  std::vector<std::pair<std::string, pregel::AggValue>> aggregations;
+  std::optional<std::string> exception;
+};
+
+/// The in-process half of the Context Reproducer (§3.3): reconstructs the
+/// exact context of a captured (vertex, superstep) from its trace — value,
+/// edges, incoming messages, aggregators, global data, RNG stream — and
+/// re-runs the user's Compute() against a MockComputeContext. This is what
+/// a developer steps through under gdb; the generated test file (codegen.h)
+/// is the same call sequence as standalone source.
+template <pregel::JobTraits Traits>
+ReplayOutcome<Traits> ReplayVertex(const VertexTrace<Traits>& trace,
+                                   pregel::Computation<Traits>& computation) {
+  MockComputeContext<Traits> ctx;
+  ctx.set_superstep(trace.superstep);
+  ctx.set_total_num_vertices(trace.total_vertices);
+  ctx.set_total_num_edges(trace.total_edges);
+  for (const auto& [name, value] : trace.aggregators) {
+    ctx.set_aggregated(name, value);
+  }
+  ctx.set_rng_state(trace.rng_state);
+
+  pregel::Vertex<Traits> vertex(trace.id, trace.value_before, trace.edges);
+  ReplayOutcome<Traits> outcome;
+  try {
+    computation.Compute(ctx, vertex, trace.incoming);
+  } catch (const std::exception& e) {
+    outcome.exception = e.what();
+  }
+  outcome.value_after = vertex.value();
+  outcome.voted_halt = vertex.halted();
+  outcome.sent = ctx.sent_messages();
+  outcome.aggregations = ctx.aggregations();
+  return outcome;
+}
+
+/// Result of diffing a replay against the recorded outcome. Replay fidelity
+/// is the property the paper's whole "reproduce" step rests on; we make it
+/// checkable (and check it in tests over every captured vertex).
+struct ReplayFidelity {
+  bool value_matches = true;
+  bool halt_matches = true;
+  bool messages_match = true;
+  bool aggregations_match = true;
+  bool exception_matches = true;
+  std::string mismatch_detail;
+
+  bool Faithful() const {
+    return value_matches && halt_matches && messages_match &&
+           aggregations_match && exception_matches;
+  }
+};
+
+/// Replays `trace` through `computation` and diffs every recorded effect.
+/// For lazily-captured traces (edges_snapshot_post — the capture decision
+/// was made after Compute() ran, so recorded edges/outgoing reflect the
+/// post-call state) only the value and halt decision are compared.
+template <pregel::JobTraits Traits>
+ReplayFidelity CheckReplayFidelity(const VertexTrace<Traits>& trace,
+                                   pregel::Computation<Traits>& computation) {
+  ReplayOutcome<Traits> outcome = ReplayVertex(trace, computation);
+  ReplayFidelity fidelity;
+  if (!(outcome.value_after == trace.value_after)) {
+    fidelity.value_matches = false;
+    fidelity.mismatch_detail += "value: replay=" +
+                                outcome.value_after.ToString() +
+                                " recorded=" + trace.value_after.ToString() +
+                                "; ";
+  }
+  if (outcome.voted_halt != trace.halted_after) {
+    fidelity.halt_matches = false;
+    fidelity.mismatch_detail += "halt decision differs; ";
+  }
+  bool recorded_exception = trace.exception.has_value();
+  if (outcome.exception.has_value() != recorded_exception ||
+      (recorded_exception &&
+       outcome.exception.value() != trace.exception->message)) {
+    fidelity.exception_matches = false;
+    fidelity.mismatch_detail += "exception differs; ";
+  }
+  if (!trace.edges_snapshot_post) {
+    if (outcome.sent != trace.outgoing) {
+      fidelity.messages_match = false;
+      fidelity.mismatch_detail +=
+          StrFormat("outgoing messages differ (replay %zu vs recorded %zu); ",
+                    outcome.sent.size(), trace.outgoing.size());
+    }
+    if (outcome.aggregations != trace.aggregations) {
+      fidelity.aggregations_match = false;
+      fidelity.mismatch_detail += "aggregations differ; ";
+    }
+  }
+  return fidelity;
+}
+
+/// Reproduces a captured master.compute() execution (§3.4): seeds a mock
+/// master context with the captured aggregator values and re-runs
+/// Compute(). Returns the mock for inspecting SetAggregated calls and the
+/// halt decision.
+inline MockMasterContext ReplayMaster(const MasterTrace& trace,
+                                      pregel::MasterCompute& master) {
+  MockMasterContext ctx;
+  ctx.set_superstep(trace.superstep);
+  ctx.set_total_num_vertices(trace.total_vertices);
+  ctx.set_total_num_edges(trace.total_edges);
+  for (const auto& [name, value] : trace.aggregators) {
+    ctx.set_aggregated(name, value);
+  }
+  master.Compute(ctx);
+  return ctx;
+}
+
+/// Diffs a master replay against the recorded post-compute state.
+inline ReplayFidelity CheckMasterReplayFidelity(const MasterTrace& trace,
+                                                pregel::MasterCompute& master) {
+  MockMasterContext ctx = ReplayMaster(trace, master);
+  ReplayFidelity fidelity;
+  if (ctx.VisibleAggregators() != trace.aggregators_after) {
+    fidelity.aggregations_match = false;
+    fidelity.mismatch_detail += "post-compute aggregator values differ; ";
+  }
+  if (ctx.IsHalted() != trace.halted) {
+    fidelity.halt_matches = false;
+    fidelity.mismatch_detail += "halt decision differs; ";
+  }
+  return fidelity;
+}
+
+}  // namespace debug
+}  // namespace graft
+
+#endif  // GRAFT_DEBUG_REPRODUCER_H_

@@ -1,0 +1,79 @@
+#include "debug/vertex_trace.h"
+
+namespace graft {
+namespace debug {
+
+std::string CaptureReasonsToString(uint32_t reasons) {
+  static constexpr std::pair<CaptureReason, const char*> kNames[] = {
+      {kReasonSpecified, "spec"},    {kReasonRandom, "random"},
+      {kReasonNeighbor, "nbr"},      {kReasonVertexValue, "vv"},
+      {kReasonMessageValue, "msg"},  {kReasonException, "exc"},
+      {kReasonAllActive, "active"},
+  };
+  std::string out;
+  for (const auto& [bit, name] : kNames) {
+    if ((reasons & bit) != 0) {
+      if (!out.empty()) out.push_back('|');
+      out += name;
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+void MasterTrace::Write(BinaryWriter& w) const {
+  w.WriteU8(kFormatVersion);
+  w.WriteSignedVarint(superstep);
+  w.WriteSignedVarint(total_vertices);
+  w.WriteSignedVarint(total_edges);
+  w.WriteVarint(aggregators.size());
+  for (const auto& [name, value] : aggregators) {
+    w.WriteString(name);
+    value.Write(w);
+  }
+  w.WriteVarint(aggregators_after.size());
+  for (const auto& [name, value] : aggregators_after) {
+    w.WriteString(name);
+    value.Write(w);
+  }
+  w.WriteBool(halted);
+}
+
+Result<MasterTrace> MasterTrace::Read(BinaryReader& r) {
+  GRAFT_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported master trace version " +
+                                   std::to_string(version));
+  }
+  MasterTrace t;
+  GRAFT_ASSIGN_OR_RETURN(t.superstep, r.ReadSignedVarint());
+  GRAFT_ASSIGN_OR_RETURN(t.total_vertices, r.ReadSignedVarint());
+  GRAFT_ASSIGN_OR_RETURN(t.total_edges, r.ReadSignedVarint());
+  GRAFT_ASSIGN_OR_RETURN(uint64_t num_aggs, r.ReadVarint());
+  for (uint64_t i = 0; i < num_aggs; ++i) {
+    GRAFT_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    GRAFT_ASSIGN_OR_RETURN(pregel::AggValue value, pregel::AggValue::Read(r));
+    t.aggregators.emplace(std::move(name), std::move(value));
+  }
+  GRAFT_ASSIGN_OR_RETURN(uint64_t num_after, r.ReadVarint());
+  for (uint64_t i = 0; i < num_after; ++i) {
+    GRAFT_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    GRAFT_ASSIGN_OR_RETURN(pregel::AggValue value, pregel::AggValue::Read(r));
+    t.aggregators_after.emplace(std::move(name), std::move(value));
+  }
+  GRAFT_ASSIGN_OR_RETURN(t.halted, r.ReadBool());
+  return t;
+}
+
+std::string MasterTrace::Serialize() const {
+  BinaryWriter w;
+  Write(w);
+  return std::move(w.TakeBuffer());
+}
+
+Result<MasterTrace> MasterTrace::Deserialize(std::string_view record) {
+  BinaryReader r(record);
+  return Read(r);
+}
+
+}  // namespace debug
+}  // namespace graft

@@ -1,0 +1,277 @@
+#ifndef GRAFT_DEBUG_VERTEX_TRACE_H_
+#define GRAFT_DEBUG_VERTEX_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "common/string_util.h"
+#include "pregel/agg_value.h"
+#include "pregel/vertex.h"
+
+namespace graft {
+namespace debug {
+
+/// Why a vertex was captured — the five DebugConfig categories of §3.1 plus
+/// neighbor-of-captured and capture-all-active. A single capture can have
+/// several reasons (bitmask).
+enum CaptureReason : uint32_t {
+  kReasonSpecified = 1u << 0,       // category 1: listed by id
+  kReasonRandom = 1u << 1,          // category 2: random sample member
+  kReasonNeighbor = 1u << 2,        // neighbor of a category-1/2 vertex
+  kReasonVertexValue = 1u << 3,     // category 3: vertex-value constraint
+  kReasonMessageValue = 1u << 4,    // category 4: message-value constraint
+  kReasonException = 1u << 5,       // category 5: Compute() threw
+  kReasonAllActive = 1u << 6,       // capture-all-active mode
+};
+
+/// "spec|random|nbr|vv|msg|exc|active" style rendering of a reason mask.
+std::string CaptureReasonsToString(uint32_t reasons);
+
+/// Exception captured from a Compute() call (category 5). C++ has no
+/// portable stack traces without a dependency; `context` carries the
+/// synthesized frame description (algorithm, phase, vertex, superstep) that
+/// the Violations & Exceptions view displays where the paper shows a Java
+/// stack trace.
+struct ExceptionInfo {
+  std::string type;     // typeid name of the exception class
+  std::string message;  // what()
+  std::string context;  // synthesized "stack" context
+
+  void Write(BinaryWriter& w) const {
+    w.WriteString(type);
+    w.WriteString(message);
+    w.WriteString(context);
+  }
+  static Result<ExceptionInfo> Read(BinaryReader& r) {
+    ExceptionInfo e;
+    GRAFT_ASSIGN_OR_RETURN(e.type, r.ReadString());
+    GRAFT_ASSIGN_OR_RETURN(e.message, r.ReadString());
+    GRAFT_ASSIGN_OR_RETURN(e.context, r.ReadString());
+    return e;
+  }
+  friend bool operator==(const ExceptionInfo&, const ExceptionInfo&) = default;
+};
+
+/// One constraint violation (categories 3/4). `detail` holds the offending
+/// value rendered via ToString so the Violations view can show it without
+/// re-deserializing typed values.
+struct ViolationInfo {
+  enum class Kind : uint8_t { kVertexValue = 0, kMessageValue = 1 };
+
+  Kind kind = Kind::kVertexValue;
+  VertexId source = 0;       // the captured vertex
+  VertexId destination = 0;  // message target (kMessageValue only)
+  std::string detail;
+
+  void Write(BinaryWriter& w) const {
+    w.WriteU8(static_cast<uint8_t>(kind));
+    w.WriteSignedVarint(source);
+    w.WriteSignedVarint(destination);
+    w.WriteString(detail);
+  }
+  static Result<ViolationInfo> Read(BinaryReader& r) {
+    ViolationInfo v;
+    GRAFT_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+    if (kind > 1) {
+      return Status::OutOfRange("bad ViolationInfo kind");
+    }
+    v.kind = static_cast<Kind>(kind);
+    GRAFT_ASSIGN_OR_RETURN(v.source, r.ReadSignedVarint());
+    GRAFT_ASSIGN_OR_RETURN(v.destination, r.ReadSignedVarint());
+    GRAFT_ASSIGN_OR_RETURN(v.detail, r.ReadString());
+    return v;
+  }
+  friend bool operator==(const ViolationInfo&, const ViolationInfo&) = default;
+};
+
+/// The full captured context of one vertex.compute() call (§3.1): the five
+/// pieces of data the Giraph API exposes — id, out-edges, incoming messages,
+/// aggregators, global data — plus the RNG stream state (so replay is exact,
+/// DESIGN.md §1) and the observed outcome (new value, sent messages, halt
+/// decision, violations, exception) that the GUI displays and the Context
+/// Reproducer diffs replays against.
+template <pregel::JobTraits Traits>
+struct VertexTrace {
+  using VertexValue = typename Traits::VertexValue;
+  using EdgeValue = typename Traits::EdgeValue;
+  using Message = typename Traits::Message;
+  using EdgeT = pregel::Edge<EdgeValue>;
+
+  static constexpr uint8_t kFormatVersion = 1;
+
+  int64_t superstep = 0;
+  VertexId id = 0;
+  uint32_t reasons = 0;
+
+  // -- context (inputs to Compute) --
+  VertexValue value_before{};
+  std::vector<EdgeT> edges;  // at Compute() entry (see edges_snapshot_post)
+  std::vector<Message> incoming;
+  std::map<std::string, pregel::AggValue> aggregators;
+  int64_t total_vertices = 0;
+  int64_t total_edges = 0;
+  uint64_t rng_state = 0;
+  /// True when the capture decision was made only after Compute() ran (a
+  /// constraint fired mid-call), so `edges` was snapshotted post-call and
+  /// may reflect local edge mutations.
+  bool edges_snapshot_post = false;
+
+  // -- outcome (what Compute did) --
+  VertexValue value_after{};
+  bool halted_after = false;
+  std::vector<std::pair<VertexId, Message>> outgoing;
+  std::vector<std::pair<std::string, pregel::AggValue>> aggregations;
+  std::vector<ViolationInfo> violations;
+  std::optional<ExceptionInfo> exception;
+
+  void Write(BinaryWriter& w) const {
+    w.WriteU8(kFormatVersion);
+    w.WriteSignedVarint(superstep);
+    w.WriteSignedVarint(id);
+    w.WriteVarint(reasons);
+    value_before.Write(w);
+    w.WriteVarint(edges.size());
+    for (const EdgeT& e : edges) {
+      w.WriteSignedVarint(e.target);
+      e.value.Write(w);
+    }
+    w.WriteVarint(incoming.size());
+    for (const Message& m : incoming) m.Write(w);
+    w.WriteVarint(aggregators.size());
+    for (const auto& [name, value] : aggregators) {
+      w.WriteString(name);
+      value.Write(w);
+    }
+    w.WriteSignedVarint(total_vertices);
+    w.WriteSignedVarint(total_edges);
+    w.WriteFixed64(rng_state);
+    w.WriteBool(edges_snapshot_post);
+    value_after.Write(w);
+    w.WriteBool(halted_after);
+    w.WriteVarint(outgoing.size());
+    for (const auto& [target, m] : outgoing) {
+      w.WriteSignedVarint(target);
+      m.Write(w);
+    }
+    w.WriteVarint(aggregations.size());
+    for (const auto& [name, value] : aggregations) {
+      w.WriteString(name);
+      value.Write(w);
+    }
+    w.WriteVarint(violations.size());
+    for (const ViolationInfo& v : violations) v.Write(w);
+    w.WriteBool(exception.has_value());
+    if (exception.has_value()) exception->Write(w);
+  }
+
+  static Result<VertexTrace> Read(BinaryReader& r) {
+    GRAFT_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+    if (version != kFormatVersion) {
+      return Status::InvalidArgument("unsupported vertex trace version " +
+                                     std::to_string(version));
+    }
+    VertexTrace t;
+    GRAFT_ASSIGN_OR_RETURN(t.superstep, r.ReadSignedVarint());
+    GRAFT_ASSIGN_OR_RETURN(t.id, r.ReadSignedVarint());
+    GRAFT_ASSIGN_OR_RETURN(uint64_t reasons, r.ReadVarint());
+    t.reasons = static_cast<uint32_t>(reasons);
+    GRAFT_ASSIGN_OR_RETURN(t.value_before, VertexValue::Read(r));
+    GRAFT_ASSIGN_OR_RETURN(uint64_t num_edges, r.ReadVarint());
+    t.edges.reserve(num_edges);
+    for (uint64_t i = 0; i < num_edges; ++i) {
+      EdgeT e;
+      GRAFT_ASSIGN_OR_RETURN(e.target, r.ReadSignedVarint());
+      GRAFT_ASSIGN_OR_RETURN(e.value, EdgeValue::Read(r));
+      t.edges.push_back(std::move(e));
+    }
+    GRAFT_ASSIGN_OR_RETURN(uint64_t num_incoming, r.ReadVarint());
+    t.incoming.reserve(num_incoming);
+    for (uint64_t i = 0; i < num_incoming; ++i) {
+      GRAFT_ASSIGN_OR_RETURN(Message m, Message::Read(r));
+      t.incoming.push_back(std::move(m));
+    }
+    GRAFT_ASSIGN_OR_RETURN(uint64_t num_aggs, r.ReadVarint());
+    for (uint64_t i = 0; i < num_aggs; ++i) {
+      GRAFT_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+      GRAFT_ASSIGN_OR_RETURN(pregel::AggValue value,
+                             pregel::AggValue::Read(r));
+      t.aggregators.emplace(std::move(name), std::move(value));
+    }
+    GRAFT_ASSIGN_OR_RETURN(t.total_vertices, r.ReadSignedVarint());
+    GRAFT_ASSIGN_OR_RETURN(t.total_edges, r.ReadSignedVarint());
+    GRAFT_ASSIGN_OR_RETURN(t.rng_state, r.ReadFixed64());
+    GRAFT_ASSIGN_OR_RETURN(t.edges_snapshot_post, r.ReadBool());
+    GRAFT_ASSIGN_OR_RETURN(t.value_after, VertexValue::Read(r));
+    GRAFT_ASSIGN_OR_RETURN(t.halted_after, r.ReadBool());
+    GRAFT_ASSIGN_OR_RETURN(uint64_t num_outgoing, r.ReadVarint());
+    t.outgoing.reserve(num_outgoing);
+    for (uint64_t i = 0; i < num_outgoing; ++i) {
+      VertexId target;
+      GRAFT_ASSIGN_OR_RETURN(target, r.ReadSignedVarint());
+      GRAFT_ASSIGN_OR_RETURN(Message m, Message::Read(r));
+      t.outgoing.emplace_back(target, std::move(m));
+    }
+    GRAFT_ASSIGN_OR_RETURN(uint64_t num_aggregations, r.ReadVarint());
+    for (uint64_t i = 0; i < num_aggregations; ++i) {
+      GRAFT_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+      GRAFT_ASSIGN_OR_RETURN(pregel::AggValue value,
+                             pregel::AggValue::Read(r));
+      t.aggregations.emplace_back(std::move(name), std::move(value));
+    }
+    GRAFT_ASSIGN_OR_RETURN(uint64_t num_violations, r.ReadVarint());
+    for (uint64_t i = 0; i < num_violations; ++i) {
+      GRAFT_ASSIGN_OR_RETURN(ViolationInfo v, ViolationInfo::Read(r));
+      t.violations.push_back(std::move(v));
+    }
+    GRAFT_ASSIGN_OR_RETURN(bool has_exception, r.ReadBool());
+    if (has_exception) {
+      GRAFT_ASSIGN_OR_RETURN(ExceptionInfo e, ExceptionInfo::Read(r));
+      t.exception = std::move(e);
+    }
+    return t;
+  }
+
+  /// Serialized record for TraceStore::Append.
+  std::string Serialize() const {
+    BinaryWriter w;
+    Write(w);
+    return std::move(w.TakeBuffer());
+  }
+
+  static Result<VertexTrace> Deserialize(std::string_view record) {
+    BinaryReader r(record);
+    return Read(r);
+  }
+};
+
+/// Captured master.compute() context (§3.4, "just the aggregator values"):
+/// the aggregator values the master saw on entry (its full input context),
+/// the values after it returned (its observable output), and its halt
+/// decision. Replay re-runs Compute() from `aggregators` and diffs against
+/// `aggregators_after`/`halted`.
+struct MasterTrace {
+  static constexpr uint8_t kFormatVersion = 1;
+
+  int64_t superstep = 0;
+  int64_t total_vertices = 0;
+  int64_t total_edges = 0;
+  std::map<std::string, pregel::AggValue> aggregators;  // before Compute()
+  std::map<std::string, pregel::AggValue> aggregators_after;
+  bool halted = false;
+
+  void Write(BinaryWriter& w) const;
+  static Result<MasterTrace> Read(BinaryReader& r);
+  std::string Serialize() const;
+  static Result<MasterTrace> Deserialize(std::string_view record);
+};
+
+}  // namespace debug
+}  // namespace graft
+
+#endif  // GRAFT_DEBUG_VERTEX_TRACE_H_

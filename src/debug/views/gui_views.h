@@ -1,0 +1,500 @@
+#ifndef GRAFT_DEBUG_VIEWS_GUI_VIEWS_H_
+#define GRAFT_DEBUG_VIEWS_GUI_VIEWS_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/string_util.h"
+#include "debug/trace_reader.h"
+#include "debug/vertex_trace.h"
+#include "debug/views/text_table.h"
+#include "io/trace_store.h"
+
+namespace graft {
+namespace debug {
+
+/// Everything the Graft GUI shows for one superstep (§3.2): the captured
+/// vertex contexts, the master context, and the M/V/E status flags.
+template <pregel::JobTraits Traits>
+struct SuperstepSnapshot {
+  int64_t superstep = 0;
+  std::vector<VertexTrace<Traits>> traces;
+  std::optional<MasterTrace> master;
+
+  bool AnyMessageViolation() const {
+    for (const auto& t : traces) {
+      if ((t.reasons & kReasonMessageValue) != 0) return true;
+    }
+    return false;
+  }
+  bool AnyVertexValueViolation() const {
+    for (const auto& t : traces) {
+      if ((t.reasons & kReasonVertexValue) != 0) return true;
+    }
+    return false;
+  }
+  bool AnyException() const {
+    for (const auto& t : traces) {
+      if (t.exception.has_value()) return true;
+    }
+    return false;
+  }
+};
+
+template <pregel::JobTraits Traits>
+Result<SuperstepSnapshot<Traits>> LoadSnapshot(const TraceStore& store,
+                                               const std::string& job_id,
+                                               int64_t superstep) {
+  SuperstepSnapshot<Traits> snapshot;
+  snapshot.superstep = superstep;
+  GRAFT_ASSIGN_OR_RETURN(snapshot.traces, (ReadVertexTraces<Traits>(
+                                              store, job_id, superstep)));
+  auto master = ReadMasterTrace(store, job_id, superstep);
+  if (master.ok()) snapshot.master = std::move(master).value();
+  return snapshot;
+}
+
+namespace internal_views {
+
+inline std::string StatusFlags(bool msg_violation, bool vv_violation,
+                               bool exception) {
+  // The three boxes on the left of the paper's GUI: M (message constraint),
+  // V (vertex-value constraint), E (exception); "OK" = green, "RED" = red.
+  return StrFormat("[M] %s   [V] %s   [E] %s",
+                   msg_violation ? "RED" : "OK",
+                   vv_violation ? "RED" : "OK", exception ? "RED" : "OK");
+}
+
+inline std::string AggregatorLine(
+    const std::map<std::string, pregel::AggValue>& aggs) {
+  if (aggs.empty()) return "Aggregators: (none)";
+  std::string out = "Aggregators:";
+  for (const auto& [name, value] : aggs) {
+    out += " " + name + "=" + value.ToString();
+  }
+  return out;
+}
+
+}  // namespace internal_views
+
+/// Node-link View (§3.2, Figure 3): renders the captured vertices of a
+/// superstep as nodes with their values, active/inactive state and capture
+/// reasons, their adjacency (marking which neighbors are themselves
+/// captured — uncaptured neighbors appear id-only, like the paper's small
+/// nodes), incoming/outgoing messages, plus the aggregator panel and the
+/// M/V/E flags.
+template <pregel::JobTraits Traits>
+std::string RenderNodeLinkView(const SuperstepSnapshot<Traits>& snapshot,
+                               const std::string& job_id) {
+  std::set<VertexId> captured;
+  for (const auto& t : snapshot.traces) captured.insert(t.id);
+
+  std::string out = StrFormat(
+      "=== Graft GUI / Node-link View — job '%s' — superstep %lld ===\n",
+      job_id.c_str(), static_cast<long long>(snapshot.superstep));
+  out += internal_views::StatusFlags(snapshot.AnyMessageViolation(),
+                                     snapshot.AnyVertexValueViolation(),
+                                     snapshot.AnyException());
+  out.push_back('\n');
+  const std::map<std::string, pregel::AggValue>* aggs = nullptr;
+  if (!snapshot.traces.empty()) aggs = &snapshot.traces.front().aggregators;
+  if (snapshot.master.has_value()) aggs = &snapshot.master->aggregators_after;
+  if (aggs != nullptr) {
+    out += internal_views::AggregatorLine(*aggs);
+    out.push_back('\n');
+  }
+  if (!snapshot.traces.empty()) {
+    const auto& t = snapshot.traces.front();
+    out += StrFormat("Global: vertices=%lld edges=%lld\n",
+                     static_cast<long long>(t.total_vertices),
+                     static_cast<long long>(t.total_edges));
+  }
+  out.push_back('\n');
+  for (const auto& t : snapshot.traces) {
+    out += StrFormat("(%lld) %s -> %s  [%s]  reasons=%s\n",
+                     static_cast<long long>(t.id),
+                     t.value_before.ToString().c_str(),
+                     t.value_after.ToString().c_str(),
+                     t.halted_after ? "inactive" : "active",
+                     CaptureReasonsToString(t.reasons).c_str());
+    if (!t.edges.empty()) {
+      out += "  edges: ";
+      bool first = true;
+      for (const auto& e : t.edges) {
+        if (!first) out += ", ";
+        first = false;
+        out += std::to_string(e.target);
+        std::string ev = e.value.ToString();
+        if (ev != "-") out += "(" + ev + ")";
+        if (captured.count(e.target) != 0) out += "*";
+      }
+      out += "   (* = captured)\n";
+    }
+    for (const auto& m : t.incoming) {
+      out += "  in:  " + m.ToString() + "\n";
+    }
+    for (const auto& [target, m] : t.outgoing) {
+      out += StrFormat("  out: -> %lld  %s\n", static_cast<long long>(target),
+                       m.ToString().c_str());
+    }
+    if (t.exception.has_value()) {
+      out += "  EXCEPTION: " + t.exception->message + "\n";
+    }
+  }
+  return out;
+}
+
+/// Search filter for the Tabular View: matches a vertex by id, by neighbor
+/// id, by value substring, or by sent/received message substring (§3.2's
+/// "simple search feature").
+template <pregel::JobTraits Traits>
+bool TraceMatchesSearch(const VertexTrace<Traits>& trace,
+                        const std::string& query) {
+  if (query.empty()) return true;
+  if (std::to_string(trace.id) == query) return true;
+  for (const auto& e : trace.edges) {
+    if (std::to_string(e.target) == query) return true;
+  }
+  if (trace.value_before.ToString().find(query) != std::string::npos ||
+      trace.value_after.ToString().find(query) != std::string::npos) {
+    return true;
+  }
+  for (const auto& m : trace.incoming) {
+    if (m.ToString().find(query) != std::string::npos) return true;
+  }
+  for (const auto& [target, m] : trace.outgoing) {
+    (void)target;
+    if (m.ToString().find(query) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Tabular View (§3.2, Figure 4): one summary row per captured vertex; use
+/// `search` to narrow (empty = all). The row set is what the paper's GUI
+/// expands into full contexts on click — the full context lives in the
+/// returned traces themselves.
+template <pregel::JobTraits Traits>
+std::string RenderTabularView(const SuperstepSnapshot<Traits>& snapshot,
+                              const std::string& job_id,
+                              const std::string& search = "") {
+  std::string out = StrFormat(
+      "=== Graft GUI / Tabular View — job '%s' — superstep %lld%s ===\n",
+      job_id.c_str(), static_cast<long long>(snapshot.superstep),
+      search.empty() ? "" : (" — search '" + search + "'").c_str());
+  out += internal_views::StatusFlags(snapshot.AnyMessageViolation(),
+                                     snapshot.AnyVertexValueViolation(),
+                                     snapshot.AnyException());
+  out.push_back('\n');
+  TextTable table({"id", "value before", "value after", "deg", "in", "out",
+                   "state", "reasons"});
+  for (const auto& t : snapshot.traces) {
+    if (!TraceMatchesSearch(t, search)) continue;
+    table.AddRow({std::to_string(t.id), Ellipsize(t.value_before.ToString(), 28),
+                  Ellipsize(t.value_after.ToString(), 28),
+                  std::to_string(t.edges.size()),
+                  std::to_string(t.incoming.size()),
+                  std::to_string(t.outgoing.size()),
+                  t.halted_after ? "inactive" : "active",
+                  CaptureReasonsToString(t.reasons)});
+  }
+  out += table.Render();
+  out += StrFormat("%zu vertices\n", table.num_rows());
+  return out;
+}
+
+/// Violations and Exceptions View (§3.2, Figure 5): the vertices that
+/// violated a constraint or raised an exception, with the offending value
+/// or the error message.
+template <pregel::JobTraits Traits>
+std::string RenderViolationsView(const SuperstepSnapshot<Traits>& snapshot,
+                                 const std::string& job_id) {
+  std::string out = StrFormat(
+      "=== Graft GUI / Violations & Exceptions — job '%s' — superstep %lld "
+      "===\n",
+      job_id.c_str(), static_cast<long long>(snapshot.superstep));
+  TextTable table({"kind", "vertex", "dst", "detail"});
+  for (const auto& t : snapshot.traces) {
+    for (const auto& v : t.violations) {
+      table.AddRow(
+          {v.kind == ViolationInfo::Kind::kVertexValue ? "vertex-value"
+                                                       : "message-value",
+           std::to_string(v.source),
+           v.kind == ViolationInfo::Kind::kMessageValue
+               ? std::to_string(v.destination)
+               : "-",
+           Ellipsize(v.detail, 48)});
+    }
+    if (t.exception.has_value()) {
+      table.AddRow({"exception", std::to_string(t.id), "-",
+                    Ellipsize(t.exception->type + ": " + t.exception->message +
+                                  " @ " + t.exception->context,
+                              72)});
+    }
+  }
+  out += table.Render();
+  out += StrFormat("%zu violations/exceptions\n", table.num_rows());
+  return out;
+}
+
+/// Graphviz DOT export of the node-link view — captured vertices as labeled
+/// nodes (dimmed when inactive, paper-style), uncaptured neighbors as small
+/// id-only nodes.
+template <pregel::JobTraits Traits>
+std::string ExportNodeLinkDot(const SuperstepSnapshot<Traits>& snapshot) {
+  std::set<VertexId> captured;
+  for (const auto& t : snapshot.traces) captured.insert(t.id);
+  std::string out = "digraph graft {\n  rankdir=LR;\n";
+  std::set<VertexId> emitted_small;
+  for (const auto& t : snapshot.traces) {
+    out += StrFormat(
+        "  v%lld [shape=box, style=%s, label=\"%lld\\n%s\"];\n",
+        static_cast<long long>(t.id), t.halted_after ? "dashed" : "solid",
+        static_cast<long long>(t.id),
+        JsonWriter::Escape(t.value_after.ToString()).c_str());
+    for (const auto& e : t.edges) {
+      if (captured.count(e.target) == 0 &&
+          emitted_small.insert(e.target).second) {
+        out += StrFormat("  v%lld [shape=point, label=\"%lld\"];\n",
+                         static_cast<long long>(e.target),
+                         static_cast<long long>(e.target));
+      }
+      out += StrFormat("  v%lld -> v%lld;\n", static_cast<long long>(t.id),
+                       static_cast<long long>(e.target));
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+/// Full-fidelity JSON export of a superstep snapshot, the interchange format
+/// a browser front-end (the paper's actual GUI) would consume.
+template <pregel::JobTraits Traits>
+std::string ExportSnapshotJson(const SuperstepSnapshot<Traits>& snapshot,
+                               const std::string& job_id) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("job", job_id);
+  w.KV("superstep", snapshot.superstep);
+  w.KV("message_violation", snapshot.AnyMessageViolation());
+  w.KV("vertex_value_violation", snapshot.AnyVertexValueViolation());
+  w.KV("exception", snapshot.AnyException());
+  if (snapshot.master.has_value()) {
+    w.Key("master");
+    w.BeginObject();
+    w.KV("halted", snapshot.master->halted);
+    w.Key("aggregators");
+    w.BeginObject();
+    for (const auto& [name, value] : snapshot.master->aggregators_after) {
+      w.KV(name, value.ToString());
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.Key("vertices");
+  w.BeginArray();
+  for (const auto& t : snapshot.traces) {
+    w.BeginObject();
+    w.KV("id", t.id);
+    w.KV("reasons", CaptureReasonsToString(t.reasons));
+    w.KV("value_before", t.value_before.ToString());
+    w.KV("value_after", t.value_after.ToString());
+    w.KV("inactive", t.halted_after);
+    w.Key("edges");
+    w.BeginArray();
+    for (const auto& e : t.edges) {
+      w.BeginObject();
+      w.KV("target", e.target);
+      w.KV("value", e.value.ToString());
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("incoming");
+    w.BeginArray();
+    for (const auto& m : t.incoming) w.String(m.ToString());
+    w.EndArray();
+    w.Key("outgoing");
+    w.BeginArray();
+    for (const auto& [target, m] : t.outgoing) {
+      w.BeginObject();
+      w.KV("target", target);
+      w.KV("message", m.ToString());
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("violations");
+    w.BeginArray();
+    for (const auto& v : t.violations) w.String(v.detail);
+    w.EndArray();
+    if (t.exception.has_value()) {
+      w.KV("exception", t.exception->type + ": " + t.exception->message);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+/// Self-contained HTML page for a superstep snapshot — the closest artifact
+/// to the paper's browser GUI screenshots (Figures 3-5): the M/V/E status
+/// bar, the aggregator panel, the tabular view, and the violations table.
+template <pregel::JobTraits Traits>
+std::string ExportSnapshotHtml(const SuperstepSnapshot<Traits>& snapshot,
+                               const std::string& job_id) {
+  auto esc = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        case '&': out += "&amp;"; break;
+        default: out.push_back(c);
+      }
+    }
+    return out;
+  };
+  auto flag = [](bool red) {
+    return red ? "<span class=\"red\">RED</span>"
+               : "<span class=\"ok\">OK</span>";
+  };
+  std::string html =
+      "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+      "<title>Graft — " + esc(job_id) + "</title>\n"
+      "<style>body{font-family:monospace}table{border-collapse:collapse}"
+      "td,th{border:1px solid #999;padding:2px 6px}"
+      ".red{color:#fff;background:#c00;padding:1px 4px}"
+      ".ok{color:#fff;background:#090;padding:1px 4px}"
+      ".inactive{color:#999}</style></head><body>\n";
+  html += StrFormat("<h1>Graft GUI — job '%s' — superstep %lld</h1>\n",
+                    esc(job_id).c_str(),
+                    static_cast<long long>(snapshot.superstep));
+  html += "<p>[M] " + std::string(flag(snapshot.AnyMessageViolation())) +
+          " [V] " + flag(snapshot.AnyVertexValueViolation()) + " [E] " +
+          flag(snapshot.AnyException()) + "</p>\n";
+  if (snapshot.master.has_value()) {
+    html += "<h2>Aggregators</h2><table><tr><th>name</th><th>value</th></tr>";
+    for (const auto& [name, value] : snapshot.master->aggregators_after) {
+      html += "<tr><td>" + esc(name) + "</td><td>" +
+              esc(value.ToString()) + "</td></tr>";
+    }
+    html += "</table>\n";
+  }
+  html += "<h2>Captured vertices</h2>\n<table><tr><th>id</th><th>value</th>"
+          "<th>edges</th><th>in</th><th>out</th><th>reasons</th></tr>\n";
+  for (const auto& t : snapshot.traces) {
+    html += StrFormat("<tr%s><td>%lld</td><td>%s</td><td>%zu</td>"
+                      "<td>%zu</td><td>%zu</td><td>%s</td></tr>\n",
+                      t.halted_after ? " class=\"inactive\"" : "",
+                      static_cast<long long>(t.id),
+                      esc(t.value_after.ToString()).c_str(), t.edges.size(),
+                      t.incoming.size(), t.outgoing.size(),
+                      CaptureReasonsToString(t.reasons).c_str());
+  }
+  html += "</table>\n<h2>Violations &amp; exceptions</h2>\n"
+          "<table><tr><th>kind</th><th>vertex</th><th>detail</th></tr>\n";
+  for (const auto& t : snapshot.traces) {
+    for (const auto& v : t.violations) {
+      html += StrFormat(
+          "<tr><td>%s</td><td>%lld</td><td>%s</td></tr>\n",
+          v.kind == ViolationInfo::Kind::kVertexValue ? "vertex-value"
+                                                      : "message-value",
+          static_cast<long long>(v.source), esc(v.detail).c_str());
+    }
+    if (t.exception.has_value()) {
+      html += StrFormat("<tr><td>exception</td><td>%lld</td><td>%s</td></tr>\n",
+                        static_cast<long long>(t.id),
+                        esc(t.exception->message).c_str());
+    }
+  }
+  html += "</table>\n</body></html>\n";
+  return html;
+}
+
+/// Stateful wrapper bundling the three views with Next/Previous superstep
+/// stepping — the terminal incarnation of the paper's browser GUI.
+template <pregel::JobTraits Traits>
+class GraftGui {
+ public:
+  GraftGui(const TraceStore* store, std::string job_id)
+      : store_(store), job_id_(std::move(job_id)) {
+    supersteps_ = ListCapturedSupersteps(*store_, job_id_);
+  }
+
+  bool HasCaptures() const { return !supersteps_.empty(); }
+  const std::vector<int64_t>& supersteps() const { return supersteps_; }
+  int64_t current_superstep() const {
+    return supersteps_.empty() ? -1 : supersteps_[cursor_];
+  }
+
+  /// "Play supersteps": move the cursor. Clamped at the ends.
+  void SeekFirst() { cursor_ = 0; }
+  void SeekLast() {
+    cursor_ = supersteps_.empty() ? 0 : supersteps_.size() - 1;
+  }
+  bool NextSuperstep() {
+    if (cursor_ + 1 >= supersteps_.size()) return false;
+    ++cursor_;
+    return true;
+  }
+  bool PreviousSuperstep() {
+    if (cursor_ == 0) return false;
+    --cursor_;
+    return true;
+  }
+  Status SeekTo(int64_t superstep) {
+    for (size_t i = 0; i < supersteps_.size(); ++i) {
+      if (supersteps_[i] == superstep) {
+        cursor_ = i;
+        return Status::OK();
+      }
+    }
+    return Status::NotFound("no captures in superstep " +
+                            std::to_string(superstep));
+  }
+
+  Result<SuperstepSnapshot<Traits>> Snapshot() const {
+    if (supersteps_.empty()) {
+      return Status::NotFound("job '" + job_id_ + "' has no captures");
+    }
+    return LoadSnapshot<Traits>(*store_, job_id_, current_superstep());
+  }
+
+  Result<std::string> NodeLinkView() const {
+    GRAFT_ASSIGN_OR_RETURN(auto snapshot, Snapshot());
+    return RenderNodeLinkView(snapshot, job_id_);
+  }
+  Result<std::string> TabularView(const std::string& search = "") const {
+    GRAFT_ASSIGN_OR_RETURN(auto snapshot, Snapshot());
+    return RenderTabularView(snapshot, job_id_, search);
+  }
+  Result<std::string> ViolationsView() const {
+    GRAFT_ASSIGN_OR_RETURN(auto snapshot, Snapshot());
+    return RenderViolationsView(snapshot, job_id_);
+  }
+  Result<std::string> DotExport() const {
+    GRAFT_ASSIGN_OR_RETURN(auto snapshot, Snapshot());
+    return ExportNodeLinkDot(snapshot);
+  }
+  Result<std::string> JsonExport() const {
+    GRAFT_ASSIGN_OR_RETURN(auto snapshot, Snapshot());
+    return ExportSnapshotJson(snapshot, job_id_);
+  }
+  Result<std::string> HtmlExport() const {
+    GRAFT_ASSIGN_OR_RETURN(auto snapshot, Snapshot());
+    return ExportSnapshotHtml(snapshot, job_id_);
+  }
+
+ private:
+  const TraceStore* store_;
+  std::string job_id_;
+  std::vector<int64_t> supersteps_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace debug
+}  // namespace graft
+
+#endif  // GRAFT_DEBUG_VIEWS_GUI_VIEWS_H_

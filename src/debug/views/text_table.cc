@@ -1,0 +1,48 @@
+#include "debug/views/text_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace graft {
+namespace debug {
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  GRAFT_CHECK(cells.size() == headers_.size())
+      << "row arity " << cells.size() << " != header arity "
+      << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += " | ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line.push_back('\n');
+    return line;
+  };
+  std::string out = render_row(headers_);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) out += "-+-";
+    out.append(widths[c], '-');
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace debug
+}  // namespace graft

@@ -1,0 +1,36 @@
+#ifndef GRAFT_DEBUG_VIEWS_TEXT_TABLE_H_
+#define GRAFT_DEBUG_VIEWS_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace graft {
+namespace debug {
+
+/// Fixed-width text table renderer shared by the Tabular and Violations
+/// views and the benchmark harness output. Columns auto-size to content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.:
+  ///   id   | value      | state
+  ///   -----+------------+-------
+  ///   672  | color=-1   | IN_SET
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace debug
+}  // namespace graft
+
+#endif  // GRAFT_DEBUG_VIEWS_TEXT_TABLE_H_

@@ -1,0 +1,142 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/graph_text.h"
+
+namespace graft {
+namespace graph {
+
+std::vector<std::string> PremadeGraphMenu() {
+  return {"ring", "grid", "complete", "binary-tree", "star", "triangle"};
+}
+
+Result<GraphBuilder> GraphBuilder::FromPremade(const std::string& name,
+                                               int size_hint) {
+  if (size_hint < 3) size_hint = 3;
+  if (name == "ring") {
+    return FromGraph(GenerateRing(static_cast<uint64_t>(size_hint)));
+  }
+  if (name == "grid") {
+    int side = 2;
+    while (side * side < size_hint) ++side;
+    return FromGraph(GenerateGrid(side, side));
+  }
+  if (name == "complete") return FromGraph(GenerateComplete(size_hint));
+  if (name == "binary-tree") {
+    return FromGraph(GenerateBinaryTree(static_cast<uint64_t>(size_hint)));
+  }
+  if (name == "star") {
+    return FromGraph(GenerateStar(static_cast<uint64_t>(size_hint)));
+  }
+  if (name == "triangle") return FromGraph(GenerateComplete(3));
+  return Status::NotFound("unknown premade graph: " + name);
+}
+
+GraphBuilder GraphBuilder::FromGraph(const SimpleGraph& g) {
+  GraphBuilder b;
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    b.vertices_.push_back(g.IdAt(i));
+    for (const auto& e : g.OutEdges(i)) {
+      b.edges_.push_back(Edge{g.IdAt(i), e.target, e.weight});
+    }
+  }
+  return b;
+}
+
+bool GraphBuilder::HasVertex(VertexId id) const {
+  return std::find(vertices_.begin(), vertices_.end(), id) != vertices_.end();
+}
+
+bool GraphBuilder::HasEdge(VertexId source, VertexId target) const {
+  return std::any_of(edges_.begin(), edges_.end(), [&](const Edge& e) {
+    return e.source == source && e.target == target;
+  });
+}
+
+size_t GraphBuilder::NumVertices() const { return vertices_.size(); }
+uint64_t GraphBuilder::NumEdges() const { return edges_.size(); }
+
+Status GraphBuilder::AddVertex(VertexId id) {
+  if (HasVertex(id)) {
+    return Status::AlreadyExists("vertex " + std::to_string(id) +
+                                 " already exists");
+  }
+  vertices_.push_back(id);
+  return Status::OK();
+}
+
+Status GraphBuilder::RemoveVertex(VertexId id) {
+  auto it = std::find(vertices_.begin(), vertices_.end(), id);
+  if (it == vertices_.end()) {
+    return Status::NotFound("vertex " + std::to_string(id) + " not found");
+  }
+  vertices_.erase(it);
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [&](const Edge& e) {
+                                return e.source == id || e.target == id;
+                              }),
+               edges_.end());
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdge(VertexId source, VertexId target, double weight) {
+  if (!HasVertex(source)) vertices_.push_back(source);
+  if (!HasVertex(target)) vertices_.push_back(target);
+  if (HasEdge(source, target)) {
+    return Status::AlreadyExists("edge " + std::to_string(source) + "->" +
+                                 std::to_string(target) + " already exists");
+  }
+  edges_.push_back(Edge{source, target, weight});
+  return Status::OK();
+}
+
+Status GraphBuilder::AddUndirectedEdge(VertexId a, VertexId b, double weight) {
+  GRAFT_RETURN_NOT_OK(AddEdge(a, b, weight));
+  return AddEdge(b, a, weight);
+}
+
+Status GraphBuilder::RemoveEdge(VertexId source, VertexId target) {
+  auto it = std::find_if(edges_.begin(), edges_.end(), [&](const Edge& e) {
+    return e.source == source && e.target == target;
+  });
+  if (it == edges_.end()) {
+    return Status::NotFound("edge " + std::to_string(source) + "->" +
+                            std::to_string(target) + " not found");
+  }
+  edges_.erase(it);
+  return Status::OK();
+}
+
+Status GraphBuilder::SetEdgeWeight(VertexId source, VertexId target,
+                                   double weight) {
+  for (Edge& e : edges_) {
+    if (e.source == source && e.target == target) {
+      e.weight = weight;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("edge " + std::to_string(source) + "->" +
+                          std::to_string(target) + " not found");
+}
+
+Status GraphBuilder::SetUndirectedEdgeWeight(VertexId a, VertexId b,
+                                             double weight) {
+  GRAFT_RETURN_NOT_OK(SetEdgeWeight(a, b, weight));
+  return SetEdgeWeight(b, a, weight);
+}
+
+SimpleGraph GraphBuilder::Build() const {
+  SimpleGraph g;
+  for (VertexId v : vertices_) g.AddVertex(v);
+  for (const Edge& e : edges_) g.AddEdge(e.source, e.target, e.weight);
+  return g;
+}
+
+std::string GraphBuilder::ToAdjacencyText() const {
+  return WriteAdjacencyText(Build());
+}
+
+}  // namespace graph
+}  // namespace graft

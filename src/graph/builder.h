@@ -1,0 +1,71 @@
+#ifndef GRAFT_GRAPH_BUILDER_H_
+#define GRAFT_GRAPH_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/simple_graph.h"
+
+namespace graft {
+namespace graph {
+
+/// Programmatic equivalent of the Graft GUI's "offline mode" (§3.4): users
+/// construct small test graphs vertex-by-vertex and edge-by-edge, edit
+/// weights, pick premade graphs from a menu, and export either the
+/// adjacency-list text file or code for an end-to-end test.
+///
+/// Unlike SimpleGraph (a passive container), the builder validates edits:
+/// duplicate edges, edits to missing vertices/edges, and malformed weights
+/// are reported instead of silently accepted, because the artifact feeds
+/// end-to-end tests where a mistyped graph wastes a debugging session.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Starts from a premade graph (see PremadeGraphMenu()).
+  static Result<GraphBuilder> FromPremade(const std::string& name,
+                                          int size_hint = 8);
+
+  /// Starts from an existing graph.
+  static GraphBuilder FromGraph(const SimpleGraph& g);
+
+  Status AddVertex(VertexId id);
+  Status RemoveVertex(VertexId id);
+  Status AddEdge(VertexId source, VertexId target, double weight = 1.0);
+  Status AddUndirectedEdge(VertexId a, VertexId b, double weight = 1.0);
+  Status RemoveEdge(VertexId source, VertexId target);
+  Status SetEdgeWeight(VertexId source, VertexId target, double weight);
+  /// Sets both (a,b) and (b,a) weights, keeping the graph symmetric.
+  Status SetUndirectedEdgeWeight(VertexId a, VertexId b, double weight);
+
+  bool HasVertex(VertexId id) const;
+  bool HasEdge(VertexId source, VertexId target) const;
+  size_t NumVertices() const;
+  uint64_t NumEdges() const;
+
+  /// Materializes the current state.
+  SimpleGraph Build() const;
+
+  /// The adjacency-list text file artifact (§3.4 "obtain a text file").
+  std::string ToAdjacencyText() const;
+
+ private:
+  struct Edge {
+    VertexId source;
+    VertexId target;
+    double weight;
+  };
+
+  std::vector<VertexId> vertices_;
+  std::vector<Edge> edges_;
+};
+
+/// Names accepted by GraphBuilder::FromPremade — the GUI's premade-graph
+/// menu: "ring", "grid", "complete", "binary-tree", "star", "triangle".
+std::vector<std::string> PremadeGraphMenu();
+
+}  // namespace graph
+}  // namespace graft
+
+#endif  // GRAFT_GRAPH_BUILDER_H_

@@ -1,0 +1,73 @@
+#include "graph/datasets.h"
+
+#include "common/logging.h"
+#include "graph/generators.h"
+
+namespace graft {
+namespace graph {
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec>* specs = new std::vector<DatasetSpec>{
+      // Table 1 (demo datasets).
+      {"web-BS", "A web graph from 2002", DatasetFamily::kWebGraph,
+       685'000, 7'600'000, 12'300'000, /*edges_per_vertex=*/11,
+       /*demo_table=*/true},
+      {"soc-Epinions", "Epinions.com \"who trusts whom\" network",
+       DatasetFamily::kSocialNetwork, 76'000, 500'000, 780'000,
+       /*edges_per_vertex=*/7, /*demo_table=*/true},
+      {"bipartite-1M-3M", "A 3-regular bipartite graph",
+       DatasetFamily::kBipartite, 1'000'000, 0, 6'000'000,
+       /*edges_per_vertex=*/3, /*demo_table=*/true},
+      // Table 2 (performance datasets).
+      {"sk-2005", "Web graph of the .sk domain from 2005",
+       DatasetFamily::kWebGraph, 51'000'000, 1'900'000'000, 3'500'000'000,
+       /*edges_per_vertex=*/37, /*demo_table=*/false},
+      {"twitter", "Twitter \"who is followed by who\" network",
+       DatasetFamily::kSocialNetwork, 42'000'000, 1'500'000'000,
+       2'700'000'000, /*edges_per_vertex=*/36, /*demo_table=*/false},
+      {"bipartite-2B-6B", "A 3-regular bipartite graph",
+       DatasetFamily::kBipartite, 2'000'000'000, 0, 12'000'000'000ULL,
+       /*edges_per_vertex=*/3, /*demo_table=*/false},
+  };
+  return *specs;
+}
+
+Result<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+uint64_t ScaledVertexCount(const DatasetSpec& spec,
+                           const DatasetOptions& options) {
+  GRAFT_CHECK(options.scale_denominator >= 1);
+  uint64_t n = spec.paper_vertices / options.scale_denominator;
+  // Keep enough vertices for the generators to be well-defined.
+  uint64_t floor = static_cast<uint64_t>(spec.edges_per_vertex) * 2 + 2;
+  if (n < floor) n = floor;
+  if (spec.family == DatasetFamily::kBipartite && n % 2 != 0) ++n;
+  return n;
+}
+
+Result<SimpleGraph> MakeDataset(const std::string& name,
+                                const DatasetOptions& options) {
+  GRAFT_ASSIGN_OR_RETURN(DatasetSpec spec, FindDataset(name));
+  uint64_t n = ScaledVertexCount(spec, options);
+  switch (spec.family) {
+    case DatasetFamily::kWebGraph:
+    case DatasetFamily::kSocialNetwork: {
+      SimpleGraph g = GeneratePowerLaw(n, spec.edges_per_vertex, options.seed);
+      if (options.undirected) return MakeUndirected(g);
+      return g;
+    }
+    case DatasetFamily::kBipartite: {
+      // Already stored as symmetric directed edges (undirected).
+      return GenerateRegularBipartite(n, spec.edges_per_vertex, options.seed);
+    }
+  }
+  return Status::Internal("unreachable dataset family");
+}
+
+}  // namespace graph
+}  // namespace graft

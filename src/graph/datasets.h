@@ -1,0 +1,67 @@
+#ifndef GRAFT_GRAPH_DATASETS_H_
+#define GRAFT_GRAPH_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/simple_graph.h"
+
+namespace graft {
+namespace graph {
+
+/// Which synthetic family reproduces a dataset's shape.
+enum class DatasetFamily {
+  kWebGraph,       // power-law, directed (web-BS, sk-2005)
+  kSocialNetwork,  // power-law, directed (soc-Epinions, twitter)
+  kBipartite,      // d-regular bipartite, undirected
+};
+
+/// Registry entry for one of the paper's datasets (Tables 1 and 2). The
+/// paper's graphs are proprietary or web-crawl downloads; we regenerate
+/// synthetic graphs with the same family, vertex count and average degree
+/// (see DESIGN.md substitutions).
+struct DatasetSpec {
+  std::string name;
+  std::string description;
+  DatasetFamily family;
+  /// Paper-reported sizes (directed edge counts; 0 when not reported).
+  uint64_t paper_vertices;
+  uint64_t paper_directed_edges;
+  uint64_t paper_undirected_edges;
+  /// Generator parameters reproducing the shape at scale 1.
+  int edges_per_vertex;  // power-law attachment count / bipartite degree
+  bool demo_table;       // Table 1 (demo) vs Table 2 (performance)
+};
+
+/// All six specs: web-BS, soc-Epinions, bipartite-1M-3M (Table 1) and
+/// sk-2005, twitter, bipartite-2B-6B (Table 2).
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Looks a spec up by name.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Options controlling dataset materialization.
+struct DatasetOptions {
+  /// Divide the paper's vertex count by this factor (degree parameters are
+  /// preserved, so per-vertex work matches the paper's shape). Table 2
+  /// graphs do not fit one machine at scale 1.
+  uint64_t scale_denominator = 1;
+  /// Generate the undirected (u) variant (symmetrized).
+  bool undirected = false;
+  uint64_t seed = 42;
+};
+
+/// Materializes a dataset.
+Result<SimpleGraph> MakeDataset(const std::string& name,
+                                const DatasetOptions& options = {});
+
+/// Number of vertices `MakeDataset` will generate for the spec and options.
+uint64_t ScaledVertexCount(const DatasetSpec& spec,
+                           const DatasetOptions& options);
+
+}  // namespace graph
+}  // namespace graft
+
+#endif  // GRAFT_GRAPH_DATASETS_H_

@@ -1,0 +1,294 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace graft {
+namespace graph {
+
+SimpleGraph GeneratePowerLaw(uint64_t n, int edges_per_vertex, uint64_t seed) {
+  GRAFT_CHECK(edges_per_vertex >= 1);
+  const uint64_t m = static_cast<uint64_t>(edges_per_vertex);
+  SimpleGraph g;
+  g.Reserve(n);
+  Rng rng(Mix64(seed ^ 0x77ebULL));
+
+  // Seed clique over the first m+1 vertices (or a path if n is tiny).
+  uint64_t seed_size = std::min<uint64_t>(n, m + 1);
+  for (uint64_t v = 0; v < seed_size; ++v) {
+    g.AddVertex(static_cast<VertexId>(v));
+  }
+  // Endpoint pool for degree-proportional sampling: every time a vertex
+  // gains an edge endpoint it is appended once, so sampling uniformly from
+  // the pool samples vertices proportional to degree.
+  std::vector<VertexId> pool;
+  pool.reserve(2 * n * m);
+  for (uint64_t v = 1; v < seed_size; ++v) {
+    g.AddEdge(static_cast<VertexId>(v), static_cast<VertexId>(v - 1));
+    pool.push_back(static_cast<VertexId>(v));
+    pool.push_back(static_cast<VertexId>(v - 1));
+  }
+
+  std::vector<VertexId> chosen;
+  for (uint64_t v = seed_size; v < n; ++v) {
+    chosen.clear();
+    uint64_t attach = std::min<uint64_t>(m, v);
+    // Sample `attach` distinct earlier vertices proportional to degree.
+    int attempts = 0;
+    while (chosen.size() < attach) {
+      VertexId t = pool.empty()
+                       ? static_cast<VertexId>(rng.NextBounded(v))
+                       : pool[rng.NextBounded(pool.size())];
+      if (++attempts > 64) {
+        // Degenerate corner (tiny graphs): fall back to uniform sampling.
+        t = static_cast<VertexId>(rng.NextBounded(v));
+      }
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+        attempts = 0;
+      }
+    }
+    VertexId vid = static_cast<VertexId>(v);
+    g.AddVertex(vid);
+    for (VertexId t : chosen) {
+      g.AddEdge(vid, t);
+      pool.push_back(vid);
+      pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+SimpleGraph GenerateRegularBipartite(uint64_t n, int degree, uint64_t seed) {
+  GRAFT_CHECK(n % 2 == 0) << "bipartite generator needs an even vertex count";
+  GRAFT_CHECK(degree >= 1);
+  const uint64_t half = n / 2;
+  GRAFT_CHECK(static_cast<uint64_t>(degree) <= half)
+      << "degree exceeds side size";
+  SimpleGraph g;
+  g.Reserve(n);
+  for (uint64_t v = 0; v < n; ++v) g.AddVertex(static_cast<VertexId>(v));
+
+  // d distinct random cyclic shifts: L[i] -- R[(i + shift_r) mod half].
+  // Distinct shifts guarantee exact d-regularity with no duplicate edges.
+  Rng rng(Mix64(seed ^ 0xb1aaULL));
+  std::unordered_set<uint64_t> shifts;
+  while (shifts.size() < static_cast<uint64_t>(degree)) {
+    shifts.insert(rng.NextBounded(half));
+  }
+  for (uint64_t shift : shifts) {
+    for (uint64_t i = 0; i < half; ++i) {
+      VertexId left = static_cast<VertexId>(i);
+      VertexId right = static_cast<VertexId>(half + (i + shift) % half);
+      g.AddUndirectedEdge(left, right);
+    }
+  }
+  return g;
+}
+
+SimpleGraph GenerateErdosRenyi(uint64_t n, uint64_t m, uint64_t seed) {
+  GRAFT_CHECK(n >= 2);
+  SimpleGraph g;
+  g.Reserve(n);
+  for (uint64_t v = 0; v < n; ++v) g.AddVertex(static_cast<VertexId>(v));
+  Rng rng(Mix64(seed ^ 0xe12dULL));
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  uint64_t added = 0;
+  while (added < m) {
+    uint64_t u = rng.NextBounded(n);
+    uint64_t v = rng.NextBounded(n);
+    if (u == v) continue;
+    uint64_t key = u * n + v;
+    if (!seen.insert(key).second) continue;
+    g.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    ++added;
+  }
+  return g;
+}
+
+SimpleGraph GenerateGrid(int rows, int cols) {
+  GRAFT_CHECK(rows >= 1 && cols >= 1);
+  SimpleGraph g;
+  auto id = [cols](int r, int c) {
+    return static_cast<VertexId>(r) * cols + c;
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      g.AddVertex(id(r, c));
+      if (c + 1 < cols) g.AddUndirectedEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.AddUndirectedEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+SimpleGraph GenerateRing(uint64_t n) {
+  GRAFT_CHECK(n >= 3);
+  SimpleGraph g;
+  for (uint64_t v = 0; v < n; ++v) g.AddVertex(static_cast<VertexId>(v));
+  for (uint64_t v = 0; v < n; ++v) {
+    g.AddUndirectedEdge(static_cast<VertexId>(v),
+                        static_cast<VertexId>((v + 1) % n));
+  }
+  return g;
+}
+
+SimpleGraph GenerateComplete(int n) {
+  GRAFT_CHECK(n >= 1);
+  SimpleGraph g;
+  for (int v = 0; v < n; ++v) g.AddVertex(v);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.AddUndirectedEdge(u, v);
+  }
+  return g;
+}
+
+SimpleGraph GenerateBinaryTree(uint64_t n) {
+  GRAFT_CHECK(n >= 1);
+  SimpleGraph g;
+  g.AddVertex(0);
+  for (uint64_t v = 1; v < n; ++v) {
+    g.AddUndirectedEdge(static_cast<VertexId>((v - 1) / 2),
+                        static_cast<VertexId>(v));
+  }
+  return g;
+}
+
+SimpleGraph GenerateStar(uint64_t n) {
+  GRAFT_CHECK(n >= 2);
+  SimpleGraph g;
+  g.AddVertex(0);
+  for (uint64_t v = 1; v < n; ++v) {
+    g.AddUndirectedEdge(0, static_cast<VertexId>(v));
+  }
+  return g;
+}
+
+SimpleGraph MakeUndirected(const SimpleGraph& g) {
+  // Snapshot sorted target lists for O(log d) reverse-edge membership tests.
+  size_t n = g.NumVertices();
+  std::vector<std::vector<VertexId>> sorted_targets(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& edges = g.OutEdges(i);
+    sorted_targets[i].reserve(edges.size());
+    for (const auto& e : edges) sorted_targets[i].push_back(e.target);
+    std::sort(sorted_targets[i].begin(), sorted_targets[i].end());
+  }
+  SimpleGraph out = g;
+  for (size_t i = 0; i < n; ++i) {
+    VertexId u = g.IdAt(i);
+    for (const auto& e : g.OutEdges(i)) {
+      size_t j = g.IndexOf(e.target).value();
+      const auto& rev = sorted_targets[j];
+      if (!std::binary_search(rev.begin(), rev.end(), u)) {
+        out.AddEdge(e.target, u, e.weight);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Deterministic weight for the unordered pair {u, v}: both directions of a
+/// symmetric edge get the same draw without any pair bookkeeping.
+double PairWeight(uint64_t seed, VertexId u, VertexId v, double lo,
+                  double hi) {
+  VertexId a = std::min(u, v);
+  VertexId b = std::max(u, v);
+  uint64_t h = Mix64(seed ^ Mix64(static_cast<uint64_t>(a)) ^
+                     Mix64(static_cast<uint64_t>(b) * 0x9e3779b97f4a7c15ULL));
+  double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+}  // namespace
+
+void AssignRandomWeights(SimpleGraph* g, double lo, double hi, uint64_t seed,
+                         bool symmetric) {
+  for (size_t i = 0; i < g->NumVertices(); ++i) {
+    VertexId u = g->IdAt(i);
+    for (auto& e : g->MutableOutEdges(i)) {
+      if (symmetric) {
+        e.weight = PairWeight(seed, u, e.target, lo, hi);
+      } else {
+        uint64_t h = Mix64(seed ^ Mix64(static_cast<uint64_t>(u)) ^
+                           (static_cast<uint64_t>(e.target) * 0x2545f49ULL));
+        e.weight = lo + (static_cast<double>(h >> 11) * 0x1.0p-53) * (hi - lo);
+      }
+    }
+  }
+}
+
+uint64_t CorruptSymmetricWeights(SimpleGraph* g, double fraction,
+                                 uint64_t seed) {
+  uint64_t corrupted = 0;
+  for (size_t i = 0; i < g->NumVertices(); ++i) {
+    VertexId u = g->IdAt(i);
+    for (auto& e : g->MutableOutEdges(i)) {
+      // Perturb only the u < v direction so exactly one side of each pair
+      // changes — the paper's "small fraction of edges incorrectly have
+      // different weights on their symmetric edges".
+      if (u >= e.target) continue;
+      uint64_t h = Mix64(seed ^ Mix64(static_cast<uint64_t>(u)) ^
+                         Mix64(static_cast<uint64_t>(e.target) + 0x51edULL));
+      double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (unit < fraction) {
+        e.weight = e.weight * 1.5 + 1.0;
+        ++corrupted;
+      }
+    }
+  }
+  return corrupted;
+}
+
+namespace {
+
+Status SetDirectedWeight(SimpleGraph* g, VertexId source, VertexId target,
+                         double weight) {
+  GRAFT_ASSIGN_OR_RETURN(size_t index, g->IndexOf(source));
+  for (auto& e : g->MutableOutEdges(index)) {
+    if (e.target == target) {
+      e.weight = weight;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such edge");
+}
+
+}  // namespace
+
+Result<std::array<VertexId, 3>> InjectPreferenceCycle(SimpleGraph* g,
+                                                      double strong) {
+  // Find any triangle: u -- v -- w -- u (on the symmetric representation).
+  for (size_t i = 0; i < g->NumVertices(); ++i) {
+    VertexId u = g->IdAt(i);
+    const auto& u_edges = g->OutEdges(i);
+    for (const auto& uv : u_edges) {
+      VertexId v = uv.target;
+      if (v == u) continue;
+      for (const auto& vw : g->OutEdgesOf(v)) {
+        VertexId w = vw.target;
+        if (w == u || w == v) continue;
+        if (!g->HasEdge(w, u)) continue;
+        // Corrupt: each corner's heaviest edge points to the next corner.
+        GRAFT_RETURN_NOT_OK(SetDirectedWeight(g, u, v, strong));
+        GRAFT_RETURN_NOT_OK(SetDirectedWeight(g, v, u, strong - 1.0));
+        GRAFT_RETURN_NOT_OK(SetDirectedWeight(g, v, w, strong));
+        GRAFT_RETURN_NOT_OK(SetDirectedWeight(g, w, v, strong - 1.0));
+        GRAFT_RETURN_NOT_OK(SetDirectedWeight(g, w, u, strong));
+        GRAFT_RETURN_NOT_OK(SetDirectedWeight(g, u, w, strong - 1.0));
+        return std::array<VertexId, 3>{u, v, w};
+      }
+    }
+  }
+  return Status::NotFound("graph has no triangle to corrupt");
+}
+
+}  // namespace graph
+}  // namespace graft

@@ -1,0 +1,80 @@
+#ifndef GRAFT_GRAPH_GENERATORS_H_
+#define GRAFT_GRAPH_GENERATORS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/simple_graph.h"
+
+namespace graft {
+namespace graph {
+
+/// Synthetic graph families standing in for the paper's datasets (Tables 1
+/// and 2) and for the GUI's "premade graphs" menu (§3.4). Every generator is
+/// deterministic in its seed.
+
+/// Preferential-attachment (Barabási–Albert) graph: `n` vertices, each new
+/// vertex attaching `edges_per_vertex` distinct out-edges to earlier vertices
+/// chosen proportional to degree. Produces the heavy-tailed degree shape of
+/// web graphs (web-BS, sk-2005) and social networks (soc-Epinions, twitter).
+/// Directed; call MakeUndirected() for the (u) variants.
+SimpleGraph GeneratePowerLaw(uint64_t n, int edges_per_vertex, uint64_t seed);
+
+/// d-regular bipartite graph over `n` vertices (n even): sides L = [0, n/2)
+/// and R = [n/2, n), each L-vertex matched to d R-vertices via d random
+/// shifted permutations — the construction behind bipartite-1M-3M and
+/// bipartite-2B-6B. Stored undirected (symmetric directed edges).
+SimpleGraph GenerateRegularBipartite(uint64_t n, int degree, uint64_t seed);
+
+/// G(n, m) Erdos-Renyi-style graph: m distinct directed edges sampled
+/// uniformly (self-loops excluded).
+SimpleGraph GenerateErdosRenyi(uint64_t n, uint64_t m, uint64_t seed);
+
+/// rows x cols 4-neighbour grid, undirected. Premade-menu graph.
+SimpleGraph GenerateGrid(int rows, int cols);
+
+/// Cycle over n vertices, undirected. Premade-menu graph.
+SimpleGraph GenerateRing(uint64_t n);
+
+/// Complete undirected graph on n vertices. Premade-menu graph.
+SimpleGraph GenerateComplete(int n);
+
+/// Balanced binary tree with n vertices, undirected. Premade-menu graph.
+SimpleGraph GenerateBinaryTree(uint64_t n);
+
+/// Star: vertex 0 connected to 1..n-1, undirected. Premade-menu graph.
+SimpleGraph GenerateStar(uint64_t n);
+
+/// Symmetrizes: for every directed edge (u,v) missing its reverse, adds
+/// (v,u) with the same weight.
+SimpleGraph MakeUndirected(const SimpleGraph& g);
+
+/// Assigns uniform random weights in [lo, hi] to every edge. When
+/// `symmetric` is true, (u,v) and (v,u) receive the same weight — the
+/// correct encoding of a weighted undirected graph (§4.3).
+void AssignRandomWeights(SimpleGraph* g, double lo, double hi, uint64_t seed,
+                         bool symmetric);
+
+/// Injects the §4.3 input-graph bug: for `fraction` of the undirected edge
+/// pairs, perturbs one direction's weight so the pair becomes asymmetric.
+/// Returns the number of corrupted pairs.
+uint64_t CorruptSymmetricWeights(SimpleGraph* g, double fraction,
+                                 uint64_t seed);
+
+/// The provably non-converging form of the §4.3 corruption: finds a
+/// triangle (u, v, w) and overwrites its six directed weights so that each
+/// corner's heaviest edge points to the next corner (u prefers v, v prefers
+/// w, w prefers u — weights `strong` one way, `strong - 1` the other, both
+/// above every honest weight). Under MWM the three vertices propose in a
+/// cycle forever, which is how "a small fraction of edges with different
+/// weights on their symmetric edges" makes the job loop without ever
+/// converging. Returns the triangle's vertex ids, or NotFound when the
+/// graph is triangle-free (e.g. bipartite).
+Result<std::array<VertexId, 3>> InjectPreferenceCycle(SimpleGraph* g,
+                                                      double strong = 1000.0);
+
+}  // namespace graph
+}  // namespace graft
+
+#endif  // GRAFT_GRAPH_GENERATORS_H_

@@ -1,0 +1,99 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace graft {
+namespace graph {
+
+GraphStats ComputeGraphStats(const SimpleGraph& g) {
+  GraphStats stats;
+  stats.num_vertices = g.NumVertices();
+  stats.num_directed_edges = g.NumDirectedEdges();
+  if (stats.num_vertices == 0) return stats;
+
+  stats.min_out_degree = UINT64_MAX;
+  // Sorted adjacency snapshot for reciprocity checks.
+  std::vector<std::vector<VertexId>> sorted(g.NumVertices());
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    const auto& edges = g.OutEdges(i);
+    sorted[i].reserve(edges.size());
+    for (const auto& e : edges) sorted[i].push_back(e.target);
+    std::sort(sorted[i].begin(), sorted[i].end());
+  }
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    uint64_t degree = g.OutDegree(i);
+    stats.min_out_degree = std::min(stats.min_out_degree, degree);
+    stats.max_out_degree = std::max(stats.max_out_degree, degree);
+    size_t bucket = 0;
+    uint64_t d = degree;
+    while (d > 1) {
+      d >>= 1;
+      ++bucket;
+    }
+    if (stats.degree_histogram.size() <= bucket) {
+      stats.degree_histogram.resize(bucket + 1, 0);
+    }
+    ++stats.degree_histogram[bucket];
+    VertexId u = g.IdAt(i);
+    for (const auto& e : g.OutEdges(i)) {
+      auto idx = g.IndexOf(e.target);
+      if (!idx.ok()) continue;
+      const auto& rev = sorted[*idx];
+      if (std::binary_search(rev.begin(), rev.end(), u)) {
+        ++stats.reciprocal_edges;
+      }
+    }
+  }
+  stats.avg_out_degree = static_cast<double>(stats.num_directed_edges) /
+                         static_cast<double>(stats.num_vertices);
+  // In-degree pass.
+  std::vector<uint64_t> in_degree(g.NumVertices(), 0);
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    for (const auto& e : g.OutEdges(i)) {
+      auto idx = g.IndexOf(e.target);
+      if (idx.ok()) ++in_degree[*idx];
+    }
+  }
+  for (uint64_t d : in_degree) {
+    stats.max_in_degree = std::max(stats.max_in_degree, d);
+    size_t bucket = 0;
+    uint64_t v = d;
+    while (v > 1) {
+      v >>= 1;
+      ++bucket;
+    }
+    if (stats.in_degree_histogram.size() <= bucket) {
+      stats.in_degree_histogram.resize(bucket + 1, 0);
+    }
+    ++stats.in_degree_histogram[bucket];
+  }
+  return stats;
+}
+
+bool IsSymmetricWeighted(const SimpleGraph& g) {
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    VertexId u = g.IdAt(i);
+    for (const auto& e : g.OutEdges(i)) {
+      auto reverse = g.EdgeWeight(e.target, u);
+      if (!reverse.ok() || *reverse != e.weight) return false;
+    }
+  }
+  return true;
+}
+
+std::string GraphStats::ToString() const {
+  std::string out = StrFormat(
+      "vertices=%s directed_edges=%s out_degree[min=%llu avg=%.2f max=%llu] "
+      "reciprocal=%s",
+      WithThousandsSeparators(num_vertices).c_str(),
+      WithThousandsSeparators(num_directed_edges).c_str(),
+      static_cast<unsigned long long>(min_out_degree), avg_out_degree,
+      static_cast<unsigned long long>(max_out_degree),
+      WithThousandsSeparators(reciprocal_edges).c_str());
+  return out;
+}
+
+}  // namespace graph
+}  // namespace graft

@@ -1,0 +1,43 @@
+#ifndef GRAFT_GRAPH_GRAPH_STATS_H_
+#define GRAFT_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/simple_graph.h"
+
+namespace graft {
+namespace graph {
+
+/// Degree-distribution summary for the Table 1 / Table 2 dataset benches.
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_directed_edges = 0;
+  uint64_t min_out_degree = 0;
+  uint64_t max_out_degree = 0;
+  double avg_out_degree = 0.0;
+  /// In-degree extremes — where preferential-attachment graphs carry their
+  /// heavy tail (out-degree is near-constant by construction).
+  uint64_t max_in_degree = 0;
+  /// Number of (u,v) edges whose reverse (v,u) also exists.
+  uint64_t reciprocal_edges = 0;
+  /// log2-bucketed out-degree histogram: bucket i counts degrees in
+  /// [2^i, 2^(i+1)).
+  std::vector<uint64_t> degree_histogram;
+  /// log2-bucketed in-degree histogram.
+  std::vector<uint64_t> in_degree_histogram;
+
+  std::string ToString() const;
+};
+
+GraphStats ComputeGraphStats(const SimpleGraph& g);
+
+/// True when every directed edge has a reverse edge with equal weight — the
+/// §4.3 invariant the corrupted soc-Epinions graph violates.
+bool IsSymmetricWeighted(const SimpleGraph& g);
+
+}  // namespace graph
+}  // namespace graft
+
+#endif  // GRAFT_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,90 @@
+#include "graph/graph_text.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace graft {
+namespace graph {
+
+std::string WriteAdjacencyText(const SimpleGraph& g) {
+  std::string out;
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    out += std::to_string(g.IdAt(i));
+    for (const auto& e : g.OutEdges(i)) {
+      out.push_back(' ');
+      out += std::to_string(e.target);
+      if (e.weight != 1.0) {
+        out.push_back(':');
+        out += StrFormat("%g", e.weight);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<SimpleGraph> ParseAdjacencyText(std::string_view text) {
+  SimpleGraph g;
+  size_t line_number = 0;
+  for (std::string_view line : SplitString(text, '\n')) {
+    ++line_number;
+    line = TrimString(line);
+    if (line.empty() || line.front() == '#') continue;
+    auto tokens = SplitWhitespace(line);
+    int64_t source;
+    if (!ParseInt64(tokens[0], &source)) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: bad vertex id '%.*s'", line_number,
+                    static_cast<int>(tokens[0].size()), tokens[0].data()));
+    }
+    g.AddVertex(source);
+    for (size_t t = 1; t < tokens.size(); ++t) {
+      std::string_view token = tokens[t];
+      double weight = 1.0;
+      size_t colon = token.find(':');
+      if (colon != std::string_view::npos) {
+        if (!ParseDouble(token.substr(colon + 1), &weight)) {
+          return Status::InvalidArgument(
+              StrFormat("line %zu: bad edge weight in '%.*s'", line_number,
+                        static_cast<int>(token.size()), token.data()));
+        }
+        token = token.substr(0, colon);
+      }
+      int64_t target;
+      if (!ParseInt64(token, &target)) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: bad edge target '%.*s'", line_number,
+                      static_cast<int>(token.size()), token.data()));
+      }
+      g.AddEdge(source, target, weight);
+    }
+  }
+  return g;
+}
+
+Status WriteAdjacencyFile(const SimpleGraph& g, const std::string& path) {
+  std::string text = WriteAdjacencyText(g);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0) {
+    return Status::IOError("short write to: " + path);
+  }
+  return Status::OK();
+}
+
+Result<SimpleGraph> ReadAdjacencyFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return ParseAdjacencyText(text);
+}
+
+}  // namespace graph
+}  // namespace graft

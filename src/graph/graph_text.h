@@ -1,0 +1,37 @@
+#ifndef GRAFT_GRAPH_GRAPH_TEXT_H_
+#define GRAFT_GRAPH_GRAPH_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "graph/simple_graph.h"
+
+namespace graft {
+namespace graph {
+
+/// Adjacency-list text format, one vertex per line (the artifact the GUI's
+/// offline small-graph construction mode hands to end-to-end tests, §3.4):
+///
+///   <vertex_id> [<target>[:<weight>]]...
+///
+/// Weights default to 1. Blank lines and lines starting with '#' are
+/// ignored. Example:
+///
+///   # a weighted triangle
+///   1 2:0.5 3:0.25
+///   2 1:0.5 3:1.75
+///   3 1:0.25 2:1.75
+std::string WriteAdjacencyText(const SimpleGraph& g);
+
+/// Parses the format above. Errors identify the offending line.
+Result<SimpleGraph> ParseAdjacencyText(std::string_view text);
+
+/// Convenience wrappers over whole files.
+Status WriteAdjacencyFile(const SimpleGraph& g, const std::string& path);
+Result<SimpleGraph> ReadAdjacencyFile(const std::string& path);
+
+}  // namespace graph
+}  // namespace graft
+
+#endif  // GRAFT_GRAPH_GRAPH_TEXT_H_

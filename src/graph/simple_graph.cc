@@ -1,0 +1,60 @@
+#include "graph/simple_graph.h"
+
+namespace graft {
+namespace graph {
+
+size_t SimpleGraph::AddVertex(VertexId id) {
+  auto [it, inserted] = index_.try_emplace(id, ids_.size());
+  if (inserted) {
+    ids_.push_back(id);
+    adjacency_.emplace_back();
+  }
+  return it->second;
+}
+
+Result<size_t> SimpleGraph::IndexOf(VertexId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("vertex id " + std::to_string(id) +
+                            " not in graph");
+  }
+  return it->second;
+}
+
+void SimpleGraph::AddEdge(VertexId source, VertexId target, double weight) {
+  size_t src_index = AddVertex(source);
+  AddVertex(target);
+  adjacency_[src_index].push_back(Edge{target, weight});
+  ++num_edges_;
+}
+
+void SimpleGraph::AddUndirectedEdge(VertexId a, VertexId b, double weight) {
+  AddEdge(a, b, weight);
+  AddEdge(b, a, weight);
+}
+
+const std::vector<SimpleGraph::Edge>& SimpleGraph::OutEdgesOf(
+    VertexId id) const {
+  static const std::vector<Edge>* empty = new std::vector<Edge>;
+  auto it = index_.find(id);
+  if (it == index_.end()) return *empty;
+  return adjacency_[it->second];
+}
+
+bool SimpleGraph::HasEdge(VertexId source, VertexId target) const {
+  for (const Edge& e : OutEdgesOf(source)) {
+    if (e.target == target) return true;
+  }
+  return false;
+}
+
+Result<double> SimpleGraph::EdgeWeight(VertexId source, VertexId target) const {
+  for (const Edge& e : OutEdgesOf(source)) {
+    if (e.target == target) return e.weight;
+  }
+  return Status::NotFound("edge " + std::to_string(source) + "->" +
+                          std::to_string(target) + " not in graph");
+}
+
+}  // namespace graph
+}  // namespace graft

@@ -1,0 +1,100 @@
+#ifndef GRAFT_GRAPH_SIMPLE_GRAPH_H_
+#define GRAFT_GRAPH_SIMPLE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace graft {
+
+/// Global vertex-identifier type. Giraph is generic over the id Writable;
+/// every algorithm in the paper uses LongWritable, so we fix ids to int64
+/// throughout (documented simplification, DESIGN.md §2).
+using VertexId = int64_t;
+
+namespace graph {
+
+/// Untyped in-memory graph used by loaders, generators, the GUI's offline
+/// small-graph construction mode, and as the input handed to the Pregel
+/// engine's typed loader. Edges carry a double weight (1.0 when the dataset
+/// is unweighted); typed engines map it into their EdgeValue.
+///
+/// The representation is directed; an "undirected" graph is stored as
+/// symmetric directed edges — exactly how the paper encodes soc-Epinions
+/// (§4.3), which is what makes the asymmetric-weight input bug expressible.
+class SimpleGraph {
+ public:
+  struct Edge {
+    VertexId target;
+    double weight;
+  };
+
+  SimpleGraph() = default;
+
+  SimpleGraph(const SimpleGraph&) = default;
+  SimpleGraph& operator=(const SimpleGraph&) = default;
+  SimpleGraph(SimpleGraph&&) noexcept = default;
+  SimpleGraph& operator=(SimpleGraph&&) noexcept = default;
+
+  /// Adds a vertex; returns its dense index. Adding an existing id returns
+  /// the existing index.
+  size_t AddVertex(VertexId id);
+
+  /// True if the id is present.
+  bool HasVertex(VertexId id) const { return index_.count(id) > 0; }
+
+  /// Dense index for an id; error if absent.
+  Result<size_t> IndexOf(VertexId id) const;
+
+  /// Adds a directed edge; creates endpoints as needed.
+  void AddEdge(VertexId source, VertexId target, double weight = 1.0);
+
+  /// Adds the symmetric pair of directed edges.
+  void AddUndirectedEdge(VertexId a, VertexId b, double weight = 1.0);
+
+  size_t NumVertices() const { return ids_.size(); }
+  uint64_t NumDirectedEdges() const { return num_edges_; }
+
+  VertexId IdAt(size_t index) const { return ids_[index]; }
+  const std::vector<VertexId>& ids() const { return ids_; }
+
+  const std::vector<Edge>& OutEdges(size_t index) const {
+    return adjacency_[index];
+  }
+  std::vector<Edge>& MutableOutEdges(size_t index) {
+    return adjacency_[index];
+  }
+
+  /// Out-edges by vertex id; empty for unknown ids.
+  const std::vector<Edge>& OutEdgesOf(VertexId id) const;
+
+  /// True if a directed edge source->target exists (linear scan of the
+  /// source's adjacency; fine for test-sized lookups).
+  bool HasEdge(VertexId source, VertexId target) const;
+
+  /// Returns the weight of a directed edge, or an error if absent.
+  Result<double> EdgeWeight(VertexId source, VertexId target) const;
+
+  /// Out-degree of the vertex at dense `index`.
+  size_t OutDegree(size_t index) const { return adjacency_[index].size(); }
+
+  void Reserve(size_t vertices) {
+    ids_.reserve(vertices);
+    adjacency_.reserve(vertices);
+    index_.reserve(vertices);
+  }
+
+ private:
+  std::vector<VertexId> ids_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::unordered_map<VertexId, size_t> index_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace graph
+}  // namespace graft
+
+#endif  // GRAFT_GRAPH_SIMPLE_GRAPH_H_

@@ -1,0 +1,265 @@
+#include "io/trace_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/binary_io.h"
+#include "common/logging.h"
+
+namespace graft {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// InMemoryTraceStore
+// ---------------------------------------------------------------------------
+
+Status InMemoryTraceStore::Append(const std::string& file,
+                                  std::string_view record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FileData& data = files_[file];
+  data.records.emplace_back(record);
+  // Account the varint framing the durable store would write, so byte totals
+  // are comparable between backends.
+  uint64_t len = record.size();
+  uint64_t framing = 1;
+  while (len >= 0x80) {
+    len >>= 7;
+    ++framing;
+  }
+  data.bytes += record.size() + framing;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> InMemoryTraceStore::ReadAll(
+    const std::string& file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("trace file not found: " + file);
+  }
+  return it->second.records;
+}
+
+bool InMemoryTraceStore::Exists(const std::string& file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(file) > 0;
+}
+
+std::vector<std::string> InMemoryTraceStore::ListFiles(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    names.push_back(it->first);
+  }
+  return names;
+}
+
+uint64_t InMemoryTraceStore::TotalBytes(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second.bytes;
+  }
+  return total;
+}
+
+uint64_t InMemoryTraceStore::RecordCount(const std::string& file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.records.size();
+}
+
+Status InMemoryTraceStore::DeletePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.lower_bound(prefix);
+  while (it != files_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = files_.erase(it);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// LocalDirTraceStore
+// ---------------------------------------------------------------------------
+
+LocalDirTraceStore::LocalDirTraceStore(std::string root_dir)
+    : root_dir_(std::move(root_dir)) {}
+
+LocalDirTraceStore::~LocalDirTraceStore() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, fd] : fds_) ::close(fd);
+}
+
+Result<std::unique_ptr<LocalDirTraceStore>> LocalDirTraceStore::Open(
+    const std::string& root_dir) {
+  std::error_code ec;
+  fs::create_directories(root_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create trace root '" + root_dir +
+                           "': " + ec.message());
+  }
+  return std::unique_ptr<LocalDirTraceStore>(new LocalDirTraceStore(root_dir));
+}
+
+std::string LocalDirTraceStore::PathFor(const std::string& file) const {
+  return root_dir_ + "/" + file;
+}
+
+std::string LocalDirTraceStore::KeyFor(const std::string& path) const {
+  // Strips "<root>/" from an absolute path produced by directory iteration.
+  return path.substr(root_dir_.size() + 1);
+}
+
+Status LocalDirTraceStore::Append(const std::string& file,
+                                  std::string_view record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int fd = -1;
+  auto it = fds_.find(file);
+  if (it != fds_.end()) {
+    fd = it->second;
+  } else {
+    std::string path = PathFor(file);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec) {
+      return Status::IOError("cannot create directories for '" + path +
+                             "': " + ec.message());
+    }
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+      return Status::IOError("cannot open '" + path +
+                             "': " + std::strerror(errno));
+    }
+    fds_[file] = fd;
+  }
+  BinaryWriter framed;
+  framed.WriteVarint(record.size());
+  framed.WriteRaw(record.data(), record.size());
+  const std::string& buf = framed.buffer();
+  size_t written = 0;
+  while (written < buf.size()) {
+    ssize_t n = ::write(fd, buf.data() + written, buf.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write to '" + file +
+                             "' failed: " + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> LocalDirTraceStore::ReadAll(
+    const std::string& file) const {
+  std::string path = PathFor(file);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    return Status::NotFound("trace file not found: " + file);
+  }
+  // Read the whole file then split into framed records.
+  std::string contents;
+  {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IOError("cannot open '" + path +
+                             "': " + std::strerror(errno));
+    }
+    char buf[1 << 16];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+      contents.append(buf, static_cast<size_t>(n));
+    }
+    int saved_errno = errno;
+    ::close(fd);
+    if (n < 0) {
+      return Status::IOError("read of '" + path +
+                             "' failed: " + std::strerror(saved_errno));
+    }
+  }
+  std::vector<std::string> records;
+  BinaryReader reader(contents);
+  while (!reader.AtEnd()) {
+    auto size = reader.ReadVarint();
+    if (!size.ok()) return size.status();
+    if (reader.remaining() < *size) {
+      return Status::IOError("truncated record in trace file: " + file);
+    }
+    records.emplace_back(
+        contents.substr(reader.position(), static_cast<size_t>(*size)));
+    GRAFT_RETURN_NOT_OK(reader.Skip(static_cast<size_t>(*size)));
+  }
+  return records;
+}
+
+bool LocalDirTraceStore::Exists(const std::string& file) const {
+  std::error_code ec;
+  return fs::exists(PathFor(file), ec);
+}
+
+std::vector<std::string> LocalDirTraceStore::ListFiles(
+    const std::string& prefix) const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  if (!fs::exists(root_dir_, ec)) return names;
+  for (const auto& entry : fs::recursive_directory_iterator(root_dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string key = KeyFor(entry.path().string());
+    if (key.compare(0, prefix.size(), prefix) == 0) names.push_back(key);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+uint64_t LocalDirTraceStore::TotalBytes(const std::string& prefix) const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const std::string& name : ListFiles(prefix)) {
+    total += fs::file_size(PathFor(name), ec);
+  }
+  return total;
+}
+
+uint64_t LocalDirTraceStore::RecordCount(const std::string& file) const {
+  auto records = ReadAll(file);
+  return records.ok() ? records->size() : 0;
+}
+
+Status LocalDirTraceStore::DeletePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& name : ListFiles(prefix)) {
+    auto it = fds_.find(name);
+    if (it != fds_.end()) {
+      ::close(it->second);
+      fds_.erase(it);
+    }
+    std::error_code ec;
+    fs::remove(PathFor(name), ec);
+    if (ec) {
+      return Status::IOError("cannot remove '" + name + "': " + ec.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status LocalDirTraceStore::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, fd] : fds_) {
+    if (::fsync(fd) != 0) {
+      return Status::IOError("fsync of '" + name +
+                             "' failed: " + std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace graft

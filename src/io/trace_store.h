@@ -1,0 +1,121 @@
+#ifndef GRAFT_IO_TRACE_STORE_H_
+#define GRAFT_IO_TRACE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace graft {
+
+/// Append-only record store standing in for HDFS (see DESIGN.md
+/// substitutions). Graft's instrumenter appends captured vertex/master
+/// contexts as records to named trace files; the GUI and the Context
+/// Reproducer read them back.
+///
+/// Files are identified by slash-separated keys, conventionally
+///   <job_id>/superstep_<S>/worker_<W>.vtrace
+/// Records are opaque byte strings; the store length-prefixes them.
+///
+/// All methods are thread-safe: during a superstep every worker thread
+/// appends to its own file, but the interface does not rely on that.
+class TraceStore {
+ public:
+  virtual ~TraceStore() = default;
+
+  /// Appends one record to `file`, creating it if needed.
+  virtual Status Append(const std::string& file, std::string_view record) = 0;
+
+  /// Reads back all records of `file` in append order.
+  virtual Result<std::vector<std::string>> ReadAll(
+      const std::string& file) const = 0;
+
+  /// True if the file exists (has been appended to at least once).
+  virtual bool Exists(const std::string& file) const = 0;
+
+  /// All file names with the given prefix, sorted.
+  virtual std::vector<std::string> ListFiles(
+      const std::string& prefix) const = 0;
+
+  /// Total serialized bytes under `prefix` (records + framing). This is what
+  /// the paper reports as "small log files, often in the kilobytes".
+  virtual uint64_t TotalBytes(const std::string& prefix) const = 0;
+
+  /// Number of records in `file`; 0 if absent.
+  virtual uint64_t RecordCount(const std::string& file) const = 0;
+
+  /// Removes every file under `prefix`. Used between benchmark repetitions.
+  virtual Status DeletePrefix(const std::string& prefix) = 0;
+
+  /// Ensures buffered data is durable (no-op for the in-memory store).
+  virtual Status Flush() = 0;
+};
+
+/// Heap-backed store; the default for tests and benchmarks, where trace
+/// durability is irrelevant but write cost should be realistic-but-cheap.
+class InMemoryTraceStore : public TraceStore {
+ public:
+  InMemoryTraceStore() = default;
+
+  Status Append(const std::string& file, std::string_view record) override;
+  Result<std::vector<std::string>> ReadAll(
+      const std::string& file) const override;
+  bool Exists(const std::string& file) const override;
+  std::vector<std::string> ListFiles(const std::string& prefix) const override;
+  uint64_t TotalBytes(const std::string& prefix) const override;
+  uint64_t RecordCount(const std::string& file) const override;
+  Status DeletePrefix(const std::string& prefix) override;
+  Status Flush() override { return Status::OK(); }
+
+ private:
+  struct FileData {
+    std::vector<std::string> records;
+    uint64_t bytes = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, FileData> files_;
+};
+
+/// Durable store writing each trace file as a real file under `root_dir`
+/// with varint length-prefixed records. This is what examples use so that a
+/// user can point external tooling at the traces, mirroring HDFS trace files.
+class LocalDirTraceStore : public TraceStore {
+ public:
+  /// Creates `root_dir` if missing.
+  static Result<std::unique_ptr<LocalDirTraceStore>> Open(
+      const std::string& root_dir);
+
+  ~LocalDirTraceStore() override;
+
+  Status Append(const std::string& file, std::string_view record) override;
+  Result<std::vector<std::string>> ReadAll(
+      const std::string& file) const override;
+  bool Exists(const std::string& file) const override;
+  std::vector<std::string> ListFiles(const std::string& prefix) const override;
+  uint64_t TotalBytes(const std::string& prefix) const override;
+  uint64_t RecordCount(const std::string& file) const override;
+  Status DeletePrefix(const std::string& prefix) override;
+  Status Flush() override;
+
+ private:
+  explicit LocalDirTraceStore(std::string root_dir);
+
+  std::string PathFor(const std::string& file) const;
+  std::string KeyFor(const std::string& path) const;
+
+  std::string root_dir_;
+  mutable std::mutex mutex_;
+  // Open append handles, one per file, kept for the store's lifetime.
+  std::map<std::string, int> fds_;
+};
+
+}  // namespace graft
+
+#endif  // GRAFT_IO_TRACE_STORE_H_

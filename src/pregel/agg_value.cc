@@ -1,0 +1,168 @@
+#include "pregel/agg_value.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace graft {
+namespace pregel {
+
+namespace {
+enum Tag : uint8_t {
+  kTagNull = 0,
+  kTagInt = 1,
+  kTagDouble = 2,
+  kTagBool = 3,
+  kTagText = 4,
+};
+}  // namespace
+
+std::string AggValue::ToString() const {
+  if (IsNull()) return "null";
+  if (IsInt()) return std::to_string(AsInt());
+  if (IsDouble()) return StrFormat("%g", AsDouble());
+  if (IsBool()) return AsBool() ? "true" : "false";
+  return "\"" + AsText() + "\"";
+}
+
+std::string AggValue::ToCpp() const {
+  if (IsNull()) return "graft::pregel::AggValue{}";
+  if (IsInt()) {
+    return StrFormat("graft::pregel::AggValue{int64_t{%lld}}",
+                     static_cast<long long>(AsInt()));
+  }
+  if (IsDouble()) return StrFormat("graft::pregel::AggValue{%.17g}", AsDouble());
+  if (IsBool()) {
+    return std::string("graft::pregel::AggValue{") +
+           (AsBool() ? "true" : "false") + "}";
+  }
+  // Escape the string through the JSON escaper rules (C-compatible subset).
+  std::string escaped;
+  for (char c : AsText()) {
+    if (c == '"' || c == '\\') escaped.push_back('\\');
+    escaped.push_back(c);
+  }
+  return "graft::pregel::AggValue{std::string(\"" + escaped + "\")}";
+}
+
+void AggValue::Write(BinaryWriter& writer) const {
+  if (IsNull()) {
+    writer.WriteU8(kTagNull);
+  } else if (IsInt()) {
+    writer.WriteU8(kTagInt);
+    writer.WriteSignedVarint(AsInt());
+  } else if (IsDouble()) {
+    writer.WriteU8(kTagDouble);
+    writer.WriteDouble(AsDouble());
+  } else if (IsBool()) {
+    writer.WriteU8(kTagBool);
+    writer.WriteBool(AsBool());
+  } else {
+    writer.WriteU8(kTagText);
+    writer.WriteString(AsText());
+  }
+}
+
+Result<AggValue> AggValue::Read(BinaryReader& reader) {
+  GRAFT_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+  switch (tag) {
+    case kTagNull:
+      return AggValue{};
+    case kTagInt: {
+      GRAFT_ASSIGN_OR_RETURN(int64_t v, reader.ReadSignedVarint());
+      return AggValue{v};
+    }
+    case kTagDouble: {
+      GRAFT_ASSIGN_OR_RETURN(double v, reader.ReadDouble());
+      return AggValue{v};
+    }
+    case kTagBool: {
+      GRAFT_ASSIGN_OR_RETURN(bool v, reader.ReadBool());
+      return AggValue{v};
+    }
+    case kTagText: {
+      GRAFT_ASSIGN_OR_RETURN(std::string v, reader.ReadString());
+      return AggValue{std::move(v)};
+    }
+    default:
+      return Status::OutOfRange("bad AggValue tag " + std::to_string(tag));
+  }
+}
+
+AggValue MergeAggValue(AggregatorOp op, const AggValue& accumulator,
+                       const AggValue& update) {
+  if (op == AggregatorOp::kOverwrite) return update;
+  // A null accumulator adopts the first update (fresh regular aggregator).
+  if (accumulator.IsNull()) return update;
+  if (update.IsNull()) return accumulator;
+  switch (op) {
+    case AggregatorOp::kSum:
+      if (accumulator.IsInt() && update.IsInt()) {
+        return AggValue{accumulator.AsInt() + update.AsInt()};
+      }
+      if (accumulator.IsDouble() && update.IsDouble()) {
+        return AggValue{accumulator.AsDouble() + update.AsDouble()};
+      }
+      break;
+    case AggregatorOp::kMin:
+      if (accumulator.IsInt() && update.IsInt()) {
+        return AggValue{std::min(accumulator.AsInt(), update.AsInt())};
+      }
+      if (accumulator.IsDouble() && update.IsDouble()) {
+        return AggValue{std::min(accumulator.AsDouble(), update.AsDouble())};
+      }
+      if (accumulator.IsText() && update.IsText()) {
+        return AggValue{std::min(accumulator.AsText(), update.AsText())};
+      }
+      break;
+    case AggregatorOp::kMax:
+      if (accumulator.IsInt() && update.IsInt()) {
+        return AggValue{std::max(accumulator.AsInt(), update.AsInt())};
+      }
+      if (accumulator.IsDouble() && update.IsDouble()) {
+        return AggValue{std::max(accumulator.AsDouble(), update.AsDouble())};
+      }
+      if (accumulator.IsText() && update.IsText()) {
+        return AggValue{std::max(accumulator.AsText(), update.AsText())};
+      }
+      break;
+    case AggregatorOp::kAnd:
+      if (accumulator.IsBool() && update.IsBool()) {
+        return AggValue{accumulator.AsBool() && update.AsBool()};
+      }
+      break;
+    case AggregatorOp::kOr:
+      if (accumulator.IsBool() && update.IsBool()) {
+        return AggValue{accumulator.AsBool() || update.AsBool()};
+      }
+      break;
+    case AggregatorOp::kOverwrite:
+      break;  // handled above
+  }
+  GRAFT_LOG(Fatal) << "aggregator type mismatch: cannot "
+                   << AggregatorOpName(op) << "-merge "
+                   << accumulator.ToString() << " with " << update.ToString();
+  return update;  // unreachable
+}
+
+std::string_view AggregatorOpName(AggregatorOp op) {
+  switch (op) {
+    case AggregatorOp::kSum:
+      return "Sum";
+    case AggregatorOp::kMin:
+      return "Min";
+    case AggregatorOp::kMax:
+      return "Max";
+    case AggregatorOp::kAnd:
+      return "And";
+    case AggregatorOp::kOr:
+      return "Or";
+    case AggregatorOp::kOverwrite:
+      return "Overwrite";
+  }
+  return "?";
+}
+
+}  // namespace pregel
+}  // namespace graft

@@ -1,0 +1,77 @@
+#ifndef GRAFT_PREGEL_AGG_VALUE_H_
+#define GRAFT_PREGEL_AGG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+
+namespace graft {
+namespace pregel {
+
+/// Dynamically-typed aggregator value. Giraph aggregators are Writable-typed
+/// objects registered by name; a small closed variant keeps master traces
+/// serializable and the GUI's aggregator panel renderable without knowing
+/// user types (DESIGN.md §2).
+class AggValue {
+ public:
+  AggValue() = default;
+  explicit AggValue(int64_t v) : value_(v) {}
+  explicit AggValue(double v) : value_(v) {}
+  explicit AggValue(bool v) : value_(v) {}
+  explicit AggValue(std::string v) : value_(std::move(v)) {}
+
+  bool IsNull() const { return std::holds_alternative<std::monostate>(value_); }
+  bool IsInt() const { return std::holds_alternative<int64_t>(value_); }
+  bool IsDouble() const { return std::holds_alternative<double>(value_); }
+  bool IsBool() const { return std::holds_alternative<bool>(value_); }
+  bool IsText() const { return std::holds_alternative<std::string>(value_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(value_); }
+  double AsDouble() const { return std::get<double>(value_); }
+  bool AsBool() const { return std::get<bool>(value_); }
+  const std::string& AsText() const { return std::get<std::string>(value_); }
+
+  /// Human-readable rendering: "null", "42", "3.14", "true", "\"PHASE-1\"".
+  std::string ToString() const;
+
+  /// C++ source expression reconstructing this value (used by the Context
+  /// Reproducer's generated test files, §3.3).
+  std::string ToCpp() const;
+
+  void Write(BinaryWriter& writer) const;
+  static Result<AggValue> Read(BinaryReader& reader);
+
+  friend bool operator==(const AggValue& a, const AggValue& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string> value_;
+};
+
+/// Built-in merge semantics, matching Giraph's stock aggregator classes.
+/// Regular aggregators reset to their initial value every superstep;
+/// persistent ones keep accumulating (Giraph's registerPersistentAggregator).
+enum class AggregatorOp : uint8_t {
+  kSum,        // int64 or double
+  kMin,        // int64, double, or text
+  kMax,        // int64, double, or text
+  kAnd,        // bool
+  kOr,         // bool
+  kOverwrite,  // last write wins (master typically uses this for phases)
+};
+
+/// Merges `update` into `accumulator` under `op`. Type mismatches between
+/// accumulator and update are programming errors and abort.
+AggValue MergeAggValue(AggregatorOp op, const AggValue& accumulator,
+                       const AggValue& update);
+
+std::string_view AggregatorOpName(AggregatorOp op);
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_AGG_VALUE_H_

@@ -1,0 +1,55 @@
+#ifndef GRAFT_PREGEL_COMPUTATION_H_
+#define GRAFT_PREGEL_COMPUTATION_H_
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "pregel/compute_context.h"
+#include "pregel/vertex.h"
+
+namespace graft {
+namespace pregel {
+
+/// User-facing vertex program, the analogue of Giraph's Computation class
+/// (the paper calls it vertex.compute(), §2). Subclass and implement
+/// Compute(); it is called once per active vertex per superstep.
+///
+/// Compute() may throw: exceptions are a first-class debugging signal in
+/// Graft (capture category 5, §3.1) — the instrumenter records the exception
+/// with the vertex context before the job aborts.
+///
+/// Each worker thread owns its own Computation instance (mirroring Giraph's
+/// per-thread computation objects), so implementations may keep scratch
+/// state across Compute() calls within a worker without synchronizing —
+/// though depending on such state undermines replay, as §7 of the paper
+/// warns about "external data dependencies".
+template <JobTraits Traits>
+class Computation {
+ public:
+  using Message = typename Traits::Message;
+
+  virtual ~Computation() = default;
+
+  virtual void Compute(ComputeContext<Traits>& ctx, Vertex<Traits>& vertex,
+                       const std::vector<Message>& messages) = 0;
+};
+
+/// Factory producing one Computation instance per worker thread.
+template <JobTraits Traits>
+using ComputationFactory =
+    std::function<std::unique_ptr<Computation<Traits>>()>;
+
+/// Error thrown by a vertex program. Any std::exception escaping Compute()
+/// is captured; this subclass merely lets programs attach context cheaply.
+class VertexComputeError : public std::runtime_error {
+ public:
+  explicit VertexComputeError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_COMPUTATION_H_

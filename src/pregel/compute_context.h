@@ -1,0 +1,78 @@
+#ifndef GRAFT_PREGEL_COMPUTE_CONTEXT_H_
+#define GRAFT_PREGEL_COMPUTE_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "pregel/agg_value.h"
+#include "pregel/vertex.h"
+
+namespace graft {
+namespace pregel {
+
+/// Everything a vertex program may touch besides the vertex itself and its
+/// incoming messages — i.e. items (4) and (5) of the Giraph API context
+/// (§2): aggregators and default global data, plus message sending and
+/// topology-mutation requests.
+///
+/// This is an abstract interface on purpose: the engine implements it for
+/// cluster execution, Graft's instrumenter wraps it to intercept sends and
+/// check message constraints (§3.1), and the Context Reproducer implements a
+/// mock of it to replay a captured vertex in isolation (§3.3).
+template <JobTraits Traits>
+class ComputeContext {
+ public:
+  using Message = typename Traits::Message;
+  using EdgeValue = typename Traits::EdgeValue;
+
+  virtual ~ComputeContext() = default;
+
+  /// Default global data (Giraph GraphState).
+  virtual int64_t superstep() const = 0;
+  virtual int64_t total_num_vertices() const = 0;
+  virtual int64_t total_num_edges() const = 0;
+
+  /// Sends `message` to be delivered to `target` in superstep()+1.
+  virtual void SendMessage(VertexId target, const Message& message) = 0;
+
+  /// Aggregator value visible this superstep (merged result of superstep-1,
+  /// possibly overwritten by master.compute). Null AggValue when the name
+  /// is unknown, matching Giraph's null return.
+  virtual AggValue GetAggregated(const std::string& name) const = 0;
+
+  /// Folds `update` into the named aggregator for this superstep.
+  virtual void Aggregate(const std::string& name, const AggValue& update) = 0;
+
+  /// All aggregator values visible this superstep; what Graft captures into
+  /// the vertex context trace.
+  virtual const std::map<std::string, AggValue>& VisibleAggregators()
+      const = 0;
+
+  /// Deterministic per-(job seed, superstep, vertex) random stream; part of
+  /// the captured context so that replay is exact (DESIGN.md §1).
+  virtual Rng& rng() = 0;
+
+  /// Pregel topology mutation requests, applied between supersteps.
+  virtual void RemoveVertexRequest(VertexId id) = 0;
+  virtual void AddEdgeRequest(VertexId source, VertexId target,
+                              const EdgeValue& value) = 0;
+  virtual void RemoveEdgeRequest(VertexId source, VertexId target) = 0;
+
+  /// Index of the worker executing this Compute() call (trace file naming).
+  virtual int worker_index() const = 0;
+
+  /// Sends `message` along every out-edge of `vertex`.
+  void SendMessageToAllEdges(const Vertex<Traits>& vertex,
+                             const Message& message) {
+    for (const auto& edge : vertex.edges()) {
+      SendMessage(edge.target, message);
+    }
+  }
+};
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_COMPUTE_CONTEXT_H_

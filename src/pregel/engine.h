@@ -1,0 +1,631 @@
+#ifndef GRAFT_PREGEL_ENGINE_H_
+#define GRAFT_PREGEL_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "pregel/computation.h"
+#include "pregel/compute_context.h"
+#include "pregel/job_stats.h"
+#include "pregel/master.h"
+#include "pregel/vertex.h"
+
+namespace graft {
+namespace pregel {
+
+/// Multi-threaded BSP engine implementing the Pregel/Giraph execution
+/// contract (DESIGN.md §4): hash-partitioned vertices across worker threads,
+/// supersteps separated by barriers, messages sent in superstep S delivered
+/// in S+1 (optionally combined), aggregators merged at superstep boundaries,
+/// an optional master.compute() at the beginning of every superstep, vote-to-
+/// halt termination, and Pregel-style topology mutation between supersteps.
+///
+/// This is the paper's "Apache Giraph" substrate: worker tasks on cluster
+/// machines become worker threads, with identical superstep semantics
+/// (DESIGN.md substitutions table).
+template <JobTraits Traits>
+class Engine {
+ public:
+  using VertexT = Vertex<Traits>;
+  using VertexValue = typename Traits::VertexValue;
+  using EdgeValue = typename Traits::EdgeValue;
+  using Message = typename Traits::Message;
+  using Combiner = std::function<Message(const Message&, const Message&)>;
+
+  struct Options {
+    /// Worker threads (Giraph worker tasks).
+    int num_workers = 2;
+    /// Safety cap; the MWM scenario (§4.3) relies on jobs that do NOT
+    /// converge, so the cap is what ends them.
+    int64_t max_supersteps = 1'000'000;
+    /// Job seed: all randomness (vertex RNG streams, master RNG) derives
+    /// from it, making whole runs reproducible.
+    uint64_t seed = 0x6a0b5eedULL;
+    /// Pregel semantics for messages sent to nonexistent vertex ids: create
+    /// the vertex with `default_vertex_value` (Giraph's default resolver) or
+    /// silently drop and count (what MWM wants after removing vertices).
+    bool create_missing_vertices = false;
+    VertexValue default_vertex_value{};
+    /// Optional message combiner (associative + commutative).
+    Combiner combiner;
+    std::string job_id = "job";
+  };
+
+  /// Observes superstep boundaries; Graft's capture manager subscribes to
+  /// record master contexts and per-superstep metadata without the engine
+  /// knowing anything about the debugger.
+  class SuperstepObserver {
+   public:
+    virtual ~SuperstepObserver() = default;
+    /// After mutation application + message delivery, before master runs.
+    /// `aggs` are the values the master (and then vertices) will see.
+    virtual void OnSuperstepStart(int64_t superstep,
+                                  const std::map<std::string, AggValue>& aggs) {
+      (void)superstep;
+      (void)aggs;
+    }
+    /// After master.compute() for `superstep` returned.
+    virtual void OnMasterComputed(int64_t superstep,
+                                  const std::map<std::string, AggValue>& aggs,
+                                  bool master_halted) {
+      (void)superstep;
+      (void)aggs;
+      (void)master_halted;
+    }
+    virtual void OnSuperstepEnd(int64_t superstep,
+                                const SuperstepStats& stats) {
+      (void)superstep;
+      (void)stats;
+    }
+  };
+
+  Engine(Options options, std::vector<VertexT> initial_vertices,
+         ComputationFactory<Traits> computation_factory,
+         MasterFactory master_factory = nullptr)
+      : options_(std::move(options)),
+        computation_factory_(std::move(computation_factory)) {
+    GRAFT_CHECK(options_.num_workers >= 1);
+    GRAFT_CHECK(computation_factory_ != nullptr);
+    if (master_factory) master_ = master_factory();
+    partitions_.resize(static_cast<size_t>(options_.num_workers));
+    for (VertexT& v : initial_vertices) {
+      AddVertexInternal(std::move(v));
+    }
+  }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs the job to termination. Returns per-superstep statistics, or
+  /// Status::Aborted when an exception escaped Compute() (the vertex and
+  /// superstep are named in the message; any Graft traces written up to the
+  /// failure remain readable — that is the point of the debugger).
+  Result<JobStats> Run() {
+    Stopwatch total_clock;
+    JobStats stats;
+    MasterCtx master_ctx(this);
+    if (master_ != nullptr) {
+      master_->Initialize(master_ctx);
+      // Regular aggregators start at their initial value for superstep 0.
+      ResetVisibleAggregators(/*previous_merged=*/{});
+    }
+
+    std::vector<WorkerCtx> contexts;
+    std::vector<std::unique_ptr<Computation<Traits>>> computations;
+    contexts.reserve(static_cast<size_t>(options_.num_workers));
+    for (int w = 0; w < options_.num_workers; ++w) {
+      contexts.emplace_back(this, w);
+      computations.push_back(computation_factory_());
+      GRAFT_CHECK(computations.back() != nullptr);
+    }
+
+    for (superstep_ = 0; superstep_ < options_.max_supersteps; ++superstep_) {
+      Stopwatch superstep_clock;
+      SuperstepStats ss;
+      ss.superstep = superstep_;
+
+      // 1. Apply topology mutations requested in the previous superstep.
+      ApplyMutations(contexts, &ss);
+
+      // 2. Deliver messages sent in the previous superstep (after mutations,
+      //    so a message for a just-removed vertex follows the missing-vertex
+      //    policy, per Pregel).
+      DeliverMessages(contexts, &ss);
+
+      // 3. Refresh global data visible to this superstep.
+      RefreshTotals();
+      for (auto* obs : observers_) {
+        obs->OnSuperstepStart(superstep_, visible_aggregators_);
+      }
+
+      // 4. Master phase: sees aggregators merged at the end of superstep-1.
+      if (master_ != nullptr) {
+        master_ctx.BeginSuperstep(superstep_);
+        master_->Compute(master_ctx);
+      }
+      for (auto* obs : observers_) {
+        obs->OnMasterComputed(superstep_, visible_aggregators_,
+                              master_halted_);
+      }
+      if (master_halted_) {
+        stats.termination = TerminationReason::kMasterHalted;
+        FinalizeStats(&stats, total_clock);
+        return stats;
+      }
+
+      // 5. Termination check: nothing to do this superstep?
+      if (!AnyVertexActive()) {
+        stats.termination = TerminationReason::kAllHalted;
+        FinalizeStats(&stats, total_clock);
+        return stats;
+      }
+
+      // 6. Vertex phase across all workers.
+      compute_error_.reset();
+      RunOnWorkers(options_.num_workers, [&](int w) {
+        RunWorker(&contexts[static_cast<size_t>(w)],
+                  computations[static_cast<size_t>(w)].get(), &ss);
+      });
+      if (compute_error_.has_value()) {
+        stats.termination = TerminationReason::kComputeError;
+        FinalizeStats(&stats, total_clock);
+        ss.seconds = superstep_clock.ElapsedSeconds();
+        stats.per_superstep.push_back(ss);
+        return Status::Aborted(*compute_error_);
+      }
+
+      // 7. Merge per-worker aggregations into the next superstep's view.
+      MergeAggregators(contexts);
+
+      ss.seconds = superstep_clock.ElapsedSeconds();
+      stats.total_messages += ss.messages_sent;
+      stats.per_superstep.push_back(ss);
+      for (auto* obs : observers_) obs->OnSuperstepEnd(superstep_, ss);
+    }
+    stats.termination = TerminationReason::kMaxSupersteps;
+    FinalizeStats(&stats, total_clock);
+    return stats;
+  }
+
+  // ---- Post-run / observer inspection -----------------------------------
+
+  int64_t superstep() const { return superstep_; }
+  uint64_t NumAliveVertices() const { return total_vertices_; }
+  uint64_t NumEdges() const { return total_edges_; }
+  const Options& options() const { return options_; }
+
+  /// Pointer to a live vertex, or error when absent/removed. Stable only
+  /// while the engine is not running a superstep.
+  Result<const VertexT*> FindVertex(VertexId id) const {
+    const Partition& p = partitions_[PartitionOf(id)];
+    auto it = p.index.find(id);
+    if (it == p.index.end() || !p.vertices[it->second].alive()) {
+      return Status::NotFound("vertex " + std::to_string(id) +
+                              " not in graph");
+    }
+    return &p.vertices[it->second];
+  }
+
+  /// Invokes fn(const VertexT&) on every live vertex.
+  template <typename Fn>
+  void ForEachVertex(Fn&& fn) const {
+    for (const Partition& p : partitions_) {
+      for (const VertexT& v : p.vertices) {
+        if (v.alive()) fn(v);
+      }
+    }
+  }
+
+  /// Aggregator values as of the last completed superstep.
+  const std::map<std::string, AggValue>& VisibleAggregators() const {
+    return visible_aggregators_;
+  }
+
+  void AddObserver(SuperstepObserver* observer) {
+    observers_.push_back(observer);
+  }
+
+  /// Stable partition (worker) assignment of a vertex id.
+  size_t PartitionOf(VertexId id) const {
+    return static_cast<size_t>(Mix64(static_cast<uint64_t>(id)) %
+                               static_cast<uint64_t>(options_.num_workers));
+  }
+
+ private:
+  struct Partition {
+    std::vector<VertexT> vertices;
+    std::unordered_map<VertexId, size_t> index;
+    /// Incoming message lists, parallel to `vertices`.
+    std::vector<std::vector<Message>> incoming;
+  };
+
+  struct MutationBuffer {
+    std::vector<VertexId> remove_vertices;
+    std::vector<std::tuple<VertexId, VertexId, EdgeValue>> add_edges;
+    std::vector<std::pair<VertexId, VertexId>> remove_edges;
+
+    bool Empty() const {
+      return remove_vertices.empty() && add_edges.empty() &&
+             remove_edges.empty();
+    }
+    void Clear() {
+      remove_vertices.clear();
+      add_edges.clear();
+      remove_edges.clear();
+    }
+  };
+
+  /// Engine-side ComputeContext implementation, one per worker thread.
+  class WorkerCtx final : public ComputeContext<Traits> {
+   public:
+    WorkerCtx(Engine* engine, int worker)
+        : engine_(engine),
+          worker_(worker),
+          rng_(0),
+          outboxes_(static_cast<size_t>(engine->options_.num_workers)) {}
+
+    // -- engine-side hooks --
+    void BeginVertex(VertexId id) {
+      rng_ = Rng::ForStream(engine_->options_.seed,
+                            static_cast<uint64_t>(engine_->superstep_),
+                            static_cast<uint64_t>(id));
+    }
+    std::vector<std::vector<std::pair<VertexId, Message>>>& outboxes() {
+      return outboxes_;
+    }
+    MutationBuffer& mutations() { return mutations_; }
+    std::map<std::string, AggValue>& partial_aggregations() {
+      return partial_;
+    }
+    uint64_t TakeMessagesSent() {
+      uint64_t n = messages_sent_;
+      messages_sent_ = 0;
+      return n;
+    }
+
+    // -- ComputeContext interface --
+    int64_t superstep() const override { return engine_->superstep_; }
+    int64_t total_num_vertices() const override {
+      return static_cast<int64_t>(engine_->total_vertices_);
+    }
+    int64_t total_num_edges() const override {
+      return static_cast<int64_t>(engine_->total_edges_);
+    }
+    void SendMessage(VertexId target, const Message& message) override {
+      outboxes_[engine_->PartitionOf(target)].emplace_back(target, message);
+      ++messages_sent_;
+    }
+    AggValue GetAggregated(const std::string& name) const override {
+      auto it = engine_->visible_aggregators_.find(name);
+      return it == engine_->visible_aggregators_.end() ? AggValue{}
+                                                       : it->second;
+    }
+    void Aggregate(const std::string& name, const AggValue& update) override {
+      auto spec = engine_->aggregator_specs_.find(name);
+      GRAFT_CHECK(spec != engine_->aggregator_specs_.end())
+          << "Aggregate() on unregistered aggregator '" << name << "'";
+      auto [it, inserted] = partial_.try_emplace(name, update);
+      if (!inserted) {
+        it->second = MergeAggValue(spec->second.op, it->second, update);
+      }
+    }
+    const std::map<std::string, AggValue>& VisibleAggregators()
+        const override {
+      return engine_->visible_aggregators_;
+    }
+    Rng& rng() override { return rng_; }
+    void RemoveVertexRequest(VertexId id) override {
+      mutations_.remove_vertices.push_back(id);
+    }
+    void AddEdgeRequest(VertexId source, VertexId target,
+                        const EdgeValue& value) override {
+      mutations_.add_edges.emplace_back(source, target, value);
+    }
+    void RemoveEdgeRequest(VertexId source, VertexId target) override {
+      mutations_.remove_edges.emplace_back(source, target);
+    }
+    int worker_index() const override { return worker_; }
+
+   private:
+    Engine* engine_;
+    int worker_;
+    Rng rng_;
+    std::vector<std::vector<std::pair<VertexId, Message>>> outboxes_;
+    MutationBuffer mutations_;
+    std::map<std::string, AggValue> partial_;
+    uint64_t messages_sent_ = 0;
+  };
+
+  /// Engine-side MasterContext implementation.
+  class MasterCtx final : public MasterContext {
+   public:
+    explicit MasterCtx(Engine* engine) : engine_(engine), rng_(0) {}
+
+    void BeginSuperstep(int64_t superstep) {
+      rng_ = Rng::ForStream(engine_->options_.seed,
+                            static_cast<uint64_t>(superstep),
+                            0xaa57e7ULL /* master stream tag */);
+    }
+
+    int64_t superstep() const override { return engine_->superstep_; }
+    int64_t total_num_vertices() const override {
+      return static_cast<int64_t>(engine_->total_vertices_);
+    }
+    int64_t total_num_edges() const override {
+      return static_cast<int64_t>(engine_->total_edges_);
+    }
+    Status RegisterAggregator(const std::string& name,
+                              const AggregatorSpec& spec) override {
+      auto [it, inserted] = engine_->aggregator_specs_.emplace(name, spec);
+      (void)it;
+      if (!inserted) {
+        return Status::AlreadyExists("aggregator '" + name +
+                                     "' already registered");
+      }
+      return Status::OK();
+    }
+    AggValue GetAggregated(const std::string& name) const override {
+      auto it = engine_->visible_aggregators_.find(name);
+      return it == engine_->visible_aggregators_.end() ? AggValue{}
+                                                       : it->second;
+    }
+    Status SetAggregated(const std::string& name,
+                         const AggValue& value) override {
+      if (engine_->aggregator_specs_.count(name) == 0) {
+        return Status::NotFound("aggregator '" + name + "' not registered");
+      }
+      engine_->visible_aggregators_[name] = value;
+      return Status::OK();
+    }
+    const std::map<std::string, AggValue>& VisibleAggregators()
+        const override {
+      return engine_->visible_aggregators_;
+    }
+    void HaltComputation() override { engine_->master_halted_ = true; }
+    bool IsHalted() const override { return engine_->master_halted_; }
+    Rng& rng() override { return rng_; }
+
+   private:
+    Engine* engine_;
+    Rng rng_;
+  };
+
+  void AddVertexInternal(VertexT vertex) {
+    Partition& p = partitions_[PartitionOf(vertex.id())];
+    auto [it, inserted] = p.index.emplace(vertex.id(), p.vertices.size());
+    if (inserted) {
+      p.vertices.push_back(std::move(vertex));
+      p.incoming.emplace_back();
+    } else {
+      // Resurrect a removed slot; adding a live duplicate is an input error.
+      VertexT& slot = p.vertices[it->second];
+      GRAFT_CHECK(!slot.alive())
+          << "duplicate vertex id " << vertex.id() << " in input graph";
+      slot = std::move(vertex);
+    }
+  }
+
+  void ApplyMutations(std::vector<WorkerCtx>& contexts, SuperstepStats* ss) {
+    for (WorkerCtx& ctx : contexts) {
+      MutationBuffer& m = ctx.mutations();
+      if (m.Empty()) continue;
+      for (const auto& [source, target, value] : m.add_edges) {
+        VertexT* v = FindMutableVertex(source);
+        if (v == nullptr && options_.create_missing_vertices) {
+          AddVertexInternal(
+              VertexT(source, options_.default_vertex_value, {}));
+          v = FindMutableVertex(source);
+        }
+        if (v != nullptr) {
+          v->AddEdge(target, value);
+          ++ss->edges_added;
+        }
+      }
+      for (const auto& [source, target] : m.remove_edges) {
+        VertexT* v = FindMutableVertex(source);
+        if (v != nullptr) {
+          ss->edges_removed += v->RemoveEdgesTo(target);
+        }
+      }
+      for (VertexId id : m.remove_vertices) {
+        VertexT* v = FindMutableVertex(id);
+        if (v != nullptr && v->alive()) {
+          v->set_alive(false);
+          v->mutable_edges()->clear();
+          ++ss->vertices_removed;
+        }
+      }
+      m.Clear();
+    }
+  }
+
+  VertexT* FindMutableVertex(VertexId id) {
+    Partition& p = partitions_[PartitionOf(id)];
+    auto it = p.index.find(id);
+    if (it == p.index.end()) return nullptr;
+    return &p.vertices[it->second];
+  }
+
+  void DeliverMessages(std::vector<WorkerCtx>& contexts, SuperstepStats* ss) {
+    // First create any missing destination vertices (single-threaded, since
+    // it mutates partition tables), then group per destination partition in
+    // parallel.
+    std::atomic<uint64_t> dropped{0};
+    if (options_.create_missing_vertices) {
+      for (WorkerCtx& ctx : contexts) {
+        for (auto& outbox : ctx.outboxes()) {
+          for (auto& [target, msg] : outbox) {
+            if (FindMutableVertex(target) == nullptr ||
+                !FindMutableVertex(target)->alive()) {
+              AddVertexInternal(
+                  VertexT(target, options_.default_vertex_value, {}));
+            }
+          }
+        }
+      }
+    }
+    RunOnWorkers(options_.num_workers, [&](int w) {
+      Partition& p = partitions_[static_cast<size_t>(w)];
+      uint64_t local_dropped = 0;
+      for (WorkerCtx& ctx : contexts) {
+        auto& outbox = ctx.outboxes()[static_cast<size_t>(w)];
+        for (auto& [target, msg] : outbox) {
+          auto it = p.index.find(target);
+          if (it == p.index.end() || !p.vertices[it->second].alive()) {
+            ++local_dropped;
+            continue;
+          }
+          std::vector<Message>& box = p.incoming[it->second];
+          if (options_.combiner && !box.empty()) {
+            box[0] = options_.combiner(box[0], msg);
+          } else {
+            box.push_back(std::move(msg));
+          }
+        }
+        outbox.clear();
+      }
+      dropped.fetch_add(local_dropped, std::memory_order_relaxed);
+    });
+    ss->messages_dropped = dropped.load();
+  }
+
+  void RefreshTotals() {
+    uint64_t vertices = 0;
+    uint64_t edges = 0;
+    for (const Partition& p : partitions_) {
+      for (const VertexT& v : p.vertices) {
+        if (v.alive()) {
+          ++vertices;
+          edges += v.num_edges();
+        }
+      }
+    }
+    total_vertices_ = vertices;
+    total_edges_ = edges;
+  }
+
+  bool AnyVertexActive() const {
+    for (const Partition& p : partitions_) {
+      for (size_t i = 0; i < p.vertices.size(); ++i) {
+        if (!p.vertices[i].alive()) continue;
+        if (!p.vertices[i].halted() || !p.incoming[i].empty()) return true;
+      }
+    }
+    return false;
+  }
+
+  void RunWorker(WorkerCtx* ctx, Computation<Traits>* computation,
+                 SuperstepStats* ss) {
+    Partition& p = partitions_[static_cast<size_t>(ctx->worker_index())];
+    uint64_t active = 0;
+    for (size_t i = 0; i < p.vertices.size(); ++i) {
+      VertexT& v = p.vertices[i];
+      if (!v.alive()) continue;
+      std::vector<Message> messages = std::move(p.incoming[i]);
+      p.incoming[i].clear();
+      if (v.halted() && messages.empty()) continue;
+      v.Activate();
+      ++active;
+      ctx->BeginVertex(v.id());
+      try {
+        computation->Compute(*ctx, v, messages);
+      } catch (const std::exception& e) {
+        RecordComputeError(v.id(), e.what());
+        break;
+      } catch (...) {
+        RecordComputeError(v.id(), "(non-standard exception)");
+        break;
+      }
+      if (compute_error_.has_value()) break;  // another worker failed
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ss->active_vertices += active;
+    ss->messages_sent += ctx->TakeMessagesSent();
+  }
+
+  void RecordComputeError(VertexId id, const std::string& what) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (!compute_error_.has_value()) {
+      compute_error_ = StrFormat(
+          "exception escaped Compute() at superstep %lld, vertex %lld: %s",
+          static_cast<long long>(superstep_), static_cast<long long>(id),
+          what.c_str());
+    }
+  }
+
+  void MergeAggregators(std::vector<WorkerCtx>& contexts) {
+    // Start from initial (regular) or carried-forward (persistent) values.
+    std::map<std::string, AggValue> merged;
+    for (const auto& [name, spec] : aggregator_specs_) {
+      if (spec.persistent) {
+        auto it = visible_aggregators_.find(name);
+        merged[name] =
+            it == visible_aggregators_.end() ? spec.initial : it->second;
+      } else {
+        merged[name] = spec.initial;
+      }
+    }
+    for (WorkerCtx& ctx : contexts) {
+      for (auto& [name, update] : ctx.partial_aggregations()) {
+        auto spec = aggregator_specs_.find(name);
+        merged[name] = MergeAggValue(spec->second.op, merged[name], update);
+      }
+      ctx.partial_aggregations().clear();
+    }
+    visible_aggregators_ = std::move(merged);
+  }
+
+  void ResetVisibleAggregators(
+      const std::map<std::string, AggValue>& previous_merged) {
+    visible_aggregators_.clear();
+    for (const auto& [name, spec] : aggregator_specs_) {
+      auto it = previous_merged.find(name);
+      visible_aggregators_[name] =
+          it == previous_merged.end() ? spec.initial : it->second;
+    }
+  }
+
+  void FinalizeStats(JobStats* stats, const Stopwatch& clock) {
+    RefreshTotals();
+    stats->supersteps = superstep_;
+    stats->final_vertices = total_vertices_;
+    stats->final_edges = total_edges_;
+    stats->total_seconds = clock.ElapsedSeconds();
+  }
+
+  Options options_;
+  ComputationFactory<Traits> computation_factory_;
+  std::unique_ptr<MasterCompute> master_;
+  std::vector<Partition> partitions_;
+  std::vector<SuperstepObserver*> observers_;
+
+  std::unordered_map<std::string, AggregatorSpec> aggregator_specs_;
+  std::map<std::string, AggValue> visible_aggregators_;
+
+  int64_t superstep_ = 0;
+  uint64_t total_vertices_ = 0;
+  uint64_t total_edges_ = 0;
+  bool master_halted_ = false;
+
+  std::mutex stats_mutex_;
+  std::optional<std::string> compute_error_;
+};
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_ENGINE_H_

@@ -1,0 +1,75 @@
+#ifndef GRAFT_PREGEL_JOB_STATS_H_
+#define GRAFT_PREGEL_JOB_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace graft {
+namespace pregel {
+
+/// Why a job stopped.
+enum class TerminationReason {
+  kAllHalted,       // every vertex voted to halt and no messages in flight
+  kMasterHalted,    // master.compute() called HaltComputation()
+  kMaxSupersteps,   // Options::max_supersteps cap reached
+  kComputeError,    // an exception escaped Compute() (job aborted)
+};
+
+std::string_view TerminationReasonName(TerminationReason reason);
+
+/// Per-superstep execution record (feeds the GUI's global-data panel and the
+/// Figure 7 harness).
+struct SuperstepStats {
+  int64_t superstep = 0;
+  uint64_t active_vertices = 0;   // vertices that ran Compute()
+  uint64_t messages_sent = 0;
+  uint64_t messages_dropped = 0;  // sent to missing vertices (drop mode)
+  uint64_t vertices_removed = 0;
+  uint64_t edges_added = 0;
+  uint64_t edges_removed = 0;
+  double seconds = 0.0;
+};
+
+/// Whole-job summary returned by Engine::Run().
+struct JobStats {
+  TerminationReason termination = TerminationReason::kAllHalted;
+  int64_t supersteps = 0;  // number of executed supersteps
+  uint64_t total_messages = 0;
+  uint64_t final_vertices = 0;
+  uint64_t final_edges = 0;
+  double total_seconds = 0.0;
+  std::vector<SuperstepStats> per_superstep;
+
+  std::string ToString() const {
+    return StrFormat(
+        "supersteps=%lld termination=%s messages=%s vertices=%s edges=%s "
+        "time=%.3fs",
+        static_cast<long long>(supersteps),
+        std::string(TerminationReasonName(termination)).c_str(),
+        WithThousandsSeparators(total_messages).c_str(),
+        WithThousandsSeparators(final_vertices).c_str(),
+        WithThousandsSeparators(final_edges).c_str(), total_seconds);
+  }
+};
+
+inline std::string_view TerminationReasonName(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kAllHalted:
+      return "all-halted";
+    case TerminationReason::kMasterHalted:
+      return "master-halted";
+    case TerminationReason::kMaxSupersteps:
+      return "max-supersteps";
+    case TerminationReason::kComputeError:
+      return "compute-error";
+  }
+  return "?";
+}
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_JOB_STATS_H_

@@ -1,0 +1,47 @@
+#ifndef GRAFT_PREGEL_LOADER_H_
+#define GRAFT_PREGEL_LOADER_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/simple_graph.h"
+#include "pregel/vertex.h"
+
+namespace graft {
+namespace pregel {
+
+/// Materializes typed engine vertices from an untyped SimpleGraph.
+/// `vertex_init(id)` produces the initial VertexValue; `edge_init(source,
+/// target, weight)` maps the double weight into the EdgeValue. This is the
+/// analogue of a Giraph VertexInputFormat.
+template <JobTraits Traits, typename VertexInit, typename EdgeInit>
+std::vector<Vertex<Traits>> LoadVertices(const graph::SimpleGraph& g,
+                                         VertexInit&& vertex_init,
+                                         EdgeInit&& edge_init) {
+  std::vector<Vertex<Traits>> vertices;
+  vertices.reserve(g.NumVertices());
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    VertexId id = g.IdAt(i);
+    std::vector<Edge<typename Traits::EdgeValue>> edges;
+    edges.reserve(g.OutEdges(i).size());
+    for (const auto& e : g.OutEdges(i)) {
+      edges.push_back({e.target, edge_init(id, e.target, e.weight)});
+    }
+    vertices.emplace_back(id, vertex_init(id), std::move(edges));
+  }
+  return vertices;
+}
+
+/// Loader for the common unweighted case (EdgeValue = NullValue).
+template <JobTraits Traits, typename VertexInit>
+std::vector<Vertex<Traits>> LoadUnweighted(const graph::SimpleGraph& g,
+                                           VertexInit&& vertex_init) {
+  return LoadVertices<Traits>(
+      g, std::forward<VertexInit>(vertex_init),
+      [](VertexId, VertexId, double) { return typename Traits::EdgeValue{}; });
+}
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_LOADER_H_

@@ -1,0 +1,81 @@
+#ifndef GRAFT_PREGEL_MASTER_H_
+#define GRAFT_PREGEL_MASTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "pregel/agg_value.h"
+
+namespace graft {
+namespace pregel {
+
+/// Registration record for a named aggregator.
+struct AggregatorSpec {
+  AggregatorOp op = AggregatorOp::kSum;
+  AggValue initial;
+  /// Persistent aggregators carry their merged value across supersteps;
+  /// regular ones reset to `initial` each superstep (Giraph semantics).
+  bool persistent = false;
+};
+
+/// What MasterCompute::Compute() may touch. Implemented by the engine; the
+/// Context Reproducer provides a mock for replaying captured master
+/// contexts (§3.4 "Debugging Master.compute()").
+class MasterContext {
+ public:
+  virtual ~MasterContext() = default;
+
+  virtual int64_t superstep() const = 0;
+  virtual int64_t total_num_vertices() const = 0;
+  virtual int64_t total_num_edges() const = 0;
+
+  /// Registers a named aggregator. Legal only from Initialize().
+  virtual Status RegisterAggregator(const std::string& name,
+                                    const AggregatorSpec& spec) = 0;
+
+  /// Merged value from the previous superstep (possibly already overwritten
+  /// by an earlier SetAggregated call this superstep).
+  virtual AggValue GetAggregated(const std::string& name) const = 0;
+
+  /// Overwrites the value that will be broadcast to vertices this
+  /// superstep. The paper notes the most common master bug is setting the
+  /// computation phase incorrectly here (§3.4).
+  virtual Status SetAggregated(const std::string& name,
+                               const AggValue& value) = 0;
+
+  /// All aggregator values as currently visible — the master context Graft
+  /// captures every superstep.
+  virtual const std::map<std::string, AggValue>& VisibleAggregators()
+      const = 0;
+
+  /// Instructs the system to terminate after this call returns.
+  virtual void HaltComputation() = 0;
+  virtual bool IsHalted() const = 0;
+
+  /// Deterministic per-superstep random stream for the master.
+  virtual Rng& rng() = 0;
+};
+
+/// Optional master program, the GPS-introduced master.compute() (§2). Runs
+/// at the beginning of every superstep, seeing aggregator values merged at
+/// the end of the previous superstep.
+class MasterCompute {
+ public:
+  virtual ~MasterCompute() = default;
+
+  /// Called once before superstep 0; register aggregators here.
+  virtual void Initialize(MasterContext& ctx) { (void)ctx; }
+
+  virtual void Compute(MasterContext& ctx) = 0;
+};
+
+using MasterFactory = std::function<std::unique_ptr<MasterCompute>()>;
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_MASTER_H_

@@ -1,0 +1,124 @@
+#ifndef GRAFT_PREGEL_VALUE_TYPES_H_
+#define GRAFT_PREGEL_VALUE_TYPES_H_
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace graft {
+namespace pregel {
+
+/// The C++ analogue of Giraph's Writable contract. Every vertex value, edge
+/// value, and message type must satisfy this so that Graft can serialize
+/// vertex contexts into trace files (§3.1), render them in the GUI (§3.2),
+/// and bake them into generated test code as literals (§3.3).
+template <typename T>
+concept WritableValue = requires(const T& v, BinaryWriter& w, BinaryReader& r) {
+  { v.Write(w) } -> std::same_as<void>;
+  { T::Read(r) } -> std::same_as<Result<T>>;
+  { v.ToString() } -> std::same_as<std::string>;
+  { v.ToCpp() } -> std::same_as<std::string>;
+  { v == v } -> std::convertible_to<bool>;
+  requires std::default_initializable<T>;
+  requires std::copy_constructible<T>;
+};
+
+/// Analogue of Giraph's NullWritable: carries no data (used as the edge
+/// value of unweighted graphs and as a placeholder message type).
+struct NullValue {
+  void Write(BinaryWriter&) const {}
+  static Result<NullValue> Read(BinaryReader&) { return NullValue{}; }
+  std::string ToString() const { return "-"; }
+  std::string ToCpp() const { return "graft::pregel::NullValue{}"; }
+  friend bool operator==(const NullValue&, const NullValue&) { return true; }
+};
+
+/// Analogue of LongWritable.
+struct Int64Value {
+  int64_t value = 0;
+
+  void Write(BinaryWriter& w) const { w.WriteSignedVarint(value); }
+  static Result<Int64Value> Read(BinaryReader& r) {
+    GRAFT_ASSIGN_OR_RETURN(int64_t v, r.ReadSignedVarint());
+    return Int64Value{v};
+  }
+  std::string ToString() const { return std::to_string(value); }
+  std::string ToCpp() const {
+    return StrFormat("graft::pregel::Int64Value{%lld}",
+                     static_cast<long long>(value));
+  }
+  friend bool operator==(const Int64Value&, const Int64Value&) = default;
+};
+
+/// Analogue of DoubleWritable.
+struct DoubleValue {
+  double value = 0.0;
+
+  void Write(BinaryWriter& w) const { w.WriteDouble(value); }
+  static Result<DoubleValue> Read(BinaryReader& r) {
+    GRAFT_ASSIGN_OR_RETURN(double v, r.ReadDouble());
+    return DoubleValue{v};
+  }
+  std::string ToString() const { return StrFormat("%g", value); }
+  std::string ToCpp() const {
+    return StrFormat("graft::pregel::DoubleValue{%.17g}", value);
+  }
+  friend bool operator==(const DoubleValue&, const DoubleValue&) = default;
+};
+
+/// 16-bit counter value — the type at the heart of the paper's Random Walk
+/// debugging scenario (§4.2): "our implementation declares the counters and
+/// messages as 16-bit short primitive types", which overflow past 32767 and
+/// turn walker counts negative. Arithmetic on `value` wraps exactly like a
+/// Java short.
+struct ShortValue {
+  int16_t value = 0;
+
+  void Write(BinaryWriter& w) const { w.WriteSignedVarint(value); }
+  static Result<ShortValue> Read(BinaryReader& r) {
+    GRAFT_ASSIGN_OR_RETURN(int64_t v, r.ReadSignedVarint());
+    return ShortValue{static_cast<int16_t>(v)};
+  }
+  std::string ToString() const { return std::to_string(value); }
+  std::string ToCpp() const {
+    return StrFormat("graft::pregel::ShortValue{int16_t{%d}}",
+                     static_cast<int>(value));
+  }
+  friend bool operator==(const ShortValue&, const ShortValue&) = default;
+};
+
+/// Analogue of Text.
+struct TextValue {
+  std::string value;
+
+  void Write(BinaryWriter& w) const { w.WriteString(value); }
+  static Result<TextValue> Read(BinaryReader& r) {
+    GRAFT_ASSIGN_OR_RETURN(std::string v, r.ReadString());
+    return TextValue{std::move(v)};
+  }
+  std::string ToString() const { return value; }
+  std::string ToCpp() const {
+    std::string escaped;
+    for (char c : value) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    return "graft::pregel::TextValue{\"" + escaped + "\"}";
+  }
+  friend bool operator==(const TextValue&, const TextValue&) = default;
+};
+
+static_assert(WritableValue<NullValue>);
+static_assert(WritableValue<Int64Value>);
+static_assert(WritableValue<DoubleValue>);
+static_assert(WritableValue<ShortValue>);
+static_assert(WritableValue<TextValue>);
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_VALUE_TYPES_H_

@@ -1,0 +1,89 @@
+#ifndef GRAFT_PREGEL_VERTEX_H_
+#define GRAFT_PREGEL_VERTEX_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/simple_graph.h"
+#include "pregel/value_types.h"
+
+namespace graft {
+namespace pregel {
+
+using graft::VertexId;
+
+/// Typed out-edge.
+template <WritableValue EdgeValueT>
+struct Edge {
+  VertexId target;
+  EdgeValueT value;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Trait bundle parameterizing a Pregel job, mirroring Giraph's
+/// <I, V, E, M> generics (vertex ids are fixed to int64, DESIGN.md §2).
+template <typename T>
+concept JobTraits = requires {
+  requires WritableValue<typename T::VertexValue>;
+  requires WritableValue<typename T::EdgeValue>;
+  requires WritableValue<typename T::Message>;
+};
+
+/// A vertex as seen by Compute(): id, mutable value, mutable out-edges, and
+/// the active/halted flag toggled via VoteToHalt (§2 item list).
+template <JobTraits Traits>
+class Vertex {
+ public:
+  using VertexValue = typename Traits::VertexValue;
+  using EdgeValue = typename Traits::EdgeValue;
+  using EdgeT = Edge<EdgeValue>;
+
+  Vertex() = default;
+  Vertex(VertexId id, VertexValue value, std::vector<EdgeT> edges)
+      : id_(id), value_(std::move(value)), edges_(std::move(edges)) {}
+
+  VertexId id() const { return id_; }
+
+  const VertexValue& value() const { return value_; }
+  VertexValue* mutable_value() { return &value_; }
+  void set_value(VertexValue v) { value_ = std::move(v); }
+
+  const std::vector<EdgeT>& edges() const { return edges_; }
+  std::vector<EdgeT>* mutable_edges() { return &edges_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Adds an out-edge in place (local topology mutation; remote mutations go
+  /// through ComputeContext requests).
+  void AddEdge(VertexId target, EdgeValue value) {
+    edges_.push_back(EdgeT{target, std::move(value)});
+  }
+
+  /// Removes all out-edges to `target`; returns how many were removed.
+  size_t RemoveEdgesTo(VertexId target) {
+    size_t before = edges_.size();
+    std::erase_if(edges_, [&](const EdgeT& e) { return e.target == target; });
+    return before - edges_.size();
+  }
+
+  /// Declares this vertex done until a message re-activates it.
+  void VoteToHalt() { halted_ = true; }
+  void Activate() { halted_ = false; }
+  bool halted() const { return halted_; }
+
+  /// Engine-internal liveness (false after a RemoveVertex mutation).
+  bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+ private:
+  VertexId id_ = 0;
+  VertexValue value_{};
+  std::vector<EdgeT> edges_;
+  bool halted_ = false;
+  bool alive_ = true;
+};
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_VERTEX_H_

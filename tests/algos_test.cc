@@ -1,0 +1,193 @@
+// Tests for the simpler algorithms: connected components, PageRank, SSSP —
+// including property-style comparisons against sequential reference
+// implementations on random graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "algos/connected_components.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace graft {
+namespace algos {
+namespace {
+
+// ------------------------------------------------------ connected components --
+
+TEST(ConnectedComponentsTest, SingleComponentRing) {
+  auto result = RunConnectedComponents(graph::GenerateRing(50));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_components, 1);
+}
+
+TEST(ConnectedComponentsTest, IsolatedVerticesAreOwnComponents) {
+  graph::SimpleGraph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.AddUndirectedEdge(3, 4);
+  auto result = RunConnectedComponents(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_components, 3);
+  EXPECT_EQ(result->component.at(3), 3);
+  EXPECT_EQ(result->component.at(4), 3);
+}
+
+/// Sequential BFS reference.
+std::map<VertexId, int64_t> ReferenceComponents(const graph::SimpleGraph& g) {
+  std::map<VertexId, int64_t> component;
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    VertexId start = g.IdAt(i);
+    if (component.count(start) != 0) continue;
+    // BFS labelling with the minimum id in the component.
+    std::vector<VertexId> members;
+    std::queue<VertexId> queue;
+    std::set<VertexId> seen{start};
+    queue.push(start);
+    VertexId min_id = start;
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop();
+      members.push_back(v);
+      min_id = std::min(min_id, v);
+      for (const auto& e : g.OutEdgesOf(v)) {
+        if (seen.insert(e.target).second) queue.push(e.target);
+      }
+    }
+    for (VertexId v : members) component[v] = min_id;
+  }
+  return component;
+}
+
+class CCRandomGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(CCRandomGraphs, MatchesSequentialBfs) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  // Sparse random graph -> several components.
+  graph::SimpleGraph g = graph::MakeUndirected(
+      graph::GenerateErdosRenyi(200, 120, seed));
+  auto result = RunConnectedComponents(g, /*num_workers=*/3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->component, ReferenceComponents(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CCRandomGraphs, ::testing::Range(1, 9));
+
+// ----------------------------------------------------------------- PageRank --
+
+TEST(PageRankTest, RanksSumToOneOnStronglyConnectedGraph) {
+  auto result = RunPageRank(graph::GenerateRing(40), 25);
+  ASSERT_TRUE(result.ok());
+  double sum = 0;
+  for (const auto& [id, r] : result->rank) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // Symmetric ring: all ranks equal.
+  for (const auto& [id, r] : result->rank) EXPECT_NEAR(r, 1.0 / 40, 1e-9);
+}
+
+TEST(PageRankTest, HubOutranksLeaves) {
+  // Star pointing inward: leaves -> center.
+  graph::SimpleGraph g;
+  for (VertexId v = 1; v <= 10; ++v) g.AddEdge(v, 0);
+  g.AddVertex(0);
+  auto result = RunPageRank(g, 20);
+  ASSERT_TRUE(result.ok());
+  for (VertexId v = 1; v <= 10; ++v) {
+    EXPECT_GT(result->rank.at(0), result->rank.at(v) * 5);
+  }
+}
+
+TEST(PageRankTest, RunsRequestedIterations) {
+  auto result = RunPageRank(graph::GenerateRing(10), 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.termination,
+            pregel::TerminationReason::kMasterHalted);
+  // iterations+1 vertex phases (superstep 0 seeds, 1..7 iterate), +1 for
+  // the final master-halt superstep boundary.
+  EXPECT_GE(result->stats.supersteps, 7);
+}
+
+// --------------------------------------------------------------------- SSSP --
+
+/// Sequential Dijkstra reference.
+std::map<VertexId, double> ReferenceDijkstra(const graph::SimpleGraph& g,
+                                             VertexId source) {
+  std::map<VertexId, double> dist;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < g.NumVertices(); ++i) dist[g.IdAt(i)] = kInf;
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (const auto& e : g.OutEdgesOf(v)) {
+      double candidate = d + e.weight;
+      if (candidate < dist[e.target]) {
+        dist[e.target] = candidate;
+        heap.emplace(candidate, e.target);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(SsspTest, SimplePath) {
+  graph::SimpleGraph g;
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 2, 3.0);
+  g.AddEdge(0, 2, 10.0);
+  auto result = RunSssp(g, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distance.at(0), 0.0);
+  EXPECT_EQ(result->distance.at(1), 2.0);
+  EXPECT_EQ(result->distance.at(2), 5.0);
+}
+
+TEST(SsspTest, UnreachableVerticesStayInfinite) {
+  graph::SimpleGraph g;
+  g.AddEdge(0, 1, 1.0);
+  g.AddVertex(5);
+  auto result = RunSssp(g, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isinf(result->distance.at(5)));
+}
+
+TEST(SsspTest, MissingSourceIsError) {
+  graph::SimpleGraph g;
+  g.AddVertex(1);
+  EXPECT_TRUE(RunSssp(g, 42).status().IsInvalidArgument());
+}
+
+class SsspRandomGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsspRandomGraphs, MatchesDijkstra) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  graph::SimpleGraph g = graph::GenerateErdosRenyi(150, 600, seed);
+  graph::AssignRandomWeights(&g, 0.5, 10.0, seed + 100, /*symmetric=*/false);
+  VertexId source = g.IdAt(0);
+  auto result = RunSssp(g, source, /*num_workers=*/3);
+  ASSERT_TRUE(result.ok());
+  auto reference = ReferenceDijkstra(g, source);
+  ASSERT_EQ(result->distance.size(), reference.size());
+  for (const auto& [id, d] : reference) {
+    if (std::isinf(d)) {
+      EXPECT_TRUE(std::isinf(result->distance.at(id))) << "vertex " << id;
+    } else {
+      EXPECT_NEAR(result->distance.at(id), d, 1e-9) << "vertex " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsspRandomGraphs, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace algos
+}  // namespace graft

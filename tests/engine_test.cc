@@ -1,0 +1,561 @@
+// Tests for the Pregel engine's BSP contract (DESIGN.md §4) plus the value
+// types, aggregator values, and the graph loader.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "graph/generators.h"
+#include "pregel/agg_value.h"
+#include "pregel/engine.h"
+#include "pregel/loader.h"
+#include "pregel/value_types.h"
+
+namespace graft {
+namespace pregel {
+namespace {
+
+// ------------------------------------------------------------ value types --
+
+template <typename T>
+T RoundTrip(const T& value) {
+  BinaryWriter w;
+  value.Write(w);
+  BinaryReader r(w.buffer());
+  auto decoded = T::Read(r);
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_TRUE(r.AtEnd());
+  return decoded.value();
+}
+
+TEST(ValueTypesTest, RoundTrips) {
+  EXPECT_EQ(RoundTrip(NullValue{}), NullValue{});
+  EXPECT_EQ(RoundTrip(Int64Value{-1234567890123}), (Int64Value{-1234567890123}));
+  EXPECT_EQ(RoundTrip(DoubleValue{3.25}), (DoubleValue{3.25}));
+  EXPECT_EQ(RoundTrip(ShortValue{-32768}), (ShortValue{-32768}));
+  EXPECT_EQ(RoundTrip(TextValue{"hello world"}), (TextValue{"hello world"}));
+}
+
+TEST(ValueTypesTest, ShortValueWrapsLikeJavaShort) {
+  ShortValue v{32767};
+  ++v.value;
+  EXPECT_EQ(v.value, -32768);
+}
+
+TEST(ValueTypesTest, ToStringAndToCpp) {
+  EXPECT_EQ(Int64Value{42}.ToString(), "42");
+  EXPECT_EQ(Int64Value{42}.ToCpp(), "graft::pregel::Int64Value{42}");
+  EXPECT_EQ(NullValue{}.ToString(), "-");
+  EXPECT_EQ((TextValue{"a\"b"}).ToCpp(),
+            "graft::pregel::TextValue{\"a\\\"b\"}");
+}
+
+// --------------------------------------------------------------- AggValue --
+
+TEST(AggValueTest, TypePredicatesAndAccessors) {
+  EXPECT_TRUE(AggValue{}.IsNull());
+  EXPECT_EQ(AggValue{int64_t{5}}.AsInt(), 5);
+  EXPECT_EQ(AggValue{2.5}.AsDouble(), 2.5);
+  EXPECT_EQ(AggValue{true}.AsBool(), true);
+  EXPECT_EQ(AggValue{std::string("p")}.AsText(), "p");
+}
+
+TEST(AggValueTest, SerializationRoundTripsAllVariants) {
+  for (const AggValue& v :
+       {AggValue{}, AggValue{int64_t{-7}}, AggValue{1.5}, AggValue{true},
+        AggValue{std::string("PHASE-2")}}) {
+    BinaryWriter w;
+    v.Write(w);
+    BinaryReader r(w.buffer());
+    auto decoded = AggValue::Read(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, v);
+  }
+}
+
+TEST(AggValueTest, BadTagIsError) {
+  std::string data = "\x09";
+  BinaryReader r(data);
+  EXPECT_FALSE(AggValue::Read(r).ok());
+}
+
+TEST(AggValueTest, MergeOps) {
+  using enum AggregatorOp;
+  EXPECT_EQ(MergeAggValue(kSum, AggValue{int64_t{2}}, AggValue{int64_t{3}}),
+            AggValue{int64_t{5}});
+  EXPECT_EQ(MergeAggValue(kSum, AggValue{1.5}, AggValue{2.0}), AggValue{3.5});
+  EXPECT_EQ(MergeAggValue(kMin, AggValue{int64_t{2}}, AggValue{int64_t{3}}),
+            AggValue{int64_t{2}});
+  EXPECT_EQ(MergeAggValue(kMax, AggValue{2.0}, AggValue{3.0}), AggValue{3.0});
+  EXPECT_EQ(MergeAggValue(kMax, AggValue{std::string("a")},
+                          AggValue{std::string("b")}),
+            AggValue{std::string("b")});
+  EXPECT_EQ(MergeAggValue(kAnd, AggValue{true}, AggValue{false}),
+            AggValue{false});
+  EXPECT_EQ(MergeAggValue(kOr, AggValue{false}, AggValue{true}),
+            AggValue{true});
+  EXPECT_EQ(MergeAggValue(kOverwrite, AggValue{int64_t{1}},
+                          AggValue{std::string("x")}),
+            AggValue{std::string("x")});
+}
+
+TEST(AggValueTest, NullAccumulatorAdoptsUpdate) {
+  EXPECT_EQ(MergeAggValue(AggregatorOp::kSum, AggValue{}, AggValue{1.0}),
+            AggValue{1.0});
+  EXPECT_EQ(MergeAggValue(AggregatorOp::kSum, AggValue{1.0}, AggValue{}),
+            AggValue{1.0});
+}
+
+// ----------------------------------------------------------------- loader --
+
+struct EchoTraits {
+  using VertexValue = Int64Value;
+  using EdgeValue = DoubleValue;
+  using Message = Int64Value;
+};
+
+TEST(LoaderTest, MapsValuesAndWeights) {
+  graph::SimpleGraph g;
+  g.AddEdge(1, 2, 0.5);
+  g.AddEdge(2, 1, 1.5);
+  auto vertices = LoadVertices<EchoTraits>(
+      g, [](VertexId id) { return Int64Value{id * 10}; },
+      [](VertexId, VertexId, double w) { return DoubleValue{w * 2}; });
+  ASSERT_EQ(vertices.size(), 2u);
+  EXPECT_EQ(vertices[0].id(), 1);
+  EXPECT_EQ(vertices[0].value().value, 10);
+  ASSERT_EQ(vertices[0].edges().size(), 1u);
+  EXPECT_EQ(vertices[0].edges()[0].value.value, 1.0);
+}
+
+// ------------------------------------------------------------------ engine --
+
+/// Test computation: counts supersteps in the vertex value, sends its id to
+/// all neighbors every superstep, halts after `max_steps`.
+struct CounterTraits {
+  using VertexValue = Int64Value;
+  using EdgeValue = NullValue;
+  using Message = Int64Value;
+};
+
+class CounterComputation : public Computation<CounterTraits> {
+ public:
+  explicit CounterComputation(int max_steps) : max_steps_(max_steps) {}
+  void Compute(ComputeContext<CounterTraits>& ctx,
+               Vertex<CounterTraits>& vertex,
+               const std::vector<Int64Value>& messages) override {
+    vertex.set_value(Int64Value{vertex.value().value + 1});
+    (void)messages;
+    if (ctx.superstep() + 1 >= max_steps_) {
+      vertex.VoteToHalt();
+    } else {
+      ctx.SendMessageToAllEdges(vertex, Int64Value{vertex.id()});
+    }
+  }
+
+ private:
+  int max_steps_;
+};
+
+std::vector<Vertex<CounterTraits>> RingVertices(uint64_t n) {
+  return LoadUnweighted<CounterTraits>(graph::GenerateRing(n),
+                                       [](VertexId) { return Int64Value{0}; });
+}
+
+TEST(EngineTest, RunsExactSuperstepCountAndDeliversMessages) {
+  Engine<CounterTraits>::Options options;
+  options.num_workers = 3;
+  Engine<CounterTraits> engine(options, RingVertices(10), [] {
+    return std::make_unique<CounterComputation>(5);
+  });
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->termination, TerminationReason::kAllHalted);
+  // 5 vertex phases ran; termination is detected at the start of the 6th
+  // superstep, before any vertex executes.
+  EXPECT_EQ(stats->supersteps, 5);
+  engine.ForEachVertex([](const Vertex<CounterTraits>& v) {
+    EXPECT_EQ(v.value().value, 5);
+  });
+  // Each of 10 vertices sends 2 messages in supersteps 0..3.
+  EXPECT_EQ(stats->total_messages, 10u * 2u * 4u);
+}
+
+TEST(EngineTest, ResultIndependentOfWorkerCount) {
+  std::map<VertexId, int64_t> reference;
+  for (int workers : {1, 2, 5}) {
+    Engine<CounterTraits>::Options options;
+    options.num_workers = workers;
+    Engine<CounterTraits> engine(options, RingVertices(23), [] {
+      return std::make_unique<CounterComputation>(7);
+    });
+    ASSERT_TRUE(engine.Run().ok());
+    std::map<VertexId, int64_t> values;
+    engine.ForEachVertex([&](const Vertex<CounterTraits>& v) {
+      values[v.id()] = v.value().value;
+    });
+    if (reference.empty()) {
+      reference = values;
+    } else {
+      EXPECT_EQ(values, reference) << "workers=" << workers;
+    }
+  }
+}
+
+/// Messages sent in superstep S must arrive in S+1, not earlier/later.
+class DeliveryTimingComputation : public Computation<CounterTraits> {
+ public:
+  void Compute(ComputeContext<CounterTraits>& ctx,
+               Vertex<CounterTraits>& vertex,
+               const std::vector<Int64Value>& messages) override {
+    if (ctx.superstep() == 0) {
+      EXPECT_TRUE(messages.empty());
+      ctx.SendMessageToAllEdges(vertex, Int64Value{100 + vertex.id()});
+    } else if (ctx.superstep() == 1) {
+      // Ring: both neighbors sent one message tagged with their id.
+      EXPECT_EQ(messages.size(), 2u);
+      for (const auto& m : messages) EXPECT_GE(m.value, 100);
+    }
+    vertex.VoteToHalt();
+  }
+};
+
+TEST(EngineTest, MessagesDeliveredExactlyNextSuperstep) {
+  Engine<CounterTraits>::Options options;
+  Engine<CounterTraits> engine(options, RingVertices(6), [] {
+    return std::make_unique<DeliveryTimingComputation>();
+  });
+  ASSERT_TRUE(engine.Run().ok());
+}
+
+/// Halted vertices are only re-activated by messages.
+class HaltingComputation : public Computation<CounterTraits> {
+ public:
+  void Compute(ComputeContext<CounterTraits>& ctx,
+               Vertex<CounterTraits>& vertex,
+               const std::vector<Int64Value>& messages) override {
+    vertex.set_value(Int64Value{vertex.value().value + 1});
+    if (ctx.superstep() == 0 && vertex.id() == 0) {
+      // Only vertex 0 sends; to one neighbor; at superstep 2 it wakes.
+      ctx.SendMessage(1, Int64Value{7});
+    }
+    (void)messages;
+    vertex.VoteToHalt();
+  }
+};
+
+TEST(EngineTest, MessageReactivatesHaltedVertexOthersStayAsleep) {
+  Engine<CounterTraits>::Options options;
+  Engine<CounterTraits> engine(options, RingVertices(5), [] {
+    return std::make_unique<HaltingComputation>();
+  });
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  engine.ForEachVertex([](const Vertex<CounterTraits>& v) {
+    // Vertex 1 computed twice (superstep 0 + reactivation), others once.
+    EXPECT_EQ(v.value().value, v.id() == 1 ? 2 : 1) << "vertex " << v.id();
+  });
+}
+
+TEST(EngineTest, CombinerReducesInboxToOneMessage) {
+  struct SumComputation : Computation<CounterTraits> {
+    void Compute(ComputeContext<CounterTraits>& ctx,
+                 Vertex<CounterTraits>& vertex,
+                 const std::vector<Int64Value>& messages) override {
+      if (ctx.superstep() == 0) {
+        // Everyone sends 1 to vertex 0, twice.
+        ctx.SendMessage(0, Int64Value{1});
+        ctx.SendMessage(0, Int64Value{1});
+      } else if (vertex.id() == 0 && ctx.superstep() == 1) {
+        EXPECT_EQ(messages.size(), 1u) << "combiner did not collapse inbox";
+        vertex.set_value(messages[0]);
+      }
+      vertex.VoteToHalt();
+    }
+  };
+  Engine<CounterTraits>::Options options;
+  options.num_workers = 3;
+  options.combiner = [](const Int64Value& a, const Int64Value& b) {
+    return Int64Value{a.value + b.value};
+  };
+  Engine<CounterTraits> engine(options, RingVertices(8), [] {
+    return std::make_unique<SumComputation>();
+  });
+  ASSERT_TRUE(engine.Run().ok());
+  auto v0 = engine.FindVertex(0);
+  ASSERT_TRUE(v0.ok());
+  EXPECT_EQ((*v0)->value().value, 16);  // 8 vertices x 2 messages
+}
+
+TEST(EngineTest, MaxSuperstepCapTriggers) {
+  struct ForeverComputation : Computation<CounterTraits> {
+    void Compute(ComputeContext<CounterTraits>& ctx,
+                 Vertex<CounterTraits>& vertex,
+                 const std::vector<Int64Value>&) override {
+      (void)ctx;
+      (void)vertex;  // never halts
+    }
+  };
+  Engine<CounterTraits>::Options options;
+  options.max_supersteps = 17;
+  Engine<CounterTraits> engine(options, RingVertices(4), [] {
+    return std::make_unique<ForeverComputation>();
+  });
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->termination, TerminationReason::kMaxSupersteps);
+  EXPECT_EQ(stats->supersteps, 17);
+}
+
+TEST(EngineTest, ComputeExceptionAbortsWithVertexInMessage) {
+  struct ThrowingComputation : Computation<CounterTraits> {
+    void Compute(ComputeContext<CounterTraits>&, Vertex<CounterTraits>& vertex,
+                 const std::vector<Int64Value>&) override {
+      if (vertex.id() == 3) throw VertexComputeError("boom");
+      vertex.VoteToHalt();
+    }
+  };
+  Engine<CounterTraits>::Options options;
+  Engine<CounterTraits> engine(options, RingVertices(6), [] {
+    return std::make_unique<ThrowingComputation>();
+  });
+  auto stats = engine.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsAborted());
+  EXPECT_NE(stats.status().message().find("vertex 3"), std::string::npos);
+  EXPECT_NE(stats.status().message().find("boom"), std::string::npos);
+}
+
+// ------------------------------------------------- aggregators & master --
+
+class AggMaster : public MasterCompute {
+ public:
+  void Initialize(MasterContext& ctx) override {
+    ASSERT_TRUE(ctx.RegisterAggregator(
+                       "sum", {AggregatorOp::kSum, AggValue{int64_t{0}},
+                               /*persistent=*/false})
+                    .ok());
+    ASSERT_TRUE(ctx.RegisterAggregator(
+                       "persistent-sum",
+                       {AggregatorOp::kSum, AggValue{int64_t{0}},
+                        /*persistent=*/true})
+                    .ok());
+    ASSERT_TRUE(ctx.RegisterAggregator(
+                       "phase", {AggregatorOp::kOverwrite,
+                                 AggValue{std::string("INIT")},
+                                 /*persistent=*/true})
+                    .ok());
+    // Duplicate registration is rejected.
+    EXPECT_TRUE(ctx.RegisterAggregator("sum", {}).IsAlreadyExists());
+  }
+  void Compute(MasterContext& ctx) override {
+    observed_sums.push_back(ctx.GetAggregated("sum"));
+    observed_persistent.push_back(ctx.GetAggregated("persistent-sum"));
+    ASSERT_TRUE(
+        ctx.SetAggregated(
+               "phase", AggValue{std::string("S") +
+                                 std::to_string(ctx.superstep())})
+            .ok());
+    EXPECT_TRUE(
+        ctx.SetAggregated("unknown", AggValue{int64_t{1}}).IsNotFound());
+    if (ctx.superstep() == 3) ctx.HaltComputation();
+  }
+
+  static std::vector<AggValue> observed_sums;
+  static std::vector<AggValue> observed_persistent;
+};
+std::vector<AggValue> AggMaster::observed_sums;
+std::vector<AggValue> AggMaster::observed_persistent;
+
+class AggComputation : public Computation<CounterTraits> {
+ public:
+  void Compute(ComputeContext<CounterTraits>& ctx,
+               Vertex<CounterTraits>& vertex,
+               const std::vector<Int64Value>&) override {
+    // Each vertex contributes 1 per superstep to both aggregators.
+    ctx.Aggregate("sum", AggValue{int64_t{1}});
+    ctx.Aggregate("persistent-sum", AggValue{int64_t{1}});
+    // The master's phase overwrite must be visible to vertices in the same
+    // superstep.
+    EXPECT_EQ(ctx.GetAggregated("phase").AsText(),
+              "S" + std::to_string(ctx.superstep()));
+    EXPECT_TRUE(ctx.GetAggregated("missing").IsNull());
+    (void)vertex;  // never halts; master stops the job
+  }
+};
+
+TEST(EngineTest, AggregatorTimingRegularVsPersistent) {
+  AggMaster::observed_sums.clear();
+  AggMaster::observed_persistent.clear();
+  Engine<CounterTraits>::Options options;
+  options.num_workers = 3;
+  Engine<CounterTraits> engine(
+      options, RingVertices(10),
+      [] { return std::make_unique<AggComputation>(); },
+      [] { return std::make_unique<AggMaster>(); });
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->termination, TerminationReason::kMasterHalted);
+  // Master at superstep s sees values aggregated during superstep s-1:
+  // regular "sum" resets each superstep -> always 10 (except superstep 0).
+  ASSERT_EQ(AggMaster::observed_sums.size(), 4u);
+  EXPECT_EQ(AggMaster::observed_sums[0].AsInt(), 0);  // initial
+  EXPECT_EQ(AggMaster::observed_sums[1].AsInt(), 10);
+  EXPECT_EQ(AggMaster::observed_sums[2].AsInt(), 10);
+  EXPECT_EQ(AggMaster::observed_sums[3].AsInt(), 10);
+  // Persistent accumulates: 0, 10, 20, 30.
+  EXPECT_EQ(AggMaster::observed_persistent[3].AsInt(), 30);
+}
+
+// ------------------------------------------------------ topology mutation --
+
+struct MutTraits {
+  using VertexValue = Int64Value;
+  using EdgeValue = NullValue;
+  using Message = Int64Value;
+};
+
+TEST(EngineTest, RemoveVertexDropsItAndItsMessages) {
+  struct MutComputation : Computation<MutTraits> {
+    void Compute(ComputeContext<MutTraits>& ctx, Vertex<MutTraits>& vertex,
+                 const std::vector<Int64Value>& messages) override {
+      if (ctx.superstep() == 0) {
+        if (vertex.id() == 0) {
+          ctx.RemoveVertexRequest(2);
+          ctx.SendMessage(2, Int64Value{1});  // raced with removal: dropped
+        }
+        return;  // stay active one more superstep
+      }
+      EXPECT_TRUE(messages.empty());
+      EXPECT_EQ(ctx.total_num_vertices(), 4);
+      vertex.VoteToHalt();
+    }
+  };
+  Engine<MutTraits>::Options options;
+  auto vertices = LoadUnweighted<MutTraits>(graph::GenerateRing(5),
+                                            [](VertexId) {
+                                              return Int64Value{0};
+                                            });
+  Engine<MutTraits> engine(options, std::move(vertices), [] {
+    return std::make_unique<MutComputation>();
+  });
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(engine.NumAliveVertices(), 4u);
+  EXPECT_TRUE(engine.FindVertex(2).status().IsNotFound());
+  EXPECT_EQ(stats->per_superstep[1].messages_dropped, 1u);
+  EXPECT_EQ(stats->per_superstep[1].vertices_removed, 1u);
+}
+
+TEST(EngineTest, CreateMissingVerticesPolicy) {
+  struct SpawnComputation : Computation<MutTraits> {
+    void Compute(ComputeContext<MutTraits>& ctx, Vertex<MutTraits>& vertex,
+                 const std::vector<Int64Value>& messages) override {
+      if (ctx.superstep() == 0 && vertex.id() == 0) {
+        ctx.SendMessage(999, Int64Value{5});  // 999 does not exist
+      }
+      if (vertex.id() == 999) {
+        EXPECT_EQ(messages.size(), 1u);
+        vertex.set_value(Int64Value{messages[0].value});
+      }
+      vertex.VoteToHalt();
+    }
+  };
+  Engine<MutTraits>::Options options;
+  options.create_missing_vertices = true;
+  options.default_vertex_value = Int64Value{-1};
+  auto vertices = LoadUnweighted<MutTraits>(graph::GenerateRing(3),
+                                            [](VertexId) {
+                                              return Int64Value{0};
+                                            });
+  Engine<MutTraits> engine(options, std::move(vertices), [] {
+    return std::make_unique<SpawnComputation>();
+  });
+  ASSERT_TRUE(engine.Run().ok());
+  auto v = engine.FindVertex(999);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)->value().value, 5);
+  EXPECT_EQ(engine.NumAliveVertices(), 4u);
+}
+
+TEST(EngineTest, RemoteEdgeMutationsApplyBetweenSupersteps) {
+  struct EdgeMutComputation2 : Computation<MutTraits> {
+    void Compute(ComputeContext<MutTraits>& ctx, Vertex<MutTraits>& vertex,
+                 const std::vector<Int64Value>&) override {
+      if (ctx.superstep() == 0 && vertex.id() == 0) {
+        ctx.AddEdgeRequest(1, 2, NullValue{});
+        ctx.RemoveEdgeRequest(2, 1);
+      }
+      vertex.VoteToHalt();
+    }
+  };
+  Engine<MutTraits>::Options options;
+  graph::SimpleGraph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddEdge(2, 1);
+  auto vertices = LoadUnweighted<MutTraits>(
+      g, [](VertexId) { return Int64Value{0}; });
+  Engine<MutTraits> engine(options, std::move(vertices), [] {
+    return std::make_unique<EdgeMutComputation2>();
+  });
+  ASSERT_TRUE(engine.Run().ok());
+  auto v1 = engine.FindVertex(1);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_EQ((*v1)->edges().size(), 1u);
+  EXPECT_EQ((*v1)->edges()[0].target, 2);
+  auto v2 = engine.FindVertex(2);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE((*v2)->edges().empty());
+}
+
+// ------------------------------------------------------------ deterministic rng --
+
+TEST(EngineTest, VertexRngDeterministicAcrossRuns) {
+  struct RngComputation : Computation<CounterTraits> {
+    void Compute(ComputeContext<CounterTraits>& ctx,
+                 Vertex<CounterTraits>& vertex,
+                 const std::vector<Int64Value>&) override {
+      vertex.set_value(Int64Value{static_cast<int64_t>(ctx.rng().Next64())});
+      vertex.VoteToHalt();
+    }
+  };
+  std::map<VertexId, int64_t> first;
+  for (int run = 0; run < 2; ++run) {
+    Engine<CounterTraits>::Options options;
+    options.seed = 555;
+    options.num_workers = run + 1;  // worker count must not matter
+    Engine<CounterTraits> engine(options, RingVertices(12), [] {
+      return std::make_unique<RngComputation>();
+    });
+    ASSERT_TRUE(engine.Run().ok());
+    std::map<VertexId, int64_t> values;
+    engine.ForEachVertex([&](const Vertex<CounterTraits>& v) {
+      values[v.id()] = v.value().value;
+    });
+    if (run == 0) {
+      first = values;
+    } else {
+      EXPECT_EQ(values, first);
+    }
+  }
+}
+
+TEST(EngineTest, StatsAccounting) {
+  Engine<CounterTraits>::Options options;
+  Engine<CounterTraits> engine(options, RingVertices(10), [] {
+    return std::make_unique<CounterComputation>(3);
+  });
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_GE(stats->per_superstep.size(), 3u);
+  EXPECT_EQ(stats->per_superstep[0].active_vertices, 10u);
+  EXPECT_EQ(stats->per_superstep[0].messages_sent, 20u);
+  EXPECT_EQ(stats->final_vertices, 10u);
+  EXPECT_EQ(stats->final_edges, 20u);
+  EXPECT_GT(stats->total_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace pregel
+}  // namespace graft

@@ -1,0 +1,221 @@
+// Property-style tests for the synthetic graph generators: structural
+// invariants (regularity, vertex/edge counts, degree shape), determinism,
+// and the §4.3 corruption helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+
+namespace graft {
+namespace graph {
+namespace {
+
+// --------------------------------------------------------------- power-law --
+
+class PowerLawParams
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(PowerLawParams, CountsAndDegreeFloor) {
+  auto [n, m] = GetParam();
+  SimpleGraph g = GeneratePowerLaw(n, m, /*seed=*/7);
+  EXPECT_EQ(g.NumVertices(), n);
+  // Every non-seed vertex contributes exactly m out-edges.
+  uint64_t expected_min =
+      (n - (static_cast<uint64_t>(m) + 1)) * static_cast<uint64_t>(m);
+  EXPECT_GE(g.NumDirectedEdges(), expected_min);
+  // No self-loops, no duplicate out-edges.
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    std::set<VertexId> targets;
+    for (const auto& e : g.OutEdges(i)) {
+      EXPECT_NE(e.target, g.IdAt(i)) << "self loop";
+      EXPECT_TRUE(targets.insert(e.target).second) << "duplicate edge";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PowerLawParams,
+                         ::testing::Combine(::testing::Values(100u, 1000u,
+                                                              5000u),
+                                            ::testing::Values(1, 3, 8)));
+
+TEST(PowerLawTest, HasHeavyTail) {
+  SimpleGraph g = GeneratePowerLaw(20000, 4, 42);
+  // Preferential attachment: in-degree of early vertices far exceeds the
+  // mean. Compute in-degrees.
+  std::map<VertexId, uint64_t> indeg;
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    for (const auto& e : g.OutEdges(i)) ++indeg[e.target];
+  }
+  uint64_t max_indeg = 0;
+  for (const auto& [id, d] : indeg) max_indeg = std::max(max_indeg, d);
+  double mean = static_cast<double>(g.NumDirectedEdges()) / g.NumVertices();
+  EXPECT_GT(max_indeg, static_cast<uint64_t>(20 * mean))
+      << "degree distribution is not heavy-tailed";
+}
+
+TEST(PowerLawTest, DeterministicPerSeedDistinctAcrossSeeds) {
+  SimpleGraph a = GeneratePowerLaw(500, 3, 1);
+  SimpleGraph b = GeneratePowerLaw(500, 3, 1);
+  SimpleGraph c = GeneratePowerLaw(500, 3, 2);
+  ASSERT_EQ(a.NumDirectedEdges(), b.NumDirectedEdges());
+  bool all_equal_ab = true;
+  bool all_equal_ac = true;
+  for (size_t i = 0; i < a.NumVertices(); ++i) {
+    for (size_t j = 0; j < a.OutEdges(i).size(); ++j) {
+      if (a.OutEdges(i)[j].target != b.OutEdges(i)[j].target) {
+        all_equal_ab = false;
+      }
+      if (j < c.OutEdges(i).size() &&
+          a.OutEdges(i)[j].target != c.OutEdges(i)[j].target) {
+        all_equal_ac = false;
+      }
+    }
+  }
+  EXPECT_TRUE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);
+}
+
+// ---------------------------------------------------------------- bipartite --
+
+class BipartiteParams
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(BipartiteParams, ExactlyRegularAndBipartite) {
+  auto [n, d] = GetParam();
+  SimpleGraph g = GenerateRegularBipartite(n, d, 5);
+  EXPECT_EQ(g.NumVertices(), n);
+  EXPECT_EQ(g.NumDirectedEdges(), n * static_cast<uint64_t>(d));
+  uint64_t half = n / 2;
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    EXPECT_EQ(g.OutDegree(i), static_cast<size_t>(d));
+    bool left = static_cast<uint64_t>(g.IdAt(i)) < half;
+    for (const auto& e : g.OutEdges(i)) {
+      bool target_left = static_cast<uint64_t>(e.target) < half;
+      EXPECT_NE(left, target_left) << "edge within one side";
+    }
+  }
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.reciprocal_edges, stats.num_directed_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BipartiteParams,
+                         ::testing::Combine(::testing::Values(20u, 100u,
+                                                              1000u),
+                                            ::testing::Values(1, 3, 6)));
+
+// -------------------------------------------------------------------- others --
+
+TEST(ErdosRenyiTest, ExactEdgeCountNoLoopsNoDuplicates) {
+  SimpleGraph g = GenerateErdosRenyi(50, 300, 3);
+  EXPECT_EQ(g.NumVertices(), 50u);
+  EXPECT_EQ(g.NumDirectedEdges(), 300u);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    for (const auto& e : g.OutEdges(i)) {
+      EXPECT_NE(e.target, g.IdAt(i));
+      EXPECT_TRUE(seen.emplace(g.IdAt(i), e.target).second);
+    }
+  }
+}
+
+TEST(PremadeGeneratorsTest, GridRingCompleteTreeStarShapes) {
+  SimpleGraph grid = GenerateGrid(3, 4);
+  EXPECT_EQ(grid.NumVertices(), 12u);
+  // 3*3 horizontal + 2*4 vertical undirected edges = 17 pairs = 34 directed.
+  EXPECT_EQ(grid.NumDirectedEdges(), 34u);
+
+  SimpleGraph ring = GenerateRing(6);
+  EXPECT_EQ(ring.NumDirectedEdges(), 12u);
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(ring.OutDegree(i), 2u);
+
+  SimpleGraph complete = GenerateComplete(5);
+  EXPECT_EQ(complete.NumDirectedEdges(), 20u);
+
+  SimpleGraph tree = GenerateBinaryTree(7);
+  EXPECT_EQ(tree.NumDirectedEdges(), 12u);  // 6 undirected edges
+
+  SimpleGraph star = GenerateStar(5);
+  EXPECT_EQ(star.OutDegree(star.IndexOf(0).value()), 4u);
+}
+
+TEST(MakeUndirectedTest, AddsMissingReverses) {
+  SimpleGraph g;
+  g.AddEdge(1, 2, 0.7);
+  g.AddUndirectedEdge(2, 3, 1.5);
+  SimpleGraph u = MakeUndirected(g);
+  EXPECT_EQ(u.NumDirectedEdges(), 4u);
+  EXPECT_EQ(u.EdgeWeight(2, 1).value(), 0.7);
+  // Existing symmetric pair untouched.
+  EXPECT_EQ(u.EdgeWeight(3, 2).value(), 1.5);
+  GraphStats stats = ComputeGraphStats(u);
+  EXPECT_EQ(stats.reciprocal_edges, stats.num_directed_edges);
+}
+
+// ------------------------------------------------------------ weights/§4.3 --
+
+TEST(WeightsTest, SymmetricAssignmentIsSymmetric) {
+  SimpleGraph g = MakeUndirected(GeneratePowerLaw(300, 3, 9));
+  AssignRandomWeights(&g, 1.0, 100.0, 17, /*symmetric=*/true);
+  EXPECT_TRUE(IsSymmetricWeighted(g));
+  // Weights actually vary and respect the range.
+  std::set<double> distinct;
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    for (const auto& e : g.OutEdges(i)) {
+      EXPECT_GE(e.weight, 1.0);
+      EXPECT_LE(e.weight, 100.0);
+      distinct.insert(e.weight);
+    }
+  }
+  EXPECT_GT(distinct.size(), 100u);
+}
+
+TEST(WeightsTest, CorruptionBreaksExactlySampledPairs) {
+  SimpleGraph g = MakeUndirected(GeneratePowerLaw(300, 3, 9));
+  AssignRandomWeights(&g, 1.0, 100.0, 17, true);
+  uint64_t corrupted = CorruptSymmetricWeights(&g, 0.05, 23);
+  EXPECT_GT(corrupted, 0u);
+  EXPECT_FALSE(IsSymmetricWeighted(g));
+  // Count asymmetric pairs and compare with the reported number.
+  uint64_t asymmetric = 0;
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    VertexId u = g.IdAt(i);
+    for (const auto& e : g.OutEdges(i)) {
+      if (u >= e.target) continue;
+      auto reverse = g.EdgeWeight(e.target, u);
+      if (reverse.ok() && *reverse != e.weight) ++asymmetric;
+    }
+  }
+  EXPECT_EQ(asymmetric, corrupted);
+}
+
+TEST(WeightsTest, ZeroFractionCorruptsNothing) {
+  SimpleGraph g = MakeUndirected(GeneratePowerLaw(100, 3, 9));
+  AssignRandomWeights(&g, 1.0, 100.0, 17, true);
+  EXPECT_EQ(CorruptSymmetricWeights(&g, 0.0, 23), 0u);
+  EXPECT_TRUE(IsSymmetricWeighted(g));
+}
+
+TEST(PreferenceCycleTest, CreatesThreeCycleOfHeaviestEdges) {
+  SimpleGraph g = GenerateComplete(5);
+  AssignRandomWeights(&g, 1.0, 100.0, 3, true);
+  auto cycle = InjectPreferenceCycle(&g);
+  ASSERT_TRUE(cycle.ok()) << cycle.status();
+  auto [u, v, w] = *cycle;
+  EXPECT_EQ(g.EdgeWeight(u, v).value(), 1000.0);
+  EXPECT_EQ(g.EdgeWeight(v, u).value(), 999.0);
+  EXPECT_EQ(g.EdgeWeight(v, w).value(), 1000.0);
+  EXPECT_EQ(g.EdgeWeight(w, v).value(), 999.0);
+  EXPECT_EQ(g.EdgeWeight(w, u).value(), 1000.0);
+  EXPECT_EQ(g.EdgeWeight(u, w).value(), 999.0);
+}
+
+TEST(PreferenceCycleTest, FailsOnTriangleFreeGraph) {
+  SimpleGraph g = GenerateRegularBipartite(20, 3, 5);
+  EXPECT_TRUE(InjectPreferenceCycle(&g).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace graft

@@ -1,0 +1,263 @@
+// Tests for src/graph: SimpleGraph, GraphBuilder, adjacency-text format,
+// stats, and the dataset registry.
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/graph_text.h"
+#include "graph/simple_graph.h"
+
+namespace graft {
+namespace graph {
+namespace {
+
+// ------------------------------------------------------------ SimpleGraph --
+
+TEST(SimpleGraphTest, AddVertexIsIdempotent) {
+  SimpleGraph g;
+  size_t a = g.AddVertex(5);
+  size_t b = g.AddVertex(5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.NumVertices(), 1u);
+}
+
+TEST(SimpleGraphTest, AddEdgeCreatesEndpoints) {
+  SimpleGraph g;
+  g.AddEdge(1, 2, 0.5);
+  EXPECT_TRUE(g.HasVertex(1));
+  EXPECT_TRUE(g.HasVertex(2));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(2, 1));
+  EXPECT_EQ(g.EdgeWeight(1, 2).value(), 0.5);
+  EXPECT_TRUE(g.EdgeWeight(2, 1).status().IsNotFound());
+}
+
+TEST(SimpleGraphTest, UndirectedEdgeAddsBothDirections) {
+  SimpleGraph g;
+  g.AddUndirectedEdge(1, 2, 3.0);
+  EXPECT_EQ(g.NumDirectedEdges(), 2u);
+  EXPECT_EQ(g.EdgeWeight(1, 2).value(), 3.0);
+  EXPECT_EQ(g.EdgeWeight(2, 1).value(), 3.0);
+}
+
+TEST(SimpleGraphTest, NonContiguousAndNegativeIds) {
+  SimpleGraph g;
+  g.AddEdge(-7, 1000000007);
+  EXPECT_TRUE(g.HasVertex(-7));
+  EXPECT_TRUE(g.HasEdge(-7, 1000000007));
+  EXPECT_TRUE(g.IndexOf(-7).ok());
+  EXPECT_TRUE(g.IndexOf(0).status().IsNotFound());
+}
+
+TEST(SimpleGraphTest, OutEdgesOfUnknownVertexIsEmpty) {
+  SimpleGraph g;
+  EXPECT_TRUE(g.OutEdgesOf(99).empty());
+}
+
+// ------------------------------------------------------------ GraphBuilder --
+
+TEST(GraphBuilderTest, BuildsWhatWasAdded) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddVertex(1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2, 4.0).ok());
+  SimpleGraph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.EdgeWeight(1, 2).value(), 4.0);
+}
+
+TEST(GraphBuilderTest, RejectsDuplicates) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddVertex(1).ok());
+  EXPECT_TRUE(b.AddVertex(1).IsAlreadyExists());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).IsAlreadyExists());
+}
+
+TEST(GraphBuilderTest, RemoveVertexDropsIncidentEdges) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddUndirectedEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(2, 3).ok());
+  ASSERT_TRUE(b.RemoveVertex(2).ok());
+  SimpleGraph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.NumDirectedEdges(), 0u);
+  EXPECT_TRUE(b.RemoveVertex(2).IsNotFound());
+}
+
+TEST(GraphBuilderTest, EditWeights) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddUndirectedEdge(1, 2, 1.0).ok());
+  ASSERT_TRUE(b.SetUndirectedEdgeWeight(1, 2, 9.0).ok());
+  SimpleGraph g = b.Build();
+  EXPECT_EQ(g.EdgeWeight(1, 2).value(), 9.0);
+  EXPECT_EQ(g.EdgeWeight(2, 1).value(), 9.0);
+  EXPECT_TRUE(b.SetEdgeWeight(3, 4, 1.0).IsNotFound());
+}
+
+TEST(GraphBuilderTest, PremadeMenuAllConstructible) {
+  for (const std::string& name : PremadeGraphMenu()) {
+    auto b = GraphBuilder::FromPremade(name, 9);
+    ASSERT_TRUE(b.ok()) << name;
+    EXPECT_GE(b->NumVertices(), 3u) << name;
+  }
+  EXPECT_TRUE(GraphBuilder::FromPremade("klein-bottle").status().IsNotFound());
+}
+
+TEST(GraphBuilderTest, RemoveEdgeOnlyRemovesOneDirection) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddUndirectedEdge(1, 2).ok());
+  ASSERT_TRUE(b.RemoveEdge(1, 2).ok());
+  EXPECT_FALSE(b.HasEdge(1, 2));
+  EXPECT_TRUE(b.HasEdge(2, 1));
+}
+
+// -------------------------------------------------------------- graph_text --
+
+TEST(GraphTextTest, RoundTripsWeightsAndStructure) {
+  SimpleGraph g;
+  g.AddEdge(1, 2, 0.5);
+  g.AddEdge(2, 3);
+  g.AddVertex(99);  // isolated vertex must survive
+  std::string text = WriteAdjacencyText(g);
+  auto parsed = ParseAdjacencyText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->NumVertices(), 4u);
+  EXPECT_EQ(parsed->NumDirectedEdges(), 2u);
+  EXPECT_EQ(parsed->EdgeWeight(1, 2).value(), 0.5);
+  EXPECT_EQ(parsed->EdgeWeight(2, 3).value(), 1.0);
+  EXPECT_TRUE(parsed->HasVertex(99));
+}
+
+TEST(GraphTextTest, IgnoresCommentsAndBlankLines) {
+  auto parsed = ParseAdjacencyText("# header\n\n1 2\n  # indented comment\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->HasEdge(1, 2));
+}
+
+TEST(GraphTextTest, ReportsLineOfBadVertexId) {
+  auto parsed = ParseAdjacencyText("1 2\nxyz 3\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphTextTest, ReportsBadWeightAndBadTarget) {
+  EXPECT_FALSE(ParseAdjacencyText("1 2:abc\n").ok());
+  EXPECT_FALSE(ParseAdjacencyText("1 x\n").ok());
+}
+
+TEST(GraphTextTest, FileRoundTrip) {
+  SimpleGraph g = GenerateRing(5);
+  std::string path = ::testing::TempDir() + "/graft_text_roundtrip.adj";
+  ASSERT_TRUE(WriteAdjacencyFile(g, path).ok());
+  auto loaded = ReadAdjacencyFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumVertices(), 5u);
+  EXPECT_EQ(loaded->NumDirectedEdges(), 10u);
+  EXPECT_TRUE(ReadAdjacencyFile("/nonexistent/q").status().IsIOError());
+}
+
+// -------------------------------------------------------------- graph_stats --
+
+TEST(GraphStatsTest, ComputesDegreesAndReciprocity) {
+  SimpleGraph g;
+  g.AddUndirectedEdge(1, 2);
+  g.AddEdge(1, 3);  // one-way
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_vertices, 3u);
+  EXPECT_EQ(stats.num_directed_edges, 3u);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.min_out_degree, 0u);
+  EXPECT_EQ(stats.reciprocal_edges, 2u);  // both directions of (1,2)
+}
+
+TEST(GraphStatsTest, SymmetricWeightedDetectsAsymmetry) {
+  SimpleGraph g;
+  g.AddUndirectedEdge(1, 2, 5.0);
+  EXPECT_TRUE(IsSymmetricWeighted(g));
+  g.MutableOutEdges(g.IndexOf(1).value())[0].weight = 6.0;
+  EXPECT_FALSE(IsSymmetricWeighted(g));
+}
+
+TEST(GraphStatsTest, OneWayEdgeIsAsymmetric) {
+  SimpleGraph g;
+  g.AddEdge(1, 2);
+  EXPECT_FALSE(IsSymmetricWeighted(g));
+}
+
+// ---------------------------------------------------------------- datasets --
+
+TEST(DatasetsTest, RegistryHasAllSixPaperDatasets) {
+  EXPECT_EQ(AllDatasets().size(), 6u);
+  for (const char* name : {"web-BS", "soc-Epinions", "bipartite-1M-3M",
+                           "sk-2005", "twitter", "bipartite-2B-6B"}) {
+    EXPECT_TRUE(FindDataset(name).ok()) << name;
+  }
+  EXPECT_TRUE(FindDataset("livejournal").status().IsNotFound());
+}
+
+TEST(DatasetsTest, DemoFlagSeparatesTables) {
+  int demo = 0, perf = 0;
+  for (const auto& spec : AllDatasets()) {
+    (spec.demo_table ? demo : perf)++;
+  }
+  EXPECT_EQ(demo, 3);
+  EXPECT_EQ(perf, 3);
+}
+
+TEST(DatasetsTest, ScaledVertexCountDividesAndFloors) {
+  auto spec = FindDataset("web-BS").value();
+  DatasetOptions options;
+  options.scale_denominator = 100;
+  EXPECT_EQ(ScaledVertexCount(spec, options), 6850u);
+  options.scale_denominator = 1'000'000'000;  // below generator floor
+  EXPECT_GE(ScaledVertexCount(spec, options),
+            static_cast<uint64_t>(spec.edges_per_vertex));
+}
+
+TEST(DatasetsTest, BipartiteScalingKeepsEvenCount) {
+  auto spec = FindDataset("bipartite-1M-3M").value();
+  DatasetOptions options;
+  options.scale_denominator = 3;  // 1M/3 is odd-ish
+  EXPECT_EQ(ScaledVertexCount(spec, options) % 2, 0u);
+}
+
+TEST(DatasetsTest, MakeDatasetMatchesScaledCounts) {
+  DatasetOptions options;
+  options.scale_denominator = 200;
+  auto g = MakeDataset("soc-Epinions", options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 380u);
+  // Average out-degree ~ edges_per_vertex.
+  double avg = static_cast<double>(g->NumDirectedEdges()) /
+               static_cast<double>(g->NumVertices());
+  EXPECT_NEAR(avg, 7.0, 1.0);
+}
+
+TEST(DatasetsTest, UndirectedVariantIsSymmetric) {
+  DatasetOptions options;
+  options.scale_denominator = 500;
+  options.undirected = true;
+  auto g = MakeDataset("web-BS", options);
+  ASSERT_TRUE(g.ok());
+  GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_EQ(stats.reciprocal_edges, stats.num_directed_edges);
+}
+
+TEST(DatasetsTest, DeterministicForSameSeed) {
+  DatasetOptions options;
+  options.scale_denominator = 500;
+  auto a = MakeDataset("twitter", options);
+  auto b = MakeDataset("twitter", options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NumVertices(), b->NumVertices());
+  ASSERT_EQ(a->NumDirectedEdges(), b->NumDirectedEdges());
+  for (size_t i = 0; i < a->NumVertices(); ++i) {
+    ASSERT_EQ(a->OutEdges(i).size(), b->OutEdges(i).size());
+  }
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace graft

@@ -1,0 +1,318 @@
+// Tests for the capture pipeline: DebugConfig, CaptureManager target
+// resolution, and the Instrumenter's five capture categories (§3.1),
+// superstep filters, capture-all-active, the max-captures safety net, and
+// exception abort/continue policies.
+#include <gtest/gtest.h>
+
+#include "algos/connected_components.h"
+#include "debug/debug_runner.h"
+#include "debug/trace_reader.h"
+#include "graph/generators.h"
+#include "io/trace_store.h"
+#include "pregel/loader.h"
+
+namespace graft {
+namespace debug {
+namespace {
+
+using algos::CCTraits;
+using pregel::Int64Value;
+
+std::vector<pregel::Vertex<CCTraits>> RingVertices(uint64_t n) {
+  return pregel::LoadUnweighted<CCTraits>(
+      graph::GenerateRing(n), [](VertexId) { return Int64Value{0}; });
+}
+
+DebugRunSummary RunCC(const DebugConfig<CCTraits>& config,
+                      InMemoryTraceStore* store, uint64_t n = 12,
+                      const std::string& job = "job") {
+  pregel::Engine<CCTraits>::Options options;
+  options.job_id = job;
+  options.num_workers = 2;
+  return RunWithGraft<CCTraits>(options, RingVertices(n),
+                                algos::MakeConnectedComponentsFactory(),
+                                nullptr, config, store);
+}
+
+std::set<VertexId> CapturedIds(const TraceStore& store,
+                               const std::string& job, int64_t superstep) {
+  auto traces = ReadVertexTraces<CCTraits>(store, job, superstep);
+  EXPECT_TRUE(traces.ok());
+  std::set<VertexId> ids;
+  for (const auto& t : traces.value()) ids.insert(t.id);
+  return ids;
+}
+
+// ----------------------------------------------------- category 1: by id --
+
+TEST(InstrumenterTest, CapturesSpecifiedVerticesEverySuperstep) {
+  ConfigurableDebugConfig<CCTraits> config;
+  config.set_vertices({5});
+  InMemoryTraceStore store;
+  auto summary = RunCC(config, &store);
+  ASSERT_TRUE(summary.job_status.ok());
+  auto supersteps = ListCapturedSupersteps(store, "job");
+  EXPECT_GE(supersteps.size(), 2u);
+  for (int64_t s : supersteps) {
+    // Vertex 5 computes in supersteps 0 and 1 on a ring (value settles).
+    EXPECT_EQ(CapturedIds(store, "job", s), std::set<VertexId>{5});
+  }
+}
+
+TEST(InstrumenterTest, CapturedTraceHasReasonSpecified) {
+  ConfigurableDebugConfig<CCTraits> config;
+  config.set_vertices({5});
+  InMemoryTraceStore store;
+  RunCC(config, &store);
+  auto trace = ReadVertexTrace<CCTraits>(store, "job", 0, 5);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->reasons, kReasonSpecified);
+  EXPECT_FALSE(trace->edges_snapshot_post);
+  EXPECT_EQ(trace->incoming.size(), 0u);   // superstep 0: no messages
+  EXPECT_EQ(trace->outgoing.size(), 2u);   // sends to both ring neighbors
+  EXPECT_EQ(trace->total_vertices, 12);
+  EXPECT_EQ(trace->total_edges, 24);
+}
+
+// ----------------------------------------------- category 2: random + nbr --
+
+TEST(InstrumenterTest, RandomCaptureIsSeededAndSized) {
+  ConfigurableDebugConfig<CCTraits> config;
+  config.set_num_random(3).set_random_seed(11);
+  InMemoryTraceStore store_a, store_b;
+  RunCC(config, &store_a, 30, "a");
+  RunCC(config, &store_b, 30, "b");
+  auto ids_a = CapturedIds(store_a, "a", 0);
+  EXPECT_EQ(ids_a.size(), 3u);
+  EXPECT_EQ(ids_a, CapturedIds(store_b, "b", 0)) << "random picks not seeded";
+
+  ConfigurableDebugConfig<CCTraits> other_seed;
+  other_seed.set_num_random(3).set_random_seed(12);
+  InMemoryTraceStore store_c;
+  RunCC(other_seed, &store_c, 30, "c");
+  EXPECT_NE(ids_a, CapturedIds(store_c, "c", 0));
+}
+
+TEST(InstrumenterTest, RandomCaptureClampsToGraphSize) {
+  ConfigurableDebugConfig<CCTraits> config;
+  config.set_num_random(100);
+  InMemoryTraceStore store;
+  RunCC(config, &store, 12);
+  EXPECT_EQ(CapturedIds(store, "job", 0).size(), 12u);
+}
+
+TEST(InstrumenterTest, NeighborsCapturedWithNeighborReason) {
+  ConfigurableDebugConfig<CCTraits> config;
+  config.set_vertices({6}).set_capture_neighbors(true);
+  InMemoryTraceStore store;
+  RunCC(config, &store);
+  EXPECT_EQ(CapturedIds(store, "job", 0), (std::set<VertexId>{5, 6, 7}));
+  auto nbr = ReadVertexTrace<CCTraits>(store, "job", 0, 7);
+  ASSERT_TRUE(nbr.ok());
+  EXPECT_EQ(nbr->reasons, kReasonNeighbor);
+}
+
+// ------------------------------------------ category 3: vertex-value rule --
+
+TEST(InstrumenterTest, VertexValueConstraintCapturesViolatorsOnly) {
+  // CC values become the min id; constraint "value must be >= 3" is
+  // violated by vertices adopting components 0..2.
+  ConfigurableDebugConfig<CCTraits> config;
+  config.set_vertex_value_constraint(
+      [](const Int64Value& v, VertexId, int64_t) { return v.value >= 3; });
+  InMemoryTraceStore store;
+  auto summary = RunCC(config, &store);
+  ASSERT_TRUE(summary.job_status.ok());
+  EXPECT_GT(summary.violations, 0u);
+  // Superstep 0: every vertex keeps its own id as value; violators are
+  // exactly ids 0,1,2.
+  EXPECT_EQ(CapturedIds(store, "job", 0), (std::set<VertexId>{0, 1, 2}));
+  auto trace = ReadVertexTrace<CCTraits>(store, "job", 0, 1);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->reasons, kReasonVertexValue);
+  EXPECT_TRUE(trace->edges_snapshot_post);  // lazily captured
+  ASSERT_EQ(trace->violations.size(), 1u);
+  EXPECT_EQ(trace->violations[0].kind, ViolationInfo::Kind::kVertexValue);
+  EXPECT_EQ(trace->violations[0].detail, "1");
+}
+
+// ---------------------------------------------- category 4: message rule --
+
+TEST(InstrumenterTest, MessageConstraintRecordsPerMessageViolations) {
+  // Constraint: never send a value < 2. On a ring at superstep 0, vertices
+  // 0 and 1 send their own ids (< 2) to both neighbors -> 4 violations.
+  ConfigurableDebugConfig<CCTraits> config;
+  config.set_message_value_constraint(
+      [](const Int64Value& m, VertexId, VertexId, int64_t) {
+        return m.value >= 2;
+      });
+  InMemoryTraceStore store;
+  auto summary = RunCC(config, &store);
+  ASSERT_TRUE(summary.job_status.ok());
+  auto captured = CapturedIds(store, "job", 0);
+  EXPECT_EQ(captured, (std::set<VertexId>{0, 1}));
+  auto trace = ReadVertexTrace<CCTraits>(store, "job", 0, 0);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->reasons, kReasonMessageValue);
+  EXPECT_EQ(trace->violations.size(), 2u);  // one per neighbor send
+  EXPECT_EQ(trace->violations[0].kind, ViolationInfo::Kind::kMessageValue);
+  EXPECT_EQ(trace->violations[0].source, 0);
+}
+
+// ------------------------------------------------ category 5: exceptions --
+
+struct ThrowingTraits {
+  using VertexValue = Int64Value;
+  using EdgeValue = pregel::NullValue;
+  using Message = Int64Value;
+};
+
+class ThrowAtVertex : public pregel::Computation<ThrowingTraits> {
+ public:
+  explicit ThrowAtVertex(VertexId bad) : bad_(bad) {}
+  void Compute(pregel::ComputeContext<ThrowingTraits>& ctx,
+               pregel::Vertex<ThrowingTraits>& vertex,
+               const std::vector<Int64Value>&) override {
+    (void)ctx;
+    if (vertex.id() == bad_) {
+      throw pregel::VertexComputeError("numeric overflow in walker count");
+    }
+    vertex.VoteToHalt();
+  }
+
+ private:
+  VertexId bad_;
+};
+
+TEST(InstrumenterTest, ExceptionCapturedAndJobAborts) {
+  ConfigurableDebugConfig<ThrowingTraits> config;  // defaults: abort
+  InMemoryTraceStore store;
+  pregel::Engine<ThrowingTraits>::Options options;
+  options.job_id = "exc";
+  auto vertices = pregel::LoadUnweighted<ThrowingTraits>(
+      graph::GenerateRing(8), [](VertexId) { return Int64Value{0}; });
+  auto summary = RunWithGraft<ThrowingTraits>(
+      options, std::move(vertices),
+      [] { return std::make_unique<ThrowAtVertex>(4); }, nullptr, config,
+      &store);
+  EXPECT_TRUE(summary.job_status.IsAborted());
+  EXPECT_EQ(summary.exceptions, 1u);
+  auto trace = ReadVertexTrace<ThrowingTraits>(store, "exc", 0, 4);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->reasons, kReasonException);
+  ASSERT_TRUE(trace->exception.has_value());
+  EXPECT_EQ(trace->exception->message, "numeric overflow in walker count");
+  EXPECT_NE(trace->exception->context.find("vertex=4"), std::string::npos);
+}
+
+TEST(InstrumenterTest, ExceptionContinueModeKeepsJobAlive) {
+  ConfigurableDebugConfig<ThrowingTraits> config;
+  config.set_abort_on_exception(false);
+  InMemoryTraceStore store;
+  pregel::Engine<ThrowingTraits>::Options options;
+  options.job_id = "exc2";
+  options.max_supersteps = 5;
+  auto vertices = pregel::LoadUnweighted<ThrowingTraits>(
+      graph::GenerateRing(8), [](VertexId) { return Int64Value{0}; });
+  auto summary = RunWithGraft<ThrowingTraits>(
+      options, std::move(vertices),
+      [] { return std::make_unique<ThrowAtVertex>(4); }, nullptr, config,
+      &store);
+  EXPECT_TRUE(summary.job_status.ok()) << summary.job_status;
+  EXPECT_GE(summary.exceptions, 1u);
+}
+
+// ------------------------------------------------------- all-active mode --
+
+TEST(InstrumenterTest, CaptureAllActiveWithSuperstepFilter) {
+  ConfigurableDebugConfig<CCTraits> config;
+  config.set_capture_all_active(true).set_superstep_filter(
+      [](int64_t s) { return s >= 1; });
+  InMemoryTraceStore store;
+  auto summary = RunCC(config, &store);
+  ASSERT_TRUE(summary.job_status.ok());
+  auto supersteps = ListCapturedSupersteps(store, "job");
+  ASSERT_FALSE(supersteps.empty());
+  EXPECT_GE(supersteps.front(), 1) << "superstep 0 should be filtered out";
+  // In superstep 1 every ring vertex is active (all got messages).
+  EXPECT_EQ(CapturedIds(store, "job", 1).size(), 12u);
+  auto trace = ReadVertexTrace<CCTraits>(store, "job", 1, 0);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->reasons, kReasonAllActive);
+}
+
+// ---------------------------------------------------- max-capture safety --
+
+TEST(InstrumenterTest, MaxCapturesStopsCapturing) {
+  ConfigurableDebugConfig<CCTraits> config;
+  config.set_capture_all_active(true).set_max_captures(7);
+  InMemoryTraceStore store;
+  auto summary = RunCC(config, &store);
+  ASSERT_TRUE(summary.job_status.ok());
+  EXPECT_EQ(summary.captures, 7u);
+  EXPECT_GT(summary.dropped_by_capture_limit, 0u);
+  uint64_t total = 0;
+  for (int64_t s : ListCapturedSupersteps(store, "job")) {
+    total += CapturedIds(store, "job", s).size();
+  }
+  EXPECT_EQ(total, 7u);
+}
+
+// ------------------------------------------------------------- purity ----
+
+TEST(InstrumenterTest, NoConfigNoTraces) {
+  ConfigurableDebugConfig<CCTraits> config;  // nothing configured
+  InMemoryTraceStore store;
+  auto summary = RunCC(config, &store);
+  ASSERT_TRUE(summary.job_status.ok());
+  EXPECT_EQ(summary.captures, 0u);
+  EXPECT_EQ(summary.violations, 0u);
+  EXPECT_EQ(store.ListFiles("").size(), 0u);
+}
+
+TEST(InstrumenterTest, InstrumentationDoesNotChangeResults) {
+  // The instrumented run must produce the same final values as a plain run.
+  auto plain = algos::RunConnectedComponents(
+      graph::MakeUndirected(graph::GeneratePowerLaw(80, 2, 5)));
+  ASSERT_TRUE(plain.ok());
+  ConfigurableDebugConfig<CCTraits> config;
+  config.set_capture_all_active(true);
+  InMemoryTraceStore store;
+  pregel::Engine<CCTraits>::Options options;
+  options.job_id = "pure";
+  auto g = graph::MakeUndirected(graph::GeneratePowerLaw(80, 2, 5));
+  auto vertices = pregel::LoadUnweighted<CCTraits>(
+      g, [](VertexId) { return Int64Value{0}; });
+  std::map<VertexId, int64_t> instrumented_values;
+  auto summary = RunWithGraft<CCTraits>(
+      options, std::move(vertices), algos::MakeConnectedComponentsFactory(),
+      nullptr, config, &store,
+      [&](pregel::Engine<CCTraits>& engine) {
+        engine.ForEachVertex([&](const pregel::Vertex<CCTraits>& v) {
+          instrumented_values[v.id()] = v.value().value;
+        });
+      });
+  ASSERT_TRUE(summary.job_status.ok());
+  EXPECT_EQ(instrumented_values, plain->component);
+}
+
+// -------------------------------------------------------- master capture --
+
+TEST(CaptureManagerTest, TraceFileNamingConvention) {
+  EXPECT_EQ(VertexTraceFile("my-job", 41, 3),
+            "my-job/superstep_000041/worker_003.vtrace");
+  EXPECT_EQ(MasterTraceFile("my-job", 7),
+            "my-job/superstep_000007/master.mtrace");
+  EXPECT_EQ(JobTracePrefix("my-job"), "my-job/");
+}
+
+TEST(CaptureManagerTest, CaptureReasonsRendering) {
+  EXPECT_EQ(CaptureReasonsToString(0), "none");
+  EXPECT_EQ(CaptureReasonsToString(kReasonSpecified | kReasonException),
+            "spec|exc");
+  EXPECT_EQ(CaptureReasonsToString(kReasonAllActive), "active");
+}
+
+}  // namespace
+}  // namespace debug
+}  // namespace graft

@@ -1,0 +1,277 @@
+// Tests for the three scenario algorithms: Graph Coloring (buggy + fixed),
+// Random Walk (short + fixed), Max-Weight Matching — including the exact
+// failure modes the paper's §4 scenarios rely on.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "algos/graph_coloring.h"
+#include "algos/max_weight_matching.h"
+#include "algos/random_walk.h"
+#include "graph/generators.h"
+
+namespace graft {
+namespace algos {
+namespace {
+
+// ------------------------------------------------------------ graph coloring --
+
+class GCFixedProper : public ::testing::TestWithParam<int> {};
+
+TEST_P(GCFixedProper, ProperColoringOnVariousGraphs) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  for (const graph::SimpleGraph& g :
+       {graph::GenerateRing(30), graph::GenerateComplete(8),
+        graph::GenerateRegularBipartite(60, 3, seed),
+        graph::MakeUndirected(graph::GeneratePowerLaw(150, 3, seed))}) {
+    auto result = RunGraphColoring(g, /*buggy=*/false, 2, seed);
+    ASSERT_TRUE(result.ok()) << result.status();
+    auto conflicts = FindColoringConflicts(g, result->color);
+    EXPECT_TRUE(conflicts.empty())
+        << conflicts.size() << " conflicts with seed " << seed;
+    // Everyone got a color.
+    for (const auto& [id, color] : result->color) {
+      EXPECT_GE(color, 0) << "vertex " << id << " left uncolored";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GCFixedProper, ::testing::Range(1, 7));
+
+TEST(GraphColoringTest, CompleteGraphNeedsNColors) {
+  // K5: every vertex adjacent to every other -> exactly 5 colors.
+  auto result = RunGraphColoring(graph::GenerateComplete(5), false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_colors, 5);
+}
+
+TEST(GraphColoringTest, BipartiteUsesFewColors) {
+  auto result = RunGraphColoring(graph::GenerateRegularBipartite(200, 3, 3),
+                                 false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->num_colors, 4);  // max degree + 1
+}
+
+TEST(GraphColoringTest, BuggyVariantProducesConflictSomewhere) {
+  // The §4.1 bug needs a tentative vertex with >= 2 tentative neighbors
+  // whose first message is not the strongest; on a dense-enough random
+  // graph over several seeds it reliably manifests.
+  bool conflict_found = false;
+  for (uint64_t seed = 1; seed <= 10 && !conflict_found; ++seed) {
+    graph::SimpleGraph g =
+        graph::MakeUndirected(graph::GeneratePowerLaw(300, 4, seed));
+    auto result = RunGraphColoring(g, /*buggy=*/true, 2, seed);
+    ASSERT_TRUE(result.ok());
+    conflict_found = !FindColoringConflicts(g, result->color).empty();
+  }
+  EXPECT_TRUE(conflict_found)
+      << "the injected MIS bug never manifested across 10 seeds";
+}
+
+TEST(GraphColoringTest, DeterministicForSeed) {
+  graph::SimpleGraph g = graph::GenerateRegularBipartite(40, 3, 1);
+  auto a = RunGraphColoring(g, false, 2, 77);
+  auto b = RunGraphColoring(g, false, 3, 77);  // worker count must not matter
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->color, b->color);
+}
+
+TEST(GraphColoringTest, BuggyMasterTerminatesPrematurely) {
+  // §3.4's "most common master bug": the halt check reads the wrong
+  // aggregator and stops the job after the first color.
+  graph::SimpleGraph g = graph::GenerateRegularBipartite(200, 3, 5);
+  pregel::Engine<GCTraits>::Options options;
+  options.job_id = "buggy-master";
+  pregel::Engine<GCTraits> engine(options, LoadGraphColoringVertices(g),
+                                  MakeGraphColoringFactory(false),
+                                  MakeGraphColoringMasterFactory(true));
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->termination, pregel::TerminationReason::kMasterHalted);
+  int64_t uncolored = 0;
+  engine.ForEachVertex([&](const pregel::Vertex<GCTraits>& v) {
+    if (v.value().color < 0) ++uncolored;
+  });
+  EXPECT_GT(uncolored, 0) << "buggy master should leave vertices uncolored";
+}
+
+TEST(GraphColoringTest, StateNamesForGui) {
+  EXPECT_EQ(GCStateName(GCState::kTentativelyInSet), "TENTATIVELY_IN_SET");
+  EXPECT_EQ(GCMessageTypeName(GCMessageType::kInSet), "NBR_IN_SET");
+  GCVertexValue v{3, GCState::kColored, 0, 0.0};
+  EXPECT_EQ(v.ToString(), "color=3 COLORED deg=0");
+}
+
+// --------------------------------------------------------------- random walk --
+
+class RWConservation
+    : public ::testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+TEST_P(RWConservation, FixedVariantConservesWalkers) {
+  auto [steps, walkers] = GetParam();
+  for (const graph::SimpleGraph& g :
+       {graph::GenerateRing(40),
+        graph::MakeUndirected(graph::GeneratePowerLaw(100, 3, 5)),
+        graph::GeneratePowerLaw(100, 2, 9)}) {  // directed, has sinks
+    auto result = RunRandomWalk(g, steps, walkers);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->total_walkers,
+              walkers * static_cast<int64_t>(g.NumVertices()));
+    EXPECT_EQ(result->negative_message_vertices, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RWConservation,
+                         ::testing::Combine(::testing::Values(1, 5, 12),
+                                            ::testing::Values(int64_t{1},
+                                                              int64_t{100})));
+
+TEST(RandomWalkTest, ShortVariantOverflowsOnFunnelGraph) {
+  // All leaves feed the hub; hub sends everything to one leaf: the counter
+  // exceeds 32767 immediately with 500 vertices x 100 walkers.
+  graph::SimpleGraph g;
+  for (VertexId v = 1; v <= 500; ++v) g.AddEdge(v, 0);
+  g.AddEdge(0, 1);
+  auto result = RunRandomWalkShort(g, /*num_steps=*/4, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->total_walkers, 100 * 501)
+      << "short counters should have destroyed walkers";
+}
+
+TEST(RandomWalkTest, ShortAndFixedAgreeBelowOverflowThreshold) {
+  graph::SimpleGraph g = graph::GenerateRing(30);
+  auto fixed = RunRandomWalk(g, 8, 50, 2, 7);
+  auto buggy = RunRandomWalkShort(g, 8, 50, 2, 7);
+  ASSERT_TRUE(fixed.ok() && buggy.ok());
+  // Ring with 50 walkers/vertex: counters stay far below 32767, so the
+  // 16-bit variant is exactly equivalent (same seed, same RNG streams).
+  EXPECT_EQ(fixed->walkers, buggy->walkers);
+}
+
+TEST(RandomWalkTest, HaltsAfterRequestedSteps) {
+  auto result = RunRandomWalk(graph::GenerateRing(10), 6, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.termination,
+            pregel::TerminationReason::kAllHalted);
+  EXPECT_LE(result->stats.supersteps, 8);
+}
+
+// --------------------------------------------------------------------- MWM --
+
+TEST(MwmTest, MatchesMutualHeaviestPair) {
+  graph::SimpleGraph g;
+  g.AddUndirectedEdge(1, 2, 10.0);
+  g.AddUndirectedEdge(2, 3, 1.0);
+  g.AddUndirectedEdge(3, 4, 10.0);
+  auto result = RunMaxWeightMatching(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  ASSERT_EQ(result->matching.size(), 2u);
+  EXPECT_EQ(result->matching.at(1), 2);
+  EXPECT_EQ(result->matching.at(3), 4);
+  EXPECT_EQ(result->total_weight, 20.0);
+  EXPECT_EQ(ValidateMatching(g, result->matching), "");
+}
+
+class MwmRandomGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(MwmRandomGraphs, ConvergesToValidMaximalMatching) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  graph::SimpleGraph g =
+      graph::MakeUndirected(graph::GeneratePowerLaw(120, 3, seed));
+  graph::AssignRandomWeights(&g, 1.0, 100.0, seed + 7, /*symmetric=*/true);
+  auto result = RunMaxWeightMatching(g, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(ValidateMatching(g, result->matching), "");
+  // Maximality: no edge remains with both endpoints unmatched.
+  std::set<VertexId> matched;
+  for (const auto& [u, v] : result->matching) {
+    matched.insert(u);
+    matched.insert(v);
+  }
+  for (size_t i = 0; i < g.NumVertices(); ++i) {
+    VertexId u = g.IdAt(i);
+    if (matched.count(u) != 0) continue;
+    for (const auto& e : g.OutEdges(i)) {
+      EXPECT_TRUE(matched.count(e.target) != 0)
+          << "edge (" << u << "," << e.target << ") has both ends unmatched";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MwmRandomGraphs, ::testing::Range(1, 9));
+
+TEST(MwmTest, HalfApproximationOnSmallGraphs) {
+  // Brute-force optimal matching on 8 vertices, compare the Preis bound.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    graph::SimpleGraph g = graph::GenerateComplete(8);
+    graph::AssignRandomWeights(&g, 1.0, 50.0, seed, true);
+    auto result = RunMaxWeightMatching(g);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->converged);
+    // Brute force over all perfect matchings of K8 via recursion.
+    std::vector<VertexId> ids;
+    for (size_t i = 0; i < g.NumVertices(); ++i) ids.push_back(g.IdAt(i));
+    std::function<double(std::vector<VertexId>)> best =
+        [&](std::vector<VertexId> remaining) -> double {
+      if (remaining.size() < 2) return 0.0;
+      VertexId u = remaining.front();
+      remaining.erase(remaining.begin());
+      double best_weight = best(remaining);  // leave u unmatched
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        std::vector<VertexId> rest = remaining;
+        VertexId v = rest[i];
+        rest.erase(rest.begin() + static_cast<long>(i));
+        best_weight = std::max(
+            best_weight, g.EdgeWeight(u, v).value() + best(rest));
+      }
+      return best_weight;
+    };
+    double optimal = best(ids);
+    EXPECT_GE(result->total_weight, optimal / 2.0 - 1e-9)
+        << "below the 1/2-approximation bound, seed " << seed;
+  }
+}
+
+TEST(MwmTest, PreferenceCycleNeverConverges) {
+  graph::SimpleGraph g = graph::GenerateComplete(6);
+  graph::AssignRandomWeights(&g, 1.0, 100.0, 3, true);
+  auto cycle = graph::InjectPreferenceCycle(&g);
+  ASSERT_TRUE(cycle.ok());
+  auto result = RunMaxWeightMatching(g, 2, /*max_supersteps=*/200);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->converged);
+  EXPECT_EQ(result->stats.termination,
+            pregel::TerminationReason::kMaxSupersteps);
+  // None of the cycle vertices matched.
+  auto [u, v, w] = *cycle;
+  for (VertexId id : {u, v, w}) {
+    EXPECT_EQ(result->matching.count(id), 0u);
+    for (const auto& [a, b] : result->matching) EXPECT_NE(b, id);
+  }
+}
+
+TEST(MwmTest, ValidateMatchingCatchesBadPairs) {
+  graph::SimpleGraph g;
+  g.AddUndirectedEdge(1, 2, 1.0);
+  g.AddUndirectedEdge(3, 4, 1.0);
+  EXPECT_NE(ValidateMatching(g, {{2, 1}}), "");        // not normalized
+  EXPECT_NE(ValidateMatching(g, {{1, 3}}), "");        // not an edge
+  EXPECT_EQ(ValidateMatching(g, {{1, 2}, {3, 4}}), "");
+}
+
+TEST(MwmTest, IsolatedVerticesHaltImmediately) {
+  graph::SimpleGraph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  auto result = RunMaxWeightMatching(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_TRUE(result->matching.empty());
+}
+
+}  // namespace
+}  // namespace algos
+}  // namespace graft
