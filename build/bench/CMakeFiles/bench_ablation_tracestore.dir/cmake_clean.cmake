@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tracestore.dir/bench_ablation_tracestore.cc.o"
+  "CMakeFiles/bench_ablation_tracestore.dir/bench_ablation_tracestore.cc.o.d"
+  "bench_ablation_tracestore"
+  "bench_ablation_tracestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tracestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_builder_endtoend.dir/graph_builder_endtoend.cpp.o"
+  "CMakeFiles/graph_builder_endtoend.dir/graph_builder_endtoend.cpp.o.d"
+  "graph_builder_endtoend"
+  "graph_builder_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_builder_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

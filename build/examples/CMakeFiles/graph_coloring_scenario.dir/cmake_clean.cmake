@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_coloring_scenario.dir/graph_coloring_scenario.cpp.o"
+  "CMakeFiles/graph_coloring_scenario.dir/graph_coloring_scenario.cpp.o.d"
+  "graph_coloring_scenario"
+  "graph_coloring_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_coloring_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

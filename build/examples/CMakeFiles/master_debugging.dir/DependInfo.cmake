@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/master_debugging.cpp" "examples/CMakeFiles/master_debugging.dir/master_debugging.cpp.o" "gcc" "examples/CMakeFiles/master_debugging.dir/master_debugging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/graft_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/debug/CMakeFiles/graft_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/graft_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/pregel/CMakeFiles/graft_pregel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/graft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

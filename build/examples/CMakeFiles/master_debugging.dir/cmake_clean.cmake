@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_debugging.dir/master_debugging.cpp.o"
+  "CMakeFiles/master_debugging.dir/master_debugging.cpp.o.d"
+  "master_debugging"
+  "master_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

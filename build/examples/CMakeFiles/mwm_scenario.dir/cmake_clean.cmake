@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwm_scenario.dir/mwm_scenario.cpp.o"
+  "CMakeFiles/mwm_scenario.dir/mwm_scenario.cpp.o.d"
+  "mwm_scenario"
+  "mwm_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwm_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

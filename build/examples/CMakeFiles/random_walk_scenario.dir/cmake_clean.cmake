@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_walk_scenario.dir/random_walk_scenario.cpp.o"
+  "CMakeFiles/random_walk_scenario.dir/random_walk_scenario.cpp.o.d"
+  "random_walk_scenario"
+  "random_walk_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_walk_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

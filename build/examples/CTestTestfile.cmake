@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_graph_builder "/root/repo/build/examples/graph_builder_endtoend")
+set_tests_properties(example_graph_builder PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_master_debugging "/root/repo/build/examples/master_debugging")
+set_tests_properties(example_master_debugging PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gc_scenario "/root/repo/build/examples/graph_coloring_scenario")
+set_tests_properties(example_gc_scenario PROPERTIES  ENVIRONMENT "GRAFT_SCALE=400" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rw_scenario "/root/repo/build/examples/random_walk_scenario")
+set_tests_properties(example_rw_scenario PROPERTIES  ENVIRONMENT "GRAFT_SCALE=150" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mwm_scenario "/root/repo/build/examples/mwm_scenario")
+set_tests_properties(example_mwm_scenario PROPERTIES  ENVIRONMENT "GRAFT_SCALE=100" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/connected_components.cc" "src/algos/CMakeFiles/graft_algos.dir/connected_components.cc.o" "gcc" "src/algos/CMakeFiles/graft_algos.dir/connected_components.cc.o.d"
+  "/root/repo/src/algos/graph_coloring.cc" "src/algos/CMakeFiles/graft_algos.dir/graph_coloring.cc.o" "gcc" "src/algos/CMakeFiles/graft_algos.dir/graph_coloring.cc.o.d"
+  "/root/repo/src/algos/max_weight_matching.cc" "src/algos/CMakeFiles/graft_algos.dir/max_weight_matching.cc.o" "gcc" "src/algos/CMakeFiles/graft_algos.dir/max_weight_matching.cc.o.d"
+  "/root/repo/src/algos/pagerank.cc" "src/algos/CMakeFiles/graft_algos.dir/pagerank.cc.o" "gcc" "src/algos/CMakeFiles/graft_algos.dir/pagerank.cc.o.d"
+  "/root/repo/src/algos/random_walk.cc" "src/algos/CMakeFiles/graft_algos.dir/random_walk.cc.o" "gcc" "src/algos/CMakeFiles/graft_algos.dir/random_walk.cc.o.d"
+  "/root/repo/src/algos/sssp.cc" "src/algos/CMakeFiles/graft_algos.dir/sssp.cc.o" "gcc" "src/algos/CMakeFiles/graft_algos.dir/sssp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pregel/CMakeFiles/graft_pregel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/graft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

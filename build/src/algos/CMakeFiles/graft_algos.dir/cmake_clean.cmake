@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graft_algos.dir/connected_components.cc.o"
+  "CMakeFiles/graft_algos.dir/connected_components.cc.o.d"
+  "CMakeFiles/graft_algos.dir/graph_coloring.cc.o"
+  "CMakeFiles/graft_algos.dir/graph_coloring.cc.o.d"
+  "CMakeFiles/graft_algos.dir/max_weight_matching.cc.o"
+  "CMakeFiles/graft_algos.dir/max_weight_matching.cc.o.d"
+  "CMakeFiles/graft_algos.dir/pagerank.cc.o"
+  "CMakeFiles/graft_algos.dir/pagerank.cc.o.d"
+  "CMakeFiles/graft_algos.dir/random_walk.cc.o"
+  "CMakeFiles/graft_algos.dir/random_walk.cc.o.d"
+  "CMakeFiles/graft_algos.dir/sssp.cc.o"
+  "CMakeFiles/graft_algos.dir/sssp.cc.o.d"
+  "libgraft_algos.a"
+  "libgraft_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graft_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

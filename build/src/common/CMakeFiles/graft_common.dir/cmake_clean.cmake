@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graft_common.dir/binary_io.cc.o"
+  "CMakeFiles/graft_common.dir/binary_io.cc.o.d"
+  "CMakeFiles/graft_common.dir/json_writer.cc.o"
+  "CMakeFiles/graft_common.dir/json_writer.cc.o.d"
+  "CMakeFiles/graft_common.dir/logging.cc.o"
+  "CMakeFiles/graft_common.dir/logging.cc.o.d"
+  "CMakeFiles/graft_common.dir/parallel.cc.o"
+  "CMakeFiles/graft_common.dir/parallel.cc.o.d"
+  "CMakeFiles/graft_common.dir/random.cc.o"
+  "CMakeFiles/graft_common.dir/random.cc.o.d"
+  "CMakeFiles/graft_common.dir/status.cc.o"
+  "CMakeFiles/graft_common.dir/status.cc.o.d"
+  "CMakeFiles/graft_common.dir/string_util.cc.o"
+  "CMakeFiles/graft_common.dir/string_util.cc.o.d"
+  "libgraft_common.a"
+  "libgraft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/debug/codegen.cc" "src/debug/CMakeFiles/graft_debug.dir/codegen.cc.o" "gcc" "src/debug/CMakeFiles/graft_debug.dir/codegen.cc.o.d"
+  "/root/repo/src/debug/end_to_end.cc" "src/debug/CMakeFiles/graft_debug.dir/end_to_end.cc.o" "gcc" "src/debug/CMakeFiles/graft_debug.dir/end_to_end.cc.o.d"
+  "/root/repo/src/debug/trace_reader.cc" "src/debug/CMakeFiles/graft_debug.dir/trace_reader.cc.o" "gcc" "src/debug/CMakeFiles/graft_debug.dir/trace_reader.cc.o.d"
+  "/root/repo/src/debug/vertex_trace.cc" "src/debug/CMakeFiles/graft_debug.dir/vertex_trace.cc.o" "gcc" "src/debug/CMakeFiles/graft_debug.dir/vertex_trace.cc.o.d"
+  "/root/repo/src/debug/views/text_table.cc" "src/debug/CMakeFiles/graft_debug.dir/views/text_table.cc.o" "gcc" "src/debug/CMakeFiles/graft_debug.dir/views/text_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pregel/CMakeFiles/graft_pregel.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/graft_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graft_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/graft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graft_debug.dir/codegen.cc.o"
+  "CMakeFiles/graft_debug.dir/codegen.cc.o.d"
+  "CMakeFiles/graft_debug.dir/end_to_end.cc.o"
+  "CMakeFiles/graft_debug.dir/end_to_end.cc.o.d"
+  "CMakeFiles/graft_debug.dir/trace_reader.cc.o"
+  "CMakeFiles/graft_debug.dir/trace_reader.cc.o.d"
+  "CMakeFiles/graft_debug.dir/vertex_trace.cc.o"
+  "CMakeFiles/graft_debug.dir/vertex_trace.cc.o.d"
+  "CMakeFiles/graft_debug.dir/views/text_table.cc.o"
+  "CMakeFiles/graft_debug.dir/views/text_table.cc.o.d"
+  "libgraft_debug.a"
+  "libgraft_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graft_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

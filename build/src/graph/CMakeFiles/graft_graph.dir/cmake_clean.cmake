@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graft_graph.dir/builder.cc.o"
+  "CMakeFiles/graft_graph.dir/builder.cc.o.d"
+  "CMakeFiles/graft_graph.dir/datasets.cc.o"
+  "CMakeFiles/graft_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/graft_graph.dir/generators.cc.o"
+  "CMakeFiles/graft_graph.dir/generators.cc.o.d"
+  "CMakeFiles/graft_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/graft_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/graft_graph.dir/graph_text.cc.o"
+  "CMakeFiles/graft_graph.dir/graph_text.cc.o.d"
+  "CMakeFiles/graft_graph.dir/simple_graph.cc.o"
+  "CMakeFiles/graft_graph.dir/simple_graph.cc.o.d"
+  "libgraft_graph.a"
+  "libgraft_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graft_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraft_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graft_io.dir/trace_store.cc.o"
+  "CMakeFiles/graft_io.dir/trace_store.cc.o.d"
+  "libgraft_io.a"
+  "libgraft_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graft_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graft_pregel.dir/agg_value.cc.o"
+  "CMakeFiles/graft_pregel.dir/agg_value.cc.o.d"
+  "libgraft_pregel.a"
+  "libgraft_pregel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graft_pregel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

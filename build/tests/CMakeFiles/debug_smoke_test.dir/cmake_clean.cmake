@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_smoke_test.dir/debug_smoke_test.cc.o"
+  "CMakeFiles/debug_smoke_test.dir/debug_smoke_test.cc.o.d"
+  "debug_smoke_test"
+  "debug_smoke_test.pdb"
+  "debug_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

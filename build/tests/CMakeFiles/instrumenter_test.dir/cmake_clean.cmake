@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrumenter_test.dir/instrumenter_test.cc.o"
+  "CMakeFiles/instrumenter_test.dir/instrumenter_test.cc.o.d"
+  "instrumenter_test"
+  "instrumenter_test.pdb"
+  "instrumenter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrumenter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

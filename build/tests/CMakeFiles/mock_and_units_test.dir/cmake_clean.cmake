@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mock_and_units_test.dir/mock_and_units_test.cc.o"
+  "CMakeFiles/mock_and_units_test.dir/mock_and_units_test.cc.o.d"
+  "mock_and_units_test"
+  "mock_and_units_test.pdb"
+  "mock_and_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mock_and_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproducer_test.dir/reproducer_test.cc.o"
+  "CMakeFiles/reproducer_test.dir/reproducer_test.cc.o.d"
+  "reproducer_test"
+  "reproducer_test.pdb"
+  "reproducer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproducer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_algos_test.dir/scenario_algos_test.cc.o"
+  "CMakeFiles/scenario_algos_test.dir/scenario_algos_test.cc.o.d"
+  "scenario_algos_test"
+  "scenario_algos_test.pdb"
+  "scenario_algos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_algos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_store_test.dir/trace_store_test.cc.o"
+  "CMakeFiles/trace_store_test.dir/trace_store_test.cc.o.d"
+  "trace_store_test"
+  "trace_store_test.pdb"
+  "trace_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

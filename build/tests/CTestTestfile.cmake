@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_store_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/algos_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_algos_test[1]_include.cmake")
+include("/root/repo/build/tests/instrumenter_test[1]_include.cmake")
+include("/root/repo/build/tests/reproducer_test[1]_include.cmake")
+include("/root/repo/build/tests/debug_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/invariant_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/mock_and_units_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
