@@ -15,6 +15,7 @@
 #include "debug/debug_runner.h"
 #include "debug/reproducer.h"
 #include "debug/views/gui_views.h"
+#include "debug/views/text_table.h"
 #include "graph/builder.h"
 #include "io/trace_store.h"
 #include "pregel/loader.h"
@@ -71,6 +72,16 @@ int main(int argc, char** argv) {
   std::printf("Graft captured %llu vertex contexts (%llu trace bytes)\n\n",
               static_cast<unsigned long long>(summary.captures),
               static_cast<unsigned long long>(summary.trace_bytes));
+
+  // 4b. Where did the time go? The engine's run report breaks every
+  //     superstep into phases, and the capture accounting shows what the
+  //     debugger itself cost.
+  std::printf("--- per-superstep profile ---\n%s\n",
+              graft::debug::RenderSuperstepProfile(summary.stats.report)
+                  .c_str());
+  std::printf("%s\n",
+              graft::debug::RenderCaptureProfile(summary.stats.report)
+                  .c_str());
 
   // 5. Step through the captured supersteps in the GUI.
   graft::debug::GraftGui<CCTraits> gui(store.get(), "quickstart-cc");

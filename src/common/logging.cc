@@ -15,12 +15,9 @@ namespace {
 std::atomic<int> g_log_level{-1};
 
 int ReadInitialLevel() {
-  const char* env = std::getenv("GRAFT_LOG_LEVEL");
-  if (env != nullptr && *env != '\0') {
-    int v = std::atoi(env);
-    if (v >= 0 && v <= 4) return v;
-  }
-  return static_cast<int>(LogLevel::kInfo);
+  LogLevel level = LogLevel::kInfo;
+  ParseLogLevel(std::getenv("GRAFT_LOG_LEVEL"), &level);
+  return static_cast<int>(level);
 }
 
 const char* LevelName(LogLevel level) {
@@ -57,6 +54,22 @@ LogLevel GetLogLevel() {
 
 void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool ParseLogLevel(const char* text, LogLevel* level) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;  // trailing junk
+  if (v < 0 || v > 4) return false;
+  *level = static_cast<LogLevel>(v);
+  return true;
+}
+
+LogLevel ReloadLogLevelFromEnv() {
+  int v = ReadInitialLevel();
+  g_log_level.store(v, std::memory_order_relaxed);
+  return static_cast<LogLevel>(v);
 }
 
 namespace internal {

@@ -20,6 +20,16 @@ enum class LogLevel : int {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Parses a GRAFT_LOG_LEVEL-style value ("0".."4"). Returns false and
+/// leaves `*level` untouched for null/empty/non-numeric/out-of-range input.
+bool ParseLogLevel(const char* text, LogLevel* level);
+
+/// Re-reads GRAFT_LOG_LEVEL and applies it (or the Info default when the
+/// variable is unset/invalid). Returns the resulting level. Normally the
+/// variable is read once, lazily; this hook exists for tests and for hosts
+/// that mutate their environment after startup.
+LogLevel ReloadLogLevelFromEnv();
+
 namespace internal {
 
 /// Stream-style log sink. Collects the message and emits it (with level,

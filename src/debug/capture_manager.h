@@ -10,9 +10,12 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/stopwatch.h"
 #include "debug/debug_config.h"
 #include "debug/vertex_trace.h"
 #include "io/trace_store.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "pregel/vertex.h"
 
 namespace graft {
@@ -124,14 +127,27 @@ class CaptureManager {
     if (trace.exception.has_value()) {
       exceptions_.fetch_add(1, std::memory_order_relaxed);
     }
+    Stopwatch serialize_clock;
+    std::string payload = trace.Serialize();
+    obs::AtomicDoubleAdd(&serialize_seconds_,
+                         serialize_clock.ElapsedSeconds());
+    Stopwatch append_clock;
     GRAFT_CHECK_OK(store_->Append(
-        VertexTraceFile(job_id_, trace.superstep, worker), trace.Serialize()));
+        VertexTraceFile(job_id_, trace.superstep, worker), payload));
+    obs::AtomicDoubleAdd(&append_seconds_, append_clock.ElapsedSeconds());
     return true;
   }
 
   void RecordMasterTrace(const MasterTrace& trace) {
-    GRAFT_CHECK_OK(store_->Append(MasterTraceFile(job_id_, trace.superstep),
-                                  trace.Serialize()));
+    master_captures_.fetch_add(1, std::memory_order_relaxed);
+    Stopwatch serialize_clock;
+    std::string payload = trace.Serialize();
+    obs::AtomicDoubleAdd(&serialize_seconds_,
+                         serialize_clock.ElapsedSeconds());
+    Stopwatch append_clock;
+    GRAFT_CHECK_OK(
+        store_->Append(MasterTraceFile(job_id_, trace.superstep), payload));
+    obs::AtomicDoubleAdd(&append_seconds_, append_clock.ElapsedSeconds());
   }
 
   uint64_t num_captures() const {
@@ -146,11 +162,57 @@ class CaptureManager {
   uint64_t num_dropped_by_limit() const {
     return dropped_by_limit_.load(std::memory_order_relaxed);
   }
+  uint64_t num_master_captures() const {
+    return master_captures_.load(std::memory_order_relaxed);
+  }
+  double serialize_seconds() const {
+    return serialize_seconds_.load(std::memory_order_relaxed);
+  }
+  double append_seconds() const {
+    return append_seconds_.load(std::memory_order_relaxed);
+  }
 
   /// Total bytes of trace data this job has written — the paper's "small
   /// log files" claim is checked against this in the benches.
   uint64_t TraceBytes() const {
     return store_->TotalBytes(JobTracePrefix(job_id_));
+  }
+
+  /// Fills the capture half of a run report. The store-level fields
+  /// (store_appends/store_flushes) are job-agnostic lifetime counters of the
+  /// underlying store; callers that share a store across jobs should diff.
+  void FillCaptureProfile(obs::CaptureProfile* capture) const {
+    capture->enabled = true;
+    capture->vertex_captures = num_captures();
+    capture->master_captures = num_master_captures();
+    capture->violations = num_violations();
+    capture->exceptions = num_exceptions();
+    capture->dropped_by_limit = num_dropped_by_limit();
+    capture->serialize_seconds = serialize_seconds();
+    capture->append_seconds = append_seconds();
+    capture->trace_bytes = TraceBytes();
+    TraceStore::IoStats io = store_->io_stats();
+    capture->store_appends = io.appends;
+    capture->store_flushes = io.flushes;
+  }
+
+  /// Copies the capture counters into `registry` as capture.* metrics.
+  void ExportMetrics(obs::MetricsRegistry* registry) const {
+    registry->GetCounter("capture.vertex_captures_total")
+        ->Increment(num_captures());
+    registry->GetCounter("capture.master_captures_total")
+        ->Increment(num_master_captures());
+    registry->GetCounter("capture.violations_total")
+        ->Increment(num_violations());
+    registry->GetCounter("capture.exceptions_total")
+        ->Increment(num_exceptions());
+    registry->GetCounter("capture.dropped_by_limit_total")
+        ->Increment(num_dropped_by_limit());
+    registry->GetGauge("capture.serialize_seconds")
+        ->Add(serialize_seconds());
+    registry->GetGauge("capture.append_seconds")->Add(append_seconds());
+    registry->GetGauge("capture.trace_bytes")
+        ->Add(static_cast<double>(TraceBytes()));
   }
 
  private:
@@ -165,9 +227,12 @@ class CaptureManager {
   uint64_t max_captures_ = 0;
 
   std::atomic<uint64_t> captures_{0};
+  std::atomic<uint64_t> master_captures_{0};
   std::atomic<uint64_t> violations_{0};
   std::atomic<uint64_t> exceptions_{0};
   std::atomic<uint64_t> dropped_by_limit_{0};
+  std::atomic<double> serialize_seconds_{0.0};
+  std::atomic<double> append_seconds_{0.0};
 };
 
 inline std::string VertexTraceFile(const std::string& job_id,

@@ -91,6 +91,8 @@ DebugRunSummary RunWithGraft(
   };
 
   const bool has_master = master_factory != nullptr;
+  // `options` is moved into the engine below; keep what the wiring needs.
+  obs::MetricsRegistry* metrics = options.metrics;
   pregel::Engine<Traits> engine(
       std::move(options), std::move(vertices),
       InstrumentFactory<Traits>(std::move(user_factory), &manager),
@@ -113,6 +115,13 @@ DebugRunSummary RunWithGraft(
   summary.exceptions = manager.num_exceptions();
   summary.dropped_by_capture_limit = manager.num_dropped_by_limit();
   summary.trace_bytes = manager.TraceBytes();
+  // Attach the capture-overhead half of the run report (the engine filled
+  // the phase-timing half during Run).
+  manager.FillCaptureProfile(&summary.stats.report.capture);
+  if (metrics != nullptr) {
+    manager.ExportMetrics(metrics);
+    store->ExportMetrics(metrics);
+  }
   if (post_run) post_run(engine);
   return summary;
 }

@@ -3,9 +3,14 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace graft {
 namespace debug {
+
+namespace {
+std::string Ms(double seconds) { return StrFormat("%.3f", seconds * 1e3); }
+}  // namespace
 
 void TextTable::AddRow(std::vector<std::string> cells) {
   GRAFT_CHECK(cells.size() == headers_.size())
@@ -42,6 +47,58 @@ std::string TextTable::Render() const {
   out.push_back('\n');
   for (const auto& row : rows_) out += render_row(row);
   return out;
+}
+
+std::string RenderSuperstepProfile(const obs::RunReport& report) {
+  TextTable table({"superstep", "mutate_ms", "deliver_ms", "master_ms",
+                   "compute_ms", "agg_ms", "max_wait_ms", "total_ms"});
+  for (const obs::SuperstepProfile& prof : report.per_superstep) {
+    double max_wait = 0.0;
+    for (const obs::WorkerPhaseProfile& wp : prof.workers) {
+      max_wait = std::max(max_wait, wp.barrier_wait_seconds);
+    }
+    table.AddRow({StrFormat("%lld", static_cast<long long>(prof.superstep)),
+                  Ms(prof.mutation_seconds), Ms(prof.delivery_wall_seconds),
+                  Ms(prof.master_seconds), Ms(prof.compute_wall_seconds),
+                  Ms(prof.aggregator_merge_seconds), Ms(max_wait),
+                  Ms(prof.total_seconds)});
+  }
+  return table.Render();
+}
+
+std::string RenderWorkerProfile(const obs::RunReport& report,
+                                int64_t superstep) {
+  for (const obs::SuperstepProfile& prof : report.per_superstep) {
+    if (prof.superstep != superstep) continue;
+    TextTable table({"worker", "compute_ms", "deliver_ms", "wait_ms",
+                     "vertices", "messages"});
+    for (const obs::WorkerPhaseProfile& wp : prof.workers) {
+      table.AddRow({StrFormat("%d", wp.worker), Ms(wp.compute_seconds),
+                    Ms(wp.delivery_seconds), Ms(wp.barrier_wait_seconds),
+                    WithThousandsSeparators(wp.vertices_computed),
+                    WithThousandsSeparators(wp.messages_sent)});
+    }
+    return table.Render();
+  }
+  return "";
+}
+
+std::string RenderCaptureProfile(const obs::RunReport& report) {
+  const obs::CaptureProfile& c = report.capture;
+  if (!c.enabled) return "";
+  return StrFormat(
+      "captures: vertex=%s master=%s violations=%s exceptions=%s "
+      "dropped=%s\noverhead: serialize=%.3fms append=%.3fms traces=%s "
+      "(%s appends, %s flushes)\n",
+      WithThousandsSeparators(c.vertex_captures).c_str(),
+      WithThousandsSeparators(c.master_captures).c_str(),
+      WithThousandsSeparators(c.violations).c_str(),
+      WithThousandsSeparators(c.exceptions).c_str(),
+      WithThousandsSeparators(c.dropped_by_limit).c_str(),
+      c.serialize_seconds * 1e3, c.append_seconds * 1e3,
+      HumanBytes(c.trace_bytes).c_str(),
+      WithThousandsSeparators(c.store_appends).c_str(),
+      WithThousandsSeparators(c.store_flushes).c_str());
 }
 
 }  // namespace debug

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/run_report.h"
+
 namespace graft {
 namespace debug {
 
@@ -29,6 +31,22 @@ class TextTable {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// One row per superstep: phase wall times (mutation, delivery, master,
+/// compute, aggregator merge), the slowest worker's barrier wait, and the
+/// superstep total. The GUI-equivalent of the paper's per-superstep panel,
+/// fed by the engine's run report.
+std::string RenderSuperstepProfile(const obs::RunReport& report);
+
+/// One row per worker of superstep `superstep`: compute/delivery/barrier
+/// seconds plus vertices computed and messages sent. Returns "" when the
+/// report has no such superstep.
+std::string RenderWorkerProfile(const obs::RunReport& report,
+                                int64_t superstep);
+
+/// Two-line summary of capture overhead (counts, seconds, bytes); "" when
+/// capture accounting is absent (run without Graft).
+std::string RenderCaptureProfile(const obs::RunReport& report);
 
 }  // namespace debug
 }  // namespace graft

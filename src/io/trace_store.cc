@@ -10,6 +10,7 @@
 
 #include "common/binary_io.h"
 #include "common/logging.h"
+#include "common/stopwatch.h"
 
 namespace graft {
 
@@ -21,18 +22,24 @@ namespace fs = std::filesystem;
 
 Status InMemoryTraceStore::Append(const std::string& file,
                                   std::string_view record) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  FileData& data = files_[file];
-  data.records.emplace_back(record);
-  // Account the varint framing the durable store would write, so byte totals
-  // are comparable between backends.
-  uint64_t len = record.size();
-  uint64_t framing = 1;
-  while (len >= 0x80) {
-    len >>= 7;
-    ++framing;
+  Stopwatch clock;
+  uint64_t framed_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FileData& data = files_[file];
+    data.records.emplace_back(record);
+    // Account the varint framing the durable store would write, so byte
+    // totals are comparable between backends.
+    uint64_t len = record.size();
+    uint64_t framing = 1;
+    while (len >= 0x80) {
+      len >>= 7;
+      ++framing;
+    }
+    framed_bytes = record.size() + framing;
+    data.bytes += framed_bytes;
   }
-  data.bytes += record.size() + framing;
+  AccountAppend(framed_bytes, clock.ElapsedSeconds());
   return Status::OK();
 }
 
@@ -122,6 +129,7 @@ std::string LocalDirTraceStore::KeyFor(const std::string& path) const {
 
 Status LocalDirTraceStore::Append(const std::string& file,
                                   std::string_view record) {
+  Stopwatch clock;
   std::lock_guard<std::mutex> lock(mutex_);
   int fd = -1;
   auto it = fds_.find(file);
@@ -156,6 +164,7 @@ Status LocalDirTraceStore::Append(const std::string& file,
     }
     written += static_cast<size_t>(n);
   }
+  AccountAppend(buf.size(), clock.ElapsedSeconds());
   return Status::OK();
 }
 
@@ -252,6 +261,7 @@ Status LocalDirTraceStore::DeletePrefix(const std::string& prefix) {
 }
 
 Status LocalDirTraceStore::Flush() {
+  Stopwatch clock;
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, fd] : fds_) {
     if (::fsync(fd) != 0) {
@@ -259,6 +269,7 @@ Status LocalDirTraceStore::Flush() {
                              "' failed: " + std::strerror(errno));
     }
   }
+  AccountFlush(clock.ElapsedSeconds());
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef GRAFT_IO_TRACE_STORE_H_
 #define GRAFT_IO_TRACE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -11,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace graft {
 
@@ -27,6 +29,18 @@ namespace graft {
 /// appends to its own file, but the interface does not rely on that.
 class TraceStore {
  public:
+  /// Lifetime I/O accounting, maintained by every store implementation:
+  /// appends/bytes/flushes plus the wall time spent inside Append/Flush.
+  /// This is the io half of the capture-overhead accounting in
+  /// obs::CaptureProfile.
+  struct IoStats {
+    uint64_t appends = 0;
+    uint64_t bytes_written = 0;  // records + framing
+    uint64_t flushes = 0;
+    double append_seconds = 0.0;
+    double flush_seconds = 0.0;
+  };
+
   virtual ~TraceStore() = default;
 
   /// Appends one record to `file`, creating it if needed.
@@ -55,6 +69,50 @@ class TraceStore {
 
   /// Ensures buffered data is durable (no-op for the in-memory store).
   virtual Status Flush() = 0;
+
+  /// Snapshot of the lifetime I/O counters (thread-safe).
+  IoStats io_stats() const {
+    IoStats stats;
+    stats.appends = appends_.load(std::memory_order_relaxed);
+    stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    stats.flushes = flushes_.load(std::memory_order_relaxed);
+    stats.append_seconds = append_seconds_.load(std::memory_order_relaxed);
+    stats.flush_seconds = flush_seconds_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  /// Copies the I/O counters into `registry` as tracestore.* metrics.
+  void ExportMetrics(obs::MetricsRegistry* registry) const {
+    IoStats stats = io_stats();
+    registry->GetCounter("tracestore.appends_total")
+        ->Increment(stats.appends);
+    registry->GetCounter("tracestore.bytes_written_total")
+        ->Increment(stats.bytes_written);
+    registry->GetCounter("tracestore.flushes_total")
+        ->Increment(stats.flushes);
+    registry->GetGauge("tracestore.append_seconds")
+        ->Add(stats.append_seconds);
+    registry->GetGauge("tracestore.flush_seconds")->Add(stats.flush_seconds);
+  }
+
+ protected:
+  /// Called by implementations after each successful append/flush.
+  void AccountAppend(uint64_t bytes, double seconds) {
+    appends_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    obs::AtomicDoubleAdd(&append_seconds_, seconds);
+  }
+  void AccountFlush(double seconds) {
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    obs::AtomicDoubleAdd(&flush_seconds_, seconds);
+  }
+
+ private:
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<double> append_seconds_{0.0};
+  std::atomic<double> flush_seconds_{0.0};
 };
 
 /// Heap-backed store; the default for tests and benchmarks, where trace
@@ -71,7 +129,10 @@ class InMemoryTraceStore : public TraceStore {
   uint64_t TotalBytes(const std::string& prefix) const override;
   uint64_t RecordCount(const std::string& file) const override;
   Status DeletePrefix(const std::string& prefix) override;
-  Status Flush() override { return Status::OK(); }
+  Status Flush() override {
+    AccountFlush(0.0);
+    return Status::OK();
+  }
 
  private:
   struct FileData {

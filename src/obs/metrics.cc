@@ -1,0 +1,210 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/json_writer.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace graft {
+namespace obs {
+
+void AtomicDoubleAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicDoubleMax(std::atomic<double>* target, double candidate) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current < candidate &&
+         !target->compare_exchange_weak(current, candidate,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds, int num_shards)
+    : bounds_(std::move(bounds)), num_shards_(std::max(num_shards, 1)) {
+  GRAFT_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  shards_ = std::make_unique<Shard[]>(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    shards_[s].counts =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      shards_[s].counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Record(double value, int shard) {
+  if (shard < 0 || shard >= num_shards_) shard = 0;
+  Shard& s = shards_[shard];
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  s.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicDoubleAdd(&s.sum, value);
+  AtomicDoubleMax(&s.max, value);
+}
+
+Histogram::Snapshot Histogram::Merge() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (int i = 0; i < num_shards_; ++i) {
+    const Shard& s = shards_[i];
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      snap.counts[b] += s.counts[b].load(std::memory_order_relaxed);
+    }
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, s.max.load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+std::vector<double> DefaultLatencyBounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds,
+                                         int num_shards) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds),
+                                                  num_shards))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::AppendJson(JsonWriter* writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer->BeginObject();
+  writer->Key("counters");
+  writer->BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    writer->KV(name, counter->value());
+  }
+  writer->EndObject();
+  writer->Key("gauges");
+  writer->BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    writer->KV(name, gauge->value());
+  }
+  writer->EndObject();
+  writer->Key("histograms");
+  writer->BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot snap = histogram->Merge();
+    writer->Key(name);
+    writer->BeginObject();
+    writer->KV("count", snap.count);
+    writer->KV("sum", snap.sum);
+    writer->KV("max", snap.max);
+    writer->Key("bounds");
+    writer->BeginArray();
+    for (double b : snap.bounds) writer->Double(b);
+    writer->EndArray();
+    writer->Key("counts");
+    writer->BeginArray();
+    for (uint64_t c : snap.counts) writer->UInt(c);
+    writer->EndArray();
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter writer;
+  AppendJson(&writer);
+  return writer.TakeString();
+}
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+std::string FormatDouble(double value) {
+  std::string s = StrFormat("%.9g", value);
+  return s;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    std::string id = std::string(prefix) + PrometheusName(name);
+    out += "# TYPE " + id + " counter\n";
+    out += id + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string id = std::string(prefix) + PrometheusName(name);
+    out += "# TYPE " + id + " gauge\n";
+    out += id + " " + FormatDouble(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string id = std::string(prefix) + PrometheusName(name);
+    Histogram::Snapshot snap = histogram->Merge();
+    out += "# TYPE " + id + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < snap.bounds.size(); ++b) {
+      cumulative += snap.counts[b];
+      out += id + "_bucket{le=\"" + FormatDouble(snap.bounds[b]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += id + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) + "\n";
+    out += id + "_sum " + FormatDouble(snap.sum) + "\n";
+    out += id + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace graft

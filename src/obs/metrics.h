@@ -1,0 +1,181 @@
+#ifndef GRAFT_OBS_METRICS_H_
+#define GRAFT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace graft {
+
+class JsonWriter;
+
+namespace obs {
+
+/// Relaxed-order add into an atomic double (CAS loop; portable across
+/// standard libraries that lack atomic<double>::fetch_add).
+void AtomicDoubleAdd(std::atomic<double>* target, double delta);
+
+/// Relaxed-order max into an atomic double.
+void AtomicDoubleMax(std::atomic<double>* target, double candidate);
+
+/// Monotonically increasing event count. All operations are lock-free and
+/// safe to call from any worker thread.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-writer-wins double value with an atomic accumulate. Used for
+/// "seconds spent in X" totals and point-in-time readings.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { AtomicDoubleAdd(&value_, delta); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram with lock-free per-worker shards.
+///
+/// Each worker thread records into its own cache-line-aligned shard
+/// (`Record(value, shard)`), so the superstep hot path takes no locks and
+/// shares no cache lines between workers; shards are merged on demand
+/// (`Merge()`), which the engine does at superstep barriers and at job end.
+/// Bucket semantics follow Prometheus: bucket i counts values <= bounds[i],
+/// with one final +Inf bucket.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::vector<double> bounds;   // upper bounds, ascending
+    std::vector<uint64_t> counts; // bounds.size() + 1 entries (last = +Inf)
+    uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+
+  Histogram(std::vector<double> bounds, int num_shards);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value, int shard = 0);
+
+  /// Merged view across all shards.
+  Snapshot Merge() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  int num_shards() const { return num_shards_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+  };
+
+  std::vector<double> bounds_;
+  int num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Default exponential latency bounds in seconds (1us .. 100s), suitable for
+/// per-superstep phase timings.
+std::vector<double> DefaultLatencyBounds();
+
+/// Thread-safe name -> metric registry. Get* calls create the metric on
+/// first use and return a pointer that stays valid for the registry's
+/// lifetime; the per-event hot path then touches only the metric's atomics.
+/// Metric names use dotted form ("engine.compute_seconds"); exporters map
+/// them to Prometheus identifiers by replacing non-alphanumerics with '_'.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// Returns the existing histogram when `name` is already registered (the
+  /// original bounds/shards win), so repeat callers can share it.
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds,
+                          int num_shards = 1);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} — keys sorted, so
+  /// output is deterministic for golden tests.
+  void AppendJson(JsonWriter* writer) const;
+  std::string ToJson() const;
+
+  /// Prometheus text exposition (counters, gauges, and histograms with
+  /// cumulative _bucket/_sum/_count series). `prefix` is prepended to every
+  /// metric name.
+  std::string ToPrometheusText(std::string_view prefix = "graft_") const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// "name.with.dots" -> "name_with_dots" for Prometheus exposition.
+std::string PrometheusName(std::string_view name);
+
+/// Scoped trace span: measures wall time from construction and records it
+/// into a histogram shard (and optionally adds it to an accumulator gauge)
+/// on Stop()/destruction. Cost: two steady_clock reads.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Histogram* histogram, int shard = 0,
+                      Gauge* accumulator = nullptr)
+      : histogram_(histogram), accumulator_(accumulator), shard_(shard) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Records once and returns the elapsed seconds.
+  double Stop() {
+    if (stopped_) return elapsed_;
+    stopped_ = true;
+    elapsed_ = watch_.ElapsedSeconds();
+    if (histogram_ != nullptr) histogram_->Record(elapsed_, shard_);
+    if (accumulator_ != nullptr) accumulator_->Add(elapsed_);
+    return elapsed_;
+  }
+
+  ~ScopedSpan() { Stop(); }
+
+ private:
+  Stopwatch watch_;
+  Histogram* histogram_;
+  Gauge* accumulator_;
+  int shard_;
+  bool stopped_ = false;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace graft
+
+#endif  // GRAFT_OBS_METRICS_H_

@@ -1,0 +1,107 @@
+#ifndef GRAFT_OBS_RUN_REPORT_H_
+#define GRAFT_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graft {
+
+class JsonWriter;
+
+namespace obs {
+
+/// Engine phases profiled every superstep. Names are stable identifiers used
+/// by the JSON and Prometheus exports.
+enum class Phase : int {
+  kMutation = 0,        // topology mutation application
+  kDelivery = 1,        // message delivery into partition inboxes
+  kMaster = 2,          // master.compute()
+  kCompute = 3,         // vertex Compute() phase
+  kBarrierWait = 4,     // worker idle time at the superstep barriers
+  kAggregatorMerge = 5, // per-worker aggregation merge
+};
+inline constexpr int kNumPhases = 6;
+const char* PhaseName(Phase phase);
+
+/// One worker's slice of one superstep. `compute_seconds` and
+/// `delivery_seconds` are the worker's busy time inside the respective
+/// parallel phases; `barrier_wait_seconds` is the time it spent idle waiting
+/// for the slowest worker (phase wall time minus own busy time, summed over
+/// both parallel phases) — the straggler signal.
+struct WorkerPhaseProfile {
+  int worker = 0;
+  double compute_seconds = 0.0;
+  double delivery_seconds = 0.0;
+  double barrier_wait_seconds = 0.0;
+  uint64_t vertices_computed = 0;
+  uint64_t messages_sent = 0;
+};
+
+/// Phase timings for one superstep; wall-clock for the serial phases, wall
+/// plus per-worker busy breakdown for the parallel ones.
+struct SuperstepProfile {
+  int64_t superstep = 0;
+  double mutation_seconds = 0.0;
+  double delivery_wall_seconds = 0.0;
+  double master_seconds = 0.0;
+  double compute_wall_seconds = 0.0;
+  double aggregator_merge_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::vector<WorkerPhaseProfile> workers;
+};
+
+/// Capture-layer overhead, measured (not benchmarked): what the Graft
+/// instrumentation actually spent serializing and appending traces during
+/// the run. This makes the paper's Figure 7 "capture overhead" a first-class
+/// quantity in every debugged run.
+struct CaptureProfile {
+  bool enabled = false;
+  uint64_t vertex_captures = 0;
+  uint64_t master_captures = 0;
+  uint64_t violations = 0;
+  uint64_t exceptions = 0;
+  uint64_t dropped_by_limit = 0;
+  double serialize_seconds = 0.0;  // building trace records
+  double append_seconds = 0.0;     // TraceStore::Append calls
+  uint64_t trace_bytes = 0;
+  uint64_t store_appends = 0;
+  uint64_t store_flushes = 0;
+
+  double OverheadSeconds() const { return serialize_seconds + append_seconds; }
+};
+
+/// Machine-readable profile of one Engine::Run(): per-worker x per-superstep
+/// phase timings plus capture-overhead accounting. Attached to JobStats.
+struct RunReport {
+  std::string job_id;
+  int num_workers = 0;
+  int64_t supersteps = 0;
+  double total_seconds = 0.0;
+  std::vector<SuperstepProfile> per_superstep;
+  CaptureProfile capture;
+
+  // -- aggregates over per_superstep --
+  double TotalComputeWallSeconds() const;
+  double TotalDeliveryWallSeconds() const;
+  double TotalMasterSeconds() const;
+  double TotalMutationSeconds() const;
+  double TotalAggregatorMergeSeconds() const;
+  /// Sum of every worker's barrier-wait seconds (idle-time integral).
+  double TotalBarrierWaitSeconds() const;
+  double MaxSuperstepSeconds() const;
+
+  /// Serializes the full report (reuses common/json_writer).
+  void AppendJson(JsonWriter* writer) const;
+  std::string ToJson() const;
+
+  /// Prometheus text exposition of the report's aggregate series, labelled
+  /// with the job id.
+  std::string ToPrometheusText(std::string_view prefix = "graft_") const;
+};
+
+}  // namespace obs
+}  // namespace graft
+
+#endif  // GRAFT_OBS_RUN_REPORT_H_

@@ -1,6 +1,7 @@
 #ifndef GRAFT_PREGEL_ENGINE_H_
 #define GRAFT_PREGEL_ENGINE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -18,6 +19,8 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "pregel/computation.h"
 #include "pregel/compute_context.h"
 #include "pregel/job_stats.h"
@@ -63,6 +66,12 @@ class Engine {
     /// Optional message combiner (associative + commutative).
     Combiner combiner;
     std::string job_id = "job";
+    /// Optional shared metrics registry. When set, the engine records its
+    /// phase-latency histograms and counters there (so one registry can
+    /// collect engine + trace-store + capture metrics for a whole debugged
+    /// run); when null the engine uses a private registry. Either way the
+    /// JobStats::report carries the structured per-superstep profile.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// Observes superstep boundaries; Graft's capture manager subscribes to
@@ -105,6 +114,25 @@ class Engine {
     for (VertexT& v : initial_vertices) {
       AddVertexInternal(std::move(v));
     }
+    metrics_ = options_.metrics != nullptr ? options_.metrics : &own_metrics_;
+    const std::vector<double> bounds = obs::DefaultLatencyBounds();
+    hist_compute_ = metrics_->GetHistogram("engine.compute_seconds", bounds,
+                                           options_.num_workers);
+    hist_delivery_ = metrics_->GetHistogram("engine.delivery_seconds", bounds,
+                                            options_.num_workers);
+    hist_barrier_wait_ = metrics_->GetHistogram("engine.barrier_wait_seconds",
+                                                bounds, options_.num_workers);
+    hist_mutation_ = metrics_->GetHistogram("engine.mutation_seconds", bounds);
+    hist_master_ = metrics_->GetHistogram("engine.master_seconds", bounds);
+    hist_agg_merge_ =
+        metrics_->GetHistogram("engine.aggregator_merge_seconds", bounds);
+    hist_superstep_ =
+        metrics_->GetHistogram("engine.superstep_seconds", bounds);
+    ctr_supersteps_ = metrics_->GetCounter("engine.supersteps_total");
+    ctr_messages_ = metrics_->GetCounter("engine.messages_sent_total");
+    ctr_dropped_ = metrics_->GetCounter("engine.messages_dropped_total");
+    ctr_vertices_computed_ =
+        metrics_->GetCounter("engine.vertices_computed_total");
   }
 
   Engine(const Engine&) = delete;
@@ -117,6 +145,8 @@ class Engine {
   Result<JobStats> Run() {
     Stopwatch total_clock;
     JobStats stats;
+    stats.report.job_id = options_.job_id;
+    stats.report.num_workers = options_.num_workers;
     MasterCtx master_ctx(this);
     if (master_ != nullptr) {
       master_->Initialize(master_ctx);
@@ -137,14 +167,28 @@ class Engine {
       Stopwatch superstep_clock;
       SuperstepStats ss;
       ss.superstep = superstep_;
+      obs::SuperstepProfile prof;
+      prof.superstep = superstep_;
+      prof.workers.resize(static_cast<size_t>(options_.num_workers));
+      for (int w = 0; w < options_.num_workers; ++w) {
+        prof.workers[static_cast<size_t>(w)].worker = w;
+      }
 
       // 1. Apply topology mutations requested in the previous superstep.
-      ApplyMutations(contexts, &ss);
+      {
+        Stopwatch clock;
+        ApplyMutations(contexts, &ss);
+        prof.mutation_seconds = clock.ElapsedSeconds();
+      }
 
       // 2. Deliver messages sent in the previous superstep (after mutations,
       //    so a message for a just-removed vertex follows the missing-vertex
       //    policy, per Pregel).
-      DeliverMessages(contexts, &ss);
+      {
+        Stopwatch clock;
+        DeliverMessages(contexts, &ss, &prof);
+        prof.delivery_wall_seconds = clock.ElapsedSeconds();
+      }
 
       // 3. Refresh global data visible to this superstep.
       RefreshTotals();
@@ -154,8 +198,10 @@ class Engine {
 
       // 4. Master phase: sees aggregators merged at the end of superstep-1.
       if (master_ != nullptr) {
+        Stopwatch clock;
         master_ctx.BeginSuperstep(superstep_);
         master_->Compute(master_ctx);
+        prof.master_seconds = clock.ElapsedSeconds();
       }
       for (auto* obs : observers_) {
         obs->OnMasterComputed(superstep_, visible_aggregators_,
@@ -163,6 +209,7 @@ class Engine {
       }
       if (master_halted_) {
         stats.termination = TerminationReason::kMasterHalted;
+        stats.total_messages_dropped += ss.messages_dropped;
         FinalizeStats(&stats, total_clock);
         return stats;
       }
@@ -170,16 +217,29 @@ class Engine {
       // 5. Termination check: nothing to do this superstep?
       if (!AnyVertexActive()) {
         stats.termination = TerminationReason::kAllHalted;
+        stats.total_messages_dropped += ss.messages_dropped;
         FinalizeStats(&stats, total_clock);
         return stats;
       }
 
       // 6. Vertex phase across all workers.
       compute_error_.reset();
-      RunOnWorkers(options_.num_workers, [&](int w) {
-        RunWorker(&contexts[static_cast<size_t>(w)],
-                  computations[static_cast<size_t>(w)].get(), &ss);
-      });
+      {
+        Stopwatch clock;
+        RunOnWorkers(options_.num_workers, [&](int w) {
+          RunWorker(&contexts[static_cast<size_t>(w)],
+                    computations[static_cast<size_t>(w)].get(), &ss,
+                    &prof.workers[static_cast<size_t>(w)]);
+        });
+        prof.compute_wall_seconds = clock.ElapsedSeconds();
+      }
+      // A worker's barrier wait is the time it idled for the slowest peer in
+      // the two intra-superstep parallel phases.
+      for (obs::WorkerPhaseProfile& wp : prof.workers) {
+        wp.barrier_wait_seconds =
+            std::max(0.0, prof.compute_wall_seconds - wp.compute_seconds) +
+            std::max(0.0, prof.delivery_wall_seconds - wp.delivery_seconds);
+      }
       if (compute_error_.has_value()) {
         stats.termination = TerminationReason::kComputeError;
         FinalizeStats(&stats, total_clock);
@@ -189,11 +249,19 @@ class Engine {
       }
 
       // 7. Merge per-worker aggregations into the next superstep's view.
-      MergeAggregators(contexts);
+      {
+        Stopwatch clock;
+        MergeAggregators(contexts);
+        prof.aggregator_merge_seconds = clock.ElapsedSeconds();
+      }
 
       ss.seconds = superstep_clock.ElapsedSeconds();
+      prof.total_seconds = ss.seconds;
       stats.total_messages += ss.messages_sent;
+      stats.total_messages_dropped += ss.messages_dropped;
+      RecordSuperstepMetrics(prof, ss);
       stats.per_superstep.push_back(ss);
+      stats.report.per_superstep.push_back(std::move(prof));
       for (auto* obs : observers_) obs->OnSuperstepEnd(superstep_, ss);
     }
     stats.termination = TerminationReason::kMaxSupersteps;
@@ -238,6 +306,10 @@ class Engine {
   void AddObserver(SuperstepObserver* observer) {
     observers_.push_back(observer);
   }
+
+  /// The registry this engine records into (Options::metrics when supplied,
+  /// otherwise the engine's private registry).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
 
   /// Stable partition (worker) assignment of a vertex id.
   size_t PartitionOf(VertexId id) const {
@@ -460,7 +532,8 @@ class Engine {
     return &p.vertices[it->second];
   }
 
-  void DeliverMessages(std::vector<WorkerCtx>& contexts, SuperstepStats* ss) {
+  void DeliverMessages(std::vector<WorkerCtx>& contexts, SuperstepStats* ss,
+                       obs::SuperstepProfile* prof) {
     // First create any missing destination vertices (single-threaded, since
     // it mutates partition tables), then group per destination partition in
     // parallel.
@@ -479,6 +552,7 @@ class Engine {
       }
     }
     RunOnWorkers(options_.num_workers, [&](int w) {
+      Stopwatch clock;
       Partition& p = partitions_[static_cast<size_t>(w)];
       uint64_t local_dropped = 0;
       for (WorkerCtx& ctx : contexts) {
@@ -499,6 +573,8 @@ class Engine {
         outbox.clear();
       }
       dropped.fetch_add(local_dropped, std::memory_order_relaxed);
+      prof->workers[static_cast<size_t>(w)].delivery_seconds =
+          clock.ElapsedSeconds();
     });
     ss->messages_dropped = dropped.load();
   }
@@ -529,7 +605,8 @@ class Engine {
   }
 
   void RunWorker(WorkerCtx* ctx, Computation<Traits>* computation,
-                 SuperstepStats* ss) {
+                 SuperstepStats* ss, obs::WorkerPhaseProfile* wp) {
+    Stopwatch clock;
     Partition& p = partitions_[static_cast<size_t>(ctx->worker_index())];
     uint64_t active = 0;
     for (size_t i = 0; i < p.vertices.size(); ++i) {
@@ -552,9 +629,13 @@ class Engine {
       }
       if (compute_error_.has_value()) break;  // another worker failed
     }
+    const uint64_t sent = ctx->TakeMessagesSent();
+    wp->compute_seconds = clock.ElapsedSeconds();
+    wp->vertices_computed = active;
+    wp->messages_sent = sent;
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ss->active_vertices += active;
-    ss->messages_sent += ctx->TakeMessagesSent();
+    ss->messages_sent += sent;
   }
 
   void RecordComputeError(VertexId id, const std::string& what) {
@@ -605,6 +686,28 @@ class Engine {
     stats->final_vertices = total_vertices_;
     stats->final_edges = total_edges_;
     stats->total_seconds = clock.ElapsedSeconds();
+    stats->report.supersteps = superstep_;
+    stats->report.total_seconds = stats->total_seconds;
+  }
+
+  /// Records the completed superstep's phase timings into the metrics
+  /// registry (the per-worker shards were written lock-free during the
+  /// parallel phases; histograms merge shards on export).
+  void RecordSuperstepMetrics(const obs::SuperstepProfile& prof,
+                              const SuperstepStats& ss) {
+    hist_mutation_->Record(prof.mutation_seconds);
+    hist_master_->Record(prof.master_seconds);
+    hist_agg_merge_->Record(prof.aggregator_merge_seconds);
+    hist_superstep_->Record(prof.total_seconds);
+    for (const obs::WorkerPhaseProfile& wp : prof.workers) {
+      hist_compute_->Record(wp.compute_seconds, wp.worker);
+      hist_delivery_->Record(wp.delivery_seconds, wp.worker);
+      hist_barrier_wait_->Record(wp.barrier_wait_seconds, wp.worker);
+    }
+    ctr_supersteps_->Increment();
+    ctr_messages_->Increment(ss.messages_sent);
+    ctr_dropped_->Increment(ss.messages_dropped);
+    ctr_vertices_computed_->Increment(ss.active_vertices);
   }
 
   Options options_;
@@ -623,6 +726,20 @@ class Engine {
 
   std::mutex stats_mutex_;
   std::optional<std::string> compute_error_;
+
+  obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* hist_compute_ = nullptr;
+  obs::Histogram* hist_delivery_ = nullptr;
+  obs::Histogram* hist_barrier_wait_ = nullptr;
+  obs::Histogram* hist_mutation_ = nullptr;
+  obs::Histogram* hist_master_ = nullptr;
+  obs::Histogram* hist_agg_merge_ = nullptr;
+  obs::Histogram* hist_superstep_ = nullptr;
+  obs::Counter* ctr_supersteps_ = nullptr;
+  obs::Counter* ctr_messages_ = nullptr;
+  obs::Counter* ctr_dropped_ = nullptr;
+  obs::Counter* ctr_vertices_computed_ = nullptr;
 };
 
 }  // namespace pregel

@@ -1,11 +1,13 @@
 #ifndef GRAFT_PREGEL_JOB_STATS_H_
 #define GRAFT_PREGEL_JOB_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/run_report.h"
 
 namespace graft {
 namespace pregel {
@@ -38,20 +40,36 @@ struct JobStats {
   TerminationReason termination = TerminationReason::kAllHalted;
   int64_t supersteps = 0;  // number of executed supersteps
   uint64_t total_messages = 0;
+  uint64_t total_messages_dropped = 0;  // across all supersteps (drop mode)
   uint64_t final_vertices = 0;
   uint64_t final_edges = 0;
   double total_seconds = 0.0;
   std::vector<SuperstepStats> per_superstep;
+  /// Per-worker x per-superstep phase timings and capture-overhead
+  /// accounting for this run (machine-readable via ToJson /
+  /// ToPrometheusText).
+  obs::RunReport report;
+
+  /// Slowest superstep wall time; 0 when no superstep completed.
+  double MaxSuperstepSeconds() const {
+    double max = 0.0;
+    for (const SuperstepStats& ss : per_superstep) {
+      max = std::max(max, ss.seconds);
+    }
+    return max;
+  }
 
   std::string ToString() const {
     return StrFormat(
-        "supersteps=%lld termination=%s messages=%s vertices=%s edges=%s "
-        "time=%.3fs",
+        "supersteps=%lld termination=%s messages=%s dropped=%s vertices=%s "
+        "edges=%s time=%.3fs max_superstep=%.3fs",
         static_cast<long long>(supersteps),
         std::string(TerminationReasonName(termination)).c_str(),
         WithThousandsSeparators(total_messages).c_str(),
+        WithThousandsSeparators(total_messages_dropped).c_str(),
         WithThousandsSeparators(final_vertices).c_str(),
-        WithThousandsSeparators(final_edges).c_str(), total_seconds);
+        WithThousandsSeparators(final_edges).c_str(), total_seconds,
+        MaxSuperstepSeconds());
   }
 };
 

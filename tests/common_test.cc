@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <optional>
 #include <set>
 #include <thread>
 
@@ -456,6 +458,79 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   EXPECT_GE(sw.ElapsedMicros(), 9000);
   sw.Restart();
   EXPECT_LT(sw.ElapsedMicros(), 5000);
+}
+
+// Restores the process log level (and GRAFT_LOG_LEVEL) around a test so
+// failures here can't silence logging in later tests.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = GetLogLevel();
+    const char* env = std::getenv("GRAFT_LOG_LEVEL");
+    if (env != nullptr) saved_env_ = env;
+  }
+  void TearDown() override {
+    if (saved_env_.has_value()) {
+      ::setenv("GRAFT_LOG_LEVEL", saved_env_->c_str(), 1);
+    } else {
+      ::unsetenv("GRAFT_LOG_LEVEL");
+    }
+    SetLogLevel(saved_level_);
+  }
+
+ private:
+  LogLevel saved_level_ = LogLevel::kInfo;
+  std::optional<std::string> saved_env_;
+};
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsValidLevels) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("4", &level));
+  EXPECT_EQ(level, LogLevel::kFatal);
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsInvalidInput) {
+  LogLevel level = LogLevel::kWarning;
+  EXPECT_FALSE(ParseLogLevel(nullptr, &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("-1", &level));
+  EXPECT_FALSE(ParseLogLevel("5", &level));
+  EXPECT_FALSE(ParseLogLevel("abc", &level));
+  EXPECT_FALSE(ParseLogLevel("2abc", &level));
+  EXPECT_EQ(level, LogLevel::kWarning) << "failed parse must not write";
+}
+
+TEST_F(LoggingTest, SetLogLevelRoundTrips) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                         LogLevel::kError, LogLevel::kFatal}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST_F(LoggingTest, ReloadLogLevelFromEnvAppliesVariable) {
+  ::setenv("GRAFT_LOG_LEVEL", "3", 1);
+  EXPECT_EQ(ReloadLogLevelFromEnv(), LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  ::setenv("GRAFT_LOG_LEVEL", "0", 1);
+  EXPECT_EQ(ReloadLogLevelFromEnv(), LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, ReloadLogLevelFromEnvFallsBackToInfo) {
+  ::unsetenv("GRAFT_LOG_LEVEL");
+  EXPECT_EQ(ReloadLogLevelFromEnv(), LogLevel::kInfo);
+
+  ::setenv("GRAFT_LOG_LEVEL", "99", 1);
+  EXPECT_EQ(ReloadLogLevelFromEnv(), LogLevel::kInfo);
+
+  ::setenv("GRAFT_LOG_LEVEL", "garbage", 1);
+  EXPECT_EQ(ReloadLogLevelFromEnv(), LogLevel::kInfo);
 }
 
 }  // namespace

@@ -445,6 +445,24 @@ TEST(EngineTest, RemoveVertexDropsItAndItsMessages) {
   EXPECT_TRUE(engine.FindVertex(2).status().IsNotFound());
   EXPECT_EQ(stats->per_superstep[1].messages_dropped, 1u);
   EXPECT_EQ(stats->per_superstep[1].vertices_removed, 1u);
+  // Dropped messages roll up into the job totals and the summary line.
+  EXPECT_EQ(stats->total_messages_dropped, 1u);
+  EXPECT_NE(stats->ToString().find("dropped=1"), std::string::npos);
+}
+
+TEST(JobStatsTest, ToStringReportsDroppedAndMaxSuperstepTime) {
+  JobStats stats;
+  stats.supersteps = 2;
+  stats.total_messages = 10;
+  stats.total_messages_dropped = 3;
+  stats.total_seconds = 1.5;
+  stats.per_superstep.push_back(SuperstepStats{.superstep = 0, .seconds = 0.25});
+  stats.per_superstep.push_back(SuperstepStats{.superstep = 1, .seconds = 1.25});
+  EXPECT_DOUBLE_EQ(stats.MaxSuperstepSeconds(), 1.25);
+  std::string s = stats.ToString();
+  EXPECT_NE(s.find("dropped=3"), std::string::npos) << s;
+  EXPECT_NE(s.find("max_superstep=1.250s"), std::string::npos) << s;
+  EXPECT_NE(s.find("time=1.500s"), std::string::npos) << s;
 }
 
 TEST(EngineTest, CreateMissingVerticesPolicy) {
