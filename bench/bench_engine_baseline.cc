@@ -2,12 +2,24 @@
 //
 // Not a paper table, but the denominator of every Figure 7 bar: how fast the
 // Giraph-clone substrate moves messages without any debugging. PageRank on
-// Erdos-Renyi graphs at two sizes, plus SSSP, reporting messages/second.
+// Erdos-Renyi graphs at two sizes, SSSP, and the superstep hot-path probe:
+// multi-worker PageRank on the Table 1 soc-Epinions graph with the
+// RunReport phase totals (delivery, barrier wait, compute) exported as
+// counters — the numbers the persistent worker pool + combining message
+// store are meant to shrink. GRAFT_BENCH_SCALE divides the dataset size
+// (default 8; set 1 for the full Table 1 graph).
+//
+// CI runs the soc-Epinions case alone and archives the JSON:
+//   bench_engine_baseline --benchmark_filter=SocEpinions
+//       --benchmark_out=BENCH_engine.json --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
+#include "graph/datasets.h"
 #include "graph/generators.h"
 
 namespace {
@@ -27,6 +39,42 @@ void BM_PageRank(benchmark::State& state) {
       static_cast<double>(messages), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_PageRank)->Arg(10'000)->Arg(50'000)->Unit(benchmark::kMillisecond);
+
+// Multi-worker PageRank on the Table 1 soc-Epinions dataset — the
+// acceptance probe for the superstep hot path. Besides msgs/s it exports
+// the RunReport phase totals so a regression in delivery or barrier wait is
+// visible in BENCH_engine.json, not just in end-to-end wall time.
+void BM_PageRankSocEpinions(benchmark::State& state) {
+  const char* env = std::getenv("GRAFT_BENCH_SCALE");
+  graft::graph::DatasetOptions options;
+  options.scale_denominator = (env != nullptr && std::atoll(env) > 0)
+                                  ? static_cast<uint64_t>(std::atoll(env))
+                                  : 8;
+  auto graph = graft::graph::MakeDataset("soc-Epinions", options);
+  GRAFT_CHECK(graph.ok()) << graph.status();
+  const int num_workers = static_cast<int>(state.range(0));
+  uint64_t messages = 0;
+  double delivery = 0, barrier = 0, compute = 0;
+  for (auto _ : state) {
+    auto result =
+        graft::algos::RunPageRank(*graph, /*iterations=*/10, num_workers);
+    GRAFT_CHECK(result.ok()) << result.status();
+    messages += result->stats.total_messages;
+    delivery += result->stats.report.TotalDeliveryWallSeconds();
+    barrier += result->stats.report.TotalBarrierWaitSeconds();
+    compute += result->stats.report.TotalComputeWallSeconds();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["delivery_s"] = delivery / iters;
+  state.counters["barrier_wait_s"] = barrier / iters;
+  state.counters["compute_s"] = compute / iters;
+  state.counters["vertices"] =
+      static_cast<double>(graph->NumVertices());
+}
+BENCHMARK(BM_PageRankSocEpinions)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_Sssp(benchmark::State& state) {
   uint64_t n = static_cast<uint64_t>(state.range(0));

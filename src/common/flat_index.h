@@ -1,0 +1,111 @@
+#ifndef GRAFT_COMMON_FLAT_INDEX_H_
+#define GRAFT_COMMON_FLAT_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace graft {
+
+/// Insert-only open-addressing hash index from 64-bit keys to dense 32-bit
+/// slot numbers. This is the engine's per-partition vertex-id -> vertex-slot
+/// index: it sits on the per-message hot path (every routed message resolves
+/// its target through it), so it is built for lookup cost, not generality —
+/// linear probing over a flat power-of-two array of {key, slot} cells means
+/// one cache line per probe instead of std::unordered_map's bucket-pointer
+/// chase, and the hash is the same SplitMix64 finalizer the engine already
+/// uses to pick the destination partition.
+///
+/// There is no erase: the engine never unmaps a vertex id (removal flips the
+/// vertex's alive flag; the slot is reused on resurrection), which is what
+/// lets the table skip tombstones entirely.
+class FlatIndex {
+ public:
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+  FlatIndex() { Rehash(kMinCells); }
+
+  /// The hash this table probes with — exposed so batched callers can
+  /// compute it once, Prefetch() with it, and probe with FindHashed().
+  static uint64_t Hash(int64_t key) {
+    return Mix64(static_cast<uint64_t>(key));
+  }
+
+  /// Returns the slot mapped to `key`, or kNotFound.
+  uint32_t Find(int64_t key) const { return FindHashed(key, Hash(key)); }
+
+  /// Find() with the Hash(key) already in hand.
+  uint32_t FindHashed(int64_t key, uint64_t hash) const {
+    size_t i = hash & mask_;
+    while (true) {
+      const Cell& c = cells_[i];
+      if (c.slot == kNotFound) return kNotFound;
+      if (c.key == key) return c.slot;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Pulls the home cell of `hash` toward the cache ahead of a FindHashed.
+  /// Batching sends and prefetching their index cells overlaps the cache
+  /// misses that a lookup-per-send path would serialize.
+  void Prefetch(uint64_t hash) const {
+    __builtin_prefetch(&cells_[hash & mask_]);
+  }
+
+  /// Maps `key` to `slot` if the key is absent; either way returns the slot
+  /// the key is mapped to and reports whether this call inserted it.
+  uint32_t InsertOrFind(int64_t key, uint32_t slot, bool* inserted) {
+    GRAFT_CHECK(slot != kNotFound) << "slot value reserved as empty marker";
+    // Max load 2/3: linear probing wants headroom or clusters get long.
+    if ((size_ + 1) * 3 > cells_.size() * 2) Rehash(cells_.size() * 2);
+    size_t i = Mix64(static_cast<uint64_t>(key)) & mask_;
+    while (true) {
+      Cell& c = cells_[i];
+      if (c.slot == kNotFound) {
+        c.key = key;
+        c.slot = slot;
+        ++size_;
+        *inserted = true;
+        return slot;
+      }
+      if (c.key == key) {
+        *inserted = false;
+        return c.slot;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Cell {
+    int64_t key = 0;
+    uint32_t slot = kNotFound;
+  };
+
+  static constexpr size_t kMinCells = 16;  // power of two
+
+  void Rehash(size_t new_cells) {
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(new_cells, Cell{});
+    mask_ = new_cells - 1;
+    for (const Cell& c : old) {
+      if (c.slot == kNotFound) continue;
+      size_t i = Mix64(static_cast<uint64_t>(c.key)) & mask_;
+      while (cells_[i].slot != kNotFound) i = (i + 1) & mask_;
+      cells_[i] = c;
+    }
+  }
+
+  std::vector<Cell> cells_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace graft
+
+#endif  // GRAFT_COMMON_FLAT_INDEX_H_

@@ -1,8 +1,5 @@
 #include "common/parallel.h"
 
-#include <thread>
-#include <vector>
-
 #include "common/logging.h"
 
 namespace graft {
@@ -20,6 +17,65 @@ void RunOnWorkers(int num_workers, const std::function<void(int)>& fn) {
   }
   fn(0);
   for (auto& t : threads) t.join();
+}
+
+WorkerPool::WorkerPool(int num_workers) : num_workers_(num_workers) {
+  GRAFT_CHECK(num_workers >= 1) << "need at least one worker";
+  threads_.reserve(static_cast<size_t>(num_workers_) - 1);
+  for (int w = 1; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { ThreadLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Run(const std::function<void(int)>& fn) {
+  if (num_workers_ == 1) {
+    ++generation_;
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GRAFT_CHECK(task_ == nullptr) << "WorkerPool::Run is not reentrant";
+    task_ = &fn;
+    remaining_ = num_workers_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);  // the caller is worker 0
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    task_ = nullptr;
+  }
+}
+
+void WorkerPool::ThreadLoop(int worker_index) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (generation_ != seen && task_); });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+    }
+    (*task)(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
 }
 
 ShardRange ComputeShardRange(size_t n, int num_shards, int shard) {

@@ -1,15 +1,66 @@
 #ifndef GRAFT_COMMON_PARALLEL_H_
 #define GRAFT_COMMON_PARALLEL_H_
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace graft {
 
 /// Runs fn(worker_index) on `num_workers` threads and joins them all.
-/// Worker 0 runs on the calling thread. Used by the Pregel engine for the
-/// per-superstep vertex phase and by graph generators.
+/// Worker 0 runs on the calling thread. Spawns fresh threads per call — use
+/// WorkerPool for anything repeated (the Pregel engine's superstep loop);
+/// this remains for one-shot parallelism (graph generators).
 void RunOnWorkers(int num_workers, const std::function<void(int)>& fn);
+
+/// Persistent pool of `num_workers - 1` parked threads plus the caller,
+/// executing BSP-style parallel phases: every Run(fn) invokes fn(w) for all
+/// w in [0, num_workers) and returns only when every worker finished (a
+/// reusable barrier). Between phases the threads park on a condition
+/// variable, so a job with thousands of supersteps pays thread creation
+/// once, not twice per superstep.
+///
+/// Contract: one phase at a time, driven from a single caller thread; fn
+/// must not throw (workers run it outside any try/catch — the engine
+/// catches user exceptions inside its own worker body). Worker w of one
+/// phase is executed by the same pool thread as worker w of the next, which
+/// keeps any thread-affine caches warm across supersteps.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int num_workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Executes one parallel phase; blocks until all workers are done.
+  void Run(const std::function<void(int)>& fn);
+
+  /// Number of parallel phases executed so far. Together with the fixed
+  /// thread count this is the observability evidence that the pool reuses
+  /// threads: `generations()` grows per phase while the pool never spawns
+  /// after construction.
+  uint64_t generations() const { return generation_; }
+
+ private:
+  void ThreadLoop(int worker_index);
+
+  const int num_workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;  // valid while a phase runs
+  uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
 
 /// Splits [0, n) into `num_shards` contiguous ranges; returns the half-open
 /// range [begin, end) of shard `shard`.

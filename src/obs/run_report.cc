@@ -108,6 +108,7 @@ void RunReport::AppendJson(JsonWriter* writer) const {
     w.KV("compute_wall_seconds", s.compute_wall_seconds);
     w.KV("aggregator_merge_seconds", s.aggregator_merge_seconds);
     w.KV("total_seconds", s.total_seconds);
+    w.KV("partial", s.partial);
     w.Key("workers");
     w.BeginArray();
     for (const WorkerPhaseProfile& wp : s.workers) {

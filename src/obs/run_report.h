@@ -49,6 +49,10 @@ struct SuperstepProfile {
   double compute_wall_seconds = 0.0;
   double aggregator_merge_seconds = 0.0;
   double total_seconds = 0.0;
+  /// True for the trailing superstep of a run that terminated before its
+  /// vertex phase (master halt / all vertices halted): mutation, delivery,
+  /// and master timings are real, compute and aggregator merge never ran.
+  bool partial = false;
   std::vector<WorkerPhaseProfile> workers;
 };
 

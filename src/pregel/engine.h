@@ -2,6 +2,7 @@
 #define GRAFT_PREGEL_ENGINE_H_
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -14,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_index.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/random.h"
@@ -25,6 +27,7 @@
 #include "pregel/compute_context.h"
 #include "pregel/job_stats.h"
 #include "pregel/master.h"
+#include "pregel/message_store.h"
 #include "pregel/vertex.h"
 
 namespace graft {
@@ -40,6 +43,15 @@ namespace pregel {
 /// This is the paper's "Apache Giraph" substrate: worker tasks on cluster
 /// machines become worker threads, with identical superstep semantics
 /// (DESIGN.md substitutions table).
+///
+/// Hot-path architecture (the Figure 7 denominator — DESIGN.md §4):
+///  * a persistent WorkerPool executes both parallel phases of every
+///    superstep on the same parked threads (no per-phase thread spawn/join);
+///  * messages move through a double-buffered, chunk-backed MessageStore
+///    with sender-side combining when Options::combiner is set;
+///  * graph totals and the vote-to-halt termination check are maintained
+///    incrementally per partition (alive/edge/awake counters updated during
+///    compute and mutation), so no per-superstep O(V) scan remains.
 template <JobTraits Traits>
 class Engine {
  public:
@@ -63,7 +75,10 @@ class Engine {
     /// silently drop and count (what MWM wants after removing vertices).
     bool create_missing_vertices = false;
     VertexValue default_vertex_value{};
-    /// Optional message combiner (associative + commutative).
+    /// Optional message combiner (associative + commutative). When set, the
+    /// engine combines on the sender side: each worker folds its sends into
+    /// one slot per destination vertex, and delivery merges at most
+    /// num_workers partials per vertex.
     Combiner combiner;
     std::string job_id = "job";
     /// Optional shared metrics registry. When set, the engine records its
@@ -106,11 +121,13 @@ class Engine {
          ComputationFactory<Traits> computation_factory,
          MasterFactory master_factory = nullptr)
       : options_(std::move(options)),
-        computation_factory_(std::move(computation_factory)) {
+        computation_factory_(std::move(computation_factory)),
+        pool_(options_.num_workers) {
     GRAFT_CHECK(options_.num_workers >= 1);
     GRAFT_CHECK(computation_factory_ != nullptr);
     if (master_factory) master_ = master_factory();
     partitions_.resize(static_cast<size_t>(options_.num_workers));
+    msg_store_.Configure(options_.num_workers, options_.combiner);
     for (VertexT& v : initial_vertices) {
       AddVertexInternal(std::move(v));
     }
@@ -133,6 +150,8 @@ class Engine {
     ctr_dropped_ = metrics_->GetCounter("engine.messages_dropped_total");
     ctr_vertices_computed_ =
         metrics_->GetCounter("engine.vertices_computed_total");
+    gauge_pool_threads_ = metrics_->GetGauge("engine.pool.threads");
+    gauge_pool_phases_ = metrics_->GetGauge("engine.pool.parallel_phases");
   }
 
   Engine(const Engine&) = delete;
@@ -184,14 +203,17 @@ class Engine {
       // 2. Deliver messages sent in the previous superstep (after mutations,
       //    so a message for a just-removed vertex follows the missing-vertex
       //    policy, per Pregel).
+      uint64_t delivered = 0;
       {
         Stopwatch clock;
-        DeliverMessages(contexts, &ss, &prof);
+        delivered = DeliverMessages(&ss, &prof);
         prof.delivery_wall_seconds = clock.ElapsedSeconds();
       }
 
-      // 3. Refresh global data visible to this superstep.
-      RefreshTotals();
+      // 3. Refresh global data visible to this superstep — an O(workers)
+      //    sum of the incrementally-maintained partition counters (the
+      //    former full-graph scan is gone).
+      UpdateTotalsFromPartitions();
       for (auto* obs : observers_) {
         obs->OnSuperstepStart(superstep_, visible_aggregators_);
       }
@@ -210,23 +232,29 @@ class Engine {
       if (master_halted_) {
         stats.termination = TerminationReason::kMasterHalted;
         stats.total_messages_dropped += ss.messages_dropped;
+        RecordPartialSuperstep(&stats, &ss, &prof, superstep_clock);
         FinalizeStats(&stats, total_clock);
         return stats;
       }
 
-      // 5. Termination check: nothing to do this superstep?
-      if (!AnyVertexActive()) {
+      // 5. Termination check: nothing to do this superstep? Incremental —
+      //    awake (non-halted) vertices are counted as compute and mutation
+      //    toggle them, and delivery already knows whether any message
+      //    landed in an inbox.
+      if (!AnyVertexActive(delivered)) {
         stats.termination = TerminationReason::kAllHalted;
         stats.total_messages_dropped += ss.messages_dropped;
+        RecordPartialSuperstep(&stats, &ss, &prof, superstep_clock);
         FinalizeStats(&stats, total_clock);
         return stats;
       }
 
-      // 6. Vertex phase across all workers.
+      // 6. Vertex phase across all workers, on the persistent pool.
+      has_compute_error_.store(false, std::memory_order_relaxed);
       compute_error_.reset();
       {
         Stopwatch clock;
-        RunOnWorkers(options_.num_workers, [&](int w) {
+        pool_.Run([&](int w) {
           RunWorker(&contexts[static_cast<size_t>(w)],
                     computations[static_cast<size_t>(w)].get(), &ss,
                     &prof.workers[static_cast<size_t>(w)]);
@@ -244,7 +272,9 @@ class Engine {
         stats.termination = TerminationReason::kComputeError;
         FinalizeStats(&stats, total_clock);
         ss.seconds = superstep_clock.ElapsedSeconds();
+        prof.total_seconds = ss.seconds;
         stats.per_superstep.push_back(ss);
+        stats.report.per_superstep.push_back(std::move(prof));
         return Status::Aborted(*compute_error_);
       }
 
@@ -280,12 +310,12 @@ class Engine {
   /// while the engine is not running a superstep.
   Result<const VertexT*> FindVertex(VertexId id) const {
     const Partition& p = partitions_[PartitionOf(id)];
-    auto it = p.index.find(id);
-    if (it == p.index.end() || !p.vertices[it->second].alive()) {
+    const uint32_t slot = p.index.Find(id);
+    if (slot == FlatIndex::kNotFound || !p.vertices[slot].alive()) {
       return Status::NotFound("vertex " + std::to_string(id) +
                               " not in graph");
     }
-    return &p.vertices[it->second];
+    return &p.vertices[slot];
   }
 
   /// Invokes fn(const VertexT&) on every live vertex.
@@ -313,16 +343,65 @@ class Engine {
 
   /// Stable partition (worker) assignment of a vertex id.
   size_t PartitionOf(VertexId id) const {
-    return static_cast<size_t>(Mix64(static_cast<uint64_t>(id)) %
-                               static_cast<uint64_t>(options_.num_workers));
+    return PartitionOfHash(Mix64(static_cast<uint64_t>(id)));
+  }
+
+  /// Partition assignment from an already-mixed hash: multiply-shift range
+  /// reduction (hash * P / 2^64) instead of `hash % P` — no integer divide
+  /// on the per-message routing path.
+  size_t PartitionOfHash(uint64_t hash) const {
+    return static_cast<size_t>(
+        (static_cast<unsigned __int128>(hash) *
+         static_cast<uint64_t>(options_.num_workers)) >>
+        64);
+  }
+
+  /// Recounts alive vertices, live edges, and awake (non-halted) vertices
+  /// with a full scan and compares against the incremental per-partition
+  /// counters. Test/debug hook — the hot path never calls this; it is how
+  /// the topology-mutation consistency tests prove the incremental
+  /// bookkeeping right. Safe to call between supersteps (e.g. from a
+  /// SuperstepObserver) or after Run().
+  Status ValidateCountersByFullScan() const {
+    for (size_t pi = 0; pi < partitions_.size(); ++pi) {
+      const Partition& p = partitions_[pi];
+      uint64_t alive = 0;
+      uint64_t edges = 0;
+      uint64_t awake = 0;
+      for (const VertexT& v : p.vertices) {
+        if (!v.alive()) continue;
+        ++alive;
+        edges += v.num_edges();
+        if (!v.halted()) ++awake;
+      }
+      if (alive != p.alive_count || edges != p.edge_count ||
+          awake != p.awake_count) {
+        return Status::Internal(StrFormat(
+            "partition %zu counter drift: alive %llu/%llu edges %llu/%llu "
+            "awake %llu/%llu (counted/scanned)",
+            pi, static_cast<unsigned long long>(p.alive_count),
+            static_cast<unsigned long long>(alive),
+            static_cast<unsigned long long>(p.edge_count),
+            static_cast<unsigned long long>(edges),
+            static_cast<unsigned long long>(p.awake_count),
+            static_cast<unsigned long long>(awake)));
+      }
+    }
+    return Status::OK();
   }
 
  private:
   struct Partition {
     std::vector<VertexT> vertices;
-    std::unordered_map<VertexId, size_t> index;
-    /// Incoming message lists, parallel to `vertices`.
-    std::vector<std::vector<Message>> incoming;
+    FlatIndex index;  // id -> slot in `vertices`; slots are never unmapped
+    // Incremental bookkeeping, owned by the partition's worker during
+    // parallel phases and by the engine thread between them: counts over
+    // alive vertices only. `awake_count` is the number of alive vertices
+    // with halted()==false — the vote-to-halt half of the termination
+    // check.
+    uint64_t alive_count = 0;
+    uint64_t edge_count = 0;
+    uint64_t awake_count = 0;
   };
 
   struct MutationBuffer {
@@ -341,23 +420,27 @@ class Engine {
     }
   };
 
+  /// One staged (not-yet-routed) message. Sends are buffered per worker in
+  /// batches of kSendBatch and routed together: the batch loop computes all
+  /// the partition hashes first and prefetches the index cells and combining
+  /// slots, so the per-message cache misses overlap instead of serializing.
+  struct StagedSend {
+    VertexId target;
+    Message message;
+  };
+  static constexpr size_t kSendBatch = 64;
+
   /// Engine-side ComputeContext implementation, one per worker thread.
   class WorkerCtx final : public ComputeContext<Traits> {
    public:
     WorkerCtx(Engine* engine, int worker)
-        : engine_(engine),
-          worker_(worker),
-          rng_(0),
-          outboxes_(static_cast<size_t>(engine->options_.num_workers)) {}
+        : engine_(engine), worker_(worker), rng_(0) {}
 
     // -- engine-side hooks --
     void BeginVertex(VertexId id) {
       rng_ = Rng::ForStream(engine_->options_.seed,
                             static_cast<uint64_t>(engine_->superstep_),
                             static_cast<uint64_t>(id));
-    }
-    std::vector<std::vector<std::pair<VertexId, Message>>>& outboxes() {
-      return outboxes_;
     }
     MutationBuffer& mutations() { return mutations_; }
     std::map<std::string, AggValue>& partial_aggregations() {
@@ -378,8 +461,14 @@ class Engine {
       return static_cast<int64_t>(engine_->total_edges_);
     }
     void SendMessage(VertexId target, const Message& message) override {
-      outboxes_[engine_->PartitionOf(target)].emplace_back(target, message);
+      staged_.push_back({target, message});
       ++messages_sent_;
+      if (staged_.size() == kSendBatch) engine_->FlushSends(worker_, &staged_);
+    }
+    /// Drains any sends still staged — must run before the compute phase's
+    /// barrier so every message reaches the store this superstep.
+    void FlushStagedSends() {
+      if (!staged_.empty()) engine_->FlushSends(worker_, &staged_);
     }
     AggValue GetAggregated(const std::string& name) const override {
       auto it = engine_->visible_aggregators_.find(name);
@@ -416,9 +505,9 @@ class Engine {
     Engine* engine_;
     int worker_;
     Rng rng_;
-    std::vector<std::vector<std::pair<VertexId, Message>>> outboxes_;
     MutationBuffer mutations_;
     std::map<std::string, AggValue> partial_;
+    std::vector<StagedSend> staged_;
     uint64_t messages_sent_ = 0;
   };
 
@@ -476,19 +565,79 @@ class Engine {
     Rng rng_;
   };
 
+  /// Routes one batch of staged messages from `sender`'s compute thread into
+  /// the message store, in send order. With a combiner each destination slot
+  /// is resolved here (one hash lookup — the same lookup delivery used to
+  /// pay) so combining happens sender-side; unresolvable targets (unknown
+  /// ids) fall back to the entry path and follow the missing-vertex policy
+  /// at delivery. There is deliberately no alive() check on resolved slots —
+  /// it would cost a second random access per message; a message combined
+  /// into a currently-dead slot is handled at delivery (resurrected by the
+  /// missing-vertex pre-pass when the policy is on, dropped by the alive()
+  /// recheck otherwise).
+  ///
+  /// The batch is processed in passes — hash + index-cell prefetch, probe +
+  /// slot prefetch, write — so the two random memory accesses every message
+  /// pays (index cell, combining slot) are in flight for the whole batch at
+  /// once instead of one serialized pair per send.
+  void FlushSends(int sender, std::vector<StagedSend>* batch) {
+    const size_t n = batch->size();
+    std::array<uint64_t, kSendBatch> hash;
+    std::array<uint32_t, kSendBatch> dest;
+    GRAFT_CHECK(n <= kSendBatch);
+    for (size_t i = 0; i < n; ++i) {
+      hash[i] = FlatIndex::Hash((*batch)[i].target);
+      dest[i] = static_cast<uint32_t>(PartitionOfHash(hash[i]));
+      partitions_[dest[i]].index.Prefetch(hash[i]);
+    }
+    if (msg_store_.combining()) {
+      std::array<uint32_t, kSendBatch> slot;
+      for (size_t i = 0; i < n; ++i) {
+        slot[i] = partitions_[dest[i]].index.FindHashed((*batch)[i].target,
+                                                        hash[i]);
+        if (slot[i] != FlatIndex::kNotFound) {
+          msg_store_.PrefetchCombinedSlot(sender, dest[i], slot[i]);
+        }
+      }
+      for (size_t i = 0; i < n; ++i) {
+        StagedSend& s = (*batch)[i];
+        if (slot[i] != FlatIndex::kNotFound) {
+          msg_store_.SendCombined(sender, dest[i], slot[i], s.message);
+        } else {
+          msg_store_.SendEntry(sender, dest[i], s.target, s.message);
+        }
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        StagedSend& s = (*batch)[i];
+        msg_store_.SendEntry(sender, dest[i], s.target, s.message);
+      }
+    }
+    batch->clear();
+  }
+
   void AddVertexInternal(VertexT vertex) {
-    Partition& p = partitions_[PartitionOf(vertex.id())];
-    auto [it, inserted] = p.index.emplace(vertex.id(), p.vertices.size());
+    const size_t part = PartitionOf(vertex.id());
+    Partition& p = partitions_[part];
+    p.alive_count += 1;
+    p.edge_count += vertex.num_edges();
+    if (!vertex.halted()) p.awake_count += 1;
+    bool inserted = false;
+    const uint32_t slot = p.index.InsertOrFind(
+        vertex.id(), static_cast<uint32_t>(p.vertices.size()), &inserted);
     if (inserted) {
       p.vertices.push_back(std::move(vertex));
-      p.incoming.emplace_back();
     } else {
       // Resurrect a removed slot; adding a live duplicate is an input error.
-      VertexT& slot = p.vertices[it->second];
-      GRAFT_CHECK(!slot.alive())
+      VertexT& dst = p.vertices[slot];
+      GRAFT_CHECK(!dst.alive())
           << "duplicate vertex id " << vertex.id() << " in input graph";
-      slot = std::move(vertex);
+      dst = std::move(vertex);
+      // The slot's inbox may hold messages delivered before the vertex was
+      // removed; a resurrected vertex must not inherit them.
+      msg_store_.ClearInbox(part, slot);
     }
+    msg_store_.EnsureInboxSlots(part, p.vertices.size());
   }
 
   void ApplyMutations(std::vector<WorkerCtx>& contexts, SuperstepStats* ss) {
@@ -497,25 +646,33 @@ class Engine {
       if (m.Empty()) continue;
       for (const auto& [source, target, value] : m.add_edges) {
         VertexT* v = FindMutableVertex(source);
-        if (v == nullptr && options_.create_missing_vertices) {
+        if ((v == nullptr || !v->alive()) &&
+            options_.create_missing_vertices) {
           AddVertexInternal(
               VertexT(source, options_.default_vertex_value, {}));
           v = FindMutableVertex(source);
         }
-        if (v != nullptr) {
+        if (v != nullptr && v->alive()) {
           v->AddEdge(target, value);
+          partitions_[PartitionOf(source)].edge_count += 1;
           ++ss->edges_added;
         }
       }
       for (const auto& [source, target] : m.remove_edges) {
         VertexT* v = FindMutableVertex(source);
-        if (v != nullptr) {
-          ss->edges_removed += v->RemoveEdgesTo(target);
+        if (v != nullptr && v->alive()) {
+          const size_t removed = v->RemoveEdgesTo(target);
+          partitions_[PartitionOf(source)].edge_count -= removed;
+          ss->edges_removed += removed;
         }
       }
       for (VertexId id : m.remove_vertices) {
         VertexT* v = FindMutableVertex(id);
         if (v != nullptr && v->alive()) {
+          Partition& p = partitions_[PartitionOf(id)];
+          p.alive_count -= 1;
+          p.edge_count -= v->num_edges();
+          if (!v->halted()) p.awake_count -= 1;
           v->set_alive(false);
           v->mutable_edges()->clear();
           ++ss->vertices_removed;
@@ -527,79 +684,82 @@ class Engine {
 
   VertexT* FindMutableVertex(VertexId id) {
     Partition& p = partitions_[PartitionOf(id)];
-    auto it = p.index.find(id);
-    if (it == p.index.end()) return nullptr;
-    return &p.vertices[it->second];
+    const uint32_t slot = p.index.Find(id);
+    if (slot == FlatIndex::kNotFound) return nullptr;
+    return &p.vertices[slot];
   }
 
-  void DeliverMessages(std::vector<WorkerCtx>& contexts, SuperstepStats* ss,
-                       obs::SuperstepProfile* prof) {
-    // First create any missing destination vertices (single-threaded, since
-    // it mutates partition tables), then group per destination partition in
-    // parallel.
-    std::atomic<uint64_t> dropped{0};
-    if (options_.create_missing_vertices) {
-      for (WorkerCtx& ctx : contexts) {
-        for (auto& outbox : ctx.outboxes()) {
-          for (auto& [target, msg] : outbox) {
-            if (FindMutableVertex(target) == nullptr ||
-                !FindMutableVertex(target)->alive()) {
-              AddVertexInternal(
-                  VertexT(target, options_.default_vertex_value, {}));
-            }
-          }
-        }
-      }
-    }
-    RunOnWorkers(options_.num_workers, [&](int w) {
+  /// Drains the message store into this superstep's inboxes on the worker
+  /// pool — each worker handles exactly its own partition, including the
+  /// missing-vertex creation pass (partition-local by construction, since a
+  /// pending target hashes to the partition that will create it; one index
+  /// lookup per pending target). Returns the number of messages delivered
+  /// into inboxes — the "messages in flight" half of the termination check.
+  uint64_t DeliverMessages(SuperstepStats* ss, obs::SuperstepProfile* prof) {
+    using Stats = typename MessageStore<Message>::DeliveryStats;
+    std::vector<Stats> per_worker(static_cast<size_t>(options_.num_workers));
+    pool_.Run([&](int w) {
       Stopwatch clock;
-      Partition& p = partitions_[static_cast<size_t>(w)];
-      uint64_t local_dropped = 0;
-      for (WorkerCtx& ctx : contexts) {
-        auto& outbox = ctx.outboxes()[static_cast<size_t>(w)];
-        for (auto& [target, msg] : outbox) {
-          auto it = p.index.find(target);
-          if (it == p.index.end() || !p.vertices[it->second].alive()) {
-            ++local_dropped;
-            continue;
+      const size_t part = static_cast<size_t>(w);
+      Partition& p = partitions_[part];
+      if (options_.create_missing_vertices) {
+        msg_store_.ForEachCombinedSlot(part, [&](size_t slot) {
+          // A combined slot always names an indexed vertex; it only needs
+          // resurrecting when a mutation removed the vertex after the send.
+          if (!p.vertices[slot].alive()) {
+            AddVertexInternal(VertexT(p.vertices[slot].id(),
+                                      options_.default_vertex_value, {}));
           }
-          std::vector<Message>& box = p.incoming[it->second];
-          if (options_.combiner && !box.empty()) {
-            box[0] = options_.combiner(box[0], msg);
-          } else {
-            box.push_back(std::move(msg));
+        });
+        msg_store_.ForEachEntryTarget(part, [&](VertexId target) {
+          const uint32_t slot = p.index.Find(target);
+          if (slot == FlatIndex::kNotFound || !p.vertices[slot].alive()) {
+            AddVertexInternal(
+                VertexT(target, options_.default_vertex_value, {}));
           }
-        }
-        outbox.clear();
+        });
       }
-      dropped.fetch_add(local_dropped, std::memory_order_relaxed);
-      prof->workers[static_cast<size_t>(w)].delivery_seconds =
-          clock.ElapsedSeconds();
+      per_worker[part] = msg_store_.Deliver(
+          part,
+          [&](VertexId target) -> size_t {
+            const uint32_t slot = p.index.Find(target);
+            if (slot == FlatIndex::kNotFound || !p.vertices[slot].alive()) {
+              return MessageStore<Message>::kNoSlot;
+            }
+            return slot;
+          },
+          [&](size_t slot) { return p.vertices[slot].alive(); });
+      prof->workers[part].delivery_seconds = clock.ElapsedSeconds();
     });
-    ss->messages_dropped = dropped.load();
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    for (const Stats& s : per_worker) {
+      delivered += s.delivered;
+      dropped += s.dropped;
+    }
+    ss->messages_dropped = dropped;
+    return delivered;
   }
 
-  void RefreshTotals() {
+  /// O(workers) totals refresh from the incremental partition counters.
+  void UpdateTotalsFromPartitions() {
     uint64_t vertices = 0;
     uint64_t edges = 0;
     for (const Partition& p : partitions_) {
-      for (const VertexT& v : p.vertices) {
-        if (v.alive()) {
-          ++vertices;
-          edges += v.num_edges();
-        }
-      }
+      vertices += p.alive_count;
+      edges += p.edge_count;
     }
     total_vertices_ = vertices;
     total_edges_ = edges;
   }
 
-  bool AnyVertexActive() const {
+  /// True when any vertex will run Compute() this superstep: a message was
+  /// delivered into an inbox, or some alive vertex has not voted to halt.
+  /// O(workers); replaces the former full-graph scan.
+  bool AnyVertexActive(uint64_t delivered_messages) const {
+    if (delivered_messages > 0) return true;
     for (const Partition& p : partitions_) {
-      for (size_t i = 0; i < p.vertices.size(); ++i) {
-        if (!p.vertices[i].alive()) continue;
-        if (!p.vertices[i].halted() || !p.incoming[i].empty()) return true;
-      }
+      if (p.awake_count > 0) return true;
     }
     return false;
   }
@@ -607,28 +767,46 @@ class Engine {
   void RunWorker(WorkerCtx* ctx, Computation<Traits>* computation,
                  SuperstepStats* ss, obs::WorkerPhaseProfile* wp) {
     Stopwatch clock;
-    Partition& p = partitions_[static_cast<size_t>(ctx->worker_index())];
+    const size_t part = static_cast<size_t>(ctx->worker_index());
+    Partition& p = partitions_[part];
     uint64_t active = 0;
+    int64_t edge_delta = 0;
+    int64_t awake_delta = 0;
     for (size_t i = 0; i < p.vertices.size(); ++i) {
       VertexT& v = p.vertices[i];
       if (!v.alive()) continue;
-      std::vector<Message> messages = std::move(p.incoming[i]);
-      p.incoming[i].clear();
-      if (v.halted() && messages.empty()) continue;
+      std::vector<Message>& inbox = msg_store_.Inbox(part, i);
+      if (v.halted() && inbox.empty()) continue;
+      const bool was_awake = !v.halted();
       v.Activate();
       ++active;
+      const int64_t edges_before = static_cast<int64_t>(v.num_edges());
       ctx->BeginVertex(v.id());
+      bool failed = false;
       try {
-        computation->Compute(*ctx, v, messages);
+        computation->Compute(*ctx, v, inbox);
       } catch (const std::exception& e) {
         RecordComputeError(v.id(), e.what());
-        break;
+        failed = true;
       } catch (...) {
         RecordComputeError(v.id(), "(non-standard exception)");
-        break;
+        failed = true;
       }
-      if (compute_error_.has_value()) break;  // another worker failed
+      msg_store_.ClearInbox(part, i);
+      // Incremental bookkeeping: net local edge mutations and the vote-to-
+      // halt transition of this vertex.
+      edge_delta += static_cast<int64_t>(v.num_edges()) - edges_before;
+      if (was_awake && v.halted()) --awake_delta;
+      if (!was_awake && !v.halted()) ++awake_delta;
+      if (failed || has_compute_error_.load(std::memory_order_relaxed)) {
+        break;  // this or another worker failed
+      }
     }
+    ctx->FlushStagedSends();
+    p.edge_count =
+        static_cast<uint64_t>(static_cast<int64_t>(p.edge_count) + edge_delta);
+    p.awake_count = static_cast<uint64_t>(
+        static_cast<int64_t>(p.awake_count) + awake_delta);
     const uint64_t sent = ctx->TakeMessagesSent();
     wp->compute_seconds = clock.ElapsedSeconds();
     wp->vertices_computed = active;
@@ -646,6 +824,7 @@ class Engine {
           static_cast<long long>(superstep_), static_cast<long long>(id),
           what.c_str());
     }
+    has_compute_error_.store(true, std::memory_order_relaxed);
   }
 
   void MergeAggregators(std::vector<WorkerCtx>& contexts) {
@@ -680,14 +859,38 @@ class Engine {
     }
   }
 
+  /// Completes the bookkeeping of a superstep that terminated the job
+  /// before its vertex phase (master halt / all halted): the run report
+  /// keeps the partial superstep's mutation/delivery/master timings instead
+  /// of silently dropping them. Metrics histograms and counters only cover
+  /// completed supersteps, so they are not recorded here.
+  void RecordPartialSuperstep(JobStats* stats, SuperstepStats* ss,
+                              obs::SuperstepProfile* prof,
+                              const Stopwatch& superstep_clock) {
+    ss->seconds = superstep_clock.ElapsedSeconds();
+    prof->total_seconds = ss->seconds;
+    prof->partial = true;
+    for (obs::WorkerPhaseProfile& wp : prof->workers) {
+      wp.barrier_wait_seconds =
+          std::max(0.0, prof->delivery_wall_seconds - wp.delivery_seconds);
+    }
+    stats->per_superstep.push_back(*ss);
+    stats->report.per_superstep.push_back(std::move(*prof));
+  }
+
   void FinalizeStats(JobStats* stats, const Stopwatch& clock) {
-    RefreshTotals();
+    UpdateTotalsFromPartitions();
     stats->supersteps = superstep_;
     stats->final_vertices = total_vertices_;
     stats->final_edges = total_edges_;
     stats->total_seconds = clock.ElapsedSeconds();
     stats->report.supersteps = superstep_;
     stats->report.total_seconds = stats->total_seconds;
+    // Pool-reuse evidence for the run report consumers: a fixed thread
+    // count across a growing number of parallel phases means no per-phase
+    // spawn happened.
+    gauge_pool_threads_->Set(static_cast<double>(options_.num_workers - 1));
+    gauge_pool_phases_->Set(static_cast<double>(pool_.generations()));
   }
 
   /// Records the completed superstep's phase timings into the metrics
@@ -713,6 +916,8 @@ class Engine {
   Options options_;
   ComputationFactory<Traits> computation_factory_;
   std::unique_ptr<MasterCompute> master_;
+  WorkerPool pool_;
+  MessageStore<Message> msg_store_;
   std::vector<Partition> partitions_;
   std::vector<SuperstepObserver*> observers_;
 
@@ -726,6 +931,7 @@ class Engine {
 
   std::mutex stats_mutex_;
   std::optional<std::string> compute_error_;
+  std::atomic<bool> has_compute_error_{false};
 
   obs::MetricsRegistry own_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -740,6 +946,8 @@ class Engine {
   obs::Counter* ctr_messages_ = nullptr;
   obs::Counter* ctr_dropped_ = nullptr;
   obs::Counter* ctr_vertices_computed_ = nullptr;
+  obs::Gauge* gauge_pool_threads_ = nullptr;
+  obs::Gauge* gauge_pool_phases_ = nullptr;
 };
 
 }  // namespace pregel

@@ -1,0 +1,308 @@
+#ifndef GRAFT_PREGEL_MESSAGE_STORE_H_
+#define GRAFT_PREGEL_MESSAGE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/simple_graph.h"
+
+namespace graft {
+namespace pregel {
+
+/// Chunk-backed append-only buffer: a list of fixed-capacity chunks that are
+/// reused (not freed) across Clear() calls, so steady-state supersteps append
+/// into already-reserved memory and growth never copies existing elements
+/// (unlike std::vector's realloc). The arena behind the engine's outboxes.
+template <typename T>
+class ChunkedBuffer {
+ public:
+  static constexpr size_t kDefaultChunkCapacity = 4096;
+
+  explicit ChunkedBuffer(size_t chunk_capacity = kDefaultChunkCapacity)
+      : chunk_capacity_(chunk_capacity) {}
+
+  void Append(T value) {
+    if (chunks_.empty()) {
+      AddChunk();
+    } else if (chunks_[active_].size() == chunk_capacity_) {
+      ++active_;
+      if (active_ == chunks_.size()) AddChunk();
+    }
+    chunks_[active_].push_back(std::move(value));
+    ++size_;
+  }
+
+  /// Invokes fn(const T&) over all elements in append order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const std::vector<T>& chunk : chunks_) {
+      for (const T& v : chunk) fn(v);
+      if (chunk.size() < chunk_capacity_) break;  // last used chunk
+    }
+  }
+
+  /// Drops all elements but keeps every chunk's capacity for reuse.
+  void Clear() {
+    for (size_t c = 0; c <= active_ && c < chunks_.size(); ++c) {
+      chunks_[c].clear();
+    }
+    active_ = 0;
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Number of chunks ever allocated (they survive Clear) — lets tests
+  /// assert that steady-state refills reuse capacity instead of growing.
+  size_t allocated_chunks() const { return chunks_.size(); }
+
+ private:
+  void AddChunk() {
+    chunks_.emplace_back();
+    chunks_.back().reserve(chunk_capacity_);
+    active_ = chunks_.size() - 1;
+  }
+
+  size_t chunk_capacity_;
+  std::vector<std::vector<T>> chunks_;
+  size_t active_ = 0;
+  size_t size_ = 0;
+};
+
+/// Double-buffered message store for the BSP engine (DESIGN.md §4). The two
+/// buffers are the per-(sender, destination-partition) *outboxes* written
+/// during the compute phase of superstep S and the per-vertex *inboxes* the
+/// delivery phase of superstep S+1 drains them into — compute always reads
+/// one buffer while sends fill the other, and every buffer keeps its
+/// capacity across supersteps so the steady-state message path allocates
+/// nothing.
+///
+/// Without a combiner, an outbox is a chunk-backed list of (target, message)
+/// pairs, resolved to inbox slots at delivery (one hash lookup per message,
+/// by the destination partition's owner).
+///
+/// With a combiner, combining happens on the SENDER side: each worker keeps
+/// one message slot per destination vertex (dense, indexed by the
+/// destination partition's vertex slot — the id lookup the sender already
+/// pays routes the message straight to its slot) and folds every further
+/// send into that slot. k messages from one worker to one vertex therefore
+/// occupy O(1) space, and delivery merges at most num_partitions partials
+/// per vertex instead of walking every message. Slots are epoch-tagged, so
+/// clearing an outbox after delivery is O(touched slots), not O(V).
+/// Messages whose target cannot be resolved at send time (unknown id, or a
+/// vertex currently dead) fall back to the entry list and are resolved at
+/// delivery, preserving the engine's missing-vertex policy.
+///
+/// Thread contract (all phase transitions are pool barriers, which provide
+/// the happens-before edges): during compute, outbox (s, *) is written only
+/// by worker s and inbox slot (p, i) is read/cleared only by worker p;
+/// during delivery, all outboxes (*, p) are read and cleared only by worker
+/// p, which is also the only writer of partition p's inboxes.
+template <typename MessageT>
+class MessageStore {
+ public:
+  using Combiner = std::function<MessageT(const MessageT&, const MessageT&)>;
+
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  struct DeliveryStats {
+    uint64_t delivered = 0;  // messages landed in an inbox (post-combining
+                             // partials count their folded messages)
+    uint64_t dropped = 0;    // messages to missing/dead vertices
+  };
+
+  MessageStore() = default;
+  MessageStore(const MessageStore&) = delete;
+  MessageStore& operator=(const MessageStore&) = delete;
+
+  /// Must be called once before any Send; `combiner` may be null.
+  void Configure(int num_partitions, Combiner combiner) {
+    GRAFT_CHECK(num_partitions >= 1);
+    num_partitions_ = num_partitions;
+    combiner_ = std::move(combiner);
+    const size_t p = static_cast<size_t>(num_partitions_);
+    entry_outboxes_.resize(p * p);
+    if (combiner_) combined_outboxes_.resize(p * p);
+    inboxes_.resize(p);
+    partition_sizes_.assign(p, 0);
+  }
+
+  bool combining() const { return combiner_ != nullptr; }
+  int num_partitions() const { return num_partitions_; }
+
+  /// Grows partition `p`'s inbox array to `n` vertex slots (never shrinks;
+  /// slots are stable). Called by the engine whenever vertices are added.
+  void EnsureInboxSlots(size_t p, size_t n) {
+    if (inboxes_[p].size() < n) inboxes_[p].resize(n);
+    if (partition_sizes_[p] < n) partition_sizes_[p] = n;
+  }
+
+  // ---- sender side (compute phase, called by worker `sender`) -----------
+
+  /// Appends an unresolved (target, message) pair; the pair is resolved to a
+  /// vertex slot at delivery. The only send path when no combiner is set.
+  void SendEntry(int sender, size_t dest, VertexId target,
+                 const MessageT& message) {
+    entry_outboxes_[OutboxIndex(sender, dest)].Append({target, message});
+  }
+
+  /// Pulls the combining slot toward the cache ahead of a SendCombined with
+  /// the same coordinates (no-op if the slot array hasn't grown that far).
+  void PrefetchCombinedSlot(int sender, size_t dest, size_t slot) const {
+    const CombinedOutbox& ob = combined_outboxes_[OutboxIndex(sender, dest)];
+    if (slot < ob.slots.size()) __builtin_prefetch(&ob.slots[slot], 1);
+  }
+
+  /// Folds `message` into the sender's dense slot for destination vertex
+  /// `slot` of partition `dest`. Requires a combiner.
+  void SendCombined(int sender, size_t dest, size_t slot,
+                    const MessageT& message) {
+    CombinedOutbox& ob = combined_outboxes_[OutboxIndex(sender, dest)];
+    if (ob.slots.size() <= slot) {
+      size_t n = partition_sizes_[dest];
+      if (n <= slot) n = slot + 1;
+      ob.slots.resize(n);
+    }
+    // value/count/epoch live in one struct so the hot path pays one random
+    // cache line per send, not three parallel-array misses.
+    Slot& s = ob.slots[slot];
+    if (s.epoch != ob.epoch) {
+      s.epoch = ob.epoch;
+      s.value = message;
+      s.count = 1;
+      ob.touched.push_back(static_cast<uint32_t>(slot));
+    } else {
+      s.value = combiner_(s.value, message);
+      ++s.count;
+    }
+  }
+
+  // ---- delivery side (called by the owner of partition `dest`) ----------
+
+  /// Invokes fn(size_t slot) for every dense slot some sender combined into
+  /// for partition `dest` (a slot touched by several senders is visited
+  /// several times). Used by the engine's missing-vertex pre-pass to find
+  /// dead targets to resurrect.
+  template <typename Fn>
+  void ForEachCombinedSlot(size_t dest, Fn&& fn) const {
+    if (!combiner_) return;
+    for (int s = 0; s < num_partitions_; ++s) {
+      const CombinedOutbox& ob = combined_outboxes_[OutboxIndex(s, dest)];
+      for (uint32_t slot : ob.touched) fn(static_cast<size_t>(slot));
+    }
+  }
+
+  /// Invokes fn(VertexId target) for every pending unresolved entry destined
+  /// for partition `dest`.
+  template <typename Fn>
+  void ForEachEntryTarget(size_t dest, Fn&& fn) const {
+    for (int s = 0; s < num_partitions_; ++s) {
+      entry_outboxes_[OutboxIndex(s, dest)].ForEach(
+          [&](const Entry& e) { fn(e.first); });
+    }
+  }
+
+  /// Drains every sender's outboxes destined for `dest` into `dest`'s
+  /// inboxes and clears them for reuse. `resolve(target) -> slot or kNoSlot`
+  /// maps unresolved entries; `alive(slot) -> bool` re-checks dense slots
+  /// (the target may have been removed by a mutation after the send).
+  /// Deterministic order: senders ascending; per sender, combined slots in
+  /// first-touch order, then entries in append order.
+  template <typename ResolveFn, typename AliveFn>
+  DeliveryStats Deliver(size_t dest, ResolveFn&& resolve, AliveFn&& alive) {
+    DeliveryStats stats;
+    for (int s = 0; s < num_partitions_; ++s) {
+      if (combiner_) {
+        CombinedOutbox& ob = combined_outboxes_[OutboxIndex(s, dest)];
+        for (uint32_t slot : ob.touched) {
+          const Slot& sl = ob.slots[slot];
+          if (alive(static_cast<size_t>(slot))) {
+            PushCombined(dest, slot, sl.value);
+            stats.delivered += sl.count;
+          } else {
+            stats.dropped += sl.count;
+          }
+        }
+        ++ob.epoch;
+        ob.touched.clear();
+      }
+      ChunkedBuffer<Entry>& entries = entry_outboxes_[OutboxIndex(s, dest)];
+      entries.ForEach([&](const Entry& e) {
+        const size_t slot = resolve(e.first);
+        if (slot == kNoSlot) {
+          ++stats.dropped;
+          return;
+        }
+        if (combiner_) {
+          PushCombined(dest, slot, e.second);
+        } else {
+          inboxes_[dest][slot].push_back(e.second);
+        }
+        ++stats.delivered;
+      });
+      entries.Clear();
+    }
+    return stats;
+  }
+
+  // ---- inbox access (compute phase, owner of partition `p`) -------------
+
+  std::vector<MessageT>& Inbox(size_t p, size_t slot) {
+    return inboxes_[p][slot];
+  }
+
+  /// Empties an inbox, keeping its capacity for the next superstep.
+  void ClearInbox(size_t p, size_t slot) { inboxes_[p][slot].clear(); }
+
+ private:
+  using Entry = std::pair<VertexId, MessageT>;
+
+  /// One dense combining slot: the running combined value, the number of
+  /// messages folded into it (preserves message-granular delivered/dropped
+  /// accounting through combining), and the epoch tag that says whether the
+  /// slot belongs to the current superstep.
+  struct Slot {
+    MessageT value;
+    uint32_t count = 0;
+    uint32_t epoch = 0;  // != CombinedOutbox::epoch (starts at 1) => stale
+  };
+
+  /// Per-(sender, dest) dense combining buffer. The epoch tag makes clearing
+  /// O(touched slots) — bumping `epoch` invalidates every slot at once.
+  struct CombinedOutbox {
+    std::vector<Slot> slots;
+    std::vector<uint32_t> touched;
+    uint32_t epoch = 1;
+  };
+
+  size_t OutboxIndex(int sender, size_t dest) const {
+    return static_cast<size_t>(sender) * static_cast<size_t>(num_partitions_) +
+           dest;
+  }
+
+  void PushCombined(size_t dest, size_t slot, const MessageT& partial) {
+    std::vector<MessageT>& box = inboxes_[dest][slot];
+    if (box.empty()) {
+      box.push_back(partial);
+    } else {
+      box[0] = combiner_(box[0], partial);
+    }
+  }
+
+  int num_partitions_ = 0;
+  Combiner combiner_;
+  std::vector<ChunkedBuffer<Entry>> entry_outboxes_;
+  std::vector<CombinedOutbox> combined_outboxes_;
+  std::vector<std::vector<std::vector<MessageT>>> inboxes_;
+  std::vector<size_t> partition_sizes_;
+};
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_MESSAGE_STORE_H_

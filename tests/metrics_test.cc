@@ -245,7 +245,7 @@ TEST(RunReportTest, JsonGolden) {
       "\"per_superstep\":[{\"superstep\":0,\"mutation_seconds\":0.5,"
       "\"delivery_wall_seconds\":0.5,\"master_seconds\":0.5,"
       "\"compute_wall_seconds\":0.5,\"aggregator_merge_seconds\":0.5,"
-      "\"total_seconds\":2,\"workers\":["
+      "\"total_seconds\":2,\"partial\":false,\"workers\":["
       "{\"worker\":0,\"compute_seconds\":0.5,\"delivery_seconds\":0.5,"
       "\"barrier_wait_seconds\":0,\"vertices_computed\":10,"
       "\"messages_sent\":20},"
