@@ -113,18 +113,19 @@ void BM_InstrumentedZeroCaptureJob(benchmark::State& state) {
       graft::graph::GenerateErdosRenyi(20'000, 100'000, 7));
   graft::debug::ConfigurableDebugConfig<CCTraits> config;  // captures nothing
   for (auto _ : state) {
-    auto vertices = graft::pregel::LoadUnweighted<CCTraits>(
+    graft::pregel::JobSpec<CCTraits> spec;
+    spec.options.num_workers = 2;
+    spec.options.job_id = "ablation-zero";
+    spec.vertices = graft::pregel::LoadUnweighted<CCTraits>(
         graph, [](VertexId) { return graft::pregel::Int64Value{0}; });
-    graft::pregel::Engine<CCTraits>::Options options;
-    options.num_workers = 2;
-    options.job_id = "ablation-zero";
+    spec.computation = graft::algos::MakeConnectedComponentsFactory();
     graft::InMemoryTraceStore store;
-    auto summary = graft::debug::RunWithGraft<CCTraits>(
-        options, std::move(vertices),
-        graft::algos::MakeConnectedComponentsFactory(), nullptr, config,
-        &store);
-    GRAFT_CHECK(summary.job_status.ok());
-    benchmark::DoNotOptimize(summary.captures);
+    spec.debug_config = &config;
+    spec.trace_store = &store;
+    auto summary = graft::debug::RunWithGraft(std::move(spec));
+    GRAFT_CHECK(summary.ok()) << summary.status();
+    GRAFT_CHECK(summary->job_status.ok());
+    benchmark::DoNotOptimize(summary->captures);
   }
 }
 BENCHMARK(BM_InstrumentedZeroCaptureJob)->Unit(benchmark::kMillisecond);

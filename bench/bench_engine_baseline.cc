@@ -21,6 +21,9 @@
 #include "algos/sssp.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
+#include "io/trace_store.h"
+#include "pregel/job.h"
+#include "pregel/loader.h"
 
 namespace {
 
@@ -75,6 +78,62 @@ void BM_PageRankSocEpinions(benchmark::State& state) {
       static_cast<double>(graph->NumVertices());
 }
 BENCHMARK(BM_PageRankSocEpinions)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The same job with checkpointing every 2 supersteps: the fault-tolerance
+// tax. Exports checkpoint bytes/seconds alongside msgs/s so BENCH_engine.json
+// tracks the overhead of the recovery subsystem against the plain run above.
+void BM_PageRankSocEpinionsCheckpointed(benchmark::State& state) {
+  const char* env = std::getenv("GRAFT_BENCH_SCALE");
+  graft::graph::DatasetOptions options;
+  options.scale_denominator = (env != nullptr && std::atoll(env) > 0)
+                                  ? static_cast<uint64_t>(std::atoll(env))
+                                  : 8;
+  auto graph = graft::graph::MakeDataset("soc-Epinions", options);
+  GRAFT_CHECK(graph.ok()) << graph.status();
+  const int num_workers = static_cast<int>(state.range(0));
+  uint64_t messages = 0, ckpt_bytes = 0, ckpts_written = 0;
+  double ckpt_seconds = 0;
+  for (auto _ : state) {
+    graft::pregel::JobSpec<graft::algos::PageRankTraits> spec;
+    spec.options.num_workers = num_workers;
+    spec.options.job_id = "bench-pr-ckpt";
+    spec.options.combiner = [](const graft::pregel::DoubleValue& a,
+                               const graft::pregel::DoubleValue& b) {
+      return graft::pregel::DoubleValue{a.value + b.value};
+    };
+    spec.vertices = graft::pregel::LoadUnweighted<graft::algos::PageRankTraits>(
+        *graph,
+        [](graft::VertexId) { return graft::pregel::DoubleValue{0.0}; });
+    spec.computation = [] {
+      return std::make_unique<graft::algos::PageRankComputation>(10);
+    };
+    spec.master = []() -> std::unique_ptr<graft::pregel::MasterCompute> {
+      return std::make_unique<graft::algos::PageRankMaster>(10);
+    };
+    graft::InMemoryTraceStore ckpt_store;
+    spec.checkpoint.interval = 2;
+    spec.checkpoint.store = &ckpt_store;
+    auto summary = graft::pregel::RunJob(std::move(spec));
+    GRAFT_CHECK(summary.ok()) << summary.status();
+    GRAFT_CHECK(summary->job_status.ok()) << summary->job_status;
+    messages += summary->stats.total_messages;
+    const graft::obs::RecoveryProfile& rec = summary->stats.report.recovery;
+    ckpt_bytes += rec.checkpoint_bytes;
+    ckpt_seconds += rec.checkpoint_seconds;
+    ckpts_written += rec.checkpoints_written;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["checkpoint_bytes"] = static_cast<double>(ckpt_bytes) / iters;
+  state.counters["checkpoint_s"] = ckpt_seconds / iters;
+  state.counters["checkpoints_written"] =
+      static_cast<double>(ckpts_written) / iters;
+}
+BENCHMARK(BM_PageRankSocEpinionsCheckpointed)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Sssp(benchmark::State& state) {
   uint64_t n = static_cast<uint64_t>(state.range(0));

@@ -137,9 +137,16 @@ Sample RunConfig(DC dc, const ClusterBinding<Traits>& binding, int reps) {
     } else {
       auto config = MakeConfig(dc, binding);
       graft::InMemoryTraceStore store;
-      auto summary = graft::debug::RunWithGraft<Traits>(
-          binding.options, std::move(vertices), binding.factory,
-          binding.master, config, &store);
+      graft::pregel::JobSpec<Traits> spec;
+      spec.options = binding.options;
+      spec.vertices = std::move(vertices);
+      spec.computation = binding.factory;
+      spec.master = binding.master;
+      spec.debug_config = &config;
+      spec.trace_store = &store;
+      auto summary_or = graft::debug::RunWithGraft(std::move(spec));
+      GRAFT_CHECK(summary_or.ok()) << summary_or.status();
+      const graft::debug::DebugRunSummary& summary = *summary_or;
       GRAFT_CHECK(summary.job_status.ok()) << summary.job_status;
       sample.captures = summary.captures;
       sample.violations = summary.violations;

@@ -64,21 +64,26 @@ int main() {
 
   graft::InMemoryTraceStore store;
   GCDebugConfig config;
-  graft::pregel::Engine<GCTraits>::Options options;
-  options.job_id = "gc-scenario";
-  options.num_workers = 2;
+  graft::pregel::JobSpec<GCTraits> spec;
+  spec.options.job_id = "gc-scenario";
+  spec.options.num_workers = 2;
+  spec.vertices = graft::algos::LoadGraphColoringVertices(*graph);
+  spec.computation = graft::algos::MakeGraphColoringFactory(/*buggy=*/true);
+  spec.master = graft::algos::MakeGraphColoringMasterFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
   std::map<VertexId, int32_t> final_color;
-  graft::debug::DebugRunSummary summary =
-      graft::debug::RunWithGraft<GCTraits>(
-          options, graft::algos::LoadGraphColoringVertices(*graph),
-          graft::algos::MakeGraphColoringFactory(/*buggy=*/true),
-          graft::algos::MakeGraphColoringMasterFactory(), config, &store,
-          [&](graft::pregel::Engine<GCTraits>& engine) {
-            engine.ForEachVertex(
-                [&](const graft::pregel::Vertex<GCTraits>& v) {
-                  final_color[v.id()] = v.value().color;
-                });
-          });
+  spec.post_run = [&](graft::pregel::Engine<GCTraits>& engine) {
+    engine.ForEachVertex([&](const graft::pregel::Vertex<GCTraits>& v) {
+      final_color[v.id()] = v.value().color;
+    });
+  };
+  auto summary_or = graft::debug::RunWithGraft(std::move(spec));
+  if (!summary_or.ok()) {
+    std::fprintf(stderr, "%s\n", summary_or.status().ToString().c_str());
+    return 1;
+  }
+  graft::debug::DebugRunSummary summary = std::move(summary_or).value();
   std::printf("run: %s\n", summary.stats.ToString().c_str());
   std::printf("captures: %llu (%llu trace bytes)\n\n",
               static_cast<unsigned long long>(summary.captures),
@@ -106,12 +111,19 @@ int main() {
   graft::debug::ConfigurableDebugConfig<GCTraits> focus_config;
   focus_config.set_vertices({u, v}).set_capture_neighbors(true);
   graft::InMemoryTraceStore focus_store;
-  options.job_id = "gc-scenario-focus";
-  graft::debug::RunWithGraft<GCTraits>(
-      options, graft::algos::LoadGraphColoringVertices(*graph),
-      graft::algos::MakeGraphColoringFactory(true),
-      graft::algos::MakeGraphColoringMasterFactory(), focus_config,
-      &focus_store);
+  graft::pregel::JobSpec<GCTraits> focus_spec;
+  focus_spec.options.job_id = "gc-scenario-focus";
+  focus_spec.options.num_workers = 2;
+  focus_spec.vertices = graft::algos::LoadGraphColoringVertices(*graph);
+  focus_spec.computation = graft::algos::MakeGraphColoringFactory(true);
+  focus_spec.master = graft::algos::MakeGraphColoringMasterFactory();
+  focus_spec.debug_config = &focus_config;
+  focus_spec.trace_store = &focus_store;
+  if (auto focus = graft::debug::RunWithGraft(std::move(focus_spec));
+      !focus.ok()) {
+    std::fprintf(stderr, "%s\n", focus.status().ToString().c_str());
+    return 1;
+  }
 
   int64_t suspicious_superstep = -1;
   for (int64_t s :

@@ -36,18 +36,26 @@ int main() {
   //    capture configured — master contexts are captured automatically.
   graft::debug::ConfigurableDebugConfig<GCTraits> config;
   graft::InMemoryTraceStore store;
-  graft::pregel::Engine<GCTraits>::Options options;
-  options.job_id = "gc-master-bug";
+  graft::pregel::JobSpec<GCTraits> spec;
+  spec.options.job_id = "gc-master-bug";
+  spec.vertices = graft::algos::LoadGraphColoringVertices(graph);
+  spec.computation = graft::algos::MakeGraphColoringFactory(/*buggy=*/false);
+  spec.master =
+      graft::algos::MakeGraphColoringMasterFactory(/*buggy_master=*/true);
+  spec.debug_config = &config;
+  spec.trace_store = &store;
   int64_t uncolored = 0;
-  auto summary = graft::debug::RunWithGraft<GCTraits>(
-      options, graft::algos::LoadGraphColoringVertices(graph),
-      graft::algos::MakeGraphColoringFactory(/*buggy=*/false),
-      graft::algos::MakeGraphColoringMasterFactory(/*buggy_master=*/true),
-      config, &store, [&](graft::pregel::Engine<GCTraits>& engine) {
-        engine.ForEachVertex([&](const graft::pregel::Vertex<GCTraits>& v) {
-          if (v.value().color < 0) ++uncolored;
-        });
-      });
+  spec.post_run = [&](graft::pregel::Engine<GCTraits>& engine) {
+    engine.ForEachVertex([&](const graft::pregel::Vertex<GCTraits>& v) {
+      if (v.value().color < 0) ++uncolored;
+    });
+  };
+  auto summary_or = graft::debug::RunWithGraft(std::move(spec));
+  if (!summary_or.ok()) {
+    std::fprintf(stderr, "%s\n", summary_or.status().ToString().c_str());
+    return 1;
+  }
+  graft::debug::DebugRunSummary summary = std::move(summary_or).value();
   std::printf("run: %s\n", summary.stats.ToString().c_str());
   std::printf("uncolored vertices at termination: %lld of %zu  <-- premature "
               "termination!\n\n",

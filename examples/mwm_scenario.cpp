@@ -94,15 +94,20 @@ int main() {
   // 2. Rerun under Graft capturing all active vertices after superstep 500.
   graft::InMemoryTraceStore store;
   MWMDebugConfig config(kCaptureFrom);
-  graft::pregel::Engine<MWMTraits>::Options options;
-  options.job_id = "mwm-scenario";
-  options.num_workers = 2;
-  options.max_supersteps = kMaxSupersteps;
-  graft::debug::DebugRunSummary summary =
-      graft::debug::RunWithGraft<MWMTraits>(
-          options, graft::algos::LoadMatchingVertices(corrupted),
-          graft::algos::MakeMaxWeightMatchingFactory(), nullptr, config,
-          &store);
+  graft::pregel::JobSpec<MWMTraits> spec;
+  spec.options.job_id = "mwm-scenario";
+  spec.options.num_workers = 2;
+  spec.options.max_supersteps = kMaxSupersteps;
+  spec.vertices = graft::algos::LoadMatchingVertices(corrupted);
+  spec.computation = graft::algos::MakeMaxWeightMatchingFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary_or = graft::debug::RunWithGraft(std::move(spec));
+  if (!summary_or.ok()) {
+    std::fprintf(stderr, "%s\n", summary_or.status().ToString().c_str());
+    return 1;
+  }
+  graft::debug::DebugRunSummary summary = std::move(summary_or).value();
   std::printf("debug run captured %llu active-vertex contexts from superstep "
               "%lld on (%llu trace bytes)\n\n",
               static_cast<unsigned long long>(summary.captures),

@@ -57,17 +57,24 @@ int main(int argc, char** argv) {
   };
   QuickstartDebugConfig config;
 
-  // 4. Run connected components under Graft.
-  graft::pregel::Engine<CCTraits>::Options options;
-  options.job_id = "quickstart-cc";
-  options.num_workers = 2;
-  auto vertices = graft::pregel::LoadUnweighted<CCTraits>(
+  // 4. Run connected components under Graft: one JobSpec carries the
+  //    engine options, the input graph, the computation, and the debugger
+  //    configuration.
+  graft::pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = "quickstart-cc";
+  spec.options.num_workers = 2;
+  spec.vertices = graft::pregel::LoadUnweighted<CCTraits>(
       graph, [](VertexId) { return graft::pregel::Int64Value{0}; });
-  graft::debug::DebugRunSummary summary =
-      graft::debug::RunWithGraft<CCTraits>(
-          options, std::move(vertices),
-          graft::algos::MakeConnectedComponentsFactory(), nullptr, config,
-          store.get());
+  spec.computation = graft::algos::MakeConnectedComponentsFactory();
+  spec.debug_config = &config;
+  spec.trace_store = store.get();
+  auto summary_or = graft::debug::RunWithGraft(std::move(spec));
+  if (!summary_or.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 summary_or.status().ToString().c_str());
+    return 1;
+  }
+  graft::debug::DebugRunSummary summary = std::move(summary_or).value();
   std::printf("job: %s\n", summary.stats.ToString().c_str());
   std::printf("Graft captured %llu vertex contexts (%llu trace bytes)\n\n",
               static_cast<unsigned long long>(summary.captures),

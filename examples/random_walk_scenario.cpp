@@ -70,17 +70,21 @@ int main() {
 
   graft::InMemoryTraceStore store;
   RWDebugConfig config;
-  graft::pregel::Engine<RWShortTraits>::Options options;
-  options.job_id = "rw-scenario";
-  options.num_workers = 2;
-  auto vertices = graft::pregel::LoadUnweighted<RWShortTraits>(
+  graft::pregel::JobSpec<RWShortTraits> spec;
+  spec.options.job_id = "rw-scenario";
+  spec.options.num_workers = 2;
+  spec.vertices = graft::pregel::LoadUnweighted<RWShortTraits>(
       *graph, [](VertexId) { return graft::pregel::Int64Value{0}; });
-  graft::debug::DebugRunSummary summary =
-      graft::debug::RunWithGraft<RWShortTraits>(
-          options, std::move(vertices),
-          graft::algos::MakeRandomWalkFactory<RWShortTraits>(
-              kSteps, kWalkersPerVertex),
-          nullptr, config, &store);
+  spec.computation = graft::algos::MakeRandomWalkFactory<RWShortTraits>(
+      kSteps, kWalkersPerVertex);
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary_or = graft::debug::RunWithGraft(std::move(spec));
+  if (!summary_or.ok()) {
+    std::fprintf(stderr, "%s\n", summary_or.status().ToString().c_str());
+    return 1;
+  }
+  graft::debug::DebugRunSummary summary = std::move(summary_or).value();
   std::printf("run: %s\n", summary.stats.ToString().c_str());
   std::printf("constraint violations: %llu across %llu captured contexts\n\n",
               static_cast<unsigned long long>(summary.violations),

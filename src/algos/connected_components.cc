@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "pregel/job.h"
 #include "pregel/loader.h"
 
 namespace graft {
@@ -36,24 +37,28 @@ pregel::ComputationFactory<CCTraits> MakeConnectedComponentsFactory() {
 
 Result<CCResult> RunConnectedComponents(const graph::SimpleGraph& g,
                                         int num_workers) {
-  pregel::Engine<CCTraits>::Options options;
-  options.num_workers = num_workers;
-  options.job_id = "connected-components";
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.num_workers = num_workers;
+  spec.options.job_id = "connected-components";
   // The min-combiner keeps inboxes at one message per vertex.
-  options.combiner = [](const Int64Value& a, const Int64Value& b) {
+  spec.options.combiner = [](const Int64Value& a, const Int64Value& b) {
     return Int64Value{std::min(a.value, b.value)};
   };
-  auto vertices = pregel::LoadUnweighted<CCTraits>(
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
       g, [](VertexId) { return Int64Value{0}; });
-  pregel::Engine<CCTraits> engine(options, std::move(vertices),
-                                  MakeConnectedComponentsFactory());
+  spec.computation = MakeConnectedComponentsFactory();
   CCResult result;
-  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
   std::set<int64_t> components;
-  engine.ForEachVertex([&](const pregel::Vertex<CCTraits>& v) {
-    result.component[v.id()] = v.value().value;
-    components.insert(v.value().value);
-  });
+  spec.post_run = [&](pregel::Engine<CCTraits>& engine) {
+    engine.ForEachVertex([&](const pregel::Vertex<CCTraits>& v) {
+      result.component[v.id()] = v.value().value;
+      components.insert(v.value().value);
+    });
+  };
+  GRAFT_ASSIGN_OR_RETURN(pregel::JobRunSummary summary,
+                         pregel::RunJob(std::move(spec)));
+  GRAFT_RETURN_NOT_OK(summary.job_status);
+  result.stats = std::move(summary.stats);
   result.num_components = static_cast<int64_t>(components.size());
   return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "pregel/job.h"
 #include "pregel/loader.h"
 
 namespace graft {
@@ -254,20 +255,25 @@ std::vector<pregel::Vertex<GCTraits>> LoadGraphColoringVertices(
 Result<ColoringResult> RunGraphColoring(const graph::SimpleGraph& g,
                                         bool buggy, int num_workers,
                                         uint64_t seed) {
-  pregel::Engine<GCTraits>::Options options;
-  options.num_workers = num_workers;
-  options.seed = seed;
-  options.job_id = buggy ? "graph-coloring-buggy" : "graph-coloring";
-  pregel::Engine<GCTraits> engine(options, LoadGraphColoringVertices(g),
-                                  MakeGraphColoringFactory(buggy),
-                                  MakeGraphColoringMasterFactory());
+  pregel::JobSpec<GCTraits> spec;
+  spec.options.num_workers = num_workers;
+  spec.options.seed = seed;
+  spec.options.job_id = buggy ? "graph-coloring-buggy" : "graph-coloring";
+  spec.vertices = LoadGraphColoringVertices(g);
+  spec.computation = MakeGraphColoringFactory(buggy);
+  spec.master = MakeGraphColoringMasterFactory();
   ColoringResult result;
-  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
   std::set<int32_t> colors;
-  engine.ForEachVertex([&](const pregel::Vertex<GCTraits>& v) {
-    result.color[v.id()] = v.value().color;
-    colors.insert(v.value().color);
-  });
+  spec.post_run = [&](pregel::Engine<GCTraits>& engine) {
+    engine.ForEachVertex([&](const pregel::Vertex<GCTraits>& v) {
+      result.color[v.id()] = v.value().color;
+      colors.insert(v.value().color);
+    });
+  };
+  GRAFT_ASSIGN_OR_RETURN(pregel::JobRunSummary summary,
+                         pregel::RunJob(std::move(spec)));
+  GRAFT_RETURN_NOT_OK(summary.job_status);
+  result.stats = std::move(summary.stats);
   result.num_colors = static_cast<int32_t>(colors.size());
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pregel/job.h"
 #include "pregel/loader.h"
 
 namespace graft {
@@ -91,24 +92,29 @@ std::vector<pregel::Vertex<MWMTraits>> LoadMatchingVertices(
 Result<MatchingResult> RunMaxWeightMatching(const graph::SimpleGraph& g,
                                             int num_workers,
                                             int64_t max_supersteps) {
-  pregel::Engine<MWMTraits>::Options options;
-  options.num_workers = num_workers;
-  options.max_supersteps = max_supersteps;
-  options.job_id = "max-weight-matching";
-  pregel::Engine<MWMTraits> engine(options, LoadMatchingVertices(g),
-                                   MakeMaxWeightMatchingFactory());
+  pregel::JobSpec<MWMTraits> spec;
+  spec.options.num_workers = num_workers;
+  spec.options.max_supersteps = max_supersteps;
+  spec.options.job_id = "max-weight-matching";
+  spec.vertices = LoadMatchingVertices(g);
+  spec.computation = MakeMaxWeightMatchingFactory();
   MatchingResult result;
-  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
+  spec.post_run = [&](pregel::Engine<MWMTraits>& engine) {
+    engine.ForEachVertex([&](const pregel::Vertex<MWMTraits>& v) {
+      const MWMVertexValue& value = v.value();
+      if (value.state == MWMState::kMatched && v.id() < value.matched_to) {
+        result.matching[v.id()] = value.matched_to;
+        auto w = g.EdgeWeight(v.id(), value.matched_to);
+        if (w.ok()) result.total_weight += *w;
+      }
+    });
+  };
+  GRAFT_ASSIGN_OR_RETURN(pregel::JobRunSummary summary,
+                         pregel::RunJob(std::move(spec)));
+  GRAFT_RETURN_NOT_OK(summary.job_status);
+  result.stats = std::move(summary.stats);
   result.converged =
       result.stats.termination == pregel::TerminationReason::kAllHalted;
-  engine.ForEachVertex([&](const pregel::Vertex<MWMTraits>& v) {
-    const MWMVertexValue& value = v.value();
-    if (value.state == MWMState::kMatched && v.id() < value.matched_to) {
-      result.matching[v.id()] = value.matched_to;
-      auto w = g.EdgeWeight(v.id(), value.matched_to);
-      if (w.ok()) result.total_weight += *w;
-    }
-  });
   return result;
 }
 

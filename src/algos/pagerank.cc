@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "pregel/job.h"
 #include "pregel/loader.h"
 
 namespace graft {
@@ -59,25 +60,30 @@ void PageRankMaster::Compute(pregel::MasterContext& ctx) {
 
 Result<PageRankResult> RunPageRank(const graph::SimpleGraph& g,
                                    int iterations, int num_workers) {
-  pregel::Engine<PageRankTraits>::Options options;
-  options.num_workers = num_workers;
-  options.job_id = "pagerank";
-  options.combiner = [](const DoubleValue& a, const DoubleValue& b) {
+  pregel::JobSpec<PageRankTraits> spec;
+  spec.options.num_workers = num_workers;
+  spec.options.job_id = "pagerank";
+  spec.options.combiner = [](const DoubleValue& a, const DoubleValue& b) {
     return DoubleValue{a.value + b.value};
   };
-  auto vertices = pregel::LoadUnweighted<PageRankTraits>(
+  spec.vertices = pregel::LoadUnweighted<PageRankTraits>(
       g, [](VertexId) { return DoubleValue{0.0}; });
-  pregel::Engine<PageRankTraits> engine(
-      options, std::move(vertices),
-      [iterations] { return std::make_unique<PageRankComputation>(iterations); },
-      [iterations]() -> std::unique_ptr<pregel::MasterCompute> {
-        return std::make_unique<PageRankMaster>(iterations);
-      });
+  spec.computation = [iterations] {
+    return std::make_unique<PageRankComputation>(iterations);
+  };
+  spec.master = [iterations]() -> std::unique_ptr<pregel::MasterCompute> {
+    return std::make_unique<PageRankMaster>(iterations);
+  };
   PageRankResult result;
-  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
-  engine.ForEachVertex([&](const pregel::Vertex<PageRankTraits>& v) {
-    result.rank[v.id()] = v.value().value;
-  });
+  spec.post_run = [&result](pregel::Engine<PageRankTraits>& engine) {
+    engine.ForEachVertex([&](const pregel::Vertex<PageRankTraits>& v) {
+      result.rank[v.id()] = v.value().value;
+    });
+  };
+  GRAFT_ASSIGN_OR_RETURN(pregel::JobRunSummary summary,
+                         pregel::RunJob(std::move(spec)));
+  GRAFT_RETURN_NOT_OK(summary.job_status);
+  result.stats = std::move(summary.stats);
   return result;
 }
 

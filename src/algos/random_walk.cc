@@ -1,5 +1,6 @@
 #include "algos/random_walk.h"
 
+#include "pregel/job.h"
 #include "pregel/loader.h"
 
 namespace graft {
@@ -11,22 +12,25 @@ template <typename Traits>
 Result<RandomWalkResult> RunImpl(const graph::SimpleGraph& g, int num_steps,
                                  int64_t initial_walkers, int num_workers,
                                  uint64_t seed, const char* job_id) {
-  typename pregel::Engine<Traits>::Options options;
-  options.num_workers = num_workers;
-  options.seed = seed;
-  options.job_id = job_id;
-  auto vertices = pregel::LoadUnweighted<Traits>(
+  pregel::JobSpec<Traits> spec;
+  spec.options.num_workers = num_workers;
+  spec.options.seed = seed;
+  spec.options.job_id = job_id;
+  spec.vertices = pregel::LoadUnweighted<Traits>(
       g, [](VertexId) { return pregel::Int64Value{0}; });
-  pregel::Engine<Traits> engine(
-      options, std::move(vertices),
-      MakeRandomWalkFactory<Traits>(num_steps, initial_walkers));
+  spec.computation = MakeRandomWalkFactory<Traits>(num_steps, initial_walkers);
   RandomWalkResult result;
-  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
-  engine.ForEachVertex([&](const pregel::Vertex<Traits>& v) {
-    result.walkers[v.id()] = v.value().value;
-    result.total_walkers += v.value().value;
-    if (v.value().value < 0) ++result.negative_message_vertices;
-  });
+  spec.post_run = [&result](pregel::Engine<Traits>& engine) {
+    engine.ForEachVertex([&](const pregel::Vertex<Traits>& v) {
+      result.walkers[v.id()] = v.value().value;
+      result.total_walkers += v.value().value;
+      if (v.value().value < 0) ++result.negative_message_vertices;
+    });
+  };
+  GRAFT_ASSIGN_OR_RETURN(pregel::JobRunSummary summary,
+                         pregel::RunJob(std::move(spec)));
+  GRAFT_RETURN_NOT_OK(summary.job_status);
+  result.stats = std::move(summary.stats);
   return result;
 }
 

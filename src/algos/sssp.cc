@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "pregel/job.h"
 #include "pregel/loader.h"
 
 namespace graft {
@@ -37,23 +38,28 @@ Result<SsspResult> RunSssp(const graph::SimpleGraph& g, VertexId source,
     return Status::InvalidArgument("SSSP source vertex " +
                                    std::to_string(source) + " not in graph");
   }
-  pregel::Engine<SsspTraits>::Options options;
-  options.num_workers = num_workers;
-  options.job_id = "sssp";
-  options.combiner = [](const DoubleValue& a, const DoubleValue& b) {
+  pregel::JobSpec<SsspTraits> spec;
+  spec.options.num_workers = num_workers;
+  spec.options.job_id = "sssp";
+  spec.options.combiner = [](const DoubleValue& a, const DoubleValue& b) {
     return DoubleValue{std::min(a.value, b.value)};
   };
-  auto vertices = pregel::LoadVertices<SsspTraits>(
+  spec.vertices = pregel::LoadVertices<SsspTraits>(
       g, [](VertexId) { return DoubleValue{kInf}; },
       [](VertexId, VertexId, double w) { return DoubleValue{w}; });
-  pregel::Engine<SsspTraits> engine(
-      options, std::move(vertices),
-      [source] { return std::make_unique<SsspComputation>(source); });
+  spec.computation = [source] {
+    return std::make_unique<SsspComputation>(source);
+  };
   SsspResult result;
-  GRAFT_ASSIGN_OR_RETURN(result.stats, engine.Run());
-  engine.ForEachVertex([&](const pregel::Vertex<SsspTraits>& v) {
-    result.distance[v.id()] = v.value().value;
-  });
+  spec.post_run = [&result](pregel::Engine<SsspTraits>& engine) {
+    engine.ForEachVertex([&](const pregel::Vertex<SsspTraits>& v) {
+      result.distance[v.id()] = v.value().value;
+    });
+  };
+  GRAFT_ASSIGN_OR_RETURN(pregel::JobRunSummary summary,
+                         pregel::RunJob(std::move(spec)));
+  GRAFT_RETURN_NOT_OK(summary.job_status);
+  result.stats = std::move(summary.stats);
   return result;
 }
 

@@ -1,0 +1,77 @@
+#include "common/fault_injector.h"
+
+#include "common/random.h"
+
+namespace graft {
+
+std::string_view FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kWorkerCompute:
+      return "worker-compute";
+    case FaultSite::kDelivery:
+      return "delivery";
+    case FaultSite::kStoreAppend:
+      return "store-append";
+    case FaultSite::kStoreFlush:
+      return "store-flush";
+  }
+  return "?";
+}
+
+void FaultInjector::Arm(const FaultPoint& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.push_back(point);
+}
+
+void FaultInjector::ArmSeeded(FaultSite site, double probability,
+                              uint64_t seed, int budget) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seeded_.push_back(SeededFault{site, probability, seed, budget});
+}
+
+bool FaultInjector::ShouldFail(FaultSite site, int partition) {
+  const int64_t superstep = current_superstep_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (FaultPoint& p : points_) {
+    if (p.hits <= 0 || p.site != site) continue;
+    if (p.superstep != -1 && p.superstep != superstep) continue;
+    if (p.partition != -1 && p.partition != partition) continue;
+    --p.hits;
+    events_.push_back(FaultEvent{site, superstep, partition});
+    return true;
+  }
+  for (SeededFault& s : seeded_) {
+    if (s.budget <= 0 || s.site != site) continue;
+    // The verdict for a coordinate is a pure function of (seed, superstep,
+    // site, partition) — independent of thread timing.
+    Rng rng = Rng::ForStream(
+        s.seed, static_cast<uint64_t>(superstep),
+        (static_cast<uint64_t>(static_cast<uint8_t>(site)) << 32) ^
+            static_cast<uint64_t>(static_cast<uint32_t>(partition + 1)));
+    if (rng.NextDouble() < s.probability) {
+      --s.budget;
+      events_.push_back(FaultEvent{site, superstep, partition});
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+uint64_t FaultInjector::fired_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  seeded_.clear();
+  events_.clear();
+}
+
+}  // namespace graft

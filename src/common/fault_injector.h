@@ -1,0 +1,113 @@
+#ifndef GRAFT_COMMON_FAULT_INJECTOR_H_
+#define GRAFT_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace graft {
+
+/// Where a fault can be injected into a run. The engine consults the
+/// injector at the start of each worker's compute slice and each partition's
+/// delivery slice; the FaultInjectingTraceStore decorator consults it on
+/// every Append/Flush (so capture-path and checkpoint-path writes can be
+/// failed the same way a flaky filesystem would fail them).
+enum class FaultSite : uint8_t {
+  kWorkerCompute = 0,  // kill a worker's vertex phase
+  kDelivery = 1,       // abort a partition's message delivery
+  kStoreAppend = 2,    // fail a TraceStore::Append
+  kStoreFlush = 3,     // fail a TraceStore::Flush
+};
+
+std::string_view FaultSiteName(FaultSite site);
+
+/// One armed fault: fires when the run reaches `site` at a matching
+/// (superstep, partition) coordinate, at most `hits` times. A -1 superstep
+/// or partition is a wildcard. Store sites are consulted without a partition
+/// coordinate (the store does not know which worker is appending), so armed
+/// store faults should leave `partition` at -1.
+struct FaultPoint {
+  FaultSite site = FaultSite::kWorkerCompute;
+  int64_t superstep = -1;  // -1 = any superstep
+  int partition = -1;      // -1 = any partition
+  int hits = 1;            // times this point may fire before disarming
+};
+
+/// One fired fault, for post-run inspection and the recovery report.
+struct FaultEvent {
+  FaultSite site = FaultSite::kWorkerCompute;
+  int64_t superstep = 0;
+  int partition = -1;
+};
+
+/// Deterministic fault injector (DESIGN.md "Fault tolerance & recovery").
+/// Faults are armed as explicit (site, superstep, partition, hits) points —
+/// or probabilistically from a seed — before the run; the engine publishes
+/// the current superstep so that store-level consultations (which happen
+/// outside the engine) key on the same coordinates.
+///
+/// Determinism: explicit points depend only on the run's coordinates, never
+/// on thread timing. Probabilistic arming draws its verdict from
+/// Rng::ForStream(seed, superstep, site/partition), so the *set* of firing
+/// coordinates is a pure function of the seed — independent of scheduling —
+/// and bounded by a total budget so a recovered run can make progress.
+///
+/// Thread-safe; consultations are mutex-guarded (fault checks are one per
+/// phase per worker plus one per store call — cold next to the hot path).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms an explicit fault point.
+  void Arm(const FaultPoint& point);
+
+  /// Arms a seeded probabilistic fault: `site` fires at any (superstep,
+  /// partition) coordinate where the seed-derived stream says so, with
+  /// probability `probability` per coordinate, at most `budget` times total.
+  void ArmSeeded(FaultSite site, double probability, uint64_t seed,
+                 int budget = 1);
+
+  /// Published by the engine at the top of every superstep so store-level
+  /// consultations key on the right coordinate.
+  void set_current_superstep(int64_t superstep) {
+    current_superstep_.store(superstep, std::memory_order_relaxed);
+  }
+  int64_t current_superstep() const {
+    return current_superstep_.load(std::memory_order_relaxed);
+  }
+
+  /// True when an armed fault matches (site, current superstep, partition);
+  /// decrements the matching point's hit budget and records a FaultEvent.
+  /// Pass partition=-1 from call sites without a partition coordinate.
+  bool ShouldFail(FaultSite site, int partition = -1);
+
+  /// All faults that fired so far, in firing order.
+  std::vector<FaultEvent> events() const;
+  uint64_t fired_count() const;
+
+  /// Disarms everything and clears the event log (the superstep coordinate
+  /// is left alone).
+  void Reset();
+
+ private:
+  struct SeededFault {
+    FaultSite site;
+    double probability;
+    uint64_t seed;
+    int budget;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<FaultPoint> points_;
+  std::vector<SeededFault> seeded_;
+  std::vector<FaultEvent> events_;
+  std::atomic<int64_t> current_superstep_{0};
+};
+
+}  // namespace graft
+
+#endif  // GRAFT_COMMON_FAULT_INJECTOR_H_

@@ -24,6 +24,11 @@ enum class StatusCode : uint8_t {
   kAborted = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  /// A transient/injected infrastructure failure (worker killed, store write
+  /// faulted). Unlike kAborted — a deterministic user-compute failure that
+  /// would recur on replay — kUnavailable is the retryable class the
+  /// JobRunner recovers from via checkpoints.
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK", "IOError"...).
@@ -70,6 +75,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -88,6 +96,7 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

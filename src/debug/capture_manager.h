@@ -4,11 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
 #include "common/string_util.h"
 #include "common/stopwatch.h"
 #include "debug/debug_config.h"
@@ -27,6 +30,25 @@ std::string VertexTraceFile(const std::string& job_id, int64_t superstep,
                             int worker);
 std::string MasterTraceFile(const std::string& job_id, int64_t superstep);
 std::string JobTracePrefix(const std::string& job_id);
+
+/// Point-in-time copy of a CaptureManager's counters. JobRunner snapshots
+/// these at every checkpoint boundary and rewinds the manager on recovery,
+/// so the summary of a recovered run counts each capture exactly once.
+struct CaptureCounters {
+  uint64_t captures = 0;
+  uint64_t master_captures = 0;
+  uint64_t violations = 0;
+  uint64_t exceptions = 0;
+  uint64_t dropped_by_limit = 0;
+  double serialize_seconds = 0.0;
+  double append_seconds = 0.0;
+};
+
+/// Deletes every trace file of `job_id` for supersteps >= `superstep`. Run
+/// before re-executing from a checkpoint so the recovered run's re-captures
+/// append into empty files instead of duplicating records.
+Status PruneTracesFrom(TraceStore& store, const std::string& job_id,
+                       int64_t superstep);
 
 /// Per-debug-run shared state: the resolved capture target set (specified +
 /// random + their neighbors), the capture counters, and the trace sink.
@@ -112,13 +134,28 @@ class CaptureManager {
   }
 
   /// Appends a vertex trace (if still under the limit). Returns whether it
-  /// was written.
-  bool RecordVertexTrace(const VertexTrace<Traits>& trace, int worker) {
+  /// was written, or the store's error — capture I/O failures are part of
+  /// the run's outcome, not a log-and-continue event (ISSUE 3 satellite 2).
+  Result<bool> RecordVertexTrace(const VertexTrace<Traits>& trace,
+                                 int worker) {
     uint64_t n = captures_.fetch_add(1, std::memory_order_relaxed);
     if (n >= max_captures_) {
       captures_.fetch_sub(1, std::memory_order_relaxed);
       ++dropped_by_limit_;
       return false;
+    }
+    Stopwatch serialize_clock;
+    std::string payload = trace.Serialize();
+    obs::AtomicDoubleAdd(&serialize_seconds_,
+                         serialize_clock.ElapsedSeconds());
+    Stopwatch append_clock;
+    Status append = store_->Append(
+        VertexTraceFile(job_id_, trace.superstep, worker), payload);
+    if (!append.ok()) {
+      // The trace never reached the store; undo the reservation so the
+      // counters only ever count durable captures.
+      captures_.fetch_sub(1, std::memory_order_relaxed);
+      return append;
     }
     if ((trace.reasons & (kReasonVertexValue | kReasonMessageValue)) != 0) {
       violations_.fetch_add(trace.violations.size(),
@@ -127,27 +164,44 @@ class CaptureManager {
     if (trace.exception.has_value()) {
       exceptions_.fetch_add(1, std::memory_order_relaxed);
     }
-    Stopwatch serialize_clock;
-    std::string payload = trace.Serialize();
-    obs::AtomicDoubleAdd(&serialize_seconds_,
-                         serialize_clock.ElapsedSeconds());
-    Stopwatch append_clock;
-    GRAFT_CHECK_OK(store_->Append(
-        VertexTraceFile(job_id_, trace.superstep, worker), payload));
     obs::AtomicDoubleAdd(&append_seconds_, append_clock.ElapsedSeconds());
     return true;
   }
 
-  void RecordMasterTrace(const MasterTrace& trace) {
-    master_captures_.fetch_add(1, std::memory_order_relaxed);
+  Status RecordMasterTrace(const MasterTrace& trace) {
     Stopwatch serialize_clock;
     std::string payload = trace.Serialize();
     obs::AtomicDoubleAdd(&serialize_seconds_,
                          serialize_clock.ElapsedSeconds());
     Stopwatch append_clock;
-    GRAFT_CHECK_OK(
+    GRAFT_RETURN_NOT_OK(
         store_->Append(MasterTraceFile(job_id_, trace.superstep), payload));
+    master_captures_.fetch_add(1, std::memory_order_relaxed);
     obs::AtomicDoubleAdd(&append_seconds_, append_clock.ElapsedSeconds());
+    return Status::OK();
+  }
+
+  /// Counter snapshot/rewind for checkpoint-coordinated recovery. Only
+  /// callable between supersteps (no concurrent Record* calls).
+  CaptureCounters SnapshotCounters() const {
+    CaptureCounters c;
+    c.captures = num_captures();
+    c.master_captures = num_master_captures();
+    c.violations = num_violations();
+    c.exceptions = num_exceptions();
+    c.dropped_by_limit = num_dropped_by_limit();
+    c.serialize_seconds = serialize_seconds();
+    c.append_seconds = append_seconds();
+    return c;
+  }
+  void RestoreCounters(const CaptureCounters& c) {
+    captures_.store(c.captures, std::memory_order_relaxed);
+    master_captures_.store(c.master_captures, std::memory_order_relaxed);
+    violations_.store(c.violations, std::memory_order_relaxed);
+    exceptions_.store(c.exceptions, std::memory_order_relaxed);
+    dropped_by_limit_.store(c.dropped_by_limit, std::memory_order_relaxed);
+    serialize_seconds_.store(c.serialize_seconds, std::memory_order_relaxed);
+    append_seconds_.store(c.append_seconds, std::memory_order_relaxed);
   }
 
   uint64_t num_captures() const {
@@ -249,6 +303,24 @@ inline std::string MasterTraceFile(const std::string& job_id,
 
 inline std::string JobTracePrefix(const std::string& job_id) {
   return job_id + "/";
+}
+
+inline Status PruneTracesFrom(TraceStore& store, const std::string& job_id,
+                              int64_t superstep) {
+  const std::string prefix = JobTracePrefix(job_id);
+  int64_t pruned_dirs = -1;  // dedup: superstep dirs arrive sorted per file
+  for (const std::string& file : store.ListFiles(prefix)) {
+    const std::string_view rest = std::string_view(file).substr(prefix.size());
+    if (rest.size() <= 10 || rest.substr(0, 10) != "superstep_") continue;
+    const size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) continue;
+    const int64_t s = std::stoll(std::string(rest.substr(10, slash - 10)));
+    if (s < superstep || s == pruned_dirs) continue;
+    GRAFT_RETURN_NOT_OK(store.DeletePrefix(
+        prefix + std::string(rest.substr(0, slash + 1))));
+    pruned_dirs = s;
+  }
+  return Status::OK();
 }
 
 }  // namespace debug

@@ -1,129 +1,33 @@
 #ifndef GRAFT_DEBUG_DEBUG_RUNNER_H_
 #define GRAFT_DEBUG_DEBUG_RUNNER_H_
 
-#include <functional>
-#include <memory>
-#include <string>
 #include <utility>
-#include <vector>
 
-#include "debug/capture_manager.h"
-#include "debug/instrumented_computation.h"
-#include "io/trace_store.h"
-#include "pregel/engine.h"
+#include "common/result.h"
+#include "pregel/job.h"
 
 namespace graft {
 namespace debug {
 
-/// Summary of one debugged run — job stats plus what Graft captured. This
-/// is the programmatic equivalent of what the paper's GUI shows in its
-/// header bar, and the row source for the Figure 7 harness.
-struct DebugRunSummary {
-  pregel::JobStats stats;
-  /// Non-OK when the job aborted (e.g. an exception escaped Compute() with
-  /// AbortOnException). Traces written before the abort remain readable.
-  Status job_status;
-  uint64_t captures = 0;
-  uint64_t violations = 0;
-  uint64_t exceptions = 0;
-  uint64_t dropped_by_capture_limit = 0;
-  uint64_t trace_bytes = 0;
-};
+/// Summary of one debugged run — job stats plus what Graft captured and how
+/// many recoveries it took. Debugged runs and plain runs share one summary
+/// type because they share one runner (pregel::RunJob).
+using DebugRunSummary = pregel::JobRunSummary;
 
 /// Runs a Giraph job under Graft (§3.1 architecture figure: "Submits
-/// original Giraph program and DebugConfig to Graft"): resolves the
-/// DebugConfig's capture targets against the loaded graph, wraps the user's
-/// computation with the Instrumenter, subscribes a master-context capture
-/// observer, runs the engine, and returns the capture summary. Trace files
-/// land in `store` under `options.job_id`.
-///
-/// `post_run` (optional) is invoked with the engine after the run so callers
-/// can inspect final vertex values without re-running. `pre_run` (optional)
-/// is invoked before Engine::Run — the hook for attaching extensions such as
-/// the InvariantChecker (§7 complex constraints).
+/// original Giraph program and DebugConfig to Graft"). Thin veneer over
+/// pregel::RunJob — capture wiring, checkpointing, fault injection, and
+/// recovery all live there; this entry point only asserts that the spec
+/// actually asks for debugging. Trace files land in `spec.trace_store`
+/// under `spec.options.job_id`.
 template <pregel::JobTraits Traits>
-DebugRunSummary RunWithGraft(
-    typename pregel::Engine<Traits>::Options options,
-    std::vector<pregel::Vertex<Traits>> vertices,
-    pregel::ComputationFactory<Traits> user_factory,
-    pregel::MasterFactory master_factory, const DebugConfig<Traits>& config,
-    TraceStore* store,
-    std::function<void(pregel::Engine<Traits>&)> post_run = nullptr,
-    std::function<void(pregel::Engine<Traits>&)> pre_run = nullptr) {
-  CaptureManager<Traits> manager(store, &config, options.job_id);
-  manager.PrepareTargets(vertices);
-
-  /// Captures the master context every superstep (§3.4: Graft does this
-  /// automatically whenever the program has a master.compute()).
-  class MasterCaptureObserver final
-      : public pregel::Engine<Traits>::SuperstepObserver {
-   public:
-    MasterCaptureObserver(CaptureManager<Traits>* manager, bool has_master)
-        : manager_(manager), has_master_(has_master) {}
-
-    void OnSuperstepStart(
-        int64_t superstep,
-        const std::map<std::string, pregel::AggValue>& aggs) override {
-      (void)superstep;
-      before_ = aggs;
-    }
-    void OnMasterComputed(int64_t superstep,
-                          const std::map<std::string, pregel::AggValue>& aggs,
-                          bool master_halted) override {
-      if (!has_master_) return;
-      if (!manager_->config().ShouldCaptureSuperstep(superstep)) return;
-      MasterTrace trace;
-      trace.superstep = superstep;
-      trace.total_vertices = engine_->NumAliveVertices();
-      trace.total_edges = engine_->NumEdges();
-      trace.aggregators = before_;
-      trace.aggregators_after = aggs;
-      trace.halted = master_halted;
-      manager_->RecordMasterTrace(trace);
-    }
-    void set_engine(const pregel::Engine<Traits>* engine) { engine_ = engine; }
-
-   private:
-    CaptureManager<Traits>* manager_;
-    bool has_master_;
-    std::map<std::string, pregel::AggValue> before_;
-    const pregel::Engine<Traits>* engine_ = nullptr;
-  };
-
-  const bool has_master = master_factory != nullptr;
-  // `options` is moved into the engine below; keep what the wiring needs.
-  obs::MetricsRegistry* metrics = options.metrics;
-  pregel::Engine<Traits> engine(
-      std::move(options), std::move(vertices),
-      InstrumentFactory<Traits>(std::move(user_factory), &manager),
-      std::move(master_factory));
-  MasterCaptureObserver observer(&manager, has_master);
-  observer.set_engine(&engine);
-  engine.AddObserver(&observer);
-
-  if (pre_run) pre_run(engine);
-
-  DebugRunSummary summary;
-  auto stats = engine.Run();
-  if (stats.ok()) {
-    summary.stats = std::move(stats).value();
-  } else {
-    summary.job_status = stats.status();
+Result<DebugRunSummary> RunWithGraft(pregel::JobSpec<Traits> spec) {
+  if (spec.debug_config == nullptr) {
+    return Status::InvalidArgument(
+        "RunWithGraft requires JobSpec.debug_config (use pregel::RunJob for "
+        "un-instrumented runs)");
   }
-  summary.captures = manager.num_captures();
-  summary.violations = manager.num_violations();
-  summary.exceptions = manager.num_exceptions();
-  summary.dropped_by_capture_limit = manager.num_dropped_by_limit();
-  summary.trace_bytes = manager.TraceBytes();
-  // Attach the capture-overhead half of the run report (the engine filled
-  // the phase-timing half during Run).
-  manager.FillCaptureProfile(&summary.stats.report.capture);
-  if (metrics != nullptr) {
-    manager.ExportMetrics(metrics);
-    store->ExportMetrics(metrics);
-  }
-  if (post_run) post_run(engine);
-  return summary;
+  return pregel::RunJob(std::move(spec));
 }
 
 }  // namespace debug

@@ -170,7 +170,13 @@ class InstrumentedComputation : public pregel::Computation<Traits> {
       trace.aggregations = ictx.TakeAggregations();
       trace.violations = std::move(violations);
       trace.exception = exception;
-      manager_->RecordVertexTrace(trace, ctx.worker_index());
+      Result<bool> recorded =
+          manager_->RecordVertexTrace(trace, ctx.worker_index());
+      if (!recorded.ok()) {
+        // Capture I/O failure — an infrastructure abort (retryable from a
+        // checkpoint), not a vertex bug.
+        throw pregel::WorkerAbortError(recorded.status());
+      }
     }
 
     if (exception.has_value() &&
@@ -206,7 +212,11 @@ class InstrumentedComputation : public pregel::Computation<Traits> {
       trace.value_after = vertex.value();
       trace.halted_after = vertex.halted();
       trace.exception = std::move(exception);
-      manager_->RecordVertexTrace(trace, ctx.worker_index());
+      Result<bool> recorded =
+          manager_->RecordVertexTrace(trace, ctx.worker_index());
+      if (!recorded.ok()) {
+        throw pregel::WorkerAbortError(recorded.status());
+      }
     }
     if (manager_->config().AbortOnException()) {
       throw pregel::VertexComputeError(message);

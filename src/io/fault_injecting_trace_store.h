@@ -1,0 +1,90 @@
+#ifndef GRAFT_IO_FAULT_INJECTING_TRACE_STORE_H_
+#define GRAFT_IO_FAULT_INJECTING_TRACE_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "io/trace_store.h"
+
+namespace graft {
+
+/// TraceStore decorator that consults a FaultInjector on every Append and
+/// Flush, failing them with Status::Unavailable when a kStoreAppend /
+/// kStoreFlush fault is armed for the current superstep. Reads and
+/// administrative operations (ListFiles, DeletePrefix, ...) always pass
+/// through — the injector models write-path infrastructure failures, and
+/// recovery itself must be able to read checkpoints back.
+///
+/// Successful operations are mirrored into this store's own IoStats so
+/// capture-overhead accounting keeps working when callers hold the wrapper.
+class FaultInjectingTraceStore final : public TraceStore {
+ public:
+  FaultInjectingTraceStore(TraceStore* inner, FaultInjector* injector)
+      : inner_(inner), injector_(injector) {
+    GRAFT_CHECK(inner_ != nullptr);
+    GRAFT_CHECK(injector_ != nullptr);
+  }
+
+  Status Append(const std::string& file, std::string_view record) override {
+    if (injector_->ShouldFail(FaultSite::kStoreAppend)) {
+      return Status::Unavailable(
+          "injected store-append fault at superstep " +
+          std::to_string(injector_->current_superstep()) + " (" + file + ")");
+    }
+    Stopwatch clock;
+    Status status = inner_->Append(file, record);
+    if (status.ok()) AccountAppend(record.size(), clock.ElapsedSeconds());
+    return status;
+  }
+
+  Result<std::vector<std::string>> ReadAll(
+      const std::string& file) const override {
+    return inner_->ReadAll(file);
+  }
+
+  bool Exists(const std::string& file) const override {
+    return inner_->Exists(file);
+  }
+
+  std::vector<std::string> ListFiles(
+      const std::string& prefix) const override {
+    return inner_->ListFiles(prefix);
+  }
+
+  uint64_t TotalBytes(const std::string& prefix) const override {
+    return inner_->TotalBytes(prefix);
+  }
+
+  uint64_t RecordCount(const std::string& file) const override {
+    return inner_->RecordCount(file);
+  }
+
+  Status DeletePrefix(const std::string& prefix) override {
+    return inner_->DeletePrefix(prefix);
+  }
+
+  Status Flush() override {
+    if (injector_->ShouldFail(FaultSite::kStoreFlush)) {
+      return Status::Unavailable(
+          "injected store-flush fault at superstep " +
+          std::to_string(injector_->current_superstep()));
+    }
+    Stopwatch clock;
+    Status status = inner_->Flush();
+    if (status.ok()) AccountFlush(clock.ElapsedSeconds());
+    return status;
+  }
+
+  TraceStore* inner() const { return inner_; }
+
+ private:
+  TraceStore* inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace graft
+
+#endif  // GRAFT_IO_FAULT_INJECTING_TRACE_STORE_H_

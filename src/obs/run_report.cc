@@ -140,6 +140,26 @@ void RunReport::AppendJson(JsonWriter* writer) const {
   w.KV("store_appends", capture.store_appends);
   w.KV("store_flushes", capture.store_flushes);
   w.EndObject();
+  w.Key("recovery");
+  w.BeginObject();
+  w.KV("checkpoints_enabled", recovery.checkpoints_enabled);
+  w.KV("checkpoints_written", recovery.checkpoints_written);
+  w.KV("checkpoint_bytes", recovery.checkpoint_bytes);
+  w.KV("checkpoint_seconds", recovery.checkpoint_seconds);
+  w.KV("restore_seconds", recovery.restore_seconds);
+  w.KV("recoveries", recovery.recoveries);
+  w.Key("events");
+  w.BeginArray();
+  for (const RecoveryEvent& e : recovery.events) {
+    w.BeginObject();
+    w.KV("attempt", static_cast<int64_t>(e.attempt));
+    w.KV("restored_superstep", e.restored_superstep);
+    w.KV("cause", e.cause);
+    w.KV("restore_seconds", e.restore_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
   w.EndObject();
 }
 
@@ -192,6 +212,13 @@ std::string RunReport::ToPrometheusText(std::string_view prefix) const {
     gauge("capture_trace_bytes", std::to_string(capture.trace_bytes));
     gauge("capture_store_appends", std::to_string(capture.store_appends));
     gauge("capture_store_flushes", std::to_string(capture.store_flushes));
+  }
+  if (recovery.checkpoints_enabled) {
+    gauge("checkpoints_written", std::to_string(recovery.checkpoints_written));
+    gauge("checkpoint_bytes", std::to_string(recovery.checkpoint_bytes));
+    gauge("checkpoint_seconds", PromDouble(recovery.checkpoint_seconds));
+    gauge("restore_seconds", PromDouble(recovery.restore_seconds));
+    gauge("recoveries", std::to_string(recovery.recoveries));
   }
   return out;
 }

@@ -76,6 +76,28 @@ struct CaptureProfile {
   double OverheadSeconds() const { return serialize_seconds + append_seconds; }
 };
 
+/// One recovery: the JobRunner restarted the job from a checkpoint after a
+/// retryable (kUnavailable) failure.
+struct RecoveryEvent {
+  int attempt = 0;                // 1-based retry attempt number
+  int64_t restored_superstep = 0; // superstep the checkpoint resumed at
+  std::string cause;              // status message of the failure recovered
+  double restore_seconds = 0.0;   // time spent rebuilding engine state
+};
+
+/// Checkpoint/recovery accounting for one job (DESIGN.md "Fault tolerance &
+/// recovery"): what checkpointing cost, and every recovery the JobRunner
+/// performed. Checkpoint counters are cumulative across recovery attempts.
+struct RecoveryProfile {
+  bool checkpoints_enabled = false;
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_bytes = 0;     // serialized payload bytes
+  double checkpoint_seconds = 0.0;   // wall time inside checkpoint writes
+  double restore_seconds = 0.0;      // wall time inside checkpoint restores
+  uint64_t recoveries = 0;           // == events.size()
+  std::vector<RecoveryEvent> events;
+};
+
 /// Machine-readable profile of one Engine::Run(): per-worker x per-superstep
 /// phase timings plus capture-overhead accounting. Attached to JobStats.
 struct RunReport {
@@ -85,6 +107,7 @@ struct RunReport {
   double total_seconds = 0.0;
   std::vector<SuperstepProfile> per_superstep;
   CaptureProfile capture;
+  RecoveryProfile recovery;
 
   // -- aggregates over per_superstep --
   double TotalComputeWallSeconds() const;

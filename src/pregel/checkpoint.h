@@ -1,0 +1,231 @@
+#ifndef GRAFT_PREGEL_CHECKPOINT_H_
+#define GRAFT_PREGEL_CHECKPOINT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "io/trace_store.h"
+#include "pregel/agg_value.h"
+#include "pregel/job_stats.h"
+
+namespace graft {
+namespace pregel {
+
+/// Checkpoint policy, part of Engine::Options / JobSpec (DESIGN.md "Fault
+/// tolerance & recovery"). A checkpoint labelled S snapshots the engine's
+/// state at the *start* of superstep S — after the previous superstep's
+/// mutations were applied and its messages delivered into inboxes, before
+/// master/compute run — so recovery resumes by executing superstep S.
+struct CheckpointOptions {
+  /// Supersteps between checkpoints; 0 disables checkpointing. When > 0 the
+  /// engine also writes checkpoint 0 (the loaded input graph) before the
+  /// first superstep, so any later failure has a recovery point.
+  int64_t interval = 0;
+  /// Where checkpoints are written. JobSpec defaults this to the job's
+  /// trace store; plain (non-debug) jobs must set it explicitly.
+  TraceStore* store = nullptr;
+  /// Committed checkpoints retained; older ones are garbage-collected via
+  /// DeletePrefix after each successful commit.
+  int keep = 1;
+
+  bool enabled() const { return interval > 0 && store != nullptr; }
+};
+
+/// Checkpoint file layout inside the TraceStore. The `checkpoints/` root
+/// keeps checkpoint files disjoint from the job's trace files (which live
+/// under `<job_id>/...`), so trace pruning and checkpoint GC cannot step on
+/// each other.
+///
+///   checkpoints/<job>/superstep_%06lld/part-%03d   one record per partition
+///   checkpoints/<job>/superstep_%06lld/meta        CheckpointMeta record
+///   checkpoints/<job>/superstep_%06lld/COMMIT      written last, after Flush
+inline std::string CheckpointJobPrefix(const std::string& job_id) {
+  return "checkpoints/" + job_id + "/";
+}
+inline std::string CheckpointDir(const std::string& job_id,
+                                 int64_t superstep) {
+  return StrFormat("checkpoints/%s/superstep_%06lld/", job_id.c_str(),
+                   static_cast<long long>(superstep));
+}
+inline std::string CheckpointPartFile(const std::string& job_id,
+                                      int64_t superstep, int partition) {
+  return CheckpointDir(job_id, superstep) + StrFormat("part-%03d", partition);
+}
+inline std::string CheckpointMetaFile(const std::string& job_id,
+                                      int64_t superstep) {
+  return CheckpointDir(job_id, superstep) + "meta";
+}
+inline std::string CheckpointCommitFile(const std::string& job_id,
+                                        int64_t superstep) {
+  return CheckpointDir(job_id, superstep) + "COMMIT";
+}
+
+/// Everything a checkpoint needs beyond the per-partition vertex records:
+/// resume coordinates, consistency counters, aggregator state, and the
+/// JobStats prefix of the supersteps already executed (so a recovered run
+/// reports complete whole-job statistics).
+struct CheckpointMeta {
+  static constexpr uint8_t kFormatVersion = 1;
+
+  int64_t superstep = 0;
+  int num_partitions = 0;
+  /// Messages sitting in inboxes at the start of `superstep` (the "messages
+  /// in flight" half of the termination check on resume). With a combiner
+  /// this is the pre-combining delivered count, which the inbox contents no
+  /// longer reveal — hence it is persisted rather than recounted on restore.
+  uint64_t pending_messages = 0;
+  /// Messages dropped by the delivery phase of `superstep` (delivery runs
+  /// before the checkpoint boundary, but the drop count lands in the
+  /// superstep's stats entry recorded after it — a resumed run must
+  /// re-credit it or under-report drops versus the fault-free run).
+  uint64_t messages_dropped_at_resume = 0;
+  /// Per-partition (alive, edge, awake) counters for restore validation.
+  struct PartitionCounters {
+    uint64_t alive = 0;
+    uint64_t edges = 0;
+    uint64_t awake = 0;
+  };
+  std::vector<PartitionCounters> partitions;
+  /// Aggregator values visible at the start of `superstep` (merged at the
+  /// end of superstep-1). Specs are re-registered by master Initialize on
+  /// recovery, so only values are persisted.
+  std::map<std::string, AggValue> aggregators;
+  // JobStats prefix for supersteps 0 .. superstep-1.
+  uint64_t total_messages = 0;
+  uint64_t total_messages_dropped = 0;
+  std::vector<SuperstepStats> per_superstep;
+
+  std::string Serialize() const {
+    BinaryWriter w;
+    w.WriteU8(kFormatVersion);
+    w.WriteVarint(static_cast<uint64_t>(superstep));
+    w.WriteVarint(static_cast<uint64_t>(num_partitions));
+    w.WriteVarint(pending_messages);
+    w.WriteVarint(messages_dropped_at_resume);
+    for (const PartitionCounters& p : partitions) {
+      w.WriteVarint(p.alive);
+      w.WriteVarint(p.edges);
+      w.WriteVarint(p.awake);
+    }
+    w.WriteVarint(aggregators.size());
+    for (const auto& [name, value] : aggregators) {
+      w.WriteString(name);
+      value.Write(w);
+    }
+    w.WriteVarint(total_messages);
+    w.WriteVarint(total_messages_dropped);
+    w.WriteVarint(per_superstep.size());
+    for (const SuperstepStats& ss : per_superstep) {
+      w.WriteVarint(static_cast<uint64_t>(ss.superstep));
+      w.WriteVarint(ss.active_vertices);
+      w.WriteVarint(ss.messages_sent);
+      w.WriteVarint(ss.messages_dropped);
+      w.WriteVarint(ss.vertices_removed);
+      w.WriteVarint(ss.edges_added);
+      w.WriteVarint(ss.edges_removed);
+      w.WriteDouble(ss.seconds);
+    }
+    return std::move(w.TakeBuffer());
+  }
+
+  static Result<CheckpointMeta> Parse(std::string_view data) {
+    BinaryReader r(data);
+    CheckpointMeta meta;
+    GRAFT_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+    if (version != kFormatVersion) {
+      return Status::InvalidArgument(
+          StrFormat("unsupported checkpoint format version %d", version));
+    }
+    GRAFT_ASSIGN_OR_RETURN(uint64_t superstep, r.ReadVarint());
+    meta.superstep = static_cast<int64_t>(superstep);
+    GRAFT_ASSIGN_OR_RETURN(uint64_t parts, r.ReadVarint());
+    meta.num_partitions = static_cast<int>(parts);
+    GRAFT_ASSIGN_OR_RETURN(meta.pending_messages, r.ReadVarint());
+    GRAFT_ASSIGN_OR_RETURN(meta.messages_dropped_at_resume, r.ReadVarint());
+    meta.partitions.resize(parts);
+    for (uint64_t p = 0; p < parts; ++p) {
+      GRAFT_ASSIGN_OR_RETURN(meta.partitions[p].alive, r.ReadVarint());
+      GRAFT_ASSIGN_OR_RETURN(meta.partitions[p].edges, r.ReadVarint());
+      GRAFT_ASSIGN_OR_RETURN(meta.partitions[p].awake, r.ReadVarint());
+    }
+    GRAFT_ASSIGN_OR_RETURN(uint64_t num_aggs, r.ReadVarint());
+    for (uint64_t i = 0; i < num_aggs; ++i) {
+      GRAFT_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+      GRAFT_ASSIGN_OR_RETURN(AggValue value, AggValue::Read(r));
+      meta.aggregators.emplace(std::move(name), std::move(value));
+    }
+    GRAFT_ASSIGN_OR_RETURN(meta.total_messages, r.ReadVarint());
+    GRAFT_ASSIGN_OR_RETURN(meta.total_messages_dropped, r.ReadVarint());
+    GRAFT_ASSIGN_OR_RETURN(uint64_t num_ss, r.ReadVarint());
+    meta.per_superstep.resize(num_ss);
+    for (uint64_t i = 0; i < num_ss; ++i) {
+      SuperstepStats& ss = meta.per_superstep[i];
+      GRAFT_ASSIGN_OR_RETURN(uint64_t s, r.ReadVarint());
+      ss.superstep = static_cast<int64_t>(s);
+      GRAFT_ASSIGN_OR_RETURN(ss.active_vertices, r.ReadVarint());
+      GRAFT_ASSIGN_OR_RETURN(ss.messages_sent, r.ReadVarint());
+      GRAFT_ASSIGN_OR_RETURN(ss.messages_dropped, r.ReadVarint());
+      GRAFT_ASSIGN_OR_RETURN(ss.vertices_removed, r.ReadVarint());
+      GRAFT_ASSIGN_OR_RETURN(ss.edges_added, r.ReadVarint());
+      GRAFT_ASSIGN_OR_RETURN(ss.edges_removed, r.ReadVarint());
+      GRAFT_ASSIGN_OR_RETURN(ss.seconds, r.ReadDouble());
+    }
+    return meta;
+  }
+};
+
+/// Supersteps of all committed checkpoints for `job_id`, ascending. A
+/// checkpoint is committed iff its COMMIT marker exists — partially-written
+/// checkpoints (a crash mid-write) are invisible to recovery.
+inline std::vector<int64_t> ListCommittedCheckpoints(
+    const TraceStore& store, const std::string& job_id) {
+  const std::string prefix = CheckpointJobPrefix(job_id);
+  std::vector<int64_t> supersteps;
+  for (const std::string& file : store.ListFiles(prefix)) {
+    const std::string_view rest = std::string_view(file).substr(prefix.size());
+    long long s = 0;
+    if (rest.size() > 10 && rest.substr(0, 10) == "superstep_" &&
+        rest.substr(rest.find('/') + 1) == "COMMIT") {
+      s = std::stoll(std::string(rest.substr(10, rest.find('/') - 10)));
+      supersteps.push_back(static_cast<int64_t>(s));
+    }
+  }
+  std::sort(supersteps.begin(), supersteps.end());
+  return supersteps;
+}
+
+/// Latest committed checkpoint, or NotFound when the job has none.
+inline Result<int64_t> LatestCommittedCheckpoint(const TraceStore& store,
+                                                 const std::string& job_id) {
+  std::vector<int64_t> all = ListCommittedCheckpoints(store, job_id);
+  if (all.empty()) {
+    return Status::NotFound("no committed checkpoint for job '" + job_id +
+                            "'");
+  }
+  return all.back();
+}
+
+/// Deletes all but the newest `keep` committed checkpoints (and any
+/// uncommitted leftovers older than the newest kept one).
+inline Status GarbageCollectCheckpoints(TraceStore& store,
+                                        const std::string& job_id, int keep) {
+  if (keep < 1) keep = 1;
+  std::vector<int64_t> all = ListCommittedCheckpoints(store, job_id);
+  if (static_cast<int>(all.size()) <= keep) return Status::OK();
+  for (size_t i = 0; i + static_cast<size_t>(keep) < all.size(); ++i) {
+    GRAFT_RETURN_NOT_OK(store.DeletePrefix(CheckpointDir(job_id, all[i])));
+  }
+  return Status::OK();
+}
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_CHECKPOINT_H_

@@ -4,8 +4,11 @@
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "pregel/compute_context.h"
 #include "pregel/vertex.h"
 
@@ -47,6 +50,24 @@ class VertexComputeError : public std::runtime_error {
  public:
   explicit VertexComputeError(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+/// Internal control-flow exception for infrastructure failures discovered on
+/// a worker thread (e.g. the Graft instrumenter's trace append failing). The
+/// engine unwinds it into an engine-level abort carrying `status` — it is
+/// NOT treated as a user compute error, so a retryable kUnavailable fault
+/// stays retryable instead of being misreported as a vertex bug.
+class WorkerAbortError : public std::exception {
+ public:
+  explicit WorkerAbortError(Status status)
+      : status_(std::move(status)), what_(status_.ToString()) {}
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
 };
 
 }  // namespace pregel

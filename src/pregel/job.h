@@ -1,0 +1,335 @@
+#ifndef GRAFT_PREGEL_JOB_H_
+#define GRAFT_PREGEL_JOB_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "debug/capture_manager.h"
+#include "debug/debug_config.h"
+#include "debug/instrumented_computation.h"
+#include "io/fault_injecting_trace_store.h"
+#include "io/trace_store.h"
+#include "obs/run_report.h"
+#include "pregel/checkpoint.h"
+#include "pregel/engine.h"
+
+namespace graft {
+namespace pregel {
+
+/// Everything that defines one job run, in one named-field struct — the
+/// single configuration surface for plain runs, debugged (Graft) runs, and
+/// checkpointed/fault-injected runs (ISSUE 3: no loose positional config).
+/// DESIGN.md documents the mapping from the old positional RunWithGraft
+/// parameters onto these fields.
+template <JobTraits Traits>
+struct JobSpec {
+  /// Engine-level knobs (workers, seed, combiner, job_id, metrics...). The
+  /// `options.checkpoint` and `options.fault_injector` fields are overwritten
+  /// by the top-level `checkpoint` / `fault_injector` fields below — set
+  /// those instead.
+  typename Engine<Traits>::Options options;
+
+  /// The input graph. Consumed by RunJob (moved into the first engine).
+  std::vector<Vertex<Traits>> vertices;
+
+  /// Per-worker computation factory. Required.
+  ComputationFactory<Traits> computation;
+  /// Optional master.compute() factory.
+  MasterFactory master;
+
+  /// Graft capture configuration; null runs the job without instrumentation.
+  /// Requires `trace_store`.
+  const debug::DebugConfig<Traits>* debug_config = nullptr;
+  /// Where vertex/master traces land (under `options.job_id/`). Also the
+  /// default checkpoint store.
+  TraceStore* trace_store = nullptr;
+
+  /// Superstep checkpointing. `checkpoint.store` defaults to `trace_store`
+  /// when unset; interval 0 disables checkpointing (and recovery).
+  CheckpointOptions checkpoint;
+  /// Optional deterministic fault injector: compute/delivery faults are
+  /// checked by the engine, store faults by wrapping the configured stores
+  /// in FaultInjectingTraceStore. Injector state (budgets, armed points)
+  /// persists across recovery attempts, so a one-shot fault fires once.
+  FaultInjector* fault_injector = nullptr;
+  /// Recovery attempts after retryable (kUnavailable) failures before the
+  /// failure is reported. Only meaningful with checkpointing enabled.
+  int max_recovery_attempts = 3;
+
+  /// Invoked with the engine before/after each attempt's Run() — the hook
+  /// for attaching extensions (InvariantChecker) and for reading final
+  /// vertex values without re-running.
+  std::function<void(Engine<Traits>&)> pre_run;
+  std::function<void(Engine<Traits>&)> post_run;
+};
+
+/// Outcome of a RunJob call: job stats plus capture and recovery summaries.
+/// The programmatic equivalent of the paper GUI's header bar, extended with
+/// the fault-tolerance column.
+struct JobRunSummary {
+  JobStats stats;
+  /// Non-OK when the job failed terminally: kAborted for a deterministic
+  /// user-compute error (never retried — it would recur on replay), or the
+  /// final kUnavailable when recovery attempts were exhausted or impossible.
+  /// Traces written before the failure remain readable — that is the point
+  /// of the debugger.
+  Status job_status;
+  uint64_t captures = 0;
+  uint64_t violations = 0;
+  uint64_t exceptions = 0;
+  uint64_t dropped_by_capture_limit = 0;
+  uint64_t trace_bytes = 0;
+  /// Engine runs executed (1 = no recovery happened).
+  int attempts = 1;
+  /// One entry per successful restore-from-checkpoint.
+  std::vector<obs::RecoveryEvent> recoveries;
+};
+
+/// Runs a JobSpec to completion — the one code path behind Engine-style
+/// plain runs, debug::RunWithGraft, and checkpoint recovery:
+///
+///   1. wraps the user computation with the Graft Instrumenter when a
+///      DebugConfig is present, and the stores with fault decorators when an
+///      injector is armed;
+///   2. runs the engine; on a retryable (kUnavailable) failure, restores a
+///      fresh engine from the latest committed checkpoint, prunes traces of
+///      re-executed supersteps, rewinds the capture counters to their
+///      checkpoint-time snapshot, and retries — up to max_recovery_attempts;
+///   3. folds capture counters, checkpoint accounting, and recovery events
+///      into the summary's JobStats::report.
+///
+/// Returns a Status error only for unusable specs and unrecoverable restore
+/// corruption; job-level failures (compute errors, exhausted retries) are
+/// reported in JobRunSummary::job_status with the partial evidence intact.
+template <JobTraits Traits>
+Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
+  using EngineT = Engine<Traits>;
+  if (spec.computation == nullptr) {
+    return Status::InvalidArgument("JobSpec.computation is required");
+  }
+  if (spec.debug_config != nullptr && spec.trace_store == nullptr) {
+    return Status::InvalidArgument(
+        "JobSpec.debug_config requires JobSpec.trace_store");
+  }
+  CheckpointOptions ckpt = spec.checkpoint;
+  if (ckpt.store == nullptr) ckpt.store = spec.trace_store;
+  if (spec.checkpoint.interval > 0 && ckpt.store == nullptr) {
+    return Status::InvalidArgument(
+        "JobSpec.checkpoint.interval > 0 requires a checkpoint store "
+        "(checkpoint.store or trace_store)");
+  }
+
+  // Store wrapping: one fault decorator per distinct underlying store, so
+  // injected store faults hit capture appends and checkpoint writes alike.
+  std::optional<FaultInjectingTraceStore> faulty_traces;
+  std::optional<FaultInjectingTraceStore> faulty_ckpt;
+  TraceStore* trace_store = spec.trace_store;
+  if (spec.fault_injector != nullptr && trace_store != nullptr) {
+    faulty_traces.emplace(trace_store, spec.fault_injector);
+    trace_store = &*faulty_traces;
+  }
+  if (ckpt.store != nullptr && spec.fault_injector != nullptr) {
+    if (ckpt.store == spec.trace_store) {
+      ckpt.store = trace_store;
+    } else {
+      faulty_ckpt.emplace(ckpt.store, spec.fault_injector);
+      ckpt.store = &*faulty_ckpt;
+    }
+  }
+
+  std::optional<debug::CaptureManager<Traits>> manager;
+  if (spec.debug_config != nullptr) {
+    manager.emplace(trace_store, spec.debug_config, spec.options.job_id);
+    manager->PrepareTargets(spec.vertices);
+  }
+
+  // Capture-counter snapshots keyed by checkpoint superstep: recovery
+  // rewinds the (shared, cross-attempt) manager so re-executed captures are
+  // not double-counted.
+  std::map<int64_t, debug::CaptureCounters> snapshots;
+  class SnapshotObserver final : public EngineT::SuperstepObserver {
+   public:
+    SnapshotObserver(debug::CaptureManager<Traits>* manager,
+                     std::map<int64_t, debug::CaptureCounters>* snapshots)
+        : manager_(manager), snapshots_(snapshots) {}
+    void OnCheckpoint(int64_t superstep) override {
+      if (manager_ != nullptr) {
+        (*snapshots_)[superstep] = manager_->SnapshotCounters();
+      }
+    }
+
+   private:
+    debug::CaptureManager<Traits>* manager_;
+    std::map<int64_t, debug::CaptureCounters>* snapshots_;
+  };
+  SnapshotObserver snapshot_observer(manager ? &*manager : nullptr,
+                                     &snapshots);
+
+  /// Captures the master context every superstep (§3.4: Graft does this
+  /// automatically whenever the program has a master.compute()). A failed
+  /// master-trace append aborts the run with the store's status instead of
+  /// being logged and dropped.
+  class MasterCaptureObserver final : public EngineT::SuperstepObserver {
+   public:
+    MasterCaptureObserver(debug::CaptureManager<Traits>* manager,
+                          bool has_master)
+        : manager_(manager), has_master_(has_master) {}
+
+    void OnSuperstepStart(int64_t superstep,
+                          const std::map<std::string, AggValue>& aggs)
+        override {
+      (void)superstep;
+      before_ = aggs;
+    }
+    void OnMasterComputed(int64_t superstep,
+                          const std::map<std::string, AggValue>& aggs,
+                          bool master_halted) override {
+      if (!has_master_ || manager_ == nullptr) return;
+      if (!manager_->config().ShouldCaptureSuperstep(superstep)) return;
+      debug::MasterTrace trace;
+      trace.superstep = superstep;
+      trace.total_vertices = engine_->NumAliveVertices();
+      trace.total_edges = engine_->NumEdges();
+      trace.aggregators = before_;
+      trace.aggregators_after = aggs;
+      trace.halted = master_halted;
+      Status recorded = manager_->RecordMasterTrace(trace);
+      if (!recorded.ok()) engine_->RequestAbort(std::move(recorded));
+    }
+    void set_engine(EngineT* engine) { engine_ = engine; }
+
+   private:
+    debug::CaptureManager<Traits>* manager_;
+    bool has_master_;
+    std::map<std::string, AggValue> before_;
+    EngineT* engine_ = nullptr;
+  };
+  MasterCaptureObserver master_observer(manager ? &*manager : nullptr,
+                                        spec.master != nullptr);
+
+  typename EngineT::Options options = spec.options;
+  options.checkpoint = ckpt;
+  options.fault_injector = spec.fault_injector;
+  const std::string job_id = options.job_id;
+  const int max_attempts = std::max(0, spec.max_recovery_attempts);
+
+  JobRunSummary summary;
+  std::vector<obs::RecoveryEvent> recoveries;
+  // Checkpoint accounting of failed attempts, folded into the final report
+  // (a failed Run() returns no JobStats to carry them).
+  uint64_t prior_ckpt_written = 0;
+  uint64_t prior_ckpt_bytes = 0;
+  double prior_ckpt_seconds = 0.0;
+  double prior_restore_seconds = 0.0;
+  Status last_failure = Status::OK();
+
+  for (int attempt = 0;; ++attempt) {
+    ComputationFactory<Traits> factory =
+        manager ? debug::InstrumentFactory<Traits>(spec.computation,
+                                                   &*manager)
+                : spec.computation;
+    EngineT engine(options,
+                   attempt == 0 ? std::move(spec.vertices)
+                                : std::vector<Vertex<Traits>>{},
+                   std::move(factory), spec.master);
+    if (attempt > 0) {
+      Result<int64_t> latest =
+          LatestCommittedCheckpoint(*ckpt.store, job_id);
+      if (!latest.ok()) {
+        // Nothing to recover from; report the original failure.
+        summary.job_status = last_failure;
+        break;
+      }
+      const int64_t resume = *latest;
+      GRAFT_RETURN_NOT_OK(engine.RestoreFromCheckpoint(resume));
+      if (manager) {
+        // Re-executed supersteps re-capture: drop their stale trace files
+        // and rewind the counters to the checkpoint's snapshot, so the
+        // recovered run's traces and counts are exactly the fault-free ones.
+        GRAFT_RETURN_NOT_OK(
+            debug::PruneTracesFrom(*trace_store, job_id, resume));
+        auto snap = snapshots.find(resume);
+        manager->RestoreCounters(snap != snapshots.end()
+                                     ? snap->second
+                                     : debug::CaptureCounters{});
+      }
+      obs::RecoveryEvent event;
+      event.attempt = attempt;
+      event.restored_superstep = resume;
+      event.cause = last_failure.ToString();
+      event.restore_seconds = engine.restore_seconds();
+      recoveries.push_back(std::move(event));
+    }
+    engine.AddObserver(&snapshot_observer);
+    master_observer.set_engine(&engine);
+    engine.AddObserver(&master_observer);
+    if (spec.pre_run) spec.pre_run(engine);
+
+    Result<JobStats> stats = engine.Run();
+    summary.attempts = attempt + 1;
+    if (stats.ok()) {
+      summary.stats = std::move(stats).value();
+      summary.job_status = Status::OK();
+      obs::RecoveryProfile& rec = summary.stats.report.recovery;
+      rec.checkpoints_written += prior_ckpt_written;
+      rec.checkpoint_bytes += prior_ckpt_bytes;
+      rec.checkpoint_seconds += prior_ckpt_seconds;
+      rec.restore_seconds += prior_restore_seconds;
+      rec.recoveries = recoveries.size();
+      rec.events = recoveries;
+      if (spec.post_run) spec.post_run(engine);
+      break;
+    }
+    prior_ckpt_written += engine.checkpoints_written();
+    prior_ckpt_bytes += engine.checkpoint_bytes();
+    prior_ckpt_seconds += engine.checkpoint_seconds();
+    prior_restore_seconds += engine.restore_seconds();
+    last_failure = stats.status();
+    if (last_failure.IsUnavailable() && options.checkpoint.enabled() &&
+        attempt < max_attempts) {
+      continue;  // retry from the latest committed checkpoint
+    }
+    summary.job_status = last_failure;
+    // Even a failed run reports its fault-tolerance accounting.
+    obs::RecoveryProfile& rec = summary.stats.report.recovery;
+    rec.checkpoints_enabled = options.checkpoint.enabled();
+    rec.checkpoints_written = prior_ckpt_written;
+    rec.checkpoint_bytes = prior_ckpt_bytes;
+    rec.checkpoint_seconds = prior_ckpt_seconds;
+    rec.restore_seconds = prior_restore_seconds;
+    rec.recoveries = recoveries.size();
+    rec.events = recoveries;
+    break;
+  }
+  summary.recoveries = std::move(recoveries);
+
+  if (manager) {
+    summary.captures = manager->num_captures();
+    summary.violations = manager->num_violations();
+    summary.exceptions = manager->num_exceptions();
+    summary.dropped_by_capture_limit = manager->num_dropped_by_limit();
+    summary.trace_bytes = manager->TraceBytes();
+    // Attach the capture-overhead half of the run report (the engine filled
+    // the phase-timing half during Run).
+    manager->FillCaptureProfile(&summary.stats.report.capture);
+    if (spec.options.metrics != nullptr) {
+      manager->ExportMetrics(spec.options.metrics);
+      trace_store->ExportMetrics(spec.options.metrics);
+    }
+  }
+  return summary;
+}
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_JOB_H_

@@ -259,6 +259,12 @@ class MessageStore {
   /// Empties an inbox, keeping its capacity for the next superstep.
   void ClearInbox(size_t p, size_t slot) { inboxes_[p][slot].clear(); }
 
+  /// Overwrites an inbox with checkpointed messages (recovery path). The
+  /// slot must already exist (EnsureInboxSlots ran for this partition).
+  void RestoreInbox(size_t p, size_t slot, std::vector<MessageT> messages) {
+    inboxes_[p][slot] = std::move(messages);
+  }
+
  private:
   using Entry = std::pair<VertexId, MessageT>;
 

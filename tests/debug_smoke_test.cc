@@ -41,14 +41,17 @@ TEST(DebugSmoke, CaptureSpecifiedVerticesAndReplay) {
   config.set_vertices({3, 7}).set_capture_neighbors(true);
 
   InMemoryTraceStore store;
-  pregel::Engine<CCTraits>::Options options;
-  options.job_id = "cc-smoke";
-  options.num_workers = 2;
-  auto vertices = pregel::LoadUnweighted<CCTraits>(
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = "cc-smoke";
+  spec.options.num_workers = 2;
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
       g, [](VertexId) { return pregel::Int64Value{0}; });
-  debug::DebugRunSummary summary = debug::RunWithGraft<CCTraits>(
-      options, std::move(vertices), algos::MakeConnectedComponentsFactory(),
-      nullptr, config, &store);
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary_or = debug::RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary_or.ok()) << summary_or.status();
+  debug::DebugRunSummary summary = std::move(summary_or).value();
   ASSERT_TRUE(summary.job_status.ok()) << summary.job_status;
   EXPECT_GT(summary.captures, 0u);
   EXPECT_GT(summary.trace_bytes, 0u);
@@ -81,12 +84,16 @@ TEST(DebugSmoke, GraphColoringCapturesMasterTraces) {
   config.set_num_random(2).set_capture_neighbors(true);
 
   InMemoryTraceStore store;
-  pregel::Engine<GCTraits>::Options options;
-  options.job_id = "gc-smoke";
-  debug::DebugRunSummary summary = debug::RunWithGraft<GCTraits>(
-      options, algos::LoadGraphColoringVertices(g),
-      algos::MakeGraphColoringFactory(false),
-      algos::MakeGraphColoringMasterFactory(), config, &store);
+  pregel::JobSpec<GCTraits> spec;
+  spec.options.job_id = "gc-smoke";
+  spec.vertices = algos::LoadGraphColoringVertices(g);
+  spec.computation = algos::MakeGraphColoringFactory(false);
+  spec.master = algos::MakeGraphColoringMasterFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary_or = debug::RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary_or.ok()) << summary_or.status();
+  debug::DebugRunSummary summary = std::move(summary_or).value();
   ASSERT_TRUE(summary.job_status.ok()) << summary.job_status;
   EXPECT_GT(summary.captures, 0u);
 

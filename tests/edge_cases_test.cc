@@ -99,44 +99,49 @@ TEST(DebugEdgeCases, CaptureTargetsMissingFromGraphAreIgnored) {
   debug::ConfigurableDebugConfig<CCTraits> config;
   config.set_vertices({12345});  // not in the graph
   InMemoryTraceStore store;
-  pregel::Engine<CCTraits>::Options options;
-  options.job_id = "missing-target";
-  auto vertices = pregel::LoadUnweighted<CCTraits>(
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = "missing-target";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
       graph::GenerateRing(5), [](VertexId) { return Int64Value{0}; });
-  auto summary = debug::RunWithGraft<CCTraits>(
-      options, std::move(vertices), algos::MakeConnectedComponentsFactory(),
-      nullptr, config, &store);
-  ASSERT_TRUE(summary.job_status.ok());
-  EXPECT_EQ(summary.captures, 0u);
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary = debug::RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok());
+  EXPECT_EQ(summary->captures, 0u);
 }
 
 TEST(DebugEdgeCases, ZeroMaxCapturesCapturesNothing) {
   debug::ConfigurableDebugConfig<CCTraits> config;
   config.set_capture_all_active(true).set_max_captures(0);
   InMemoryTraceStore store;
-  pregel::Engine<CCTraits>::Options options;
-  options.job_id = "zero-cap";
-  auto vertices = pregel::LoadUnweighted<CCTraits>(
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = "zero-cap";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
       graph::GenerateRing(5), [](VertexId) { return Int64Value{0}; });
-  auto summary = debug::RunWithGraft<CCTraits>(
-      options, std::move(vertices), algos::MakeConnectedComponentsFactory(),
-      nullptr, config, &store);
-  ASSERT_TRUE(summary.job_status.ok());
-  EXPECT_EQ(summary.captures, 0u);
-  EXPECT_GT(summary.dropped_by_capture_limit, 0u);
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary = debug::RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok());
+  EXPECT_EQ(summary->captures, 0u);
+  EXPECT_GT(summary->dropped_by_capture_limit, 0u);
 }
 
 TEST(DebugEdgeCases, ReadTraceFromWrongSuperstepIsNotFound) {
   debug::ConfigurableDebugConfig<CCTraits> config;
   config.set_vertices({0});
   InMemoryTraceStore store;
-  pregel::Engine<CCTraits>::Options options;
-  options.job_id = "wrong-ss";
-  auto vertices = pregel::LoadUnweighted<CCTraits>(
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = "wrong-ss";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
       graph::GenerateRing(5), [](VertexId) { return Int64Value{0}; });
-  debug::RunWithGraft<CCTraits>(options, std::move(vertices),
-                                algos::MakeConnectedComponentsFactory(),
-                                nullptr, config, &store);
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  ASSERT_TRUE(debug::RunWithGraft(std::move(spec)).ok());
   EXPECT_TRUE(debug::ReadVertexTrace<CCTraits>(store, "wrong-ss", 500, 0)
                   .status()
                   .IsNotFound());

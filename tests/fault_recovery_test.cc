@@ -1,0 +1,424 @@
+// Fault-tolerance suite (ISSUE 3 tentpole): deterministic fault injection,
+// checkpoint commit/GC mechanics, and the JobRunner recovery loop. The
+// acceptance test is PageRankRecoversByteIdentically: a worker crash mid-job
+// recovers from the latest committed checkpoint and produces byte-identical
+// traces and final vertex values versus a fault-free run of the same spec.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algos/connected_components.h"
+#include "algos/pagerank.h"
+#include "common/fault_injector.h"
+#include "debug/debug_config.h"
+#include "debug/debug_runner.h"
+#include "graph/generators.h"
+#include "io/fault_injecting_trace_store.h"
+#include "io/trace_store.h"
+#include "pregel/checkpoint.h"
+#include "pregel/job.h"
+#include "pregel/loader.h"
+
+namespace graft {
+namespace {
+
+using algos::CCTraits;
+using algos::PageRankTraits;
+using pregel::CheckpointMeta;
+using pregel::DoubleValue;
+using pregel::Int64Value;
+
+// ----------------------------------------------------------- FaultInjector --
+
+TEST(FaultInjectorTest, ArmedPointFiresOnceAtExactSite) {
+  FaultInjector injector;
+  injector.Arm({FaultSite::kWorkerCompute, /*superstep=*/3, /*partition=*/1,
+                /*hits=*/1});
+  injector.set_current_superstep(2);
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kWorkerCompute, 1));
+  injector.set_current_superstep(3);
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kWorkerCompute, 0));  // partition
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kDelivery, 1));       // site
+  EXPECT_TRUE(injector.ShouldFail(FaultSite::kWorkerCompute, 1));
+  // Budget of one hit: the same site does not fire twice.
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kWorkerCompute, 1));
+  EXPECT_EQ(injector.fired_count(), 1u);
+  ASSERT_EQ(injector.events().size(), 1u);
+  EXPECT_EQ(injector.events()[0].site, FaultSite::kWorkerCompute);
+  EXPECT_EQ(injector.events()[0].superstep, 3);
+  EXPECT_EQ(injector.events()[0].partition, 1);
+}
+
+TEST(FaultInjectorTest, WildcardsMatchAnySuperstepAndPartition) {
+  FaultInjector injector;
+  injector.Arm({FaultSite::kStoreAppend, /*superstep=*/-1, /*partition=*/-1,
+                /*hits=*/2});
+  injector.set_current_superstep(0);
+  EXPECT_TRUE(injector.ShouldFail(FaultSite::kStoreAppend));
+  injector.set_current_superstep(7);
+  EXPECT_TRUE(injector.ShouldFail(FaultSite::kStoreAppend, 4));
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kStoreAppend));  // budget spent
+  EXPECT_EQ(injector.fired_count(), 2u);
+}
+
+TEST(FaultInjectorTest, SeededInjectionIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultInjector injector;
+    injector.ArmSeeded(FaultSite::kDelivery, /*probability=*/0.2, seed,
+                       /*budget=*/3);
+    std::vector<int> fired_at;
+    for (int s = 0; s < 50; ++s) {
+      injector.set_current_superstep(s);
+      if (injector.ShouldFail(FaultSite::kDelivery, s % 4)) {
+        fired_at.push_back(s);
+      }
+    }
+    return fired_at;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_EQ(run(42).size(), 3u);  // budget is exhausted over 50 draws at p=.2
+}
+
+TEST(FaultInjectorTest, ResetClearsArmedPointsAndHistory) {
+  FaultInjector injector;
+  injector.Arm({FaultSite::kStoreFlush, -1, -1, 1});
+  injector.set_current_superstep(1);
+  EXPECT_TRUE(injector.ShouldFail(FaultSite::kStoreFlush));
+  injector.Reset();
+  EXPECT_FALSE(injector.ShouldFail(FaultSite::kStoreFlush));
+  EXPECT_EQ(injector.fired_count(), 0u);
+  EXPECT_TRUE(injector.events().empty());
+}
+
+// ------------------------------------------------ FaultInjectingTraceStore --
+
+TEST(FaultInjectingTraceStoreTest, InjectsUnavailableAndPassesThrough) {
+  InMemoryTraceStore inner;
+  FaultInjector injector;
+  FaultInjectingTraceStore store(&inner, &injector);
+  ASSERT_TRUE(store.Append("a/file", "rec1").ok());
+  injector.Arm({FaultSite::kStoreAppend, -1, -1, 1});
+  Status failed = store.Append("a/file", "rec2");
+  EXPECT_TRUE(failed.IsUnavailable()) << failed;
+  // After the budget is spent the decorator is transparent again.
+  ASSERT_TRUE(store.Append("a/file", "rec3").ok());
+  auto records = store.ReadAll("a/file");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(*records, (std::vector<std::string>{"rec1", "rec3"}));
+  EXPECT_TRUE(store.Exists("a/file"));
+  EXPECT_EQ(store.ListFiles("a/").size(), 1u);
+}
+
+// ------------------------------------------------------ checkpoint helpers --
+
+TEST(CheckpointTest, MetaRoundtripsThroughSerialize) {
+  CheckpointMeta meta;
+  meta.superstep = 6;
+  meta.num_partitions = 2;
+  meta.pending_messages = 123;
+  meta.messages_dropped_at_resume = 4;
+  meta.partitions = {{10, 20, 5}, {11, 22, 7}};
+  meta.aggregators.emplace("pi", pregel::AggValue{3.14});
+  meta.aggregators.emplace("phase", pregel::AggValue{std::string("GO")});
+  meta.total_messages = 999;
+  meta.total_messages_dropped = 8;
+  pregel::SuperstepStats ss;
+  ss.superstep = 5;
+  ss.active_vertices = 40;
+  ss.messages_sent = 120;
+  ss.seconds = 0.25;
+  meta.per_superstep.push_back(ss);
+
+  auto parsed = CheckpointMeta::Parse(meta.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->superstep, 6);
+  EXPECT_EQ(parsed->num_partitions, 2);
+  EXPECT_EQ(parsed->pending_messages, 123u);
+  EXPECT_EQ(parsed->messages_dropped_at_resume, 4u);
+  ASSERT_EQ(parsed->partitions.size(), 2u);
+  EXPECT_EQ(parsed->partitions[1].alive, 11u);
+  EXPECT_EQ(parsed->partitions[1].awake, 7u);
+  EXPECT_EQ(parsed->aggregators.at("pi").AsDouble(), 3.14);
+  EXPECT_EQ(parsed->aggregators.at("phase").AsText(), "GO");
+  EXPECT_EQ(parsed->total_messages, 999u);
+  ASSERT_EQ(parsed->per_superstep.size(), 1u);
+  EXPECT_EQ(parsed->per_superstep[0].messages_sent, 120u);
+  EXPECT_EQ(parsed->per_superstep[0].seconds, 0.25);
+}
+
+TEST(CheckpointTest, OnlyCommittedCheckpointsAreVisible) {
+  InMemoryTraceStore store;
+  const std::string job = "job";
+  // Superstep 2: fully committed. Superstep 4: crash before COMMIT.
+  ASSERT_TRUE(store.Append(pregel::CheckpointMetaFile(job, 2), "meta").ok());
+  ASSERT_TRUE(store.Append(pregel::CheckpointCommitFile(job, 2), "ok").ok());
+  ASSERT_TRUE(store.Append(pregel::CheckpointMetaFile(job, 4), "meta").ok());
+  EXPECT_EQ(pregel::ListCommittedCheckpoints(store, job),
+            (std::vector<int64_t>{2}));
+  auto latest = pregel::LatestCommittedCheckpoint(store, job);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 2);
+  EXPECT_FALSE(pregel::LatestCommittedCheckpoint(store, "absent").ok());
+}
+
+TEST(CheckpointTest, GarbageCollectionKeepsNewest) {
+  InMemoryTraceStore store;
+  const std::string job = "job";
+  for (int64_t s : {0, 2, 4}) {
+    ASSERT_TRUE(
+        store.Append(pregel::CheckpointPartFile(job, s, 0), "part").ok());
+    ASSERT_TRUE(store.Append(pregel::CheckpointMetaFile(job, s), "meta").ok());
+    ASSERT_TRUE(store.Append(pregel::CheckpointCommitFile(job, s), "ok").ok());
+  }
+  ASSERT_TRUE(pregel::GarbageCollectCheckpoints(store, job, /*keep=*/2).ok());
+  EXPECT_EQ(pregel::ListCommittedCheckpoints(store, job),
+            (std::vector<int64_t>{2, 4}));
+  ASSERT_TRUE(pregel::GarbageCollectCheckpoints(store, job, /*keep=*/1).ok());
+  EXPECT_EQ(pregel::ListCommittedCheckpoints(store, job),
+            (std::vector<int64_t>{4}));
+  EXPECT_FALSE(store.Exists(pregel::CheckpointPartFile(job, 2, 0)));
+}
+
+// ------------------------------------------------------- recovery (runner) --
+
+/// Every (file, records) pair in the store — the byte-identity oracle.
+std::map<std::string, std::vector<std::string>> StoreContents(
+    const InMemoryTraceStore& store) {
+  std::map<std::string, std::vector<std::string>> contents;
+  for (const std::string& file : store.ListFiles("")) {
+    auto records = store.ReadAll(file);
+    GRAFT_CHECK(records.ok());
+    contents[file] = *std::move(records);
+  }
+  return contents;
+}
+
+struct PageRankRun {
+  debug::DebugRunSummary summary;
+  std::map<VertexId, double> ranks;
+};
+
+/// PageRank on a fixed random graph under Graft, checkpointing every 2
+/// supersteps into a separate store, optionally with a fault injector.
+Result<PageRankRun> RunCheckpointedPageRank(
+    const graph::SimpleGraph& graph,
+    const debug::DebugConfig<PageRankTraits>& config,
+    InMemoryTraceStore* trace_store, InMemoryTraceStore* ckpt_store,
+    FaultInjector* injector) {
+  pregel::JobSpec<PageRankTraits> spec;
+  spec.options.num_workers = 3;
+  spec.options.job_id = "pr-recovery";
+  spec.options.combiner = [](const DoubleValue& a, const DoubleValue& b) {
+    return DoubleValue{a.value + b.value};
+  };
+  spec.vertices = pregel::LoadUnweighted<PageRankTraits>(
+      graph, [](VertexId) { return DoubleValue{0.0}; });
+  spec.computation = [] {
+    return std::make_unique<algos::PageRankComputation>(/*max_iterations=*/8);
+  };
+  spec.master = []() -> std::unique_ptr<pregel::MasterCompute> {
+    return std::make_unique<algos::PageRankMaster>(/*max_iterations=*/8);
+  };
+  spec.debug_config = &config;
+  spec.trace_store = trace_store;
+  spec.checkpoint.interval = 2;
+  spec.checkpoint.store = ckpt_store;
+  spec.fault_injector = injector;
+  PageRankRun run;
+  spec.post_run = [&run](pregel::Engine<PageRankTraits>& engine) {
+    engine.ForEachVertex([&](const pregel::Vertex<PageRankTraits>& v) {
+      run.ranks[v.id()] = v.value().value;
+    });
+  };
+  GRAFT_ASSIGN_OR_RETURN(run.summary,
+                         debug::RunWithGraft(std::move(spec)));
+  return run;
+}
+
+/// ISSUE 3 acceptance: PageRank with an injected worker crash recovers from
+/// the latest committed checkpoint, and both the captured traces and the
+/// final vertex values are byte-identical to the fault-free run.
+TEST(RecoveryTest, PageRankRecoversByteIdentically) {
+  auto graph = graph::MakeUndirected(
+      graph::GenerateErdosRenyi(300, 1200, /*seed=*/9));
+  debug::ConfigurableDebugConfig<PageRankTraits> config;
+  config.set_vertices({0, 1, 2, 50, 100}).set_capture_neighbors(true);
+
+  InMemoryTraceStore clean_traces, clean_ckpts;
+  auto clean = RunCheckpointedPageRank(graph, config, &clean_traces,
+                                       &clean_ckpts, nullptr);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_TRUE(clean->summary.job_status.ok()) << clean->summary.job_status;
+  EXPECT_EQ(clean->summary.attempts, 1);
+  EXPECT_TRUE(clean->summary.recoveries.empty());
+
+  FaultInjector injector;
+  injector.Arm({FaultSite::kWorkerCompute, /*superstep=*/5, /*partition=*/-1,
+                /*hits=*/1});
+  InMemoryTraceStore faulty_traces, faulty_ckpts;
+  auto recovered = RunCheckpointedPageRank(graph, config, &faulty_traces,
+                                           &faulty_ckpts, &injector);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ASSERT_TRUE(recovered->summary.job_status.ok())
+      << recovered->summary.job_status;
+  EXPECT_EQ(injector.fired_count(), 1u);
+
+  // One recovery, restarted from the checkpoint at superstep 4.
+  EXPECT_EQ(recovered->summary.attempts, 2);
+  ASSERT_EQ(recovered->summary.recoveries.size(), 1u);
+  EXPECT_EQ(recovered->summary.recoveries[0].attempt, 1);
+  EXPECT_EQ(recovered->summary.recoveries[0].restored_superstep, 4);
+  EXPECT_NE(recovered->summary.recoveries[0].cause.find("injected"),
+            std::string::npos);
+
+  // The RunReport carries the recovery accounting.
+  const obs::RecoveryProfile& profile =
+      recovered->summary.stats.report.recovery;
+  EXPECT_TRUE(profile.checkpoints_enabled);
+  EXPECT_EQ(profile.recoveries, 1u);
+  ASSERT_EQ(profile.events.size(), 1u);
+  EXPECT_EQ(profile.events[0].restored_superstep, 4);
+  EXPECT_GT(profile.checkpoints_written, 0u);
+  EXPECT_GT(profile.checkpoint_bytes, 0u);
+  EXPECT_GE(profile.checkpoint_seconds, 0.0);
+  EXPECT_GE(profile.restore_seconds, 0.0);
+
+  // Byte-identical final state and traces versus the fault-free run.
+  EXPECT_EQ(clean->ranks, recovered->ranks);
+  EXPECT_EQ(clean->summary.captures, recovered->summary.captures);
+  EXPECT_EQ(StoreContents(clean_traces), StoreContents(faulty_traces));
+  EXPECT_EQ(clean->summary.stats.supersteps,
+            recovered->summary.stats.supersteps);
+  EXPECT_EQ(clean->summary.stats.total_messages,
+            recovered->summary.stats.total_messages);
+
+  // The JSON run report records the recovery for offline analysis.
+  std::string json = recovered->summary.stats.report.ToJson();
+  EXPECT_NE(json.find("\"recoveries\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"restored_superstep\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoints_written\""), std::string::npos);
+}
+
+TEST(RecoveryTest, StoreAppendFaultOnCapturePathIsRetried) {
+  auto graph = graph::GenerateRing(64);
+  debug::ConfigurableDebugConfig<CCTraits> config;
+  config.set_vertices({0, 7, 13});
+  FaultInjector injector;
+  // Superstep 1: after checkpoint 0 has committed (a wildcard would hit the
+  // pre-loop checkpoint-0 write, which has no recovery point yet), and not a
+  // checkpoint superstep — so the fault lands on a capture append.
+  injector.Arm({FaultSite::kStoreAppend, /*superstep=*/1, /*partition=*/-1,
+                /*hits=*/1});
+  InMemoryTraceStore traces, ckpts;
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.num_workers = 2;
+  spec.options.job_id = "cc-append-fault";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &traces;
+  spec.checkpoint.interval = 2;
+  spec.checkpoint.store = &ckpts;
+  spec.fault_injector = &injector;
+  auto summary = debug::RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_TRUE(summary->job_status.ok()) << summary->job_status;
+  EXPECT_EQ(summary->attempts, 2);
+  EXPECT_EQ(summary->recoveries.size(), 1u);
+  EXPECT_GT(summary->captures, 0u);
+}
+
+TEST(RecoveryTest, DeliveryFaultIsRetried) {
+  auto graph = graph::GenerateRing(64);
+  FaultInjector injector;
+  injector.Arm({FaultSite::kDelivery, /*superstep=*/3, /*partition=*/0,
+                /*hits=*/1});
+  InMemoryTraceStore ckpts;
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.num_workers = 2;
+  spec.options.job_id = "cc-delivery-fault";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.checkpoint.interval = 1;
+  spec.checkpoint.store = &ckpts;
+  spec.fault_injector = &injector;
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_TRUE(summary->job_status.ok()) << summary->job_status;
+  EXPECT_EQ(summary->attempts, 2);
+  // CC on a 64-ring needs 33 supersteps; recovery must not change that.
+  auto control = algos::RunConnectedComponents(graph, /*num_workers=*/2);
+  ASSERT_TRUE(control.ok());
+  EXPECT_EQ(summary->stats.supersteps, control->stats.supersteps);
+}
+
+TEST(RecoveryTest, ExhaustedAttemptsSurfaceUnavailable) {
+  auto graph = graph::GenerateRing(32);
+  FaultInjector injector;
+  // Fires on every attempt: the job can never get past superstep 3.
+  injector.Arm({FaultSite::kWorkerCompute, /*superstep=*/3, /*partition=*/-1,
+                /*hits=*/100});
+  InMemoryTraceStore ckpts;
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.num_workers = 2;
+  spec.options.job_id = "cc-doomed";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.checkpoint.interval = 1;
+  spec.checkpoint.store = &ckpts;
+  spec.fault_injector = &injector;
+  spec.max_recovery_attempts = 3;
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_TRUE(summary->job_status.IsUnavailable()) << summary->job_status;
+  // max_recovery_attempts bounds the recoveries, so attempts = 1 + 3.
+  EXPECT_EQ(summary->attempts, 4);
+  EXPECT_EQ(summary->recoveries.size(), 3u);
+}
+
+TEST(RecoveryTest, NoCheckpointMeansNoRetry) {
+  auto graph = graph::GenerateRing(32);
+  FaultInjector injector;
+  injector.Arm({FaultSite::kWorkerCompute, /*superstep=*/2, /*partition=*/-1,
+                /*hits=*/1});
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.num_workers = 2;
+  spec.options.job_id = "cc-no-ckpt";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.fault_injector = &injector;
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_TRUE(summary->job_status.IsUnavailable()) << summary->job_status;
+  EXPECT_EQ(summary->attempts, 1);
+  EXPECT_TRUE(summary->recoveries.empty());
+}
+
+TEST(RecoveryTest, CheckpointsAreGarbageCollected) {
+  auto graph = graph::GenerateRing(64);
+  InMemoryTraceStore ckpts;
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.num_workers = 2;
+  spec.options.job_id = "cc-gc";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.checkpoint.interval = 4;
+  spec.checkpoint.store = &ckpts;
+  spec.checkpoint.keep = 1;
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok()) << summary->job_status;
+  // Many checkpoints were written, but only `keep` survive.
+  EXPECT_GT(summary->stats.report.recovery.checkpoints_written, 1u);
+  EXPECT_EQ(pregel::ListCommittedCheckpoints(ckpts, "cc-gc").size(), 1u);
+}
+
+}  // namespace
+}  // namespace graft

@@ -26,12 +26,16 @@ std::vector<pregel::Vertex<CCTraits>> RingVertices(uint64_t n) {
 DebugRunSummary RunCC(const DebugConfig<CCTraits>& config,
                       InMemoryTraceStore* store, uint64_t n = 12,
                       const std::string& job = "job") {
-  pregel::Engine<CCTraits>::Options options;
-  options.job_id = job;
-  options.num_workers = 2;
-  return RunWithGraft<CCTraits>(options, RingVertices(n),
-                                algos::MakeConnectedComponentsFactory(),
-                                nullptr, config, store);
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = job;
+  spec.options.num_workers = 2;
+  spec.vertices = RingVertices(n);
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.debug_config = &config;
+  spec.trace_store = store;
+  auto summary = RunWithGraft(std::move(spec));
+  EXPECT_TRUE(summary.ok()) << summary.status();
+  return std::move(summary).value();
 }
 
 std::set<VertexId> CapturedIds(const TraceStore& store,
@@ -187,14 +191,16 @@ class ThrowAtVertex : public pregel::Computation<ThrowingTraits> {
 TEST(InstrumenterTest, ExceptionCapturedAndJobAborts) {
   ConfigurableDebugConfig<ThrowingTraits> config;  // defaults: abort
   InMemoryTraceStore store;
-  pregel::Engine<ThrowingTraits>::Options options;
-  options.job_id = "exc";
-  auto vertices = pregel::LoadUnweighted<ThrowingTraits>(
+  pregel::JobSpec<ThrowingTraits> spec;
+  spec.options.job_id = "exc";
+  spec.vertices = pregel::LoadUnweighted<ThrowingTraits>(
       graph::GenerateRing(8), [](VertexId) { return Int64Value{0}; });
-  auto summary = RunWithGraft<ThrowingTraits>(
-      options, std::move(vertices),
-      [] { return std::make_unique<ThrowAtVertex>(4); }, nullptr, config,
-      &store);
+  spec.computation = [] { return std::make_unique<ThrowAtVertex>(4); };
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary_or = RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary_or.ok()) << summary_or.status();
+  DebugRunSummary summary = std::move(summary_or).value();
   EXPECT_TRUE(summary.job_status.IsAborted());
   EXPECT_EQ(summary.exceptions, 1u);
   auto trace = ReadVertexTrace<ThrowingTraits>(store, "exc", 0, 4);
@@ -209,15 +215,17 @@ TEST(InstrumenterTest, ExceptionContinueModeKeepsJobAlive) {
   ConfigurableDebugConfig<ThrowingTraits> config;
   config.set_abort_on_exception(false);
   InMemoryTraceStore store;
-  pregel::Engine<ThrowingTraits>::Options options;
-  options.job_id = "exc2";
-  options.max_supersteps = 5;
-  auto vertices = pregel::LoadUnweighted<ThrowingTraits>(
+  pregel::JobSpec<ThrowingTraits> spec;
+  spec.options.job_id = "exc2";
+  spec.options.max_supersteps = 5;
+  spec.vertices = pregel::LoadUnweighted<ThrowingTraits>(
       graph::GenerateRing(8), [](VertexId) { return Int64Value{0}; });
-  auto summary = RunWithGraft<ThrowingTraits>(
-      options, std::move(vertices),
-      [] { return std::make_unique<ThrowAtVertex>(4); }, nullptr, config,
-      &store);
+  spec.computation = [] { return std::make_unique<ThrowAtVertex>(4); };
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary_or = RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary_or.ok()) << summary_or.status();
+  DebugRunSummary summary = std::move(summary_or).value();
   EXPECT_TRUE(summary.job_status.ok()) << summary.job_status;
   EXPECT_GE(summary.exceptions, 1u);
 }
@@ -278,21 +286,23 @@ TEST(InstrumenterTest, InstrumentationDoesNotChangeResults) {
   ConfigurableDebugConfig<CCTraits> config;
   config.set_capture_all_active(true);
   InMemoryTraceStore store;
-  pregel::Engine<CCTraits>::Options options;
-  options.job_id = "pure";
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = "pure";
   auto g = graph::MakeUndirected(graph::GeneratePowerLaw(80, 2, 5));
-  auto vertices = pregel::LoadUnweighted<CCTraits>(
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
       g, [](VertexId) { return Int64Value{0}; });
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
   std::map<VertexId, int64_t> instrumented_values;
-  auto summary = RunWithGraft<CCTraits>(
-      options, std::move(vertices), algos::MakeConnectedComponentsFactory(),
-      nullptr, config, &store,
-      [&](pregel::Engine<CCTraits>& engine) {
-        engine.ForEachVertex([&](const pregel::Vertex<CCTraits>& v) {
-          instrumented_values[v.id()] = v.value().value;
-        });
-      });
-  ASSERT_TRUE(summary.job_status.ok());
+  spec.post_run = [&](pregel::Engine<CCTraits>& engine) {
+    engine.ForEachVertex([&](const pregel::Vertex<CCTraits>& v) {
+      instrumented_values[v.id()] = v.value().value;
+    });
+  };
+  auto summary = RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok());
   EXPECT_EQ(instrumented_values, plain->component);
 }
 

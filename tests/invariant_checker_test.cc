@@ -19,6 +19,25 @@ using algos::GCState;
 using algos::GCTraits;
 using algos::GCVertexValue;
 
+/// Spec for a debugged graph-coloring run with an attached checker.
+pregel::JobSpec<GCTraits> GCSpec(const graph::SimpleGraph& g, bool buggy,
+                                 const DebugConfig<GCTraits>& config,
+                                 InMemoryTraceStore* store,
+                                 InvariantChecker<GCTraits>* checker,
+                                 const std::string& job) {
+  pregel::JobSpec<GCTraits> spec;
+  spec.options.job_id = job;
+  spec.vertices = algos::LoadGraphColoringVertices(g);
+  spec.computation = algos::MakeGraphColoringFactory(buggy);
+  spec.master = algos::MakeGraphColoringMasterFactory();
+  spec.debug_config = &config;
+  spec.trace_store = store;
+  spec.pre_run = [checker](pregel::Engine<GCTraits>& engine) {
+    checker->AttachTo(&engine);
+  };
+  return spec;
+}
+
 /// The invariant the paper's users asked for (§7): once two adjacent
 /// vertices are both colored, their colors must differ.
 InvariantChecker<GCTraits>::AdjacencyPredicate DistinctColors() {
@@ -37,16 +56,12 @@ TEST(InvariantCheckerTest, CleanRunHasNoViolations) {
   graph::SimpleGraph g = graph::GenerateRegularBipartite(60, 3, 2);
   InMemoryTraceStore store;
   ConfigurableDebugConfig<GCTraits> config;
-  pregel::Engine<GCTraits>::Options options;
-  options.job_id = "inv-clean";
   InvariantChecker<GCTraits> checker(&store, "inv-clean");
   checker.AddAdjacencyInvariant("distinct-colors", DistinctColors());
-  auto summary = RunWithGraft<GCTraits>(
-      options, algos::LoadGraphColoringVertices(g),
-      algos::MakeGraphColoringFactory(/*buggy=*/false),
-      algos::MakeGraphColoringMasterFactory(), config, &store, nullptr,
-      [&](pregel::Engine<GCTraits>& engine) { checker.AttachTo(&engine); });
-  ASSERT_TRUE(summary.job_status.ok());
+  auto summary = RunWithGraft(
+      GCSpec(g, /*buggy=*/false, config, &store, &checker, "inv-clean"));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok());
   EXPECT_EQ(checker.num_violations(), 0u);
 }
 
@@ -64,17 +79,14 @@ TEST(InvariantCheckerTest, BuggyColoringTripsAdjacencyInvariant) {
 
     InMemoryTraceStore store;
     ConfigurableDebugConfig<GCTraits> config;
-    pregel::Engine<GCTraits>::Options options;
-    options.job_id = "inv-buggy";
-    options.seed = seed;
     InvariantChecker<GCTraits> checker(&store, "inv-buggy");
     checker.AddAdjacencyInvariant("distinct-colors", DistinctColors());
-    auto summary = RunWithGraft<GCTraits>(
-        options, algos::LoadGraphColoringVertices(g),
-        algos::MakeGraphColoringFactory(true),
-        algos::MakeGraphColoringMasterFactory(), config, &store, nullptr,
-        [&](pregel::Engine<GCTraits>& engine) { checker.AttachTo(&engine); });
-    ASSERT_TRUE(summary.job_status.ok());
+    auto spec =
+        GCSpec(g, /*buggy=*/true, config, &store, &checker, "inv-buggy");
+    spec.options.seed = seed;
+    auto summary = RunWithGraft(std::move(spec));
+    ASSERT_TRUE(summary.ok()) << summary.status();
+    ASSERT_TRUE(summary->job_status.ok());
     ASSERT_GT(checker.num_violations(), 0u);
     // Both directions of the conflicting pair are reported per superstep
     // from the moment of coloring; the recorded pair matches a real final
@@ -120,14 +132,19 @@ TEST(InvariantCheckerTest, GlobalInvariantWalkerConservation) {
         });
         return total == expected_total;
       });
-  auto vertices = pregel::LoadUnweighted<Traits>(
+  pregel::JobSpec<Traits> spec;
+  spec.options = options;
+  spec.vertices = pregel::LoadUnweighted<Traits>(
       g, [](VertexId) { return pregel::Int64Value{0}; });
-  auto summary = RunWithGraft<Traits>(
-      options, std::move(vertices),
-      algos::MakeRandomWalkFactory<Traits>(6, 100), nullptr, config, &store,
-      nullptr,
-      [&](pregel::Engine<Traits>& engine) { checker.AttachTo(&engine); });
-  ASSERT_TRUE(summary.job_status.ok());
+  spec.computation = algos::MakeRandomWalkFactory<Traits>(6, 100);
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  spec.pre_run = [&](pregel::Engine<Traits>& engine) {
+    checker.AttachTo(&engine);
+  };
+  auto summary = RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok());
   EXPECT_EQ(checker.num_violations(), 0u);
 }
 
@@ -153,14 +170,19 @@ TEST(InvariantCheckerTest, GlobalInvariantCatchesShortOverflowLoss) {
         });
         return total == expected_total;
       });
-  auto vertices = pregel::LoadUnweighted<Traits>(
+  pregel::JobSpec<Traits> spec;
+  spec.options = options;
+  spec.vertices = pregel::LoadUnweighted<Traits>(
       g, [](VertexId) { return pregel::Int64Value{0}; });
-  auto summary = RunWithGraft<Traits>(
-      options, std::move(vertices),
-      algos::MakeRandomWalkFactory<Traits>(5, 100), nullptr, config, &store,
-      nullptr,
-      [&](pregel::Engine<Traits>& engine) { checker.AttachTo(&engine); });
-  ASSERT_TRUE(summary.job_status.ok());
+  spec.computation = algos::MakeRandomWalkFactory<Traits>(5, 100);
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  spec.pre_run = [&](pregel::Engine<Traits>& engine) {
+    checker.AttachTo(&engine);
+  };
+  auto summary = RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok());
   EXPECT_GT(checker.num_violations(), 0u);
 }
 
@@ -175,14 +197,10 @@ TEST(InvariantCheckerTest, CheckEverySkipsSuperstepsAndCapRespected) {
                          const pregel::Vertex<GCTraits>&,
                          const pregel::NullValue&) { return false; });
   ConfigurableDebugConfig<GCTraits> config;
-  pregel::Engine<GCTraits>::Options options;
-  options.job_id = "inv-cfg";
-  auto summary = RunWithGraft<GCTraits>(
-      options, algos::LoadGraphColoringVertices(g),
-      algos::MakeGraphColoringFactory(false),
-      algos::MakeGraphColoringMasterFactory(), config, &store, nullptr,
-      [&](pregel::Engine<GCTraits>& engine) { checker.AttachTo(&engine); });
-  ASSERT_TRUE(summary.job_status.ok());
+  auto summary = RunWithGraft(
+      GCSpec(g, /*buggy=*/false, config, &store, &checker, "inv-cfg"));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok());
   // Only superstep 0 is checked, and the cap stops after one record.
   EXPECT_EQ(checker.num_violations(), 1u);
   EXPECT_EQ(checker.violations().front().superstep, 0);

@@ -395,16 +395,19 @@ TEST(DeterminismTest, SameSeedSameConfigYieldsByteIdenticalTraces) {
     graph::SimpleGraph g = graph::GenerateRegularBipartite(30, 3, 11);
     debug::ConfigurableDebugConfig<algos::GCTraits> config;
     config.set_vertices({0, 7, 19}).set_capture_neighbors(true);
-    Engine<algos::GCTraits>::Options options;
-    options.job_id = "determinism";
-    options.num_workers = 4;
-    options.seed = 1234;
-    debug::DebugRunSummary summary = debug::RunWithGraft<algos::GCTraits>(
-        options, algos::LoadGraphColoringVertices(g),
-        algos::MakeGraphColoringFactory(false),
-        algos::MakeGraphColoringMasterFactory(), config, store);
-    ASSERT_TRUE(summary.job_status.ok()) << summary.job_status;
-    ASSERT_GT(summary.captures, 0u);
+    JobSpec<algos::GCTraits> spec;
+    spec.options.job_id = "determinism";
+    spec.options.num_workers = 4;
+    spec.options.seed = 1234;
+    spec.vertices = algos::LoadGraphColoringVertices(g);
+    spec.computation = algos::MakeGraphColoringFactory(false);
+    spec.master = algos::MakeGraphColoringMasterFactory();
+    spec.debug_config = &config;
+    spec.trace_store = store;
+    auto summary = debug::RunWithGraft(std::move(spec));
+    ASSERT_TRUE(summary.ok()) << summary.status();
+    ASSERT_TRUE(summary->job_status.ok()) << summary->job_status;
+    ASSERT_GT(summary->captures, 0u);
   };
   InMemoryTraceStore store_a;
   InMemoryTraceStore store_b;
@@ -421,6 +424,50 @@ TEST(DeterminismTest, SameSeedSameConfigYieldsByteIdenticalTraces) {
     ASSERT_TRUE(records_b.ok());
     EXPECT_EQ(records_a.value(), records_b.value())
         << "trace file " << file << " differs between identical runs";
+  }
+}
+
+TEST(DeterminismTest, CheckpointingIsTransparentToTraces) {
+  // Checkpointing must be pure observation: a run that writes checkpoints
+  // (to a separate store) produces byte-identical trace files to one that
+  // does not. Any leak — rng draws, message reordering, stats pollution —
+  // through the checkpoint path shows up here.
+  auto run = [](InMemoryTraceStore* store, InMemoryTraceStore* ckpt_store) {
+    graph::SimpleGraph g = graph::GenerateRegularBipartite(30, 3, 11);
+    debug::ConfigurableDebugConfig<algos::GCTraits> config;
+    config.set_vertices({0, 7, 19}).set_capture_neighbors(true);
+    JobSpec<algos::GCTraits> spec;
+    spec.options.job_id = "determinism";
+    spec.options.num_workers = 4;
+    spec.options.seed = 1234;
+    spec.vertices = algos::LoadGraphColoringVertices(g);
+    spec.computation = algos::MakeGraphColoringFactory(false);
+    spec.master = algos::MakeGraphColoringMasterFactory();
+    spec.debug_config = &config;
+    spec.trace_store = store;
+    if (ckpt_store != nullptr) {
+      spec.checkpoint.interval = 2;
+      spec.checkpoint.store = ckpt_store;
+    }
+    auto summary = debug::RunWithGraft(std::move(spec));
+    ASSERT_TRUE(summary.ok()) << summary.status();
+    ASSERT_TRUE(summary->job_status.ok()) << summary->job_status;
+  };
+  InMemoryTraceStore plain_store;
+  InMemoryTraceStore ckpt_traces, ckpts;
+  run(&plain_store, nullptr);
+  run(&ckpt_traces, &ckpts);
+  ASSERT_FALSE(ckpts.ListFiles("").empty());  // checkpoints actually written
+  const std::vector<std::string> files = plain_store.ListFiles("");
+  ASSERT_EQ(files, ckpt_traces.ListFiles(""));
+  ASSERT_FALSE(files.empty());
+  for (const std::string& file : files) {
+    auto plain = plain_store.ReadAll(file);
+    auto checkpointed = ckpt_traces.ReadAll(file);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(checkpointed.ok());
+    EXPECT_EQ(plain.value(), checkpointed.value())
+        << "trace file " << file << " differs with checkpointing enabled";
   }
 }
 

@@ -256,7 +256,10 @@ TEST(RunReportTest, JsonGolden) {
       "\"master_captures\":0,\"violations\":0,\"exceptions\":0,"
       "\"dropped_by_limit\":0,\"serialize_seconds\":0,\"append_seconds\":0,"
       "\"overhead_seconds\":0,\"trace_bytes\":0,\"store_appends\":0,"
-      "\"store_flushes\":0}}");
+      "\"store_flushes\":0},"
+      "\"recovery\":{\"checkpoints_enabled\":false,\"checkpoints_written\":0,"
+      "\"checkpoint_bytes\":0,\"checkpoint_seconds\":0,\"restore_seconds\":0,"
+      "\"recoveries\":0,\"events\":[]}}");
 }
 
 TEST(RunReportTest, PrometheusGoldenIncludesCaptureOnlyWhenEnabled) {
@@ -416,16 +419,20 @@ TEST(EngineReportTest, SharedRegistryReceivesEngineMetrics) {
 
 TEST(EngineReportTest, DebugRunFillsCaptureProfile) {
   MetricsRegistry registry;
-  pregel::Engine<CCTraits>::Options options;
-  options.job_id = "capture-test";
-  options.num_workers = 2;
-  options.metrics = &registry;
   debug::ConfigurableDebugConfig<CCTraits> config;
   config.set_capture_all_active(true);
   InMemoryTraceStore store;
-  debug::DebugRunSummary summary = debug::RunWithGraft<CCTraits>(
-      options, RingVertices(16), algos::MakeConnectedComponentsFactory(),
-      nullptr, config, &store);
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = "capture-test";
+  spec.options.num_workers = 2;
+  spec.options.metrics = &registry;
+  spec.vertices = RingVertices(16);
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary_or = debug::RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary_or.ok()) << summary_or.status();
+  debug::DebugRunSummary summary = std::move(summary_or).value();
   ASSERT_TRUE(summary.job_status.ok()) << summary.job_status;
 
   const obs::CaptureProfile& capture = summary.stats.report.capture;

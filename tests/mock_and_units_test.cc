@@ -151,7 +151,9 @@ TEST(CaptureManagerTest, CountersAndBytes) {
   trace.superstep = 3;
   trace.id = 1;
   trace.reasons = kReasonSpecified;
-  EXPECT_TRUE(manager.RecordVertexTrace(trace, 0));
+  auto recorded = manager.RecordVertexTrace(trace, 0);
+  ASSERT_TRUE(recorded.ok()) << recorded.status();
+  EXPECT_TRUE(*recorded);
   EXPECT_EQ(manager.num_captures(), 1u);
   EXPECT_GT(manager.TraceBytes(), 0u);
   EXPECT_TRUE(store.Exists("m/superstep_000003/worker_000.vtrace"));

@@ -30,6 +30,21 @@ using algos::GCTraits;
 using algos::RWShortTraits;
 using pregel::Int64Value;
 
+/// Spec for a debugged graph-coloring run — the workhorse job of this file.
+pregel::JobSpec<GCTraits> GCSpec(const graph::SimpleGraph& g, bool buggy,
+                                 const DebugConfig<GCTraits>& config,
+                                 InMemoryTraceStore* store,
+                                 const std::string& job) {
+  pregel::JobSpec<GCTraits> spec;
+  spec.options.job_id = job;
+  spec.vertices = algos::LoadGraphColoringVertices(g);
+  spec.computation = algos::MakeGraphColoringFactory(buggy);
+  spec.master = algos::MakeGraphColoringMasterFactory();
+  spec.debug_config = &config;
+  spec.trace_store = store;
+  return spec;
+}
+
 // ---------------------------------------------------- trace serialization --
 
 VertexTrace<GCTraits> SampleTrace() {
@@ -123,13 +138,11 @@ TEST(ReplayFidelityTest, HoldsForAllCapturesOfARandomizedRun) {
   ConfigurableDebugConfig<GCTraits> config;
   config.set_capture_all_active(true);
   InMemoryTraceStore store;
-  pregel::Engine<GCTraits>::Options options;
-  options.job_id = "fidelity";
-  options.num_workers = 3;
-  auto summary = RunWithGraft<GCTraits>(
-      options, algos::LoadGraphColoringVertices(g),
-      algos::MakeGraphColoringFactory(true),
-      algos::MakeGraphColoringMasterFactory(), config, &store);
+  auto spec = GCSpec(g, /*buggy=*/true, config, &store, "fidelity");
+  spec.options.num_workers = 3;
+  auto summary_or = RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary_or.ok()) << summary_or.status();
+  const DebugRunSummary& summary = *summary_or;
   ASSERT_TRUE(summary.job_status.ok());
   ASSERT_GT(summary.captures, 100u);
 
@@ -164,14 +177,11 @@ TEST(ReplayFidelityTest, DetectsWrongComputation) {
     ConfigurableDebugConfig<GCTraits> config;
     config.set_capture_all_active(true);
     InMemoryTraceStore store;
-    pregel::Engine<GCTraits>::Options options;
-    options.job_id = "diverge";
-    options.seed = seed;
-    auto summary = RunWithGraft<GCTraits>(
-        options, algos::LoadGraphColoringVertices(g),
-        algos::MakeGraphColoringFactory(true),
-        algos::MakeGraphColoringMasterFactory(), config, &store);
-    ASSERT_TRUE(summary.job_status.ok());
+    auto spec = GCSpec(g, /*buggy=*/true, config, &store, "diverge");
+    spec.options.seed = seed;
+    auto summary = RunWithGraft(std::move(spec));
+    ASSERT_TRUE(summary.ok()) << summary.status();
+    ASSERT_TRUE(summary->job_status.ok());
     algos::GraphColoringComputation fixed(false);
     bool diverged = false;
     for (int64_t s : ListCapturedSupersteps(store, "diverge")) {
@@ -206,14 +216,15 @@ TEST(ReplayFidelityTest, ExceptionTraceReplaysException) {
   ConfigurableDebugConfig<CCTraits> config;
   config.set_abort_on_exception(false);
   InMemoryTraceStore store;
-  pregel::Engine<CCTraits>::Options options;
-  options.job_id = "exc-replay";
-  options.max_supersteps = 2;
-  auto vertices = pregel::LoadUnweighted<CCTraits>(
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = "exc-replay";
+  spec.options.max_supersteps = 2;
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
       graph::GenerateRing(4), [](VertexId) { return Int64Value{0}; });
-  RunWithGraft<CCTraits>(options, std::move(vertices),
-                         [] { return std::make_unique<ThrowOnOddSuperstep>(); },
-                         nullptr, config, &store);
+  spec.computation = [] { return std::make_unique<ThrowOnOddSuperstep>(); };
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  ASSERT_TRUE(RunWithGraft(std::move(spec)).ok());
   auto trace = ReadVertexTrace<CCTraits>(store, "exc-replay", 1, 0);
   ASSERT_TRUE(trace.ok()) << trace.status();
   ASSERT_TRUE(trace->exception.has_value());
@@ -226,12 +237,9 @@ TEST(ReplayFidelityTest, MasterReplayMatchesGCPhases) {
   graph::SimpleGraph g = graph::GenerateComplete(5);
   ConfigurableDebugConfig<GCTraits> config;
   InMemoryTraceStore store;
-  pregel::Engine<GCTraits>::Options options;
-  options.job_id = "master-replay";
-  RunWithGraft<GCTraits>(options, algos::LoadGraphColoringVertices(g),
-                         algos::MakeGraphColoringFactory(false),
-                         algos::MakeGraphColoringMasterFactory(), config,
-                         &store);
+  ASSERT_TRUE(RunWithGraft(
+                  GCSpec(g, /*buggy=*/false, config, &store, "master-replay"))
+                  .ok());
   algos::GraphColoringMaster master;
   int checked = 0;
   for (int64_t s : ListCapturedSupersteps(store, "master-replay")) {
@@ -314,12 +322,9 @@ TEST(CodegenTest, GeneratedCodeCompiles) {
   ConfigurableDebugConfig<GCTraits> config;
   config.set_vertices({0, 1});
   InMemoryTraceStore store;
-  pregel::Engine<GCTraits>::Options options;
-  options.job_id = "codegen";
-  RunWithGraft<GCTraits>(options, algos::LoadGraphColoringVertices(g),
-                         algos::MakeGraphColoringFactory(true),
-                         algos::MakeGraphColoringMasterFactory(), config,
-                         &store);
+  ASSERT_TRUE(
+      RunWithGraft(GCSpec(g, /*buggy=*/true, config, &store, "codegen"))
+          .ok());
   auto trace = ReadVertexTrace<GCTraits>(store, "codegen", 1, 0);
   ASSERT_TRUE(trace.ok()) << trace.status();
   std::string code = GenerateVertexTestCode(*trace, GCBinding());
@@ -370,16 +375,16 @@ TEST(EndToEndGenTest, GeneratesGraphConstructionAndAssertions) {
 // ------------------------------------------------------------------ views --
 
 void RunForViews(const std::string& job, InMemoryTraceStore* store_out) {
-  InMemoryTraceStore& store = *store_out;
   ConfigurableDebugConfig<CCTraits> config;
   config.set_vertices({2, 5}).set_capture_neighbors(true);
-  pregel::Engine<CCTraits>::Options options;
-  options.job_id = job;
-  auto vertices = pregel::LoadUnweighted<CCTraits>(
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = job;
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
       graph::GenerateRing(8), [](VertexId) { return Int64Value{0}; });
-  RunWithGraft<CCTraits>(options, std::move(vertices),
-                         algos::MakeConnectedComponentsFactory(), nullptr,
-                         config, &store);
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.debug_config = &config;
+  spec.trace_store = store_out;
+  ASSERT_TRUE(RunWithGraft(std::move(spec)).ok());
 }
 
 TEST(ViewsTest, NodeLinkViewShowsVerticesAndMessages) {
@@ -432,13 +437,14 @@ TEST(ViewsTest, ViolationsViewListsConstraintHits) {
       [](const Int64Value& m, VertexId, VertexId, int64_t) {
         return m.value >= 3;
       });
-  pregel::Engine<CCTraits>::Options options;
-  options.job_id = "viol";
-  auto vertices = pregel::LoadUnweighted<CCTraits>(
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = "viol";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
       graph::GenerateRing(8), [](VertexId) { return Int64Value{0}; });
-  RunWithGraft<CCTraits>(options, std::move(vertices),
-                         algos::MakeConnectedComponentsFactory(), nullptr,
-                         config, &store);
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  ASSERT_TRUE(RunWithGraft(std::move(spec)).ok());
   GraftGui<CCTraits> gui(&store, "viol");
   gui.SeekFirst();
   auto view = gui.ViolationsView();
@@ -546,12 +552,9 @@ TEST(ViewsTest, NodeLinkShowsMasterAggregatorPanel) {
   ConfigurableDebugConfig<GCTraits> config;
   config.set_vertices({0});
   InMemoryTraceStore store;
-  pregel::Engine<GCTraits>::Options options;
-  options.job_id = "agg-panel";
-  RunWithGraft<GCTraits>(options, algos::LoadGraphColoringVertices(g),
-                         algos::MakeGraphColoringFactory(false),
-                         algos::MakeGraphColoringMasterFactory(), config,
-                         &store);
+  ASSERT_TRUE(
+      RunWithGraft(GCSpec(g, /*buggy=*/false, config, &store, "agg-panel"))
+          .ok());
   GraftGui<GCTraits> gui(&store, "agg-panel");
   gui.SeekFirst();
   auto view = gui.NodeLinkView();

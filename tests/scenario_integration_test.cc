@@ -54,15 +54,18 @@ TEST(Scenario41GraphColoring, CaptureVisualizeReproduce) {
   debug::ConfigurableDebugConfig<GCTraits> config;
   config.set_vertices({u, v}).set_capture_neighbors(true);
   InMemoryTraceStore store;
-  pregel::Engine<GCTraits>::Options options;
-  options.job_id = "s41";
-  options.seed = seed;
-  auto summary = debug::RunWithGraft<GCTraits>(
-      options, algos::LoadGraphColoringVertices(graph),
-      algos::MakeGraphColoringFactory(true),
-      algos::MakeGraphColoringMasterFactory(), config, &store);
-  ASSERT_TRUE(summary.job_status.ok());
-  ASSERT_GT(summary.captures, 0u);
+  pregel::JobSpec<GCTraits> spec;
+  spec.options.job_id = "s41";
+  spec.options.seed = seed;
+  spec.vertices = algos::LoadGraphColoringVertices(graph);
+  spec.computation = algos::MakeGraphColoringFactory(true);
+  spec.master = algos::MakeGraphColoringMasterFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary = debug::RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok());
+  ASSERT_GT(summary->captures, 0u);
 
   // Visualize: find the superstep where both entered the MIS together.
   int64_t suspicious = -1;
@@ -139,18 +142,19 @@ TEST(Scenario42RandomWalk, MessageConstraintCatchesShortOverflow) {
         return m.value >= 0;
       });
   InMemoryTraceStore store;
-  pregel::Engine<RWShortTraits>::Options options;
-  options.job_id = "s42";
-  auto vertices = pregel::LoadUnweighted<RWShortTraits>(
+  pregel::JobSpec<RWShortTraits> spec;
+  spec.options.job_id = "s42";
+  spec.vertices = pregel::LoadUnweighted<RWShortTraits>(
       *graph, [](VertexId) { return pregel::Int64Value{0}; });
   // 400 walkers/vertex keeps the total walker mass of a 4x larger run, so
   // the funnel chain overflows a short counter within a few supersteps.
-  auto summary = debug::RunWithGraft<RWShortTraits>(
-      options, std::move(vertices),
-      algos::MakeRandomWalkFactory<RWShortTraits>(10, 400), nullptr, config,
-      &store);
-  ASSERT_TRUE(summary.job_status.ok());
-  ASSERT_GT(summary.violations, 0u) << "no overflow at this scale";
+  spec.computation = algos::MakeRandomWalkFactory<RWShortTraits>(10, 400);
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary = debug::RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok());
+  ASSERT_GT(summary->violations, 0u) << "no overflow at this scale";
 
   // The GUI finds a red-[M] superstep; its violations view lists negative
   // counters.
@@ -219,14 +223,17 @@ TEST(Scenario43Matching, CaptureAllActiveFindsInputGraphError) {
   config.set_capture_all_active(true).set_superstep_filter(
       [](int64_t s) { return s >= 100; });
   InMemoryTraceStore store;
-  pregel::Engine<MWMTraits>::Options options;
-  options.job_id = "s43";
-  options.max_supersteps = 120;
-  auto summary = debug::RunWithGraft<MWMTraits>(
-      options, algos::LoadMatchingVertices(corrupted),
-      algos::MakeMaxWeightMatchingFactory(), nullptr, config, &store);
-  ASSERT_TRUE(summary.job_status.ok());
-  ASSERT_GT(summary.captures, 0u);
+  pregel::JobSpec<MWMTraits> spec;
+  spec.options.job_id = "s43";
+  spec.options.max_supersteps = 120;
+  spec.vertices = algos::LoadMatchingVertices(corrupted);
+  spec.computation = algos::MakeMaxWeightMatchingFactory();
+  spec.debug_config = &config;
+  spec.trace_store = &store;
+  auto summary = debug::RunWithGraft(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok());
+  ASSERT_GT(summary->captures, 0u);
 
   // The active remnant contains the corrupted triangle, and inspecting the
   // captured edges against the input graph reveals the weight asymmetry.
