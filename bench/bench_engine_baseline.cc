@@ -135,6 +135,93 @@ BENCHMARK(BM_PageRankSocEpinionsCheckpointed)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// Builds the canonical JobSpec for the soc-Epinions PageRank probe; the
+// sanitizer knobs are the only thing the guard pair below varies.
+graft::pregel::JobSpec<graft::algos::PageRankTraits> SocEpinionsSpec(
+    const graft::graph::SimpleGraph& graph, int num_workers) {
+  graft::pregel::JobSpec<graft::algos::PageRankTraits> spec;
+  spec.options.num_workers = num_workers;
+  spec.options.job_id = "bench-pr-sanitizer";
+  spec.options.combiner = [](const graft::pregel::DoubleValue& a,
+                             const graft::pregel::DoubleValue& b) {
+    return graft::pregel::DoubleValue{a.value + b.value};
+  };
+  spec.vertices = graft::pregel::LoadUnweighted<graft::algos::PageRankTraits>(
+      graph, [](graft::VertexId) { return graft::pregel::DoubleValue{0.0}; });
+  spec.computation = [] {
+    return std::make_unique<graft::algos::PageRankComputation>(10);
+  };
+  spec.master = []() -> std::unique_ptr<graft::pregel::MasterCompute> {
+    return std::make_unique<graft::algos::PageRankMaster>(10);
+  };
+  return spec;
+}
+
+// Bench guard for DESIGN.md §9: the sanitizer *disabled* (the JobSpec
+// default) must cost nothing — no phase stamps, no wrapping, no epoch loads.
+// CI compares this against BM_PageRankSocEpinions above in BENCH_engine.json;
+// any gap is hot-path contamination by the analysis layer.
+void BM_PageRankSocEpinionsSanitizerOff(benchmark::State& state) {
+  const char* env = std::getenv("GRAFT_BENCH_SCALE");
+  graft::graph::DatasetOptions options;
+  options.scale_denominator = (env != nullptr && std::atoll(env) > 0)
+                                  ? static_cast<uint64_t>(std::atoll(env))
+                                  : 8;
+  auto graph = graft::graph::MakeDataset("soc-Epinions", options);
+  GRAFT_CHECK(graph.ok()) << graph.status();
+  uint64_t messages = 0;
+  for (auto _ : state) {
+    auto summary = graft::pregel::RunJob(
+        SocEpinionsSpec(*graph, static_cast<int>(state.range(0))));
+    GRAFT_CHECK(summary.ok()) << summary.status();
+    GRAFT_CHECK(summary->job_status.ok()) << summary->job_status;
+    GRAFT_CHECK(summary->analysis_findings == 0);
+    messages += summary->stats.total_messages;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PageRankSocEpinionsSanitizerOff)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// The checked-execution tax (EXPERIMENTS.md): same job with every dynamic
+// check on and determinism probes on every 64th vertex. Exports the probe
+// time so the replay share of the overhead is visible separately.
+void BM_PageRankSocEpinionsSanitizerOn(benchmark::State& state) {
+  const char* env = std::getenv("GRAFT_BENCH_SCALE");
+  graft::graph::DatasetOptions options;
+  options.scale_denominator = (env != nullptr && std::atoll(env) > 0)
+                                  ? static_cast<uint64_t>(std::atoll(env))
+                                  : 8;
+  auto graph = graft::graph::MakeDataset("soc-Epinions", options);
+  GRAFT_CHECK(graph.ok()) << graph.status();
+  uint64_t messages = 0, probes = 0;
+  double probe_seconds = 0;
+  for (auto _ : state) {
+    auto spec = SocEpinionsSpec(*graph, static_cast<int>(state.range(0)));
+    spec.sanitizer.enabled = true;
+    spec.sanitizer.determinism_sample_rate = 64;
+    auto summary = graft::pregel::RunJob(std::move(spec));
+    GRAFT_CHECK(summary.ok()) << summary.status();
+    GRAFT_CHECK(summary->job_status.ok()) << summary->job_status;
+    GRAFT_CHECK(summary->analysis_findings == 0);
+    messages += summary->stats.total_messages;
+    probes += summary->stats.report.analysis.determinism_probes;
+    probe_seconds += summary->stats.report.analysis.probe_seconds;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["probes"] = static_cast<double>(probes) / iters;
+  state.counters["probe_s"] = probe_seconds / iters;
+}
+BENCHMARK(BM_PageRankSocEpinionsSanitizerOn)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Sssp(benchmark::State& state) {
   uint64_t n = static_cast<uint64_t>(state.range(0));
   auto graph = graft::graph::GenerateErdosRenyi(n, n * 8, /*seed=*/5);

@@ -1,0 +1,125 @@
+#ifndef GRAFT_ANALYSIS_EPOCH_H_
+#define GRAFT_ANALYSIS_EPOCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "analysis/finding.h"
+#include "common/string_util.h"
+
+namespace graft {
+namespace analysis {
+
+/// The ownership window a piece of per-vertex state belongs to: "vertex V's
+/// Compute() call at superstep S". The BSP contract says a vertex value or a
+/// delivered message buffer may only be read inside its own window —
+/// anything else is a cross-vertex or cross-superstep read whose result
+/// depends on scheduling (DESIGN.md §9).
+struct AccessEpoch {
+  int64_t superstep = -1;
+  VertexId vertex = -1;
+  bool active = false;
+
+  friend bool operator==(const AccessEpoch&, const AccessEpoch&) = default;
+};
+
+/// Sink for epoch violations, plus the thread-local current epoch. The
+/// sanitizer installs one per worker thread for the duration of each checked
+/// Compute() call; with none installed, Stamped<T> degrades to a plain
+/// wrapper with no checks and no overhead beyond a thread_local load.
+class EpochReporter {
+ public:
+  using ReportFn = std::function<void(AnalysisFinding)>;
+
+  explicit EpochReporter(ReportFn report) : report_(std::move(report)) {}
+
+  /// Epoch of the Compute() call running on this thread; inactive when no
+  /// checked call is in flight.
+  static const AccessEpoch& CurrentEpoch() { return epoch_; }
+
+  static EpochReporter* Current() { return current_; }
+
+  /// RAII-style install: returns the previous reporter for restore.
+  static EpochReporter* Install(EpochReporter* reporter, AccessEpoch epoch) {
+    EpochReporter* previous = current_;
+    current_ = reporter;
+    epoch_ = epoch;
+    return previous;
+  }
+  static void Uninstall(EpochReporter* previous) {
+    current_ = previous;
+    epoch_ = AccessEpoch{};
+  }
+
+  void Report(AnalysisFinding finding) { report_(std::move(finding)); }
+
+ private:
+  ReportFn report_;
+  static inline thread_local EpochReporter* current_ = nullptr;
+  static inline thread_local AccessEpoch epoch_;
+};
+
+/// A value stamped with the epoch it was produced in. Algorithms that stash
+/// vertex values or delivered messages (in scratch state, in other vertices'
+/// values) can wrap them in Stamped<T>; every Read() then checks the current
+/// epoch against the stamp and files a kStaleRead finding on mismatch.
+///
+/// Outside a checked run (no reporter installed) Get/Read are plain
+/// passthroughs — Stamped<T> costs two int64 copies at stamp time and one
+/// thread_local test per read, and never alters program behavior.
+template <typename T>
+class Stamped {
+ public:
+  Stamped() = default;
+  explicit Stamped(T value) : value_(std::move(value)) { Stamp(); }
+
+  /// Stores `value` stamped with the current epoch.
+  void Set(T value) {
+    value_ = std::move(value);
+    Stamp();
+  }
+
+  /// Checked read: reports kStaleRead when read from a different vertex's
+  /// Compute() or a later superstep than the one that stamped it.
+  const T& Read() const {
+    if (EpochReporter* reporter = EpochReporter::Current()) {
+      const AccessEpoch& now = EpochReporter::CurrentEpoch();
+      if (stamp_.active && now.active &&
+          (now.vertex != stamp_.vertex || now.superstep != stamp_.superstep)) {
+        reporter->Report(AnalysisFinding{
+            .kind = FindingKind::kStaleRead,
+            .superstep = now.superstep,
+            .vertex = now.vertex,
+            .detail = StrFormat(
+                "read of state stamped by vertex %lld at superstep %lld",
+                static_cast<long long>(stamp_.vertex),
+                static_cast<long long>(stamp_.superstep))});
+      }
+    }
+    return value_;
+  }
+
+  /// Unchecked access, for code outside Compute() (tests, reporting).
+  const T& Get() const { return value_; }
+
+  const AccessEpoch& stamp() const { return stamp_; }
+
+ private:
+  void Stamp() {
+    if (EpochReporter::Current() != nullptr) {
+      stamp_ = EpochReporter::CurrentEpoch();
+    } else {
+      stamp_ = AccessEpoch{};
+    }
+  }
+
+  T value_{};
+  AccessEpoch stamp_;
+};
+
+}  // namespace analysis
+}  // namespace graft
+
+#endif  // GRAFT_ANALYSIS_EPOCH_H_

@@ -1,0 +1,134 @@
+#include "analysis/finding.h"
+
+#include <utility>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "debug/views/text_table.h"
+#include "io/trace_store.h"
+
+namespace graft {
+namespace analysis {
+
+const char* FindingKindName(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kSendAfterHalt:
+      return "send_after_halt";
+    case FindingKind::kStaleRead:
+      return "stale_read";
+    case FindingKind::kAggregatorPhase:
+      return "aggregator_phase";
+    case FindingKind::kMutationAfterHalt:
+      return "mutation_after_halt";
+    case FindingKind::kNondeterminism:
+      return "nondeterminism";
+    case FindingKind::kNonCommutativeCombiner:
+      return "non_commutative_combiner";
+    case FindingKind::kOrderDependentAggregation:
+      return "order_dependent_aggregation";
+  }
+  return "?";
+}
+
+void AnalysisFinding::Write(BinaryWriter& w) const {
+  w.WriteU8(kFormatVersion);
+  w.WriteU8(static_cast<uint8_t>(kind));
+  w.WriteSignedVarint(superstep);
+  w.WriteSignedVarint(vertex);
+  w.WriteSignedVarint(worker);
+  w.WriteString(detail);
+}
+
+Result<AnalysisFinding> AnalysisFinding::Read(BinaryReader& r) {
+  GRAFT_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported analysis finding version " +
+                                   std::to_string(version));
+  }
+  AnalysisFinding f;
+  GRAFT_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+  if (kind >= kNumFindingKinds) {
+    return Status::InvalidArgument("unknown finding kind " +
+                                   std::to_string(kind));
+  }
+  f.kind = static_cast<FindingKind>(kind);
+  GRAFT_ASSIGN_OR_RETURN(f.superstep, r.ReadSignedVarint());
+  GRAFT_ASSIGN_OR_RETURN(f.vertex, r.ReadSignedVarint());
+  GRAFT_ASSIGN_OR_RETURN(int64_t worker, r.ReadSignedVarint());
+  f.worker = static_cast<int32_t>(worker);
+  GRAFT_ASSIGN_OR_RETURN(f.detail, r.ReadString());
+  return f;
+}
+
+std::string AnalysisFinding::Serialize() const {
+  BinaryWriter w;
+  Write(w);
+  return std::move(w.TakeBuffer());
+}
+
+Result<AnalysisFinding> AnalysisFinding::Deserialize(std::string_view record) {
+  BinaryReader r(record);
+  return Read(r);
+}
+
+std::string AnalysisFinding::ToString() const {
+  std::string where;
+  if (vertex >= 0) {
+    where = StrFormat("superstep %lld vertex %lld",
+                      static_cast<long long>(superstep),
+                      static_cast<long long>(vertex));
+  } else if (superstep >= 0) {
+    where = StrFormat("superstep %lld (master)",
+                      static_cast<long long>(superstep));
+  } else {
+    where = "master initialize";
+  }
+  return StrFormat("%s at %s: %s", FindingKindName(kind), where.c_str(),
+                   detail.c_str());
+}
+
+std::string FindingsFile(const std::string& job_id, int64_t superstep,
+                         int32_t worker) {
+  // Initialize-phase findings (superstep -1) are filed under superstep 0 so
+  // every findings file lives inside a prunable superstep directory.
+  const long long dir =
+      static_cast<long long>(superstep < 0 ? 0 : superstep);
+  if (worker < 0) {
+    return StrFormat("%s/superstep_%06lld/findings_master.afind",
+                     job_id.c_str(), dir);
+  }
+  return StrFormat("%s/superstep_%06lld/findings_w%03d.afind", job_id.c_str(),
+                   dir, static_cast<int>(worker));
+}
+
+Result<std::vector<AnalysisFinding>> ReadFindings(const TraceStore& store,
+                                                  const std::string& job_id) {
+  std::vector<AnalysisFinding> findings;
+  for (const std::string& file : store.ListFiles(job_id + "/")) {
+    if (file.size() < 6 || file.substr(file.size() - 6) != ".afind") continue;
+    GRAFT_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                           store.ReadAll(file));
+    for (const std::string& record : records) {
+      GRAFT_ASSIGN_OR_RETURN(AnalysisFinding f,
+                             AnalysisFinding::Deserialize(record));
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+std::string RenderFindingsTable(const std::vector<AnalysisFinding>& findings) {
+  debug::TextTable table({"kind", "superstep", "vertex", "worker", "detail"});
+  for (const AnalysisFinding& f : findings) {
+    table.AddRow({FindingKindName(f.kind),
+                  f.superstep < 0 ? "init"
+                                  : std::to_string(f.superstep),
+                  f.vertex < 0 ? "-" : std::to_string(f.vertex),
+                  f.worker < 0 ? "master" : std::to_string(f.worker),
+                  Ellipsize(f.detail, 72)});
+  }
+  return table.Render();
+}
+
+}  // namespace analysis
+}  // namespace graft

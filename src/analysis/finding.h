@@ -1,0 +1,109 @@
+#ifndef GRAFT_ANALYSIS_FINDING_H_
+#define GRAFT_ANALYSIS_FINDING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "graph/simple_graph.h"
+
+namespace graft {
+class TraceStore;
+
+namespace analysis {
+
+using graft::VertexId;
+
+/// The BSP contract rules the sanitizer enforces (DESIGN.md §9). Values are
+/// part of the on-disk finding format — append only.
+enum class FindingKind : uint8_t {
+  /// (a) SendMessage after VoteToHalt in the same Compute() call: the
+  /// message is delivered, but the halt vote says the vertex believed it was
+  /// done — a classic source of ghost activations.
+  kSendAfterHalt = 0,
+  /// (b) Read of a value or message buffer outside the epoch it was
+  /// delivered/stamped in (another vertex's Compute(), or a later
+  /// superstep).
+  kStaleRead = 1,
+  /// (c) Aggregator write outside the phase that owns it: vertex Aggregate()
+  /// outside the compute phase, or MasterCompute::SetAggregated at the wrong
+  /// point in the barrier cycle (e.g. during Initialize, where the value is
+  /// clobbered by the superstep-0 aggregator reset).
+  kAggregatorPhase = 2,
+  /// (d) Vertex value/edge mutation after VoteToHalt without reactivation:
+  /// the mutation is kept, but the vertex told the engine it was done.
+  kMutationAfterHalt = 3,
+  /// (e) Re-executing the vertex with identical inputs (value, edges,
+  /// messages, aggregators, RNG stream) produced a different outcome — the
+  /// Compute() depends on something outside the captured context (wall
+  /// clock, rand(), worker-local scratch state).
+  kNondeterminism = 4,
+  /// (e) The registered message combiner is not commutative on observed
+  /// message pairs; sender-side combining makes the fold order
+  /// scheduling-dependent.
+  kNonCommutativeCombiner = 5,
+  /// (e) Two vertices pushed distinct values into a kOverwrite aggregator in
+  /// the same superstep: the merged result depends on worker/slot iteration
+  /// order.
+  kOrderDependentAggregation = 6,
+};
+inline constexpr int kNumFindingKinds = 7;
+
+/// Stable identifier used by RunReport JSON/Prometheus and the text views.
+const char* FindingKindName(FindingKind kind);
+
+/// One BSP contract violation, first-class alongside vertex traces: recorded
+/// into the trace store under the job namespace, counted in the run report,
+/// and renderable by the Graft text views.
+struct AnalysisFinding {
+  static constexpr uint8_t kFormatVersion = 1;
+
+  FindingKind kind = FindingKind::kSendAfterHalt;
+  /// Superstep the violation happened in; -1 for master Initialize() (before
+  /// superstep 0).
+  int64_t superstep = 0;
+  /// Offending vertex; -1 for master/job-level findings.
+  VertexId vertex = -1;
+  /// Worker thread that observed it; -1 for the engine/master thread.
+  int32_t worker = -1;
+  /// Human-readable specifics: aggregator name, stamped epoch, replay diff.
+  std::string detail;
+
+  void Write(BinaryWriter& w) const;
+  static Result<AnalysisFinding> Read(BinaryReader& r);
+  std::string Serialize() const;
+  static Result<AnalysisFinding> Deserialize(std::string_view record);
+
+  /// "send_after_halt at superstep 3 vertex 42: ..." one-liner.
+  std::string ToString() const;
+
+  friend bool operator==(const AnalysisFinding&,
+                         const AnalysisFinding&) = default;
+};
+
+/// Trace-store file holding the findings worker `worker` recorded at
+/// `superstep`. Lives inside the superstep directory next to the vertex
+/// traces, so PruneTracesFrom discards re-executed findings on recovery the
+/// same way it discards re-executed captures. Master/engine-thread findings
+/// (worker -1, including superstep -1 Initialize findings, which are filed
+/// under superstep 0) land in ".../findings_master.afind".
+std::string FindingsFile(const std::string& job_id, int64_t superstep,
+                         int32_t worker);
+
+/// Reads back every finding of `job_id`, ordered by (superstep, file,
+/// append order) — the round-trip half of "findings are first-class trace
+/// records".
+Result<std::vector<AnalysisFinding>> ReadFindings(const TraceStore& store,
+                                                  const std::string& job_id);
+
+/// Violations-view style table: one row per finding (kind, superstep,
+/// vertex, worker, detail). Empty-table rendering for no findings.
+std::string RenderFindingsTable(const std::vector<AnalysisFinding>& findings);
+
+}  // namespace analysis
+}  // namespace graft
+
+#endif  // GRAFT_ANALYSIS_FINDING_H_

@@ -1,0 +1,189 @@
+#ifndef GRAFT_ANALYSIS_FINDING_LOG_H_
+#define GRAFT_ANALYSIS_FINDING_LOG_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "common/status.h"
+#include "io/trace_store.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+
+namespace graft {
+namespace analysis {
+
+/// Collector for BSP contract violations, shared by every checked context of
+/// a job run. Thread-safe: worker threads Record() concurrently during the
+/// compute phase.
+///
+/// Each accepted finding is (1) kept in memory for the run summary and the
+/// text views, (2) appended to the trace store under the job namespace — the
+/// same superstep directories the capture layer uses, so recovery pruning
+/// covers both — and (3) counted per kind for obs::RunReport.
+///
+/// Findings are deduplicated on (kind, superstep, vertex, detail): a vertex
+/// that mutates its value in a loop after halting yields one finding per
+/// Compute() call, not one per iteration, and an attempt re-running a
+/// superstep after crash recovery does not double-record what the store
+/// already rewound.
+class FindingLog {
+ public:
+  using AbortFn = std::function<void(Status)>;
+
+  /// `store` may be null (no persistence — bench/unit use). `fatal` makes
+  /// every recorded finding abort the run via the abort callback.
+  FindingLog(TraceStore* store, std::string job_id, bool fatal)
+      : store_(store), job_id_(std::move(job_id)), fatal_(fatal) {}
+
+  FindingLog(const FindingLog&) = delete;
+  FindingLog& operator=(const FindingLog&) = delete;
+
+  /// Wires the fatal path to the current engine attempt (RequestAbort). Also
+  /// invoked when persisting a finding fails, with the store's status, so an
+  /// unavailable store surfaces as a retryable attempt failure exactly like
+  /// the capture path.
+  void set_abort(AbortFn abort) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    abort_ = std::move(abort);
+  }
+
+  /// Records one violation; returns false when it was a duplicate.
+  bool Record(AnalysisFinding finding) {
+    Status store_failure = Status::OK();
+    std::string message;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto key = std::make_tuple(static_cast<uint8_t>(finding.kind),
+                                 finding.superstep, finding.vertex,
+                                 finding.detail);
+      if (!seen_.insert(std::move(key)).second) return false;
+      counts_[static_cast<size_t>(finding.kind)]++;
+      if (store_ != nullptr) {
+        store_failure = store_->Append(
+            FindingsFile(job_id_, finding.superstep, finding.worker),
+            finding.Serialize());
+      }
+      if (fatal_) message = finding.ToString();
+      findings_.push_back(std::move(finding));
+    }
+    if (!store_failure.ok()) {
+      Abort(std::move(store_failure));
+    } else if (fatal_) {
+      // RequestAbort only flips an engine flag and never re-enters the log,
+      // so raising under the abort lock is fine.
+      Abort(Status::Aborted("BSP contract violation: " + message));
+    }
+    return true;
+  }
+
+  /// Crash-recovery rewind, the in-memory mirror of PruneTracesFrom: drops
+  /// findings recorded at supersteps >= `superstep` (their store files were
+  /// just pruned) so the re-executed supersteps can record them afresh.
+  /// Probe counters are cumulative overhead accounting and are kept.
+  void RewindToSuperstep(int64_t superstep) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::erase_if(findings_, [&](const AnalysisFinding& f) {
+      return f.superstep >= superstep;
+    });
+    std::erase_if(seen_, [&](const auto& key) {
+      return std::get<1>(key) >= superstep;
+    });
+    counts_.fill(0);
+    for (const AnalysisFinding& f : findings_) {
+      counts_[static_cast<size_t>(f.kind)]++;
+    }
+  }
+
+  /// Determinism-probe accounting (probes run, mismatches found, seconds
+  /// spent re-executing) — the sanitizer's analogue of capture overhead.
+  void AccountProbe(bool mismatch, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    probes_++;
+    if (mismatch) probe_mismatches_++;
+    probe_seconds_ += seconds;
+  }
+
+  std::vector<AnalysisFinding> findings() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return findings_;
+  }
+
+  uint64_t total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (uint64_t c : counts_) total += c;
+    return total;
+  }
+
+  uint64_t CountOf(FindingKind kind) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counts_[static_cast<size_t>(kind)];
+  }
+
+  /// Copies the run's analysis accounting into the report profile.
+  void FillAnalysisProfile(obs::AnalysisProfile* profile) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    profile->enabled = true;
+    profile->fail_on_violation = fatal_;
+    profile->findings_total = 0;
+    profile->findings_by_kind.clear();
+    for (int k = 0; k < kNumFindingKinds; ++k) {
+      profile->findings_total += counts_[k];
+      if (counts_[k] > 0) {
+        profile->findings_by_kind.emplace_back(
+            FindingKindName(static_cast<FindingKind>(k)), counts_[k]);
+      }
+    }
+    profile->determinism_probes = probes_;
+    profile->determinism_mismatches = probe_mismatches_;
+    profile->probe_seconds = probe_seconds_;
+  }
+
+  void ExportMetrics(obs::MetricsRegistry* registry) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int k = 0; k < kNumFindingKinds; ++k) {
+      if (counts_[k] == 0) continue;
+      registry
+          ->GetCounter(std::string("analysis.findings_total.") +
+                       FindingKindName(static_cast<FindingKind>(k)))
+          ->Increment(counts_[k]);
+    }
+    registry->GetCounter("analysis.determinism_probes_total")
+        ->Increment(probes_);
+    registry->GetGauge("analysis.probe_seconds")->Add(probe_seconds_);
+  }
+
+ private:
+  void Abort(Status status) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (abort_) abort_(std::move(status));
+  }
+
+  using Key = std::tuple<uint8_t, int64_t, VertexId, std::string>;
+
+  TraceStore* const store_;
+  const std::string job_id_;
+  const bool fatal_;
+
+  mutable std::mutex mutex_;
+  AbortFn abort_;
+  std::set<Key> seen_;
+  std::vector<AnalysisFinding> findings_;
+  std::array<uint64_t, kNumFindingKinds> counts_{};
+  uint64_t probes_ = 0;
+  uint64_t probe_mismatches_ = 0;
+  double probe_seconds_ = 0.0;
+};
+
+}  // namespace analysis
+}  // namespace graft
+
+#endif  // GRAFT_ANALYSIS_FINDING_LOG_H_

@@ -140,6 +140,21 @@ void RunReport::AppendJson(JsonWriter* writer) const {
   w.KV("store_appends", capture.store_appends);
   w.KV("store_flushes", capture.store_flushes);
   w.EndObject();
+  w.Key("analysis");
+  w.BeginObject();
+  w.KV("enabled", analysis.enabled);
+  w.KV("fail_on_violation", analysis.fail_on_violation);
+  w.KV("findings_total", analysis.findings_total);
+  w.Key("findings_by_kind");
+  w.BeginObject();
+  for (const auto& [kind, count] : analysis.findings_by_kind) {
+    w.KV(kind, count);
+  }
+  w.EndObject();
+  w.KV("determinism_probes", analysis.determinism_probes);
+  w.KV("determinism_mismatches", analysis.determinism_mismatches);
+  w.KV("probe_seconds", analysis.probe_seconds);
+  w.EndObject();
   w.Key("recovery");
   w.BeginObject();
   w.KV("checkpoints_enabled", recovery.checkpoints_enabled);
@@ -212,6 +227,19 @@ std::string RunReport::ToPrometheusText(std::string_view prefix) const {
     gauge("capture_trace_bytes", std::to_string(capture.trace_bytes));
     gauge("capture_store_appends", std::to_string(capture.store_appends));
     gauge("capture_store_flushes", std::to_string(capture.store_flushes));
+  }
+  if (analysis.enabled) {
+    gauge("analysis_findings_total", std::to_string(analysis.findings_total));
+    out += "# TYPE " + p + "analysis_findings gauge\n";
+    for (const auto& [kind, count] : analysis.findings_by_kind) {
+      out += p + "analysis_findings{job=\"" + job_id + "\",kind=\"" + kind +
+             "\"} " + std::to_string(count) + "\n";
+    }
+    gauge("analysis_determinism_probes",
+          std::to_string(analysis.determinism_probes));
+    gauge("analysis_determinism_mismatches",
+          std::to_string(analysis.determinism_mismatches));
+    gauge("analysis_probe_seconds", PromDouble(analysis.probe_seconds));
   }
   if (recovery.checkpoints_enabled) {
     gauge("checkpoints_written", std::to_string(recovery.checkpoints_written));

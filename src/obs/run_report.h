@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace graft {
@@ -76,6 +77,21 @@ struct CaptureProfile {
   double OverheadSeconds() const { return serialize_seconds + append_seconds; }
 };
 
+/// BSP-sanitizer accounting (DESIGN.md §9): contract violations found by the
+/// analysis layer, broken down by rule, plus the measured cost of the
+/// determinism re-execution probes — the analysis analogue of
+/// CaptureProfile's capture-overhead accounting.
+struct AnalysisProfile {
+  bool enabled = false;
+  bool fail_on_violation = false;
+  uint64_t findings_total = 0;
+  /// (FindingKindName, count) for every kind with at least one finding.
+  std::vector<std::pair<std::string, uint64_t>> findings_by_kind;
+  uint64_t determinism_probes = 0;
+  uint64_t determinism_mismatches = 0;
+  double probe_seconds = 0.0;
+};
+
 /// One recovery: the JobRunner restarted the job from a checkpoint after a
 /// retryable (kUnavailable) failure.
 struct RecoveryEvent {
@@ -107,6 +123,7 @@ struct RunReport {
   double total_seconds = 0.0;
   std::vector<SuperstepProfile> per_superstep;
   CaptureProfile capture;
+  AnalysisProfile analysis;
   RecoveryProfile recovery;
 
   // -- aggregates over per_superstep --

@@ -30,6 +30,7 @@
 #include "pregel/job_stats.h"
 #include "pregel/master.h"
 #include "pregel/message_store.h"
+#include "pregel/phase.h"
 #include "pregel/vertex.h"
 
 namespace graft {
@@ -98,6 +99,12 @@ class Engine {
     /// with Status::Unavailable — the retryable class JobRunner recovers
     /// from. Store-level faults are injected via FaultInjectingTraceStore.
     FaultInjector* fault_injector = nullptr;
+    /// Optional phase clock the engine stamps at every barrier-cycle
+    /// transition (setup, mutation, delivery, master, compute, merge). The
+    /// BspSanitizer's checked contexts read it to validate aggregator access
+    /// timing. Null (the default) skips all stamping — the release path
+    /// pays one pointer test per phase, nothing per vertex or message.
+    PhaseClock* phase_clock = nullptr;
   };
 
   /// Observes superstep boundaries; Graft's capture manager subscribes to
@@ -192,6 +199,7 @@ class Engine {
     stats.per_superstep = restored_per_superstep_;
     stats.total_messages = restored_total_messages_;
     stats.total_messages_dropped = restored_total_messages_dropped_;
+    StampPhase(EnginePhase::kSetup, -1);
     MasterCtx master_ctx(this);
     if (master_ != nullptr) {
       master_->Initialize(master_ctx);
@@ -237,6 +245,7 @@ class Engine {
 
       // 1. Apply topology mutations requested in the previous superstep.
       {
+        StampPhase(EnginePhase::kMutation, superstep_);
         Stopwatch clock;
         ApplyMutations(contexts, &ss);
         prof.mutation_seconds = clock.ElapsedSeconds();
@@ -247,6 +256,7 @@ class Engine {
       //    policy, per Pregel).
       uint64_t delivered = 0;
       {
+        StampPhase(EnginePhase::kDelivery, superstep_);
         Stopwatch clock;
         delivered = DeliverMessages(&ss, &prof);
         prof.delivery_wall_seconds = clock.ElapsedSeconds();
@@ -283,6 +293,7 @@ class Engine {
       }
 
       // 4. Master phase: sees aggregators merged at the end of superstep-1.
+      StampPhase(EnginePhase::kMasterCompute, superstep_);
       if (master_ != nullptr) {
         Stopwatch clock;
         master_ctx.BeginSuperstep(superstep_);
@@ -322,6 +333,7 @@ class Engine {
       has_compute_error_.store(false, std::memory_order_relaxed);
       compute_error_.reset();
       {
+        StampPhase(EnginePhase::kVertexCompute, superstep_);
         Stopwatch clock;
         pool_.Run([&](int w) {
           RunWorker(&contexts[static_cast<size_t>(w)],
@@ -355,6 +367,7 @@ class Engine {
 
       // 7. Merge per-worker aggregations into the next superstep's view.
       {
+        StampPhase(EnginePhase::kAggregatorMerge, superstep_);
         Stopwatch clock;
         MergeAggregators(contexts);
         prof.aggregator_merge_seconds = clock.ElapsedSeconds();
@@ -1050,7 +1063,16 @@ class Engine {
     ss->messages_sent += sent;
   }
 
+  /// One relaxed-cost pointer test when the sanitizer is off; the stamp is
+  /// only ~7 atomic stores per superstep when it is on.
+  void StampPhase(EnginePhase phase, int64_t superstep) {
+    if (options_.phase_clock != nullptr) {
+      options_.phase_clock->Set(phase, superstep);
+    }
+  }
+
   Status TakeAbortStatus() {
+    StampPhase(EnginePhase::kDone, superstep_);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     return abort_status_.value_or(
         Status::Internal("abort requested without a status"));
@@ -1193,6 +1215,7 @@ class Engine {
   }
 
   void FinalizeStats(JobStats* stats, const Stopwatch& clock) {
+    StampPhase(EnginePhase::kDone, superstep_);
     UpdateTotalsFromPartitions();
     stats->supersteps = superstep_;
     stats->final_vertices = total_vertices_;

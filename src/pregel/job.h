@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/sanitizer.h"
 #include "common/fault_injector.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -45,6 +46,12 @@ struct JobSpec {
   ComputationFactory<Traits> computation;
   /// Optional master.compute() factory.
   MasterFactory master;
+
+  /// BSP contract analysis (DESIGN.md §9); `sanitizer.enabled = false` (the
+  /// default) runs the job completely unchecked — no wrapping, no phase
+  /// clock, no epoch stamps. Findings persist to `trace_store` when one is
+  /// set, and always appear in the run report's analysis profile.
+  analysis::SanitizerOptions sanitizer;
 
   /// Graft capture configuration; null runs the job without instrumentation.
   /// Requires `trace_store`.
@@ -88,6 +95,8 @@ struct JobRunSummary {
   uint64_t exceptions = 0;
   uint64_t dropped_by_capture_limit = 0;
   uint64_t trace_bytes = 0;
+  /// BSP contract violations recorded by the sanitizer (0 when disabled).
+  uint64_t analysis_findings = 0;
   /// Engine runs executed (1 = no recovery happened).
   int attempts = 1;
   /// One entry per successful restore-from-checkpoint.
@@ -151,6 +160,18 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
     manager.emplace(trace_store, spec.debug_config, spec.options.job_id);
     manager->PrepareTargets(spec.vertices);
   }
+
+  // BSP sanitizer: one shared instance across recovery attempts (like the
+  // capture manager), plus the phase clock its aggregator checks read.
+  std::optional<PhaseClock> phase_clock;
+  std::optional<analysis::BspSanitizer<Traits>> bsp;
+  if (spec.sanitizer.enabled) {
+    phase_clock.emplace();
+    bsp.emplace(spec.sanitizer, trace_store, spec.options.job_id,
+                &*phase_clock, spec.computation, spec.options.combiner);
+  }
+  const MasterFactory master =
+      bsp ? bsp->WrapMaster(spec.master) : spec.master;
 
   // Capture-counter snapshots keyed by checkpoint superstep: recovery
   // rewinds the (shared, cross-attempt) manager so re-executed captures are
@@ -219,6 +240,7 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
   typename EngineT::Options options = spec.options;
   options.checkpoint = ckpt;
   options.fault_injector = spec.fault_injector;
+  options.phase_clock = phase_clock ? &*phase_clock : nullptr;
   const std::string job_id = options.job_id;
   const int max_attempts = std::max(0, spec.max_recovery_attempts);
 
@@ -233,14 +255,25 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
   Status last_failure = Status::OK();
 
   for (int attempt = 0;; ++attempt) {
+    // Wrap order: Instrument(Sanitize(user)) — the user program talks to the
+    // sanitizer's checked context, whose calls the capture interceptor then
+    // records, so captures reflect what the user actually did.
+    ComputationFactory<Traits> base =
+        bsp ? bsp->WrapComputation() : spec.computation;
     ComputationFactory<Traits> factory =
-        manager ? debug::InstrumentFactory<Traits>(spec.computation,
-                                                   &*manager)
-                : spec.computation;
+        manager ? debug::InstrumentFactory<Traits>(std::move(base), &*manager)
+                : std::move(base);
     EngineT engine(options,
                    attempt == 0 ? std::move(spec.vertices)
                                 : std::vector<Vertex<Traits>>{},
-                   std::move(factory), spec.master);
+                   std::move(factory), master);
+    if (bsp) {
+      // Fatal-policy and store-failure channel for this attempt: findings
+      // abort the engine in flight (works from worker and master threads
+      // alike — no exception has to thread through the barrier machinery).
+      bsp->log().set_abort(
+          [&engine](Status status) { engine.RequestAbort(std::move(status)); });
+    }
     if (attempt > 0) {
       Result<int64_t> latest =
           LatestCommittedCheckpoint(*ckpt.store, job_id);
@@ -251,12 +284,22 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
       }
       const int64_t resume = *latest;
       GRAFT_RETURN_NOT_OK(engine.RestoreFromCheckpoint(resume));
-      if (manager) {
-        // Re-executed supersteps re-capture: drop their stale trace files
-        // and rewind the counters to the checkpoint's snapshot, so the
-        // recovered run's traces and counts are exactly the fault-free ones.
+      if ((manager || bsp) && trace_store != nullptr) {
+        // Re-executed supersteps re-capture and re-record findings: drop
+        // their stale trace/finding files so the recovered run's records are
+        // exactly the fault-free ones.
         GRAFT_RETURN_NOT_OK(
             debug::PruneTracesFrom(*trace_store, job_id, resume));
+      }
+      if (bsp) {
+        // In-memory mirror of the prune: forget findings from the pruned
+        // supersteps so re-execution records them afresh (dedup would
+        // otherwise suppress them while their files are gone).
+        bsp->log().RewindToSuperstep(resume);
+      }
+      if (manager) {
+        // Rewind the capture counters to the checkpoint's snapshot, so the
+        // recovered run's counts are exactly the fault-free ones.
         auto snap = snapshots.find(resume);
         manager->RestoreCounters(snap != snapshots.end()
                                      ? snap->second
@@ -324,6 +367,14 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
     if (spec.options.metrics != nullptr) {
       manager->ExportMetrics(spec.options.metrics);
       trace_store->ExportMetrics(spec.options.metrics);
+    }
+  }
+  if (bsp) {
+    bsp->log().set_abort(nullptr);  // the last attempt's engine is gone
+    bsp->log().FillAnalysisProfile(&summary.stats.report.analysis);
+    summary.analysis_findings = summary.stats.report.analysis.findings_total;
+    if (spec.options.metrics != nullptr) {
+      bsp->log().ExportMetrics(spec.options.metrics);
     }
   }
   return summary;

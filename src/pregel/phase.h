@@ -1,0 +1,97 @@
+#ifndef GRAFT_PREGEL_PHASE_H_
+#define GRAFT_PREGEL_PHASE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace graft {
+namespace pregel {
+
+/// Where the engine currently is in the BSP barrier cycle. The analysis
+/// layer (src/analysis) uses these stamps to decide whether an aggregator
+/// access is legal at the moment it happens — e.g. MasterCompute may only
+/// SetAggregated during kMasterCompute, and vertex Aggregate() belongs to
+/// kVertexCompute.
+enum class EnginePhase : uint8_t {
+  kIdle = 0,           // engine constructed / between Run() calls
+  kSetup = 1,          // master Initialize() + checkpoint-0, before the loop
+  kMutation = 2,       // topology mutation application
+  kDelivery = 3,       // message delivery into partition inboxes
+  kMasterCompute = 4,  // master.compute()
+  kVertexCompute = 5,  // parallel vertex Compute() phase
+  kAggregatorMerge = 6,  // per-worker aggregation merge
+  kDone = 7,           // Run() returned
+};
+
+const char* EnginePhaseName(EnginePhase phase);
+
+/// Lock-free (phase, superstep) stamp, written by the engine thread at each
+/// phase transition and read from worker threads by the sanitizer's checked
+/// contexts. Packed into one atomic so a reader never sees a phase from one
+/// superstep paired with another superstep's number.
+///
+/// The engine only stamps when Engine::Options::phase_clock is non-null, so
+/// a release-path run (sanitizer disabled) pays exactly one pointer test per
+/// phase transition — no epoch stamps on the hot path (DESIGN.md §9).
+class PhaseClock {
+ public:
+  void Set(EnginePhase phase, int64_t superstep) {
+    state_.store(Pack(phase, superstep), std::memory_order_release);
+  }
+
+  EnginePhase phase() const {
+    return static_cast<EnginePhase>(state_.load(std::memory_order_acquire) &
+                                    0xff);
+  }
+
+  /// Superstep of the last stamp; -1 during setup (before superstep 0).
+  int64_t superstep() const {
+    return static_cast<int64_t>(state_.load(std::memory_order_acquire) >> 8) -
+           1;
+  }
+
+  /// Atomic snapshot of both halves.
+  std::pair<EnginePhase, int64_t> Read() const {
+    const uint64_t s = state_.load(std::memory_order_acquire);
+    return {static_cast<EnginePhase>(s & 0xff),
+            static_cast<int64_t>(s >> 8) - 1};
+  }
+
+ private:
+  // superstep is biased by +1 so the pre-loop value -1 packs into an
+  // unsigned field; 56 bits leave room for any realistic superstep count.
+  static uint64_t Pack(EnginePhase phase, int64_t superstep) {
+    return (static_cast<uint64_t>(superstep + 1) << 8) |
+           static_cast<uint64_t>(phase);
+  }
+
+  std::atomic<uint64_t> state_{Pack(EnginePhase::kIdle, -1)};
+};
+
+inline const char* EnginePhaseName(EnginePhase phase) {
+  switch (phase) {
+    case EnginePhase::kIdle:
+      return "idle";
+    case EnginePhase::kSetup:
+      return "setup";
+    case EnginePhase::kMutation:
+      return "mutation";
+    case EnginePhase::kDelivery:
+      return "delivery";
+    case EnginePhase::kMasterCompute:
+      return "master_compute";
+    case EnginePhase::kVertexCompute:
+      return "vertex_compute";
+    case EnginePhase::kAggregatorMerge:
+      return "aggregator_merge";
+    case EnginePhase::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+}  // namespace pregel
+}  // namespace graft
+
+#endif  // GRAFT_PREGEL_PHASE_H_

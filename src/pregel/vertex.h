@@ -30,6 +30,41 @@ concept JobTraits = requires {
   requires WritableValue<typename T::Message>;
 };
 
+/// Observer for vertex state transitions during a user Compute() call. The
+/// BspSanitizer (src/analysis) installs one on the worker thread for the
+/// duration of each checked Compute() so it can see the *ordering* of halt
+/// votes and value/edge mutations — the information needed to flag
+/// "mutation after VoteToHalt without reactivation", which no context
+/// decorator can observe because vertex mutation bypasses the context.
+///
+/// Cost discipline: when no watcher is installed (every release-path run)
+/// each hook is one thread_local load and a not-taken branch next to a
+/// store the mutator was doing anyway — nothing measurable (the
+/// bench_engine_baseline sanitizer-off guard holds this line).
+class VertexWatcher {
+ public:
+  virtual ~VertexWatcher() = default;
+  virtual void OnVoteToHalt(VertexId id) { (void)id; }
+  virtual void OnActivate(VertexId id) { (void)id; }
+  virtual void OnValueMutation(VertexId id) { (void)id; }
+  virtual void OnEdgeMutation(VertexId id) { (void)id; }
+
+  /// Watcher for the current thread; null unless a checked Compute() call is
+  /// in flight on it.
+  static VertexWatcher* Current() { return current_; }
+
+  /// Installs `watcher` on this thread and returns the previous one (restore
+  /// it when the checked call returns).
+  static VertexWatcher* Install(VertexWatcher* watcher) {
+    VertexWatcher* previous = current_;
+    current_ = watcher;
+    return previous;
+  }
+
+ private:
+  static inline thread_local VertexWatcher* current_ = nullptr;
+};
+
 /// A vertex as seen by Compute(): id, mutable value, mutable out-edges, and
 /// the active/halted flag toggled via VoteToHalt (§2 item list).
 template <JobTraits Traits>
@@ -46,29 +81,46 @@ class Vertex {
   VertexId id() const { return id_; }
 
   const VertexValue& value() const { return value_; }
-  VertexValue* mutable_value() { return &value_; }
-  void set_value(VertexValue v) { value_ = std::move(v); }
+  VertexValue* mutable_value() {
+    if (VertexWatcher* w = VertexWatcher::Current()) w->OnValueMutation(id_);
+    return &value_;
+  }
+  void set_value(VertexValue v) {
+    if (VertexWatcher* w = VertexWatcher::Current()) w->OnValueMutation(id_);
+    value_ = std::move(v);
+  }
 
   const std::vector<EdgeT>& edges() const { return edges_; }
-  std::vector<EdgeT>* mutable_edges() { return &edges_; }
+  std::vector<EdgeT>* mutable_edges() {
+    if (VertexWatcher* w = VertexWatcher::Current()) w->OnEdgeMutation(id_);
+    return &edges_;
+  }
   size_t num_edges() const { return edges_.size(); }
 
   /// Adds an out-edge in place (local topology mutation; remote mutations go
   /// through ComputeContext requests).
   void AddEdge(VertexId target, EdgeValue value) {
+    if (VertexWatcher* w = VertexWatcher::Current()) w->OnEdgeMutation(id_);
     edges_.push_back(EdgeT{target, std::move(value)});
   }
 
   /// Removes all out-edges to `target`; returns how many were removed.
   size_t RemoveEdgesTo(VertexId target) {
+    if (VertexWatcher* w = VertexWatcher::Current()) w->OnEdgeMutation(id_);
     size_t before = edges_.size();
     std::erase_if(edges_, [&](const EdgeT& e) { return e.target == target; });
     return before - edges_.size();
   }
 
   /// Declares this vertex done until a message re-activates it.
-  void VoteToHalt() { halted_ = true; }
-  void Activate() { halted_ = false; }
+  void VoteToHalt() {
+    if (VertexWatcher* w = VertexWatcher::Current()) w->OnVoteToHalt(id_);
+    halted_ = true;
+  }
+  void Activate() {
+    if (VertexWatcher* w = VertexWatcher::Current()) w->OnActivate(id_);
+    halted_ = false;
+  }
   bool halted() const { return halted_; }
 
   /// Engine-internal liveness (false after a RemoveVertex mutation).

@@ -1,0 +1,244 @@
+#ifndef GRAFT_TESTS_ANALYSIS_CORPUS_BUGGY_TWINS_H_
+#define GRAFT_TESTS_ANALYSIS_CORPUS_BUGGY_TWINS_H_
+
+// Buggy twins of the repo's algorithms: each one plants exactly one BSP
+// contract violation of a known kind at known coordinates, as ground truth
+// for the BspSanitizer golden tests (DESIGN.md §9). These are *plausible*
+// bugs — each is a small, realistic edit of the corresponding healthy algo
+// in src/algos/, the kind a code review could miss.
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "analysis/epoch.h"
+#include "common/logging.h"
+#include "pregel/computation.h"
+#include "pregel/compute_context.h"
+#include "pregel/master.h"
+#include "pregel/vertex.h"
+#include "algos/connected_components.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+
+namespace graft {
+namespace analysis_corpus {
+
+using pregel::AggregatorOp;
+using pregel::AggregatorSpec;
+using pregel::AggValue;
+using pregel::DoubleValue;
+using pregel::Int64Value;
+
+// ---------------------------------------------------------------------------
+// (a) kSendAfterHalt — PageRank that votes to halt on its last iteration and
+// then still flushes its rank along the out-edges. The message re-activates
+// every neighbor next superstep, so the "finished" job keeps running on
+// ghost activations until the superstep cap ends it.
+class MessageAfterHaltPageRank
+    : public pregel::Computation<algos::PageRankTraits> {
+ public:
+  explicit MessageAfterHaltPageRank(int max_iterations)
+      : max_iterations_(max_iterations) {}
+
+  void Compute(pregel::ComputeContext<algos::PageRankTraits>& ctx,
+               pregel::Vertex<algos::PageRankTraits>& vertex,
+               const std::vector<DoubleValue>& messages) override {
+    if (ctx.superstep() == 0) {
+      vertex.set_value(
+          DoubleValue{1.0 / static_cast<double>(ctx.total_num_vertices())});
+    } else {
+      double incoming = 0.0;
+      for (const DoubleValue& m : messages) incoming += m.value;
+      double n = static_cast<double>(ctx.total_num_vertices());
+      vertex.set_value(DoubleValue{0.15 / n + 0.85 * incoming});
+    }
+    if (ctx.superstep() >= max_iterations_) {
+      vertex.VoteToHalt();
+    }
+    // BUG: the final-rank flush runs unconditionally — including in the
+    // superstep where the vertex just voted to halt.
+    if (vertex.num_edges() > 0) {
+      ctx.SendMessageToAllEdges(
+          vertex, DoubleValue{vertex.value().value /
+                              static_cast<double>(vertex.num_edges())});
+    }
+  }
+
+ private:
+  int max_iterations_;
+};
+
+// ---------------------------------------------------------------------------
+// (b) kStaleRead — SSSP whose worker-local "best distance seen" cache wraps
+// the stashed value in analysis::Stamped. The cache is written during one
+// vertex's Compute() and consulted during other vertices' calls (and later
+// supersteps) — exactly the cross-epoch read the epoch model flags. The
+// cached value never changes the relaxation result, so the distances stay
+// correct; the *dependence* is the bug.
+class StaleReadSssp : public pregel::Computation<algos::SsspTraits> {
+ public:
+  explicit StaleReadSssp(VertexId source) : source_(source) {}
+
+  void Compute(pregel::ComputeContext<algos::SsspTraits>& ctx,
+               pregel::Vertex<algos::SsspTraits>& vertex,
+               const std::vector<DoubleValue>& messages) override {
+    constexpr double kInf = 1e300;
+    // BUG: reads the value stamped by whichever Compute() call last wrote
+    // it — another vertex, or a previous superstep.
+    const double cached =
+        cache_primed_ ? best_seen_.Read().value : kInf;
+    double best = ctx.superstep() == 0 && vertex.id() == source_
+                      ? 0.0
+                      : vertex.value().value;
+    for (const DoubleValue& m : messages) {
+      if (m.value < best) best = m.value;
+    }
+    (void)cached;  // consulted, not trusted — keeps the twin convergent
+    if (best < vertex.value().value) {
+      vertex.set_value(DoubleValue{best});
+      for (const auto& edge : vertex.edges()) {
+        ctx.SendMessage(edge.target, DoubleValue{best + edge.value.value});
+      }
+    }
+    best_seen_.Set(DoubleValue{best});
+    cache_primed_ = true;
+    vertex.VoteToHalt();
+  }
+
+ private:
+  VertexId source_;
+  analysis::Stamped<DoubleValue> best_seen_;
+  bool cache_primed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// (d) kMutationAfterHalt — connected components that votes to halt when no
+// improvement arrived, then "normalizes" its value anyway. The write after
+// the halt vote is kept, but the vertex already told the engine it was done
+// with that state.
+class MutationAfterHaltCC : public pregel::Computation<algos::CCTraits> {
+ public:
+  void Compute(pregel::ComputeContext<algos::CCTraits>& ctx,
+               pregel::Vertex<algos::CCTraits>& vertex,
+               const std::vector<Int64Value>& messages) override {
+    int64_t best = ctx.superstep() == 0 ? vertex.id() : vertex.value().value;
+    for (const Int64Value& m : messages) {
+      if (m.value < best) best = m.value;
+    }
+    const bool improved =
+        ctx.superstep() == 0 || best < vertex.value().value;
+    if (improved) {
+      vertex.set_value(Int64Value{best});
+      ctx.SendMessageToAllEdges(vertex, Int64Value{best});
+    } else {
+      vertex.VoteToHalt();
+      // BUG: post-halt write-back; looks like a harmless refresh.
+      vertex.set_value(Int64Value{best});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// (c) kAggregatorPhase — a master that seeds its phase aggregator from
+// Initialize() via SetAggregated. Initialize runs before superstep 0, whose
+// aggregator reset discards the value, so the computation sees the spec's
+// initial value instead — the paper's "most common master.compute() bug"
+// (§3.4) in its earliest-possible form.
+inline constexpr char kPhaseAggregator[] = "corpus.phase";
+
+class InitializeSetMaster : public pregel::MasterCompute {
+ public:
+  void Initialize(pregel::MasterContext& ctx) override {
+    GRAFT_CHECK_OK(ctx.RegisterAggregator(
+        kPhaseAggregator,
+        AggregatorSpec{AggregatorOp::kOverwrite, AggValue{int64_t{0}},
+                       /*persistent=*/true}));
+    // BUG: discarded by the superstep-0 reset; belongs in Compute() or in
+    // the spec's initial value.
+    GRAFT_CHECK_OK(ctx.SetAggregated(kPhaseAggregator, AggValue{int64_t{1}}));
+  }
+
+  void Compute(pregel::MasterContext& ctx) override {
+    if (ctx.superstep() >= 2) ctx.HaltComputation();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// (e) kOrderDependentAggregation — a coloring-style "claim the slot" pattern:
+// every undecided vertex writes its own id into a shared kOverwrite
+// aggregator, assuming "the" winner is well-defined. Which write survives
+// the merge depends on worker fold order.
+inline constexpr char kOwnerAggregator[] = "corpus.owner";
+
+class OverwriteClaimColoring : public pregel::Computation<algos::CCTraits> {
+ public:
+  void Compute(pregel::ComputeContext<algos::CCTraits>& ctx,
+               pregel::Vertex<algos::CCTraits>& vertex,
+               const std::vector<Int64Value>& messages) override {
+    (void)messages;
+    if (ctx.superstep() == 0) {
+      // BUG: every vertex "claims" the slot; kOverwrite keeps whichever
+      // update the merge folds last.
+      ctx.Aggregate(kOwnerAggregator, AggValue{vertex.id()});
+      return;
+    }
+    vertex.VoteToHalt();
+  }
+};
+
+class OverwriteClaimMaster : public pregel::MasterCompute {
+ public:
+  void Initialize(pregel::MasterContext& ctx) override {
+    GRAFT_CHECK_OK(ctx.RegisterAggregator(
+        kOwnerAggregator,
+        AggregatorSpec{AggregatorOp::kOverwrite, AggValue{int64_t{-1}},
+                       /*persistent=*/false}));
+  }
+  void Compute(pregel::MasterContext& ctx) override { (void)ctx; }
+};
+
+// ---------------------------------------------------------------------------
+// (e) kNondeterminism — a random-walk step counter drawing from libc rand()
+// instead of the context's deterministic per-(superstep, vertex) stream.
+// Re-executing the vertex with identical inputs advances the global rand()
+// sequence, so the replayed value differs — which is precisely why such a
+// job can never be debugged from its traces.
+class LibcRandomWalk : public pregel::Computation<algos::CCTraits> {
+ public:
+  void Compute(pregel::ComputeContext<algos::CCTraits>& ctx,
+               pregel::Vertex<algos::CCTraits>& vertex,
+               const std::vector<Int64Value>& messages) override {
+    (void)messages;
+    if (ctx.superstep() == 0) {
+      // BUG: rand() is invisible to the captured context.
+      vertex.set_value(Int64Value{static_cast<int64_t>(rand() % 9973)});
+      ctx.SendMessageToAllEdges(vertex, vertex.value());
+      return;
+    }
+    vertex.VoteToHalt();
+  }
+};
+
+/// The healthy twin of LibcRandomWalk: same walk, but drawn from the
+/// engine's deterministic stream — byte-identical under replay.
+class StreamRandomWalk : public pregel::Computation<algos::CCTraits> {
+ public:
+  void Compute(pregel::ComputeContext<algos::CCTraits>& ctx,
+               pregel::Vertex<algos::CCTraits>& vertex,
+               const std::vector<Int64Value>& messages) override {
+    (void)messages;
+    if (ctx.superstep() == 0) {
+      vertex.set_value(
+          Int64Value{static_cast<int64_t>(ctx.rng().NextBounded(9973))});
+      ctx.SendMessageToAllEdges(vertex, vertex.value());
+      return;
+    }
+    vertex.VoteToHalt();
+  }
+};
+
+}  // namespace analysis_corpus
+}  // namespace graft
+
+#endif  // GRAFT_TESTS_ANALYSIS_CORPUS_BUGGY_TWINS_H_

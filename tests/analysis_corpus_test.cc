@@ -1,0 +1,331 @@
+// Golden tests for the BspSanitizer over the buggy-twin corpus: every
+// contract-violation class (a)-(e) must be caught with the right
+// AnalysisFinding kind and vertex/superstep coordinates, findings must
+// round-trip through the trace store, and the run report must carry the
+// analysis profile.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/finding.h"
+#include "analysis/sanitizer.h"
+#include "graph/generators.h"
+#include "io/trace_store.h"
+#include "pregel/job.h"
+#include "pregel/loader.h"
+
+#include "analysis_corpus/buggy_twins.h"
+
+namespace graft {
+namespace {
+
+using analysis::AnalysisFinding;
+using analysis::FindingKind;
+using analysis_corpus::kOwnerAggregator;
+using pregel::DoubleValue;
+using pregel::Int64Value;
+
+std::vector<AnalysisFinding> FindingsOfKind(
+    const std::vector<AnalysisFinding>& findings, FindingKind kind) {
+  std::vector<AnalysisFinding> out;
+  for (const AnalysisFinding& f : findings) {
+    if (f.kind == kind) out.push_back(f);
+  }
+  return out;
+}
+
+/// Runs `spec` with the sanitizer on (non-fatal) against `store` and returns
+/// the summary; findings land in the store and the report.
+template <typename Traits>
+pregel::JobRunSummary RunSanitized(pregel::JobSpec<Traits> spec,
+                                   TraceStore* store) {
+  spec.sanitizer.enabled = true;
+  spec.trace_store = store;
+  auto summary = pregel::RunJob(std::move(spec));
+  GRAFT_CHECK(summary.ok());
+  return *std::move(summary);
+}
+
+TEST(AnalysisCorpusTest, SendAfterHaltPageRankCaught) {
+  auto graph = graph::GenerateRing(8);
+  pregel::JobSpec<algos::PageRankTraits> spec;
+  spec.options.job_id = "corpus_send_after_halt";
+  spec.options.max_supersteps = 4;  // the ghost activations never converge
+  spec.vertices = pregel::LoadUnweighted<algos::PageRankTraits>(
+      graph, [](VertexId) { return DoubleValue{0.0}; });
+  spec.computation = [] {
+    return std::make_unique<analysis_corpus::MessageAfterHaltPageRank>(2);
+  };
+
+  InMemoryTraceStore store;
+  pregel::JobRunSummary summary = RunSanitized(std::move(spec), &store);
+  ASSERT_TRUE(summary.job_status.ok()) << summary.job_status.ToString();
+
+  // Every vertex halts at superstep 2 and then sends along its one ring
+  // edge: one finding per vertex, at exactly those coordinates.
+  std::vector<AnalysisFinding> findings = summary.stats.report.analysis.enabled
+      ? *analysis::ReadFindings(store, "corpus_send_after_halt")
+      : std::vector<AnalysisFinding>{};
+  auto hits = FindingsOfKind(findings, FindingKind::kSendAfterHalt);
+  ASSERT_FALSE(hits.empty());
+  // The first violation is at superstep 2 (the halt iteration); the ghost
+  // activations it causes re-halt and re-send at superstep 3 as well.
+  for (const AnalysisFinding& f : hits) {
+    EXPECT_GE(f.superstep, 2) << f.ToString();
+    EXPECT_LT(f.superstep, 4) << f.ToString();
+    EXPECT_GE(f.vertex, 0);
+    EXPECT_LT(f.vertex, 8);
+    EXPECT_GE(f.worker, 0);
+  }
+  // All 8 vertices send after halting at superstep 2. The undirected ring
+  // gives every vertex two out-edges, and each post-halt send is a distinct
+  // finding (distinct target in the detail): 8 × 2.
+  EXPECT_EQ(std::count_if(hits.begin(), hits.end(),
+                          [](const AnalysisFinding& f) {
+                            return f.superstep == 2;
+                          }),
+            16);
+  EXPECT_EQ(summary.analysis_findings, summary.stats.report.analysis
+                                           .findings_total);
+  EXPECT_GT(summary.analysis_findings, 0u);
+}
+
+TEST(AnalysisCorpusTest, StaleReadSsspCaught) {
+  // 0 -> 1 -> 2 -> 3 line, unit weights.
+  graph::SimpleGraph graph;
+  for (VertexId v = 0; v < 3; ++v) graph.AddEdge(v, v + 1, 1.0);
+  constexpr double kInf = 1e300;
+  pregel::JobSpec<algos::SsspTraits> spec;
+  spec.options.job_id = "corpus_stale_read";
+  spec.vertices = pregel::LoadVertices<algos::SsspTraits>(
+      graph, [](VertexId) { return DoubleValue{kInf}; },
+      [](VertexId, VertexId, double w) { return DoubleValue{w}; });
+  spec.computation = [] {
+    return std::make_unique<analysis_corpus::StaleReadSssp>(0);
+  };
+
+  InMemoryTraceStore store;
+  pregel::JobRunSummary summary = RunSanitized(std::move(spec), &store);
+  ASSERT_TRUE(summary.job_status.ok());
+
+  auto findings = *analysis::ReadFindings(store, "corpus_stale_read");
+  auto hits = FindingsOfKind(findings, FindingKind::kStaleRead);
+  ASSERT_FALSE(hits.empty());
+  for (const AnalysisFinding& f : hits) {
+    EXPECT_GE(f.vertex, 0) << f.ToString();
+    EXPECT_NE(f.detail.find("stamped by vertex"), std::string::npos)
+        << f.detail;
+  }
+}
+
+TEST(AnalysisCorpusTest, MutationAfterHaltCCCaught) {
+  auto graph = graph::GenerateRing(6);
+  pregel::JobSpec<algos::CCTraits> spec;
+  spec.options.job_id = "corpus_mutation_after_halt";
+  spec.vertices = pregel::LoadUnweighted<algos::CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = [] {
+    return std::make_unique<analysis_corpus::MutationAfterHaltCC>();
+  };
+
+  InMemoryTraceStore store;
+  pregel::JobRunSummary summary = RunSanitized(std::move(spec), &store);
+  ASSERT_TRUE(summary.job_status.ok());
+
+  auto findings =
+      *analysis::ReadFindings(store, "corpus_mutation_after_halt");
+  auto hits = FindingsOfKind(findings, FindingKind::kMutationAfterHalt);
+  ASSERT_FALSE(hits.empty());
+  for (const AnalysisFinding& f : hits) {
+    // The write-back happens only on non-improving (halting) supersteps,
+    // which on a ring start at superstep 1.
+    EXPECT_GE(f.superstep, 1) << f.ToString();
+    EXPECT_GE(f.vertex, 0);
+    EXPECT_LT(f.vertex, 6);
+    EXPECT_NE(f.detail.find("after VoteToHalt"), std::string::npos);
+  }
+}
+
+TEST(AnalysisCorpusTest, MasterInitializeSetAggregatedCaught) {
+  auto graph = graph::GenerateRing(4);
+  pregel::JobSpec<algos::CCTraits> spec;
+  spec.options.job_id = "corpus_master_init";
+  spec.vertices = pregel::LoadUnweighted<algos::CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = [] {
+    return std::make_unique<analysis_corpus::StreamRandomWalk>();
+  };
+  spec.master = [] {
+    return std::make_unique<analysis_corpus::InitializeSetMaster>();
+  };
+
+  InMemoryTraceStore store;
+  pregel::JobRunSummary summary = RunSanitized(std::move(spec), &store);
+  ASSERT_TRUE(summary.job_status.ok());
+
+  auto findings = *analysis::ReadFindings(store, "corpus_master_init");
+  auto hits = FindingsOfKind(findings, FindingKind::kAggregatorPhase);
+  ASSERT_EQ(hits.size(), 1u);
+  // Master-side, before superstep 0: coordinates are (-1, -1, master).
+  EXPECT_EQ(hits[0].superstep, -1);
+  EXPECT_EQ(hits[0].vertex, -1);
+  EXPECT_EQ(hits[0].worker, -1);
+  EXPECT_NE(hits[0].detail.find("Initialize()"), std::string::npos);
+}
+
+TEST(AnalysisCorpusTest, OverwriteAggregatorColoringCaught) {
+  auto graph = graph::GenerateRing(5);
+  pregel::JobSpec<algos::CCTraits> spec;
+  spec.options.job_id = "corpus_overwrite";
+  spec.vertices = pregel::LoadUnweighted<algos::CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = [] {
+    return std::make_unique<analysis_corpus::OverwriteClaimColoring>();
+  };
+  spec.master = [] {
+    return std::make_unique<analysis_corpus::OverwriteClaimMaster>();
+  };
+
+  InMemoryTraceStore store;
+  pregel::JobRunSummary summary = RunSanitized(std::move(spec), &store);
+  ASSERT_TRUE(summary.job_status.ok());
+
+  auto findings = *analysis::ReadFindings(store, "corpus_overwrite");
+  auto hits =
+      FindingsOfKind(findings, FindingKind::kOrderDependentAggregation);
+  ASSERT_FALSE(hits.empty());
+  for (const AnalysisFinding& f : hits) {
+    EXPECT_EQ(f.superstep, 0) << f.ToString();
+    EXPECT_NE(f.detail.find(kOwnerAggregator), std::string::npos);
+  }
+}
+
+TEST(AnalysisCorpusTest, LibcRandomWalkProbeCaught) {
+  auto graph = graph::GenerateRing(6);
+  pregel::JobSpec<algos::CCTraits> spec;
+  spec.options.job_id = "corpus_rand";
+  spec.vertices = pregel::LoadUnweighted<algos::CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = [] {
+    return std::make_unique<analysis_corpus::LibcRandomWalk>();
+  };
+  spec.sanitizer.determinism_sample_rate = 1;  // probe every vertex
+
+  InMemoryTraceStore store;
+  pregel::JobRunSummary summary = RunSanitized(std::move(spec), &store);
+  ASSERT_TRUE(summary.job_status.ok());
+
+  auto findings = *analysis::ReadFindings(store, "corpus_rand");
+  auto hits = FindingsOfKind(findings, FindingKind::kNondeterminism);
+  ASSERT_FALSE(hits.empty());
+  for (const AnalysisFinding& f : hits) {
+    EXPECT_EQ(f.superstep, 0) << f.ToString();  // the rand() superstep
+    EXPECT_GE(f.vertex, 0);
+    EXPECT_NE(f.detail.find("diverged"), std::string::npos);
+  }
+  const obs::AnalysisProfile& profile = summary.stats.report.analysis;
+  EXPECT_GT(profile.determinism_probes, 0u);
+  EXPECT_GT(profile.determinism_mismatches, 0u);
+  EXPECT_GE(profile.probe_seconds, 0.0);
+}
+
+TEST(AnalysisCorpusTest, NonCommutativeCombinerCaught) {
+  auto graph = graph::GenerateRing(6);
+  pregel::JobSpec<algos::PageRankTraits> spec;
+  spec.options.job_id = "corpus_combiner";
+  spec.options.max_supersteps = 3;
+  // BUG under test: subtraction is not commutative; sender-side combining
+  // makes the fold order observable.
+  spec.options.combiner = [](const DoubleValue& a, const DoubleValue& b) {
+    return DoubleValue{a.value - b.value};
+  };
+  spec.vertices = pregel::LoadUnweighted<algos::PageRankTraits>(
+      graph, [](VertexId) { return DoubleValue{0.0}; });
+  spec.computation = [] {
+    return std::make_unique<analysis_corpus::MessageAfterHaltPageRank>(5);
+  };
+
+  InMemoryTraceStore store;
+  pregel::JobRunSummary summary = RunSanitized(std::move(spec), &store);
+  ASSERT_TRUE(summary.job_status.ok());
+
+  auto findings = *analysis::ReadFindings(store, "corpus_combiner");
+  auto hits =
+      FindingsOfKind(findings, FindingKind::kNonCommutativeCombiner);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_NE(hits[0].detail.find("combine("), std::string::npos);
+}
+
+TEST(AnalysisCorpusTest, FatalPolicyAbortsTheJob) {
+  auto graph = graph::GenerateRing(8);
+  pregel::JobSpec<algos::PageRankTraits> spec;
+  spec.options.job_id = "corpus_fatal";
+  spec.options.max_supersteps = 6;
+  spec.vertices = pregel::LoadUnweighted<algos::PageRankTraits>(
+      graph, [](VertexId) { return DoubleValue{0.0}; });
+  spec.computation = [] {
+    return std::make_unique<analysis_corpus::MessageAfterHaltPageRank>(2);
+  };
+  spec.sanitizer.enabled = true;
+  spec.sanitizer.fail_on_violation = true;
+
+  InMemoryTraceStore store;
+  spec.trace_store = &store;
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->job_status.IsAborted())
+      << summary->job_status.ToString();
+  EXPECT_NE(summary->job_status.ToString().find("BSP contract violation"),
+            std::string::npos);
+  // The evidence survives the abort — that is the point of the debugger.
+  auto findings = *analysis::ReadFindings(store, "corpus_fatal");
+  EXPECT_FALSE(
+      FindingsOfKind(findings, FindingKind::kSendAfterHalt).empty());
+}
+
+TEST(AnalysisCorpusTest, FindingsRoundTripAndAppearInRunReport) {
+  auto graph = graph::GenerateRing(8);
+  pregel::JobSpec<algos::PageRankTraits> spec;
+  spec.options.job_id = "corpus_roundtrip";
+  spec.options.max_supersteps = 4;
+  spec.vertices = pregel::LoadUnweighted<algos::PageRankTraits>(
+      graph, [](VertexId) { return DoubleValue{0.0}; });
+  spec.computation = [] {
+    return std::make_unique<analysis_corpus::MessageAfterHaltPageRank>(2);
+  };
+
+  InMemoryTraceStore store;
+  pregel::JobRunSummary summary = RunSanitized(std::move(spec), &store);
+  ASSERT_TRUE(summary.job_status.ok());
+  ASSERT_GT(summary.analysis_findings, 0u);
+
+  // Store round-trip: records under the job namespace deserialize back to
+  // exactly findings_total findings.
+  auto read_back = analysis::ReadFindings(store, "corpus_roundtrip");
+  ASSERT_TRUE(read_back.ok()) << read_back.status().ToString();
+  EXPECT_EQ(read_back->size(), summary.analysis_findings);
+  // Finding files live inside the superstep directories, next to traces.
+  EXPECT_FALSE(
+      store.ListFiles("corpus_roundtrip/superstep_000002/").empty());
+
+  // Run report: JSON carries the analysis profile with per-kind counts.
+  const std::string json = summary.stats.report.ToJson();
+  EXPECT_NE(json.find("\"analysis\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"findings_by_kind\""), std::string::npos);
+  EXPECT_NE(json.find("\"send_after_halt\""), std::string::npos);
+  // Prometheus exposition carries the same series, labelled by kind.
+  const std::string prom = summary.stats.report.ToPrometheusText();
+  EXPECT_NE(prom.find("analysis_findings_total"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("kind=\"send_after_halt\""), std::string::npos);
+
+  // And the text view renders them for the terminal.
+  const std::string table = analysis::RenderFindingsTable(*read_back);
+  EXPECT_NE(table.find("send_after_halt"), std::string::npos) << table;
+}
+
+}  // namespace
+}  // namespace graft

@@ -257,6 +257,10 @@ TEST(RunReportTest, JsonGolden) {
       "\"dropped_by_limit\":0,\"serialize_seconds\":0,\"append_seconds\":0,"
       "\"overhead_seconds\":0,\"trace_bytes\":0,\"store_appends\":0,"
       "\"store_flushes\":0},"
+      "\"analysis\":{\"enabled\":false,\"fail_on_violation\":false,"
+      "\"findings_total\":0,\"findings_by_kind\":{},"
+      "\"determinism_probes\":0,\"determinism_mismatches\":0,"
+      "\"probe_seconds\":0},"
       "\"recovery\":{\"checkpoints_enabled\":false,\"checkpoints_written\":0,"
       "\"checkpoint_bytes\":0,\"checkpoint_seconds\":0,\"restore_seconds\":0,"
       "\"recoveries\":0,\"events\":[]}}");

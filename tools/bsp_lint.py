@@ -1,0 +1,311 @@
+#!/usr/bin/env python3
+"""bsp_lint: static BSP-determinism lint for Graft vertex programs.
+
+The dynamic half of the analysis layer (src/analysis, DESIGN.md §9) catches
+contract violations at runtime; this is the static half. It flags source
+constructs inside vertex/master programs that make a BSP computation
+nondeterministic or unreplayable — precisely the ones the runtime determinism
+probe would later surface as kNondeterminism findings, caught before the job
+ever runs:
+
+  libc-rand          rand()/srand()/drand48(): global-state RNG, invisible to
+                     the capture layer; use ctx.rng() (common/random.h).
+  raw-rng            std::random_device / self-seeded std::mt19937: per-run
+                     entropy breaks replay; use ctx.rng().
+  wall-clock         time()/clock()/chrono ::now(): wall-clock reads differ
+                     between a run and its replay.
+  unordered-agg      iterating an unordered_{map,set} in code that feeds
+                     ctx.Aggregate(): the fold order (and any float sum) then
+                     depends on hash-table layout.
+  raw-new            raw `new` inside a Compute() body: per-vertex manual
+                     ownership leaks on the engine's error paths; use
+                     std::make_unique or a value member.
+
+Suppress a deliberate use with a trailing or preceding-line comment:
+    // bsp-lint: allow(libc-rand)
+
+Usage:
+    tools/bsp_lint.py [paths...]          # default: src/algos examples
+    tools/bsp_lint.py --expect-findings tests/analysis_corpus
+        (self-test mode: exits 0 only if at least one finding IS present)
+
+Exits 1 when findings are present (0 in --expect-findings mode), so CI can
+gate on it directly. If clang-query is on PATH, an AST pass double-checks the
+raw-new rule inside Compute() bodies; the regex rules never depend on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = ["src/algos", "examples"]
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+
+ALLOW_RE = re.compile(r"//\s*bsp-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+
+# Single-line rules: (rule name, regex, message). Matches inside string
+# literals and comments are filtered out before these run.
+LINE_RULES = [
+    (
+        "libc-rand",
+        re.compile(r"(?<![\w:.>])(?:rand|srand|drand48|lrand48|random)\s*\("),
+        "libc RNG draws from hidden global state; use ctx.rng() "
+        "(common/random.h) so the value replays",
+    ),
+    (
+        "raw-rng",
+        re.compile(r"std::random_device|std::mt19937(?:_64)?\s*\w*\s*[({;]"),
+        "per-run entropy / self-seeded engines break trace replay; "
+        "use ctx.rng()",
+    ),
+    (
+        "wall-clock",
+        re.compile(
+            r"(?:std::chrono::\w+_clock::now\s*\(|(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL|0|&)|(?<![\w:.>])clock\s*\(\s*\)|gettimeofday\s*\()"
+        ),
+        "wall-clock reads differ between a run and its replay; derive "
+        "timing-like behavior from ctx.superstep()",
+    ),
+]
+
+
+def strip_noncode(line: str) -> str:
+    """Blanks out string literals, char literals, and // comments so the
+    rules only see code. (Block comments are handled per-file.)"""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+            out.append(" ")
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is a comment
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def strip_block_comments(text: str) -> str:
+    """Replaces /* ... */ spans with spaces, preserving newlines."""
+
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    return re.sub(r"/\*.*?\*/", blank, text, flags=re.DOTALL)
+
+
+def allowed_rules(raw_lines: list[str], idx: int) -> set[str]:
+    """Suppressions on the flagged line or the line right above it."""
+    rules: set[str] = set()
+    for line in raw_lines[max(0, idx - 1) : idx + 1]:
+        m = ALLOW_RE.search(line)
+        if m:
+            rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str, code: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.code = code
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT) if self.path.is_relative_to(REPO_ROOT) else self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}\n    {self.code.strip()}"
+
+
+def compute_body_ranges(code_lines: list[str]) -> list[tuple[int, int]]:
+    """Approximate line ranges (0-based, inclusive) of Compute() bodies by
+    brace counting from each `Compute(` signature."""
+    ranges = []
+    sig = re.compile(r"\bCompute\s*\(")
+    i = 0
+    while i < len(code_lines):
+        if sig.search(code_lines[i]):
+            depth, j, started = 0, i, False
+            while j < len(code_lines):
+                depth += code_lines[j].count("{") - code_lines[j].count("}")
+                if "{" in code_lines[j]:
+                    started = True
+                if started and depth <= 0:
+                    break
+                j += 1
+            if started:
+                ranges.append((i, j))
+                i = j
+        i += 1
+    return ranges
+
+
+def lint_file(path: Path) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        print(f"bsp_lint: cannot read {path}: {err}", file=sys.stderr)
+        return []
+    raw_lines = text.splitlines()
+    code_lines = [strip_noncode(l) for l in strip_block_comments(text).splitlines()]
+    findings: list[Finding] = []
+
+    for idx, code in enumerate(code_lines):
+        for rule, pattern, message in LINE_RULES:
+            if pattern.search(code) and rule not in allowed_rules(raw_lines, idx):
+                findings.append(Finding(path, idx + 1, rule, message, raw_lines[idx]))
+
+    # raw-new: only inside Compute() bodies; placement-new and make_unique
+    # style code never matches `new Type`.
+    new_re = re.compile(r"(?<![\w.])new\s+[A-Za-z_]")
+    for start, end in compute_body_ranges(code_lines):
+        for idx in range(start, min(end + 1, len(code_lines))):
+            if new_re.search(code_lines[idx]) and "raw-new" not in allowed_rules(raw_lines, idx):
+                findings.append(
+                    Finding(
+                        path,
+                        idx + 1,
+                        "raw-new",
+                        "raw `new` in Compute(): leaks on the engine's error "
+                        "paths; use std::make_unique or a value member",
+                        raw_lines[idx],
+                    )
+                )
+
+    # unordered-agg: a range-for over an unordered container within the same
+    # Compute() body as (and at most 10 lines above) an Aggregate() call.
+    unordered_re = re.compile(r"for\s*\(.*:\s*\w*.*unordered_(?:map|set)|:\s*\w+_unordered\b")
+    unordered_decl_re = re.compile(r"unordered_(?:map|set)\s*<")
+    agg_re = re.compile(r"\bAggregate\s*\(")
+    for start, end in compute_body_ranges(code_lines):
+        body = range(start, min(end + 1, len(code_lines)))
+        loop_lines = [
+            i
+            for i in body
+            if "for" in code_lines[i]
+            and (unordered_re.search(code_lines[i]) or _iterates_unordered(code_lines, i, unordered_decl_re))
+        ]
+        agg_lines = [i for i in body if agg_re.search(code_lines[i])]
+        for li in loop_lines:
+            if any(li <= ai <= li + 10 for ai in agg_lines) and "unordered-agg" not in allowed_rules(raw_lines, li):
+                findings.append(
+                    Finding(
+                        path,
+                        li + 1,
+                        "unordered-agg",
+                        "iteration order of unordered containers is "
+                        "layout-dependent; aggregating in that order makes "
+                        "the fold nondeterministic — use std::map or sort first",
+                        raw_lines[li],
+                    )
+                )
+    return findings
+
+
+def _iterates_unordered(code_lines: list[str], loop_idx: int, decl_re: re.Pattern) -> bool:
+    """True when the range expression of the for-loop at loop_idx names a
+    variable declared as an unordered container earlier in the file."""
+    m = re.search(r"for\s*\(.*:\s*([A-Za-z_]\w*)", code_lines[loop_idx])
+    if not m:
+        return False
+    var = m.group(1)
+    decl = re.compile(rf"unordered_(?:map|set)\s*<[^;]*>\s*{re.escape(var)}\b")
+    return any(decl.search(l) for l in code_lines[:loop_idx])
+
+
+def clang_query_pass(paths: list[Path]) -> None:
+    """Optional deeper AST check; advisory only (regex pass is the gate)."""
+    binary = shutil.which("clang-query")
+    if binary is None:
+        return
+    matcher = (
+        "match cxxNewExpr(hasAncestor(cxxMethodDecl(hasName(\"Compute\"))))"
+    )
+    files = [str(p) for p in paths if p.suffix in SOURCE_SUFFIXES]
+    if not files:
+        return
+    try:
+        subprocess.run(
+            [binary, "-c", matcher, *files, "--", f"-I{REPO_ROOT}/src", "-std=c++20"],
+            check=False,
+            timeout=120,
+        )
+    except (OSError, subprocess.TimeoutExpired) as err:
+        print(f"bsp_lint: clang-query pass skipped: {err}", file=sys.stderr)
+
+
+def collect(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = (REPO_ROOT / raw) if not Path(raw).is_absolute() else Path(raw)
+        if p.is_dir():
+            files.extend(
+                sorted(f for f in p.rglob("*") if f.suffix in SOURCE_SUFFIXES)
+            )
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"bsp_lint: no such path: {raw}", file=sys.stderr)
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=DEFAULT_PATHS)
+    parser.add_argument(
+        "--expect-findings",
+        action="store_true",
+        help="self-test mode: succeed only when at least one finding exists "
+        "(used by CI against tests/analysis_corpus)",
+    )
+    parser.add_argument(
+        "--no-clang-query", action="store_true", help="skip the optional AST pass"
+    )
+    args = parser.parse_args()
+
+    files = collect(args.paths or DEFAULT_PATHS)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+
+    for finding in findings:
+        print(finding)
+    print(
+        f"bsp_lint: {len(findings)} finding(s) in {len(files)} file(s)",
+        file=sys.stderr,
+    )
+    if not args.no_clang_query and findings:
+        clang_query_pass(files)
+
+    if args.expect_findings:
+        if findings:
+            return 0
+        print(
+            "bsp_lint: self-test FAILED — expected findings but saw none",
+            file=sys.stderr,
+        )
+        return 1
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the library sources and diff-fails on NEW warnings.
+
+The gate is a ratchet: every distinct warning fingerprint
+(relative-path:check-name, line numbers deliberately excluded so pure code
+motion doesn't churn the baseline) is compared against
+tools/clang_tidy_baseline.txt. Fingerprints not in the baseline fail the run;
+fingerprints in the baseline that no longer fire are reported so the baseline
+can be shrunk. The baseline starts (and should stay) empty.
+
+Usage:
+    tools/run_clang_tidy.py [--build-dir build] [--update-baseline] [paths...]
+
+Requires a compile_commands.json (cmake -DCMAKE_EXPORT_COMPILE_COMMANDS=ON).
+Exits 0 with a notice when clang-tidy is not installed, so developer machines
+without LLVM aren't blocked; CI installs it and gets the real gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tools" / "clang_tidy_baseline.txt"
+DEFAULT_PATHS = ["src/common", "src/pregel", "src/analysis", "src/obs"]
+WARNING_RE = re.compile(r"^(?P<path>[^:\s]+):\d+:\d+: warning: .* \[(?P<check>[\w.,-]+)\]")
+
+
+def source_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = (REPO_ROOT / raw) if not Path(raw).is_absolute() else Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.cc")) + sorted(p.rglob("*.cpp")))
+        elif p.exists():
+            files.append(p)
+    return files
+
+
+def fingerprint(line: str) -> str | None:
+    m = WARNING_RE.match(line)
+    if not m:
+        return None
+    path = Path(m.group("path"))
+    try:
+        rel = path.resolve().relative_to(REPO_ROOT)
+    except ValueError:
+        rel = path
+    return f"{rel}:{m.group('check')}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=DEFAULT_PATHS)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite tools/clang_tidy_baseline.txt with the current warnings",
+    )
+    args = parser.parse_args()
+
+    binary = shutil.which("clang-tidy")
+    if binary is None:
+        print("run_clang_tidy: clang-tidy not installed; skipping (CI runs it)")
+        return 0
+
+    build_dir = REPO_ROOT / args.build_dir
+    if not (build_dir / "compile_commands.json").exists():
+        print(
+            f"run_clang_tidy: no compile_commands.json in {build_dir}; "
+            "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON",
+            file=sys.stderr,
+        )
+        return 2
+
+    files = source_files(args.paths or DEFAULT_PATHS)
+    if not files:
+        print("run_clang_tidy: no source files matched", file=sys.stderr)
+        return 2
+
+    proc = subprocess.run(
+        [binary, "-p", str(build_dir), "--quiet", *map(str, files)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        check=False,
+    )
+    current: set[str] = set()
+    for line in proc.stdout.splitlines():
+        fp = fingerprint(line)
+        if fp:
+            current.add(fp)
+
+    if args.update_baseline:
+        BASELINE.write_text("".join(f"{fp}\n" for fp in sorted(current)))
+        print(f"run_clang_tidy: baseline rewritten with {len(current)} entries")
+        return 0
+
+    baseline = {
+        l.strip()
+        for l in BASELINE.read_text().splitlines()
+        if l.strip() and not l.startswith("#")
+    } if BASELINE.exists() else set()
+
+    new = sorted(current - baseline)
+    fixed = sorted(baseline - current)
+    if fixed:
+        print("run_clang_tidy: baselined warnings no longer fire (shrink the baseline):")
+        for fp in fixed:
+            print(f"  - {fp}")
+    if new:
+        print("run_clang_tidy: NEW warnings not in the baseline:", file=sys.stderr)
+        for fp in new:
+            print(f"  + {fp}", file=sys.stderr)
+        # Echo full diagnostics for the new fingerprints only.
+        for line in proc.stdout.splitlines():
+            fp = fingerprint(line)
+            if fp in new:
+                print(line, file=sys.stderr)
+        return 1
+    print(
+        f"run_clang_tidy: clean — {len(current)} warning fingerprint(s), "
+        f"all baselined ({len(files)} files)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
