@@ -19,6 +19,7 @@
 
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
+#include "debug/debug_config.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "io/trace_store.h"
@@ -219,6 +220,82 @@ void BM_PageRankSocEpinionsSanitizerOn(benchmark::State& state) {
   state.counters["probe_s"] = probe_seconds / iters;
 }
 BENCHMARK(BM_PageRankSocEpinionsSanitizerOn)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Bench guard for the ISSUE 5 capture pipeline: the same Table-1 PageRank
+// probe with capture-all-active debugging, once through the synchronous sink
+// and once through the spooling (async) sink. CI compares the pair in
+// BENCH_engine.json: the async run's overhead_s (serialize + critical-path
+// append) must drop versus sync, since store writes move to the background
+// flusher (reported separately as flush_s).
+void RunSocEpinionsCaptureBench(benchmark::State& state, bool async) {
+  const char* env = std::getenv("GRAFT_BENCH_SCALE");
+  graft::graph::DatasetOptions options;
+  options.scale_denominator = (env != nullptr && std::atoll(env) > 0)
+                                  ? static_cast<uint64_t>(std::atoll(env))
+                                  : 8;
+  auto graph = graft::graph::MakeDataset("soc-Epinions", options);
+  GRAFT_CHECK(graph.ok()) << graph.status();
+  static const graft::debug::ConfigurableDebugConfig<
+      graft::algos::PageRankTraits>
+      config = [] {
+        graft::debug::ConfigurableDebugConfig<graft::algos::PageRankTraits> c;
+        c.set_capture_all_active(true);
+        return c;
+      }();
+  uint64_t messages = 0, captures = 0, trace_bytes = 0, batches = 0;
+  uint64_t backpressure = 0;
+  double overhead = 0, serialize = 0, append = 0, flush = 0;
+  for (auto _ : state) {
+    auto spec = SocEpinionsSpec(*graph, static_cast<int>(state.range(0)));
+    spec.options.job_id =
+        async ? "bench-pr-capture-async" : "bench-pr-capture-sync";
+    graft::InMemoryTraceStore store;
+    spec.debug_config = &config;
+    spec.trace_store = &store;
+    spec.capture_io.async = async;
+    auto summary = graft::pregel::RunJob(std::move(spec));
+    GRAFT_CHECK(summary.ok()) << summary.status();
+    GRAFT_CHECK(summary->job_status.ok()) << summary->job_status;
+    messages += summary->stats.total_messages;
+    const graft::obs::CaptureProfile& capture = summary->stats.report.capture;
+    GRAFT_CHECK(capture.async_sink == async);
+    captures += capture.vertex_captures;
+    trace_bytes += capture.trace_bytes;
+    batches += capture.spool_batches;
+    backpressure += capture.spool_backpressure_waits;
+    overhead += capture.OverheadSeconds();
+    serialize += capture.serialize_seconds;
+    append += capture.append_seconds;
+    flush += capture.flush_seconds;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["captures"] = static_cast<double>(captures) / iters;
+  state.counters["trace_bytes"] = static_cast<double>(trace_bytes) / iters;
+  state.counters["overhead_s"] = overhead / iters;
+  state.counters["serialize_s"] = serialize / iters;
+  state.counters["append_s"] = append / iters;
+  state.counters["flush_s"] = flush / iters;
+  state.counters["spool_batches"] = static_cast<double>(batches) / iters;
+  state.counters["spool_backpressure_waits"] =
+      static_cast<double>(backpressure) / iters;
+}
+
+void BM_PageRankSocEpinionsCaptureSync(benchmark::State& state) {
+  RunSocEpinionsCaptureBench(state, /*async=*/false);
+}
+BENCHMARK(BM_PageRankSocEpinionsCaptureSync)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PageRankSocEpinionsCaptureAsync(benchmark::State& state) {
+  RunSocEpinionsCaptureBench(state, /*async=*/true);
+}
+BENCHMARK(BM_PageRankSocEpinionsCaptureAsync)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 

@@ -144,6 +144,10 @@ Sample RunConfig(DC dc, const ClusterBinding<Traits>& binding, int reps) {
       spec.master = binding.master;
       spec.debug_config = &config;
       spec.trace_store = &store;
+      // GRAFT_CAPTURE_ASYNC=1 re-measures every bar with the spooling sink
+      // (ISSUE 5): trace bytes are identical, only the critical-path cost
+      // moves.
+      spec.capture_io.async = EnvInt("GRAFT_CAPTURE_ASYNC", 0) > 0;
       auto summary_or = graft::debug::RunWithGraft(std::move(spec));
       GRAFT_CHECK(summary_or.ok()) << summary_or.status();
       const graft::debug::DebugRunSummary& summary = *summary_or;

@@ -13,6 +13,7 @@
 #include "algos/connected_components.h"
 #include "debug/codegen.h"
 #include "debug/debug_runner.h"
+#include "debug/debug_session.h"
 #include "debug/reproducer.h"
 #include "debug/views/gui_views.h"
 #include "debug/views/text_table.h"
@@ -102,25 +103,32 @@ int main(int argc, char** argv) {
   auto tabular = gui.TabularView();
   if (tabular.ok()) std::printf("%s\n", tabular->c_str());
 
-  // 6. "Reproduce Vertex Context": generate a standalone test replaying
+  // 6. "Reproduce Vertex Context": open the job's DebugSession (manifest-
+  //    indexed point lookups) and generate a standalone test replaying
   //    vertex 4 in superstep 1.
-  auto trace = graft::debug::ReadVertexTrace<CCTraits>(*store,
-                                                       "quickstart-cc", 1, 4);
-  if (trace.ok()) {
+  auto session =
+      graft::debug::DebugSession<CCTraits>::Open(store.get(), "quickstart-cc");
+  if (session.ok()) {
     graft::debug::CodegenBinding binding;
     binding.traits_type = "graft::algos::CCTraits";
     binding.includes = {"algos/connected_components.h"};
     binding.computation_decl =
         "graft::algos::ConnectedComponentsComputation computation;";
     binding.test_suite = "CCGraftTest";
-    std::printf("--- generated reproduction test ---\n%s\n",
-                graft::debug::GenerateVertexTestCode(*trace, binding).c_str());
+    auto code = graft::debug::GenerateVertexTestCodeAt(*session, 1, 4, binding);
+    if (code.ok()) {
+      std::printf("--- generated reproduction test ---\n%s\n", code->c_str());
+    }
 
     // ...and prove in-process that the replay is faithful.
-    graft::algos::ConnectedComponentsComputation computation;
-    auto fidelity = graft::debug::CheckReplayFidelity(*trace, computation);
-    std::printf("replay fidelity: %s\n",
-                fidelity.Faithful() ? "exact" : fidelity.mismatch_detail.c_str());
+    auto trace = session->FindVertexTrace(1, 4);
+    if (trace.ok()) {
+      graft::algos::ConnectedComponentsComputation computation;
+      auto fidelity = graft::debug::CheckReplayFidelity(*trace, computation);
+      std::printf(
+          "replay fidelity: %s\n",
+          fidelity.Faithful() ? "exact" : fidelity.mismatch_detail.c_str());
+    }
   }
   return 0;
 }

@@ -1,11 +1,15 @@
 #ifndef GRAFT_DEBUG_CAPTURE_MANAGER_H_
 #define GRAFT_DEBUG_CAPTURE_MANAGER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -16,6 +20,7 @@
 #include "common/stopwatch.h"
 #include "debug/debug_config.h"
 #include "debug/vertex_trace.h"
+#include "io/trace_sink.h"
 #include "io/trace_store.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
@@ -33,7 +38,10 @@ std::string JobTracePrefix(const std::string& job_id);
 
 /// Point-in-time copy of a CaptureManager's counters. JobRunner snapshots
 /// these at every checkpoint boundary and rewinds the manager on recovery,
-/// so the summary of a recovered run counts each capture exactly once.
+/// so the summary of a recovered run counts each capture exactly once. The
+/// sink's per-job I/O stats ride along under the same protocol — without
+/// them a recovered run double-counts the failed attempt's appends and
+/// serialize/append seconds (ISSUE 5 satellite 3).
 struct CaptureCounters {
   uint64_t captures = 0;
   uint64_t master_captures = 0;
@@ -41,31 +49,53 @@ struct CaptureCounters {
   uint64_t exceptions = 0;
   uint64_t dropped_by_limit = 0;
   double serialize_seconds = 0.0;
-  double append_seconds = 0.0;
+  TraceSinkStats sink;  // carries the producer-side append/flush accounting
+
+  friend bool operator==(const CaptureCounters&,
+                         const CaptureCounters&) = default;
 };
 
 /// Deletes every trace file of `job_id` for supersteps >= `superstep`. Run
 /// before re-executing from a checkpoint so the recovered run's re-captures
-/// append into empty files instead of duplicating records.
+/// append into empty files instead of duplicating records. The manifest file
+/// lives outside the superstep_* layout and survives this.
 Status PruneTracesFrom(TraceStore& store, const std::string& job_id,
                        int64_t superstep);
 
 /// Per-debug-run shared state: the resolved capture target set (specified +
-/// random + their neighbors), the capture counters, and the trace sink.
-/// Thread-safe: worker threads consult the (immutable after Prepare) target
-/// set and append through the store's own synchronization.
+/// random + their neighbors), the capture counters, the manifest index under
+/// construction, and the trace sink all appends go through. Thread-safe:
+/// worker threads consult the (immutable after Prepare) target set, append
+/// through the sink, and index into their own per-worker manifest slot.
 template <pregel::JobTraits Traits>
 class CaptureManager {
  public:
+  /// Full constructor: captures flow through `sink` (not owned; must outlive
+  /// the manager) and a manifest index is built with one contention-free
+  /// slot per worker plus one for the master.
+  CaptureManager(TraceStore* store, TraceSink* sink,
+                 const DebugConfig<Traits>* config, std::string job_id,
+                 int num_workers)
+      : store_(store),
+        sink_(sink),
+        config_(config),
+        job_id_(std::move(job_id)),
+        num_workers_(num_workers),
+        manifest_slots_(static_cast<size_t>(num_workers) + 1) {
+    InitFromConfig();
+  }
+
+  /// Convenience constructor preserving the historical signature: a private
+  /// synchronous sink over `store`, no manifest (unit tests and ad-hoc
+  /// captures outside RunJob).
   CaptureManager(TraceStore* store, const DebugConfig<Traits>* config,
                  std::string job_id)
-      : store_(store), config_(config), job_id_(std::move(job_id)) {
-    GRAFT_CHECK(store_ != nullptr);
-    GRAFT_CHECK(config_ != nullptr);
-    has_message_constraint_ = config_->HasMessageValueConstraint();
-    has_vertex_value_constraint_ = config_->HasVertexValueConstraint();
-    capture_all_active_ = config_->CaptureAllActiveVertices();
-    max_captures_ = config_->MaxCaptures();
+      : owned_sink_(std::make_unique<SyncTraceSink>(store)),
+        store_(store),
+        sink_(owned_sink_.get()),
+        config_(config),
+        job_id_(std::move(job_id)) {
+    InitFromConfig();
   }
 
   CaptureManager(const CaptureManager&) = delete;
@@ -116,6 +146,7 @@ class CaptureManager {
 
   const DebugConfig<Traits>& config() const { return *config_; }
   const std::string& job_id() const { return job_id_; }
+  TraceSink* sink() const { return sink_; }
 
   bool has_message_constraint() const { return has_message_constraint_; }
   bool has_vertex_value_constraint() const {
@@ -134,8 +165,10 @@ class CaptureManager {
   }
 
   /// Appends a vertex trace (if still under the limit). Returns whether it
-  /// was written, or the store's error — capture I/O failures are part of
-  /// the run's outcome, not a log-and-continue event (ISSUE 3 satellite 2).
+  /// was written, or the sink's error — capture I/O failures are part of
+  /// the run's outcome, not a log-and-continue event. With an async sink
+  /// "written" means accepted for flushing; a deferred store failure
+  /// surfaces at the next append or superstep-barrier quiesce.
   Result<bool> RecordVertexTrace(const VertexTrace<Traits>& trace,
                                  int worker) {
     uint64_t n = captures_.fetch_add(1, std::memory_order_relaxed);
@@ -145,15 +178,14 @@ class CaptureManager {
       return false;
     }
     Stopwatch serialize_clock;
-    std::string payload = trace.Serialize();
+    std::string payload = trace.SerializeFramed();
     obs::AtomicDoubleAdd(&serialize_seconds_,
                          serialize_clock.ElapsedSeconds());
-    Stopwatch append_clock;
-    Status append = store_->Append(
+    Status append = sink_->Append(
         VertexTraceFile(job_id_, trace.superstep, worker), payload);
     if (!append.ok()) {
-      // The trace never reached the store; undo the reservation so the
-      // counters only ever count durable captures.
+      // The trace never reached the sink; undo the reservation so the
+      // counters only ever count accepted captures.
       captures_.fetch_sub(1, std::memory_order_relaxed);
       return append;
     }
@@ -164,25 +196,26 @@ class CaptureManager {
     if (trace.exception.has_value()) {
       exceptions_.fetch_add(1, std::memory_order_relaxed);
     }
-    obs::AtomicDoubleAdd(&append_seconds_, append_clock.ElapsedSeconds());
+    IndexRecord(worker, TraceRecordKind::kVertex, trace.superstep, trace.id);
     return true;
   }
 
   Status RecordMasterTrace(const MasterTrace& trace) {
     Stopwatch serialize_clock;
-    std::string payload = trace.Serialize();
+    std::string payload = trace.SerializeFramed();
     obs::AtomicDoubleAdd(&serialize_seconds_,
                          serialize_clock.ElapsedSeconds());
-    Stopwatch append_clock;
     GRAFT_RETURN_NOT_OK(
-        store_->Append(MasterTraceFile(job_id_, trace.superstep), payload));
+        sink_->Append(MasterTraceFile(job_id_, trace.superstep), payload));
     master_captures_.fetch_add(1, std::memory_order_relaxed);
-    obs::AtomicDoubleAdd(&append_seconds_, append_clock.ElapsedSeconds());
+    IndexRecord(static_cast<int>(manifest_slots_.size()) - 1,
+                TraceRecordKind::kMaster, trace.superstep, 0);
     return Status::OK();
   }
 
   /// Counter snapshot/rewind for checkpoint-coordinated recovery. Only
-  /// callable between supersteps (no concurrent Record* calls).
+  /// callable between supersteps with the sink quiesced (no concurrent
+  /// Record* calls, no in-flight background flushes).
   CaptureCounters SnapshotCounters() const {
     CaptureCounters c;
     c.captures = num_captures();
@@ -191,7 +224,7 @@ class CaptureManager {
     c.exceptions = num_exceptions();
     c.dropped_by_limit = num_dropped_by_limit();
     c.serialize_seconds = serialize_seconds();
-    c.append_seconds = append_seconds();
+    c.sink = sink_->stats();
     return c;
   }
   void RestoreCounters(const CaptureCounters& c) {
@@ -201,7 +234,40 @@ class CaptureManager {
     exceptions_.store(c.exceptions, std::memory_order_relaxed);
     dropped_by_limit_.store(c.dropped_by_limit, std::memory_order_relaxed);
     serialize_seconds_.store(c.serialize_seconds, std::memory_order_relaxed);
-    append_seconds_.store(c.append_seconds, std::memory_order_relaxed);
+    sink_->RestoreStats(c.sink);
+  }
+
+  /// Drops manifest entries for supersteps >= `superstep` and resets the
+  /// per-file ordinal trackers. Must accompany PruneTracesFrom on recovery:
+  /// pruned files restart at record ordinal 0.
+  void RewindManifest(int64_t superstep) {
+    for (ManifestSlot& slot : manifest_slots_) {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      std::erase_if(slot.entries, [superstep](const TraceManifestEntry& e) {
+        return e.superstep >= superstep;
+      });
+      slot.current_superstep = -1;
+      slot.next_index = 0;
+    }
+  }
+
+  /// Writes the job's manifest index as one framed record to
+  /// ManifestFile(job_id). Called once at the end of a successful run, after
+  /// the final sink quiesce; entries are emitted in sorted order so the
+  /// manifest bytes are deterministic regardless of worker interleaving.
+  Status WriteManifest() {
+    if (manifest_slots_.empty()) return Status::OK();
+    TraceManifest manifest;
+    for (ManifestSlot& slot : manifest_slots_) {
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      manifest.entries.insert(manifest.entries.end(), slot.entries.begin(),
+                              slot.entries.end());
+    }
+    // A run that captured nothing leaves the store untouched — readers treat
+    // an absent manifest and an absent job identically (scan of nothing).
+    if (manifest.entries.empty()) return Status::OK();
+    std::sort(manifest.entries.begin(), manifest.entries.end());
+    return store_->Append(ManifestFile(job_id_), manifest.Serialize());
   }
 
   uint64_t num_captures() const {
@@ -222,9 +288,6 @@ class CaptureManager {
   double serialize_seconds() const {
     return serialize_seconds_.load(std::memory_order_relaxed);
   }
-  double append_seconds() const {
-    return append_seconds_.load(std::memory_order_relaxed);
-  }
 
   /// Total bytes of trace data this job has written — the paper's "small
   /// log files" claim is checked against this in the benches.
@@ -232,9 +295,10 @@ class CaptureManager {
     return store_->TotalBytes(JobTracePrefix(job_id_));
   }
 
-  /// Fills the capture half of a run report. The store-level fields
-  /// (store_appends/store_flushes) are job-agnostic lifetime counters of the
-  /// underlying store; callers that share a store across jobs should diff.
+  /// Fills the capture half of a run report. The I/O fields come from the
+  /// sink's per-job stats, which rewind with the checkpoint protocol — a
+  /// recovered run reports each durable append exactly once, where the
+  /// store's lifetime io_stats would also count the failed attempt.
   void FillCaptureProfile(obs::CaptureProfile* capture) const {
     capture->enabled = true;
     capture->vertex_captures = num_captures();
@@ -243,11 +307,16 @@ class CaptureManager {
     capture->exceptions = num_exceptions();
     capture->dropped_by_limit = num_dropped_by_limit();
     capture->serialize_seconds = serialize_seconds();
-    capture->append_seconds = append_seconds();
     capture->trace_bytes = TraceBytes();
-    TraceStore::IoStats io = store_->io_stats();
+    TraceSinkStats io = sink_->stats();
+    capture->append_seconds = io.append_seconds;
     capture->store_appends = io.appends;
     capture->store_flushes = io.flushes;
+    capture->async_sink = sink_->async();
+    capture->flush_seconds = io.flush_seconds;
+    capture->spool_batches = io.batches;
+    capture->spool_max_queue_depth = io.max_queue_depth;
+    capture->spool_backpressure_waits = io.backpressure_waits;
   }
 
   /// Copies the capture counters into `registry` as capture.* metrics.
@@ -264,15 +333,69 @@ class CaptureManager {
         ->Increment(num_dropped_by_limit());
     registry->GetGauge("capture.serialize_seconds")
         ->Add(serialize_seconds());
-    registry->GetGauge("capture.append_seconds")->Add(append_seconds());
     registry->GetGauge("capture.trace_bytes")
         ->Add(static_cast<double>(TraceBytes()));
+    TraceSinkStats io = sink_->stats();
+    registry->GetGauge("capture.append_seconds")->Add(io.append_seconds);
+    registry->GetGauge("capture.flush_seconds")->Add(io.flush_seconds);
+    registry->GetCounter("capture.spool_batches_total")
+        ->Increment(io.batches);
+    registry->GetCounter("capture.spool_backpressure_waits_total")
+        ->Increment(io.backpressure_waits);
+    registry->GetGauge("capture.spool_max_queue_depth")
+        ->Set(static_cast<double>(io.max_queue_depth));
   }
 
  private:
+  /// Manifest entries produced by one writer thread (worker w at index w,
+  /// the master at the last index). The mutex is uncontended in steady
+  /// state — only the owner thread appends; Rewind/Write run at barriers.
+  struct ManifestSlot {
+    std::mutex mutex;
+    std::vector<TraceManifestEntry> entries;
+    int64_t current_superstep = -1;
+    uint64_t next_index = 0;
+  };
+
+  void InitFromConfig() {
+    GRAFT_CHECK(store_ != nullptr);
+    GRAFT_CHECK(sink_ != nullptr);
+    GRAFT_CHECK(config_ != nullptr);
+    GRAFT_CHECK(num_workers_ > 0);
+    has_message_constraint_ = config_->HasMessageValueConstraint();
+    has_vertex_value_constraint_ = config_->HasVertexValueConstraint();
+    capture_all_active_ = config_->CaptureAllActiveVertices();
+    max_captures_ = config_->MaxCaptures();
+  }
+
+  void IndexRecord(int slot_index, TraceRecordKind kind, int64_t superstep,
+                   VertexId vertex_id) {
+    if (manifest_slots_.empty() || slot_index < 0 ||
+        static_cast<size_t>(slot_index) >= manifest_slots_.size()) {
+      return;
+    }
+    ManifestSlot& slot = manifest_slots_[static_cast<size_t>(slot_index)];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.current_superstep != superstep) {
+      slot.current_superstep = superstep;
+      slot.next_index = 0;
+    }
+    TraceManifestEntry entry;
+    entry.kind = kind;
+    entry.superstep = superstep;
+    entry.vertex_id = vertex_id;
+    entry.worker = kind == TraceRecordKind::kMaster ? -1 : slot_index;
+    entry.record_index = slot.next_index++;
+    slot.entries.push_back(entry);
+  }
+
+  std::unique_ptr<TraceSink> owned_sink_;  // compat-constructor sink only
   TraceStore* store_;
+  TraceSink* sink_;
   const DebugConfig<Traits>* config_;
   std::string job_id_;
+  int num_workers_ = 1;
+  std::vector<ManifestSlot> manifest_slots_;
 
   std::unordered_map<VertexId, uint32_t> targets_;
   bool has_message_constraint_ = false;
@@ -286,7 +409,6 @@ class CaptureManager {
   std::atomic<uint64_t> exceptions_{0};
   std::atomic<uint64_t> dropped_by_limit_{0};
   std::atomic<double> serialize_seconds_{0.0};
-  std::atomic<double> append_seconds_{0.0};
 };
 
 inline std::string VertexTraceFile(const std::string& job_id,

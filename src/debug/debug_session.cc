@@ -1,0 +1,44 @@
+#include "debug/debug_session.h"
+
+#include <set>
+
+namespace graft {
+namespace debug {
+
+std::vector<int64_t> ListCapturedSupersteps(const TraceStore& store,
+                                            const std::string& job_id) {
+  std::set<int64_t> supersteps;
+  const std::string prefix = JobTracePrefix(job_id);
+  for (const std::string& file : store.ListFiles(prefix)) {
+    // Expect "<job>/superstep_NNNNNN/...".
+    size_t start = prefix.size();
+    const std::string marker = "superstep_";
+    if (file.compare(start, marker.size(), marker) != 0) continue;
+    start += marker.size();
+    size_t end = file.find('/', start);
+    if (end == std::string::npos) continue;
+    int64_t superstep;
+    if (ParseInt64(std::string_view(file).substr(start, end - start),
+                   &superstep)) {
+      supersteps.insert(superstep);
+    }
+  }
+  return {supersteps.begin(), supersteps.end()};
+}
+
+Result<std::optional<TraceManifest>> LoadTraceManifest(
+    const TraceStore& store, const std::string& job_id) {
+  const std::string file = ManifestFile(job_id);
+  if (!store.Exists(file)) return std::optional<TraceManifest>();
+  GRAFT_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                         store.ReadAll(file));
+  if (records.empty()) return std::optional<TraceManifest>();
+  // The writer appends exactly one manifest record per completed run; read
+  // the newest in case a job id was reused without clearing the store.
+  GRAFT_ASSIGN_OR_RETURN(TraceManifest manifest,
+                         TraceManifest::Deserialize(records.back()));
+  return std::optional<TraceManifest>(std::move(manifest));
+}
+
+}  // namespace debug
+}  // namespace graft

@@ -1,0 +1,256 @@
+#ifndef GRAFT_DEBUG_DEBUG_SESSION_H_
+#define GRAFT_DEBUG_DEBUG_SESSION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/string_util.h"
+#include "debug/capture_manager.h"
+#include "debug/vertex_trace.h"
+#include "io/trace_store.h"
+
+namespace graft {
+namespace debug {
+
+/// Filter for DebugSession::Select. Unset fields match everything; set
+/// fields are conjunctive.
+struct TraceQuery {
+  std::optional<int64_t> superstep;
+  std::optional<VertexId> vertex;
+  /// Any-of reason bits (CaptureReason mask); 0 matches every reason.
+  uint32_t reason_mask = 0;
+  bool only_exceptions = false;
+  bool only_violations = false;
+};
+
+/// Loads the manifest of `job_id` if one was written. Absent manifests are
+/// not an error (crashed or pre-v2 jobs): the result holds std::nullopt and
+/// callers fall back to directory scans.
+Result<std::optional<TraceManifest>> LoadTraceManifest(
+    const TraceStore& store, const std::string& job_id);
+
+/// Supersteps for which any vertex or master trace exists, ascending. This
+/// is the directory-scan primitive DebugSession falls back to when a job
+/// has no manifest.
+std::vector<int64_t> ListCapturedSupersteps(const TraceStore& store,
+                                            const std::string& job_id);
+
+/// The one read API over a job's captured traces (DESIGN.md §10): open a
+/// job, then query captures by superstep / vertex / reason / exception as
+/// typed records. Views, the reproducer, and test codegen all consume this
+/// instead of parsing trace files themselves.
+///
+/// When the job wrote a manifest (every successful run since format v2),
+/// point lookups — FindVertexTrace, VertexHistory, Master — resolve through
+/// the (vertex, superstep) → (file, record ordinal) index in O(1) store
+/// reads. Without one (crashed mid-run, or a seed-format job) every query
+/// transparently degrades to the historical directory scan. Records with an
+/// unknown format version or kind are skipped, not fatal.
+template <pregel::JobTraits Traits>
+class DebugSession {
+ public:
+  /// Opens a job for reading. `store` must outlive the session. Fails only
+  /// on a corrupt manifest, never on a missing one.
+  static Result<DebugSession> Open(const TraceStore* store,
+                                   std::string job_id) {
+    DebugSession session(store, std::move(job_id));
+    GRAFT_ASSIGN_OR_RETURN(std::optional<TraceManifest> manifest,
+                           LoadTraceManifest(*store, session.job_id_));
+    if (manifest.has_value()) {
+      session.has_manifest_ = true;
+      session.IndexManifest(*std::move(manifest));
+    } else {
+      session.supersteps_ = ListCapturedSupersteps(*store, session.job_id_);
+    }
+    return session;
+  }
+
+  const std::string& job_id() const { return job_id_; }
+  const TraceStore& store() const { return *store_; }
+  bool has_manifest() const { return has_manifest_; }
+
+  /// Supersteps with at least one captured record, ascending.
+  const std::vector<int64_t>& supersteps() const { return supersteps_; }
+
+  /// All vertex traces captured in `superstep`, ordered by vertex id.
+  Result<std::vector<VertexTrace<Traits>>> VertexTraces(
+      int64_t superstep) const {
+    std::vector<VertexTrace<Traits>> traces;
+    const std::string prefix =
+        StrFormat("%s/superstep_%06lld/", job_id_.c_str(),
+                  static_cast<long long>(superstep));
+    for (const std::string& file : store_->ListFiles(prefix)) {
+      if (file.size() < 7 ||
+          file.compare(file.size() - 7, 7, ".vtrace") != 0) {
+        continue;
+      }
+      GRAFT_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                             store_->ReadAll(file));
+      for (const std::string& record : records) {
+        GRAFT_ASSIGN_OR_RETURN(std::optional<VertexTrace<Traits>> trace,
+                               DecodeVertexRecord(record));
+        if (trace.has_value()) traces.push_back(*std::move(trace));
+      }
+    }
+    std::sort(traces.begin(), traces.end(),
+              [](const VertexTrace<Traits>& a, const VertexTrace<Traits>& b) {
+                return a.id < b.id;
+              });
+    return traces;
+  }
+
+  /// The trace of one vertex in one superstep. O(1) store reads with a
+  /// manifest; a scan of the superstep's files without.
+  Result<VertexTrace<Traits>> FindVertexTrace(int64_t superstep,
+                                              VertexId id) const {
+    if (has_manifest_) {
+      auto it = vertex_index_.find({superstep, id});
+      if (it == vertex_index_.end()) return NoTraceError(superstep, id);
+      const TraceManifestEntry& entry = it->second;
+      GRAFT_ASSIGN_OR_RETURN(
+          std::string record,
+          store_->ReadRecord(
+              VertexTraceFile(job_id_, superstep, entry.worker),
+              entry.record_index));
+      GRAFT_ASSIGN_OR_RETURN(std::optional<VertexTrace<Traits>> trace,
+                             DecodeVertexRecord(record));
+      if (!trace.has_value()) return NoTraceError(superstep, id);
+      return *std::move(trace);
+    }
+    GRAFT_ASSIGN_OR_RETURN(std::vector<VertexTrace<Traits>> traces,
+                           VertexTraces(superstep));
+    for (VertexTrace<Traits>& trace : traces) {
+      if (trace.id == id) return std::move(trace);
+    }
+    return NoTraceError(superstep, id);
+  }
+
+  /// Every captured superstep of one vertex, ascending — the data behind
+  /// the GUI's Next/Previous superstep replay.
+  Result<std::vector<VertexTrace<Traits>>> VertexHistory(VertexId id) const {
+    std::vector<VertexTrace<Traits>> history;
+    if (has_manifest_) {
+      // The index is superstep-major, so entries of one vertex are not
+      // contiguous; walk the index (cheap, in memory) and do O(1) record
+      // reads only for the matches.
+      for (const auto& [key, entry] : vertex_index_) {
+        if (key.second != id) continue;
+        auto trace = FindVertexTrace(key.first, id);
+        if (trace.ok()) history.push_back(std::move(trace).value());
+      }
+      return history;
+    }
+    for (int64_t superstep : supersteps_) {
+      auto trace = FindVertexTrace(superstep, id);
+      if (trace.ok()) history.push_back(std::move(trace).value());
+    }
+    return history;
+  }
+
+  /// The master trace of a superstep.
+  Result<MasterTrace> Master(int64_t superstep) const {
+    const std::string file = MasterTraceFile(job_id_, superstep);
+    GRAFT_ASSIGN_OR_RETURN(std::string record, store_->ReadRecord(file, 0));
+    return MasterTrace::Deserialize(record);
+  }
+
+  /// Typed query across the whole job: captures matching every set filter,
+  /// ordered by (superstep, vertex id).
+  Result<std::vector<VertexTrace<Traits>>> Select(
+      const TraceQuery& query) const {
+    std::vector<VertexTrace<Traits>> out;
+    auto matches = [&query](const VertexTrace<Traits>& t) {
+      if (query.reason_mask != 0 && (t.reasons & query.reason_mask) == 0) {
+        return false;
+      }
+      if (query.only_exceptions && !t.exception.has_value()) return false;
+      if (query.only_violations && t.violations.empty()) return false;
+      return true;
+    };
+    if (query.vertex.has_value()) {
+      if (query.superstep.has_value()) {
+        auto trace = FindVertexTrace(*query.superstep, *query.vertex);
+        if (trace.ok() && matches(*trace)) {
+          out.push_back(std::move(trace).value());
+        } else if (!trace.ok() && !trace.status().IsNotFound()) {
+          return trace.status();
+        }
+        return out;
+      }
+      GRAFT_ASSIGN_OR_RETURN(out, VertexHistory(*query.vertex));
+      std::erase_if(out, [&](const VertexTrace<Traits>& t) {
+        return !matches(t);
+      });
+      return out;
+    }
+    for (int64_t superstep : supersteps_) {
+      if (query.superstep.has_value() && superstep != *query.superstep) {
+        continue;
+      }
+      GRAFT_ASSIGN_OR_RETURN(std::vector<VertexTrace<Traits>> traces,
+                             VertexTraces(superstep));
+      for (VertexTrace<Traits>& trace : traces) {
+        if (matches(trace)) out.push_back(std::move(trace));
+      }
+    }
+    return out;
+  }
+
+ private:
+  DebugSession(const TraceStore* store, std::string job_id)
+      : store_(store), job_id_(std::move(job_id)) {}
+
+  /// Decodes one vertex record, treating unknown-version/kind frames as
+  /// skippable (returns nullopt) rather than fatal.
+  static Result<std::optional<VertexTrace<Traits>>> DecodeVertexRecord(
+      std::string_view record) {
+    GRAFT_ASSIGN_OR_RETURN(ParsedTraceRecord parsed,
+                           ParseTraceRecord(record));
+    if (parsed.ShouldSkip()) return std::optional<VertexTrace<Traits>>();
+    if (parsed.header.has_value() &&
+        parsed.header->kind != TraceRecordKind::kVertex) {
+      return std::optional<VertexTrace<Traits>>();
+    }
+    GRAFT_ASSIGN_OR_RETURN(VertexTrace<Traits> trace,
+                           VertexTrace<Traits>::Deserialize(record));
+    return std::optional<VertexTrace<Traits>>(std::move(trace));
+  }
+
+  Status NoTraceError(int64_t superstep, VertexId id) const {
+    return Status::NotFound(StrFormat(
+        "no trace for vertex %lld in superstep %lld of job '%s'",
+        static_cast<long long>(id), static_cast<long long>(superstep),
+        job_id_.c_str()));
+  }
+
+  void IndexManifest(TraceManifest manifest) {
+    std::set<int64_t> steps;
+    for (const TraceManifestEntry& entry : manifest.entries) {
+      steps.insert(entry.superstep);
+      if (entry.kind == TraceRecordKind::kVertex) {
+        vertex_index_.emplace(std::make_pair(entry.superstep, entry.vertex_id),
+                              entry);
+      }
+    }
+    supersteps_.assign(steps.begin(), steps.end());
+  }
+
+  const TraceStore* store_;
+  std::string job_id_;
+  bool has_manifest_ = false;
+  std::vector<int64_t> supersteps_;
+  /// (superstep, vertex) → manifest entry; only for manifest-backed jobs.
+  std::map<std::pair<int64_t, VertexId>, TraceManifestEntry> vertex_index_;
+};
+
+}  // namespace debug
+}  // namespace graft
+
+#endif  // GRAFT_DEBUG_DEBUG_SESSION_H_

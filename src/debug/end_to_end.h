@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "debug/debug_session.h"
 #include "graph/simple_graph.h"
 
 namespace graft {
@@ -39,6 +40,27 @@ std::string GenerateEndToEndTest(
     const graph::SimpleGraph& g,
     const std::map<VertexId, std::string>& expected,
     const EndToEndBinding& binding);
+
+/// The "from actual run" expected-values map, read back through the
+/// DebugSession API: each captured vertex's value after the last superstep
+/// with vertex captures (the final superstep may hold only a master record).
+/// Feed the result to GenerateEndToEndTest.
+template <pregel::JobTraits Traits>
+Result<std::map<VertexId, std::string>> ExpectedValuesFromSession(
+    const DebugSession<Traits>& session) {
+  std::map<VertexId, std::string> expected;
+  const std::vector<int64_t>& steps = session.supersteps();
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    GRAFT_ASSIGN_OR_RETURN(std::vector<VertexTrace<Traits>> traces,
+                           session.VertexTraces(*it));
+    if (traces.empty()) continue;
+    for (const VertexTrace<Traits>& trace : traces) {
+      expected[trace.id] = trace.value_after.ToString();
+    }
+    break;
+  }
+  return expected;
+}
 
 }  // namespace debug
 }  // namespace graft

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "debug/debug_session.h"
 #include "debug/mock_context.h"
 #include "debug/vertex_trace.h"
 #include "pregel/computation.h"
@@ -133,6 +134,28 @@ inline MockMasterContext ReplayMaster(const MasterTrace& trace,
   return ctx;
 }
 
+/// Session-based conveniences: fetch the capture through the DebugSession
+/// read API (O(1) with a manifest) and replay it — the programmatic
+/// equivalent of clicking a vertex in the GUI and hitting "replay".
+
+template <pregel::JobTraits Traits>
+Result<ReplayOutcome<Traits>> ReplayVertexAt(
+    const DebugSession<Traits>& session, int64_t superstep, VertexId id,
+    pregel::Computation<Traits>& computation) {
+  GRAFT_ASSIGN_OR_RETURN(VertexTrace<Traits> trace,
+                         session.FindVertexTrace(superstep, id));
+  return ReplayVertex(trace, computation);
+}
+
+template <pregel::JobTraits Traits>
+Result<ReplayFidelity> CheckReplayFidelityAt(
+    const DebugSession<Traits>& session, int64_t superstep, VertexId id,
+    pregel::Computation<Traits>& computation) {
+  GRAFT_ASSIGN_OR_RETURN(VertexTrace<Traits> trace,
+                         session.FindVertexTrace(superstep, id));
+  return CheckReplayFidelity(trace, computation);
+}
+
 /// Diffs a master replay against the recorded post-compute state.
 inline ReplayFidelity CheckMasterReplayFidelity(const MasterTrace& trace,
                                                 pregel::MasterCompute& master) {
@@ -147,6 +170,14 @@ inline ReplayFidelity CheckMasterReplayFidelity(const MasterTrace& trace,
     fidelity.mismatch_detail += "halt decision differs; ";
   }
   return fidelity;
+}
+
+template <pregel::JobTraits Traits>
+Result<ReplayFidelity> CheckMasterReplayFidelityAt(
+    const DebugSession<Traits>& session, int64_t superstep,
+    pregel::MasterCompute& master) {
+  GRAFT_ASSIGN_OR_RETURN(MasterTrace trace, session.Master(superstep));
+  return CheckMasterReplayFidelity(trace, master);
 }
 
 }  // namespace debug

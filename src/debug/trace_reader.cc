@@ -1,41 +1,16 @@
 #include "debug/trace_reader.h"
 
-#include <set>
+#include "debug/capture_manager.h"
 
 namespace graft {
 namespace debug {
 
-std::vector<int64_t> ListCapturedSupersteps(const TraceStore& store,
-                                            const std::string& job_id) {
-  std::set<int64_t> supersteps;
-  const std::string prefix = JobTracePrefix(job_id);
-  for (const std::string& file : store.ListFiles(prefix)) {
-    // Expect "<job>/superstep_NNNNNN/...".
-    size_t start = prefix.size();
-    const std::string marker = "superstep_";
-    if (file.compare(start, marker.size(), marker) != 0) continue;
-    start += marker.size();
-    size_t end = file.find('/', start);
-    if (end == std::string::npos) continue;
-    int64_t superstep;
-    if (ParseInt64(std::string_view(file).substr(start, end - start),
-                   &superstep)) {
-      supersteps.insert(superstep);
-    }
-  }
-  return {supersteps.begin(), supersteps.end()};
-}
-
 Result<MasterTrace> ReadMasterTrace(const TraceStore& store,
                                     const std::string& job_id,
                                     int64_t superstep) {
-  std::string file = MasterTraceFile(job_id, superstep);
-  GRAFT_ASSIGN_OR_RETURN(std::vector<std::string> records,
-                         store.ReadAll(file));
-  if (records.empty()) {
-    return Status::NotFound("empty master trace file: " + file);
-  }
-  return MasterTrace::Deserialize(records.front());
+  const std::string file = MasterTraceFile(job_id, superstep);
+  GRAFT_ASSIGN_OR_RETURN(std::string record, store.ReadRecord(file, 0));
+  return MasterTrace::Deserialize(record);
 }
 
 }  // namespace debug

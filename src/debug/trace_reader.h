@@ -1,23 +1,21 @@
 #ifndef GRAFT_DEBUG_TRACE_READER_H_
 #define GRAFT_DEBUG_TRACE_READER_H_
 
-#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
-#include "common/string_util.h"
-#include "debug/capture_manager.h"
+#include "debug/debug_session.h"
 #include "debug/vertex_trace.h"
 #include "io/trace_store.h"
 
 namespace graft {
 namespace debug {
 
-/// Read-side of the trace store: what the Graft GUI and the Context
-/// Reproducer consume. All functions are free of engine state — they only
-/// need the TraceStore and the job id, mirroring how the paper's GUI reads
-/// HDFS trace files after (or during) a run.
+/// Historical free-function read API, kept as thin wrappers over
+/// DebugSession (DESIGN.md §10). Each call opens a fresh session; callers
+/// issuing several queries against one job should open a DebugSession once
+/// and hold it — manifest-backed sessions answer point lookups in O(1).
 
 /// Supersteps for which any vertex or master trace exists, ascending.
 std::vector<int64_t> ListCapturedSupersteps(const TraceStore& store,
@@ -27,27 +25,9 @@ std::vector<int64_t> ListCapturedSupersteps(const TraceStore& store,
 template <pregel::JobTraits Traits>
 Result<std::vector<VertexTrace<Traits>>> ReadVertexTraces(
     const TraceStore& store, const std::string& job_id, int64_t superstep) {
-  std::vector<VertexTrace<Traits>> traces;
-  std::string prefix =
-      StrFormat("%s/superstep_%06lld/", job_id.c_str(),
-                static_cast<long long>(superstep));
-  for (const std::string& file : store.ListFiles(prefix)) {
-    if (file.size() < 7 || file.compare(file.size() - 7, 7, ".vtrace") != 0) {
-      continue;
-    }
-    GRAFT_ASSIGN_OR_RETURN(std::vector<std::string> records,
-                           store.ReadAll(file));
-    for (const std::string& record : records) {
-      GRAFT_ASSIGN_OR_RETURN(VertexTrace<Traits> trace,
-                             VertexTrace<Traits>::Deserialize(record));
-      traces.push_back(std::move(trace));
-    }
-  }
-  std::sort(traces.begin(), traces.end(),
-            [](const VertexTrace<Traits>& a, const VertexTrace<Traits>& b) {
-              return a.id < b.id;
-            });
-  return traces;
+  GRAFT_ASSIGN_OR_RETURN(DebugSession<Traits> session,
+                         DebugSession<Traits>::Open(&store, job_id));
+  return session.VertexTraces(superstep);
 }
 
 /// The trace of a single vertex in a superstep.
@@ -55,15 +35,9 @@ template <pregel::JobTraits Traits>
 Result<VertexTrace<Traits>> ReadVertexTrace(const TraceStore& store,
                                             const std::string& job_id,
                                             int64_t superstep, VertexId id) {
-  GRAFT_ASSIGN_OR_RETURN(std::vector<VertexTrace<Traits>> traces,
-                         (ReadVertexTraces<Traits>(store, job_id, superstep)));
-  for (VertexTrace<Traits>& trace : traces) {
-    if (trace.id == id) return std::move(trace);
-  }
-  return Status::NotFound(StrFormat(
-      "no trace for vertex %lld in superstep %lld of job '%s'",
-      static_cast<long long>(id), static_cast<long long>(superstep),
-      job_id.c_str()));
+  GRAFT_ASSIGN_OR_RETURN(DebugSession<Traits> session,
+                         DebugSession<Traits>::Open(&store, job_id));
+  return session.FindVertexTrace(superstep, id);
 }
 
 /// All supersteps of one vertex's captures, ascending by superstep — the
@@ -71,12 +45,9 @@ Result<VertexTrace<Traits>> ReadVertexTrace(const TraceStore& store,
 template <pregel::JobTraits Traits>
 Result<std::vector<VertexTrace<Traits>>> ReadVertexHistory(
     const TraceStore& store, const std::string& job_id, VertexId id) {
-  std::vector<VertexTrace<Traits>> history;
-  for (int64_t superstep : ListCapturedSupersteps(store, job_id)) {
-    auto trace = ReadVertexTrace<Traits>(store, job_id, superstep, id);
-    if (trace.ok()) history.push_back(std::move(trace).value());
-  }
-  return history;
+  GRAFT_ASSIGN_OR_RETURN(DebugSession<Traits> session,
+                         DebugSession<Traits>::Open(&store, job_id));
+  return session.VertexHistory(id);
 }
 
 /// The master trace of a superstep.

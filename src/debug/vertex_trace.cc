@@ -20,6 +20,96 @@ std::string CaptureReasonsToString(uint32_t reasons) {
   return out.empty() ? "none" : out;
 }
 
+std::string EncodeTraceRecord(const TraceRecordHeader& header,
+                              std::string_view body) {
+  BinaryWriter h;
+  h.WriteU8(header.version);
+  h.WriteU8(static_cast<uint8_t>(header.kind));
+  h.WriteSignedVarint(header.superstep);
+  h.WriteSignedVarint(header.vertex_id);
+  BinaryWriter w;
+  w.WriteU8(kTraceRecordMagic);
+  w.WriteVarint(h.buffer().size());
+  w.WriteRaw(h.buffer().data(), h.buffer().size());
+  w.WriteRaw(body.data(), body.size());
+  return std::move(w.TakeBuffer());
+}
+
+Result<ParsedTraceRecord> ParseTraceRecord(std::string_view record) {
+  if (record.empty()) {
+    return Status::InvalidArgument("empty trace record");
+  }
+  if (static_cast<uint8_t>(record[0]) != kTraceRecordMagic) {
+    // Legacy (seed-format) record: no frame, body is the whole record.
+    return ParsedTraceRecord{std::nullopt, record};
+  }
+  BinaryReader r(record);
+  GRAFT_RETURN_NOT_OK(r.Skip(1));  // magic
+  GRAFT_ASSIGN_OR_RETURN(uint64_t header_len, r.ReadVarint());
+  if (r.remaining() < header_len) {
+    return Status::InvalidArgument("truncated trace record header");
+  }
+  const size_t body_start = r.position() + static_cast<size_t>(header_len);
+  BinaryReader h(record.substr(r.position(), static_cast<size_t>(header_len)));
+  TraceRecordHeader header;
+  GRAFT_ASSIGN_OR_RETURN(header.version, h.ReadU8());
+  GRAFT_ASSIGN_OR_RETURN(uint8_t kind, h.ReadU8());
+  header.kind = static_cast<TraceRecordKind>(kind);
+  GRAFT_ASSIGN_OR_RETURN(header.superstep, h.ReadSignedVarint());
+  GRAFT_ASSIGN_OR_RETURN(header.vertex_id, h.ReadSignedVarint());
+  // Fields beyond these are from a newer writer; header_len already skipped
+  // them for us.
+  return ParsedTraceRecord{header, record.substr(body_start)};
+}
+
+std::string TraceManifest::Serialize() const {
+  BinaryWriter body;
+  body.WriteVarint(entries.size());
+  for (const TraceManifestEntry& e : entries) {
+    body.WriteU8(static_cast<uint8_t>(e.kind));
+    body.WriteSignedVarint(e.superstep);
+    body.WriteSignedVarint(e.vertex_id);
+    body.WriteSignedVarint(e.worker);
+    body.WriteVarint(e.record_index);
+  }
+  TraceRecordHeader header;
+  header.kind = TraceRecordKind::kManifest;
+  return EncodeTraceRecord(header, body.buffer());
+}
+
+Result<TraceManifest> TraceManifest::Deserialize(std::string_view record) {
+  GRAFT_ASSIGN_OR_RETURN(ParsedTraceRecord parsed, ParseTraceRecord(record));
+  if (!parsed.header.has_value() ||
+      parsed.header->kind != TraceRecordKind::kManifest) {
+    return Status::InvalidArgument("record is not a trace manifest");
+  }
+  if (parsed.header->version > kTraceFormatVersion) {
+    return Status::InvalidArgument("unsupported trace manifest version " +
+                                   std::to_string(parsed.header->version));
+  }
+  BinaryReader r(parsed.body);
+  TraceManifest manifest;
+  GRAFT_ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+  manifest.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TraceManifestEntry e;
+    GRAFT_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+    e.kind = static_cast<TraceRecordKind>(kind);
+    GRAFT_ASSIGN_OR_RETURN(e.superstep, r.ReadSignedVarint());
+    GRAFT_ASSIGN_OR_RETURN(e.vertex_id, r.ReadSignedVarint());
+    GRAFT_ASSIGN_OR_RETURN(int64_t worker, r.ReadSignedVarint());
+    e.worker = static_cast<int32_t>(worker);
+    GRAFT_ASSIGN_OR_RETURN(e.record_index, r.ReadVarint());
+    manifest.entries.push_back(e);
+  }
+  // Trailing bytes are future manifest fields; ignore them.
+  return manifest;
+}
+
+std::string ManifestFile(const std::string& job_id) {
+  return job_id + "/manifest.idx";
+}
+
 void MasterTrace::Write(BinaryWriter& w) const {
   w.WriteU8(kFormatVersion);
   w.WriteSignedVarint(superstep);
@@ -70,8 +160,20 @@ std::string MasterTrace::Serialize() const {
   return std::move(w.TakeBuffer());
 }
 
+std::string MasterTrace::SerializeFramed() const {
+  TraceRecordHeader header;
+  header.kind = TraceRecordKind::kMaster;
+  header.superstep = superstep;
+  return EncodeTraceRecord(header, Serialize());
+}
+
 Result<MasterTrace> MasterTrace::Deserialize(std::string_view record) {
-  BinaryReader r(record);
+  GRAFT_ASSIGN_OR_RETURN(ParsedTraceRecord parsed, ParseTraceRecord(record));
+  if (parsed.header.has_value() &&
+      parsed.header->kind != TraceRecordKind::kMaster) {
+    return Status::InvalidArgument("record is not a master trace");
+  }
+  BinaryReader r(parsed.body);
   return Read(r);
 }
 

@@ -33,6 +33,107 @@ enum CaptureReason : uint32_t {
 /// "spec|random|nbr|vv|msg|exc|active" style rendering of a reason mask.
 std::string CaptureReasonsToString(uint32_t reasons);
 
+// ---------------------------------------------------------------------------
+// Versioned record framing (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+//
+// Every record appended to a trace file since format v2 is framed as
+//
+//   [magic u8 = 0xA7]
+//   [header_len varint]
+//   [header: version u8, kind u8, superstep svarint, vertex_id svarint,
+//            ...future fields...]
+//   [body: the kind-specific serialization]
+//
+// Readers skip header bytes beyond the fields they know (header_len bounds
+// the header), so new header fields are forward-compatible. Records whose
+// version or kind is unknown are skippable, not fatal. Seed-format ("v0")
+// records have no frame: their first byte is the body version (0x01), which
+// can never be the magic, so ParseTraceRecord transparently detects them.
+
+inline constexpr uint8_t kTraceRecordMagic = 0xA7;
+inline constexpr uint8_t kTraceFormatVersion = 2;
+
+enum class TraceRecordKind : uint8_t {
+  kVertex = 0,    // body is VertexTrace<Traits>
+  kMaster = 1,    // body is MasterTrace
+  kManifest = 2,  // body is TraceManifest
+};
+
+/// The envelope of one framed record. `superstep`/`vertex_id` duplicate the
+/// body's leading fields so index builders and generic tooling (trace_dump)
+/// can classify records without knowing the Traits type.
+struct TraceRecordHeader {
+  uint8_t version = kTraceFormatVersion;
+  TraceRecordKind kind = TraceRecordKind::kVertex;
+  int64_t superstep = 0;
+  VertexId vertex_id = 0;  // 0 for master/manifest records
+
+  friend bool operator==(const TraceRecordHeader&,
+                         const TraceRecordHeader&) = default;
+};
+
+/// Frames `body` with a v2 header.
+std::string EncodeTraceRecord(const TraceRecordHeader& header,
+                              std::string_view body);
+
+/// A parsed frame. `header` is empty for legacy (seed-format) records; in
+/// that case `body` is the whole record and the caller must infer the kind
+/// from the file name, as pre-v2 readers did.
+struct ParsedTraceRecord {
+  std::optional<TraceRecordHeader> header;
+  std::string_view body;  // points into the input record
+
+  /// True when this record's version/kind is unknown to this build and it
+  /// should be skipped rather than decoded.
+  bool ShouldSkip() const {
+    return header.has_value() &&
+           (header->version > kTraceFormatVersion ||
+            static_cast<uint8_t>(header->kind) >
+                static_cast<uint8_t>(TraceRecordKind::kManifest));
+  }
+};
+
+/// Splits a record into header + body. Legacy records (first byte != magic)
+/// parse successfully with an empty header. Fails only on a corrupt frame
+/// (truncated header).
+Result<ParsedTraceRecord> ParseTraceRecord(std::string_view record);
+
+// ---------------------------------------------------------------------------
+// Per-job manifest index (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+/// One indexed record: (kind, superstep, vertex) → (worker file, append
+/// ordinal). `record_index` is the offset unit of TraceStore::ReadRecord.
+struct TraceManifestEntry {
+  TraceRecordKind kind = TraceRecordKind::kVertex;
+  int64_t superstep = 0;
+  VertexId vertex_id = 0;
+  int32_t worker = 0;  // worker index; -1 for master records
+  uint64_t record_index = 0;
+
+  friend bool operator==(const TraceManifestEntry&,
+                         const TraceManifestEntry&) = default;
+  friend auto operator<=>(const TraceManifestEntry&,
+                          const TraceManifestEntry&) = default;
+};
+
+/// The index of a whole job, written as a single framed record to
+/// ManifestFile(job_id) at the end of a successful run. Absence is not an
+/// error: readers fall back to directory scans (e.g. crashed or pre-v2
+/// jobs). Unknown trailing bytes after the entry array are ignored.
+struct TraceManifest {
+  std::vector<TraceManifestEntry> entries;
+
+  /// Fully framed record (kind = kManifest), ready for TraceStore::Append.
+  std::string Serialize() const;
+  static Result<TraceManifest> Deserialize(std::string_view record);
+};
+
+/// "<job_id>/manifest.idx" — deliberately outside the superstep_* directory
+/// layout so recovery's PruneTracesFrom never deletes it.
+std::string ManifestFile(const std::string& job_id);
+
 /// Exception captured from a Compute() call (category 5). C++ has no
 /// portable stack traces without a dependency; `context` carries the
 /// synthesized frame description (algorithm, phase, vertex, superstep) that
@@ -237,15 +338,31 @@ struct VertexTrace {
     return t;
   }
 
-  /// Serialized record for TraceStore::Append.
+  /// Serialized body (no frame) — the seed-format record layout.
   std::string Serialize() const {
     BinaryWriter w;
     Write(w);
     return std::move(w.TakeBuffer());
   }
 
+  /// v2 framed record for TraceStore::Append.
+  std::string SerializeFramed() const {
+    TraceRecordHeader header;
+    header.kind = TraceRecordKind::kVertex;
+    header.superstep = superstep;
+    header.vertex_id = id;
+    return EncodeTraceRecord(header, Serialize());
+  }
+
+  /// Accepts both v2 framed records and legacy (seed-format) bare bodies.
+  /// Trailing body bytes beyond the known fields are ignored.
   static Result<VertexTrace> Deserialize(std::string_view record) {
-    BinaryReader r(record);
+    GRAFT_ASSIGN_OR_RETURN(ParsedTraceRecord parsed, ParseTraceRecord(record));
+    if (parsed.header.has_value() &&
+        parsed.header->kind != TraceRecordKind::kVertex) {
+      return Status::InvalidArgument("record is not a vertex trace");
+    }
+    BinaryReader r(parsed.body);
     return Read(r);
   }
 };
@@ -267,7 +384,11 @@ struct MasterTrace {
 
   void Write(BinaryWriter& w) const;
   static Result<MasterTrace> Read(BinaryReader& r);
+  /// Serialized body (no frame) — the seed-format record layout.
   std::string Serialize() const;
+  /// v2 framed record for TraceStore::Append.
+  std::string SerializeFramed() const;
+  /// Accepts both v2 framed records and legacy (seed-format) bare bodies.
   static Result<MasterTrace> Deserialize(std::string_view record);
 };
 

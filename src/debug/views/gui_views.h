@@ -8,7 +8,7 @@
 
 #include "common/json_writer.h"
 #include "common/string_util.h"
-#include "debug/trace_reader.h"
+#include "debug/debug_session.h"
 #include "debug/vertex_trace.h"
 #include "debug/views/text_table.h"
 #include "io/trace_store.h"
@@ -45,16 +45,25 @@ struct SuperstepSnapshot {
 };
 
 template <pregel::JobTraits Traits>
+Result<SuperstepSnapshot<Traits>> LoadSnapshot(
+    const DebugSession<Traits>& session, int64_t superstep) {
+  SuperstepSnapshot<Traits> snapshot;
+  snapshot.superstep = superstep;
+  GRAFT_ASSIGN_OR_RETURN(snapshot.traces, session.VertexTraces(superstep));
+  auto master = session.Master(superstep);
+  if (master.ok()) snapshot.master = std::move(master).value();
+  return snapshot;
+}
+
+/// Convenience overload opening a one-shot DebugSession. Prefer holding a
+/// session when loading several supersteps of one job.
+template <pregel::JobTraits Traits>
 Result<SuperstepSnapshot<Traits>> LoadSnapshot(const TraceStore& store,
                                                const std::string& job_id,
                                                int64_t superstep) {
-  SuperstepSnapshot<Traits> snapshot;
-  snapshot.superstep = superstep;
-  GRAFT_ASSIGN_OR_RETURN(snapshot.traces, (ReadVertexTraces<Traits>(
-                                              store, job_id, superstep)));
-  auto master = ReadMasterTrace(store, job_id, superstep);
-  if (master.ok()) snapshot.master = std::move(master).value();
-  return snapshot;
+  GRAFT_ASSIGN_OR_RETURN(DebugSession<Traits> session,
+                         DebugSession<Traits>::Open(&store, job_id));
+  return LoadSnapshot(session, superstep);
 }
 
 namespace internal_views {
@@ -420,7 +429,15 @@ class GraftGui {
  public:
   GraftGui(const TraceStore* store, std::string job_id)
       : store_(store), job_id_(std::move(job_id)) {
-    supersteps_ = ListCapturedSupersteps(*store_, job_id_);
+    auto session = DebugSession<Traits>::Open(store_, job_id_);
+    if (session.ok()) {
+      session_.emplace(std::move(session).value());
+      supersteps_ = session_->supersteps();
+    } else {
+      // Corrupt manifest: degrade to the directory scan so the views still
+      // show whatever traces are readable.
+      supersteps_ = ListCapturedSupersteps(*store_, job_id_);
+    }
   }
 
   bool HasCaptures() const { return !supersteps_.empty(); }
@@ -459,6 +476,9 @@ class GraftGui {
     if (supersteps_.empty()) {
       return Status::NotFound("job '" + job_id_ + "' has no captures");
     }
+    if (session_.has_value()) {
+      return LoadSnapshot(*session_, current_superstep());
+    }
     return LoadSnapshot<Traits>(*store_, job_id_, current_superstep());
   }
 
@@ -490,6 +510,7 @@ class GraftGui {
  private:
   const TraceStore* store_;
   std::string job_id_;
+  std::optional<DebugSession<Traits>> session_;
   std::vector<int64_t> supersteps_;
   size_t cursor_ = 0;
 };

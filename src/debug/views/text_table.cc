@@ -86,7 +86,7 @@ std::string RenderWorkerProfile(const obs::RunReport& report,
 std::string RenderCaptureProfile(const obs::RunReport& report) {
   const obs::CaptureProfile& c = report.capture;
   if (!c.enabled) return "";
-  return StrFormat(
+  std::string out = StrFormat(
       "captures: vertex=%s master=%s violations=%s exceptions=%s "
       "dropped=%s\noverhead: serialize=%.3fms append=%.3fms traces=%s "
       "(%s appends, %s flushes)\n",
@@ -99,6 +99,15 @@ std::string RenderCaptureProfile(const obs::RunReport& report) {
       HumanBytes(c.trace_bytes).c_str(),
       WithThousandsSeparators(c.store_appends).c_str(),
       WithThousandsSeparators(c.store_flushes).c_str());
+  if (c.async_sink) {
+    out += StrFormat(
+        "spool: flush=%.3fms batches=%s max_queue=%s backpressure_waits=%s\n",
+        c.flush_seconds * 1e3,
+        WithThousandsSeparators(c.spool_batches).c_str(),
+        WithThousandsSeparators(c.spool_max_queue_depth).c_str(),
+        WithThousandsSeparators(c.spool_backpressure_waits).c_str());
+  }
+  return out;
 }
 
 }  // namespace debug

@@ -1,0 +1,254 @@
+#include "io/trace_sink.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace graft {
+
+// ---------------------------------------------------------------------------
+// SyncTraceSink
+// ---------------------------------------------------------------------------
+
+SyncTraceSink::SyncTraceSink(TraceStore* store) : store_(store) {}
+
+Status SyncTraceSink::Append(const std::string& file,
+                             std::string_view record) {
+  Stopwatch clock;
+  Status status = store_->Append(file, record);
+  const double seconds = clock.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.append_seconds += seconds;
+  if (status.ok()) {
+    ++stats_.appends;
+    stats_.bytes += record.size();
+  }
+  return status;
+}
+
+TraceSinkStats SyncTraceSink::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SyncTraceSink::RestoreStats(const TraceSinkStats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = stats;
+}
+
+// ---------------------------------------------------------------------------
+// SpoolingTraceSink
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_next_sink_id{1};
+}  // namespace
+
+SpoolingTraceSink::SpoolingTraceSink(TraceStore* store,
+                                     const TraceSinkOptions& options)
+    : store_(store),
+      options_(options),
+      sink_id_(g_next_sink_id.fetch_add(1, std::memory_order_relaxed)) {
+  if (options_.max_batch_bytes == 0) options_.max_batch_bytes = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+SpoolingTraceSink::~SpoolingTraceSink() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+    queue_.clear();
+    queue_not_empty_.notify_all();
+    queue_not_full_.notify_all();
+  }
+  flusher_.join();
+}
+
+SpoolingTraceSink::ThreadSlot* SpoolingTraceSink::SlotForThisThread() {
+  // One cached (sink, slot) pair per thread: within a job every producer
+  // thread talks to exactly one sink, so the registry lock is taken once per
+  // thread lifetime. Sink ids are never reused, so a stale cache entry from
+  // a destroyed sink can't alias a new one.
+  struct Cache {
+    uint64_t sink_id = 0;
+    ThreadSlot* slot = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.sink_id == sink_id_) return cache.slot;
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  slots_.push_back(std::make_unique<ThreadSlot>());
+  cache = {sink_id_, slots_.back().get()};
+  return cache.slot;
+}
+
+Status SpoolingTraceSink::Append(const std::string& file,
+                                 std::string_view record) {
+  if (has_error_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return error_;
+  }
+  ThreadSlot* slot = SlotForThisThread();
+  Status result = Status::OK();
+  {
+    std::lock_guard<std::mutex> slot_lock(slot->mutex);
+    Batch& open = slot->open;
+    if (!open.file.empty() && open.file != file) {
+      Batch sealed = std::move(open);
+      open = Batch{};
+      result = SealAndEnqueue(std::move(sealed));
+    }
+    if (result.ok()) {
+      if (open.file.empty()) open.file = file;
+      open.arena.append(record.data(), record.size());
+      open.sizes.push_back(static_cast<uint32_t>(record.size()));
+      if (open.arena.size() >= options_.max_batch_bytes) {
+        Batch sealed = std::move(open);
+        open = Batch{};
+        result = SealAndEnqueue(std::move(sealed));
+      }
+    }
+  }
+  return result;
+}
+
+Status SpoolingTraceSink::SealAndEnqueue(Batch&& batch) {
+  Stopwatch clock;
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  while (queue_.size() >= options_.queue_capacity && error_.ok() && !stop_) {
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.backpressure_waits;
+    }
+    queue_not_full_.wait(lock);
+  }
+  if (!error_.ok()) return error_;
+  if (stop_) return Status::FailedPrecondition("trace sink is shut down");
+  queue_.push_back(std::move(batch));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.batches;
+    stats_.max_queue_depth =
+        std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
+    stats_.append_seconds += clock.ElapsedSeconds();
+  }
+  // Notify after unlocking so the woken flusher doesn't immediately block
+  // on queue_mutex_ (and, on a loaded box, preempt this producer while it
+  // still holds the lock).
+  lock.unlock();
+  queue_not_empty_.notify_one();
+  return Status::OK();
+}
+
+void SpoolingTraceSink::FlusherLoop() {
+  for (;;) {
+    Batch batch;
+    bool drop;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_not_empty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with nothing left
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      flusher_busy_ = true;
+      drop = !error_.ok();
+      queue_not_full_.notify_all();
+    }
+    Status status = Status::OK();
+    if (!drop) {
+      Stopwatch clock;
+      uint64_t written = 0;
+      uint64_t bytes = 0;
+      size_t offset = 0;
+      for (uint32_t size : batch.sizes) {
+        std::string_view record(batch.arena.data() + offset, size);
+        status = store_->Append(batch.file, record);
+        if (!status.ok()) break;
+        offset += size;
+        ++written;
+        bytes += size;
+      }
+      const double seconds = clock.ElapsedSeconds();
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      stats_.appends += written;
+      stats_.bytes += bytes;
+      stats_.flush_seconds += seconds;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      flusher_busy_ = false;
+      if (!status.ok() && error_.ok()) {
+        error_ = status;
+        has_error_.store(true, std::memory_order_release);
+        // Producers blocked on backpressure must observe the error.
+        queue_not_full_.notify_all();
+      }
+      if (queue_.empty()) queue_drained_.notify_all();
+    }
+  }
+}
+
+Status SpoolingTraceSink::Quiesce() {
+  {
+    std::lock_guard<std::mutex> slots_lock(slots_mutex_);
+    SealAllSlotsLocked();
+  }
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_drained_.wait(
+      lock, [&] { return (queue_.empty() && !flusher_busy_) || stop_; });
+  return error_;
+}
+
+void SpoolingTraceSink::SealAllSlotsLocked() {
+  for (auto& slot : slots_) {
+    Batch sealed;
+    {
+      std::lock_guard<std::mutex> slot_lock(slot->mutex);
+      if (slot->open.sizes.empty()) continue;
+      sealed = std::move(slot->open);
+      slot->open = Batch{};
+    }
+    // A latched error is fine here: the batch is dropped and Quiesce
+    // returns the error after draining.
+    (void)SealAndEnqueue(std::move(sealed));
+  }
+}
+
+void SpoolingTraceSink::DiscardPending() {
+  {
+    std::lock_guard<std::mutex> slots_lock(slots_mutex_);
+    for (auto& slot : slots_) {
+      std::lock_guard<std::mutex> slot_lock(slot->mutex);
+      slot->open = Batch{};
+    }
+  }
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_.clear();
+  // Wait out a batch the flusher already popped: its writes must not land
+  // after the recovery prune that follows this call.
+  queue_drained_.wait(lock, [&] { return !flusher_busy_ || stop_; });
+  error_ = Status::OK();
+  has_error_.store(false, std::memory_order_release);
+  queue_not_full_.notify_all();
+}
+
+TraceSinkStats SpoolingTraceSink::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void SpoolingTraceSink::RestoreStats(const TraceSinkStats& stats) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ = stats;
+}
+
+std::unique_ptr<TraceSink> MakeTraceSink(TraceStore* store,
+                                         const TraceSinkOptions& options) {
+  if (options.async) {
+    return std::make_unique<SpoolingTraceSink>(store, options);
+  }
+  return std::make_unique<SyncTraceSink>(store);
+}
+
+}  // namespace graft

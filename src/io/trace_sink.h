@@ -1,0 +1,179 @@
+#ifndef GRAFT_IO_TRACE_SINK_H_
+#define GRAFT_IO_TRACE_SINK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "io/trace_store.h"
+
+namespace graft {
+
+/// How capture appends reach the TraceStore (DESIGN.md §10). The sync sink
+/// is the historical behavior: every Append is a store write on the calling
+/// worker thread. The async (spooling) sink moves the store write off the
+/// BSP critical path: workers serialize into per-thread arena buffers and
+/// hand framed record batches to a bounded queue drained by one background
+/// flusher thread.
+struct TraceSinkOptions {
+  bool async = false;
+  /// Per-thread arena size that triggers a batch handoff (async only). A
+  /// batch is also sealed whenever the thread switches target files. Sized
+  /// so the handoff (a queue-lock round trip plus a possible flusher wake)
+  /// stays rare relative to the lock-free arena copies it amortizes.
+  size_t max_batch_bytes = 256 * 1024;
+  /// Bounded-queue capacity in batches; producers block (backpressure) when
+  /// the flusher falls this far behind (async only).
+  size_t queue_capacity = 64;
+};
+
+/// Per-job I/O accounting of one sink. Unlike TraceStore::IoStats these are
+/// job-scoped and rewindable: the CaptureManager snapshots them at every
+/// checkpoint boundary and restores them on recovery, so a recovered run
+/// reports each append exactly once (the retry double-count fix).
+struct TraceSinkStats {
+  uint64_t appends = 0;         // records durably appended to the store
+  uint64_t bytes = 0;           // record payload bytes appended
+  uint64_t flushes = 0;         // store Flush() calls issued by the sink
+  uint64_t batches = 0;         // batch handoffs (async only)
+  uint64_t backpressure_waits = 0;  // producer blocks on a full queue
+  uint64_t max_queue_depth = 0;     // high-water mark of queued batches
+  /// Producer-side capture I/O time. Sync sink: every store write, timed per
+  /// record (each one blocks the worker). Spooling sink: batch seal/handoff
+  /// time including any backpressure block, timed per batch — the per-record
+  /// arena copy is far below clock granularity, so timing each copy would
+  /// measure the clock, not the copy.
+  double append_seconds = 0.0;
+  double flush_seconds = 0.0;  // background store-write time (async only)
+
+  friend bool operator==(const TraceSinkStats&,
+                         const TraceSinkStats&) = default;
+};
+
+/// Write-side boundary between the capture layer and the TraceStore. All
+/// implementations preserve per-file append order (each trace file has a
+/// single producer thread), so the final trace bytes are identical across
+/// sink implementations.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Hands one record for `file` to the sink. The sync sink returns the
+  /// store's status; the async sink returns OK on enqueue, or the first
+  /// deferred flush error once one is latched (the record is then dropped —
+  /// the run is aborting and recovery will prune + re-capture).
+  virtual Status Append(const std::string& file, std::string_view record) = 0;
+
+  /// Blocks until everything accepted by Append is durably in the store and
+  /// returns the first flush error, if any. Called at superstep barriers and
+  /// before checkpoint-coordinated counter snapshots; must only run while no
+  /// Append calls are in flight.
+  virtual Status Quiesce() = 0;
+
+  /// Drops buffered-but-unflushed records and clears any latched error.
+  /// Called on crash recovery, right before the trace prune: the dropped
+  /// records belong to supersteps that are about to be re-executed.
+  virtual void DiscardPending() {}
+
+  virtual bool async() const { return false; }
+
+  /// Point-in-time copy of the per-job I/O counters. Only consistent while
+  /// quiesced (no in-flight appends or background flushes).
+  virtual TraceSinkStats stats() const = 0;
+  /// Rewinds the counters to a snapshot taken at a checkpoint boundary.
+  virtual void RestoreStats(const TraceSinkStats& stats) = 0;
+};
+
+/// Synchronous sink: Append == TraceStore::Append on the calling thread.
+class SyncTraceSink final : public TraceSink {
+ public:
+  explicit SyncTraceSink(TraceStore* store);
+
+  Status Append(const std::string& file, std::string_view record) override;
+  Status Quiesce() override { return Status::OK(); }
+  TraceSinkStats stats() const override;
+  void RestoreStats(const TraceSinkStats& stats) override;
+
+ private:
+  TraceStore* store_;
+  mutable std::mutex mutex_;
+  TraceSinkStats stats_;
+};
+
+/// Asynchronous spooling sink: producers append into per-thread arena
+/// buffers; sealed batches flow through a bounded FIFO queue to a single
+/// background flusher thread that performs the store writes. Per-file record
+/// order is preserved (one producer thread per trace file, FIFO queue, one
+/// consumer), so trace files are byte-identical to sync mode. A store
+/// failure on the flusher thread is latched and surfaced by the next
+/// Append/Quiesce, preserving FaultInjectingTraceStore's retryable-abort
+/// semantics at superstep granularity.
+class SpoolingTraceSink final : public TraceSink {
+ public:
+  SpoolingTraceSink(TraceStore* store, const TraceSinkOptions& options);
+  ~SpoolingTraceSink() override;
+
+  Status Append(const std::string& file, std::string_view record) override;
+  Status Quiesce() override;
+  void DiscardPending() override;
+  bool async() const override { return true; }
+  TraceSinkStats stats() const override;
+  void RestoreStats(const TraceSinkStats& stats) override;
+
+ private:
+  /// One sealed arena of framed records, all for the same file.
+  struct Batch {
+    std::string file;
+    std::string arena;             // concatenated record payloads
+    std::vector<uint32_t> sizes;   // record boundaries within the arena
+  };
+  /// Per-producer-thread buffer; `mutex` is uncontended in steady state (the
+  /// owner thread appends, Quiesce/DiscardPending run only at barriers).
+  struct ThreadSlot {
+    std::mutex mutex;
+    Batch open;
+  };
+
+  ThreadSlot* SlotForThisThread();
+  Status SealAndEnqueue(Batch&& batch);
+  void SealAllSlotsLocked();  // requires slots_mutex_ held by caller
+  void FlusherLoop();
+
+  TraceStore* store_;
+  TraceSinkOptions options_;
+  const uint64_t sink_id_;
+
+  std::mutex slots_mutex_;
+  std::vector<std::unique_ptr<ThreadSlot>> slots_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_drained_;
+  std::deque<Batch> queue_;
+  bool flusher_busy_ = false;  // a popped batch is being written
+  bool stop_ = false;
+  Status error_ = Status::OK();     // first flush failure, latched
+  std::atomic<bool> has_error_{false};  // lock-free fast-path mirror of error_
+
+  mutable std::mutex stats_mutex_;
+  TraceSinkStats stats_;
+
+  std::thread flusher_;
+};
+
+/// Builds the sink selected by `options` over `store`.
+std::unique_ptr<TraceSink> MakeTraceSink(TraceStore* store,
+                                         const TraceSinkOptions& options);
+
+}  // namespace graft
+
+#endif  // GRAFT_IO_TRACE_SINK_H_

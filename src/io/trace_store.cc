@@ -11,10 +11,27 @@
 #include "common/binary_io.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 
 namespace graft {
 
 namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// TraceStore
+// ---------------------------------------------------------------------------
+
+Result<std::string> TraceStore::ReadRecord(const std::string& file,
+                                           uint64_t index) const {
+  GRAFT_ASSIGN_OR_RETURN(std::vector<std::string> records, ReadAll(file));
+  if (index >= records.size()) {
+    return Status::OutOfRange(
+        StrFormat("record %llu out of range in '%s' (%zu records)",
+                  static_cast<unsigned long long>(index), file.c_str(),
+                  records.size()));
+  }
+  return std::move(records[index]);
+}
 
 // ---------------------------------------------------------------------------
 // InMemoryTraceStore
@@ -51,6 +68,23 @@ Result<std::vector<std::string>> InMemoryTraceStore::ReadAll(
     return Status::NotFound("trace file not found: " + file);
   }
   return it->second.records;
+}
+
+Result<std::string> InMemoryTraceStore::ReadRecord(const std::string& file,
+                                                   uint64_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("trace file not found: " + file);
+  }
+  const std::vector<std::string>& records = it->second.records;
+  if (index >= records.size()) {
+    return Status::OutOfRange(
+        StrFormat("record %llu out of range in '%s' (%zu records)",
+                  static_cast<unsigned long long>(index), file.c_str(),
+                  records.size()));
+  }
+  return records[index];
 }
 
 bool InMemoryTraceStore::Exists(const std::string& file) const {
@@ -208,6 +242,82 @@ Result<std::vector<std::string>> LocalDirTraceStore::ReadAll(
     GRAFT_RETURN_NOT_OK(reader.Skip(static_cast<size_t>(*size)));
   }
   return records;
+}
+
+Result<std::string> LocalDirTraceStore::ReadRecord(const std::string& file,
+                                                   uint64_t index) const {
+  std::string path = PathFor(file);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("trace file not found: " + file);
+    }
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  // Walk the varint frames, skipping over record payloads with lseek so only
+  // the target record is materialized. Frame headers are at most 10 bytes.
+  uint64_t current = 0;
+  Result<std::string> result =
+      Status::OutOfRange(StrFormat("record %llu out of range in '%s'",
+                                   static_cast<unsigned long long>(index),
+                                   file.c_str()));
+  for (;;) {
+    char header[10];
+    ssize_t n = ::read(fd, header, sizeof(header));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      result = Status::IOError("read of '" + path +
+                               "' failed: " + std::strerror(errno));
+      break;
+    }
+    if (n == 0) break;  // clean EOF: index past the last record
+    BinaryReader reader(std::string_view(header, static_cast<size_t>(n)));
+    auto size = reader.ReadVarint();
+    if (!size.ok()) {
+      result = size.status();
+      break;
+    }
+    // Position of the payload start relative to the bytes just read.
+    off_t rewind = static_cast<off_t>(reader.position()) - n;
+    if (current == index) {
+      if (rewind != 0 && ::lseek(fd, rewind, SEEK_CUR) < 0) {
+        result = Status::IOError("seek in '" + path +
+                                 "' failed: " + std::strerror(errno));
+        break;
+      }
+      std::string record(static_cast<size_t>(*size), '\0');
+      size_t got = 0;
+      bool read_ok = true;
+      while (got < record.size()) {
+        ssize_t m = ::read(fd, record.data() + got, record.size() - got);
+        if (m < 0) {
+          if (errno == EINTR) continue;
+          result = Status::IOError("read of '" + path +
+                                   "' failed: " + std::strerror(errno));
+          read_ok = false;
+          break;
+        }
+        if (m == 0) {
+          result = Status::IOError("truncated record in trace file: " + file);
+          read_ok = false;
+          break;
+        }
+        got += static_cast<size_t>(m);
+      }
+      if (read_ok) result = std::move(record);
+      break;
+    }
+    off_t skip = rewind + static_cast<off_t>(*size);
+    if (::lseek(fd, skip, SEEK_CUR) < 0) {
+      result = Status::IOError("seek in '" + path +
+                               "' failed: " + std::strerror(errno));
+      break;
+    }
+    ++current;
+  }
+  ::close(fd);
+  return result;
 }
 
 bool LocalDirTraceStore::Exists(const std::string& file) const {

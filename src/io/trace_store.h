@@ -50,6 +50,14 @@ class TraceStore {
   virtual Result<std::vector<std::string>> ReadAll(
       const std::string& file) const = 0;
 
+  /// Random access: the record at append ordinal `index` within `file`.
+  /// This is the offset unit the trace manifest records (DESIGN.md §10).
+  /// The base implementation materializes the whole file; backends override
+  /// with cheaper lookups (the in-memory store is O(1), the local-dir store
+  /// walks frames without materializing records).
+  virtual Result<std::string> ReadRecord(const std::string& file,
+                                         uint64_t index) const;
+
   /// True if the file exists (has been appended to at least once).
   virtual bool Exists(const std::string& file) const = 0;
 
@@ -124,6 +132,8 @@ class InMemoryTraceStore : public TraceStore {
   Status Append(const std::string& file, std::string_view record) override;
   Result<std::vector<std::string>> ReadAll(
       const std::string& file) const override;
+  Result<std::string> ReadRecord(const std::string& file,
+                                 uint64_t index) const override;
   bool Exists(const std::string& file) const override;
   std::vector<std::string> ListFiles(const std::string& prefix) const override;
   uint64_t TotalBytes(const std::string& prefix) const override;
@@ -158,6 +168,8 @@ class LocalDirTraceStore : public TraceStore {
   Status Append(const std::string& file, std::string_view record) override;
   Result<std::vector<std::string>> ReadAll(
       const std::string& file) const override;
+  Result<std::string> ReadRecord(const std::string& file,
+                                 uint64_t index) const override;
   bool Exists(const std::string& file) const override;
   std::vector<std::string> ListFiles(const std::string& prefix) const override;
   uint64_t TotalBytes(const std::string& prefix) const override;

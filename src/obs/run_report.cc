@@ -139,6 +139,11 @@ void RunReport::AppendJson(JsonWriter* writer) const {
   w.KV("trace_bytes", capture.trace_bytes);
   w.KV("store_appends", capture.store_appends);
   w.KV("store_flushes", capture.store_flushes);
+  w.KV("async_sink", capture.async_sink);
+  w.KV("flush_seconds", capture.flush_seconds);
+  w.KV("spool_batches", capture.spool_batches);
+  w.KV("spool_max_queue_depth", capture.spool_max_queue_depth);
+  w.KV("spool_backpressure_waits", capture.spool_backpressure_waits);
   w.EndObject();
   w.Key("analysis");
   w.BeginObject();
@@ -227,6 +232,13 @@ std::string RunReport::ToPrometheusText(std::string_view prefix) const {
     gauge("capture_trace_bytes", std::to_string(capture.trace_bytes));
     gauge("capture_store_appends", std::to_string(capture.store_appends));
     gauge("capture_store_flushes", std::to_string(capture.store_flushes));
+    gauge("capture_async_sink", capture.async_sink ? "1" : "0");
+    gauge("capture_flush_seconds", PromDouble(capture.flush_seconds));
+    gauge("capture_spool_batches", std::to_string(capture.spool_batches));
+    gauge("capture_spool_max_queue_depth",
+          std::to_string(capture.spool_max_queue_depth));
+    gauge("capture_spool_backpressure_waits",
+          std::to_string(capture.spool_backpressure_waits));
   }
   if (analysis.enabled) {
     gauge("analysis_findings_total", std::to_string(analysis.findings_total));

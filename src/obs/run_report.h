@@ -69,11 +69,23 @@ struct CaptureProfile {
   uint64_t exceptions = 0;
   uint64_t dropped_by_limit = 0;
   double serialize_seconds = 0.0;  // building trace records
-  double append_seconds = 0.0;     // TraceStore::Append calls
+  double append_seconds = 0.0;     // producer-side TraceSink::Append calls
   uint64_t trace_bytes = 0;
   uint64_t store_appends = 0;
   uint64_t store_flushes = 0;
+  /// Async (spooling) sink accounting. With the sync sink, append_seconds is
+  /// the store-write time and these stay zero; with the async sink,
+  /// append_seconds is only the enqueue cost on the BSP critical path and
+  /// flush_seconds is the store-write time paid on the background flusher.
+  bool async_sink = false;
+  double flush_seconds = 0.0;
+  uint64_t spool_batches = 0;
+  uint64_t spool_max_queue_depth = 0;
+  uint64_t spool_backpressure_waits = 0;
 
+  /// Capture cost on the BSP critical path. Background flush time is
+  /// deliberately excluded: it overlaps compute, which is the point of the
+  /// async sink.
   double OverheadSeconds() const { return serialize_seconds + append_seconds; }
 };
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -18,6 +19,7 @@
 #include "debug/debug_config.h"
 #include "debug/instrumented_computation.h"
 #include "io/fault_injecting_trace_store.h"
+#include "io/trace_sink.h"
 #include "io/trace_store.h"
 #include "obs/run_report.h"
 #include "pregel/checkpoint.h"
@@ -59,6 +61,11 @@ struct JobSpec {
   /// Where vertex/master traces land (under `options.job_id/`). Also the
   /// default checkpoint store.
   TraceStore* trace_store = nullptr;
+  /// How capture appends reach the trace store: synchronous (default) or
+  /// through the spooling background flusher (`capture_io.async = true`),
+  /// which moves store writes off the BSP critical path. Trace bytes are
+  /// identical either way; only the timing profile changes (DESIGN.md §10).
+  TraceSinkOptions capture_io;
 
   /// Superstep checkpointing. `checkpoint.store` defaults to `trace_store`
   /// when unset; interval 0 disables checkpointing (and recovery).
@@ -156,9 +163,16 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
   }
 
   std::optional<debug::CaptureManager<Traits>> manager;
+  std::unique_ptr<TraceSink> sink;
   if (spec.debug_config != nullptr) {
-    manager.emplace(trace_store, spec.debug_config, spec.options.job_id);
+    sink = MakeTraceSink(trace_store, spec.capture_io);
+    manager.emplace(trace_store, sink.get(), spec.debug_config,
+                    spec.options.job_id, spec.options.num_workers);
     manager->PrepareTargets(spec.vertices);
+    // A stale manifest from an earlier run under this job id would satisfy
+    // reads with the old index; captures start from a clean slate.
+    GRAFT_RETURN_NOT_OK(
+        trace_store->DeletePrefix(debug::ManifestFile(spec.options.job_id)));
   }
 
   // BSP sanitizer: one shared instance across recovery attempts (like the
@@ -237,6 +251,30 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
   MasterCaptureObserver master_observer(manager ? &*manager : nullptr,
                                         spec.master != nullptr);
 
+  /// Drains the trace sink at every superstep barrier. Two guarantees hang
+  /// off this: a deferred flush error from the spooling sink aborts the run
+  /// before the *next* checkpoint commits (the engine checks aborts after
+  /// delivery, ahead of its checkpoint write), so recovery never resumes
+  /// past unflushed records; and checkpoint-time counter snapshots always
+  /// observe a drained, consistent sink.
+  class SinkQuiesceObserver final : public EngineT::SuperstepObserver {
+   public:
+    explicit SinkQuiesceObserver(TraceSink* sink) : sink_(sink) {}
+    void OnSuperstepEnd(int64_t superstep,
+                        const SuperstepStats& stats) override {
+      (void)superstep;
+      (void)stats;
+      Status drained = sink_->Quiesce();
+      if (!drained.ok()) engine_->RequestAbort(std::move(drained));
+    }
+    void set_engine(EngineT* engine) { engine_ = engine; }
+
+   private:
+    TraceSink* sink_;
+    EngineT* engine_ = nullptr;
+  };
+  SinkQuiesceObserver quiesce_observer(sink.get());
+
   typename EngineT::Options options = spec.options;
   options.checkpoint = ckpt;
   options.fault_injector = spec.fault_injector;
@@ -284,6 +322,13 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
       }
       const int64_t resume = *latest;
       GRAFT_RETURN_NOT_OK(engine.RestoreFromCheckpoint(resume));
+      if (sink != nullptr) {
+        // Drop spooled-but-unflushed records and clear the latched error
+        // before pruning: the dropped records belong to supersteps about to
+        // be re-executed, and an in-flight flush must not land after the
+        // prune deletes its file.
+        sink->DiscardPending();
+      }
       if ((manager || bsp) && trace_store != nullptr) {
         // Re-executed supersteps re-capture and re-record findings: drop
         // their stale trace/finding files so the recovered run's records are
@@ -299,11 +344,15 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
       }
       if (manager) {
         // Rewind the capture counters to the checkpoint's snapshot, so the
-        // recovered run's counts are exactly the fault-free ones.
+        // recovered run's counts — including the sink's per-job I/O stats —
+        // are exactly the fault-free ones.
         auto snap = snapshots.find(resume);
         manager->RestoreCounters(snap != snapshots.end()
                                      ? snap->second
                                      : debug::CaptureCounters{});
+        // Mirror the trace prune in the manifest-under-construction: pruned
+        // files restart at record ordinal 0.
+        manager->RewindManifest(resume);
       }
       obs::RecoveryEvent event;
       event.attempt = attempt;
@@ -315,9 +364,25 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
     engine.AddObserver(&snapshot_observer);
     master_observer.set_engine(&engine);
     engine.AddObserver(&master_observer);
+    if (sink != nullptr) {
+      quiesce_observer.set_engine(&engine);
+      engine.AddObserver(&quiesce_observer);
+    }
     if (spec.pre_run) spec.pre_run(engine);
 
     Result<JobStats> stats = engine.Run();
+    if (stats.ok() && sink != nullptr) {
+      // Early-termination paths (master halt, all vertices halted) skip the
+      // final OnSuperstepEnd, so the last master trace may still be in
+      // flight. A deferred capture-I/O failure is a run failure — retryable
+      // through the normal recovery path like any other store fault.
+      Status drained = sink->Quiesce();
+      if (!drained.ok()) stats = std::move(drained);
+    }
+    if (stats.ok() && manager) {
+      Status indexed = manager->WriteManifest();
+      if (!indexed.ok()) stats = std::move(indexed);
+    }
     summary.attempts = attempt + 1;
     if (stats.ok()) {
       summary.stats = std::move(stats).value();

@@ -16,6 +16,7 @@
 #include "debug/debug_runner.h"
 #include "graph/generators.h"
 #include "io/fault_injecting_trace_store.h"
+#include "io/trace_sink.h"
 #include "io/trace_store.h"
 #include "pregel/checkpoint.h"
 #include "pregel/job.h"
@@ -206,10 +207,11 @@ Result<PageRankRun> RunCheckpointedPageRank(
     const graph::SimpleGraph& graph,
     const debug::DebugConfig<PageRankTraits>& config,
     InMemoryTraceStore* trace_store, InMemoryTraceStore* ckpt_store,
-    FaultInjector* injector) {
+    FaultInjector* injector, const TraceSinkOptions& capture_io = {}) {
   pregel::JobSpec<PageRankTraits> spec;
   spec.options.num_workers = 3;
   spec.options.job_id = "pr-recovery";
+  spec.capture_io = capture_io;
   spec.options.combiner = [](const DoubleValue& a, const DoubleValue& b) {
     return DoubleValue{a.value + b.value};
   };
@@ -299,6 +301,151 @@ TEST(RecoveryTest, PageRankRecoversByteIdentically) {
   EXPECT_NE(json.find("\"recoveries\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"restored_superstep\":4"), std::string::npos);
   EXPECT_NE(json.find("\"checkpoints_written\""), std::string::npos);
+}
+
+/// Records in the trace store that belong to capture files (not checkpoint
+/// bookkeeping and not the manifest index): what CaptureProfile.store_appends
+/// must account for exactly once, even across recovery rewinds.
+uint64_t CaptureRecordCount(const InMemoryTraceStore& store,
+                            const std::string& job_id) {
+  uint64_t count = 0;
+  for (const std::string& file :
+       store.ListFiles(debug::JobTracePrefix(job_id))) {
+    if (file == debug::ManifestFile(job_id)) continue;  // written via store
+    auto records = store.ReadAll(file);
+    GRAFT_CHECK(records.ok());
+    count += records->size();
+  }
+  return count;
+}
+
+/// ISSUE 5 acceptance (determinism): the spooling sink must produce traces
+/// byte-for-byte identical to the synchronous sink — same records, same
+/// order within every file, same manifest — and the same capture counters.
+/// The async options deliberately force many small batches and a tiny queue
+/// so batching boundaries and backpressure are exercised, not avoided.
+TEST(RecoveryTest, AsyncSinkProducesByteIdenticalTraces) {
+  auto graph = graph::MakeUndirected(
+      graph::GenerateErdosRenyi(300, 1200, /*seed=*/9));
+  debug::ConfigurableDebugConfig<PageRankTraits> config;
+  config.set_vertices({0, 1, 2, 50, 100}).set_capture_neighbors(true);
+
+  InMemoryTraceStore sync_traces, sync_ckpts;
+  auto sync_run = RunCheckpointedPageRank(graph, config, &sync_traces,
+                                          &sync_ckpts, nullptr);
+  ASSERT_TRUE(sync_run.ok()) << sync_run.status();
+  ASSERT_TRUE(sync_run->summary.job_status.ok());
+
+  TraceSinkOptions async_io;
+  async_io.async = true;
+  async_io.max_batch_bytes = 256;  // force frequent batch seals
+  async_io.queue_capacity = 2;     // force backpressure waits
+  InMemoryTraceStore async_traces, async_ckpts;
+  auto async_run = RunCheckpointedPageRank(graph, config, &async_traces,
+                                           &async_ckpts, nullptr, async_io);
+  ASSERT_TRUE(async_run.ok()) << async_run.status();
+  ASSERT_TRUE(async_run->summary.job_status.ok());
+
+  EXPECT_EQ(StoreContents(sync_traces), StoreContents(async_traces));
+  EXPECT_EQ(sync_run->ranks, async_run->ranks);
+  EXPECT_EQ(sync_run->summary.captures, async_run->summary.captures);
+  EXPECT_EQ(sync_run->summary.violations, async_run->summary.violations);
+  EXPECT_EQ(sync_run->summary.exceptions, async_run->summary.exceptions);
+  EXPECT_EQ(sync_run->summary.trace_bytes, async_run->summary.trace_bytes);
+
+  const obs::CaptureProfile& sync_capture =
+      sync_run->summary.stats.report.capture;
+  const obs::CaptureProfile& async_capture =
+      async_run->summary.stats.report.capture;
+  EXPECT_FALSE(sync_capture.async_sink);
+  EXPECT_TRUE(async_capture.async_sink);
+  EXPECT_EQ(sync_capture.store_appends, async_capture.store_appends);
+  EXPECT_EQ(sync_capture.trace_bytes, async_capture.trace_bytes);
+  EXPECT_GT(async_capture.spool_batches, 0u);
+}
+
+/// Same determinism bar across a mid-run crash: an async-sink run that dies
+/// in superstep 5 and recovers from the checkpoint at 4 must still match the
+/// fault-free synchronous run byte for byte.
+TEST(RecoveryTest, AsyncSinkRecoversByteIdentically) {
+  auto graph = graph::MakeUndirected(
+      graph::GenerateErdosRenyi(300, 1200, /*seed=*/9));
+  debug::ConfigurableDebugConfig<PageRankTraits> config;
+  config.set_vertices({0, 1, 2, 50, 100}).set_capture_neighbors(true);
+
+  InMemoryTraceStore clean_traces, clean_ckpts;
+  auto clean = RunCheckpointedPageRank(graph, config, &clean_traces,
+                                       &clean_ckpts, nullptr);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_TRUE(clean->summary.job_status.ok());
+
+  TraceSinkOptions async_io;
+  async_io.async = true;
+  async_io.max_batch_bytes = 256;
+  async_io.queue_capacity = 2;
+  FaultInjector injector;
+  injector.Arm({FaultSite::kWorkerCompute, /*superstep=*/5, /*partition=*/-1,
+                /*hits=*/1});
+  InMemoryTraceStore faulty_traces, faulty_ckpts;
+  auto recovered = RunCheckpointedPageRank(graph, config, &faulty_traces,
+                                           &faulty_ckpts, &injector, async_io);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ASSERT_TRUE(recovered->summary.job_status.ok())
+      << recovered->summary.job_status;
+  EXPECT_EQ(recovered->summary.attempts, 2);
+  ASSERT_EQ(recovered->summary.recoveries.size(), 1u);
+  EXPECT_EQ(recovered->summary.recoveries[0].restored_superstep, 4);
+
+  EXPECT_EQ(StoreContents(clean_traces), StoreContents(faulty_traces));
+  EXPECT_EQ(clean->ranks, recovered->ranks);
+  EXPECT_EQ(clean->summary.captures, recovered->summary.captures);
+  EXPECT_EQ(clean->summary.trace_bytes, recovered->summary.trace_bytes);
+}
+
+/// ISSUE 5 satellite: CaptureCounters must not double-count serialize/append
+/// work re-executed after a recovery rewind. The invariant is that
+/// store_appends equals the number of capture records actually present in
+/// the store — a retried run that replays supersteps 4..5 must rewind its
+/// I/O accounting to the checkpoint snapshot, not keep the discarded work.
+TEST(RecoveryTest, RecoveryDoesNotDoubleCountCaptureIo) {
+  auto graph = graph::MakeUndirected(
+      graph::GenerateErdosRenyi(300, 1200, /*seed=*/9));
+  debug::ConfigurableDebugConfig<PageRankTraits> config;
+  config.set_vertices({0, 1, 2, 50, 100}).set_capture_neighbors(true);
+
+  InMemoryTraceStore clean_traces, clean_ckpts;
+  auto clean = RunCheckpointedPageRank(graph, config, &clean_traces,
+                                       &clean_ckpts, nullptr);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  for (bool async : {false, true}) {
+    SCOPED_TRACE(async ? "async sink" : "sync sink");
+    TraceSinkOptions io;
+    io.async = async;
+    if (async) io.max_batch_bytes = 256;
+    FaultInjector injector;
+    injector.Arm({FaultSite::kWorkerCompute, /*superstep=*/5,
+                  /*partition=*/-1, /*hits=*/1});
+    InMemoryTraceStore traces, ckpts;
+    auto recovered =
+        RunCheckpointedPageRank(graph, config, &traces, &ckpts, &injector, io);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    ASSERT_TRUE(recovered->summary.job_status.ok());
+    ASSERT_EQ(recovered->summary.attempts, 2);
+
+    const obs::CaptureProfile& capture =
+        recovered->summary.stats.report.capture;
+    // Exactly one account entry per record that survived in the store...
+    EXPECT_EQ(capture.store_appends,
+              CaptureRecordCount(traces, "pr-recovery"));
+    // ...and identical I/O accounting to the run that never crashed.
+    EXPECT_EQ(capture.store_appends,
+              clean->summary.stats.report.capture.store_appends);
+    EXPECT_EQ(capture.trace_bytes,
+              clean->summary.stats.report.capture.trace_bytes);
+    EXPECT_EQ(capture.vertex_captures,
+              clean->summary.stats.report.capture.vertex_captures);
+  }
 }
 
 TEST(RecoveryTest, StoreAppendFaultOnCapturePathIsRetried) {

@@ -256,7 +256,9 @@ TEST(RunReportTest, JsonGolden) {
       "\"master_captures\":0,\"violations\":0,\"exceptions\":0,"
       "\"dropped_by_limit\":0,\"serialize_seconds\":0,\"append_seconds\":0,"
       "\"overhead_seconds\":0,\"trace_bytes\":0,\"store_appends\":0,"
-      "\"store_flushes\":0},"
+      "\"store_flushes\":0,\"async_sink\":false,\"flush_seconds\":0,"
+      "\"spool_batches\":0,\"spool_max_queue_depth\":0,"
+      "\"spool_backpressure_waits\":0},"
       "\"analysis\":{\"enabled\":false,\"fail_on_violation\":false,"
       "\"findings_total\":0,\"findings_by_kind\":{},"
       "\"determinism_probes\":0,\"determinism_mismatches\":0,"
@@ -448,7 +450,9 @@ TEST(EngineReportTest, DebugRunFillsCaptureProfile) {
   EXPECT_GT(capture.append_seconds, 0.0);
   EXPECT_DOUBLE_EQ(capture.OverheadSeconds(),
                    capture.serialize_seconds + capture.append_seconds);
-  EXPECT_EQ(capture.store_appends, store.io_stats().appends);
+  // The store saw every capture append plus exactly one more: the job's
+  // manifest index, which is bookkeeping rather than captured data.
+  EXPECT_EQ(capture.store_appends + 1, store.io_stats().appends);
   EXPECT_GT(capture.store_appends, 0u);
 
   // The shared registry got both the engine and the capture metrics.

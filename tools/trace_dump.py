@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Pretty-prints a Graft job's trace files and manifest index.
+
+Reads the LocalDirTraceStore layout (DESIGN.md §10) without any knowledge of
+the job's Traits types — exactly the forward-compatibility the v2 record
+frame buys: every record carries (version, kind, superstep, vertex_id) in a
+length-prefixed header, so generic tooling can classify records while
+skipping fields (and whole records) from builds it has never seen.
+
+Usage:
+  tools/trace_dump.py TRACE_ROOT            # list jobs
+  tools/trace_dump.py TRACE_ROOT JOB_ID     # dump one job
+  tools/trace_dump.py TRACE_ROOT JOB_ID --records  # include per-record rows
+
+Store framing (LocalDirTraceStore): each file is a sequence of
+[record_size varint][record bytes]. Record framing (v2): [magic 0xA7]
+[header_len varint][header: version u8, kind u8, superstep svarint,
+vertex_id svarint, ...future fields...][body]. Records whose first byte is
+not the magic are seed-format ("v0") bodies. Exits non-zero on truncated
+store framing — store corruption is fatal; unknown record versions/kinds are
+reported and skipped, matching the C++ readers.
+"""
+
+import argparse
+import os
+import sys
+
+MAGIC = 0xA7
+FORMAT_VERSION = 2
+KIND_NAMES = {0: "vertex", 1: "master", 2: "manifest"}
+
+
+class ParseError(Exception):
+    pass
+
+
+class Reader:
+    """Varint/zigzag cursor over bytes, mirroring common/binary_io.h."""
+
+    def __init__(self, data, name="<buffer>"):
+        self.data = data
+        self.pos = 0
+        self.name = name
+
+    def remaining(self):
+        return len(self.data) - self.pos
+
+    def u8(self):
+        if self.remaining() < 1:
+            raise ParseError(f"{self.name}: truncated u8 at {self.pos}")
+        b = self.data[self.pos]
+        self.pos += 1
+        return b
+
+    def varint(self):
+        result = 0
+        shift = 0
+        while True:
+            b = self.u8()
+            result |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise ParseError(f"{self.name}: varint too long at {self.pos}")
+
+    def svarint(self):
+        z = self.varint()
+        return (z >> 1) ^ -(z & 1)
+
+    def raw(self, n):
+        if self.remaining() < n:
+            raise ParseError(
+                f"{self.name}: truncated read of {n} bytes at {self.pos}")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+
+def store_records(path):
+    """Yields the raw records of one LocalDirTraceStore file."""
+    with open(path, "rb") as f:
+        reader = Reader(f.read(), name=path)
+    while reader.remaining() > 0:
+        size = reader.varint()
+        yield reader.raw(size)
+
+
+def parse_frame(record, name):
+    """Returns (header dict | None, body). None header means seed-format."""
+    if not record:
+        raise ParseError(f"{name}: empty record")
+    if record[0] != MAGIC:
+        return None, record
+    reader = Reader(record, name=name)
+    reader.u8()  # magic
+    header_len = reader.varint()
+    header_bytes = reader.raw(header_len)
+    body = record[reader.pos:]
+    h = Reader(header_bytes, name=f"{name} header")
+    header = {"version": h.u8(), "kind": h.u8()}
+    # Fields past the ones we know are future extensions: skipped, by design.
+    header["superstep"] = h.svarint() if h.remaining() else 0
+    header["vertex_id"] = h.svarint() if h.remaining() else 0
+    header["extra_header_bytes"] = h.remaining()
+    return header, body
+
+
+def parse_manifest(body, name):
+    reader = Reader(body, name=name)
+    count = reader.varint()
+    entries = []
+    for _ in range(count):
+        entries.append({
+            "kind": reader.u8(),
+            "superstep": reader.svarint(),
+            "vertex_id": reader.svarint(),
+            "worker": reader.svarint(),
+            "record_index": reader.varint(),
+        })
+    return entries
+
+
+def kind_name(kind):
+    return KIND_NAMES.get(kind, f"unknown({kind})")
+
+
+def describe_record(header, body):
+    if header is None:
+        return f"v0 legacy body ({len(body)} bytes)"
+    skip = (header["version"] > FORMAT_VERSION
+            or header["kind"] not in KIND_NAMES)
+    parts = [
+        f"v{header['version']}",
+        kind_name(header["kind"]),
+        f"superstep={header['superstep']}",
+        f"vertex={header['vertex_id']}",
+        f"body={len(body)}B",
+    ]
+    if header["extra_header_bytes"]:
+        parts.append(f"+{header['extra_header_bytes']}B future header fields")
+    if skip:
+        parts.append("SKIPPED (future version/kind)")
+    return " ".join(parts)
+
+
+def dump_manifest(job_dir, job):
+    path = os.path.join(job_dir, "manifest.idx")
+    if not os.path.exists(path):
+        print("manifest: absent (crashed run or pre-v2 job; "
+              "readers fall back to directory scans)")
+        return
+    records = list(store_records(path))
+    if not records:
+        print("manifest: empty file")
+        return
+    header, body = parse_frame(records[-1], path)
+    if header is None or header["kind"] != 2:
+        raise ParseError(f"{path}: not a manifest record")
+    entries = parse_manifest(body, path)
+    print(f"manifest: {len(entries)} entries "
+          f"(v{header['version']}, {len(body)} body bytes)")
+    by_step = {}
+    for e in entries:
+        by_step.setdefault(e["superstep"], []).append(e)
+    for step in sorted(by_step):
+        vertex = [e for e in by_step[step] if e["kind"] == 0]
+        master = [e for e in by_step[step] if e["kind"] == 1]
+        ids = ", ".join(str(e["vertex_id"]) for e in vertex[:8])
+        if len(vertex) > 8:
+            ids += f", ... ({len(vertex)} total)"
+        line = f"  superstep {step:>4}: {len(vertex)} vertex"
+        if ids:
+            line += f" [{ids}]"
+        if master:
+            line += f" + master"
+        print(line)
+
+
+def dump_job(root, job, show_records):
+    job_dir = os.path.join(root, job)
+    if not os.path.isdir(job_dir):
+        raise ParseError(f"no such job directory: {job_dir}")
+    print(f"job: {job}")
+    dump_manifest(job_dir, job)
+
+    trace_files = []
+    for dirpath, _, filenames in os.walk(job_dir):
+        for filename in sorted(filenames):
+            if filename.endswith((".vtrace", ".mtrace")):
+                trace_files.append(os.path.join(dirpath, filename))
+    trace_files.sort()
+    print(f"trace files: {len(trace_files)}")
+    totals = {"records": 0, "legacy": 0, "skipped": 0}
+    for path in trace_files:
+        rel = os.path.relpath(path, root)
+        rows = []
+        for index, record in enumerate(store_records(path)):
+            header, body = parse_frame(record, rel)
+            if header is None:
+                totals["legacy"] += 1
+            elif (header["version"] > FORMAT_VERSION
+                  or header["kind"] not in KIND_NAMES):
+                totals["skipped"] += 1
+            totals["records"] += 1
+            rows.append(f"    [{index}] {describe_record(header, body)}")
+        print(f"  {rel}: {len(rows)} records")
+        if show_records:
+            for row in rows:
+                print(row)
+    print(f"total: {totals['records']} records "
+          f"({totals['legacy']} legacy, {totals['skipped']} skipped)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Pretty-print a Graft job's manifest and trace records.")
+    parser.add_argument("root", help="LocalDirTraceStore root directory")
+    parser.add_argument("job", nargs="?", help="job id (directory under root)")
+    parser.add_argument("--records", action="store_true",
+                        help="print one row per record")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.root):
+        print(f"error: no such directory: {args.root}", file=sys.stderr)
+        return 2
+    if args.job is None:
+        jobs = sorted(
+            d for d in os.listdir(args.root)
+            if os.path.isdir(os.path.join(args.root, d)))
+        if not jobs:
+            print("no jobs found")
+            return 0
+        for job in jobs:
+            print(job)
+        return 0
+    try:
+        dump_job(args.root, args.job, args.records)
+    except (ParseError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
