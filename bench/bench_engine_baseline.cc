@@ -299,6 +299,56 @@ BENCHMARK(BM_PageRankSocEpinionsCaptureAsync)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// Bench guard for the ISSUE 6 telemetry plane (DESIGN.md §11): the event
+// journal *disabled* (the JobSpec default) must cost nothing — every engine
+// emission site is one null-pointer test. CI compares this pair in
+// BENCH_engine.json; the On run also exports the journal volume so the
+// per-event cost is visible, not just end-to-end wall time.
+void RunSocEpinionsJournalBench(benchmark::State& state, bool journal) {
+  const char* env = std::getenv("GRAFT_BENCH_SCALE");
+  graft::graph::DatasetOptions options;
+  options.scale_denominator = (env != nullptr && std::atoll(env) > 0)
+                                  ? static_cast<uint64_t>(std::atoll(env))
+                                  : 8;
+  auto graph = graft::graph::MakeDataset("soc-Epinions", options);
+  GRAFT_CHECK(graph.ok()) << graph.status();
+  uint64_t messages = 0, events = 0, dropped = 0;
+  for (auto _ : state) {
+    auto spec = SocEpinionsSpec(*graph, static_cast<int>(state.range(0)));
+    spec.options.job_id =
+        journal ? "bench-pr-journal-on" : "bench-pr-journal-off";
+    graft::obs::MetricsRegistry metrics;
+    spec.options.metrics = &metrics;
+    spec.telemetry.journal = journal;
+    auto summary = graft::pregel::RunJob(std::move(spec));
+    GRAFT_CHECK(summary.ok()) << summary.status();
+    GRAFT_CHECK(summary->job_status.ok()) << summary->job_status;
+    messages += summary->stats.total_messages;
+    events += metrics.GetCounter("journal.events_total")->value();
+    dropped += metrics.GetCounter("journal.events_dropped_total")->value();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["journal_events"] = static_cast<double>(events) / iters;
+  state.counters["journal_dropped"] = static_cast<double>(dropped) / iters;
+}
+
+void BM_PageRankSocEpinionsJournalOff(benchmark::State& state) {
+  RunSocEpinionsJournalBench(state, /*journal=*/false);
+}
+BENCHMARK(BM_PageRankSocEpinionsJournalOff)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PageRankSocEpinionsJournalOn(benchmark::State& state) {
+  RunSocEpinionsJournalBench(state, /*journal=*/true);
+}
+BENCHMARK(BM_PageRankSocEpinionsJournalOn)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Sssp(benchmark::State& state) {
   uint64_t n = static_cast<uint64_t>(state.range(0));
   auto graph = graft::graph::GenerateErdosRenyi(n, n * 8, /*seed=*/5);

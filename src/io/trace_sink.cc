@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "obs/event_journal.h"
 
 namespace graft {
 
@@ -157,6 +158,8 @@ void SpoolingTraceSink::FlusherLoop() {
     }
     Status status = Status::OK();
     if (!drop) {
+      obs::JournalSpan span(options_.journal, "capture.flush", "capture", -1,
+                            -1);
       Stopwatch clock;
       uint64_t written = 0;
       uint64_t bytes = 0;
@@ -170,6 +173,7 @@ void SpoolingTraceSink::FlusherLoop() {
         bytes += size;
       }
       const double seconds = clock.ElapsedSeconds();
+      span.End(bytes);
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       stats_.appends += written;
       stats_.bytes += bytes;

@@ -17,6 +17,10 @@
 
 namespace graft {
 
+namespace obs {
+class EventJournal;
+}  // namespace obs
+
 /// How capture appends reach the TraceStore (DESIGN.md §10). The sync sink
 /// is the historical behavior: every Append is a store write on the calling
 /// worker thread. The async (spooling) sink moves the store write off the
@@ -33,6 +37,11 @@ struct TraceSinkOptions {
   /// Bounded-queue capacity in batches; producers block (backpressure) when
   /// the flusher falls this far behind (async only).
   size_t queue_capacity = 64;
+  /// Optional telemetry journal (DESIGN.md §11): the spooling sink emits one
+  /// "capture.flush" span per batch store-write so flushes appear on the
+  /// trace timeline. Null (the default) emits nothing. RunJob wires this
+  /// from JobSpec::telemetry.
+  obs::EventJournal* journal = nullptr;
 };
 
 /// Per-job I/O accounting of one sink. Unlike TraceStore::IoStats these are

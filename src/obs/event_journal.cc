@@ -1,0 +1,290 @@
+#include "obs/event_journal.h"
+
+#include <algorithm>
+
+#include "common/json_writer.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace graft {
+namespace obs {
+
+int CurrentThreadOrdinal() {
+  static std::atomic<int> next{0};
+  thread_local int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpan:
+      return "span";
+    case EventKind::kInstant:
+      return "instant";
+    case EventKind::kCounter:
+      return "counter";
+  }
+  return "?";
+}
+
+EventJournal::EventJournal(size_t capacity, int num_shards)
+    : epoch_(std::chrono::steady_clock::now()),
+      num_shards_(std::max(num_shards, 1)) {
+  shard_capacity_ =
+      std::max<size_t>(64, capacity / static_cast<size_t>(num_shards_));
+  shards_ = std::make_unique<Shard[]>(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    shards_[s].slots = std::make_unique<Slot[]>(shard_capacity_);
+  }
+}
+
+void EventJournal::Append(JournalEvent event) {
+  event.thread = CurrentThreadOrdinal();
+  Shard& shard =
+      shards_[static_cast<size_t>(event.thread) % static_cast<size_t>(num_shards_)];
+  const uint64_t ticket =
+      shard.tickets.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = shard.slots[ticket % shard_capacity_];
+  // Seqlock publish: invalidate, fence, write fields, commit. The release
+  // fence orders the invalidation before the field stores; the committing
+  // release store orders the fields before seq becomes ticket + 1.
+  slot.seq.store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.name.store(event.name, std::memory_order_relaxed);
+  slot.category.store(event.category, std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint8_t>(event.kind),
+                  std::memory_order_relaxed);
+  slot.worker.store(event.worker, std::memory_order_relaxed);
+  slot.thread.store(event.thread, std::memory_order_relaxed);
+  slot.superstep.store(event.superstep, std::memory_order_relaxed);
+  slot.start_ns.store(event.start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(event.duration_ns, std::memory_order_relaxed);
+  slot.value.store(event.value, std::memory_order_relaxed);
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+void EventJournal::Span(const char* name, const char* category, int worker,
+                        int64_t superstep, uint64_t start_ns,
+                        uint64_t value) {
+  JournalEvent event;
+  event.name = name;
+  event.category = category;
+  event.kind = EventKind::kSpan;
+  event.worker = worker;
+  event.superstep = superstep;
+  event.start_ns = start_ns;
+  const uint64_t now = NowNs();
+  event.duration_ns = now > start_ns ? now - start_ns : 0;
+  event.value = value;
+  Append(event);
+}
+
+void EventJournal::Instant(const char* name, const char* category, int worker,
+                           int64_t superstep, uint64_t value) {
+  JournalEvent event;
+  event.name = name;
+  event.category = category;
+  event.kind = EventKind::kInstant;
+  event.worker = worker;
+  event.superstep = superstep;
+  event.start_ns = NowNs();
+  event.value = value;
+  Append(event);
+}
+
+void EventJournal::CounterSample(const char* name, const char* category,
+                                 int worker, int64_t superstep,
+                                 uint64_t value) {
+  JournalEvent event;
+  event.name = name;
+  event.category = category;
+  event.kind = EventKind::kCounter;
+  event.worker = worker;
+  event.superstep = superstep;
+  event.start_ns = NowNs();
+  event.value = value;
+  Append(event);
+}
+
+std::vector<JournalEvent> EventJournal::Snapshot() const {
+  std::vector<JournalEvent> events;
+  for (int s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    const uint64_t tickets = shard.tickets.load(std::memory_order_acquire);
+    const uint64_t kept = std::min<uint64_t>(tickets, shard_capacity_);
+    const uint64_t first = tickets - kept;
+    for (uint64_t t = first; t < tickets; ++t) {
+      const Slot& slot = shard.slots[t % shard_capacity_];
+      const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+      if (seq_before == 0) continue;  // writer mid-publish
+      JournalEvent event;
+      event.name = slot.name.load(std::memory_order_relaxed);
+      event.category = slot.category.load(std::memory_order_relaxed);
+      event.kind =
+          static_cast<EventKind>(slot.kind.load(std::memory_order_relaxed));
+      event.worker = slot.worker.load(std::memory_order_relaxed);
+      event.thread = slot.thread.load(std::memory_order_relaxed);
+      event.superstep = slot.superstep.load(std::memory_order_relaxed);
+      event.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      event.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+      event.value = slot.value.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const uint64_t seq_after = slot.seq.load(std::memory_order_relaxed);
+      // Accept only an untouched commit of a ticket in the retained window
+      // (a concurrent wrap-around writer publishes a larger ticket).
+      if (seq_after != seq_before || seq_before < first + 1 ||
+          seq_before > tickets) {
+        continue;
+      }
+      if (event.name == nullptr) continue;
+      events.push_back(event);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const JournalEvent& a, const JournalEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return events;
+}
+
+uint64_t EventJournal::appended() const {
+  uint64_t total = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    total += shards_[s].tickets.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t EventJournal::dropped() const {
+  uint64_t total = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    const uint64_t tickets = shards_[s].tickets.load(std::memory_order_relaxed);
+    if (tickets > shard_capacity_) total += tickets - shard_capacity_;
+  }
+  return total;
+}
+
+void EventJournal::AppendEventJson(const JournalEvent& event,
+                                   JsonWriter* writer) {
+  JsonWriter& w = *writer;
+  w.BeginObject();
+  w.KV("name", event.name);
+  w.KV("cat", event.category);
+  w.KV("kind", EventKindName(event.kind));
+  w.KV("worker", static_cast<int64_t>(event.worker));
+  w.KV("thread", static_cast<int64_t>(event.thread));
+  w.KV("superstep", event.superstep);
+  w.KV("start_ns", event.start_ns);
+  w.KV("duration_ns", event.duration_ns);
+  w.KV("value", event.value);
+  w.EndObject();
+}
+
+std::string EventJournal::ToJsonl() const {
+  std::string out;
+  for (const JournalEvent& event : Snapshot()) {
+    JsonWriter writer;
+    AppendEventJson(event, &writer);
+    out += writer.TakeString();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// Chrome trace tid: one lane per worker, with a leading "engine" lane for
+/// everything emitted outside a worker slice (worker == -1).
+int64_t ChromeTid(const JournalEvent& event) {
+  return event.worker >= 0 ? event.worker + 1 : 0;
+}
+
+void AppendChromeEvent(const JournalEvent& event, JsonWriter* writer) {
+  JsonWriter& w = *writer;
+  w.BeginObject();
+  w.KV("name", event.name);
+  w.KV("cat", event.category);
+  switch (event.kind) {
+    case EventKind::kSpan:
+      w.KV("ph", "X");
+      break;
+    case EventKind::kInstant:
+      w.KV("ph", "i");
+      w.KV("s", "t");  // thread-scoped instant
+      break;
+    case EventKind::kCounter:
+      w.KV("ph", "C");
+      break;
+  }
+  w.KV("pid", static_cast<int64_t>(1));
+  w.KV("tid", ChromeTid(event));
+  // Chrome trace timestamps are microseconds (fractional allowed).
+  w.KV("ts", static_cast<double>(event.start_ns) / 1000.0);
+  if (event.kind == EventKind::kSpan) {
+    w.KV("dur", static_cast<double>(event.duration_ns) / 1000.0);
+  }
+  w.Key("args");
+  w.BeginObject();
+  w.KV("superstep", event.superstep);
+  w.KV("worker", static_cast<int64_t>(event.worker));
+  w.KV("thread", static_cast<int64_t>(event.thread));
+  w.KV("value", event.value);
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string EventJournal::ChromeTraceJson(
+    const std::vector<JournalEvent>& events) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  // Lane-name metadata so Perfetto labels the per-worker rows.
+  std::vector<int64_t> tids;
+  for (const JournalEvent& event : events) {
+    const int64_t tid = ChromeTid(event);
+    if (std::find(tids.begin(), tids.end(), tid) == tids.end()) {
+      tids.push_back(tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  w.BeginObject();
+  w.KV("name", "process_name");
+  w.KV("ph", "M");
+  w.KV("pid", static_cast<int64_t>(1));
+  w.Key("args");
+  w.BeginObject();
+  w.KV("name", "graft");
+  w.EndObject();
+  w.EndObject();
+  for (int64_t tid : tids) {
+    w.BeginObject();
+    w.KV("name", "thread_name");
+    w.KV("ph", "M");
+    w.KV("pid", static_cast<int64_t>(1));
+    w.KV("tid", tid);
+    w.Key("args");
+    w.BeginObject();
+    w.KV("name", tid == 0 ? std::string("engine")
+                          : StrFormat("worker %lld",
+                                      static_cast<long long>(tid - 1)));
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const JournalEvent& event : events) {
+    AppendChromeEvent(event, &w);
+  }
+  w.EndArray();
+  w.KV("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string EventJournal::ToChromeTraceJson() const {
+  return ChromeTraceJson(Snapshot());
+}
+
+}  // namespace obs
+}  // namespace graft

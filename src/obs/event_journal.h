@@ -1,0 +1,174 @@
+#ifndef GRAFT_OBS_EVENT_JOURNAL_H_
+#define GRAFT_OBS_EVENT_JOURNAL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace graft {
+
+class JsonWriter;
+
+namespace obs {
+
+/// Small process-wide thread ordinal, assigned on first use. Journal events
+/// carry it so a trace viewer can tell apart threads that share a worker
+/// index (e.g. the engine thread and the capture flusher, both worker -1).
+int CurrentThreadOrdinal();
+
+enum class EventKind : uint8_t {
+  kSpan = 0,     // interval with start + duration (Chrome "X")
+  kInstant = 1,  // point event (Chrome "i")
+  kCounter = 2,  // sampled value (Chrome "C")
+};
+const char* EventKindName(EventKind kind);
+
+/// One structured telemetry event. `name` and `category` must be pointers to
+/// static-duration strings (string literals): the journal stores the pointer,
+/// never copies, which is what keeps Append lock-free and allocation-free.
+struct JournalEvent {
+  const char* name = "";
+  const char* category = "";
+  EventKind kind = EventKind::kInstant;
+  int32_t worker = -1;    // BSP worker index; -1 = engine/master/background
+  int32_t thread = 0;     // CurrentThreadOrdinal() of the emitting thread
+  int64_t superstep = -1; // -1 = outside any superstep
+  uint64_t start_ns = 0;  // steady-clock ns since the journal's epoch
+  uint64_t duration_ns = 0;  // 0 for instants/counters
+  uint64_t value = 0;        // free payload: bytes, counts, sampled value
+};
+
+/// Sharded, bounded, lock-free-append structured event journal — the
+/// timeline half of the obs:: layer (DESIGN.md §11). Writers claim a ticket
+/// with one relaxed fetch_add on their shard and publish the event through a
+/// per-slot seqlock; when a shard's ring wraps, the oldest events are
+/// overwritten and counted in dropped(). Snapshot() (and the exporters built
+/// on it) can run concurrently with active writers: a slot caught mid-write
+/// fails seqlock validation and is skipped, never torn.
+///
+/// A null `EventJournal*` is the disabled state everywhere in the engine and
+/// capture wiring: the hot path pays one pointer test and nothing else
+/// (bench-verified by BM_PageRankSocEpinionsJournalOff).
+class EventJournal {
+ public:
+  /// `capacity` is the total number of retained events, split evenly across
+  /// `num_shards` rings (each shard keeps at least 64).
+  explicit EventJournal(size_t capacity = 1 << 16, int num_shards = 8);
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  /// Steady-clock nanoseconds since this journal's construction.
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Publishes one event. Lock-free and wait-free apart from the CAS-free
+  /// ticket fetch_add; safe from any thread. `event.thread` is overwritten
+  /// with the calling thread's ordinal.
+  void Append(JournalEvent event);
+
+  // Convenience emitters.
+  void Span(const char* name, const char* category, int worker,
+            int64_t superstep, uint64_t start_ns, uint64_t value = 0);
+  void Instant(const char* name, const char* category, int worker,
+               int64_t superstep, uint64_t value = 0);
+  void CounterSample(const char* name, const char* category, int worker,
+                     int64_t superstep, uint64_t value);
+
+  /// Committed events, oldest-first by start time. Safe to call while
+  /// writers are active; events mid-write are skipped.
+  std::vector<JournalEvent> Snapshot() const;
+
+  /// Total events ever appended (including overwritten ones).
+  uint64_t appended() const;
+  /// Events lost to ring wrap-around — the oldest-dropped accounting.
+  uint64_t dropped() const;
+  size_t capacity() const { return shard_capacity_ * num_shards_; }
+  int num_shards() const { return num_shards_; }
+
+  /// One JSON object per line, one line per event.
+  std::string ToJsonl() const;
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), loadable in Perfetto
+  /// and chrome://tracing. Spans map to "X" (complete) events, instants to
+  /// "i", counters to "C"; tid is the worker lane (worker + 1, engine = 0)
+  /// so a run renders as a per-worker flame view.
+  std::string ToChromeTraceJson() const;
+  static std::string ChromeTraceJson(const std::vector<JournalEvent>& events);
+  static void AppendEventJson(const JournalEvent& event, JsonWriter* writer);
+
+ private:
+  /// Per-slot seqlock: `seq` holds ticket + 1 once the slot is committed and
+  /// 0 while a writer is mid-publish. All fields are relaxed atomics so a
+  /// racing Snapshot stays data-race-free; torn reads are rejected by the
+  /// seq re-check.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<const char*> category{nullptr};
+    std::atomic<uint8_t> kind{0};
+    std::atomic<int32_t> worker{0};
+    std::atomic<int32_t> thread{0};
+    std::atomic<int64_t> superstep{0};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> duration_ns{0};
+    std::atomic<uint64_t> value{0};
+  };
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> tickets{0};
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  const std::chrono::steady_clock::time_point epoch_;
+  size_t shard_capacity_;
+  int num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// RAII interval measured against an EventJournal; the journal-span analogue
+/// of obs::ScopedSpan. A null journal disables the span entirely (one branch
+/// in the constructor, one in End). End() publishes exactly once — an early
+/// End() followed by destruction, or destruction during exception unwind,
+/// never double-records.
+class JournalSpan {
+ public:
+  JournalSpan() = default;
+  JournalSpan(EventJournal* journal, const char* name, const char* category,
+              int worker, int64_t superstep)
+      : journal_(journal),
+        name_(name),
+        category_(category),
+        worker_(worker),
+        superstep_(superstep),
+        start_ns_(journal != nullptr ? journal->NowNs() : 0) {}
+  JournalSpan(const JournalSpan&) = delete;
+  JournalSpan& operator=(const JournalSpan&) = delete;
+
+  /// Publishes the span once; later calls (and the destructor) are no-ops.
+  void End(uint64_t value = 0) {
+    EventJournal* journal = std::exchange(journal_, nullptr);
+    if (journal == nullptr) return;
+    journal->Span(name_, category_, worker_, superstep_, start_ns_, value);
+  }
+
+  ~JournalSpan() { End(); }
+
+ private:
+  EventJournal* journal_ = nullptr;
+  const char* name_ = "";
+  const char* category_ = "";
+  int worker_ = -1;
+  int64_t superstep_ = -1;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace graft
+
+#endif  // GRAFT_OBS_EVENT_JOURNAL_H_

@@ -1,0 +1,272 @@
+#include "obs/job_registry.h"
+
+#include <utility>
+
+#include "common/json_writer.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace graft {
+namespace obs {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kRecovering:
+      return "recovering";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+JobEntry::JobEntry(std::string job_id) : job_id_(std::move(job_id)) {}
+
+void JobEntry::MarkRunning() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = JobState::kRunning;
+  last_update_seconds_ = age_.ElapsedSeconds();
+}
+
+void JobEntry::MarkRecovering(const std::string& cause) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = JobState::kRecovering;
+  ++recoveries_;
+  status_message_ = cause;
+  last_update_seconds_ = age_.ElapsedSeconds();
+}
+
+void JobEntry::Finish(bool ok, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = ok ? JobState::kDone : JobState::kFailed;
+  status_message_ = message;
+  last_update_seconds_ = age_.ElapsedSeconds();
+}
+
+void JobEntry::PublishReport(const RunReport& report) {
+  // Serialize outside the lock; only the pointer swap is guarded.
+  std::string json = report.ToJson();
+  std::lock_guard<std::mutex> lock(mutex_);
+  superstep_ = report.supersteps;
+  report_json_ = std::move(json);
+  if (state_ == JobState::kRecovering) state_ = JobState::kRunning;
+  last_update_seconds_ = age_.ElapsedSeconds();
+}
+
+void JobEntry::AttachJournal(EventJournal* journal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  journal_ = journal;
+}
+
+void JobEntry::DetachJournal() {
+  EventJournal* journal;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    journal = journal_;
+  }
+  if (journal == nullptr) return;
+  // Export outside the lock — snapshotting a large journal is not cheap and
+  // the journal outlives this call by contract.
+  std::string events = journal->ToChromeTraceJson();
+  const uint64_t appended = journal->appended();
+  const uint64_t dropped = journal->dropped();
+  std::lock_guard<std::mutex> lock(mutex_);
+  final_events_json_ = std::move(events);
+  journal_events_ = appended;
+  journal_dropped_ = dropped;
+  journal_ = nullptr;
+}
+
+JobState JobEntry::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int64_t JobEntry::superstep() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return superstep_;
+}
+
+uint64_t JobEntry::recoveries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recoveries_;
+}
+
+std::string JobEntry::ReportJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return report_json_;
+}
+
+std::string JobEntry::EventsJson() const {
+  EventJournal* journal;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (journal_ == nullptr) {
+      if (!final_events_json_.empty()) return final_events_json_;
+      journal = nullptr;
+    } else {
+      journal = journal_;
+    }
+  }
+  if (journal == nullptr) {
+    return EventJournal::ChromeTraceJson({});
+  }
+  // Live snapshot while the job runs. Safe: the journal stays attached (and
+  // alive) until the runner calls DetachJournal.
+  return journal->ToChromeTraceJson();
+}
+
+uint64_t JobEntry::journal_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (journal_ != nullptr) return journal_->appended();
+  return journal_events_;
+}
+
+uint64_t JobEntry::journal_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (journal_ != nullptr) return journal_->dropped();
+  return journal_dropped_;
+}
+
+void JobEntry::AppendSummaryJson(JsonWriter* writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter& w = *writer;
+  w.BeginObject();
+  w.KV("job_id", job_id_);
+  w.KV("state", JobStateName(state_));
+  w.KV("superstep", superstep_);
+  w.KV("recoveries", recoveries_);
+  w.KV("status", status_message_);
+  w.KV("age_seconds", age_.ElapsedSeconds());
+  w.KV("last_update_seconds", last_update_seconds_);
+  const bool live = journal_ != nullptr;
+  w.KV("journal_events",
+       live ? journal_->appended() : journal_events_);
+  w.KV("journal_dropped",
+       live ? journal_->dropped() : journal_dropped_);
+  w.Key("endpoints");
+  w.BeginObject();
+  w.KV("report", "/jobs/" + job_id_ + "/report");
+  w.KV("events", "/jobs/" + job_id_ + "/events");
+  w.EndObject();
+  w.EndObject();
+}
+
+void JobEntry::AppendPrometheusText(std::string_view prefix,
+                                    std::string* out) const {
+  JobState state;
+  int64_t superstep;
+  uint64_t recoveries;
+  uint64_t events;
+  uint64_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state = state_;
+    superstep = superstep_;
+    recoveries = recoveries_;
+    events = journal_ != nullptr ? journal_->appended() : journal_events_;
+    dropped = journal_ != nullptr ? journal_->dropped() : journal_dropped_;
+  }
+  const std::string label =
+      "{job_id=\"" + PrometheusLabelValue(job_id_) + "\"}";
+  const std::string p(prefix);
+  *out += p + "job_superstep" + label + " " +
+          StrFormat("%lld", static_cast<long long>(superstep)) + "\n";
+  *out += p + "job_state" + label + " " +
+          StrFormat("%d", static_cast<int>(state)) + "\n";
+  *out += p + "job_recoveries_total" + label + " " +
+          StrFormat("%llu", static_cast<unsigned long long>(recoveries)) +
+          "\n";
+  *out += p + "job_journal_events_total" + label + " " +
+          StrFormat("%llu", static_cast<unsigned long long>(events)) + "\n";
+  *out += p + "job_journal_dropped_total" + label + " " +
+          StrFormat("%llu", static_cast<unsigned long long>(dropped)) + "\n";
+}
+
+JobRegistry& JobRegistry::Global() {
+  static JobRegistry* registry = new JobRegistry();
+  return *registry;
+}
+
+std::shared_ptr<JobEntry> JobRegistry::Register(const std::string& job_id) {
+  auto entry = std::make_shared<JobEntry>(job_id);
+  std::lock_guard<std::mutex> lock(mutex_);
+  jobs_[job_id] = entry;
+  return entry;
+}
+
+std::shared_ptr<JobEntry> JobRegistry::Find(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(job_id);
+  return it != jobs_.end() ? it->second : nullptr;
+}
+
+std::vector<std::shared_ptr<JobEntry>> JobRegistry::List() const {
+  std::vector<std::shared_ptr<JobEntry>> entries;
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries.reserve(jobs_.size());
+  for (const auto& [_, entry] : jobs_) entries.push_back(entry);
+  return entries;
+}
+
+std::string JobRegistry::ListJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("jobs");
+  w.BeginArray();
+  for (const auto& entry : List()) {
+    entry->AppendSummaryJson(&w);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string JobRegistry::ToPrometheusText(std::string_view prefix) const {
+  std::string out;
+  const std::string p(prefix);
+  auto entries = List();
+  if (entries.empty()) return out;
+  out += "# HELP " + p + "job_superstep Last superstep barrier the job published.\n";
+  out += "# TYPE " + p + "job_superstep gauge\n";
+  out += "# HELP " + p +
+         "job_state Job lifecycle state (0=pending 1=running 2=recovering "
+         "3=done 4=failed).\n";
+  out += "# TYPE " + p + "job_state gauge\n";
+  out += "# HELP " + p + "job_recoveries_total Recovery attempts consumed.\n";
+  out += "# TYPE " + p + "job_recoveries_total counter\n";
+  out += "# HELP " + p +
+         "job_journal_events_total Events appended to the job's journal.\n";
+  out += "# TYPE " + p + "job_journal_events_total counter\n";
+  out += "# HELP " + p +
+         "job_journal_dropped_total Journal events lost to ring wrap.\n";
+  out += "# TYPE " + p + "job_journal_dropped_total counter\n";
+  // One labelled sample set per job. TYPE/HELP already emitted once per
+  // family above — entries only append samples.
+  std::string samples[5];
+  for (const auto& entry : entries) {
+    std::string block;
+    entry->AppendPrometheusText(prefix, &block);
+    // Split the per-job block back into family-grouped lines so all samples
+    // of one family stay contiguous (required by the exposition format).
+    size_t pos = 0;
+    int family = 0;
+    while (pos < block.size() && family < 5) {
+      size_t end = block.find('\n', pos);
+      if (end == std::string::npos) break;
+      samples[family] += block.substr(pos, end - pos + 1);
+      pos = end + 1;
+      ++family;
+    }
+  }
+  for (const std::string& s : samples) out += s;
+  return out;
+}
+
+}  // namespace obs
+}  // namespace graft

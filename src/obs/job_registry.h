@@ -1,0 +1,126 @@
+#ifndef GRAFT_OBS_JOB_REGISTRY_H_
+#define GRAFT_OBS_JOB_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "obs/event_journal.h"
+#include "obs/run_report.h"
+
+namespace graft {
+
+class JsonWriter;
+
+namespace obs {
+
+/// Lifecycle of one registered job, as seen by telemetry readers.
+enum class JobState : int {
+  kPending = 0,
+  kRunning = 1,
+  kRecovering = 2,
+  kDone = 3,
+  kFailed = 4,
+};
+const char* JobStateName(JobState state);
+
+/// Live, concurrently-readable view of one job (DESIGN.md §11). The runner
+/// side publishes — state transitions, a RunReport snapshot at every
+/// superstep barrier, and the event journal while the job is live — and the
+/// telemetry server side reads, each under one short-held mutex.
+///
+/// Lifetime protocol: the journal pointer attached via AttachJournal is only
+/// dereferenced while attached. RunJob detaches it (caching a final Chrome
+/// trace export and the journal counters) before the journal is destroyed,
+/// so readers arriving after the job finished still get the full timeline.
+class JobEntry {
+ public:
+  explicit JobEntry(std::string job_id);
+  JobEntry(const JobEntry&) = delete;
+  JobEntry& operator=(const JobEntry&) = delete;
+
+  const std::string& job_id() const { return job_id_; }
+
+  // -- publisher (runner) side --
+  void MarkRunning();
+  void MarkRecovering(const std::string& cause);
+  void Finish(bool ok, const std::string& message);
+  /// Serializes `report` and publishes it as the job's live snapshot; called
+  /// by the engine at every superstep barrier and once more with the final
+  /// report. The superstep counter readers poll comes from
+  /// `report.supersteps`.
+  void PublishReport(const RunReport& report);
+  void AttachJournal(EventJournal* journal);
+  /// Caches the journal's final Chrome-trace export + counters and clears
+  /// the live pointer. Must be called before the journal dies.
+  void DetachJournal();
+
+  // -- reader (server) side --
+  JobState state() const;
+  int64_t superstep() const;
+  uint64_t recoveries() const;
+  /// Latest published RunReport JSON ("{}" before the first barrier).
+  std::string ReportJson() const;
+  /// Chrome trace-event JSON: a live journal snapshot while the job runs,
+  /// the cached final export afterwards (an empty trace when the job never
+  /// had a journal).
+  std::string EventsJson() const;
+  uint64_t journal_events() const;
+  uint64_t journal_dropped() const;
+  /// One summary object for the /jobs listing.
+  void AppendSummaryJson(JsonWriter* writer) const;
+  /// Per-job progress series for the /metrics endpoint.
+  void AppendPrometheusText(std::string_view prefix, std::string* out) const;
+
+ private:
+  const std::string job_id_;
+  mutable std::mutex mutex_;
+  JobState state_ = JobState::kPending;
+  int64_t superstep_ = -1;
+  uint64_t recoveries_ = 0;
+  std::string status_message_;
+  std::string report_json_ = "{}";
+  std::string final_events_json_;
+  EventJournal* journal_ = nullptr;
+  uint64_t journal_events_ = 0;
+  uint64_t journal_dropped_ = 0;
+  Stopwatch age_;                    // since registration
+  double last_update_seconds_ = 0.0; // age_ at the last publish
+};
+
+/// Process-wide job directory the telemetry server serves. Registering a
+/// job id that already exists replaces the old entry (readers holding the
+/// old shared_ptr keep a consistent finished view).
+class JobRegistry {
+ public:
+  JobRegistry() = default;
+  JobRegistry(const JobRegistry&) = delete;
+  JobRegistry& operator=(const JobRegistry&) = delete;
+
+  /// The default registry used when a JobSpec enables telemetry without
+  /// naming one.
+  static JobRegistry& Global();
+
+  std::shared_ptr<JobEntry> Register(const std::string& job_id);
+  std::shared_ptr<JobEntry> Find(const std::string& job_id) const;
+  std::vector<std::shared_ptr<JobEntry>> List() const;
+
+  /// {"jobs":[{...}, ...]} — one summary per job, sorted by id.
+  std::string ListJson() const;
+  /// Per-job progress gauges (graft_job_superstep, graft_job_state, ...).
+  std::string ToPrometheusText(std::string_view prefix = "graft_") const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<JobEntry>> jobs_;
+};
+
+}  // namespace obs
+}  // namespace graft
+
+#endif  // GRAFT_OBS_JOB_REGISTRY_H_

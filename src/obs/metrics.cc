@@ -158,13 +158,60 @@ std::string MetricsRegistry::ToJson() const {
 
 std::string PrometheusName(std::string_view name) {
   std::string out;
-  out.reserve(name.size());
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') {
+    out.push_back('_');
+  }
   for (char c : name) {
     bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
               (c >= '0' && c <= '9') || c == '_' || c == ':';
     out.push_back(ok ? c : '_');
   }
   return out;
+}
+
+std::string PrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusHelpText(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::SetHelp(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  help_[std::string(name)] = std::string(help);
 }
 
 namespace {
@@ -179,19 +226,45 @@ std::string FormatDouble(double value) {
 std::string MetricsRegistry::ToPrometheusText(std::string_view prefix) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
+  // One family per sanitized id: HELP then TYPE exactly once, then samples.
+  // Sanitization can collide ("a.b" and "a_b" both map to "a_b"); the first
+  // registered family wins and later colliders are dropped — emitting a
+  // second `# TYPE` for the same id would make real scrapers reject the
+  // whole exposition.
+  std::vector<std::string> emitted_ids;
+  auto claim = [&emitted_ids](const std::string& id) {
+    if (std::find(emitted_ids.begin(), emitted_ids.end(), id) !=
+        emitted_ids.end()) {
+      return false;
+    }
+    emitted_ids.push_back(id);
+    return true;
+  };
+  auto help_for = [this](const std::string& name,
+                         const char* fallback) -> std::string {
+    auto it = help_.find(name);
+    if (it != help_.end()) return PrometheusHelpText(it->second);
+    return std::string(fallback) + " " + PrometheusHelpText(name) + ".";
+  };
   for (const auto& [name, counter] : counters_) {
     std::string id = std::string(prefix) + PrometheusName(name);
+    if (!claim(id)) continue;
+    out += "# HELP " + id + " " + help_for(name, "Counter") + "\n";
     out += "# TYPE " + id + " counter\n";
     out += id + " " + std::to_string(counter->value()) + "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
     std::string id = std::string(prefix) + PrometheusName(name);
+    if (!claim(id)) continue;
+    out += "# HELP " + id + " " + help_for(name, "Gauge") + "\n";
     out += "# TYPE " + id + " gauge\n";
     out += id + " " + FormatDouble(gauge->value()) + "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
     std::string id = std::string(prefix) + PrometheusName(name);
+    if (!claim(id)) continue;
     Histogram::Snapshot snap = histogram->Merge();
+    out += "# HELP " + id + " " + help_for(name, "Histogram") + "\n";
     out += "# TYPE " + id + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t b = 0; b < snap.bounds.size(); ++b) {

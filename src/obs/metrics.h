@@ -128,9 +128,16 @@ class MetricsRegistry {
   void AppendJson(JsonWriter* writer) const;
   std::string ToJson() const;
 
+  /// Registers help text emitted as the family's `# HELP` line. `name` is
+  /// the dotted registry name; metrics without help get a generated line.
+  void SetHelp(std::string_view name, std::string_view help);
+
   /// Prometheus text exposition (counters, gauges, and histograms with
   /// cumulative _bucket/_sum/_count series). `prefix` is prepended to every
-  /// metric name.
+  /// metric name. Scraper-safe: names are sanitized, `# HELP`/`# TYPE` are
+  /// emitted exactly once per family, and if two dotted names sanitize to
+  /// the same family id the later (by kind then name order) is dropped
+  /// rather than emitted as a duplicate family.
   std::string ToPrometheusText(std::string_view prefix = "graft_") const;
 
  private:
@@ -138,10 +145,20 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
-/// "name.with.dots" -> "name_with_dots" for Prometheus exposition.
+/// "name.with.dots" -> "name_with_dots" for Prometheus exposition. Any
+/// character outside [a-zA-Z0-9_:] becomes '_'; a leading digit gets a '_'
+/// prepended so the result is always a valid metric identifier.
 std::string PrometheusName(std::string_view name);
+
+/// Escapes a label value for Prometheus text exposition: backslash, double
+/// quote, and newline are escaped per the format spec.
+std::string PrometheusLabelValue(std::string_view value);
+
+/// Escapes `# HELP` text: backslash and newline.
+std::string PrometheusHelpText(std::string_view value);
 
 /// Scoped trace span: measures wall time from construction and records it
 /// into a histogram shard (and optionally adds it to an accumulator gauge)

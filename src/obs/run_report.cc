@@ -197,15 +197,19 @@ std::string PromDouble(double value) { return StrFormat("%.9g", value); }
 
 std::string RunReport::ToPrometheusText(std::string_view prefix) const {
   const std::string p(prefix);
-  const std::string job = "{job=\"" + job_id + "\"}";
+  const std::string escaped_job = PrometheusLabelValue(job_id);
+  const std::string job = "{job=\"" + escaped_job + "\"}";
   std::string out;
   auto gauge = [&](const std::string& name, const std::string& value) {
+    out += "# HELP " + p + name + " Graft run report field " + name + ".\n";
     out += "# TYPE " + p + name + " gauge\n";
     out += p + name + job + " " + value + "\n";
   };
   gauge("run_total_seconds", PromDouble(total_seconds));
   gauge("run_supersteps", std::to_string(supersteps));
   gauge("run_workers", std::to_string(num_workers));
+  out += "# HELP " + p +
+         "run_phase_seconds Wall seconds per engine phase over the run.\n";
   out += "# TYPE " + p + "run_phase_seconds gauge\n";
   const std::pair<Phase, double> phases[] = {
       {Phase::kMutation, TotalMutationSeconds()},
@@ -216,7 +220,7 @@ std::string RunReport::ToPrometheusText(std::string_view prefix) const {
       {Phase::kAggregatorMerge, TotalAggregatorMergeSeconds()},
   };
   for (const auto& [phase, seconds] : phases) {
-    out += p + "run_phase_seconds{job=\"" + job_id + "\",phase=\"" +
+    out += p + "run_phase_seconds{job=\"" + escaped_job + "\",phase=\"" +
            PhaseName(phase) + "\"} " + PromDouble(seconds) + "\n";
   }
   if (capture.enabled) {
@@ -242,10 +246,12 @@ std::string RunReport::ToPrometheusText(std::string_view prefix) const {
   }
   if (analysis.enabled) {
     gauge("analysis_findings_total", std::to_string(analysis.findings_total));
+    out += "# HELP " + p + "analysis_findings Findings by analysis kind.\n";
     out += "# TYPE " + p + "analysis_findings gauge\n";
     for (const auto& [kind, count] : analysis.findings_by_kind) {
-      out += p + "analysis_findings{job=\"" + job_id + "\",kind=\"" + kind +
-             "\"} " + std::to_string(count) + "\n";
+      out += p + "analysis_findings{job=\"" + escaped_job + "\",kind=\"" +
+             PrometheusLabelValue(kind) + "\"} " + std::to_string(count) +
+             "\n";
     }
     gauge("analysis_determinism_probes",
           std::to_string(analysis.determinism_probes));

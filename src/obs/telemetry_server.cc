@@ -1,0 +1,309 @@
+#include "obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace graft {
+namespace obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+/// Splits "/jobs/<id>/<leaf>" into id and leaf. Returns false for any other
+/// shape (empty id, extra segments).
+bool ParseJobPath(std::string_view rest, std::string* id, std::string* leaf) {
+  const size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) {
+    if (rest.empty()) return false;
+    *id = std::string(rest);
+    leaf->clear();
+    return true;
+  }
+  std::string_view tail = rest.substr(slash + 1);
+  if (slash == 0 || tail.empty() || tail.find('/') != std::string_view::npos) {
+    return false;
+  }
+  *id = std::string(rest.substr(0, slash));
+  *leaf = std::string(tail);
+  return true;
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(TelemetryServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) options_.registry = &JobRegistry::Global();
+  if (options_.handler_threads < 1) options_.handler_threads = 1;
+}
+
+Result<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
+    TelemetryServerOptions options) {
+  std::unique_ptr<TelemetryServer> server(
+      new TelemetryServer(std::move(options)));
+  GRAFT_RETURN_NOT_OK(server->Bind());
+  server->listener_ = std::thread([s = server.get()] { s->ListenLoop(); });
+  for (int i = 0; i < server->options_.handler_threads; ++i) {
+    server->handlers_.emplace_back([s = server.get()] { s->HandlerLoop(); });
+  }
+  return server;
+}
+
+Status TelemetryServer::Bind() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("telemetry server: bad host " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status =
+        Status::IOError(StrFormat("bind(%s:%u): %s", options_.host.c_str(),
+                                  static_cast<unsigned>(options_.port),
+                                  std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status status =
+        Status::IOError(StrFormat("listen(): %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+  return Status::OK();
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // Already stopped; still join if a racing Stop lost.
+  }
+  queue_cv_.notify_all();
+  if (listener_.joinable()) listener_.join();
+  for (std::thread& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+  handlers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Close any connections that were accepted but never served.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (int fd : pending_fds_) ::close(fd);
+  pending_fds_.clear();
+}
+
+void TelemetryServer::ListenLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) continue;  // timeout or EINTR — re-check stopping_
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_fds_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void TelemetryServer::HandlerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               !pending_fds_.empty();
+      });
+      if (pending_fds_.empty()) {
+        if (stopping_.load(std::memory_order_relaxed)) return;
+        continue;
+      }
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void TelemetryServer::ServeConnection(int fd) {
+  // Bound how long a slow client can hold a handler thread.
+  timeval tv;
+  tv.tv_sec = 2;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  // Read until the end of the request head (we ignore bodies: every route is
+  // a GET). 8 KiB is plenty for any legitimate request line + headers.
+  std::string head;
+  char buf[2048];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos && head.size() < 8192) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+  }
+
+  Response response;
+  const size_t line_end = head.find_first_of("\r\n");
+  std::string method;
+  std::string target;
+  if (line_end != std::string::npos) {
+    const std::string request_line = head.substr(0, line_end);
+    const size_t sp1 = request_line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : request_line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos && sp2 != std::string::npos) {
+      method = request_line.substr(0, sp1);
+      target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+  }
+  if (method.empty() || target.empty()) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else {
+    response = Handle(method, target);
+  }
+
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", response.status,
+                              StatusText(response.status));
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += StrFormat("Content-Length: %zu\r\n", response.body.size());
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+TelemetryServer::Response TelemetryServer::Handle(
+    std::string_view method, std::string_view target) const {
+  Response r;
+  // Strip query string and fragment; routes don't take parameters.
+  const size_t cut = target.find_first_of("?#");
+  if (cut != std::string_view::npos) target = target.substr(0, cut);
+
+  if (method != "GET" && method != "HEAD") {
+    r.status = 405;
+    r.body = "method not allowed\n";
+    return r;
+  }
+
+  if (target == "/healthz") {
+    r.body = "ok\n";
+    return r;
+  }
+  if (target == "/metrics") {
+    if (options_.metrics != nullptr) {
+      r.body = options_.metrics->ToPrometheusText(options_.metrics_prefix);
+    }
+    r.body += options_.registry->ToPrometheusText(options_.metrics_prefix);
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return r;
+  }
+  if (target == "/jobs" || target == "/jobs/") {
+    r.body = options_.registry->ListJson();
+    r.content_type = "application/json";
+    return r;
+  }
+  constexpr std::string_view kJobsPrefix = "/jobs/";
+  if (target.size() > kJobsPrefix.size() &&
+      target.substr(0, kJobsPrefix.size()) == kJobsPrefix) {
+    std::string id;
+    std::string leaf;
+    if (!ParseJobPath(target.substr(kJobsPrefix.size()), &id, &leaf)) {
+      r.status = 404;
+      r.body = "not found\n";
+      return r;
+    }
+    std::shared_ptr<JobEntry> entry = options_.registry->Find(id);
+    if (entry == nullptr) {
+      r.status = 404;
+      r.body = "no such job: " + id + "\n";
+      return r;
+    }
+    if (leaf.empty() || leaf == "report") {
+      r.body = entry->ReportJson();
+      r.content_type = "application/json";
+      return r;
+    }
+    if (leaf == "events") {
+      r.body = entry->EventsJson();
+      r.content_type = "application/json";
+      return r;
+    }
+    r.status = 404;
+    r.body = "not found\n";
+    return r;
+  }
+
+  r.status = 404;
+  r.body = "not found\n";
+  return r;
+}
+
+}  // namespace obs
+}  // namespace graft

@@ -1,0 +1,104 @@
+#ifndef GRAFT_OBS_TELEMETRY_SERVER_H_
+#define GRAFT_OBS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/job_registry.h"
+#include "obs/metrics.h"
+
+namespace graft {
+namespace obs {
+
+struct TelemetryServerOptions {
+  /// Bind address. Defaults to loopback — the server is a debugging surface,
+  /// not an internet-facing one.
+  std::string host = "127.0.0.1";
+  /// 0 requests an ephemeral port; the bound port is available from port().
+  uint16_t port = 0;
+  int handler_threads = 2;
+  /// Optional registry scraped by /metrics (may be null).
+  MetricsRegistry* metrics = nullptr;
+  /// Job directory served under /jobs (defaults to JobRegistry::Global()).
+  JobRegistry* registry = nullptr;
+  std::string metrics_prefix = "graft_";
+};
+
+/// Dependency-free HTTP/1.1 server for the live telemetry plane
+/// (DESIGN.md §11): one listener thread accepts connections and a small
+/// handler pool serves them, one request per connection (Connection: close).
+///
+/// Routes:
+///   GET /healthz            -> "ok"
+///   GET /metrics            -> Prometheus text (registry + per-job gauges)
+///   GET /jobs               -> {"jobs":[...]} summaries
+///   GET /jobs/<id>/report   -> live RunReport JSON (updated at barriers)
+///   GET /jobs/<id>/events   -> Chrome trace-event JSON from the journal
+class TelemetryServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  /// Binds, listens, and starts the listener + handler threads. Returns a
+  /// running server or an IOError (address in use, bad host, ...).
+  static Result<std::unique_ptr<TelemetryServer>> Start(
+      TelemetryServerOptions options);
+
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Stops accepting, drains handler threads, closes the socket. Idempotent.
+  void Stop();
+
+  /// The bound port (resolved when options.port was 0).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Pure request router — exposed so tests can exercise routing without a
+  /// socket. `target` is the request path (query strings are stripped).
+  Response Handle(std::string_view method, std::string_view target) const;
+
+  /// Total requests served (any status), for tests and smoke checks.
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit TelemetryServer(TelemetryServerOptions options);
+
+  Status Bind();
+  void ListenLoop();
+  void HandlerLoop();
+  void ServeConnection(int fd);
+
+  TelemetryServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+
+  std::thread listener_;
+  std::vector<std::thread> handlers_;
+};
+
+}  // namespace obs
+}  // namespace graft
+
+#endif  // GRAFT_OBS_TELEMETRY_SERVER_H_

@@ -22,6 +22,8 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
+#include "obs/event_journal.h"
+#include "obs/job_registry.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "pregel/checkpoint.h"
@@ -105,6 +107,16 @@ class Engine {
     /// timing. Null (the default) skips all stamping — the release path
     /// pays one pointer test per phase, nothing per vertex or message.
     PhaseClock* phase_clock = nullptr;
+    /// Optional structured event journal (DESIGN.md §11). When set, the
+    /// engine emits span events per phase and per worker slice — O(workers)
+    /// events per superstep, nothing per vertex or message. Null (the
+    /// default) costs one pointer test per phase.
+    obs::EventJournal* journal = nullptr;
+    /// Optional live-progress sink: when set, the engine publishes a
+    /// RunReport snapshot at every superstep barrier so the telemetry
+    /// server's /jobs/<id>/report advances while the job runs. Application
+    /// code configures this through JobSpec::telemetry.
+    obs::JobEntry* telemetry = nullptr;
   };
 
   /// Observes superstep boundaries; Graft's capture manager subscribes to
@@ -242,10 +254,16 @@ class Engine {
       for (int w = 0; w < options_.num_workers; ++w) {
         prof.workers[static_cast<size_t>(w)].worker = w;
       }
+      // RAII: published on every exit from this iteration, including the
+      // early termination returns below.
+      obs::JournalSpan superstep_span(options_.journal, "superstep", "engine",
+                                      -1, superstep_);
 
       // 1. Apply topology mutations requested in the previous superstep.
       {
         StampPhase(EnginePhase::kMutation, superstep_);
+        obs::JournalSpan span(options_.journal, "mutation", "engine", -1,
+                              superstep_);
         Stopwatch clock;
         ApplyMutations(contexts, &ss);
         prof.mutation_seconds = clock.ElapsedSeconds();
@@ -257,9 +275,12 @@ class Engine {
       uint64_t delivered = 0;
       {
         StampPhase(EnginePhase::kDelivery, superstep_);
+        obs::JournalSpan span(options_.journal, "delivery", "engine", -1,
+                              superstep_);
         Stopwatch clock;
         delivered = DeliverMessages(&ss, &prof);
         prof.delivery_wall_seconds = clock.ElapsedSeconds();
+        span.End(delivered);
       }
       // On the resumed superstep the delivery above drained nothing (the
       // outboxes died with the failed run) — the checkpointed inbox contents
@@ -295,6 +316,8 @@ class Engine {
       // 4. Master phase: sees aggregators merged at the end of superstep-1.
       StampPhase(EnginePhase::kMasterCompute, superstep_);
       if (master_ != nullptr) {
+        obs::JournalSpan span(options_.journal, "master", "engine", -1,
+                              superstep_);
         Stopwatch clock;
         master_ctx.BeginSuperstep(superstep_);
         master_->Compute(master_ctx);
@@ -334,6 +357,8 @@ class Engine {
       compute_error_.reset();
       {
         StampPhase(EnginePhase::kVertexCompute, superstep_);
+        obs::JournalSpan span(options_.journal, "compute", "engine", -1,
+                              superstep_);
         Stopwatch clock;
         pool_.Run([&](int w) {
           RunWorker(&contexts[static_cast<size_t>(w)],
@@ -368,6 +393,8 @@ class Engine {
       // 7. Merge per-worker aggregations into the next superstep's view.
       {
         StampPhase(EnginePhase::kAggregatorMerge, superstep_);
+        obs::JournalSpan span(options_.journal, "aggregator_merge", "engine",
+                              -1, superstep_);
         Stopwatch clock;
         MergeAggregators(contexts);
         prof.aggregator_merge_seconds = clock.ElapsedSeconds();
@@ -380,6 +407,8 @@ class Engine {
       RecordSuperstepMetrics(prof, ss);
       stats.per_superstep.push_back(ss);
       stats.report.per_superstep.push_back(std::move(prof));
+      superstep_span.End(ss.messages_sent);
+      PublishProgress(stats, total_clock);
       for (auto* obs : observers_) obs->OnSuperstepEnd(superstep_, ss);
     }
     stats.termination = TerminationReason::kMaxSupersteps;
@@ -452,6 +481,8 @@ class Engine {
           << "RestoreFromCheckpoint on a non-empty engine";
     }
     Stopwatch clock;
+    obs::JournalSpan span(options_.journal, "checkpoint.restore",
+                          "checkpoint", -1, superstep);
     TraceStore& store = *options_.checkpoint.store;
     GRAFT_ASSIGN_OR_RETURN(
         std::vector<std::string> meta_records,
@@ -920,6 +951,8 @@ class Engine {
     std::vector<Stats> per_worker(static_cast<size_t>(options_.num_workers));
     pool_.Run([&](int w) {
       Stopwatch clock;
+      obs::JournalSpan span(options_.journal, "delivery", "worker", w,
+                            superstep_);
       const size_t part = static_cast<size_t>(w);
       if (options_.fault_injector != nullptr &&
           options_.fault_injector->ShouldFail(FaultSite::kDelivery, w)) {
@@ -958,6 +991,7 @@ class Engine {
           },
           [&](size_t slot) { return p.vertices[slot].alive(); });
       prof->workers[part].delivery_seconds = clock.ElapsedSeconds();
+      span.End(per_worker[part].delivered);
     });
     uint64_t delivered = 0;
     uint64_t dropped = 0;
@@ -995,6 +1029,8 @@ class Engine {
   void RunWorker(WorkerCtx* ctx, Computation<Traits>* computation,
                  SuperstepStats* ss, obs::WorkerPhaseProfile* wp) {
     Stopwatch clock;
+    obs::JournalSpan span(options_.journal, "compute", "worker",
+                          ctx->worker_index(), superstep_);
     const size_t part = static_cast<size_t>(ctx->worker_index());
     if (options_.fault_injector != nullptr &&
         options_.fault_injector->ShouldFail(FaultSite::kWorkerCompute,
@@ -1058,9 +1094,21 @@ class Engine {
     wp->compute_seconds = clock.ElapsedSeconds();
     wp->vertices_computed = active;
     wp->messages_sent = sent;
+    span.End(active);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ss->active_vertices += active;
     ss->messages_sent += sent;
+  }
+
+  /// Publishes a barrier-granularity RunReport snapshot to the telemetry
+  /// entry so /jobs/<id>/report advances while the job runs. One report
+  /// copy + serialize per superstep; nothing when telemetry is off.
+  void PublishProgress(const JobStats& stats, const Stopwatch& total_clock) {
+    if (options_.telemetry == nullptr) return;
+    obs::RunReport snapshot = stats.report;
+    snapshot.supersteps = superstep_ + 1;
+    snapshot.total_seconds = total_clock.ElapsedSeconds();
+    options_.telemetry->PublishReport(snapshot);
   }
 
   /// One relaxed-cost pointer test when the sanitizer is off; the stamp is
@@ -1093,6 +1141,8 @@ class Engine {
   Status WriteCheckpoint(int64_t superstep, uint64_t delivered,
                          uint64_t dropped, const JobStats& stats) {
     Stopwatch clock;
+    obs::JournalSpan span(options_.journal, "checkpoint.commit", "checkpoint",
+                          -1, superstep);
     TraceStore& store = *options_.checkpoint.store;
     const std::string dir = CheckpointDir(options_.job_id, superstep);
     GRAFT_RETURN_NOT_OK(store.DeletePrefix(dir));
@@ -1149,6 +1199,7 @@ class Engine {
     ctr_checkpoints_->Increment();
     ctr_checkpoint_bytes_->Increment(bytes);
     gauge_checkpoint_seconds_->Set(ckpt_seconds_);
+    span.End(bytes);
     return Status::OK();
   }
 
@@ -1234,6 +1285,9 @@ class Engine {
     // spawn happened.
     gauge_pool_threads_->Set(static_cast<double>(options_.num_workers - 1));
     gauge_pool_phases_->Set(static_cast<double>(pool_.generations()));
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->PublishReport(stats->report);
+    }
   }
 
   /// Records the completed superstep's phase timings into the metrics

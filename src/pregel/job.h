@@ -21,6 +21,8 @@
 #include "io/fault_injecting_trace_store.h"
 #include "io/trace_sink.h"
 #include "io/trace_store.h"
+#include "obs/event_journal.h"
+#include "obs/job_registry.h"
 #include "obs/run_report.h"
 #include "pregel/checkpoint.h"
 #include "pregel/engine.h"
@@ -78,6 +80,29 @@ struct JobSpec {
   /// Recovery attempts after retryable (kUnavailable) failures before the
   /// failure is reported. Only meaningful with checkpointing enabled.
   int max_recovery_attempts = 3;
+
+  /// Live telemetry plane (DESIGN.md §11): the structured event journal and
+  /// the job-registry progress publishing the embedded HTTP server reads.
+  struct TelemetryOptions {
+    /// Enables the structured event journal for this run. The engine and the
+    /// capture/checkpoint/recovery paths emit phase spans into it; off (the
+    /// default) costs one pointer test per phase.
+    bool journal = false;
+    /// Retained-event capacity of the job-owned journal (ring; oldest events
+    /// are dropped and counted once it wraps).
+    size_t journal_capacity = 1 << 16;
+    /// Use an externally owned journal instead of a job-owned one. Implies
+    /// `journal` and ignores `journal_capacity`.
+    obs::EventJournal* journal_sink = nullptr;
+    /// Register the job and publish barrier-granularity progress snapshots
+    /// so an attached TelemetryServer can serve /jobs/<id>/report and
+    /// /jobs/<id>/events while the job runs.
+    bool publish = false;
+    /// Registry to publish into; null with `publish` uses
+    /// obs::JobRegistry::Global(). Setting a registry implies `publish`.
+    obs::JobRegistry* registry = nullptr;
+  };
+  TelemetryOptions telemetry;
 
   /// Invoked with the engine before/after each attempt's Run() — the hook
   /// for attaching extensions (InvariantChecker) and for reading final
@@ -142,6 +167,38 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
     return Status::InvalidArgument(
         "JobSpec.checkpoint.interval > 0 requires a checkpoint store "
         "(checkpoint.store or trace_store)");
+  }
+
+  // Telemetry plane: resolve the event journal (external sink or job-owned)
+  // and register the job for live progress publishing. `owned_journal` is
+  // declared before the cleanup guard below so the guard's detach runs while
+  // the journal is still alive.
+  std::optional<obs::EventJournal> owned_journal;
+  obs::EventJournal* journal = spec.telemetry.journal_sink;
+  if (journal == nullptr && spec.telemetry.journal) {
+    owned_journal.emplace(spec.telemetry.journal_capacity);
+    journal = &*owned_journal;
+  }
+  std::shared_ptr<obs::JobEntry> telemetry_entry;
+  if (spec.telemetry.publish || spec.telemetry.registry != nullptr) {
+    obs::JobRegistry* registry = spec.telemetry.registry != nullptr
+                                     ? spec.telemetry.registry
+                                     : &obs::JobRegistry::Global();
+    telemetry_entry = registry->Register(spec.options.job_id);
+    if (journal != nullptr) telemetry_entry->AttachJournal(journal);
+    telemetry_entry->MarkRunning();
+  }
+  // Guard: on every exit — including spec-error returns below — the entry
+  // stops referencing the (possibly job-owned) journal before it dies.
+  struct TelemetryGuard {
+    std::shared_ptr<obs::JobEntry> entry;
+    ~TelemetryGuard() {
+      if (entry != nullptr) entry->DetachJournal();
+    }
+  } telemetry_guard{telemetry_entry};
+  spec.capture_io.journal = journal;
+  if (journal != nullptr) {
+    journal->Instant("job.start", "job", -1, -1);
   }
 
   // Store wrapping: one fault decorator per distinct underlying store, so
@@ -279,6 +336,8 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
   options.checkpoint = ckpt;
   options.fault_injector = spec.fault_injector;
   options.phase_clock = phase_clock ? &*phase_clock : nullptr;
+  options.journal = journal;
+  options.telemetry = telemetry_entry.get();
   const std::string job_id = options.job_id;
   const int max_attempts = std::max(0, spec.max_recovery_attempts);
 
@@ -360,6 +419,13 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
       event.cause = last_failure.ToString();
       event.restore_seconds = engine.restore_seconds();
       recoveries.push_back(std::move(event));
+      if (telemetry_entry != nullptr) {
+        telemetry_entry->MarkRecovering(last_failure.ToString());
+      }
+      if (journal != nullptr) {
+        journal->Instant("recovery.retry", "recovery", -1, resume,
+                         static_cast<uint64_t>(attempt));
+      }
     }
     engine.AddObserver(&snapshot_observer);
     master_observer.set_engine(&engine);
@@ -441,6 +507,26 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
     if (spec.options.metrics != nullptr) {
       bsp->log().ExportMetrics(spec.options.metrics);
     }
+  }
+  if (journal != nullptr) {
+    journal->Instant("job.end", "job", -1, summary.stats.supersteps,
+                     summary.job_status.ok() ? 1 : 0);
+    if (spec.options.metrics != nullptr) {
+      spec.options.metrics->GetCounter("journal.events_total")
+          ->Increment(journal->appended());
+      spec.options.metrics->GetCounter("journal.events_dropped_total")
+          ->Increment(journal->dropped());
+    }
+  }
+  if (telemetry_entry != nullptr) {
+    // Final report: now enriched with the capture/analysis/recovery
+    // profiles the engine's barrier snapshots did not have.
+    telemetry_entry->PublishReport(summary.stats.report);
+    telemetry_entry->Finish(summary.job_status.ok(),
+                            summary.job_status.ToString());
+    // Cache the full Chrome-trace export so /jobs/<id>/events outlives the
+    // job-owned journal (the guard's second detach is a no-op).
+    telemetry_entry->DetachJournal();
   }
   return summary;
 }

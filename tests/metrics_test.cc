@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -130,6 +131,23 @@ TEST(ScopedSpanTest, RecordsOnceIntoHistogramAndGauge) {
   EXPECT_DOUBLE_EQ(total.value(), hist.Merge().sum);
 }
 
+TEST(ScopedSpanTest, RecordsOnceDuringExceptionUnwind) {
+  Histogram hist({1000.0}, 1);
+  Gauge total;
+  try {
+    ScopedSpan span(&hist, /*shard=*/0, &total);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(hist.Merge().count, 1u) << "unwind closes the span exactly once";
+}
+
+TEST(ScopedSpanTest, NullSinksAreSafe) {
+  ScopedSpan span(nullptr, 0, nullptr);
+  EXPECT_GE(span.Stop(), 0.0);
+  span.Stop();  // still a no-op on re-entry
+}
+
 // ---------------------------------------------------------------------------
 // Registry + exports (golden outputs; all values exactly representable)
 // ---------------------------------------------------------------------------
@@ -174,16 +192,53 @@ TEST(MetricsRegistryTest, PrometheusGolden) {
   hist->Record(1.5);
   hist->Record(2.0);
   EXPECT_EQ(registry.ToPrometheusText("graft_"),
+            "# HELP graft_jobs_total Counter jobs.total.\n"
             "# TYPE graft_jobs_total counter\n"
             "graft_jobs_total 3\n"
+            "# HELP graft_queue_depth Gauge queue.depth.\n"
             "# TYPE graft_queue_depth gauge\n"
             "graft_queue_depth 2\n"
+            "# HELP graft_lat Histogram lat.\n"
             "# TYPE graft_lat histogram\n"
             "graft_lat_bucket{le=\"0.5\"} 1\n"
             "graft_lat_bucket{le=\"1.5\"} 2\n"
             "graft_lat_bucket{le=\"+Inf\"} 3\n"
             "graft_lat_sum 4\n"
             "graft_lat_count 3\n");
+}
+
+TEST(MetricsRegistryTest, SetHelpOverridesGeneratedHelpText) {
+  MetricsRegistry registry;
+  registry.GetCounter("jobs.total")->Increment();
+  registry.SetHelp("jobs.total", "Jobs ever submitted.");
+  std::string text = registry.ToPrometheusText("graft_");
+  EXPECT_NE(text.find("# HELP graft_jobs_total Jobs ever submitted.\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, CollidingSanitizedNamesEmitOneFamily) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.b")->Increment(1);
+  registry.GetCounter("a_b")->Increment(2);  // same sanitized id
+  std::string text = registry.ToPrometheusText("g_");
+  // Exactly one TYPE line for the shared id — a second one would make
+  // scrapers reject the exposition.
+  size_t first = text.find("# TYPE g_a_b counter");
+  ASSERT_NE(first, std::string::npos) << text;
+  EXPECT_EQ(text.find("# TYPE g_a_b counter", first + 1), std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, PrometheusLabelValueEscapes) {
+  EXPECT_EQ(obs::PrometheusLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::PrometheusLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::PrometheusLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::PrometheusLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(MetricsRegistryTest, PrometheusNameGuardsLeadingDigit) {
+  EXPECT_EQ(obs::PrometheusName("2pc.commits"), "_2pc_commits");
 }
 
 // ---------------------------------------------------------------------------
@@ -272,12 +327,19 @@ TEST(RunReportTest, PrometheusGoldenIncludesCaptureOnlyWhenEnabled) {
   RunReport report = MakeFixedReport();
   std::string text = report.ToPrometheusText("graft_");
   EXPECT_EQ(text,
+            "# HELP graft_run_total_seconds Graft run report field "
+            "run_total_seconds.\n"
             "# TYPE graft_run_total_seconds gauge\n"
             "graft_run_total_seconds{job=\"job-1\"} 2\n"
+            "# HELP graft_run_supersteps Graft run report field "
+            "run_supersteps.\n"
             "# TYPE graft_run_supersteps gauge\n"
             "graft_run_supersteps{job=\"job-1\"} 1\n"
+            "# HELP graft_run_workers Graft run report field run_workers.\n"
             "# TYPE graft_run_workers gauge\n"
             "graft_run_workers{job=\"job-1\"} 2\n"
+            "# HELP graft_run_phase_seconds Wall seconds per engine phase "
+            "over the run.\n"
             "# TYPE graft_run_phase_seconds gauge\n"
             "graft_run_phase_seconds{job=\"job-1\",phase=\"mutation\"} 0.5\n"
             "graft_run_phase_seconds{job=\"job-1\",phase=\"delivery\"} 0.5\n"

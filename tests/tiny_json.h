@@ -1,0 +1,209 @@
+#ifndef GRAFT_TESTS_TINY_JSON_H_
+#define GRAFT_TESTS_TINY_JSON_H_
+
+// Minimal validating JSON parser for tests: parses a document into a value
+// tree so exporter output (Chrome trace JSON, report JSON, JSONL) can be
+// round-trip checked without an external dependency. Not a production
+// parser — no \uXXXX decoding beyond pass-through, doubles via strtod.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace graft {
+namespace testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<ValuePtr> items;
+  std::map<std::string, ValuePtr> members;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  const Value* Get(const std::string& key) const {
+    auto it = members.find(key);
+    return it == members.end() ? nullptr : it->second.get();
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole document; returns nullptr on any syntax error or
+  /// trailing garbage.
+  ValuePtr Parse() {
+    ValuePtr v = ParseValue();
+    if (v == nullptr) return nullptr;
+    SkipSpace();
+    if (pos_ != text_.size()) return nullptr;
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  ValuePtr ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return nullptr;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') {
+      if (!ConsumeLiteral("null")) return nullptr;
+      auto v = std::make_shared<Value>();
+      v->type = Value::Type::kNull;
+      return v;
+    }
+    return ParseNumber();
+  }
+
+  ValuePtr ParseObject() {
+    if (!Consume('{')) return nullptr;
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kObject;
+    SkipSpace();
+    if (Consume('}')) return v;
+    for (;;) {
+      ValuePtr key = ParseString();
+      if (key == nullptr) return nullptr;
+      if (!Consume(':')) return nullptr;
+      ValuePtr val = ParseValue();
+      if (val == nullptr) return nullptr;
+      v->members[key->str] = val;
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return nullptr;
+    }
+  }
+
+  ValuePtr ParseArray() {
+    if (!Consume('[')) return nullptr;
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kArray;
+    SkipSpace();
+    if (Consume(']')) return v;
+    for (;;) {
+      ValuePtr item = ParseValue();
+      if (item == nullptr) return nullptr;
+      v->items.push_back(item);
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return nullptr;
+    }
+  }
+
+  ValuePtr ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return nullptr;
+    ++pos_;
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return nullptr;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': v->str.push_back('"'); break;
+          case '\\': v->str.push_back('\\'); break;
+          case '/': v->str.push_back('/'); break;
+          case 'b': v->str.push_back('\b'); break;
+          case 'f': v->str.push_back('\f'); break;
+          case 'n': v->str.push_back('\n'); break;
+          case 'r': v->str.push_back('\r'); break;
+          case 't': v->str.push_back('\t'); break;
+          case 'u': {
+            // Pass the escape through undecoded; tests don't rely on it.
+            if (pos_ + 4 > text_.size()) return nullptr;
+            v->str += "\\u";
+            v->str += text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return nullptr;
+        }
+      } else {
+        v->str.push_back(c);
+      }
+    }
+    return nullptr;  // unterminated
+  }
+
+  ValuePtr ParseBool() {
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kBool;
+    if (ConsumeLiteral("true")) {
+      v->boolean = true;
+      return v;
+    }
+    if (ConsumeLiteral("false")) {
+      v->boolean = false;
+      return v;
+    }
+    return nullptr;
+  }
+
+  ValuePtr ParseNumber() {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double d = std::strtod(start, &end);
+    if (end == start) return nullptr;
+    pos_ += static_cast<size_t>(end - start);
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kNumber;
+    v->number = d;
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline ValuePtr ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace testjson
+}  // namespace graft
+
+#endif  // GRAFT_TESTS_TINY_JSON_H_

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""CI smoke for the live telemetry plane (DESIGN.md §11).
+
+Starts the telemetry_server_demo example (journal on, progress published,
+one superstep-barrier sleep per superstep so the run is observable), then —
+while the PageRank job is still running — polls the HTTP plane and checks:
+
+  1. /healthz answers "ok";
+  2. /metrics is valid-looking Prometheus text: every non-comment line is
+     `name{labels} value` with HELP/TYPE at most once per family, and the
+     graft_job_superstep gauge for the demo job is present;
+  3. /jobs/<id>/report serves JSON whose `supersteps` counter ADVANCES
+     between two mid-run polls (the live-progress acceptance criterion);
+  4. after the run, /jobs/<id>/events parses as Chrome trace JSON
+     (Perfetto-loadable): a traceEvents array with per-worker "compute"
+     spans ("ph": "X") for every completed superstep.
+
+Usage: tools/telemetry_smoke.py ./build/examples/telemetry_server_demo
+Exits non-zero with a diagnostic on the first violated check.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+SUPERSTEPS = 12
+SLEEP_MS = 250  # per-barrier pause: run lasts ~3s, plenty to poll mid-run
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get(port, path, timeout=5.0):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=timeout
+    ) as resp:
+        return resp.read().decode("utf-8")
+
+
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+(Inf|NaN)?$"
+)
+
+
+def check_prometheus(text, job_id):
+    families = {"HELP": set(), "TYPE": set()}
+    saw_job_gauge = False
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# "):
+            kind, name = line.split(" ", 2)[1], line.split(" ", 3)[2]
+            if kind in families:
+                if name in families[kind]:
+                    fail(f"duplicate # {kind} for family {name}")
+                families[kind].add(name)
+            continue
+        if not SAMPLE_RE.match(line):
+            fail(f"malformed Prometheus sample line: {line!r}")
+        if line.startswith(f'graft_job_superstep{{job_id="{job_id}"}}'):
+            saw_job_gauge = True
+    if not saw_job_gauge:
+        fail(f"graft_job_superstep gauge for {job_id} missing:\n{text}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    demo = subprocess.Popen(
+        [sys.argv[1]],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+        env={
+            **os.environ,
+            "GRAFT_TELEMETRY_SUPERSTEPS": str(SUPERSTEPS),
+            "GRAFT_TELEMETRY_SLEEP_MS": str(SLEEP_MS),
+        },
+    )
+    try:
+        header = demo.stdout.readline().strip()
+        match = re.match(r"TELEMETRY port=(\d+) job=(\S+)", header)
+        if not match:
+            fail(f"unexpected demo header line: {header!r}")
+        port, job_id = int(match.group(1)), match.group(2)
+
+        if get(port, "/healthz").strip() != "ok":
+            fail("/healthz did not answer ok")
+
+        # Two mid-run polls: the superstep counter must advance while the
+        # job runs (each barrier sleeps SLEEP_MS, so sampling ~4 barriers
+        # apart cannot race the job's completion).
+        def poll_supersteps():
+            # 404 = RunJob hasn't registered the job yet; "{}" = registered
+            # but no barrier reached. Both read as "not yet" for the spin.
+            try:
+                body = get(port, f"/jobs/{job_id}/report")
+            except urllib.error.HTTPError as err:
+                if err.code == 404:
+                    return -1
+                raise
+            report = json.loads(body)
+            return int(report.get("supersteps", -1))
+
+        # The report is "{}" until the first barrier publishes; spin briefly
+        # (each barrier is SLEEP_MS apart, so this resolves fast).
+        deadline = time.monotonic() + 5.0
+        first = poll_supersteps()
+        while first < 1 and time.monotonic() < deadline:
+            time.sleep(0.05)
+            first = poll_supersteps()
+        check_prometheus(get(port, "/metrics"), job_id)
+        time.sleep(4 * SLEEP_MS / 1000.0)
+        second = poll_supersteps()
+        if not (0 <= first < second <= SUPERSTEPS + 1):
+            fail(
+                "live superstep counter did not advance mid-run: "
+                f"first={first} second={second}"
+            )
+        print(f"live progress OK: supersteps {first} -> {second}")
+
+        # Directory endpoint lists the job while it runs.
+        jobs = json.loads(get(port, "/jobs"))
+        if not any(j.get("job_id") == job_id for j in jobs.get("jobs", [])):
+            fail(f"/jobs does not list {job_id}: {jobs}")
+
+        # Wait for the DONE line, then validate the Chrome trace export.
+        done = demo.stdout.readline().strip()
+        if not done.startswith("DONE "):
+            fail(f"demo did not finish cleanly: {done!r}")
+        final = json.loads(get(port, f"/jobs/{job_id}/report"))
+        if int(final["supersteps"]) < SUPERSTEPS:
+            fail(f"final report is short: {final['supersteps']}")
+
+        trace = json.loads(get(port, f"/jobs/{job_id}/events"))
+        events = trace.get("traceEvents")
+        if not isinstance(events, list) or not events:
+            fail("/events has no traceEvents array")
+        compute = {}  # superstep -> set of workers
+        for event in events:
+            if event.get("ph") == "X" and event.get("name") == "compute":
+                args = event.get("args", {})
+                if args.get("worker", -1) >= 0:
+                    compute.setdefault(args["superstep"], set()).add(
+                        args["worker"]
+                    )
+        missing = [
+            s for s in range(SUPERSTEPS) if len(compute.get(s, ())) < 4
+        ]
+        if missing:
+            fail(
+                "per-worker compute spans missing for supersteps "
+                f"{missing}; got {sorted(compute)}"
+            )
+        print(
+            f"trace OK: {len(events)} events, per-worker compute spans for "
+            f"{len(compute)} supersteps"
+        )
+        print("telemetry smoke PASSED")
+    finally:
+        try:
+            demo.stdin.close()
+        except OSError:
+            pass
+        demo.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    main()
