@@ -9,6 +9,14 @@
 namespace graft {
 namespace obs {
 
+namespace {
+
+/// Per-slot seqlock claim sentinel. Committed slots hold ticket + 1 (which
+/// can never reach the all-ones value), empty slots hold 0.
+constexpr uint64_t kSlotLocked = ~uint64_t{0};
+
+}  // namespace
+
 int CurrentThreadOrdinal() {
   static std::atomic<int> next{0};
   thread_local int ordinal = next.fetch_add(1, std::memory_order_relaxed);
@@ -45,11 +53,20 @@ void EventJournal::Append(JournalEvent event) {
   const uint64_t ticket =
       shard.tickets.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = shard.slots[ticket % shard_capacity_];
-  // Seqlock publish: invalidate, fence, write fields, commit. The release
-  // fence orders the invalidation before the field stores; the committing
-  // release store orders the fields before seq becomes ticket + 1.
-  slot.seq.store(0, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_release);
+  // Seqlock publish: claim, write fields, commit. The claim CAS takes the
+  // slot's committed (or empty) seq to the locked sentinel, so exactly one
+  // writer owns the fields at a time. Losing the CAS means another writer
+  // lapped this one on the same slot mid-publish — possible only with a full
+  // shard_capacity of appends in flight — and committing anyway could
+  // validate a mix of both writers' fields; the event is dropped instead.
+  // The acquire on success keeps the field stores after the claim; the
+  // committing release store orders them before seq becomes ticket + 1.
+  uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  do {
+    if (seq == kSlotLocked) return;
+  } while (!slot.seq.compare_exchange_weak(seq, kSlotLocked,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed));
   slot.name.store(event.name, std::memory_order_relaxed);
   slot.category.store(event.category, std::memory_order_relaxed);
   slot.kind.store(static_cast<uint8_t>(event.kind),
@@ -116,7 +133,8 @@ std::vector<JournalEvent> EventJournal::Snapshot() const {
     for (uint64_t t = first; t < tickets; ++t) {
       const Slot& slot = shard.slots[t % shard_capacity_];
       const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
-      if (seq_before == 0) continue;  // writer mid-publish
+      // 0 = never written, kSlotLocked = writer mid-publish.
+      if (seq_before == 0 || seq_before == kSlotLocked) continue;
       JournalEvent event;
       event.name = slot.name.load(std::memory_order_relaxed);
       event.category = slot.category.load(std::memory_order_relaxed);

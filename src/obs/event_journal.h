@@ -104,10 +104,13 @@ class EventJournal {
   static void AppendEventJson(const JournalEvent& event, JsonWriter* writer);
 
  private:
-  /// Per-slot seqlock: `seq` holds ticket + 1 once the slot is committed and
-  /// 0 while a writer is mid-publish. All fields are relaxed atomics so a
-  /// racing Snapshot stays data-race-free; torn reads are rejected by the
-  /// seq re-check.
+  /// Per-slot seqlock: `seq` holds ticket + 1 once the slot is committed,
+  /// an all-ones locked sentinel while a writer owns the fields mid-publish,
+  /// and 0 when never written. Writers claim the slot with a CAS to the
+  /// sentinel, so two writers lapping each other on one slot can never
+  /// commit interleaved fields (the loser drops its event). All fields are
+  /// relaxed atomics so a racing Snapshot stays data-race-free; torn reads
+  /// are rejected by the seq re-check.
   struct Slot {
     std::atomic<uint64_t> seq{0};
     std::atomic<const char*> name{nullptr};

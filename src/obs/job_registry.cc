@@ -103,22 +103,17 @@ std::string JobEntry::ReportJson() const {
 }
 
 std::string JobEntry::EventsJson() const {
-  EventJournal* journal;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (journal_ == nullptr) {
-      if (!final_events_json_.empty()) return final_events_json_;
-      journal = nullptr;
-    } else {
-      journal = journal_;
-    }
-  }
-  if (journal == nullptr) {
-    return EventJournal::ChromeTraceJson({});
-  }
-  // Live snapshot while the job runs. Safe: the journal stays attached (and
-  // alive) until the runner calls DetachJournal.
-  return journal->ToChromeTraceJson();
+  // The live snapshot must run under mutex_: DetachJournal clears journal_
+  // under the same mutex before the runner destroys the journal, so holding
+  // it across the export is what keeps the journal alive for this reader.
+  // (Snapshotting the pointer and exporting unlocked would race a job that
+  // finishes mid-export.) Publishers are serialized with a reader's export;
+  // that stall is bounded by the journal's capacity and only hit while a
+  // scrape overlaps a barrier.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (journal_ != nullptr) return journal_->ToChromeTraceJson();
+  if (!final_events_json_.empty()) return final_events_json_;
+  return EventJournal::ChromeTraceJson({});
 }
 
 uint64_t JobEntry::journal_events() const {

@@ -35,9 +35,12 @@ const char* JobStateName(JobState state);
 /// telemetry server side reads, each under one short-held mutex.
 ///
 /// Lifetime protocol: the journal pointer attached via AttachJournal is only
-/// dereferenced while attached. RunJob detaches it (caching a final Chrome
-/// trace export and the journal counters) before the journal is destroyed,
-/// so readers arriving after the job finished still get the full timeline.
+/// dereferenced under mutex_ while attached. RunJob detaches it (caching a
+/// final Chrome trace export and the journal counters) before the journal is
+/// destroyed; DetachJournal's final pointer-clear takes mutex_, so it
+/// serializes against any in-flight reader export and no reader can outlive
+/// the journal. Readers arriving after the job finished get the cached
+/// timeline.
 class JobEntry {
  public:
   explicit JobEntry(std::string job_id);

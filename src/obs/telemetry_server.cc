@@ -123,8 +123,14 @@ Status TelemetryServer::Bind() {
 TelemetryServer::~TelemetryServer() { Stop(); }
 
 void TelemetryServer::Stop() {
-  if (stopping_.exchange(true)) {
-    // Already stopped; still join if a racing Stop lost.
+  {
+    // The flag must flip under queue_mutex_: a handler holding the mutex
+    // between its predicate check and wait() would otherwise miss both the
+    // store and the notify and block forever.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_.exchange(true)) {
+      // Already stopped; still join if a racing Stop lost.
+    }
   }
   queue_cv_.notify_all();
   if (listener_.joinable()) listener_.join();
@@ -226,7 +232,8 @@ void TelemetryServer::ServeConnection(int fd) {
   out += "Content-Type: " + response.content_type + "\r\n";
   out += StrFormat("Content-Length: %zu\r\n", response.body.size());
   out += "Connection: close\r\n\r\n";
-  out += response.body;
+  // HEAD gets the full header block (including Content-Length) but no body.
+  if (method != "HEAD") out += response.body;
 
   size_t sent = 0;
   while (sent < out.size()) {
@@ -235,8 +242,10 @@ void TelemetryServer::ServeConnection(int fd) {
     if (n <= 0) break;
     sent += static_cast<size_t>(n);
   }
-  ::close(fd);
+  // Count before close: a client that saw the response + EOF must observe
+  // the incremented counter.
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+  ::close(fd);
 }
 
 TelemetryServer::Response TelemetryServer::Handle(

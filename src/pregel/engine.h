@@ -1101,13 +1101,30 @@ class Engine {
   }
 
   /// Publishes a barrier-granularity RunReport snapshot to the telemetry
-  /// entry so /jobs/<id>/report advances while the job runs. One report
-  /// copy + serialize per superstep; nothing when telemetry is off.
+  /// entry so /jobs/<id>/report advances while the job runs. Nothing when
+  /// telemetry is off. The live snapshot carries only the most recent
+  /// kLiveProgressTail superstep profiles: copying + serializing the full
+  /// growing history at every barrier would make progress publishing
+  /// O(supersteps^2) over a long run. The final PublishReport in RunJob
+  /// ships the complete history.
+  static constexpr size_t kLiveProgressTail = 32;
   void PublishProgress(const JobStats& stats, const Stopwatch& total_clock) {
     if (options_.telemetry == nullptr) return;
-    obs::RunReport snapshot = stats.report;
+    obs::RunReport snapshot;
+    snapshot.job_id = stats.report.job_id;
+    snapshot.num_workers = stats.report.num_workers;
     snapshot.supersteps = superstep_ + 1;
     snapshot.total_seconds = total_clock.ElapsedSeconds();
+    snapshot.capture = stats.report.capture;
+    snapshot.analysis = stats.report.analysis;
+    snapshot.recovery = stats.report.recovery;
+    const std::vector<obs::SuperstepProfile>& profiles =
+        stats.report.per_superstep;
+    const size_t first = profiles.size() > kLiveProgressTail
+                             ? profiles.size() - kLiveProgressTail
+                             : 0;
+    snapshot.per_superstep.assign(
+        profiles.begin() + static_cast<std::ptrdiff_t>(first), profiles.end());
     options_.telemetry->PublishReport(snapshot);
   }
 
