@@ -83,7 +83,12 @@ BENCHMARK(BM_PageRankSocEpinions)->Arg(4)->Unit(benchmark::kMillisecond);
 // The same job with checkpointing every 2 supersteps: the fault-tolerance
 // tax. Exports checkpoint bytes/seconds alongside msgs/s so BENCH_engine.json
 // tracks the overhead of the recovery subsystem against the plain run above.
-void BM_PageRankSocEpinionsCheckpointed(benchmark::State& state) {
+// Runs in both modes — kFull snapshots everything each checkpoint, kDelta
+// writes vertex-state-only parts plus the topology/outbox-log streams, so
+// BENCH_engine.json carries the full-vs-delta overhead and bytes/superstep
+// comparison the ISSUE 7 acceptance bar is judged on.
+void RunSocEpinionsCheckpointedBench(benchmark::State& state,
+                                     graft::pregel::CheckpointMode mode) {
   const char* env = std::getenv("GRAFT_BENCH_SCALE");
   graft::graph::DatasetOptions options;
   options.scale_denominator = (env != nullptr && std::atoll(env) > 0)
@@ -93,15 +98,16 @@ void BM_PageRankSocEpinionsCheckpointed(benchmark::State& state) {
   GRAFT_CHECK(graph.ok()) << graph.status();
   const int num_workers = static_cast<int>(state.range(0));
   uint64_t messages = 0, ckpt_bytes = 0, ckpts_written = 0;
+  uint64_t topology_bytes = 0, log_bytes = 0;
   double ckpt_seconds = 0;
   for (auto _ : state) {
     graft::pregel::JobSpec<graft::algos::PageRankTraits> spec;
     spec.options.num_workers = num_workers;
     spec.options.job_id = "bench-pr-ckpt";
-    spec.options.combiner = [](const graft::pregel::DoubleValue& a,
-                               const graft::pregel::DoubleValue& b) {
-      return graft::pregel::DoubleValue{a.value + b.value};
-    };
+    // No sender-side combiner here (unlike the plain hot-path bench above):
+    // a full checkpoint snapshots the pending inbox, so the checkpointed
+    // bench runs the standard uncombined PageRank message load to measure
+    // that cost rather than optimize it away before it can be observed.
     spec.vertices = graft::pregel::LoadUnweighted<graft::algos::PageRankTraits>(
         *graph,
         [](graft::VertexId) { return graft::pregel::DoubleValue{0.0}; });
@@ -114,6 +120,7 @@ void BM_PageRankSocEpinionsCheckpointed(benchmark::State& state) {
     graft::InMemoryTraceStore ckpt_store;
     spec.checkpoint.interval = 2;
     spec.checkpoint.store = &ckpt_store;
+    spec.checkpoint.mode = mode;
     auto summary = graft::pregel::RunJob(std::move(spec));
     GRAFT_CHECK(summary.ok()) << summary.status();
     GRAFT_CHECK(summary->job_status.ok()) << summary->job_status;
@@ -122,6 +129,8 @@ void BM_PageRankSocEpinionsCheckpointed(benchmark::State& state) {
     ckpt_bytes += rec.checkpoint_bytes;
     ckpt_seconds += rec.checkpoint_seconds;
     ckpts_written += rec.checkpoints_written;
+    topology_bytes += rec.topology_bytes;
+    log_bytes += rec.log_bytes;
   }
   state.SetItemsProcessed(static_cast<int64_t>(messages));
   state.counters["msgs/s"] = benchmark::Counter(
@@ -131,8 +140,28 @@ void BM_PageRankSocEpinionsCheckpointed(benchmark::State& state) {
   state.counters["checkpoint_s"] = ckpt_seconds / iters;
   state.counters["checkpoints_written"] =
       static_cast<double>(ckpts_written) / iters;
+  state.counters["topology_bytes"] =
+      static_cast<double>(topology_bytes) / iters;
+  state.counters["log_bytes"] = static_cast<double>(log_bytes) / iters;
+  // Per-checkpoint payload: the quantity the delta mode is built to shrink.
+  if (ckpts_written > 0) {
+    state.counters["bytes_per_checkpoint"] =
+        static_cast<double>(ckpt_bytes) / static_cast<double>(ckpts_written);
+  }
+}
+void BM_PageRankSocEpinionsCheckpointed(benchmark::State& state) {
+  RunSocEpinionsCheckpointedBench(state,
+                                  graft::pregel::CheckpointMode::kFull);
 }
 BENCHMARK(BM_PageRankSocEpinionsCheckpointed)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PageRankSocEpinionsCheckpointedDelta(benchmark::State& state) {
+  RunSocEpinionsCheckpointedBench(state,
+                                  graft::pregel::CheckpointMode::kDelta);
+}
+BENCHMARK(BM_PageRankSocEpinionsCheckpointedDelta)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 

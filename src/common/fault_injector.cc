@@ -14,6 +14,10 @@ std::string_view FaultSiteName(FaultSite site) {
       return "store-append";
     case FaultSite::kStoreFlush:
       return "store-flush";
+    case FaultSite::kLogAppend:
+      return "log-append";
+    case FaultSite::kLogReplay:
+      return "log-replay";
   }
   return "?";
 }

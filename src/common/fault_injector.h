@@ -19,6 +19,8 @@ enum class FaultSite : uint8_t {
   kDelivery = 1,       // abort a partition's message delivery
   kStoreAppend = 2,    // fail a TraceStore::Append
   kStoreFlush = 3,     // fail a TraceStore::Flush
+  kLogAppend = 4,      // fail an outbox-log append (delta checkpoint mode)
+  kLogReplay = 5,      // fail an outbox-log replay during recovery
 };
 
 std::string_view FaultSiteName(FaultSite site);

@@ -167,6 +167,9 @@ void RunReport::AppendJson(JsonWriter* writer) const {
   w.KV("checkpoint_bytes", recovery.checkpoint_bytes);
   w.KV("checkpoint_seconds", recovery.checkpoint_seconds);
   w.KV("restore_seconds", recovery.restore_seconds);
+  w.KV("topology_bytes", recovery.topology_bytes);
+  w.KV("log_bytes", recovery.log_bytes);
+  w.KV("confined_recoveries", recovery.confined_recoveries);
   w.KV("recoveries", recovery.recoveries);
   w.Key("events");
   w.BeginArray();
@@ -176,6 +179,8 @@ void RunReport::AppendJson(JsonWriter* writer) const {
     w.KV("restored_superstep", e.restored_superstep);
     w.KV("cause", e.cause);
     w.KV("restore_seconds", e.restore_seconds);
+    w.KV("confined", e.confined);
+    w.KV("partition", static_cast<int64_t>(e.partition));
     w.EndObject();
   }
   w.EndArray();
@@ -264,6 +269,11 @@ std::string RunReport::ToPrometheusText(std::string_view prefix) const {
     gauge("checkpoint_bytes", std::to_string(recovery.checkpoint_bytes));
     gauge("checkpoint_seconds", PromDouble(recovery.checkpoint_seconds));
     gauge("restore_seconds", PromDouble(recovery.restore_seconds));
+    gauge("checkpoint_topology_bytes",
+          std::to_string(recovery.topology_bytes));
+    gauge("checkpoint_log_bytes", std::to_string(recovery.log_bytes));
+    gauge("confined_recoveries",
+          std::to_string(recovery.confined_recoveries));
     gauge("recoveries", std::to_string(recovery.recoveries));
   }
   return out;

@@ -104,24 +104,36 @@ struct AnalysisProfile {
   double probe_seconds = 0.0;
 };
 
-/// One recovery: the JobRunner restarted the job from a checkpoint after a
-/// retryable (kUnavailable) failure.
+/// One recovery: either the JobRunner restarted the whole job from a
+/// checkpoint after a retryable (kUnavailable) failure, or — in delta
+/// checkpoint mode — the engine rebuilt a single failed partition in place
+/// (confined recovery) while the healthy partitions kept their state.
 struct RecoveryEvent {
-  int attempt = 0;                // 1-based retry attempt number
+  int attempt = 0;                // 1-based retry attempt number (0 when
+                                  // the recovery was confined in-engine)
   int64_t restored_superstep = 0; // superstep the checkpoint resumed at
   std::string cause;              // status message of the failure recovered
   double restore_seconds = 0.0;   // time spent rebuilding engine state
+  bool confined = false;          // true: only one partition recomputed
+  int partition = -1;             // the rebuilt partition (confined only)
 };
 
 /// Checkpoint/recovery accounting for one job (DESIGN.md "Fault tolerance &
-/// recovery"): what checkpointing cost, and every recovery the JobRunner
-/// performed. Checkpoint counters are cumulative across recovery attempts.
+/// recovery"): what checkpointing cost, and every recovery the JobRunner or
+/// engine performed. Checkpoint counters are cumulative across recovery
+/// attempts. In delta mode `checkpoint_bytes` covers only the per-checkpoint
+/// value deltas + meta; the once-per-epoch topology stream and the
+/// continuous outbox log are accounted separately so the per-superstep
+/// checkpoint cost is visible on its own.
 struct RecoveryProfile {
   bool checkpoints_enabled = false;
   uint64_t checkpoints_written = 0;
   uint64_t checkpoint_bytes = 0;     // serialized payload bytes
   double checkpoint_seconds = 0.0;   // wall time inside checkpoint writes
   double restore_seconds = 0.0;      // wall time inside checkpoint restores
+  uint64_t topology_bytes = 0;       // delta mode: packed-edge parts written
+  uint64_t log_bytes = 0;            // delta mode: outbox log records
+  uint64_t confined_recoveries = 0;  // in-engine single-partition rebuilds
   uint64_t recoveries = 0;           // == events.size()
   std::vector<RecoveryEvent> events;
 };

@@ -338,6 +338,10 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
   options.phase_clock = phase_clock ? &*phase_clock : nullptr;
   options.journal = journal;
   options.telemetry = telemetry_entry.get();
+  // Confined recovery replays the raw user computation: replayed vertices
+  // must see the original deterministic inputs, and the capture/sanitizer
+  // wrappers must not re-record supersteps that already have traces.
+  options.replay_computation = spec.computation;
   const std::string job_id = options.job_id;
   const int max_attempts = std::max(0, spec.max_recovery_attempts);
 
@@ -349,6 +353,10 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
   uint64_t prior_ckpt_bytes = 0;
   double prior_ckpt_seconds = 0.0;
   double prior_restore_seconds = 0.0;
+  uint64_t prior_topology_bytes = 0;
+  uint64_t prior_log_bytes = 0;
+  uint64_t prior_confined = 0;
+  std::vector<obs::RecoveryEvent> prior_confined_events;
   Status last_failure = Status::OK();
 
   for (int attempt = 0;; ++attempt) {
@@ -458,8 +466,18 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
       rec.checkpoint_bytes += prior_ckpt_bytes;
       rec.checkpoint_seconds += prior_ckpt_seconds;
       rec.restore_seconds += prior_restore_seconds;
-      rec.recoveries = recoveries.size();
-      rec.events = recoveries;
+      rec.topology_bytes += prior_topology_bytes;
+      rec.log_bytes += prior_log_bytes;
+      rec.confined_recoveries += prior_confined;
+      // The engine already filled rec.events with this attempt's confined
+      // recoveries; prepend the ones from failed attempts and the
+      // JobRunner's own restart events.
+      std::vector<obs::RecoveryEvent> events =
+          std::move(prior_confined_events);
+      events.insert(events.end(), recoveries.begin(), recoveries.end());
+      events.insert(events.end(), rec.events.begin(), rec.events.end());
+      rec.events = std::move(events);
+      rec.recoveries = rec.events.size();
       if (spec.post_run) spec.post_run(engine);
       break;
     }
@@ -467,6 +485,13 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
     prior_ckpt_bytes += engine.checkpoint_bytes();
     prior_ckpt_seconds += engine.checkpoint_seconds();
     prior_restore_seconds += engine.restore_seconds();
+    prior_topology_bytes += engine.topology_bytes();
+    prior_log_bytes += engine.outbox_log_bytes();
+    prior_confined += engine.confined_recoveries();
+    const std::vector<obs::RecoveryEvent>& confined =
+        engine.confined_recovery_events();
+    prior_confined_events.insert(prior_confined_events.end(),
+                                 confined.begin(), confined.end());
     last_failure = stats.status();
     if (last_failure.IsUnavailable() && options.checkpoint.enabled() &&
         attempt < max_attempts) {
@@ -480,8 +505,13 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
     rec.checkpoint_bytes = prior_ckpt_bytes;
     rec.checkpoint_seconds = prior_ckpt_seconds;
     rec.restore_seconds = prior_restore_seconds;
-    rec.recoveries = recoveries.size();
-    rec.events = recoveries;
+    rec.topology_bytes = prior_topology_bytes;
+    rec.log_bytes = prior_log_bytes;
+    rec.confined_recoveries = prior_confined;
+    std::vector<obs::RecoveryEvent> events = std::move(prior_confined_events);
+    events.insert(events.end(), recoveries.begin(), recoveries.end());
+    rec.events = std::move(events);
+    rec.recoveries = rec.events.size();
     break;
   }
   summary.recoveries = std::move(recoveries);

@@ -207,6 +207,55 @@ class MessageStore {
     }
   }
 
+  /// Walks every pending outbox unit destined for `dest` in the EXACT order
+  /// Deliver consumes them — senders ascending; per sender, combined slots
+  /// in first-touch order, then entries in append order — without draining
+  /// anything. `combined(slot, value, count)` sees each pending dense slot;
+  /// `entry(target, message)` each unresolved pair. The delta-checkpoint
+  /// outbox log is written through this walk just before Deliver runs, so a
+  /// replayed log reproduces the delivery fold order (and hence the inbox
+  /// bytes) exactly.
+  template <typename CombinedFn, typename EntryFn>
+  void ForEachPending(size_t dest, CombinedFn&& combined,
+                      EntryFn&& entry) const {
+    for (int s = 0; s < num_partitions_; ++s) {
+      if (combiner_) {
+        const CombinedOutbox& ob = combined_outboxes_[OutboxIndex(s, dest)];
+        for (uint32_t slot : ob.touched) {
+          const Slot& sl = ob.slots[slot];
+          combined(static_cast<size_t>(slot), sl.value, sl.count);
+        }
+      }
+      entry_outboxes_[OutboxIndex(s, dest)].ForEach(
+          [&](const Entry& e) { entry(e.first, e.second); });
+    }
+  }
+
+  /// Recovery-side mirror of Deliver's combined-slot path: folds one logged
+  /// sender partial into the inbox exactly as delivery would have.
+  void ReplayCombined(size_t dest, size_t slot, const MessageT& partial) {
+    PushCombined(dest, slot, partial);
+  }
+
+  /// Recovery-side mirror of Deliver's entry path for a resolved target.
+  void ReplayEntry(size_t dest, size_t slot, const MessageT& message) {
+    if (combiner_) {
+      PushCombined(dest, slot, message);
+    } else {
+      inboxes_[dest][slot].push_back(message);
+    }
+  }
+
+  /// Forgets everything delivered into partition `p`'s inboxes and its slot
+  /// bookkeeping (confined recovery rebuilds the partition from scratch and
+  /// re-registers slots via EnsureInboxSlots). Outboxes are untouched: the
+  /// engine only resets a partition between supersteps, when every outbox
+  /// has already been drained by delivery.
+  void ResetPartition(size_t p) {
+    inboxes_[p].clear();
+    partition_sizes_[p] = 0;
+  }
+
   /// Drains every sender's outboxes destined for `dest` into `dest`'s
   /// inboxes and clears them for reuse. `resolve(target) -> slot or kNoSlot`
   /// maps unresolved entries; `alive(slot) -> bool` re-checks dense slots

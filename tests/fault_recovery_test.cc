@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -118,9 +120,12 @@ TEST(CheckpointTest, MetaRoundtripsThroughSerialize) {
   CheckpointMeta meta;
   meta.superstep = 6;
   meta.num_partitions = 2;
+  meta.mode = pregel::CheckpointMode::kDelta;
+  meta.topology_epoch = 3;
   meta.pending_messages = 123;
   meta.messages_dropped_at_resume = 4;
-  meta.partitions = {{10, 20, 5}, {11, 22, 7}};
+  meta.partitions = {{10, 20, 5, /*base_superstep=*/6},
+                     {11, 22, 7, /*base_superstep=*/2}};
   meta.aggregators.emplace("pi", pregel::AggValue{3.14});
   meta.aggregators.emplace("phase", pregel::AggValue{std::string("GO")});
   meta.total_messages = 999;
@@ -136,11 +141,15 @@ TEST(CheckpointTest, MetaRoundtripsThroughSerialize) {
   ASSERT_TRUE(parsed.ok()) << parsed.status();
   EXPECT_EQ(parsed->superstep, 6);
   EXPECT_EQ(parsed->num_partitions, 2);
+  EXPECT_EQ(parsed->mode, pregel::CheckpointMode::kDelta);
+  EXPECT_EQ(parsed->topology_epoch, 3);
   EXPECT_EQ(parsed->pending_messages, 123u);
   EXPECT_EQ(parsed->messages_dropped_at_resume, 4u);
   ASSERT_EQ(parsed->partitions.size(), 2u);
   EXPECT_EQ(parsed->partitions[1].alive, 11u);
   EXPECT_EQ(parsed->partitions[1].awake, 7u);
+  EXPECT_EQ(parsed->partitions[0].base_superstep, 6);
+  EXPECT_EQ(parsed->partitions[1].base_superstep, 2);
   EXPECT_EQ(parsed->aggregators.at("pi").AsDouble(), 3.14);
   EXPECT_EQ(parsed->aggregators.at("phase").AsText(), "GO");
   EXPECT_EQ(parsed->total_messages, 999u);
@@ -199,6 +208,9 @@ std::map<std::string, std::vector<std::string>> StoreContents(
 struct PageRankRun {
   debug::DebugRunSummary summary;
   std::map<VertexId, double> ranks;
+  // Confined-recovery accounting, read off the engine in post_run.
+  uint64_t replayed_vertices = 0;
+  std::map<size_t, uint64_t> partition_sizes;
 };
 
 /// PageRank on a fixed random graph under Graft, checkpointing every 2
@@ -207,7 +219,8 @@ Result<PageRankRun> RunCheckpointedPageRank(
     const graph::SimpleGraph& graph,
     const debug::DebugConfig<PageRankTraits>& config,
     InMemoryTraceStore* trace_store, InMemoryTraceStore* ckpt_store,
-    FaultInjector* injector, const TraceSinkOptions& capture_io = {}) {
+    FaultInjector* injector, const TraceSinkOptions& capture_io = {},
+    pregel::CheckpointMode mode = pregel::CheckpointMode::kFull) {
   pregel::JobSpec<PageRankTraits> spec;
   spec.options.num_workers = 3;
   spec.options.job_id = "pr-recovery";
@@ -227,12 +240,15 @@ Result<PageRankRun> RunCheckpointedPageRank(
   spec.trace_store = trace_store;
   spec.checkpoint.interval = 2;
   spec.checkpoint.store = ckpt_store;
+  spec.checkpoint.mode = mode;
   spec.fault_injector = injector;
   PageRankRun run;
   spec.post_run = [&run](pregel::Engine<PageRankTraits>& engine) {
     engine.ForEachVertex([&](const pregel::Vertex<PageRankTraits>& v) {
       run.ranks[v.id()] = v.value().value;
+      run.partition_sizes[engine.PartitionOf(v.id())] += 1;
     });
+    run.replayed_vertices = engine.confined_replayed_vertices();
   };
   GRAFT_ASSIGN_OR_RETURN(run.summary,
                          debug::RunWithGraft(std::move(spec)));
@@ -565,6 +581,338 @@ TEST(RecoveryTest, CheckpointsAreGarbageCollected) {
   // Many checkpoints were written, but only `keep` survive.
   EXPECT_GT(summary->stats.report.recovery.checkpoints_written, 1u);
   EXPECT_EQ(pregel::ListCommittedCheckpoints(ckpts, "cc-gc").size(), 1u);
+}
+
+// -------------------------------------------- delta checkpoints (ISSUE 7) --
+
+/// Delta round-trip golden: a fault-free delta-mode run produces the same
+/// final values as full-checkpoint mode, writes strictly fewer checkpoint
+/// payload bytes, and accounts topology/log bytes separately.
+TEST(DeltaCheckpointTest, DeltaModeMatchesFullModeAndWritesLess) {
+  auto graph = graph::MakeUndirected(
+      graph::GenerateErdosRenyi(300, 1200, /*seed=*/9));
+  debug::ConfigurableDebugConfig<PageRankTraits> config;
+  config.set_vertices({0, 1, 2, 50, 100}).set_capture_neighbors(true);
+
+  InMemoryTraceStore full_traces, full_ckpts;
+  auto full = RunCheckpointedPageRank(graph, config, &full_traces,
+                                      &full_ckpts, nullptr);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_TRUE(full->summary.job_status.ok());
+
+  InMemoryTraceStore delta_traces, delta_ckpts;
+  auto delta = RunCheckpointedPageRank(graph, config, &delta_traces,
+                                       &delta_ckpts, nullptr, {},
+                                       pregel::CheckpointMode::kDelta);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  ASSERT_TRUE(delta->summary.job_status.ok()) << delta->summary.job_status;
+
+  EXPECT_EQ(full->ranks, delta->ranks);
+  EXPECT_EQ(StoreContents(full_traces), StoreContents(delta_traces));
+
+  const obs::RecoveryProfile& full_rec = full->summary.stats.report.recovery;
+  const obs::RecoveryProfile& delta_rec =
+      delta->summary.stats.report.recovery;
+  EXPECT_EQ(full_rec.checkpoints_written, delta_rec.checkpoints_written);
+  // Vertex-state-only deltas: the per-checkpoint payload shrinks hard, and
+  // the topology stream was written once (one epoch, no mutations).
+  EXPECT_LT(delta_rec.checkpoint_bytes, full_rec.checkpoint_bytes);
+  EXPECT_GT(delta_rec.topology_bytes, 0u);
+  EXPECT_GT(delta_rec.log_bytes, 0u);
+  EXPECT_EQ(full_rec.topology_bytes, 0u);
+  EXPECT_EQ(full_rec.log_bytes, 0u);
+}
+
+/// ISSUE 7 tentpole acceptance (confined): a worker crash in delta mode is
+/// recovered inside the engine — one partition rebuilt and replayed, zero
+/// JobRunner restart, healthy partitions do zero recompute — and both traces
+/// and final values stay byte-identical to the fault-free run.
+TEST(DeltaCheckpointTest, ConfinedRecoveryIsByteIdenticalAndConfined) {
+  auto graph = graph::MakeUndirected(
+      graph::GenerateErdosRenyi(300, 1200, /*seed=*/9));
+  debug::ConfigurableDebugConfig<PageRankTraits> config;
+  config.set_vertices({0, 1, 2, 50, 100}).set_capture_neighbors(true);
+
+  InMemoryTraceStore clean_traces, clean_ckpts;
+  auto clean = RunCheckpointedPageRank(graph, config, &clean_traces,
+                                       &clean_ckpts, nullptr, {},
+                                       pregel::CheckpointMode::kDelta);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_TRUE(clean->summary.job_status.ok());
+  EXPECT_EQ(clean->replayed_vertices, 0u);
+
+  FaultInjector injector;
+  injector.Arm({FaultSite::kWorkerCompute, /*superstep=*/5, /*partition=*/1,
+                /*hits=*/1});
+  InMemoryTraceStore faulty_traces, faulty_ckpts;
+  auto recovered = RunCheckpointedPageRank(graph, config, &faulty_traces,
+                                           &faulty_ckpts, &injector, {},
+                                           pregel::CheckpointMode::kDelta);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ASSERT_TRUE(recovered->summary.job_status.ok())
+      << recovered->summary.job_status;
+  EXPECT_EQ(injector.fired_count(), 1u);
+
+  // Confined: the engine absorbed the crash — no JobRunner restart at all.
+  EXPECT_EQ(recovered->summary.attempts, 1);
+  EXPECT_TRUE(recovered->summary.recoveries.empty());
+  const obs::RecoveryProfile& profile =
+      recovered->summary.stats.report.recovery;
+  EXPECT_EQ(profile.confined_recoveries, 1u);
+  ASSERT_EQ(profile.events.size(), 1u);
+  EXPECT_TRUE(profile.events[0].confined);
+  EXPECT_EQ(profile.events[0].partition, 1);
+  EXPECT_EQ(profile.events[0].restored_superstep, 4);
+  EXPECT_EQ(profile.events[0].attempt, 0);
+  EXPECT_EQ(profile.recoveries, 1u);
+
+  // Zero recompute outside the failed partition: replay touched at most the
+  // crashed partition's vertices for the one superstep in the replay window
+  // (checkpoint 4 -> failure at 5), and touched none of the others.
+  const uint64_t p1 = recovered->partition_sizes.at(1);
+  const uint64_t total = graph.NumVertices();
+  EXPECT_GT(recovered->replayed_vertices, 0u);
+  EXPECT_LE(recovered->replayed_vertices, p1);
+  EXPECT_LT(p1, total);
+
+  // Byte-identity bar, same as global recovery.
+  EXPECT_EQ(clean->ranks, recovered->ranks);
+  EXPECT_EQ(StoreContents(clean_traces), StoreContents(faulty_traces));
+  EXPECT_EQ(clean->summary.captures, recovered->summary.captures);
+  EXPECT_EQ(clean->summary.stats.supersteps,
+            recovered->summary.stats.supersteps);
+  EXPECT_EQ(clean->summary.stats.total_messages,
+            recovered->summary.stats.total_messages);
+
+  std::string json = recovered->summary.stats.report.ToJson();
+  EXPECT_NE(json.find("\"confined_recoveries\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"confined\":true"), std::string::npos);
+}
+
+/// Global (whole-job) recovery through the delta path: a delivery fault is
+/// not confinable, so the JobRunner restarts from the latest committed delta
+/// checkpoint — value parts + topology + outbox-log replay rebuild the
+/// inboxes, and CheckpointMeta::pending_messages is asserted against the
+/// replayed count inside RestoreDelta.
+TEST(DeltaCheckpointTest, GlobalDeltaRecoveryIsByteIdentical) {
+  auto graph = graph::MakeUndirected(
+      graph::GenerateErdosRenyi(300, 1200, /*seed=*/9));
+  debug::ConfigurableDebugConfig<PageRankTraits> config;
+  config.set_vertices({0, 1, 2, 50, 100}).set_capture_neighbors(true);
+
+  InMemoryTraceStore clean_traces, clean_ckpts;
+  auto clean = RunCheckpointedPageRank(graph, config, &clean_traces,
+                                       &clean_ckpts, nullptr, {},
+                                       pregel::CheckpointMode::kDelta);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_TRUE(clean->summary.job_status.ok());
+
+  FaultInjector injector;
+  injector.Arm({FaultSite::kDelivery, /*superstep=*/5, /*partition=*/0,
+                /*hits=*/1});
+  InMemoryTraceStore faulty_traces, faulty_ckpts;
+  auto recovered = RunCheckpointedPageRank(graph, config, &faulty_traces,
+                                           &faulty_ckpts, &injector, {},
+                                           pregel::CheckpointMode::kDelta);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ASSERT_TRUE(recovered->summary.job_status.ok())
+      << recovered->summary.job_status;
+  EXPECT_EQ(recovered->summary.attempts, 2);
+  ASSERT_EQ(recovered->summary.recoveries.size(), 1u);
+  EXPECT_EQ(recovered->summary.recoveries[0].restored_superstep, 4);
+  EXPECT_EQ(recovered->summary.stats.report.recovery.confined_recoveries,
+            0u);
+
+  EXPECT_EQ(clean->ranks, recovered->ranks);
+  EXPECT_EQ(StoreContents(clean_traces), StoreContents(faulty_traces));
+  EXPECT_EQ(clean->summary.stats.total_messages,
+            recovered->summary.stats.total_messages);
+}
+
+/// Vertices outside a designated quiet set keep themselves awake by
+/// self-messaging for `rounds` supersteps; vertices inside it halt at
+/// superstep 0 and never hear from anyone again.
+class SelfPingComputation : public pregel::Computation<CCTraits> {
+ public:
+  SelfPingComputation(const std::set<VertexId>* pingers, int64_t rounds)
+      : pingers_(pingers), rounds_(rounds) {}
+  void Compute(pregel::ComputeContext<CCTraits>& ctx,
+               pregel::Vertex<CCTraits>& vertex,
+               const std::vector<Int64Value>& messages) override {
+    (void)messages;
+    if (ctx.superstep() < rounds_ && pingers_->count(vertex.id()) != 0) {
+      ctx.SendMessage(vertex.id(), Int64Value{ctx.superstep()});
+    }
+    vertex.VoteToHalt();
+  }
+
+ private:
+  const std::set<VertexId>* pingers_;
+  int64_t rounds_;
+};
+
+/// Clean partitions emit header-only deltas: a partition whose vertices all
+/// went quiet stops paying value-part writes — the meta points its
+/// base_superstep at an older checkpoint and no part file exists for it at
+/// the newer ones.
+TEST(DeltaCheckpointTest, CleanPartitionsWriteHeaderOnlyDeltas) {
+  auto graph = graph::GenerateRing(64);
+  InMemoryTraceStore ckpts;
+  auto pingers = std::make_shared<std::set<VertexId>>();
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.num_workers = 3;
+  spec.options.job_id = "ping-delta-clean";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = [pingers] {
+    return std::make_unique<SelfPingComputation>(pingers.get(),
+                                                 /*rounds=*/8);
+  };
+  // Everything outside partition 0 self-pings; partition 0 computes only at
+  // superstep 0 and is clean at every checkpoint from superstep 4 on.
+  spec.pre_run = [pingers](pregel::Engine<CCTraits>& engine) {
+    for (VertexId id = 0; id < 64; ++id) {
+      if (engine.PartitionOf(id) != 0) pingers->insert(id);
+    }
+  };
+  spec.checkpoint.interval = 2;
+  spec.checkpoint.store = &ckpts;
+  spec.checkpoint.keep = 1000;  // keep everything: inspect every checkpoint
+  spec.checkpoint.mode = pregel::CheckpointMode::kDelta;
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok()) << summary->job_status;
+
+  int header_only = 0;
+  for (int64_t s :
+       pregel::ListCommittedCheckpoints(ckpts, "ping-delta-clean")) {
+    auto records =
+        ckpts.ReadAll(pregel::CheckpointMetaFile("ping-delta-clean", s));
+    ASSERT_TRUE(records.ok());
+    ASSERT_EQ(records->size(), 1u);
+    auto meta = CheckpointMeta::Parse((*records)[0]);
+    ASSERT_TRUE(meta.ok()) << meta.status();
+    for (int part = 0; part < meta->num_partitions; ++part) {
+      const bool has_part = ckpts.Exists(
+          pregel::CheckpointPartFile("ping-delta-clean", s, part));
+      const int64_t base = meta->partitions[part].base_superstep;
+      if (has_part) {
+        EXPECT_EQ(base, s);
+      } else {
+        ++header_only;
+        EXPECT_LT(base, s);
+        // The referenced older value part must still exist (GC keeps it).
+        EXPECT_TRUE(ckpts.Exists(
+            pregel::CheckpointPartFile("ping-delta-clean", base, part)));
+      }
+    }
+    if (s >= 4) {
+      EXPECT_FALSE(ckpts.Exists(
+          pregel::CheckpointPartFile("ping-delta-clean", s, 0)))
+          << "partition 0 went quiet after superstep 0 but still wrote a "
+             "value part at checkpoint "
+          << s;
+    }
+  }
+  EXPECT_GT(header_only, 0);
+}
+
+/// Outbox logs are garbage-collected behind the commit frontier: after a
+/// run with keep=1, no log directory older than the newest committed
+/// checkpoint survives.
+TEST(DeltaCheckpointTest, OutboxLogsAreGarbageCollectedAfterCommit) {
+  auto graph = graph::GenerateRing(64);
+  InMemoryTraceStore ckpts;
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.num_workers = 2;
+  spec.options.job_id = "cc-delta-gc";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.checkpoint.interval = 4;
+  spec.checkpoint.store = &ckpts;
+  spec.checkpoint.keep = 1;
+  spec.checkpoint.mode = pregel::CheckpointMode::kDelta;
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok()) << summary->job_status;
+
+  auto latest = pregel::LatestCommittedCheckpoint(ckpts, "cc-delta-gc");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_GT(*latest, 0);
+  const std::string outbox_root = pregel::OutboxRoot("cc-delta-gc");
+  std::vector<std::string> log_files = ckpts.ListFiles(outbox_root);
+  EXPECT_FALSE(log_files.empty());
+  for (const std::string& file : log_files) {
+    // outbox/s%06lld/...
+    const int64_t s = std::stoll(file.substr(outbox_root.size() + 1, 6));
+    EXPECT_GE(s, *latest) << file;
+  }
+}
+
+/// An outbox-log append fault is an ordinary retryable store failure: the
+/// superstep aborts and the JobRunner recovers globally.
+TEST(DeltaCheckpointTest, LogAppendFaultIsRetried) {
+  auto graph = graph::GenerateRing(64);
+  FaultInjector injector;
+  injector.Arm({FaultSite::kLogAppend, /*superstep=*/3, /*partition=*/-1,
+                /*hits=*/1});
+  InMemoryTraceStore ckpts;
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.num_workers = 2;
+  spec.options.job_id = "cc-log-append-fault";
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
+      graph, [](VertexId) { return Int64Value{0}; });
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.checkpoint.interval = 2;
+  spec.checkpoint.store = &ckpts;
+  spec.checkpoint.mode = pregel::CheckpointMode::kDelta;
+  spec.fault_injector = &injector;
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_TRUE(summary->job_status.ok()) << summary->job_status;
+  EXPECT_EQ(summary->attempts, 2);
+  auto control = algos::RunConnectedComponents(graph, /*num_workers=*/2);
+  ASSERT_TRUE(control.ok());
+  EXPECT_EQ(summary->stats.supersteps, control->stats.supersteps);
+}
+
+/// A replay fault during confined recovery falls back to global recovery:
+/// the confined attempt dies on the injected kLogReplay fault, the engine
+/// aborts retryably, and the JobRunner restart completes the job.
+TEST(DeltaCheckpointTest, LogReplayFaultFallsBackToGlobalRecovery) {
+  auto graph = graph::MakeUndirected(
+      graph::GenerateErdosRenyi(300, 1200, /*seed=*/9));
+  debug::ConfigurableDebugConfig<PageRankTraits> config;
+  config.set_vertices({0, 1, 2, 50, 100}).set_capture_neighbors(true);
+
+  InMemoryTraceStore clean_traces, clean_ckpts;
+  auto clean = RunCheckpointedPageRank(graph, config, &clean_traces,
+                                       &clean_ckpts, nullptr, {},
+                                       pregel::CheckpointMode::kDelta);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  FaultInjector injector;
+  injector.Arm({FaultSite::kWorkerCompute, /*superstep=*/5, /*partition=*/1,
+                /*hits=*/1});
+  injector.Arm({FaultSite::kLogReplay, /*superstep=*/5, /*partition=*/-1,
+                /*hits=*/1});
+  InMemoryTraceStore faulty_traces, faulty_ckpts;
+  auto recovered = RunCheckpointedPageRank(graph, config, &faulty_traces,
+                                           &faulty_ckpts, &injector, {},
+                                           pregel::CheckpointMode::kDelta);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ASSERT_TRUE(recovered->summary.job_status.ok())
+      << recovered->summary.job_status;
+  EXPECT_EQ(injector.fired_count(), 2u);
+  // The confined attempt failed; the global retry finished the job.
+  EXPECT_EQ(recovered->summary.attempts, 2);
+  ASSERT_EQ(recovered->summary.recoveries.size(), 1u);
+  EXPECT_EQ(recovered->summary.stats.report.recovery.confined_recoveries,
+            0u);
+  EXPECT_EQ(clean->ranks, recovered->ranks);
+  EXPECT_EQ(StoreContents(clean_traces), StoreContents(faulty_traces));
 }
 
 }  // namespace

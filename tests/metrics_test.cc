@@ -320,6 +320,7 @@ TEST(RunReportTest, JsonGolden) {
       "\"probe_seconds\":0},"
       "\"recovery\":{\"checkpoints_enabled\":false,\"checkpoints_written\":0,"
       "\"checkpoint_bytes\":0,\"checkpoint_seconds\":0,\"restore_seconds\":0,"
+      "\"topology_bytes\":0,\"log_bytes\":0,\"confined_recoveries\":0,"
       "\"recoveries\":0,\"events\":[]}}");
 }
 

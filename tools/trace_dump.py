@@ -7,6 +7,12 @@ frame buys: every record carries (version, kind, superstep, vertex_id) in a
 length-prefixed header, so generic tooling can classify records while
 skipping fields (and whole records) from builds it has never seen.
 
+Also decodes the checkpoint layout (DESIGN.md §12) when the root contains
+`checkpoints/JOB_ID`: checkpoint metas (full and delta), delta value parts,
+packed-topology epoch parts, and outbox/aggregator log records. Vertex,
+edge, and message payloads are Traits-typed and therefore opaque to this
+tool; they are summarized by length.
+
 Usage:
   tools/trace_dump.py TRACE_ROOT            # list jobs
   tools/trace_dump.py TRACE_ROOT JOB_ID     # dump one job
@@ -177,12 +183,223 @@ def dump_manifest(job_dir, job):
         print(line)
 
 
+def read_string(reader):
+    return reader.raw(reader.varint())
+
+
+CHECKPOINT_MODES = {0: "full", 1: "delta"}
+AGG_TAGS = {0: "null", 1: "int", 2: "double", 3: "bool", 4: "text"}
+
+
+def skip_agg_value(reader):
+    """Skips one tagged AggValue, returning a printable summary."""
+    tag = reader.u8()
+    if tag == 1:
+        return f"int {reader.svarint()}"
+    if tag == 2:
+        import struct
+        return f"double {struct.unpack('<d', reader.raw(8))[0]:g}"
+    if tag == 3:
+        return f"bool {bool(reader.u8())}"
+    if tag == 4:
+        return f"text {read_string(reader)!r}"
+    if tag == 0:
+        return "null"
+    raise ParseError(f"{reader.name}: unknown AggValue tag {tag}")
+
+
+def parse_checkpoint_meta(body, name):
+    """Mirrors CheckpointMeta::Parse for the fields tooling cares about."""
+    r = Reader(body, name=name)
+    meta = {"version": r.u8(), "mode": CHECKPOINT_MODES.get(r.u8(), "?")}
+    meta["superstep"] = r.varint()
+    meta["num_partitions"] = r.varint()
+    meta["topology_epoch"] = r.varint()
+    meta["pending_messages"] = r.varint()
+    meta["messages_dropped_at_resume"] = r.varint()
+    meta["partitions"] = [{
+        "alive": r.varint(),
+        "edges": r.varint(),
+        "awake": r.varint(),
+        "base_superstep": r.varint(),
+    } for _ in range(meta["num_partitions"])]
+    meta["aggregators"] = {
+        read_string(r).decode("utf-8", "replace"): skip_agg_value(r)
+        for _ in range(r.varint())
+    }
+    meta["total_messages"] = r.varint()
+    meta["total_messages_dropped"] = r.varint()
+    meta["supersteps_recorded"] = r.varint()
+    return meta
+
+
+def summarize_delta_value_part(body, name):
+    """Delta value part: alive_count, then per vertex in slot order a
+    length-prefixed value payload and a halted flag."""
+    r = Reader(body, name=name)
+    alive = r.varint()
+    value_bytes = 0
+    halted = 0
+    for _ in range(alive):
+        value_bytes += len(read_string(r))
+        halted += 1 if r.u8() else 0
+    if r.remaining():
+        raise ParseError(f"{name}: {r.remaining()} trailing bytes")
+    return f"{alive} vertices, {value_bytes}B values, {halted} halted"
+
+
+def summarize_topology_part(body, name):
+    """Topology epoch part: alive_count, (id, degree) per vertex, then the
+    packed edge stream (target, length-prefixed edge value)."""
+    r = Reader(body, name=name)
+    alive = r.varint()
+    degrees = []
+    for _ in range(alive):
+        r.svarint()  # vertex id
+        degrees.append(r.varint())
+    edge_value_bytes = 0
+    for degree in degrees:
+        for _ in range(degree):
+            r.svarint()  # target
+            edge_value_bytes += len(read_string(r))
+    if r.remaining():
+        raise ParseError(f"{name}: {r.remaining()} trailing bytes")
+    return (f"{alive} vertices, {sum(degrees)} edges, "
+            f"{edge_value_bytes}B edge values")
+
+
+def summarize_outbox_log(body, name, show_records):
+    """Outbox log record: version, superstep, partition, unit count, then
+    combined (kind 0: target, pre-combining count, message) and entry
+    (kind 1: target, message) units in replay order."""
+    r = Reader(body, name=name)
+    version = r.u8()
+    if version != 1:
+        return [f"unknown outbox log version {version}"]
+    superstep = r.varint()
+    partition = r.varint()
+    units = r.varint()
+    combined = entries = messages = payload = 0
+    rows = []
+    for index in range(units):
+        kind = r.u8()
+        target = r.svarint()
+        if kind == 0:
+            count = r.varint()
+            combined += 1
+            messages += count
+        elif kind == 1:
+            count = 1
+            entries += 1
+            messages += 1
+        else:
+            raise ParseError(f"{name}: unknown outbox unit kind {kind}")
+        size = len(read_string(r))
+        payload += size
+        if show_records:
+            rows.append(f"      [{index}] "
+                        f"{'combined' if kind == 0 else 'entry'} "
+                        f"target={target} count={count} message={size}B")
+    if r.remaining():
+        raise ParseError(f"{name}: {r.remaining()} trailing bytes")
+    head = (f"superstep {superstep} partition {partition}: {units} units "
+            f"({combined} combined + {entries} entry), {messages} messages, "
+            f"{payload}B payloads")
+    return [head] + rows
+
+
+def summarize_agg_log(body, name):
+    r = Reader(body, name=name)
+    aggs = [f"{read_string(r).decode('utf-8', 'replace')}="
+            f"{skip_agg_value(r)}" for _ in range(r.varint())]
+    if r.remaining():
+        raise ParseError(f"{name}: {r.remaining()} trailing bytes")
+    return ", ".join(aggs) if aggs else "(empty)"
+
+
+def one_record(path):
+    records = list(store_records(path))
+    if len(records) != 1:
+        raise ParseError(f"{path}: {len(records)} records, want 1")
+    return records[0]
+
+
+def dump_checkpoints(root, job, show_records):
+    ckpt_dir = os.path.join(root, "checkpoints", job)
+    if not os.path.isdir(ckpt_dir):
+        return
+    print(f"checkpoints: {ckpt_dir}")
+    for entry in sorted(os.listdir(ckpt_dir)):
+        path = os.path.join(ckpt_dir, entry)
+        if entry.startswith("s") and os.path.isdir(path):
+            committed = os.path.exists(os.path.join(path, "COMMIT"))
+            meta_path = os.path.join(path, "meta")
+            if not os.path.exists(meta_path):
+                print(f"  {entry}: no meta "
+                      f"({'committed' if committed else 'uncommitted'})")
+                continue
+            meta = parse_checkpoint_meta(one_record(meta_path), meta_path)
+            print(f"  {entry}: {meta['mode']} checkpoint at superstep "
+                  f"{meta['superstep']}, "
+                  f"{'committed' if committed else 'UNCOMMITTED'}, "
+                  f"epoch {meta['topology_epoch']}, "
+                  f"{meta['pending_messages']} pending messages, "
+                  f"{meta['supersteps_recorded']} supersteps of stats")
+            for part, counters in enumerate(meta["partitions"]):
+                part_path = os.path.join(path, f"part-{part:03d}")
+                if os.path.exists(part_path):
+                    if meta["mode"] == "delta":
+                        detail = summarize_delta_value_part(
+                            one_record(part_path), part_path)
+                    else:
+                        body = one_record(part_path)
+                        detail = f"full snapshot, {len(body)}B"
+                else:
+                    detail = (f"header-only delta (values at superstep "
+                              f"{counters['base_superstep']})")
+                print(f"    part {part}: alive={counters['alive']} "
+                      f"edges={counters['edges']} awake={counters['awake']} "
+                      f"— {detail}")
+            if meta["aggregators"]:
+                aggs = ", ".join(f"{k}={v}"
+                                 for k, v in meta["aggregators"].items())
+                print(f"    aggregators: {aggs}")
+        elif entry.startswith("topology_") and os.path.isdir(path):
+            print(f"  {entry}:")
+            for part_file in sorted(os.listdir(path)):
+                part_path = os.path.join(path, part_file)
+                print(f"    {part_file}: "
+                      f"{summarize_topology_part(one_record(part_path), part_path)}")
+        elif entry == "outbox" and os.path.isdir(path):
+            print(f"  outbox logs:")
+            for step_dir in sorted(os.listdir(path)):
+                step_path = os.path.join(path, step_dir)
+                for log_file in sorted(os.listdir(step_path)):
+                    log_path = os.path.join(step_path, log_file)
+                    rel = os.path.join("outbox", step_dir, log_file)
+                    if log_file == "aggs":
+                        print(f"    {rel}: "
+                              f"{summarize_agg_log(one_record(log_path), log_path)}")
+                        continue
+                    lines = summarize_outbox_log(
+                        one_record(log_path), log_path, show_records)
+                    print(f"    {rel}: {lines[0]}")
+                    for row in lines[1:]:
+                        print(row)
+
+
 def dump_job(root, job, show_records):
     job_dir = os.path.join(root, job)
-    if not os.path.isdir(job_dir):
+    has_traces = os.path.isdir(job_dir)
+    has_ckpts = os.path.isdir(os.path.join(root, "checkpoints", job))
+    if not has_traces and not has_ckpts:
         raise ParseError(f"no such job directory: {job_dir}")
     print(f"job: {job}")
-    dump_manifest(job_dir, job)
+    if has_traces:
+        dump_manifest(job_dir, job)
+    dump_checkpoints(root, job, show_records)
+    if not has_traces:
+        return
 
     trace_files = []
     for dirpath, _, filenames in os.walk(job_dir):
