@@ -9,22 +9,38 @@
 // store are meant to shrink. GRAFT_BENCH_SCALE divides the dataset size
 // (default 8; set 1 for the full Table 1 graph).
 //
-// CI runs the soc-Epinions case alone and archives the JSON:
-//   bench_engine_baseline --benchmark_filter=SocEpinions
+// The debug-service read path (BM_DebugServiceReadPath) rides along: N
+// reader threads paging every debug view of M finished jobs through the
+// route table and the shared TraceBlockCache, with the cache hit rate and
+// a zero-5xx / zero-miss-after-warmup assertion built in.
+//
+// CI runs the soc-Epinions + DebugService cases and archives the JSON:
+//   bench_engine_baseline --benchmark_filter='SocEpinions|DebugService'
 //       --benchmark_out=BENCH_engine.json --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
+#include "common/string_util.h"
 #include "debug/debug_config.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
+#include "io/trace_block_cache.h"
 #include "io/trace_store.h"
+#include "obs/job_registry.h"
+#include "obs/metrics.h"
+#include "obs/telemetry_server.h"
 #include "pregel/job.h"
 #include "pregel/loader.h"
+#include "service/debug_service.h"
 
 namespace {
 
@@ -391,6 +407,141 @@ void BM_Sssp(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(messages));
 }
 BENCHMARK(BM_Sssp)->Arg(10'000)->Arg(50'000)->Unit(benchmark::kMillisecond);
+
+// -- debug-service read path ------------------------------------------------
+//
+// The ISSUE 8 acceptance probe: M jobs run once through the DebugService
+// worker pool, then state.range(0) reader threads page every debug view
+// (supersteps, vertices pages, vertex point lookups, master, violations,
+// /jobs listing) through the TelemetryServer route table — Handle() calls,
+// no sockets, so the number is the render + cache path, not loopback TCP.
+// All readers share one TraceBlockCache; the warmup pass decodes every
+// block once, and the measured phase asserts zero further cache misses
+// (point lookups never rescan a trace file) and zero 5xx responses.
+
+struct DebugServiceBenchEnv {
+  graft::InMemoryTraceStore store;
+  graft::obs::JobRegistry registry;
+  graft::obs::MetricsRegistry metrics;
+  graft::TraceBlockCache cache;
+  std::unique_ptr<graft::service::DebugService> service;
+  std::unique_ptr<graft::obs::TelemetryServer> server;
+  std::vector<std::string> targets;  // warmed request targets
+
+  static DebugServiceBenchEnv& Get() {
+    static DebugServiceBenchEnv* env = [] {
+      auto* e = new DebugServiceBenchEnv();
+      graft::service::DebugServiceOptions options;
+      options.store = &e->store;
+      options.registry = &e->registry;
+      options.metrics = &e->metrics;
+      options.cache = &e->cache;
+      options.worker_threads = 2;
+      e->service = std::make_unique<graft::service::DebugService>(options);
+      graft::obs::TelemetryServerOptions server_options;
+      server_options.metrics = &e->metrics;
+      server_options.registry = &e->registry;
+      e->server = graft::obs::TelemetryServer::Create(server_options);
+      e->service->RegisterRoutes(e->server.get());
+
+      // Four jobs across all three catalog algos — the acceptance shape
+      // (32 readers x 4 jobs).
+      const char* algos[] = {"pagerank", "cc", "sssp", "pagerank"};
+      std::vector<std::string> jobs;
+      for (int i = 0; i < 4; ++i) {
+        const std::string body = graft::StrFormat(
+            "{\"algo\":\"%s\",\"job_id\":\"bench-read-%d\","
+            "\"graph\":{\"generator\":\"erdos-renyi\",\"vertices\":300,"
+            "\"edges\":1200,\"seed\":%d},"
+            "\"params\":{\"iterations\":4},\"journal\":false}",
+            algos[i], i, 7 + i);
+        auto accepted = e->service->Submit(body);
+        GRAFT_CHECK(accepted.ok()) << accepted.status();
+        jobs.push_back(accepted->job_id);
+      }
+      e->service->DrainJobs();
+      for (const auto& job : jobs) {
+        auto entry = e->registry.Find(job);
+        GRAFT_CHECK(entry != nullptr &&
+                    entry->state() == graft::obs::JobState::kDone)
+            << "bench job did not finish: " << job;
+      }
+
+      e->targets.push_back("/jobs");
+      e->targets.push_back("/jobs?status=done");
+      for (const auto& job : jobs) {
+        const std::string base = "/jobs/" + job + "/debug";
+        e->targets.push_back(base + "/supersteps");
+        e->targets.push_back(base + "/vertices?superstep=1&limit=50");
+        e->targets.push_back(base +
+                             "/vertices?superstep=1&offset=50&limit=50");
+        e->targets.push_back(base + "/vertices?superstep=2&search=1");
+        e->targets.push_back(base + "/master?superstep=1");
+        e->targets.push_back(base + "/violations?superstep=1");
+        for (int vid = 0; vid < 8; ++vid) {
+          e->targets.push_back(
+              graft::StrFormat("%s/vertex/%d?superstep=1", base.c_str(), vid));
+        }
+      }
+      // Warmup: decode every block once so the measured phase is the
+      // steady-state cache-hit path.
+      for (const auto& target : e->targets) {
+        auto response = e->server->Handle("GET", target);
+        GRAFT_CHECK(response.status < 500)
+            << "warmup 5xx on " << target << ": " << response.body;
+      }
+      return e;
+    }();
+    return *env;
+  }
+};
+
+void BM_DebugServiceReadPath(benchmark::State& state) {
+  auto& env = DebugServiceBenchEnv::Get();
+  const int readers = static_cast<int>(state.range(0));
+  constexpr int kRequestsPerReader = 64;
+  const auto warm = env.cache.stats();
+  uint64_t requests = 0;
+  std::atomic<uint64_t> server_errors{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(readers));
+    for (int r = 0; r < readers; ++r) {
+      threads.emplace_back([&, r] {
+        for (int i = 0; i < kRequestsPerReader; ++i) {
+          const auto& target =
+              env.targets[static_cast<size_t>(r + i * 7) %
+                          env.targets.size()];
+          auto response = env.server->Handle("GET", target);
+          if (response.status >= 500) {
+            server_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    requests += static_cast<uint64_t>(readers) * kRequestsPerReader;
+  }
+  const auto stats = env.cache.stats();
+  // Acceptance: zero 5xx under concurrent readers, and a warm cache serves
+  // every point lookup without another store rescan.
+  GRAFT_CHECK(server_errors.load() == 0)
+      << server_errors.load() << " 5xx responses";
+  GRAFT_CHECK(stats.misses == warm.misses)
+      << "cache misses after warmup: " << (stats.misses - warm.misses);
+  state.SetItemsProcessed(static_cast<int64_t>(requests));
+  state.counters["reads/s"] = benchmark::Counter(
+      static_cast<double>(requests), benchmark::Counter::kIsRate);
+  state.counters["cache_hit_rate"] = stats.HitRate();
+  state.counters["cache_hits"] = static_cast<double>(stats.hits);
+  state.counters["cache_misses"] = static_cast<double>(stats.misses);
+  state.counters["cache_bytes"] = static_cast<double>(stats.bytes);
+}
+BENCHMARK(BM_DebugServiceReadPath)
+    ->Arg(4)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

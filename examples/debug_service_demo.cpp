@@ -1,0 +1,65 @@
+// Graft-as-a-service demo (DESIGN.md §13): start the debug service — job
+// submission over HTTP plus the paginated DebugSession read API — and keep
+// it up until stdin closes so a human (or tools/debug_service_smoke.py) can
+// drive it:
+//
+//   $ ./debug_service_demo &
+//   DEBUG_SERVICE port=43211
+//   $ curl -X POST localhost:43211/jobs -d '{"algo":"pagerank",
+//         "job_id":"pr1","graph":{"vertices":500},"params":{"iterations":5}}'
+//   $ curl localhost:43211/jobs/pr1/report
+//   $ curl localhost:43211/jobs/pr1/debug/supersteps
+//   $ curl 'localhost:43211/jobs/pr1/debug/vertices?superstep=1&limit=10'
+//   $ curl localhost:43211/jobs/pr1/debug/vertex/7
+//
+// Every read goes through the process-wide TraceBlockCache; its hit/miss
+// counters are exported on /metrics (tracecache_*).
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "io/trace_block_cache.h"
+#include "io/trace_store.h"
+#include "obs/job_registry.h"
+#include "obs/metrics.h"
+#include "obs/telemetry_server.h"
+#include "service/debug_service.h"
+
+int main() {
+  graft::InMemoryTraceStore store;
+  graft::obs::MetricsRegistry metrics;
+  graft::TraceBlockCache& cache = graft::TraceBlockCache::Global();
+
+  graft::service::DebugServiceOptions service_options;
+  service_options.store = &store;
+  service_options.metrics = &metrics;
+  graft::service::DebugService service(service_options);
+
+  graft::obs::TelemetryServerOptions server_options;
+  server_options.metrics = &metrics;
+  // Scrapes see live cache counters next to the engine + service metrics.
+  server_options.before_metrics = [&cache](graft::obs::MetricsRegistry* m) {
+    cache.ExportMetrics(m);
+  };
+  std::unique_ptr<graft::obs::TelemetryServer> server =
+      graft::obs::TelemetryServer::Create(server_options);
+  service.RegisterRoutes(server.get());
+  if (graft::Status served = server->Serve(); !served.ok()) {
+    std::fprintf(stderr, "cannot start debug service: %s\n",
+                 served.ToString().c_str());
+    return 1;
+  }
+
+  // One parseable line for scripts, flushed before blocking on stdin.
+  std::printf("DEBUG_SERVICE port=%u\n", server->port());
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+  server->Stop();
+  service.DrainJobs();
+  return 0;
+}

@@ -1,0 +1,333 @@
+#include "common/json_parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace graft {
+
+namespace {
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+// Defined at namespace scope (not anonymous) so the header's friend
+// declaration grants it access to JsonValue's internals.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+  Result<std::unique_ptr<JsonValue>> Parse() {
+    GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<JsonValue> value, ParseValue(0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("json: %s at offset %zu", message.c_str(), pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (text_.substr(pos_, keyword.size()) != keyword) return false;
+    pos_ += keyword.size();
+    return true;
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    auto value = std::make_unique<JsonValue>();
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        GRAFT_ASSIGN_OR_RETURN(value->string_, ParseString());
+        value->type_ = JsonValue::Type::kString;
+        return value;
+      }
+      case 't':
+        if (!ConsumeKeyword("true")) return Error("bad literal");
+        value->type_ = JsonValue::Type::kBool;
+        value->bool_ = true;
+        return value;
+      case 'f':
+        if (!ConsumeKeyword("false")) return Error("bad literal");
+        value->type_ = JsonValue::Type::kBool;
+        value->bool_ = false;
+        return value;
+      case 'n':
+        if (!ConsumeKeyword("null")) return Error("bad literal");
+        value->type_ = JsonValue::Type::kNull;
+        return value;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseObject(int depth) {
+    ++pos_;  // '{'
+    auto value = std::make_unique<JsonValue>();
+    value->type_ = JsonValue::Type::kObject;
+    SkipSpace();
+    if (Consume('}')) return value;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      GRAFT_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<JsonValue> member,
+                             ParseValue(depth + 1));
+      value->members_[std::move(key)] = std::move(member);
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseArray(int depth) {
+    ++pos_;  // '['
+    auto value = std::make_unique<JsonValue>();
+    value->type_ = JsonValue::Type::kArray;
+    SkipSpace();
+    if (Consume(']')) return value;
+    while (true) {
+      GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<JsonValue> item,
+                             ParseValue(depth + 1));
+      value->items_.push_back(std::move(item));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          GRAFT_ASSIGN_OR_RETURN(uint32_t code, ParseHex4());
+          // Surrogate pair: combine; unpaired surrogates are an error.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate");
+            }
+            pos_ += 2;
+            GRAFT_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("bad low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(code, &out);
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Result<std::unique_ptr<JsonValue>> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed
+    }
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Error("expected value");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("expected fraction digits");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("expected exponent digits");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string literal(text_.substr(start, pos_ - start));
+    auto value = std::make_unique<JsonValue>();
+    value->type_ = JsonValue::Type::kNumber;
+    value->number_ = std::strtod(literal.c_str(), nullptr);
+    if (integral) {
+      int64_t exact;
+      if (ParseInt64(literal, &exact)) {
+        value->int_ = exact;
+        value->has_int_ = true;
+      }
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+const JsonValue* JsonValue::Get(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = members_.find(std::string(key));
+  return it == members_.end() ? nullptr : it->second.get();
+}
+
+Result<std::string> JsonValue::GetString(std::string_view key,
+                                         std::string_view fallback) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr) return std::string(fallback);
+  if (!v->is_string()) {
+    return Status::InvalidArgument("json: field '" + std::string(key) +
+                                   "' must be a string");
+  }
+  return v->AsString();
+}
+
+Result<int64_t> JsonValue::GetInt(std::string_view key,
+                                  int64_t fallback) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr) return fallback;
+  std::optional<int64_t> exact = v->is_number() ? v->AsInt64() : std::nullopt;
+  if (!exact.has_value()) {
+    return Status::InvalidArgument("json: field '" + std::string(key) +
+                                   "' must be an integer");
+  }
+  return *exact;
+}
+
+Result<double> JsonValue::GetDouble(std::string_view key,
+                                    double fallback) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    return Status::InvalidArgument("json: field '" + std::string(key) +
+                                   "' must be a number");
+  }
+  return v->AsDouble();
+}
+
+Result<bool> JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) {
+    return Status::InvalidArgument("json: field '" + std::string(key) +
+                                   "' must be a boolean");
+  }
+  return v->AsBool();
+}
+
+Result<std::unique_ptr<JsonValue>> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace graft

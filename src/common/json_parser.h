@@ -1,0 +1,86 @@
+#ifndef GRAFT_COMMON_JSON_PARSER_H_
+#define GRAFT_COMMON_JSON_PARSER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace graft {
+
+/// Parsed JSON value tree — the input side of the debug service's HTTP API
+/// (POST /jobs job specs). Counterpart of JsonWriter, which only emits.
+///
+/// Values are immutable after parsing; accessors are const and return
+/// pointers into the tree (valid for the root's lifetime). Numbers are kept
+/// as doubles plus an exact-int64 flag, which covers every field the job
+/// spec schema uses.
+class JsonValue {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  /// The exact integer value when the literal was integral and in range.
+  std::optional<int64_t> AsInt64() const {
+    if (!has_int_) return std::nullopt;
+    return int_;
+  }
+  const std::string& AsString() const { return string_; }
+  const std::vector<std::unique_ptr<JsonValue>>& items() const {
+    return items_;
+  }
+  const std::map<std::string, std::unique_ptr<JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(std::string_view key) const;
+
+  // -- schema-reading conveniences (all tolerate absent members) --
+
+  /// Member string or `fallback` when absent; error when present but not a
+  /// string.
+  Result<std::string> GetString(std::string_view key,
+                                std::string_view fallback) const;
+  /// Member integer or `fallback`; error when present but not an integer.
+  Result<int64_t> GetInt(std::string_view key, int64_t fallback) const;
+  /// Member double or `fallback`; error when present but not a number.
+  Result<double> GetDouble(std::string_view key, double fallback) const;
+  /// Member bool or `fallback`; error when present but not a bool.
+  Result<bool> GetBool(std::string_view key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  int64_t int_ = 0;
+  bool has_int_ = false;
+  std::string string_;
+  std::vector<std::unique_ptr<JsonValue>> items_;
+  std::map<std::string, std::unique_ptr<JsonValue>> members_;
+};
+
+/// Parses one JSON document. Strict: rejects trailing garbage, unterminated
+/// containers, bad escapes. Depth-limited so untrusted request bodies cannot
+/// overflow the stack. `\uXXXX` escapes are decoded to UTF-8.
+Result<std::unique_ptr<JsonValue>> ParseJson(std::string_view text);
+
+}  // namespace graft
+
+#endif  // GRAFT_COMMON_JSON_PARSER_H_

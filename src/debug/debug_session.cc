@@ -40,5 +40,40 @@ Result<std::optional<TraceManifest>> LoadTraceManifest(
   return std::optional<TraceManifest>(std::move(manifest));
 }
 
+Result<std::optional<TraceManifest>> LoadTraceManifestCached(
+    const TraceStore& store, const std::string& job_id,
+    TraceBlockCache* cache) {
+  if (cache == nullptr) return LoadTraceManifest(store, job_id);
+  // Probe existence uncached: a missing manifest (job still running, or a
+  // crashed run) must become visible as soon as the writer appends it, so
+  // only the decoded present manifest is cached. The cache key lives under
+  // the job's trace prefix so RunJob's InvalidatePrefix drops it on re-run.
+  const std::string file = ManifestFile(job_id);
+  if (!store.Exists(file)) return std::optional<TraceManifest>();
+  GRAFT_ASSIGN_OR_RETURN(
+      TraceBlockCache::AnyPtr any,
+      cache->GetOrLoad(
+          store.store_uid(), file + "#decoded",
+          [&]() -> Result<std::pair<TraceBlockCache::AnyPtr, size_t>> {
+            GRAFT_ASSIGN_OR_RETURN(std::optional<TraceManifest> manifest,
+                                   LoadTraceManifest(store, job_id));
+            if (!manifest.has_value()) {
+              // Raced a concurrent DeletePrefix; treat as absent.
+              return std::make_pair(TraceBlockCache::AnyPtr(), size_t{0});
+            }
+            const size_t bytes =
+                sizeof(TraceManifest) +
+                manifest->entries.size() * sizeof(TraceManifestEntry);
+            auto shared = std::make_shared<const TraceManifest>(
+                *std::move(manifest));
+            return std::make_pair(TraceBlockCache::AnyPtr(shared), bytes);
+          }));
+  if (any == nullptr) return std::optional<TraceManifest>();
+  // Sessions index a private copy; the decode (not the copy) was the
+  // expensive part, and service deployments cache whole sessions anyway.
+  return std::optional<TraceManifest>(
+      *std::static_pointer_cast<const TraceManifest>(any));
+}
+
 }  // namespace debug
 }  // namespace graft

@@ -14,6 +14,7 @@
 #include "common/string_util.h"
 #include "debug/capture_manager.h"
 #include "debug/vertex_trace.h"
+#include "io/trace_block_cache.h"
 #include "io/trace_store.h"
 
 namespace graft {
@@ -36,6 +37,13 @@ struct TraceQuery {
 Result<std::optional<TraceManifest>> LoadTraceManifest(
     const TraceStore& store, const std::string& job_id);
 
+/// LoadTraceManifest through `cache` (nullptr = uncached): present manifests
+/// are decoded once per (store, job) and shared; absence is never cached, so
+/// a job that finishes later becomes visible on the next call.
+Result<std::optional<TraceManifest>> LoadTraceManifestCached(
+    const TraceStore& store, const std::string& job_id,
+    TraceBlockCache* cache);
+
 /// Supersteps for which any vertex or master trace exists, ascending. This
 /// is the directory-scan primitive DebugSession falls back to when a job
 /// has no manifest.
@@ -57,12 +65,19 @@ template <pregel::JobTraits Traits>
 class DebugSession {
  public:
   /// Opens a job for reading. `store` must outlive the session. Fails only
-  /// on a corrupt manifest, never on a missing one.
+  /// on a corrupt manifest, never on a missing one. With a non-null `cache`
+  /// (which must also outlive the session) every record/manifest decode goes
+  /// through the shared TraceBlockCache, so concurrent sessions over the
+  /// same job share decoded blocks and warm point lookups do zero store
+  /// reads.
   static Result<DebugSession> Open(const TraceStore* store,
-                                   std::string job_id) {
+                                   std::string job_id,
+                                   TraceBlockCache* cache = nullptr) {
     DebugSession session(store, std::move(job_id));
-    GRAFT_ASSIGN_OR_RETURN(std::optional<TraceManifest> manifest,
-                           LoadTraceManifest(*store, session.job_id_));
+    session.cache_ = cache;
+    GRAFT_ASSIGN_OR_RETURN(
+        std::optional<TraceManifest> manifest,
+        LoadTraceManifestCached(*store, session.job_id_, cache));
     if (manifest.has_value()) {
       session.has_manifest_ = true;
       session.IndexManifest(*std::move(manifest));
@@ -91,9 +106,9 @@ class DebugSession {
           file.compare(file.size() - 7, 7, ".vtrace") != 0) {
         continue;
       }
-      GRAFT_ASSIGN_OR_RETURN(std::vector<std::string> records,
-                             store_->ReadAll(file));
-      for (const std::string& record : records) {
+      GRAFT_ASSIGN_OR_RETURN(TraceBlockCache::BlockPtr records,
+                             ReadFileRecords(file));
+      for (const std::string& record : *records) {
         GRAFT_ASSIGN_OR_RETURN(std::optional<VertexTrace<Traits>> trace,
                                DecodeVertexRecord(record));
         if (trace.has_value()) traces.push_back(*std::move(trace));
@@ -116,9 +131,8 @@ class DebugSession {
       const TraceManifestEntry& entry = it->second;
       GRAFT_ASSIGN_OR_RETURN(
           std::string record,
-          store_->ReadRecord(
-              VertexTraceFile(job_id_, superstep, entry.worker),
-              entry.record_index));
+          ReadOneRecord(VertexTraceFile(job_id_, superstep, entry.worker),
+                        entry.record_index));
       GRAFT_ASSIGN_OR_RETURN(std::optional<VertexTrace<Traits>> trace,
                              DecodeVertexRecord(record));
       if (!trace.has_value()) return NoTraceError(superstep, id);
@@ -154,12 +168,24 @@ class DebugSession {
     return history;
   }
 
-  /// The master trace of a superstep.
+  /// The master trace of a superstep. Manifest-backed jobs answer absence
+  /// from the in-memory index without probing the store — the cache never
+  /// holds negative entries, so a store probe for a missing file would cost
+  /// one read (and one cache miss) on every call.
   Result<MasterTrace> Master(int64_t superstep) const {
+    if (has_manifest_ && master_steps_.count(superstep) == 0) {
+      return Status::NotFound(StrFormat(
+          "no master trace for superstep %lld of job '%s'",
+          static_cast<long long>(superstep), job_id_.c_str()));
+    }
     const std::string file = MasterTraceFile(job_id_, superstep);
-    GRAFT_ASSIGN_OR_RETURN(std::string record, store_->ReadRecord(file, 0));
+    GRAFT_ASSIGN_OR_RETURN(std::string record, ReadOneRecord(file, 0));
     return MasterTrace::Deserialize(record);
   }
+
+  /// Supersteps with a master trace, ascending (manifest-backed jobs only;
+  /// empty for directory-scan sessions).
+  const std::set<int64_t>& master_supersteps() const { return master_steps_; }
 
   /// Typed query across the whole job: captures matching every set filter,
   /// ordered by (superstep, vertex id).
@@ -203,9 +229,28 @@ class DebugSession {
     return out;
   }
 
+  /// The cache this session reads through; nullptr when uncached.
+  TraceBlockCache* cache() const { return cache_; }
+
  private:
   DebugSession(const TraceStore* store, std::string job_id)
       : store_(store), job_id_(std::move(job_id)) {}
+
+  /// All records of one trace file: the shared cached block when a cache is
+  /// attached, a private copy otherwise.
+  Result<TraceBlockCache::BlockPtr> ReadFileRecords(
+      const std::string& file) const {
+    if (cache_ != nullptr) return cache_->GetFileBlock(*store_, file);
+    GRAFT_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                           store_->ReadAll(file));
+    return std::make_shared<const TraceBlockCache::Block>(std::move(records));
+  }
+
+  Result<std::string> ReadOneRecord(const std::string& file,
+                                    uint64_t index) const {
+    if (cache_ != nullptr) return cache_->ReadRecord(*store_, file, index);
+    return store_->ReadRecord(file, index);
+  }
 
   /// Decodes one vertex record, treating unknown-version/kind frames as
   /// skippable (returns nullopt) rather than fatal.
@@ -238,16 +283,22 @@ class DebugSession {
         vertex_index_.emplace(std::make_pair(entry.superstep, entry.vertex_id),
                               entry);
       }
+      if (entry.kind == TraceRecordKind::kMaster) {
+        master_steps_.insert(entry.superstep);
+      }
     }
     supersteps_.assign(steps.begin(), steps.end());
   }
 
   const TraceStore* store_;
   std::string job_id_;
+  TraceBlockCache* cache_ = nullptr;
   bool has_manifest_ = false;
   std::vector<int64_t> supersteps_;
   /// (superstep, vertex) → manifest entry; only for manifest-backed jobs.
   std::map<std::pair<int64_t, VertexId>, TraceManifestEntry> vertex_index_;
+  /// Supersteps with a kMaster manifest entry; only for manifest-backed jobs.
+  std::set<int64_t> master_steps_;
 };
 
 }  // namespace debug

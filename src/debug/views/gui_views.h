@@ -11,6 +11,7 @@
 #include "debug/debug_session.h"
 #include "debug/vertex_trace.h"
 #include "debug/views/text_table.h"
+#include "debug/views/view_api.h"
 #include "io/trace_store.h"
 
 namespace graft {
@@ -89,163 +90,64 @@ inline std::string AggregatorLine(
 
 }  // namespace internal_views
 
-/// Node-link View (§3.2, Figure 3): renders the captured vertices of a
-/// superstep as nodes with their values, active/inactive state and capture
-/// reasons, their adjacency (marking which neighbors are themselves
-/// captured — uncaptured neighbors appear id-only, like the paper's small
-/// nodes), incoming/outgoing messages, plus the aggregator panel and the
-/// M/V/E flags.
+/// Builds a paginated ViewResult straight from a loaded snapshot — the
+/// bridge between the snapshot world (GraftGui, exports) and the structured
+/// ViewRequest/ViewResult API in view_api.h. `request.superstep` is ignored;
+/// the snapshot's superstep wins.
 template <pregel::JobTraits Traits>
-std::string RenderNodeLinkView(const SuperstepSnapshot<Traits>& snapshot,
-                               const std::string& job_id) {
-  std::set<VertexId> captured;
-  for (const auto& t : snapshot.traces) captured.insert(t.id);
-
-  std::string out = StrFormat(
-      "=== Graft GUI / Node-link View — job '%s' — superstep %lld ===\n",
-      job_id.c_str(), static_cast<long long>(snapshot.superstep));
-  out += internal_views::StatusFlags(snapshot.AnyMessageViolation(),
-                                     snapshot.AnyVertexValueViolation(),
-                                     snapshot.AnyException());
-  out.push_back('\n');
-  const std::map<std::string, pregel::AggValue>* aggs = nullptr;
-  if (!snapshot.traces.empty()) aggs = &snapshot.traces.front().aggregators;
-  if (snapshot.master.has_value()) aggs = &snapshot.master->aggregators_after;
-  if (aggs != nullptr) {
-    out += internal_views::AggregatorLine(*aggs);
-    out.push_back('\n');
-  }
-  if (!snapshot.traces.empty()) {
-    const auto& t = snapshot.traces.front();
-    out += StrFormat("Global: vertices=%lld edges=%lld\n",
-                     static_cast<long long>(t.total_vertices),
-                     static_cast<long long>(t.total_edges));
-  }
-  out.push_back('\n');
-  for (const auto& t : snapshot.traces) {
-    out += StrFormat("(%lld) %s -> %s  [%s]  reasons=%s\n",
-                     static_cast<long long>(t.id),
-                     t.value_before.ToString().c_str(),
-                     t.value_after.ToString().c_str(),
-                     t.halted_after ? "inactive" : "active",
-                     CaptureReasonsToString(t.reasons).c_str());
-    if (!t.edges.empty()) {
-      out += "  edges: ";
-      bool first = true;
-      for (const auto& e : t.edges) {
-        if (!first) out += ", ";
-        first = false;
-        out += std::to_string(e.target);
-        std::string ev = e.value.ToString();
-        if (ev != "-") out += "(" + ev + ")";
-        if (captured.count(e.target) != 0) out += "*";
-      }
-      out += "   (* = captured)\n";
-    }
-    for (const auto& m : t.incoming) {
-      out += "  in:  " + m.ToString() + "\n";
-    }
-    for (const auto& [target, m] : t.outgoing) {
-      out += StrFormat("  out: -> %lld  %s\n", static_cast<long long>(target),
-                       m.ToString().c_str());
-    }
-    if (t.exception.has_value()) {
-      out += "  EXCEPTION: " + t.exception->message + "\n";
-    }
-  }
-  return out;
+ViewResult BuildView(const SuperstepSnapshot<Traits>& snapshot,
+                     const std::string& job_id, ViewRequest request) {
+  request.superstep = snapshot.superstep;
+  return BuildViewFromTraces(snapshot.traces, snapshot.master, job_id,
+                             request);
 }
 
-/// Search filter for the Tabular View: matches a vertex by id, by neighbor
-/// id, by value substring, or by sent/received message substring (§3.2's
-/// "simple search feature").
+/// Search filter predicate kept for one release; the structured API applies
+/// the same matching via ViewRequest::search.
 template <pregel::JobTraits Traits>
+[[deprecated("use ViewRequest::search with BuildView/RenderView")]]
 bool TraceMatchesSearch(const VertexTrace<Traits>& trace,
                         const std::string& query) {
-  if (query.empty()) return true;
-  if (std::to_string(trace.id) == query) return true;
-  for (const auto& e : trace.edges) {
-    if (std::to_string(e.target) == query) return true;
-  }
-  if (trace.value_before.ToString().find(query) != std::string::npos ||
-      trace.value_after.ToString().find(query) != std::string::npos) {
-    return true;
-  }
-  for (const auto& m : trace.incoming) {
-    if (m.ToString().find(query) != std::string::npos) return true;
-  }
-  for (const auto& [target, m] : trace.outgoing) {
-    (void)target;
-    if (m.ToString().find(query) != std::string::npos) return true;
-  }
-  return false;
+  return internal_views::RowMatchesSearch(MakeVertexRow(trace, {}), query);
 }
 
-/// Tabular View (§3.2, Figure 4): one summary row per captured vertex; use
-/// `search` to narrow (empty = all). The row set is what the paper's GUI
-/// expands into full contexts on click — the full context lives in the
-/// returned traces themselves.
+/// Node-link View (§3.2, Figure 3). Deprecated shim over the structured
+/// view API; kept for one release.
 template <pregel::JobTraits Traits>
+[[deprecated("use BuildView(snapshot, job, {.kind = ViewKind::kNodeLink})")]]
+std::string RenderNodeLinkView(const SuperstepSnapshot<Traits>& snapshot,
+                               const std::string& job_id) {
+  ViewRequest request;
+  request.kind = ViewKind::kNodeLink;
+  request.limit = kViewNoLimit;
+  return BuildView(snapshot, job_id, request).ToText();
+}
+
+/// Tabular View (§3.2, Figure 4). Deprecated shim over the structured view
+/// API; kept for one release.
+template <pregel::JobTraits Traits>
+[[deprecated("use BuildView(snapshot, job, {.kind = ViewKind::kTabular})")]]
 std::string RenderTabularView(const SuperstepSnapshot<Traits>& snapshot,
                               const std::string& job_id,
                               const std::string& search = "") {
-  std::string out = StrFormat(
-      "=== Graft GUI / Tabular View — job '%s' — superstep %lld%s ===\n",
-      job_id.c_str(), static_cast<long long>(snapshot.superstep),
-      search.empty() ? "" : (" — search '" + search + "'").c_str());
-  out += internal_views::StatusFlags(snapshot.AnyMessageViolation(),
-                                     snapshot.AnyVertexValueViolation(),
-                                     snapshot.AnyException());
-  out.push_back('\n');
-  TextTable table({"id", "value before", "value after", "deg", "in", "out",
-                   "state", "reasons"});
-  for (const auto& t : snapshot.traces) {
-    if (!TraceMatchesSearch(t, search)) continue;
-    table.AddRow({std::to_string(t.id), Ellipsize(t.value_before.ToString(), 28),
-                  Ellipsize(t.value_after.ToString(), 28),
-                  std::to_string(t.edges.size()),
-                  std::to_string(t.incoming.size()),
-                  std::to_string(t.outgoing.size()),
-                  t.halted_after ? "inactive" : "active",
-                  CaptureReasonsToString(t.reasons)});
-  }
-  out += table.Render();
-  out += StrFormat("%zu vertices\n", table.num_rows());
-  return out;
+  ViewRequest request;
+  request.kind = ViewKind::kTabular;
+  request.limit = kViewNoLimit;
+  request.search = search;
+  return BuildView(snapshot, job_id, request).ToText();
 }
 
-/// Violations and Exceptions View (§3.2, Figure 5): the vertices that
-/// violated a constraint or raised an exception, with the offending value
-/// or the error message.
+/// Violations and Exceptions View (§3.2, Figure 5). Deprecated shim over
+/// the structured view API; kept for one release.
 template <pregel::JobTraits Traits>
+[[deprecated(
+    "use BuildView(snapshot, job, {.kind = ViewKind::kViolations})")]]
 std::string RenderViolationsView(const SuperstepSnapshot<Traits>& snapshot,
                                  const std::string& job_id) {
-  std::string out = StrFormat(
-      "=== Graft GUI / Violations & Exceptions — job '%s' — superstep %lld "
-      "===\n",
-      job_id.c_str(), static_cast<long long>(snapshot.superstep));
-  TextTable table({"kind", "vertex", "dst", "detail"});
-  for (const auto& t : snapshot.traces) {
-    for (const auto& v : t.violations) {
-      table.AddRow(
-          {v.kind == ViolationInfo::Kind::kVertexValue ? "vertex-value"
-                                                       : "message-value",
-           std::to_string(v.source),
-           v.kind == ViolationInfo::Kind::kMessageValue
-               ? std::to_string(v.destination)
-               : "-",
-           Ellipsize(v.detail, 48)});
-    }
-    if (t.exception.has_value()) {
-      table.AddRow({"exception", std::to_string(t.id), "-",
-                    Ellipsize(t.exception->type + ": " + t.exception->message +
-                                  " @ " + t.exception->context,
-                              72)});
-    }
-  }
-  out += table.Render();
-  out += StrFormat("%zu violations/exceptions\n", table.num_rows());
-  return out;
+  ViewRequest request;
+  request.kind = ViewKind::kViolations;
+  request.limit = kViewNoLimit;
+  return BuildView(snapshot, job_id, request).ToText();
 }
 
 /// Graphviz DOT export of the node-link view — captured vertices as labeled
@@ -482,17 +384,35 @@ class GraftGui {
     return LoadSnapshot<Traits>(*store_, job_id_, current_superstep());
   }
 
-  Result<std::string> NodeLinkView() const {
+  /// Structured view of the current superstep — the GraftGui entry point
+  /// into the ViewRequest/ViewResult API (request.superstep is overridden by
+  /// the cursor).
+  Result<ViewResult> View(const ViewRequest& request) const {
     GRAFT_ASSIGN_OR_RETURN(auto snapshot, Snapshot());
-    return RenderNodeLinkView(snapshot, job_id_);
+    return BuildView(snapshot, job_id_, request);
+  }
+
+  Result<std::string> NodeLinkView() const {
+    ViewRequest request;
+    request.kind = ViewKind::kNodeLink;
+    request.limit = kViewNoLimit;
+    GRAFT_ASSIGN_OR_RETURN(ViewResult view, View(request));
+    return view.ToText();
   }
   Result<std::string> TabularView(const std::string& search = "") const {
-    GRAFT_ASSIGN_OR_RETURN(auto snapshot, Snapshot());
-    return RenderTabularView(snapshot, job_id_, search);
+    ViewRequest request;
+    request.kind = ViewKind::kTabular;
+    request.limit = kViewNoLimit;
+    request.search = search;
+    GRAFT_ASSIGN_OR_RETURN(ViewResult view, View(request));
+    return view.ToText();
   }
   Result<std::string> ViolationsView() const {
-    GRAFT_ASSIGN_OR_RETURN(auto snapshot, Snapshot());
-    return RenderViolationsView(snapshot, job_id_);
+    ViewRequest request;
+    request.kind = ViewKind::kViolations;
+    request.limit = kViewNoLimit;
+    GRAFT_ASSIGN_OR_RETURN(ViewResult view, View(request));
+    return view.ToText();
   }
   Result<std::string> DotExport() const {
     GRAFT_ASSIGN_OR_RETURN(auto snapshot, Snapshot());

@@ -1,0 +1,285 @@
+#include "debug/views/view_api.h"
+
+#include "common/json_writer.h"
+#include "common/string_util.h"
+#include "debug/views/text_table.h"
+
+namespace graft {
+namespace debug {
+
+const char* ViewKindName(ViewKind kind) {
+  switch (kind) {
+    case ViewKind::kNodeLink:
+      return "node-link";
+    case ViewKind::kTabular:
+      return "tabular";
+    case ViewKind::kViolations:
+      return "violations";
+    case ViewKind::kVertex:
+      return "vertex";
+  }
+  return "?";
+}
+
+namespace internal_views {
+
+bool RowMatchesSearch(const ViewVertexRow& row, const std::string& query) {
+  if (query.empty()) return true;
+  if (std::to_string(row.id) == query) return true;
+  for (const auto& e : row.edges) {
+    if (std::to_string(e.target) == query) return true;
+  }
+  if (row.value_before.find(query) != std::string::npos ||
+      row.value_after.find(query) != std::string::npos) {
+    return true;
+  }
+  for (const auto& m : row.incoming) {
+    if (m.find(query) != std::string::npos) return true;
+  }
+  for (const auto& m : row.outgoing) {
+    if (m.message.find(query) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace internal_views
+
+namespace {
+
+std::string StatusFlagsLine(const ViewResult& result) {
+  // The three boxes on the left of the paper's GUI: M (message constraint),
+  // V (vertex-value constraint), E (exception); "OK" = green, "RED" = red.
+  return StrFormat("[M] %s   [V] %s   [E] %s",
+                   result.message_violation ? "RED" : "OK",
+                   result.vertex_value_violation ? "RED" : "OK",
+                   result.any_exception ? "RED" : "OK");
+}
+
+std::string AggregatorsLine(const ViewResult& result) {
+  if (result.aggregators.empty()) return "Aggregators: (none)";
+  std::string out = "Aggregators:";
+  for (const auto& [name, value] : result.aggregators) {
+    out += " " + name + "=" + value;
+  }
+  return out;
+}
+
+void AppendVertexRowText(const ViewVertexRow& row, bool with_superstep,
+                         std::string* out) {
+  if (with_superstep) {
+    *out += StrFormat("superstep %lld:\n",
+                      static_cast<long long>(row.superstep));
+  }
+  *out += StrFormat("(%lld) %s -> %s  [%s]  reasons=%s\n",
+                    static_cast<long long>(row.id), row.value_before.c_str(),
+                    row.value_after.c_str(),
+                    row.inactive ? "inactive" : "active",
+                    row.reasons.c_str());
+  if (!row.edges.empty()) {
+    *out += "  edges: ";
+    bool first = true;
+    for (const auto& e : row.edges) {
+      if (!first) *out += ", ";
+      first = false;
+      *out += std::to_string(e.target);
+      if (e.value != "-") *out += "(" + e.value + ")";
+      if (e.captured) *out += "*";
+    }
+    *out += "   (* = captured)\n";
+  }
+  for (const auto& m : row.incoming) {
+    *out += "  in:  " + m + "\n";
+  }
+  for (const auto& m : row.outgoing) {
+    *out += StrFormat("  out: -> %lld  %s\n",
+                      static_cast<long long>(m.target), m.message.c_str());
+  }
+  if (!row.exception.empty()) {
+    *out += "  EXCEPTION: " + row.exception + "\n";
+  }
+}
+
+std::string PaginationSuffix(const ViewResult& result, size_t shown) {
+  if (result.Complete()) return "";
+  return StrFormat(" (rows %llu..%llu of %llu)",
+                   static_cast<unsigned long long>(result.offset),
+                   static_cast<unsigned long long>(result.offset + shown),
+                   static_cast<unsigned long long>(result.total_rows));
+}
+
+}  // namespace
+
+std::string ViewResult::ToText() const {
+  std::string out;
+  switch (kind) {
+    case ViewKind::kNodeLink: {
+      out = StrFormat(
+          "=== Graft GUI / Node-link View — job '%s' — superstep %lld ===\n",
+          job_id.c_str(), static_cast<long long>(superstep));
+      out += StatusFlagsLine(*this);
+      out.push_back('\n');
+      if (!aggregators.empty() || total_rows > 0) {
+        out += AggregatorsLine(*this);
+        out.push_back('\n');
+      }
+      if (total_vertices > 0 || total_edges > 0) {
+        out += StrFormat("Global: vertices=%lld edges=%lld\n",
+                         static_cast<long long>(total_vertices),
+                         static_cast<long long>(total_edges));
+      }
+      out.push_back('\n');
+      for (const auto& row : vertices) {
+        AppendVertexRowText(row, /*with_superstep=*/false, &out);
+      }
+      if (!Complete()) {
+        out += StrFormat("... %s\n",
+                         PaginationSuffix(*this, vertices.size()).c_str());
+      }
+      return out;
+    }
+    case ViewKind::kTabular: {
+      out = StrFormat(
+          "=== Graft GUI / Tabular View — job '%s' — superstep %lld%s ===\n",
+          job_id.c_str(), static_cast<long long>(superstep),
+          search.empty() ? "" : (" — search '" + search + "'").c_str());
+      out += StatusFlagsLine(*this);
+      out.push_back('\n');
+      TextTable table({"id", "value before", "value after", "deg", "in",
+                       "out", "state", "reasons"});
+      for (const auto& row : vertices) {
+        table.AddRow({std::to_string(row.id), Ellipsize(row.value_before, 28),
+                      Ellipsize(row.value_after, 28),
+                      std::to_string(row.edges.size()),
+                      std::to_string(row.incoming.size()),
+                      std::to_string(row.outgoing.size()),
+                      row.inactive ? "inactive" : "active", row.reasons});
+      }
+      out += table.Render();
+      out += StrFormat("%llu vertices%s\n",
+                       static_cast<unsigned long long>(total_rows),
+                       PaginationSuffix(*this, vertices.size()).c_str());
+      return out;
+    }
+    case ViewKind::kViolations: {
+      out = StrFormat(
+          "=== Graft GUI / Violations & Exceptions — job '%s' — superstep "
+          "%lld ===\n",
+          job_id.c_str(), static_cast<long long>(superstep));
+      TextTable table({"kind", "vertex", "dst", "detail"});
+      for (const auto& row : violations) {
+        table.AddRow({row.kind, std::to_string(row.vertex), row.destination,
+                      Ellipsize(row.detail,
+                                row.kind == "exception" ? 72 : 48)});
+      }
+      out += table.Render();
+      out += StrFormat("%llu violations/exceptions%s\n",
+                       static_cast<unsigned long long>(total_rows),
+                       PaginationSuffix(*this, violations.size()).c_str());
+      return out;
+    }
+    case ViewKind::kVertex: {
+      const long long vid =
+          vertices.empty() ? 0 : static_cast<long long>(vertices.front().id);
+      out = StrFormat("=== Graft GUI / Vertex %lld — job '%s' ===\n", vid,
+                      job_id.c_str());
+      for (const auto& row : vertices) {
+        AppendVertexRowText(row, /*with_superstep=*/true, &out);
+      }
+      out += StrFormat("%llu captures%s\n",
+                       static_cast<unsigned long long>(total_rows),
+                       PaginationSuffix(*this, vertices.size()).c_str());
+      return out;
+    }
+  }
+  return out;
+}
+
+std::string ViewResult::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("job", job_id);
+  w.KV("view", ViewKindName(kind));
+  w.KV("superstep", superstep);
+  w.KV("message_violation", message_violation);
+  w.KV("vertex_value_violation", vertex_value_violation);
+  w.KV("exception", any_exception);
+  w.Key("aggregators");
+  w.BeginObject();
+  for (const auto& [name, value] : aggregators) w.KV(name, value);
+  w.EndObject();
+  if (total_vertices > 0 || total_edges > 0) {
+    w.KV("total_vertices", total_vertices);
+    w.KV("total_edges", total_edges);
+  }
+  w.Key("page");
+  w.BeginObject();
+  w.KV("total", total_rows);
+  w.KV("offset", offset);
+  if (limit != kViewNoLimit) w.KV("limit", limit);
+  w.KV("returned",
+       static_cast<uint64_t>(kind == ViewKind::kViolations
+                                 ? violations.size()
+                                 : vertices.size()));
+  if (!search.empty()) w.KV("search", search);
+  w.EndObject();
+  if (kind == ViewKind::kViolations) {
+    w.Key("violations");
+    w.BeginArray();
+    for (const auto& row : violations) {
+      w.BeginObject();
+      w.KV("kind", row.kind);
+      w.KV("vertex", row.vertex);
+      w.KV("destination", row.destination);
+      w.KV("detail", row.detail);
+      w.EndObject();
+    }
+    w.EndArray();
+  } else {
+    w.Key("vertices");
+    w.BeginArray();
+    for (const auto& row : vertices) {
+      w.BeginObject();
+      if (kind == ViewKind::kVertex) w.KV("superstep", row.superstep);
+      w.KV("id", row.id);
+      w.KV("reasons", row.reasons);
+      w.KV("value_before", row.value_before);
+      w.KV("value_after", row.value_after);
+      w.KV("inactive", row.inactive);
+      w.Key("edges");
+      w.BeginArray();
+      for (const auto& e : row.edges) {
+        w.BeginObject();
+        w.KV("target", e.target);
+        w.KV("value", e.value);
+        w.KV("captured", e.captured);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.Key("incoming");
+      w.BeginArray();
+      for (const auto& m : row.incoming) w.String(m);
+      w.EndArray();
+      w.Key("outgoing");
+      w.BeginArray();
+      for (const auto& m : row.outgoing) {
+        w.BeginObject();
+        w.KV("target", m.target);
+        w.KV("message", m.message);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.Key("violations");
+      w.BeginArray();
+      for (const auto& v : row.violations) w.String(v);
+      w.EndArray();
+      if (!row.exception.empty()) w.KV("exception", row.exception);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace debug
+}  // namespace graft

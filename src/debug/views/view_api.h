@@ -1,0 +1,312 @@
+#ifndef GRAFT_DEBUG_VIEWS_VIEW_API_H_
+#define GRAFT_DEBUG_VIEWS_VIEW_API_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "debug/debug_session.h"
+#include "debug/vertex_trace.h"
+
+namespace graft {
+namespace debug {
+
+template <pregel::JobTraits Traits>
+struct SuperstepSnapshot;
+
+/// The three GUI panels of §3.2 plus the per-vertex drill-down the paper's
+/// tabular rows expand into on click.
+enum class ViewKind : uint8_t {
+  kNodeLink = 0,    // Figure 3: nodes, values, adjacency, messages
+  kTabular = 1,     // Figure 4: one summary row per captured vertex
+  kViolations = 2,  // Figure 5: constraint violations + exceptions
+  kVertex = 3,      // one vertex's full context (point lookup or history)
+};
+
+enum class ViewFormat : uint8_t { kText = 0, kJson = 1 };
+
+/// "no pagination" sentinel for limit.
+inline constexpr uint64_t kViewNoLimit = UINT64_MAX;
+/// Default page size of the HTTP debug endpoints.
+inline constexpr uint64_t kViewDefaultLimit = 100;
+
+const char* ViewKindName(ViewKind kind);
+
+/// One view query: which panel, which superstep (nullopt = the first
+/// captured one; for kVertex, nullopt = the vertex's whole history), window
+/// and filter. This is the wire surface of the debug endpoints — every query
+/// parameter maps onto one field.
+struct ViewRequest {
+  ViewKind kind = ViewKind::kTabular;
+  std::optional<int64_t> superstep;
+  /// Vertex id for kVertex.
+  std::optional<VertexId> vertex;
+  uint64_t offset = 0;
+  uint64_t limit = kViewDefaultLimit;
+  /// Matches by vertex id, neighbor id, value substring, or message
+  /// substring (§3.2's search feature). Empty matches everything.
+  std::string search;
+  ViewFormat format = ViewFormat::kText;
+};
+
+struct ViewEdge {
+  VertexId target = 0;
+  std::string value;   // "-" for valueless edges
+  bool captured = false;  // target itself captured this superstep
+};
+
+struct ViewMessage {
+  VertexId target = 0;
+  std::string message;
+};
+
+/// One captured vertex, fully stringified: the structured row the GUI (or
+/// any JSON consumer) renders. Values go through ToString once here so the
+/// result is traits-free.
+struct ViewVertexRow {
+  int64_t superstep = 0;
+  VertexId id = 0;
+  std::string value_before;
+  std::string value_after;
+  bool inactive = false;
+  std::string reasons;
+  std::vector<ViewEdge> edges;
+  std::vector<std::string> incoming;
+  std::vector<ViewMessage> outgoing;
+  std::vector<std::string> violations;
+  std::string exception;  // "" = none
+};
+
+struct ViewViolationRow {
+  std::string kind;  // "vertex-value" | "message-value" | "exception"
+  VertexId vertex = 0;
+  std::string destination;  // "-" when not a message violation
+  std::string detail;
+};
+
+/// A rendered view page: structured rows plus totals, independent of the
+/// Traits type. `total_rows` counts rows matching the search before
+/// pagination; `vertices`/`violations` hold the [offset, offset+limit)
+/// window. Render to a terminal table via ToText() or to the HTTP wire
+/// format via ToJson().
+struct ViewResult {
+  ViewKind kind = ViewKind::kTabular;
+  std::string job_id;
+  int64_t superstep = 0;
+
+  // The paper GUI's M/V/E status boxes.
+  bool message_violation = false;
+  bool vertex_value_violation = false;
+  bool any_exception = false;
+
+  std::map<std::string, std::string> aggregators;
+  int64_t total_vertices = 0;  // global graph size, 0 when unknown
+  int64_t total_edges = 0;
+
+  uint64_t total_rows = 0;
+  uint64_t offset = 0;
+  uint64_t limit = kViewNoLimit;
+  std::string search;
+
+  std::vector<ViewVertexRow> vertices;
+  std::vector<ViewViolationRow> violations;
+
+  /// True when the window covers every matching row.
+  bool Complete() const {
+    return offset == 0 && (vertices.size() + violations.size()) == total_rows;
+  }
+
+  std::string ToText() const;
+  std::string ToJson() const;
+  std::string Render(ViewFormat format) const {
+    return format == ViewFormat::kJson ? ToJson() : ToText();
+  }
+};
+
+namespace internal_views {
+
+/// Matches a trace by id, neighbor id, value substring, or message
+/// substring — the legacy TraceMatchesSearch predicate, against the
+/// stringified row.
+bool RowMatchesSearch(const ViewVertexRow& row, const std::string& query);
+
+}  // namespace internal_views
+
+/// Stringifies one trace into a row. `captured` marks which neighbor ids
+/// were themselves captured this superstep (the paper renders them as full
+/// nodes, the rest id-only).
+template <pregel::JobTraits Traits>
+ViewVertexRow MakeVertexRow(const VertexTrace<Traits>& trace,
+                            const std::set<VertexId>& captured) {
+  ViewVertexRow row;
+  row.superstep = trace.superstep;
+  row.id = trace.id;
+  row.value_before = trace.value_before.ToString();
+  row.value_after = trace.value_after.ToString();
+  row.inactive = trace.halted_after;
+  row.reasons = CaptureReasonsToString(trace.reasons);
+  row.edges.reserve(trace.edges.size());
+  for (const auto& e : trace.edges) {
+    row.edges.push_back(ViewEdge{e.target, e.value.ToString(),
+                                 captured.count(e.target) != 0});
+  }
+  row.incoming.reserve(trace.incoming.size());
+  for (const auto& m : trace.incoming) row.incoming.push_back(m.ToString());
+  row.outgoing.reserve(trace.outgoing.size());
+  for (const auto& [target, m] : trace.outgoing) {
+    row.outgoing.push_back(ViewMessage{target, m.ToString()});
+  }
+  for (const auto& v : trace.violations) row.violations.push_back(v.detail);
+  if (trace.exception.has_value()) {
+    row.exception = trace.exception->type + ": " + trace.exception->message +
+                    " @ " + trace.exception->context;
+  }
+  return row;
+}
+
+/// Builds a ViewResult from already-loaded traces. Search + pagination are
+/// applied here; totals reflect the pre-pagination match count.
+template <pregel::JobTraits Traits>
+ViewResult BuildViewFromTraces(const std::vector<VertexTrace<Traits>>& traces,
+                               const std::optional<MasterTrace>& master,
+                               const std::string& job_id,
+                               const ViewRequest& request) {
+  ViewResult result;
+  result.kind = request.kind;
+  result.job_id = job_id;
+  result.superstep = request.superstep.value_or(
+      traces.empty() ? 0 : traces.front().superstep);
+  result.offset = request.offset;
+  result.limit = request.limit;
+  result.search = request.search;
+
+  std::set<VertexId> captured;
+  for (const auto& t : traces) {
+    captured.insert(t.id);
+    if ((t.reasons & kReasonMessageValue) != 0) result.message_violation = true;
+    if ((t.reasons & kReasonVertexValue) != 0) {
+      result.vertex_value_violation = true;
+    }
+    if (t.exception.has_value()) result.any_exception = true;
+  }
+  if (!traces.empty()) {
+    result.total_vertices = traces.front().total_vertices;
+    result.total_edges = traces.front().total_edges;
+    for (const auto& [name, value] : traces.front().aggregators) {
+      result.aggregators[name] = value.ToString();
+    }
+  }
+  if (master.has_value()) {
+    result.aggregators.clear();
+    for (const auto& [name, value] : master->aggregators_after) {
+      result.aggregators[name] = value.ToString();
+    }
+  }
+
+  if (request.kind == ViewKind::kViolations) {
+    std::vector<ViewViolationRow> rows;
+    for (const auto& t : traces) {
+      for (const auto& v : t.violations) {
+        ViewViolationRow row;
+        row.kind = v.kind == ViolationInfo::Kind::kVertexValue
+                       ? "vertex-value"
+                       : "message-value";
+        row.vertex = v.source;
+        row.destination = v.kind == ViolationInfo::Kind::kMessageValue
+                              ? std::to_string(v.destination)
+                              : "-";
+        row.detail = v.detail;
+        rows.push_back(std::move(row));
+      }
+      if (t.exception.has_value()) {
+        ViewViolationRow row;
+        row.kind = "exception";
+        row.vertex = t.id;
+        row.destination = "-";
+        row.detail = t.exception->type + ": " + t.exception->message + " @ " +
+                     t.exception->context;
+        rows.push_back(std::move(row));
+      }
+    }
+    result.total_rows = rows.size();
+    for (uint64_t i = request.offset;
+         i < rows.size() && result.violations.size() < request.limit; ++i) {
+      result.violations.push_back(std::move(rows[i]));
+    }
+    return result;
+  }
+
+  uint64_t matched = 0;
+  for (const auto& t : traces) {
+    ViewVertexRow row = MakeVertexRow(t, captured);
+    if (!internal_views::RowMatchesSearch(row, request.search)) continue;
+    const uint64_t ordinal = matched++;
+    if (ordinal < request.offset) continue;
+    if (result.vertices.size() >= request.limit) continue;
+    result.vertices.push_back(std::move(row));
+  }
+  result.total_rows = matched;
+  return result;
+}
+
+/// The structured replacement for the Render*View free functions: one view
+/// query against an open DebugSession. kVertex resolves through the
+/// manifest's point index (O(1) store reads when cached); the snapshot kinds
+/// load the requested superstep's traces.
+template <pregel::JobTraits Traits>
+Result<ViewResult> RenderView(const DebugSession<Traits>& session,
+                              const ViewRequest& request) {
+  if (request.kind == ViewKind::kVertex) {
+    if (!request.vertex.has_value()) {
+      return Status::InvalidArgument("vertex view requires a vertex id");
+    }
+    std::vector<VertexTrace<Traits>> traces;
+    if (request.superstep.has_value()) {
+      GRAFT_ASSIGN_OR_RETURN(
+          VertexTrace<Traits> trace,
+          session.FindVertexTrace(*request.superstep, *request.vertex));
+      traces.push_back(std::move(trace));
+    } else {
+      GRAFT_ASSIGN_OR_RETURN(traces, session.VertexHistory(*request.vertex));
+      if (traces.empty()) {
+        return Status::NotFound(
+            StrFormat("no captures for vertex %lld in job '%s'",
+                      static_cast<long long>(*request.vertex),
+                      session.job_id().c_str()));
+      }
+    }
+    ViewResult result = BuildViewFromTraces(traces, std::nullopt,
+                                            session.job_id(), request);
+    result.superstep = traces.front().superstep;
+    return result;
+  }
+
+  int64_t superstep;
+  if (request.superstep.has_value()) {
+    superstep = *request.superstep;
+  } else {
+    if (session.supersteps().empty()) {
+      return Status::NotFound("job '" + session.job_id() +
+                              "' has no captures");
+    }
+    superstep = session.supersteps().front();
+  }
+  GRAFT_ASSIGN_OR_RETURN(std::vector<VertexTrace<Traits>> traces,
+                         session.VertexTraces(superstep));
+  std::optional<MasterTrace> master;
+  auto master_result = session.Master(superstep);
+  if (master_result.ok()) master = std::move(master_result).value();
+  ViewRequest resolved = request;
+  resolved.superstep = superstep;
+  return BuildViewFromTraces(traces, master, session.job_id(), resolved);
+}
+
+}  // namespace debug
+}  // namespace graft
+
+#endif  // GRAFT_DEBUG_VIEWS_VIEW_API_H_

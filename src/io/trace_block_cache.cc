@@ -1,0 +1,214 @@
+#include "io/trace_block_cache.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace graft {
+
+
+namespace {
+
+size_t BlockBytes(const TraceBlockCache::Block& block) {
+  size_t bytes = sizeof(block);
+  for (const std::string& record : block) {
+    bytes += record.size() + sizeof(std::string);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+TraceBlockCache::TraceBlockCache(TraceBlockCacheOptions options)
+    : options_(options) {
+  if (options_.shards < 1) options_.shards = 1;
+  shard_budget_ = options_.byte_budget / static_cast<size_t>(options_.shards);
+  if (shard_budget_ == 0) shard_budget_ = 1;
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+TraceBlockCache& TraceBlockCache::Global() {
+  static TraceBlockCache* cache = new TraceBlockCache();
+  return *cache;
+}
+
+std::string TraceBlockCache::MapKey(uint64_t store_uid,
+                                    const std::string& key) {
+  return StrFormat("%llu/", static_cast<unsigned long long>(store_uid)) + key;
+}
+
+TraceBlockCache::Shard& TraceBlockCache::ShardFor(const std::string& map_key) {
+  const size_t h = std::hash<std::string>{}(map_key);
+  return *shards_[h % shards_.size()];
+}
+
+TraceBlockCache::AnyPtr TraceBlockCache::InsertLocked(
+    Shard& shard, const std::string& map_key, uint64_t store_uid,
+    const std::string& key, AnyPtr value, size_t bytes) {
+  auto it = shard.map.find(map_key);
+  if (it != shard.map.end()) {
+    // A concurrent loader won the race; keep its entry (LRU-bump it).
+    Entry* entry = it->second.get();
+    shard.lru.erase(entry->lru_it);
+    shard.lru.push_front(entry);
+    entry->lru_it = shard.lru.begin();
+    return entry->value;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->key = key;
+  entry->store_uid = store_uid;
+  entry->value = std::move(value);
+  entry->bytes = bytes;
+  shard.lru.push_front(entry.get());
+  entry->lru_it = shard.lru.begin();
+  shard.bytes += bytes;
+  AnyPtr result = entry->value;
+  shard.map.emplace(map_key, std::move(entry));
+  // Evict past the shard budget, oldest first. The just-inserted entry is
+  // evicted last: an oversized block is still served to this caller (the
+  // returned shared_ptr keeps it alive) but never stays resident, so one
+  // huge block cannot pin the shard over budget.
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    Entry* victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.bytes -= victim->bytes;
+    shard.map.erase(MapKey(victim->store_uid, victim->key));
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Result<TraceBlockCache::AnyPtr> TraceBlockCache::GetOrLoad(
+    uint64_t store_uid, const std::string& key, const AnyLoader& loader) {
+  const std::string map_key = MapKey(store_uid, key);
+  Shard& shard = ShardFor(map_key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(map_key);
+    if (it != shard.map.end()) {
+      Entry* entry = it->second.get();
+      shard.lru.erase(entry->lru_it);
+      shard.lru.push_front(entry);
+      entry->lru_it = shard.lru.begin();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return entry->value;
+    }
+  }
+  // Load outside the lock: a slow decode must not serialize the shard. Two
+  // racing misses both load; InsertLocked keeps the first.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  GRAFT_ASSIGN_OR_RETURN(auto loaded, loader());
+  // A null value means "nothing to cache" (e.g. a manifest that vanished
+  // mid-load): return it without inserting so absence is never sticky.
+  if (loaded.first == nullptr) return AnyPtr();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return InsertLocked(shard, map_key, store_uid, key, std::move(loaded.first),
+                      loaded.second);
+}
+
+Result<TraceBlockCache::BlockPtr> TraceBlockCache::GetFileBlock(
+    const TraceStore& store, const std::string& file) {
+  GRAFT_ASSIGN_OR_RETURN(
+      AnyPtr any,
+      GetOrLoad(store.store_uid(), file,
+                [&]() -> Result<std::pair<AnyPtr, size_t>> {
+                  GRAFT_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                                         store.ReadAll(file));
+                  auto block =
+                      std::make_shared<const Block>(std::move(records));
+                  const size_t bytes = BlockBytes(*block);
+                  return std::make_pair(AnyPtr(block), bytes);
+                }));
+  return std::static_pointer_cast<const Block>(any);
+}
+
+Result<std::string> TraceBlockCache::ReadRecord(const TraceStore& store,
+                                                const std::string& file,
+                                                uint64_t index) {
+  GRAFT_ASSIGN_OR_RETURN(BlockPtr block, GetFileBlock(store, file));
+  if (index >= block->size()) {
+    return Status::OutOfRange(
+        StrFormat("record %llu out of range in '%s' (%zu records)",
+                  static_cast<unsigned long long>(index), file.c_str(),
+                  block->size()));
+  }
+  return (*block)[index];
+}
+
+void TraceBlockCache::InvalidatePrefix(const TraceStore& store,
+                                       const std::string& prefix) {
+  const uint64_t uid = store.store_uid();
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      Entry* entry = it->second.get();
+      const bool match =
+          entry->store_uid == uid &&
+          entry->key.compare(0, prefix.size(), prefix) == 0;
+      if (!match) {
+        ++it;
+        continue;
+      }
+      shard.lru.erase(entry->lru_it);
+      shard.bytes -= entry->bytes;
+      it = shard.map.erase(it);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void TraceBlockCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const uint64_t dropped = shard.map.size();
+    shard.map.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+}
+
+TraceBlockCache::Stats TraceBlockCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.bytes += shard.bytes;
+    stats.entries += shard.map.size();
+  }
+  return stats;
+}
+
+void TraceBlockCache::ExportMetrics(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  const Stats s = stats();
+  // Gauges with Set(): scrape-idempotent snapshots of monotonic counters
+  // (a Counter's Increment would double-count across scrapes).
+  registry->GetGauge("tracecache.hits_total")
+      ->Set(static_cast<double>(s.hits));
+  registry->GetGauge("tracecache.misses_total")
+      ->Set(static_cast<double>(s.misses));
+  registry->GetGauge("tracecache.evictions_total")
+      ->Set(static_cast<double>(s.evictions));
+  registry->GetGauge("tracecache.invalidations_total")
+      ->Set(static_cast<double>(s.invalidations));
+  registry->GetGauge("tracecache.bytes")->Set(static_cast<double>(s.bytes));
+  registry->GetGauge("tracecache.entries")
+      ->Set(static_cast<double>(s.entries));
+  registry->GetGauge("tracecache.hit_rate")->Set(s.HitRate());
+  registry->SetHelp("tracecache.hit_rate",
+                    "Fraction of trace block cache lookups served without a "
+                    "store read.");
+}
+
+
+}  // namespace graft

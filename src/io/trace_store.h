@@ -43,6 +43,11 @@ class TraceStore {
 
   virtual ~TraceStore() = default;
 
+  /// Process-unique identity of this store instance. TraceBlockCache keys
+  /// cached blocks by (store_uid, file) so a recycled heap address can never
+  /// alias a dead store's cached data (ABA).
+  uint64_t store_uid() const { return uid_; }
+
   /// Appends one record to `file`, creating it if needed.
   virtual Status Append(const std::string& file, std::string_view record) = 0;
 
@@ -116,6 +121,12 @@ class TraceStore {
   }
 
  private:
+  static uint64_t NextStoreUid() {
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const uint64_t uid_ = NextStoreUid();
   std::atomic<uint64_t> appends_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> flushes_{0};

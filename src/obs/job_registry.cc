@@ -25,6 +25,13 @@ const char* JobStateName(JobState state) {
   return "?";
 }
 
+bool IsJobStateName(std::string_view name) {
+  for (int s = 0; s <= static_cast<int>(JobState::kFailed); ++s) {
+    if (name == JobStateName(static_cast<JobState>(s))) return true;
+  }
+  return false;
+}
+
 JobEntry::JobEntry(std::string job_id) : job_id_(std::move(job_id)) {}
 
 void JobEntry::MarkRunning() {
@@ -209,12 +216,18 @@ std::vector<std::shared_ptr<JobEntry>> JobRegistry::List() const {
   return entries;
 }
 
-std::string JobRegistry::ListJson() const {
+std::string JobRegistry::ListJson(std::string_view status_filter) const {
   JsonWriter w;
   w.BeginObject();
   w.Key("jobs");
   w.BeginArray();
+  // List() iterates the id-keyed map, so the output order is stable across
+  // calls regardless of registration order.
   for (const auto& entry : List()) {
+    if (!status_filter.empty() &&
+        status_filter != JobStateName(entry->state())) {
+      continue;
+    }
     entry->AppendSummaryJson(&w);
   }
   w.EndArray();

@@ -28,6 +28,9 @@ enum class JobState : int {
   kFailed = 4,
 };
 const char* JobStateName(JobState state);
+/// True when `name` is one of the JobStateName strings
+/// ("pending"/"running"/"recovering"/"done"/"failed").
+bool IsJobStateName(std::string_view name);
 
 /// Live, concurrently-readable view of one job (DESIGN.md §11). The runner
 /// side publishes — state transitions, a RunReport snapshot at every
@@ -113,8 +116,9 @@ class JobRegistry {
   std::shared_ptr<JobEntry> Find(const std::string& job_id) const;
   std::vector<std::shared_ptr<JobEntry>> List() const;
 
-  /// {"jobs":[{...}, ...]} — one summary per job, sorted by id.
-  std::string ListJson() const;
+  /// {"jobs":[{...}, ...]} — one summary per job, sorted by id. A non-empty
+  /// `status_filter` keeps only jobs whose JobStateName matches it.
+  std::string ListJson(std::string_view status_filter = "") const;
   /// Per-job progress gauges (graft_job_superstep, graft_job_state, ...).
   std::string ToPrometheusText(std::string_view prefix = "graft_") const;
 

@@ -8,10 +8,12 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "common/json_writer.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -24,53 +26,235 @@ const char* StatusText(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 202:
+      return "Accepted";
     case 400:
       return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Payload Too Large";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Internal Server Error";
   }
 }
 
-/// Splits "/jobs/<id>/<leaf>" into id and leaf. Returns false for any other
-/// shape (empty id, extra segments).
-bool ParseJobPath(std::string_view rest, std::string* id, std::string* leaf) {
-  const size_t slash = rest.find('/');
-  if (slash == std::string_view::npos) {
-    if (rest.empty()) return false;
-    *id = std::string(rest);
-    leaf->clear();
-    return true;
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> segments;
+  size_t start = 0;
+  if (!path.empty() && path[0] == '/') start = 1;
+  while (start <= path.size()) {
+    const size_t slash = path.find('/', start);
+    if (slash == std::string_view::npos) {
+      segments.emplace_back(path.substr(start));
+      break;
+    }
+    segments.emplace_back(path.substr(start, slash - start));
+    start = slash + 1;
   }
-  std::string_view tail = rest.substr(slash + 1);
-  if (slash == 0 || tail.empty() || tail.find('/') != std::string_view::npos) {
-    return false;
+  // Normalize one trailing slash away ("/jobs/" == "/jobs"), but keep the
+  // root as a single empty segment.
+  if (segments.size() > 1 && segments.back().empty()) segments.pop_back();
+  return segments;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string UrlDecode(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < raw.size() && HexDigit(raw[i + 1]) >= 0 &&
+               HexDigit(raw[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexDigit(raw[i + 1]) * 16 +
+                                      HexDigit(raw[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
   }
-  *id = std::string(rest.substr(0, slash));
-  *leaf = std::string(tail);
-  return true;
+  return out;
+}
+
+std::map<std::string, std::string> ParseQuery(std::string_view query) {
+  std::map<std::string, std::string> params;
+  for (std::string_view pair : SplitString(query, '&', /*skip_empty=*/true)) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      params[UrlDecode(pair)] = "";
+    } else {
+      params[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    }
+  }
+  return params;
+}
+
+/// Case-insensitive header lookup in a raw header block; returns the
+/// trimmed value or "" when absent.
+std::string FindHeader(std::string_view head, std::string_view name) {
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t end = head.find('\n', pos);
+    if (end == std::string_view::npos) end = head.size();
+    std::string_view line = head.substr(pos, end - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const size_t colon = line.find(':');
+    if (colon != std::string_view::npos && colon == name.size()) {
+      bool match = true;
+      for (size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return std::string(TrimString(line.substr(colon + 1)));
+    }
+    pos = end + 1;
+  }
+  return "";
 }
 
 }  // namespace
+
+int TelemetryServer::HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kUnavailable:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
+TelemetryServer::Response TelemetryServer::ErrorResponse(
+    const Status& status) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.BeginObject();
+  w.KV("status", StatusCodeToString(status.code()));
+  w.KV("message", status.message());
+  w.EndObject();
+  w.EndObject();
+  return Response::Json(w.TakeString(), HttpStatusFor(status));
+}
 
 TelemetryServer::TelemetryServer(TelemetryServerOptions options)
     : options_(std::move(options)) {
   if (options_.registry == nullptr) options_.registry = &JobRegistry::Global();
   if (options_.handler_threads < 1) options_.handler_threads = 1;
+  RegisterBuiltinRoutes();
+}
+
+void TelemetryServer::RegisterRoute(std::string method, std::string pattern,
+                                    RouteHandler handler) {
+  Route route;
+  route.method = std::move(method);
+  route.pattern = pattern;
+  route.segments = SplitPath(pattern);
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+void TelemetryServer::RegisterBuiltinRoutes() {
+  RegisterRoute("GET", "/healthz", [](const HttpRequest&) {
+    Response r;
+    r.body = "ok\n";
+    return r;
+  });
+
+  RegisterRoute("GET", "/metrics", [this](const HttpRequest&) {
+    Response r;
+    if (options_.metrics != nullptr) {
+      if (options_.before_metrics) options_.before_metrics(options_.metrics);
+      r.body = options_.metrics->ToPrometheusText(options_.metrics_prefix);
+    }
+    r.body += options_.registry->ToPrometheusText(options_.metrics_prefix);
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return r;
+  });
+
+  RegisterRoute("GET", "/jobs", [this](const HttpRequest& request) {
+    const std::string status_filter = request.QueryParam("status");
+    if (!status_filter.empty() && !IsJobStateName(status_filter)) {
+      return ErrorResponse(Status::InvalidArgument(
+          "unknown status filter '" + status_filter +
+          "' (want pending|running|recovering|done|failed)"));
+    }
+    return Response::Json(options_.registry->ListJson(status_filter));
+  });
+
+  auto report = [this](const HttpRequest& request) {
+    std::shared_ptr<JobEntry> entry =
+        options_.registry->Find(request.params.at("id"));
+    if (entry == nullptr) {
+      return ErrorResponse(
+          Status::NotFound("no such job: " + request.params.at("id")));
+    }
+    return Response::Json(entry->ReportJson());
+  };
+  RegisterRoute("GET", "/jobs/{id}", report);
+  RegisterRoute("GET", "/jobs/{id}/report", report);
+
+  RegisterRoute("GET", "/jobs/{id}/events", [this](
+                                                const HttpRequest& request) {
+    std::shared_ptr<JobEntry> entry =
+        options_.registry->Find(request.params.at("id"));
+    if (entry == nullptr) {
+      return ErrorResponse(
+          Status::NotFound("no such job: " + request.params.at("id")));
+    }
+    return Response::Json(entry->EventsJson());
+  });
+}
+
+std::unique_ptr<TelemetryServer> TelemetryServer::Create(
+    TelemetryServerOptions options) {
+  return std::unique_ptr<TelemetryServer>(
+      new TelemetryServer(std::move(options)));
+}
+
+Status TelemetryServer::Serve() {
+  GRAFT_RETURN_NOT_OK(Bind());
+  listener_ = std::thread([this] { ListenLoop(); });
+  for (int i = 0; i < options_.handler_threads; ++i) {
+    handlers_.emplace_back([this] { HandlerLoop(); });
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
     TelemetryServerOptions options) {
-  std::unique_ptr<TelemetryServer> server(
-      new TelemetryServer(std::move(options)));
-  GRAFT_RETURN_NOT_OK(server->Bind());
-  server->listener_ = std::thread([s = server.get()] { s->ListenLoop(); });
-  for (int i = 0; i < server->options_.handler_threads; ++i) {
-    server->handlers_.emplace_back([s = server.get()] { s->HandlerLoop(); });
-  }
+  std::unique_ptr<TelemetryServer> server = Create(std::move(options));
+  GRAFT_RETURN_NOT_OK(server->Serve());
   return server;
 }
 
@@ -194,37 +378,76 @@ void TelemetryServer::ServeConnection(int fd) {
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 
-  // Read until the end of the request head (we ignore bodies: every route is
-  // a GET). 8 KiB is plenty for any legitimate request line + headers.
-  std::string head;
+  // Read until the end of the request head. 8 KiB is plenty for any
+  // legitimate request line + headers; bodies are read separately below.
+  std::string data;
   char buf[2048];
-  while (head.find("\r\n\r\n") == std::string::npos &&
-         head.find("\n\n") == std::string::npos && head.size() < 8192) {
+  size_t head_end = std::string::npos;
+  size_t body_start = 0;
+  while (data.size() < 8192) {
+    size_t probe = data.find("\r\n\r\n");
+    if (probe != std::string::npos) {
+      head_end = probe;
+      body_start = probe + 4;
+      break;
+    }
+    probe = data.find("\n\n");
+    if (probe != std::string::npos) {
+      head_end = probe;
+      body_start = probe + 2;
+      break;
+    }
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
-    head.append(buf, static_cast<size_t>(n));
+    data.append(buf, static_cast<size_t>(n));
   }
 
   Response response;
-  const size_t line_end = head.find_first_of("\r\n");
   std::string method;
   std::string target;
-  if (line_end != std::string::npos) {
-    const std::string request_line = head.substr(0, line_end);
+  std::string body;
+  bool body_too_large = false;
+  if (head_end != std::string::npos) {
+    const std::string_view head = std::string_view(data).substr(0, head_end);
+    const size_t line_end = head.find_first_of("\r\n");
+    const std::string_view request_line =
+        head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                          : line_end);
     const size_t sp1 = request_line.find(' ');
-    const size_t sp2 =
-        sp1 == std::string::npos ? std::string::npos
-                                 : request_line.find(' ', sp1 + 1);
-    if (sp1 != std::string::npos && sp2 != std::string::npos) {
-      method = request_line.substr(0, sp1);
-      target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const size_t sp2 = sp1 == std::string_view::npos
+                           ? std::string_view::npos
+                           : request_line.find(' ', sp1 + 1);
+    if (sp1 != std::string_view::npos && sp2 != std::string_view::npos) {
+      method = std::string(request_line.substr(0, sp1));
+      target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    }
+    // Read the body when the client declared one (POST job specs).
+    const std::string length_header = FindHeader(head, "content-length");
+    int64_t content_length = 0;
+    if (!length_header.empty() &&
+        ParseInt64(length_header, &content_length) && content_length > 0) {
+      if (static_cast<size_t>(content_length) > options_.max_body_bytes) {
+        body_too_large = true;
+      } else {
+        body = data.substr(body_start);
+        while (body.size() < static_cast<size_t>(content_length)) {
+          const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+          if (n <= 0) break;
+          body.append(buf, static_cast<size_t>(n));
+        }
+        body.resize(static_cast<size_t>(content_length));
+      }
     }
   }
+
   if (method.empty() || target.empty()) {
     response.status = 400;
     response.body = "bad request\n";
+  } else if (body_too_large) {
+    response.status = 413;
+    response.body = "payload too large\n";
   } else {
-    response = Handle(method, target);
+    response = Handle(method, target, body);
   }
 
   std::string out = StrFormat("HTTP/1.1 %d %s\r\n", response.status,
@@ -249,69 +472,62 @@ void TelemetryServer::ServeConnection(int fd) {
 }
 
 TelemetryServer::Response TelemetryServer::Handle(
-    std::string_view method, std::string_view target) const {
-  Response r;
-  // Strip query string and fragment; routes don't take parameters.
-  const size_t cut = target.find_first_of("?#");
-  if (cut != std::string_view::npos) target = target.substr(0, cut);
+    std::string_view method, std::string_view target,
+    std::string_view body) const {
+  HttpRequest request;
+  request.method = std::string(method);
+  request.body = std::string(body);
 
-  if (method != "GET" && method != "HEAD") {
+  // Split query string and fragment off the path.
+  std::string_view path = target;
+  const size_t hash = path.find('#');
+  if (hash != std::string_view::npos) path = path.substr(0, hash);
+  const size_t question = path.find('?');
+  if (question != std::string_view::npos) {
+    request.query = ParseQuery(path.substr(question + 1));
+    path = path.substr(0, question);
+  }
+  request.path = std::string(path);
+
+  const std::vector<std::string> segments = SplitPath(path);
+  // HEAD is served by GET routes; the serve layer drops the body.
+  const std::string_view route_method = method == "HEAD" ? "GET" : method;
+
+  bool path_matched = false;
+  for (const Route& route : routes_) {
+    if (route.segments.size() != segments.size()) continue;
+    std::map<std::string, std::string> params;
+    bool match = true;
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const std::string& pattern = route.segments[i];
+      if (pattern.size() >= 2 && pattern.front() == '{' &&
+          pattern.back() == '}') {
+        // A parameter captures one non-empty segment ("/jobs//report" must
+        // not match "/jobs/{id}/report").
+        if (segments[i].empty()) {
+          match = false;
+          break;
+        }
+        params[pattern.substr(1, pattern.size() - 2)] = segments[i];
+      } else if (pattern != segments[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    path_matched = true;
+    if (route.method != route_method) continue;
+    request.params = std::move(params);
+    return route.handler(request);
+  }
+
+  if (path_matched) {
+    Response r;
     r.status = 405;
     r.body = "method not allowed\n";
     return r;
   }
-
-  if (target == "/healthz") {
-    r.body = "ok\n";
-    return r;
-  }
-  if (target == "/metrics") {
-    if (options_.metrics != nullptr) {
-      r.body = options_.metrics->ToPrometheusText(options_.metrics_prefix);
-    }
-    r.body += options_.registry->ToPrometheusText(options_.metrics_prefix);
-    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    return r;
-  }
-  if (target == "/jobs" || target == "/jobs/") {
-    r.body = options_.registry->ListJson();
-    r.content_type = "application/json";
-    return r;
-  }
-  constexpr std::string_view kJobsPrefix = "/jobs/";
-  if (target.size() > kJobsPrefix.size() &&
-      target.substr(0, kJobsPrefix.size()) == kJobsPrefix) {
-    std::string id;
-    std::string leaf;
-    if (!ParseJobPath(target.substr(kJobsPrefix.size()), &id, &leaf)) {
-      r.status = 404;
-      r.body = "not found\n";
-      return r;
-    }
-    std::shared_ptr<JobEntry> entry = options_.registry->Find(id);
-    if (entry == nullptr) {
-      r.status = 404;
-      r.body = "no such job: " + id + "\n";
-      return r;
-    }
-    if (leaf.empty() || leaf == "report") {
-      r.body = entry->ReportJson();
-      r.content_type = "application/json";
-      return r;
-    }
-    if (leaf == "events") {
-      r.body = entry->EventsJson();
-      r.content_type = "application/json";
-      return r;
-    }
-    r.status = 404;
-    r.body = "not found\n";
-    return r;
-  }
-
-  r.status = 404;
-  r.body = "not found\n";
-  return r;
+  return ErrorResponse(Status::NotFound("not found: " + request.path));
 }
 
 }  // namespace obs

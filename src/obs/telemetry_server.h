@@ -5,6 +5,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -19,6 +21,27 @@
 namespace graft {
 namespace obs {
 
+/// One parsed HTTP request as the route handlers see it: split target,
+/// decoded query parameters, captured path parameters, and (for POST) the
+/// body.
+struct HttpRequest {
+  std::string method;  // GET / HEAD / POST / ...
+  std::string path;    // target with query string stripped
+  /// Query parameters, %XX-decoded. Repeated keys keep the last value.
+  std::map<std::string, std::string> query;
+  /// Path-pattern captures: "/jobs/{id}/report" matched against
+  /// "/jobs/pr-1/report" yields {"id": "pr-1"}.
+  std::map<std::string, std::string> params;
+  std::string body;
+
+  /// Query parameter or `fallback` when absent.
+  std::string QueryParam(const std::string& key,
+                         const std::string& fallback = "") const {
+    auto it = query.find(key);
+    return it == query.end() ? fallback : it->second;
+  }
+};
+
 struct TelemetryServerOptions {
   /// Bind address. Defaults to loopback — the server is a debugging surface,
   /// not an internet-facing one.
@@ -31,34 +54,84 @@ struct TelemetryServerOptions {
   /// Job directory served under /jobs (defaults to JobRegistry::Global()).
   JobRegistry* registry = nullptr;
   std::string metrics_prefix = "graft_";
+  /// Called on every /metrics scrape before export, so subsystems with
+  /// pull-based counters (e.g. the trace block cache) can refresh their
+  /// gauges. Receives `metrics` (never null when invoked).
+  std::function<void(MetricsRegistry*)> before_metrics;
+  /// Largest accepted request body; larger POSTs get 413.
+  size_t max_body_bytes = 1 << 20;
 };
 
 /// Dependency-free HTTP/1.1 server for the live telemetry plane
 /// (DESIGN.md §11): one listener thread accepts connections and a small
 /// handler pool serves them, one request per connection (Connection: close).
 ///
-/// Routes:
-///   GET /healthz            -> "ok"
-///   GET /metrics            -> Prometheus text (registry + per-job gauges)
-///   GET /jobs               -> {"jobs":[...]} summaries
-///   GET /jobs/<id>/report   -> live RunReport JSON (updated at barriers)
-///   GET /jobs/<id>/events   -> Chrome trace-event JSON from the journal
+/// Dispatch is a registered route table: (method, path pattern) → handler,
+/// where a pattern segment "{name}" captures one non-empty path segment into
+/// HttpRequest::params. HEAD matches GET routes (the body is dropped at the
+/// serve layer, after Content-Length is computed). A path that matches some
+/// route under a different method yields 405; no pattern match yields 404.
+/// Handlers returning a non-OK Status are mapped through one shared
+/// Status → HTTP error envelope (kNotFound→404, kInvalidArgument→400,
+/// kUnavailable→503, ...).
+///
+/// Built-in routes:
+///   GET  /healthz            -> "ok"
+///   GET  /metrics            -> Prometheus text (registry + per-job gauges)
+///   GET  /jobs               -> {"jobs":[...]} summaries, stable id order;
+///                               ?status=running filters by lifecycle state
+///   GET  /jobs/{id}          -> live RunReport JSON (alias of /report)
+///   GET  /jobs/{id}/report   -> live RunReport JSON (updated at barriers)
+///   GET  /jobs/{id}/events   -> Chrome trace-event JSON from the journal
+/// Additional routes (the debug service's /jobs POST and /debug/* reads) are
+/// registered via RegisterRoute before Start.
 class TelemetryServer {
  public:
   struct Response {
     int status = 200;
     std::string content_type = "text/plain; charset=utf-8";
     std::string body;
+
+    static Response Json(std::string body, int status = 200) {
+      Response r;
+      r.status = status;
+      r.content_type = "application/json";
+      r.body = std::move(body);
+      return r;
+    }
   };
+
+  using RouteHandler = std::function<Response(const HttpRequest&)>;
+
+  /// HTTP status for a non-OK Status (kNotFound→404, kInvalidArgument→400,
+  /// kUnavailable→503, ...; unknown codes → 500).
+  static int HttpStatusFor(const Status& status);
+
+  /// The shared error envelope: {"error":{"status":...,"message":...}} with
+  /// HttpStatusFor's code.
+  static Response ErrorResponse(const Status& status);
 
   /// Binds, listens, and starts the listener + handler threads. Returns a
   /// running server or an IOError (address in use, bad host, ...).
   static Result<std::unique_ptr<TelemetryServer>> Start(
       TelemetryServerOptions options);
 
+  /// Builds a server without binding — for registering routes (and routing
+  /// tests via Handle). Call Serve() to bind and start threads.
+  static std::unique_ptr<TelemetryServer> Create(
+      TelemetryServerOptions options);
+
+  /// Binds and starts the listener + handler threads on a Create()d server.
+  Status Serve();
+
   ~TelemetryServer();
   TelemetryServer(const TelemetryServer&) = delete;
   TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Registers a handler for `method` + `pattern` ("/jobs/{id}/report").
+  /// Not thread-safe once the server is started; register before Start.
+  void RegisterRoute(std::string method, std::string pattern,
+                     RouteHandler handler);
 
   /// Stops accepting, drains handler threads, closes the socket. Idempotent.
   void Stop();
@@ -68,8 +141,13 @@ class TelemetryServer {
   const std::string& host() const { return options_.host; }
 
   /// Pure request router — exposed so tests can exercise routing without a
-  /// socket. `target` is the request path (query strings are stripped).
-  Response Handle(std::string_view method, std::string_view target) const;
+  /// socket. `target` is the request target (query strings are parsed, not
+  /// required to be pre-stripped).
+  Response Handle(std::string_view method, std::string_view target) const {
+    return Handle(method, target, std::string_view());
+  }
+  Response Handle(std::string_view method, std::string_view target,
+                  std::string_view body) const;
 
   /// Total requests served (any status), for tests and smoke checks.
   uint64_t requests_served() const {
@@ -77,14 +155,23 @@ class TelemetryServer {
   }
 
  private:
+  struct Route {
+    std::string method;
+    std::string pattern;
+    std::vector<std::string> segments;  // pattern split on '/'
+    RouteHandler handler;
+  };
+
   explicit TelemetryServer(TelemetryServerOptions options);
 
+  void RegisterBuiltinRoutes();
   Status Bind();
   void ListenLoop();
   void HandlerLoop();
   void ServeConnection(int fd);
 
   TelemetryServerOptions options_;
+  std::vector<Route> routes_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

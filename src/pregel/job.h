@@ -19,6 +19,7 @@
 #include "debug/debug_config.h"
 #include "debug/instrumented_computation.h"
 #include "io/fault_injecting_trace_store.h"
+#include "io/trace_block_cache.h"
 #include "io/trace_sink.h"
 #include "io/trace_store.h"
 #include "obs/event_journal.h"
@@ -230,6 +231,12 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
     // reads with the old index; captures start from a clean slate.
     GRAFT_RETURN_NOT_OK(
         trace_store->DeletePrefix(debug::ManifestFile(spec.options.job_id)));
+    // Mirror in the shared block cache: cached blocks from an earlier run
+    // under this job id (same store, same file names) must not satisfy reads
+    // of the new run's traces. Keyed by the *user's* store — that is the one
+    // DebugSession readers open (the fault decorator has its own uid).
+    TraceBlockCache::Global().InvalidatePrefix(*spec.trace_store,
+                                               spec.options.job_id + "/");
   }
 
   // BSP sanitizer: one shared instance across recovery attempts (like the
@@ -402,6 +409,12 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
         // exactly the fault-free ones.
         GRAFT_RETURN_NOT_OK(
             debug::PruneTracesFrom(*trace_store, job_id, resume));
+        // Re-executed supersteps rewrite files under their old names;
+        // cached blocks of the pruned files are now stale.
+        if (spec.trace_store != nullptr) {
+          TraceBlockCache::Global().InvalidatePrefix(*spec.trace_store,
+                                                     job_id + "/");
+        }
       }
       if (bsp) {
         // In-memory mirror of the prune: forget findings from the pruned

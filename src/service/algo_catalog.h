@@ -1,0 +1,76 @@
+#ifndef GRAFT_SERVICE_ALGO_CATALOG_H_
+#define GRAFT_SERVICE_ALGO_CATALOG_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "debug/views/view_api.h"
+#include "io/trace_block_cache.h"
+#include "io/trace_store.h"
+#include "obs/job_registry.h"
+#include "obs/metrics.h"
+#include "service/job_request.h"
+
+namespace graft {
+namespace service {
+
+/// Everything a catalog runner needs from the hosting service.
+struct RunEnv {
+  TraceStore* store = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::JobRegistry* registry = nullptr;
+};
+
+/// Named algorithms the debug service can execute and read back. Each entry
+/// erases one Traits type behind two closures: a Runner that builds the
+/// JobSpec (graph, computation, capture config from the request) and drives
+/// RunJob, and a Viewer that opens a cached DebugSession over the finished
+/// job and renders one ViewRequest. Registration happens once at static-init
+/// time in algo_catalog.cc; the catalog is immutable afterwards, so lookups
+/// are lock-free.
+class AlgoCatalog {
+ public:
+  using Runner = std::function<Status(const JobRequest&, const RunEnv&)>;
+  using Viewer = std::function<Result<debug::ViewResult>(
+      const TraceStore&, const std::string& job_id, TraceBlockCache*,
+      const debug::ViewRequest&)>;
+
+  /// The built-in catalog: pagerank, cc, sssp.
+  static const AlgoCatalog& Global();
+
+  AlgoCatalog() = default;
+
+  void Register(std::string name, Runner runner, Viewer viewer);
+
+  bool Has(const std::string& name) const {
+    return entries_.count(name) != 0;
+  }
+  /// Registered algo names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Runs `request` to completion (blocking; meant for a JobQueue worker).
+  /// Returns spec errors; job-level failures land in the registry entry.
+  Status Run(const JobRequest& request, const RunEnv& env) const;
+
+  /// Opens `job_id` with `request.algo`'s Traits and renders one view.
+  Result<debug::ViewResult> View(const std::string& algo,
+                                 const TraceStore& store,
+                                 const std::string& job_id,
+                                 TraceBlockCache* cache,
+                                 const debug::ViewRequest& request) const;
+
+ private:
+  struct Entry {
+    Runner runner;
+    Viewer viewer;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace service
+}  // namespace graft
+
+#endif  // GRAFT_SERVICE_ALGO_CATALOG_H_

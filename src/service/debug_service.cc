@@ -1,0 +1,428 @@
+#include "service/debug_service.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/json_parser.h"
+#include "common/json_writer.h"
+#include "common/string_util.h"
+#include "debug/capture_manager.h"
+#include "debug/debug_session.h"
+#include "debug/vertex_trace.h"
+
+namespace graft {
+namespace service {
+
+namespace {
+
+using obs::HttpRequest;
+using Response = obs::TelemetryServer::Response;
+
+/// Largest page a single read answers; larger asks are clamped, not errors.
+constexpr uint64_t kMaxPageLimit = 10'000;
+
+Result<debug::ViewRequest> ParseViewRequest(const HttpRequest& request,
+                                            debug::ViewKind kind) {
+  debug::ViewRequest view;
+  view.kind = kind;
+  // The HTTP debug API answers JSON unless asked for the terminal rendering.
+  view.format = debug::ViewFormat::kJson;
+  const std::string format = request.QueryParam("format", "json");
+  if (format == "text") {
+    view.format = debug::ViewFormat::kText;
+  } else if (format != "json") {
+    return Status::InvalidArgument("format must be json or text");
+  }
+  if (const std::string s = request.QueryParam("superstep"); !s.empty()) {
+    int64_t superstep = 0;
+    if (!ParseInt64(s, &superstep)) {
+      return Status::InvalidArgument("superstep must be an integer");
+    }
+    view.superstep = superstep;
+  }
+  if (const std::string s = request.QueryParam("offset"); !s.empty()) {
+    int64_t offset = 0;
+    if (!ParseInt64(s, &offset) || offset < 0) {
+      return Status::InvalidArgument("offset must be a non-negative integer");
+    }
+    view.offset = static_cast<uint64_t>(offset);
+  }
+  if (const std::string s = request.QueryParam("limit"); !s.empty()) {
+    if (s == "all") {
+      view.limit = debug::kViewNoLimit;
+    } else {
+      int64_t limit = 0;
+      if (!ParseInt64(s, &limit) || limit < 1) {
+        return Status::InvalidArgument("limit must be a positive integer or 'all'");
+      }
+      view.limit = std::min<uint64_t>(static_cast<uint64_t>(limit),
+                                      kMaxPageLimit);
+    }
+  }
+  view.search = request.QueryParam("search");
+  return view;
+}
+
+Response RenderedView(const debug::ViewResult& view,
+                      debug::ViewFormat format) {
+  if (format == debug::ViewFormat::kJson) {
+    return Response::Json(view.ToJson());
+  }
+  Response r;
+  r.body = view.ToText();
+  return r;
+}
+
+}  // namespace
+
+DebugService::DebugService(DebugServiceOptions options)
+    : options_(options),
+      queue_(options.worker_threads, options.queue_capacity) {
+  if (options_.registry == nullptr) {
+    options_.registry = &obs::JobRegistry::Global();
+  }
+  if (options_.cache == nullptr) options_.cache = &TraceBlockCache::Global();
+  if (options_.catalog == nullptr) options_.catalog = &AlgoCatalog::Global();
+}
+
+DebugService::~DebugService() { queue_.Stop(); }
+
+void DebugService::RegisterRoutes(obs::TelemetryServer* server) {
+  server->RegisterRoute("POST", "/jobs", [this](const HttpRequest& request) {
+    return HandleSubmit(request);
+  });
+  server->RegisterRoute("GET", "/jobs/{id}/debug/supersteps",
+                        [this](const HttpRequest& request) {
+                          return HandleSupersteps(request);
+                        });
+  server->RegisterRoute("GET", "/jobs/{id}/debug/master",
+                        [this](const HttpRequest& request) {
+                          return HandleMaster(request);
+                        });
+  server->RegisterRoute("GET", "/jobs/{id}/debug/vertices",
+                        [this](const HttpRequest& request) {
+                          return HandleView(request, debug::ViewKind::kTabular);
+                        });
+  server->RegisterRoute(
+      "GET", "/jobs/{id}/debug/violations",
+      [this](const HttpRequest& request) {
+        return HandleView(request, debug::ViewKind::kViolations);
+      });
+  server->RegisterRoute("GET", "/jobs/{id}/debug/vertex/{vid}",
+                        [this](const HttpRequest& request) {
+                          return HandleView(request, debug::ViewKind::kVertex);
+                        });
+}
+
+Result<JobRequest> DebugService::Submit(std::string_view body) {
+  GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<JsonValue> spec, ParseJson(body));
+  const uint64_t sequence =
+      sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  GRAFT_ASSIGN_OR_RETURN(JobRequest request,
+                         ParseJobRequest(*spec, sequence));
+  if (!options_.catalog->Has(request.algo)) {
+    return Status::InvalidArgument(
+        "unknown algo '" + request.algo + "' (have: " +
+        JoinStrings(options_.catalog->Names(), ", ") + ")");
+  }
+  // Resubmitting a *finished* job id re-runs it (RunJob wipes the stale
+  // manifest and invalidates cached blocks); a live one is a conflict.
+  std::shared_ptr<obs::JobEntry> existing =
+      options_.registry->Find(request.job_id);
+  if (existing != nullptr) {
+    const obs::JobState state = existing->state();
+    if (state != obs::JobState::kDone && state != obs::JobState::kFailed) {
+      return Status::AlreadyExists("job '" + request.job_id + "' is already " +
+                                   obs::JobStateName(state));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_algos_[request.job_id] = request.algo;
+  }
+  // Visible as pending immediately; RunJob re-registers (replacing this
+  // entry) when a worker picks the job up.
+  std::shared_ptr<obs::JobEntry> entry =
+      options_.registry->Register(request.job_id);
+  RunEnv env{options_.store, options_.metrics, options_.registry};
+  const AlgoCatalog* catalog = options_.catalog;
+  JobRequest queued = request;
+  Status submitted = queue_.Submit([catalog, queued, env] {
+    Status run = catalog->Run(queued, env);
+    if (!run.ok()) {
+      // Spec-level failures never reach RunJob's own registry publishing;
+      // surface them on the pending entry so pollers see a terminal state.
+      std::shared_ptr<obs::JobEntry> failed =
+          env.registry->Find(queued.job_id);
+      if (failed != nullptr) failed->Finish(false, run.ToString());
+    }
+  });
+  if (!submitted.ok()) {
+    entry->Finish(false, submitted.ToString());
+    return submitted;
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("service.jobs_submitted_total")->Increment();
+  }
+  return request;
+}
+
+std::string DebugService::AlgoForJob(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = job_algos_.find(job_id);
+  return it != job_algos_.end() ? it->second : "";
+}
+
+Status DebugService::CheckReadable(const std::string& job_id) const {
+  std::shared_ptr<obs::JobEntry> entry = options_.registry->Find(job_id);
+  if (entry == nullptr) return Status::OK();  // pre-existing traces
+  const obs::JobState state = entry->state();
+  if (state == obs::JobState::kDone || state == obs::JobState::kFailed) {
+    return Status::OK();
+  }
+  return Status::FailedPrecondition(
+      "job '" + job_id + "' is still " + obs::JobStateName(state) +
+      "; debug reads require a finished job");
+}
+
+Response DebugService::HandleSubmit(const HttpRequest& request) {
+  Result<JobRequest> accepted = Submit(request.body);
+  if (!accepted.ok()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetCounter("service.jobs_rejected_total")->Increment();
+    }
+    return obs::TelemetryServer::ErrorResponse(accepted.status());
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("job_id", accepted->job_id);
+  w.KV("algo", accepted->algo);
+  w.KV("state", "pending");
+  w.Key("endpoints");
+  w.BeginObject();
+  w.KV("report", "/jobs/" + accepted->job_id + "/report");
+  w.KV("events", "/jobs/" + accepted->job_id + "/events");
+  w.KV("debug", "/jobs/" + accepted->job_id + "/debug/supersteps");
+  w.EndObject();
+  w.EndObject();
+  return Response::Json(w.TakeString(), /*status=*/202);
+}
+
+Response DebugService::HandleSupersteps(const HttpRequest& request) {
+  const std::string& job_id = request.params.at("id");
+  if (Status readable = CheckReadable(job_id); !readable.ok()) {
+    return obs::TelemetryServer::ErrorResponse(readable);
+  }
+  auto manifest = debug::LoadTraceManifestCached(*options_.store, job_id,
+                                                 options_.cache);
+  if (!manifest.ok()) {
+    return obs::TelemetryServer::ErrorResponse(manifest.status());
+  }
+  // (superstep → {vertex records, has master}) from the manifest's index, or
+  // from a directory scan for manifest-less (crashed / pre-v2) jobs.
+  std::map<int64_t, std::pair<uint64_t, bool>> steps;
+  if (manifest->has_value()) {
+    for (const debug::TraceManifestEntry& entry : (*manifest)->entries) {
+      auto& slot = steps[entry.superstep];
+      if (entry.kind == debug::TraceRecordKind::kVertex) ++slot.first;
+      if (entry.kind == debug::TraceRecordKind::kMaster) slot.second = true;
+    }
+  } else {
+    for (int64_t superstep :
+         debug::ListCapturedSupersteps(*options_.store, job_id)) {
+      steps.emplace(superstep, std::make_pair(uint64_t{0}, false));
+    }
+  }
+  if (steps.empty()) {
+    return obs::TelemetryServer::ErrorResponse(
+        Status::NotFound("job '" + job_id + "' has no captures"));
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("service.debug_reads_total")->Increment();
+  }
+  if (request.QueryParam("format", "json") == "text") {
+    Response r;
+    r.body = StrFormat("job '%s': %llu captured supersteps\n", job_id.c_str(),
+                       static_cast<unsigned long long>(steps.size()));
+    for (const auto& [superstep, info] : steps) {
+      r.body += StrFormat("superstep %lld: %llu vertex records%s\n",
+                          static_cast<long long>(superstep),
+                          static_cast<unsigned long long>(info.first),
+                          info.second ? ", master" : "");
+    }
+    return r;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("job", job_id);
+  w.KV("manifest", manifest->has_value());
+  w.Key("supersteps");
+  w.BeginArray();
+  for (const auto& [superstep, info] : steps) {
+    w.BeginObject();
+    w.KV("superstep", superstep);
+    w.KV("vertex_records", info.first);
+    w.KV("master", info.second);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return Response::Json(w.TakeString());
+}
+
+Response DebugService::HandleMaster(const HttpRequest& request) {
+  const std::string& job_id = request.params.at("id");
+  if (Status readable = CheckReadable(job_id); !readable.ok()) {
+    return obs::TelemetryServer::ErrorResponse(readable);
+  }
+  // The manifest's kMaster entries answer "which supersteps have a master
+  // trace" from memory. Gating reads on it matters for the cache: absence is
+  // never cached, so probing the store for a missing master file would cost
+  // one read per request forever.
+  auto manifest = debug::LoadTraceManifestCached(*options_.store, job_id,
+                                                 options_.cache);
+  if (!manifest.ok()) {
+    return obs::TelemetryServer::ErrorResponse(manifest.status());
+  }
+  int64_t superstep = -1;
+  if (const std::string s = request.QueryParam("superstep"); !s.empty()) {
+    if (!ParseInt64(s, &superstep)) {
+      return obs::TelemetryServer::ErrorResponse(
+          Status::InvalidArgument("superstep must be an integer"));
+    }
+    if (manifest->has_value()) {
+      bool has_master = false;
+      for (const debug::TraceManifestEntry& entry : (*manifest)->entries) {
+        if (entry.kind == debug::TraceRecordKind::kMaster &&
+            entry.superstep == superstep) {
+          has_master = true;
+          break;
+        }
+      }
+      if (!has_master) {
+        return obs::TelemetryServer::ErrorResponse(Status::NotFound(
+            StrFormat("no master trace for superstep %lld of job '%s'",
+                      static_cast<long long>(superstep), job_id.c_str())));
+      }
+    }
+  } else {
+    // Default: the first superstep with a master record (manifest-backed),
+    // else the first captured superstep.
+    bool found = false;
+    if (manifest->has_value()) {
+      for (const debug::TraceManifestEntry& entry : (*manifest)->entries) {
+        if (entry.kind != debug::TraceRecordKind::kMaster) continue;
+        if (!found || entry.superstep < superstep) superstep = entry.superstep;
+        found = true;
+      }
+      if (!found) {
+        return obs::TelemetryServer::ErrorResponse(
+            Status::NotFound("job '" + job_id + "' has no master traces"));
+      }
+    }
+    if (!found) {
+      std::vector<int64_t> steps =
+          debug::ListCapturedSupersteps(*options_.store, job_id);
+      if (steps.empty()) {
+        return obs::TelemetryServer::ErrorResponse(
+            Status::NotFound("job '" + job_id + "' has no captures"));
+      }
+      superstep = steps.front();
+    }
+  }
+  auto record = options_.cache->ReadRecord(
+      *options_.store, debug::MasterTraceFile(job_id, superstep), 0);
+  if (!record.ok()) {
+    if (record.status().IsNotFound()) {
+      return obs::TelemetryServer::ErrorResponse(Status::NotFound(
+          StrFormat("no master trace for superstep %lld of job '%s'",
+                    static_cast<long long>(superstep), job_id.c_str())));
+    }
+    return obs::TelemetryServer::ErrorResponse(record.status());
+  }
+  auto master = debug::MasterTrace::Deserialize(*record);
+  if (!master.ok()) {
+    return obs::TelemetryServer::ErrorResponse(master.status());
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("service.debug_reads_total")->Increment();
+  }
+  if (request.QueryParam("format", "json") == "text") {
+    Response r;
+    r.body = StrFormat(
+        "=== Master — job '%s' — superstep %lld ===\n"
+        "vertices=%lld edges=%lld halted=%s\n",
+        job_id.c_str(), static_cast<long long>(master->superstep),
+        static_cast<long long>(master->total_vertices),
+        static_cast<long long>(master->total_edges),
+        master->halted ? "yes" : "no");
+    for (const auto& [name, value] : master->aggregators_after) {
+      r.body += "  " + name + " = " + value.ToString() + "\n";
+    }
+    return r;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("job", job_id);
+  w.KV("superstep", master->superstep);
+  w.KV("total_vertices", master->total_vertices);
+  w.KV("total_edges", master->total_edges);
+  w.KV("halted", master->halted);
+  w.Key("aggregators_before");
+  w.BeginObject();
+  for (const auto& [name, value] : master->aggregators) {
+    w.KV(name, value.ToString());
+  }
+  w.EndObject();
+  w.Key("aggregators_after");
+  w.BeginObject();
+  for (const auto& [name, value] : master->aggregators_after) {
+    w.KV(name, value.ToString());
+  }
+  w.EndObject();
+  w.EndObject();
+  return Response::Json(w.TakeString());
+}
+
+Response DebugService::HandleView(const HttpRequest& request,
+                                  debug::ViewKind kind) {
+  const std::string& job_id = request.params.at("id");
+  if (Status readable = CheckReadable(job_id); !readable.ok()) {
+    return obs::TelemetryServer::ErrorResponse(readable);
+  }
+  std::string algo = request.QueryParam("algo");
+  if (algo.empty()) algo = AlgoForJob(job_id);
+  if (algo.empty()) {
+    return obs::TelemetryServer::ErrorResponse(Status::InvalidArgument(
+        "job '" + job_id +
+        "' was not submitted through this service; pass ?algo= (have: " +
+        JoinStrings(options_.catalog->Names(), ", ") + ")"));
+  }
+  Result<debug::ViewRequest> view = ParseViewRequest(request, kind);
+  if (!view.ok()) return obs::TelemetryServer::ErrorResponse(view.status());
+  if (kind == debug::ViewKind::kVertex) {
+    int64_t vid = 0;
+    if (!ParseInt64(request.params.at("vid"), &vid)) {
+      return obs::TelemetryServer::ErrorResponse(
+          Status::InvalidArgument("vertex id must be an integer"));
+    }
+    view->vertex = vid;
+  }
+  Result<debug::ViewResult> result = options_.catalog->View(
+      algo, *options_.store, job_id, options_.cache, *view);
+  if (!result.ok()) {
+    return obs::TelemetryServer::ErrorResponse(result.status());
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("service.debug_reads_total")->Increment();
+    options_.metrics
+        ->GetCounter(StrFormat("service.debug_reads.%s_total",
+                               debug::ViewKindName(kind)))
+        ->Increment();
+  }
+  return RenderedView(*result, view->format);
+}
+
+}  // namespace service
+}  // namespace graft

@@ -1,0 +1,113 @@
+#ifndef GRAFT_SERVICE_DEBUG_SERVICE_H_
+#define GRAFT_SERVICE_DEBUG_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "io/trace_block_cache.h"
+#include "io/trace_store.h"
+#include "obs/job_registry.h"
+#include "obs/metrics.h"
+#include "obs/telemetry_server.h"
+#include "service/algo_catalog.h"
+#include "service/job_queue.h"
+
+namespace graft {
+namespace service {
+
+struct DebugServiceOptions {
+  /// Trace store jobs write to and debug reads read from. Required.
+  TraceStore* store = nullptr;
+  /// Job directory submissions register into (null = JobRegistry::Global()).
+  obs::JobRegistry* registry = nullptr;
+  /// Metrics for the run + read paths (may be null).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Shared decoded-block cache debug reads go through
+  /// (null = TraceBlockCache::Global()).
+  TraceBlockCache* cache = nullptr;
+  /// Catalog of runnable algos (null = AlgoCatalog::Global()).
+  const AlgoCatalog* catalog = nullptr;
+  /// Worker threads executing submitted jobs.
+  int worker_threads = 2;
+  /// Submissions queued beyond the running ones before POST /jobs answers
+  /// 503.
+  size_t queue_capacity = 16;
+};
+
+/// Graft-as-a-service (DESIGN.md §13): job submission over HTTP plus the
+/// paginated debug read API, layered onto a TelemetryServer's route table.
+///
+///   POST /jobs                       accept a JSON job spec, run it on the
+///                                    worker pool; 202 {job_id,...},
+///                                    400 bad spec, 409 duplicate id,
+///                                    503 queue full
+///   GET  /jobs/{id}/debug/supersteps captured supersteps (manifest-backed)
+///   GET  /jobs/{id}/debug/vertices   one superstep's captures, paginated
+///   GET  /jobs/{id}/debug/vertex/{vid}  point lookup / full history
+///   GET  /jobs/{id}/debug/master     a superstep's master trace
+///   GET  /jobs/{id}/debug/violations constraint violations + exceptions
+///
+/// Common read query parameters: superstep=N (default: first captured),
+/// offset / limit (limit=all disables), search=<q>, format=json|text.
+/// Reads of a job that is still pending/running answer 409 — traces are
+/// complete only after the run finishes; reads of unknown jobs 404.
+///
+/// Every read opens a DebugSession through the shared TraceBlockCache, so N
+/// concurrent readers of the same job decode each trace block once.
+class DebugService {
+ public:
+  explicit DebugService(DebugServiceOptions options);
+  ~DebugService();
+  DebugService(const DebugService&) = delete;
+  DebugService& operator=(const DebugService&) = delete;
+
+  /// Registers the POST /jobs and /jobs/{id}/debug/* routes. Call before
+  /// the server starts serving.
+  void RegisterRoutes(obs::TelemetryServer* server);
+
+  /// Parses + enqueues one job-spec body; returns the accepted request
+  /// (job_id filled). Exposed for tests and non-HTTP embedders.
+  Result<JobRequest> Submit(std::string_view body);
+
+  /// Blocks until every accepted job has finished. Test hook.
+  void DrainJobs() { queue_.Drain(); }
+
+  uint64_t jobs_submitted() const {
+    return sequence_.load(std::memory_order_relaxed);
+  }
+
+  /// The algo recorded for `job_id` at submit time ("" when unknown — e.g.
+  /// jobs run outside this service).
+  std::string AlgoForJob(const std::string& job_id) const;
+
+ private:
+  obs::TelemetryServer::Response HandleSubmit(
+      const obs::HttpRequest& request);
+  obs::TelemetryServer::Response HandleSupersteps(
+      const obs::HttpRequest& request);
+  obs::TelemetryServer::Response HandleMaster(
+      const obs::HttpRequest& request);
+  obs::TelemetryServer::Response HandleView(const obs::HttpRequest& request,
+                                            debug::ViewKind kind);
+
+  /// kFailedPrecondition while the job is still pending/running/recovering,
+  /// OK when finished or unknown to the registry (pre-existing traces).
+  Status CheckReadable(const std::string& job_id) const;
+
+  DebugServiceOptions options_;
+  JobQueue queue_;
+  std::atomic<uint64_t> sequence_{0};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> job_algos_;
+};
+
+}  // namespace service
+}  // namespace graft
+
+#endif  // GRAFT_SERVICE_DEBUG_SERVICE_H_

@@ -1,0 +1,83 @@
+#include "service/job_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace graft {
+namespace service {
+
+JobQueue::JobQueue(int workers, size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  const int n = std::max(1, workers);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+JobQueue::~JobQueue() { Stop(); }
+
+Status JobQueue::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return Status::Unavailable("job queue is shutting down");
+    }
+    if (tasks_.size() >= capacity_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("job queue is full; retry later");
+    }
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+void JobQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // A second Stop still joins below in case the first lost a race, but
+      // joined threads are skipped via joinable().
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void JobQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && running_ == 0; });
+}
+
+size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size() + running_;
+}
+
+void JobQueue::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ with a drained backlog
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++running_;
+    }
+    task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace service
+}  // namespace graft

@@ -1,0 +1,70 @@
+#ifndef GRAFT_SERVICE_JOB_QUEUE_H_
+#define GRAFT_SERVICE_JOB_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace graft {
+namespace service {
+
+/// Bounded task queue with a fixed worker pool — the execution engine behind
+/// POST /jobs. Submissions beyond `capacity` are rejected with kUnavailable
+/// (the HTTP layer maps that to 503 + Retry-After semantics) instead of
+/// queuing unboundedly: a debug service that accepts every job and runs them
+/// hours later is worse than one that says "busy".
+///
+/// Stop() drains: workers finish the tasks already accepted, then exit.
+/// Tasks must not throw.
+class JobQueue {
+ public:
+  JobQueue(int workers, size_t capacity);
+  ~JobQueue();
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueues `task` for a worker; kUnavailable when the queue is at
+  /// capacity or the queue is stopping.
+  Status Submit(std::function<void()> task);
+
+  /// Stops accepting and joins workers after the accepted backlog drains.
+  /// Idempotent.
+  void Stop();
+
+  /// Blocks until every accepted task has finished executing. Test hook.
+  void Drain();
+
+  size_t depth() const;
+  uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> tasks_;
+  size_t running_ = 0;
+  bool stopping_ = false;
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace service
+}  // namespace graft
+
+#endif  // GRAFT_SERVICE_JOB_QUEUE_H_

@@ -1,0 +1,252 @@
+// TraceBlockCache: the shared decoded-block LRU behind the debug service's
+// read path (DESIGN.md §13). Covers the byte-budget eviction discipline,
+// hit/miss/invalidation counters, store-uid keying (ABA safety), the
+// never-cache-absence rule for GetOrLoad, and concurrent readers sharing one
+// cache without tearing.
+
+#include "io/trace_block_cache.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/trace_store.h"
+#include "obs/metrics.h"
+
+namespace graft {
+namespace {
+
+std::string Payload(int i, size_t bytes) {
+  std::string s = "record-" + std::to_string(i) + "-";
+  s.resize(bytes, 'x');
+  return s;
+}
+
+TEST(TraceBlockCacheTest, FileBlockHitAvoidsStoreRead) {
+  InMemoryTraceStore store;
+  ASSERT_TRUE(store.Append("job/a.vtrace", "r0").ok());
+  ASSERT_TRUE(store.Append("job/a.vtrace", "r1").ok());
+
+  TraceBlockCache cache;
+  auto first = cache.GetFileBlock(store, "job/a.vtrace");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ((*first)->size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  auto second = cache.GetFileBlock(store, "job/a.vtrace");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same shared block
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(TraceBlockCacheTest, ReadRecordWarmDoesZeroStoreReads) {
+  InMemoryTraceStore store;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(store.Append("job/a.vtrace", Payload(i, 16)).ok());
+  }
+  TraceBlockCache cache;
+  auto cold = cache.ReadRecord(store, "job/a.vtrace", 3);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->substr(0, 9), "record-3-");
+
+  const auto warm_misses = cache.stats().misses;
+  for (uint64_t i = 0; i < 16; ++i) {
+    auto record = cache.ReadRecord(store, "job/a.vtrace", i);
+    ASSERT_TRUE(record.ok());
+  }
+  EXPECT_EQ(cache.stats().misses, warm_misses);  // all from the cached block
+  EXPECT_GE(cache.stats().hits, 16u);
+
+  auto out_of_range = cache.ReadRecord(store, "job/a.vtrace", 99);
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TraceBlockCacheTest, MissingFileIsNotFoundAndNotCached) {
+  InMemoryTraceStore store;
+  TraceBlockCache cache;
+  EXPECT_EQ(cache.GetFileBlock(store, "no/such").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // The file appearing later must become visible — absence is never cached.
+  ASSERT_TRUE(store.Append("no/such", "r0").ok());
+  auto block = cache.GetFileBlock(store, "no/such");
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->size(), 1u);
+}
+
+TEST(TraceBlockCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  InMemoryTraceStore store;
+  constexpr size_t kRecordBytes = 1024;
+  for (int f = 0; f < 8; ++f) {
+    const std::string file = "job/f" + std::to_string(f);
+    ASSERT_TRUE(store.Append(file, Payload(f, kRecordBytes)).ok());
+  }
+  // One shard, budget for ~3 blocks: inserting 8 must evict.
+  TraceBlockCacheOptions options;
+  options.byte_budget = 3 * kRecordBytes + 512;
+  options.shards = 1;
+  TraceBlockCache cache(options);
+
+  for (int f = 0; f < 8; ++f) {
+    auto block = cache.GetFileBlock(store, "job/f" + std::to_string(f));
+    ASSERT_TRUE(block.ok());
+  }
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, options.byte_budget);
+  EXPECT_LT(stats.entries, 8u);
+
+  // The most recently inserted block survived; the oldest was evicted.
+  EXPECT_EQ(cache.stats().misses, 8u);
+  auto newest = cache.GetFileBlock(store, "job/f7");
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(cache.stats().misses, 8u);  // hit
+  auto oldest = cache.GetFileBlock(store, "job/f0");
+  ASSERT_TRUE(oldest.ok());
+  EXPECT_EQ(cache.stats().misses, 9u);  // had to reload
+}
+
+TEST(TraceBlockCacheTest, OversizedEntryStillServedOnceThenDropped) {
+  InMemoryTraceStore store;
+  ASSERT_TRUE(store.Append("job/huge", Payload(0, 4096)).ok());
+  TraceBlockCacheOptions options;
+  options.byte_budget = 256;  // smaller than the single block
+  options.shards = 1;
+  TraceBlockCache cache(options);
+  auto block = cache.GetFileBlock(store, "job/huge");
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->size(), 1u);
+  EXPECT_LE(cache.stats().bytes, options.byte_budget);
+}
+
+TEST(TraceBlockCacheTest, StoreUidKeysPreventAliasing) {
+  TraceBlockCache cache;
+  auto store_a = std::make_unique<InMemoryTraceStore>();
+  ASSERT_TRUE(store_a->Append("job/a", "from-a").ok());
+  auto block_a = cache.GetFileBlock(*store_a, "job/a");
+  ASSERT_TRUE(block_a.ok());
+
+  // A different store with the same file name must not see store_a's block.
+  InMemoryTraceStore store_b;
+  ASSERT_TRUE(store_b.Append("job/a", "from-b").ok());
+  auto block_b = cache.GetFileBlock(store_b, "job/a");
+  ASSERT_TRUE(block_b.ok());
+  EXPECT_EQ((*block_b)->at(0), "from-b");
+  EXPECT_EQ((*block_a)->at(0), "from-a");
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(TraceBlockCacheTest, InvalidatePrefixDropsOnlyThatJob) {
+  InMemoryTraceStore store;
+  ASSERT_TRUE(store.Append("job1/a", "r").ok());
+  ASSERT_TRUE(store.Append("job2/a", "r").ok());
+  TraceBlockCache cache;
+  ASSERT_TRUE(cache.GetFileBlock(store, "job1/a").ok());
+  ASSERT_TRUE(cache.GetFileBlock(store, "job2/a").ok());
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  cache.InvalidatePrefix(store, "job1/");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+
+  // job1 reloads (miss), job2 still hits.
+  const auto before = cache.stats();
+  ASSERT_TRUE(cache.GetFileBlock(store, "job2/a").ok());
+  EXPECT_EQ(cache.stats().misses, before.misses);
+  ASSERT_TRUE(cache.GetFileBlock(store, "job1/a").ok());
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);
+}
+
+TEST(TraceBlockCacheTest, GetOrLoadCachesValueButNeverAbsence) {
+  InMemoryTraceStore store;
+  TraceBlockCache cache;
+  std::atomic<int> loads{0};
+
+  auto loader = [&]() -> Result<std::pair<TraceBlockCache::AnyPtr, size_t>> {
+    loads.fetch_add(1);
+    auto value = std::make_shared<const std::string>("decoded");
+    return std::make_pair(TraceBlockCache::AnyPtr(value), value->size());
+  };
+  auto first = cache.GetOrLoad(store.store_uid(), "manifest/job", loader);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrLoad(store.store_uid(), "manifest/job", loader);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(loads.load(), 1);
+  EXPECT_EQ(first->get(), second->get());
+
+  // A loader returning null (absent manifest) is retried every time.
+  auto null_loader =
+      [&]() -> Result<std::pair<TraceBlockCache::AnyPtr, size_t>> {
+    loads.fetch_add(1);
+    return std::make_pair(TraceBlockCache::AnyPtr(), size_t{0});
+  };
+  ASSERT_TRUE(
+      cache.GetOrLoad(store.store_uid(), "manifest/absent", null_loader).ok());
+  ASSERT_TRUE(
+      cache.GetOrLoad(store.store_uid(), "manifest/absent", null_loader).ok());
+  EXPECT_EQ(loads.load(), 3);  // both null calls ran the loader
+}
+
+TEST(TraceBlockCacheTest, ExportMetricsPublishesCounters) {
+  InMemoryTraceStore store;
+  ASSERT_TRUE(store.Append("job/a", "r").ok());
+  TraceBlockCache cache;
+  ASSERT_TRUE(cache.GetFileBlock(store, "job/a").ok());
+  ASSERT_TRUE(cache.GetFileBlock(store, "job/a").ok());
+
+  obs::MetricsRegistry metrics;
+  cache.ExportMetrics(&metrics);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("tracecache.hits_total")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("tracecache.misses_total")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("tracecache.hit_rate")->value(), 0.5);
+  EXPECT_GT(metrics.GetGauge("tracecache.bytes")->value(), 0.0);
+  // Set() snapshots: a second export is idempotent.
+  cache.ExportMetrics(&metrics);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("tracecache.hits_total")->value(), 1.0);
+}
+
+TEST(TraceBlockCacheTest, ConcurrentReadersShareOneDecode) {
+  InMemoryTraceStore store;
+  constexpr int kFiles = 8;
+  for (int f = 0; f < kFiles; ++f) {
+    const std::string file = "job/f" + std::to_string(f);
+    for (int r = 0; r < 8; ++r) {
+      ASSERT_TRUE(store.Append(file, Payload(r, 64)).ok());
+    }
+  }
+  TraceBlockCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kReadsPerThread = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        const std::string file =
+            "job/f" + std::to_string((t + i) % kFiles);
+        auto record = cache.ReadRecord(store, file,
+                                       static_cast<uint64_t>(i % 8));
+        if (!record.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = cache.stats();
+  // Every thread read every file, but each file decoded at most a handful of
+  // times (racing first misses) — not once per read.
+  EXPECT_LE(stats.misses, static_cast<uint64_t>(kFiles * kThreads));
+  EXPECT_GE(stats.hits,
+            static_cast<uint64_t>(kThreads * kReadsPerThread) - stats.misses);
+}
+
+}  // namespace
+}  // namespace graft

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""CI smoke for Graft-as-a-service (DESIGN.md §13).
+
+Starts the debug_service_demo example, then drives the full HTTP surface:
+
+  1. POST /jobs submits a small PageRank job (202 + endpoints envelope);
+     reads of the job while it may still be running never answer 5xx;
+  2. /jobs/<id> is polled until the job reaches a terminal state;
+  3. the debug read API is paged end to end: /debug/supersteps,
+     /debug/vertices (two pages + search), /debug/vertex/<vid> (point lookup
+     and full history), /debug/master, /debug/violations — each validated as
+     JSON with the expected shape, plus one format=text rendering;
+  4. error semantics: unknown job 404, bad query 400, bad body 400,
+     duplicate live id 409 — all carried in the {"error": ...} envelope;
+  5. /metrics exports the trace-block cache counters (tracecache_*), and a
+     re-read of a paged view leaves the miss counter unchanged (warm cache).
+
+Usage: tools/debug_service_smoke.py ./build/examples/debug_service_demo
+Exits non-zero with a diagnostic on the first violated check.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+JOB_ID = "smoke-pr"
+VERTICES = 60
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(port, path, body=None, method=None):
+    """Returns (status, text). HTTP errors are returned, not raised."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body.encode("utf-8") if body is not None else None,
+        method=method or ("POST" if body is not None else "GET"),
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode("utf-8")
+
+
+def get_json(port, path, want_status=200):
+    status, text = request(port, path)
+    if status != want_status:
+        fail(f"GET {path} answered {status} (want {want_status}): {text}")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as err:
+        fail(f"GET {path} is not JSON ({err}): {text!r}")
+
+
+def expect_error(port, path, want_status, body=None, method=None):
+    status, text = request(port, path, body=body, method=method)
+    if status != want_status:
+        fail(f"{path} answered {status}, want {want_status}: {text}")
+    envelope = json.loads(text)
+    if "error" not in envelope or "message" not in envelope["error"]:
+        fail(f"{path} error lacks the envelope: {text}")
+
+
+def cache_counters(port):
+    status, text = request(port, "/metrics")
+    if status != 200:
+        fail(f"/metrics answered {status}")
+    counters = {}
+    for line in text.splitlines():
+        match = re.match(r"^(graft_tracecache_\w+) ([0-9.eE+-]+)$", line)
+        if match:
+            counters[match.group(1)] = float(match.group(2))
+    return counters
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    demo = subprocess.Popen(
+        [sys.argv[1]],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        header = demo.stdout.readline().strip()
+        match = re.match(r"DEBUG_SERVICE port=(\d+)", header)
+        if not match:
+            fail(f"unexpected demo header line: {header!r}")
+        port = int(match.group(1))
+
+        # -- submit ---------------------------------------------------------
+        spec = {
+            "algo": "pagerank",
+            "job_id": JOB_ID,
+            "graph": {"generator": "erdos-renyi", "vertices": VERTICES,
+                      "edges": VERTICES * 4, "seed": 11},
+            "params": {"iterations": 4},
+            "journal": False,
+        }
+        status, text = request(port, "/jobs", body=json.dumps(spec))
+        if status != 202:
+            fail(f"POST /jobs answered {status}: {text}")
+        accepted = json.loads(text)
+        if accepted.get("job_id") != JOB_ID:
+            fail(f"submit envelope lacks job_id: {accepted}")
+        if not accepted.get("endpoints", {}).get("debug"):
+            fail(f"submit envelope lacks debug endpoint: {accepted}")
+
+        # Reads while the job may still be running must be 409/404/200 —
+        # never a 5xx (the still-running policy).
+        status, text = request(port, f"/jobs/{JOB_ID}/debug/supersteps")
+        if status >= 500:
+            fail(f"mid-run debug read answered {status}: {text}")
+
+        # -- poll to terminal state ----------------------------------------
+        deadline = time.monotonic() + 30.0
+        state = None
+        while time.monotonic() < deadline:
+            listing = get_json(port, "/jobs")
+            entry = next(
+                (j for j in listing.get("jobs", [])
+                 if j.get("job_id") == JOB_ID), None)
+            if entry is None:
+                fail(f"/jobs does not list {JOB_ID}: {listing}")
+            state = entry.get("state")
+            if state in ("done", "failed"):
+                break
+            time.sleep(0.1)
+        if state != "done":
+            fail(f"job did not finish: state={state}")
+        if not any(j["job_id"] == JOB_ID
+                   for j in get_json(port, "/jobs?status=done")["jobs"]):
+            fail("/jobs?status=done does not list the finished job")
+
+        # -- page the debug views ------------------------------------------
+        steps = get_json(port, f"/jobs/{JOB_ID}/debug/supersteps")
+        if not steps.get("manifest"):
+            fail(f"supersteps view reports no manifest: {steps}")
+        supersteps = [s["superstep"] for s in steps["supersteps"]]
+        if not supersteps or supersteps != sorted(supersteps):
+            fail(f"supersteps missing or unsorted: {supersteps}")
+        if sum(s["vertex_records"] for s in steps["supersteps"]) == 0:
+            fail(f"no vertex records captured: {steps}")
+
+        target = supersteps[min(1, len(supersteps) - 1)]
+        seen = []
+        offset = 0
+        while True:
+            page = get_json(
+                port,
+                f"/jobs/{JOB_ID}/debug/vertices?superstep={target}"
+                f"&offset={offset}&limit=25",
+            )
+            meta = page["page"]
+            rows = page["vertices"]
+            if len(rows) != meta["returned"]:
+                fail(f"page returned mismatch: {meta} vs {len(rows)} rows")
+            seen.extend(row["id"] for row in rows)
+            offset += len(rows)
+            if offset >= meta["total"] or not rows:
+                break
+        if len(seen) != VERTICES or len(set(seen)) != VERTICES:
+            fail(
+                f"paging did not cover all {VERTICES} vertices exactly once: "
+                f"{len(seen)} rows, {len(set(seen))} unique"
+            )
+
+        search = get_json(
+            port,
+            f"/jobs/{JOB_ID}/debug/vertices?superstep={target}"
+            "&search=no-such-value",
+        )
+        if search["page"]["total"] != 0 or search["vertices"]:
+            fail(f"search filter did not narrow the view: {search['page']}")
+
+        vid = seen[0]
+        point = get_json(
+            port, f"/jobs/{JOB_ID}/debug/vertex/{vid}?superstep={target}")
+        if [row["id"] for row in point["vertices"]] != [vid]:
+            fail(f"point lookup wrong rows: {point['vertices']}")
+        # The final superstep is usually master-only (all vertices halted,
+        # nothing computed), so compare against supersteps that actually
+        # captured vertex records.
+        vertex_steps = [
+            s["superstep"] for s in steps["supersteps"]
+            if s["vertex_records"] > 0
+        ]
+        history = get_json(port, f"/jobs/{JOB_ID}/debug/vertex/{vid}")
+        if len(history["vertices"]) < len(vertex_steps):
+            fail(
+                f"history has {len(history['vertices'])} rows for "
+                f"{len(vertex_steps)} vertex-capturing supersteps"
+            )
+
+        master = get_json(port, f"/jobs/{JOB_ID}/debug/master")
+        if master.get("total_vertices") != VERTICES:
+            fail(f"master trace wrong vertex count: {master}")
+        violations = get_json(port, f"/jobs/{JOB_ID}/debug/violations")
+        if "violations" not in violations:
+            fail(f"violations view lacks rows array: {violations}")
+
+        status, text = request(
+            port, f"/jobs/{JOB_ID}/debug/vertices?format=text&limit=5")
+        if status != 200 or "Graft GUI" not in text:
+            fail(f"text rendering failed ({status}): {text[:200]}")
+
+        # -- error semantics ------------------------------------------------
+        expect_error(port, "/jobs/ghost/debug/supersteps", 404)
+        expect_error(port, f"/jobs/{JOB_ID}/debug/vertices?limit=0", 400)
+        expect_error(port, f"/jobs/{JOB_ID}/debug/vertices?format=xml", 400)
+        expect_error(port, "/jobs", 400, body="{not json")
+        status, text = request(port, "/jobs/ghost", method="DELETE")
+        if status != 405:
+            fail(f"DELETE answered {status}, want 405")
+
+        # -- warm cache -----------------------------------------------------
+        before = cache_counters(port)
+        if before.get("graft_tracecache_hits_total", 0) <= 0:
+            fail(f"cache hits not exported: {before}")
+        get_json(
+            port,
+            f"/jobs/{JOB_ID}/debug/vertices?superstep={target}&limit=25",
+        )
+        after = cache_counters(port)
+        if (after["graft_tracecache_misses_total"]
+                != before["graft_tracecache_misses_total"]):
+            fail(
+                "warm re-read decoded from the store again: "
+                f"{before['graft_tracecache_misses_total']} -> "
+                f"{after['graft_tracecache_misses_total']}"
+            )
+        print(
+            "cache OK: hits="
+            f"{int(after['graft_tracecache_hits_total'])} misses="
+            f"{int(after['graft_tracecache_misses_total'])}"
+        )
+        print("debug service smoke PASSED")
+    finally:
+        try:
+            demo.stdin.close()
+        except OSError:
+            pass
+        demo.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    main()

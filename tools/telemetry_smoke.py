@@ -19,6 +19,7 @@ Usage: tools/telemetry_smoke.py ./build/examples/telemetry_server_demo
 Exits non-zero with a diagnostic on the first violated check.
 """
 
+import http.client
 import json
 import os
 import re
@@ -94,6 +95,34 @@ def main():
         if get(port, "/healthz").strip() != "ok":
             fail("/healthz did not answer ok")
 
+        def check_head(path, exact):
+            # HEAD answers with the GET headers but no body; Content-Length
+            # must equal the GET body's byte count, not zero (and not be
+            # absent). exact=True compares against a GET of the same static
+            # body; live bodies only check presence/nonzero.
+            body = get(port, path).encode("utf-8")
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+            try:
+                conn.request("HEAD", path)
+                head = conn.getresponse()
+                head_body = head.read()
+                length = head.getheader("Content-Length")
+            finally:
+                conn.close()
+            if head.status != 200:
+                fail(f"HEAD {path} answered {head.status}")
+            if head_body:
+                fail(f"HEAD {path} returned a body ({len(head_body)} bytes)")
+            if length is None or int(length) <= 0:
+                fail(f"HEAD {path} Content-Length missing or zero: {length}")
+            if exact and int(length) != len(body):
+                fail(
+                    f"HEAD {path} Content-Length {length} != "
+                    f"GET body bytes {len(body)}"
+                )
+
+        check_head("/healthz", exact=True)
+
         # Two mid-run polls: the superstep counter must advance while the
         # job runs (each barrier sleeps SLEEP_MS, so sampling ~4 barriers
         # apart cannot race the job's completion).
@@ -117,6 +146,10 @@ def main():
             time.sleep(0.05)
             first = poll_supersteps()
         check_prometheus(get(port, "/metrics"), job_id)
+        # The first barrier has published, so /metrics is non-empty from
+        # here on — its HEAD must carry a real Content-Length.
+        check_head("/metrics", exact=False)
+        print("HEAD Content-Length OK")
         time.sleep(4 * SLEEP_MS / 1000.0)
         second = poll_supersteps()
         if not (0 <= first < second <= SUPERSTEPS + 1):
