@@ -268,6 +268,64 @@ BENCHMARK(BM_PageRankSocEpinionsSanitizerOn)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// Bench guard for DESIGN.md §14: an *unarmed* conditional breakpoint
+// (instrumented run, JobSpec.analysis.breakpoint empty) must cost exactly
+// one null check per vertex on top of the plain capture path. CI records
+// this next to the capture benches in BENCH_engine.json; a gap between this
+// and the equivalent no-breakpoint capture run is hot-path contamination by
+// the predicate layer.
+void RunSocEpinionsBreakpointBench(benchmark::State& state,
+                                   const char* breakpoint) {
+  const char* env = std::getenv("GRAFT_BENCH_SCALE");
+  graft::graph::DatasetOptions options;
+  options.scale_denominator = (env != nullptr && std::atoll(env) > 0)
+                                  ? static_cast<uint64_t>(std::atoll(env))
+                                  : 8;
+  auto graph = graft::graph::MakeDataset("soc-Epinions", options);
+  GRAFT_CHECK(graph.ok()) << graph.status();
+  // No targets, no capture-all: per-vertex work is the exceptions-only
+  // floor, so the breakpoint check is the only variable between Off and On.
+  static const graft::debug::ConfigurableDebugConfig<
+      graft::algos::PageRankTraits>
+      config;
+  uint64_t messages = 0, hits = 0;
+  for (auto _ : state) {
+    auto spec = SocEpinionsSpec(*graph, static_cast<int>(state.range(0)));
+    spec.options.job_id = "bench-pr-breakpoint";
+    graft::InMemoryTraceStore store;
+    spec.debug_config = &config;
+    spec.trace_store = &store;
+    spec.analysis.breakpoint = breakpoint;
+    auto summary = graft::pregel::RunJob(std::move(spec));
+    GRAFT_CHECK(summary.ok()) << summary.status();
+    GRAFT_CHECK(summary->job_status.ok()) << summary->job_status;
+    messages += summary->stats.total_messages;
+    hits += summary->breakpoint_hits;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+  state.counters["bp_hits"] =
+      static_cast<double>(hits) / static_cast<double>(state.iterations());
+}
+
+void BM_PageRankSocEpinionsBreakpointOff(benchmark::State& state) {
+  RunSocEpinionsBreakpointBench(state, "");
+}
+BENCHMARK(BM_PageRankSocEpinionsBreakpointOff)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Armed with a predicate that never fires on healthy PageRank (ranks stay
+// positive): the cost of evaluating the compiled predicate per vertex,
+// without any capture I/O on top.
+void BM_PageRankSocEpinionsBreakpointOn(benchmark::State& state) {
+  RunSocEpinionsBreakpointBench(state, "value < 0 && superstep > 3");
+}
+BENCHMARK(BM_PageRankSocEpinionsBreakpointOn)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 // Bench guard for the ISSUE 5 capture pipeline: the same Table-1 PageRank
 // probe with capture-all-active debugging, once through the synchronous sink
 // and once through the spooling (async) sink. CI compares the pair in

@@ -26,6 +26,9 @@ void PageRankComputation::Compute(
     for (const DoubleValue& m : messages) incoming += m.value;
     double n = static_cast<double>(ctx.total_num_vertices());
     vertex.set_value(DoubleValue{(1.0 - damping_) / n + damping_ * incoming});
+    // Convergence metric only — merge-order FP error is far below the
+    // epsilon the master compares against.
+    // bsp-lint: allow(fp-agg)
     ctx.Aggregate("pagerank.delta",
                   AggValue{std::fabs(vertex.value().value - old_rank)});
   }
@@ -36,6 +39,9 @@ void PageRankComputation::Compute(
           vertex,
           DoubleValue{vertex.value().value / static_cast<double>(degree)});
     } else {
+      // Dangling mass is redistributed uniformly; the sum's merge-order
+      // error does not affect ranking.
+      // bsp-lint: allow(fp-agg)
       ctx.Aggregate("pagerank.dangling", AggValue{vertex.value().value});
     }
   } else {

@@ -1,0 +1,138 @@
+#include "analysis/minimizer.h"
+
+#include <algorithm>
+
+#include "common/json_writer.h"
+
+namespace graft {
+namespace analysis {
+
+std::string_view OracleKindName(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kPredicate:
+      return "predicate";
+    case OracleKind::kSanitizer:
+      return "sanitizer";
+    case OracleKind::kFailure:
+      return "failure";
+  }
+  return "unknown";
+}
+
+Result<OracleKind> ParseOracleKind(std::string_view name) {
+  if (name == "predicate") return OracleKind::kPredicate;
+  if (name == "sanitizer") return OracleKind::kSanitizer;
+  if (name == "failure") return OracleKind::kFailure;
+  return Status::InvalidArgument(StrFormat(
+      "unknown minimizer oracle '%.*s' (want predicate|sanitizer|failure)",
+      static_cast<int>(name.size()), name.data()));
+}
+
+std::string MinimizerReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("reproduced", reproduced);
+  w.KV("oracle", oracle);
+  w.KV("oracle_detail", oracle_detail);
+  w.KV("probes", static_cast<int64_t>(probes));
+  w.KV("failing_probes", static_cast<int64_t>(failing_probes));
+  w.KV("probe_budget_exhausted", probe_budget_exhausted);
+  w.KV("wall_seconds", wall_seconds);
+  w.KV("initial_vertices", static_cast<uint64_t>(initial_vertices));
+  w.KV("initial_edges", static_cast<uint64_t>(initial_edges));
+  w.KV("final_vertices", static_cast<uint64_t>(final_vertices));
+  w.KV("final_edges", static_cast<uint64_t>(final_edges));
+  w.KV("superstep_cap", superstep_cap);
+  w.Key("subgraph");
+  w.BeginArray();
+  for (const MinimizedVertex& v : subgraph) {
+    w.BeginObject();
+    w.KV("id", v.id);
+    w.KV("value", v.value);
+    w.Key("edges");
+    w.BeginArray();
+    for (const auto& [target, value] : v.edges) {
+      w.BeginObject();
+      w.KV("target", target);
+      w.KV("value", value);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KV("has_reproducer", !reproducer_code.empty());
+  w.EndObject();
+  return w.TakeString();
+}
+
+namespace minimizer_internal {
+
+namespace {
+
+/// items \ subset (both sorted ascending).
+std::vector<size_t> Complement(const std::vector<size_t>& items,
+                               const std::vector<size_t>& subset) {
+  std::vector<size_t> out;
+  out.reserve(items.size() - subset.size());
+  std::set_difference(items.begin(), items.end(), subset.begin(),
+                      subset.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> DdMin(
+    std::vector<size_t> items,
+    const std::function<Result<bool>(const std::vector<size_t>&)>& test,
+    const std::function<bool()>& budget) {
+  std::sort(items.begin(), items.end());
+  if (items.size() <= 1) return items;
+  size_t n = 2;
+  while (items.size() >= 2) {
+    // Partition into n roughly equal chunks.
+    std::vector<std::vector<size_t>> chunks(n);
+    for (size_t i = 0; i < items.size(); ++i) {
+      chunks[i * n / items.size()].push_back(items[i]);
+    }
+    bool reduced = false;
+    // Reduce to subset: some single chunk already fails.
+    for (const std::vector<size_t>& chunk : chunks) {
+      if (chunk.empty() || chunk.size() == items.size()) continue;
+      if (!budget()) return items;
+      GRAFT_ASSIGN_OR_RETURN(bool fails, test(chunk));
+      if (fails) {
+        items = chunk;
+        n = 2;
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+    // Reduce to complement: dropping one chunk still fails.
+    if (n > 2) {
+      for (const std::vector<size_t>& chunk : chunks) {
+        if (chunk.empty() || chunk.size() == items.size()) continue;
+        std::vector<size_t> rest = Complement(items, chunk);
+        if (!budget()) return items;
+        GRAFT_ASSIGN_OR_RETURN(bool fails, test(rest));
+        if (fails) {
+          items = std::move(rest);
+          n = std::max<size_t>(2, n - 1);
+          reduced = true;
+          break;
+        }
+      }
+      if (reduced) continue;
+    }
+    // Increase granularity or stop at 1-minimality.
+    if (n >= items.size()) break;
+    n = std::min(items.size(), n * 2);
+  }
+  return items;
+}
+
+}  // namespace minimizer_internal
+
+}  // namespace analysis
+}  // namespace graft

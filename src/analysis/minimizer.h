@@ -1,0 +1,502 @@
+#ifndef GRAFT_ANALYSIS_MINIMIZER_H_
+#define GRAFT_ANALYSIS_MINIMIZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "analysis/predicate.h"
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "debug/codegen.h"
+#include "debug/debug_config.h"
+#include "io/trace_store.h"
+#include "pregel/job.h"
+
+namespace graft {
+namespace analysis {
+
+/// What "failing" means for a minimizer probe (DESIGN.md §14).
+enum class OracleKind : uint8_t {
+  kPredicate = 0,  // the breakpoint predicate fired at least once
+  kSanitizer = 1,  // the BSP sanitizer recorded a finding
+  kFailure = 2,    // the job itself ended non-OK (exception/invariant abort)
+};
+
+std::string_view OracleKindName(OracleKind kind);
+Result<OracleKind> ParseOracleKind(std::string_view name);
+
+struct MinimizerOptions {
+  OracleKind oracle = OracleKind::kSanitizer;
+  /// Predicate-DSL failure condition (required for kPredicate).
+  std::string predicate;
+  /// Narrow the sanitizer oracle to one finding kind (nullopt = any).
+  std::optional<FindingKind> finding_kind;
+  /// Hard budget on job re-runs. ddmin returns its best-so-far subgraph
+  /// when the budget runs out (reported, never an error).
+  int max_probes = 256;
+  /// Phase 1: binary-search the smallest superstep cap at which the oracle
+  /// still fires, then run every ddmin probe under that cap.
+  bool bisect_supersteps = true;
+  /// Phase 3: ddmin over the edges of the vertex-minimal subgraph.
+  bool minimize_edges = true;
+};
+
+/// Probe-granularity progress, published between probes (the service's
+/// GET /jobs/{id}/minimize polls this).
+struct MinimizerProgress {
+  std::string phase = "pending";  // initial|bisect|ddmin-vertices|
+                                  // ddmin-edges|codegen|done|failed
+  int probes = 0;
+  int failing_probes = 0;
+  size_t current_vertices = 0;
+  size_t current_edges = 0;
+  int64_t superstep_cap = -1;
+};
+using MinimizerProgressFn = std::function<void(const MinimizerProgress&)>;
+
+/// One vertex of the minimized subgraph, rendered type-erased for the
+/// service plane (values via ToString).
+struct MinimizedVertex {
+  VertexId id = 0;
+  std::string value;
+  std::vector<std::pair<VertexId, std::string>> edges;  // (target, value)
+};
+
+/// The minimizer's result: the smallest-known failing subgraph, the probe
+/// accounting, and a generated end-to-end gtest reproducer.
+struct MinimizerReport {
+  /// False when the oracle did not fire on the full graph — nothing to
+  /// minimize (the report then carries only the initial sizes).
+  bool reproduced = false;
+  std::string oracle;         // OracleKindName
+  std::string oracle_detail;  // predicate text / finding kind / job status
+  int probes = 0;
+  int failing_probes = 0;
+  bool probe_budget_exhausted = false;
+  double wall_seconds = 0.0;
+  size_t initial_vertices = 0;
+  size_t initial_edges = 0;
+  size_t final_vertices = 0;
+  size_t final_edges = 0;
+  /// Smallest max_supersteps cap at which the oracle fires (-1 when
+  /// bisection was disabled or nothing reproduced).
+  int64_t superstep_cap = -1;
+  std::vector<MinimizedVertex> subgraph;
+  /// Self-contained gtest source (debug::GenerateJobTestCode) that fails
+  /// while the bug reproduces on the minimized subgraph.
+  std::string reproducer_code;
+
+  std::string ToJson() const;
+};
+
+namespace minimizer_internal {
+
+/// Zeller/Hildebrandt ddmin over an index set: returns a (locally) 1-minimal
+/// subset for which `test` still returns true. `test` may be called with
+/// subsets and complements; `budget` is consulted before each test — when it
+/// returns false, ddmin stops and returns its best-so-far set. `test`
+/// errors propagate.
+Result<std::vector<size_t>> DdMin(
+    std::vector<size_t> items,
+    const std::function<Result<bool>(const std::vector<size_t>&)>& test,
+    const std::function<bool()>& budget);
+
+}  // namespace minimizer_internal
+
+/// Delta-debugging bug localizer (DESIGN.md §14, the paper's §7 "automated
+/// bug localization" gap): given a failing oracle over a JobSpec, shrink the
+/// input graph to a smallest-known failing subgraph by re-running the job
+/// per probe — supersteps first (binary search over the max_supersteps cap;
+/// the deterministic fault-free replay guarantee makes the oracle monotone
+/// in the cap), then ddmin over vertices (induced subgraphs), then over the
+/// surviving edges.
+///
+/// `SpecFactory` rebuilds everything about the job *except* the graph: the
+/// minimizer owns vertices, job_id, trace plumbing, and telemetry (all
+/// probes run silent, against a private in-memory store).
+template <pregel::JobTraits Traits>
+class JobMinimizer {
+ public:
+  using VertexT = pregel::Vertex<Traits>;
+  using EdgeT = pregel::Edge<typename Traits::EdgeValue>;
+  using SpecFactory = std::function<pregel::JobSpec<Traits>()>;
+
+  JobMinimizer(SpecFactory spec_factory, std::vector<VertexT> vertices,
+               MinimizerOptions options)
+      : spec_factory_(std::move(spec_factory)),
+        vertices_(std::move(vertices)),
+        options_(std::move(options)) {}
+
+  /// Progress callback, invoked between probes on the minimizing thread.
+  void set_progress(MinimizerProgressFn fn) { progress_fn_ = std::move(fn); }
+
+  /// Runs the full pipeline and generates the reproducer through `binding`
+  /// (the binding's graph-independent fields only; vertices/supersteps are
+  /// filled from the minimized result). Errors only on unusable specs or a
+  /// bad predicate — "the bug did not reproduce" is a report, not an error.
+  Result<MinimizerReport> Run(debug::JobCodegenBinding binding) {
+    Stopwatch wall;
+    MinimizerReport report;
+    report.oracle = std::string(OracleKindName(options_.oracle));
+    report.initial_vertices = vertices_.size();
+    report.initial_edges = CountEdges(vertices_);
+
+    if (options_.oracle == OracleKind::kPredicate) {
+      if (options_.predicate.empty()) {
+        return Status::InvalidArgument(
+            "minimizer: the predicate oracle needs a non-empty predicate");
+      }
+      GRAFT_ASSIGN_OR_RETURN(Predicate compiled,
+                             Predicate::Compile(options_.predicate));
+      GRAFT_RETURN_NOT_OK(
+          compiled.CheckInputSupport(kHasNumericVertexValue<Traits>));
+      report.oracle_detail = options_.predicate;
+    } else if (options_.finding_kind.has_value()) {
+      report.oracle_detail = FindingKindName(*options_.finding_kind);
+    }
+
+    // Phase 0: does the full graph fail at all?
+    progress_.phase = "initial";
+    progress_.current_vertices = vertices_.size();
+    progress_.current_edges = report.initial_edges;
+    PublishProgress();
+    std::vector<size_t> all(vertices_.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    GRAFT_ASSIGN_OR_RETURN(ProbeOutcome initial, Probe(all, nullptr, 0));
+    if (!initial.failed) {
+      report.reproduced = false;
+      report.probes = probes_;
+      report.failing_probes = failing_probes_;
+      report.wall_seconds = wall.ElapsedSeconds();
+      progress_.phase = "done";
+      PublishProgress();
+      return report;
+    }
+    report.reproduced = true;
+
+    // Phase 1: smallest superstep cap at which the oracle still fires.
+    // RunJob's deterministic fault-free path makes this monotone: capping
+    // at c executes exactly the first c supersteps of the uncapped run.
+    int64_t cap = 0;
+    if (options_.bisect_supersteps && initial.supersteps > 0) {
+      progress_.phase = "bisect";
+      PublishProgress();
+      int64_t lo = 1;
+      int64_t hi = initial.supersteps;  // known failing
+      while (lo < hi && HaveBudget()) {
+        const int64_t mid = lo + (hi - lo) / 2;
+        GRAFT_ASSIGN_OR_RETURN(ProbeOutcome outcome, Probe(all, nullptr, mid));
+        if (outcome.failed) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      cap = hi;
+      report.superstep_cap = cap;
+      progress_.superstep_cap = cap;
+    }
+
+    // Phase 2: ddmin over vertices (probes run induced subgraphs).
+    progress_.phase = "ddmin-vertices";
+    PublishProgress();
+    std::map<std::string, bool> memo;
+    auto vertex_test =
+        [this, cap, &memo](const std::vector<size_t>& subset)
+        -> Result<bool> {
+      const std::string key = SubsetKey(subset);
+      auto it = memo.find(key);
+      if (it != memo.end()) return it->second;
+      GRAFT_ASSIGN_OR_RETURN(ProbeOutcome outcome,
+                             Probe(subset, nullptr, cap));
+      memo.emplace(key, outcome.failed);
+      return outcome.failed;
+    };
+    GRAFT_ASSIGN_OR_RETURN(
+        std::vector<size_t> min_vertices,
+        minimizer_internal::DdMin(all, vertex_test,
+                                  [this] { return HaveBudget(); }));
+
+    // Materialize the vertex-minimal induced subgraph.
+    std::vector<VertexT> reduced = InducedSubgraph(min_vertices, nullptr);
+    progress_.current_vertices = reduced.size();
+    progress_.current_edges = CountEdges(reduced);
+    PublishProgress();
+
+    // Phase 3: ddmin over the surviving edges.
+    if (options_.minimize_edges && progress_.current_edges > 0) {
+      progress_.phase = "ddmin-edges";
+      PublishProgress();
+      std::vector<std::pair<size_t, size_t>> edge_slots;
+      for (size_t vi = 0; vi < reduced.size(); ++vi) {
+        for (size_t ei = 0; ei < reduced[vi].edges().size(); ++ei) {
+          edge_slots.emplace_back(vi, ei);
+        }
+      }
+      std::vector<size_t> edge_indices(edge_slots.size());
+      for (size_t i = 0; i < edge_indices.size(); ++i) edge_indices[i] = i;
+      std::map<std::string, bool> edge_memo;
+      auto edge_test =
+          [this, cap, &reduced, &edge_slots, &edge_memo](
+              const std::vector<size_t>& subset) -> Result<bool> {
+        const std::string key = SubsetKey(subset);
+        auto it = edge_memo.find(key);
+        if (it != edge_memo.end()) return it->second;
+        std::vector<VertexT> probe_vertices =
+            FilterEdges(reduced, edge_slots, subset);
+        GRAFT_ASSIGN_OR_RETURN(ProbeOutcome outcome,
+                               ProbeVertices(probe_vertices, cap));
+        edge_memo.emplace(key, outcome.failed);
+        return outcome.failed;
+      };
+      GRAFT_ASSIGN_OR_RETURN(
+          std::vector<size_t> min_edges,
+          minimizer_internal::DdMin(std::move(edge_indices), edge_test,
+                                    [this] { return HaveBudget(); }));
+      reduced = FilterEdges(reduced, edge_slots, min_edges);
+    }
+
+    // Report + reproducer.
+    progress_.phase = "codegen";
+    progress_.current_vertices = reduced.size();
+    progress_.current_edges = CountEdges(reduced);
+    PublishProgress();
+    report.final_vertices = reduced.size();
+    report.final_edges = progress_.current_edges;
+    report.probes = probes_;
+    report.failing_probes = failing_probes_;
+    report.probe_budget_exhausted = !HaveBudget();
+    for (const VertexT& v : reduced) {
+      MinimizedVertex mv;
+      mv.id = v.id();
+      mv.value = v.value().ToString();
+      for (const EdgeT& e : v.edges()) {
+        mv.edges.emplace_back(e.target, e.value.ToString());
+      }
+      report.subgraph.push_back(std::move(mv));
+    }
+    FillOracleCodegen(&binding, cap);
+    report.reproducer_code = debug::GenerateJobTestCode(reduced, binding);
+    report.wall_seconds = wall.ElapsedSeconds();
+    progress_.phase = "done";
+    PublishProgress();
+    return report;
+  }
+
+  /// The minimized subgraph of the last Run (for tests that re-probe it).
+  const MinimizerProgress& progress() const { return progress_; }
+
+ private:
+  struct ProbeOutcome {
+    bool failed = false;
+    int64_t supersteps = 0;
+  };
+
+  bool HaveBudget() const { return probes_ < options_.max_probes; }
+
+  static uint64_t CountEdges(const std::vector<VertexT>& vertices) {
+    uint64_t n = 0;
+    for (const VertexT& v : vertices) n += v.edges().size();
+    return n;
+  }
+
+  static std::string SubsetKey(const std::vector<size_t>& subset) {
+    std::string key;
+    key.reserve(subset.size() * 4);
+    for (size_t i : subset) {
+      key += std::to_string(i);
+      key.push_back(',');
+    }
+    return key;
+  }
+
+  void PublishProgress() {
+    progress_.probes = probes_;
+    progress_.failing_probes = failing_probes_;
+    if (progress_fn_) progress_fn_(progress_);
+  }
+
+  /// The induced subgraph on the given vertex indices: kept vertices with
+  /// edges into the kept set only. Dropping out-of-set edges (rather than
+  /// dangling them) matters because the engine materializes missing message
+  /// targets, which would silently resurrect removed vertices.
+  std::vector<VertexT> InducedSubgraph(
+      const std::vector<size_t>& indices,
+      const std::set<VertexId>* extra_keep) const {
+    std::set<VertexId> keep;
+    for (size_t i : indices) keep.insert(vertices_[i].id());
+    if (extra_keep != nullptr) keep.insert(extra_keep->begin(),
+                                           extra_keep->end());
+    std::vector<VertexT> out;
+    out.reserve(indices.size());
+    for (size_t i : indices) {
+      const VertexT& v = vertices_[i];
+      std::vector<EdgeT> edges;
+      for (const EdgeT& e : v.edges()) {
+        if (keep.count(e.target) != 0) edges.push_back(e);
+      }
+      out.emplace_back(v.id(), v.value(), std::move(edges));
+    }
+    return out;
+  }
+
+  /// `base` with only the edge slots named by `subset` retained.
+  static std::vector<VertexT> FilterEdges(
+      const std::vector<VertexT>& base,
+      const std::vector<std::pair<size_t, size_t>>& slots,
+      const std::vector<size_t>& subset) {
+    std::set<std::pair<size_t, size_t>> keep;
+    for (size_t i : subset) keep.insert(slots[i]);
+    std::vector<VertexT> out;
+    out.reserve(base.size());
+    for (size_t vi = 0; vi < base.size(); ++vi) {
+      std::vector<EdgeT> edges;
+      const auto& all_edges = base[vi].edges();
+      for (size_t ei = 0; ei < all_edges.size(); ++ei) {
+        if (keep.count({vi, ei}) != 0) edges.push_back(all_edges[ei]);
+      }
+      out.emplace_back(base[vi].id(), base[vi].value(), std::move(edges));
+    }
+    return out;
+  }
+
+  Result<ProbeOutcome> Probe(const std::vector<size_t>& vertex_indices,
+                             const std::set<VertexId>* extra_keep,
+                             int64_t superstep_cap) {
+    return ProbeVertices(InducedSubgraph(vertex_indices, extra_keep),
+                         superstep_cap);
+  }
+
+  /// One oracle evaluation = one silent re-run of the job over `vertices`.
+  Result<ProbeOutcome> ProbeVertices(const std::vector<VertexT>& vertices,
+                                     int64_t superstep_cap) {
+    pregel::JobSpec<Traits> spec = spec_factory_();
+    spec.vertices = vertices;
+    spec.options.job_id = StrFormat("minprobe-%06d", probes_);
+    if (superstep_cap > 0) spec.options.max_supersteps = superstep_cap;
+    // Probes run silent and self-contained: no metrics, no telemetry, no
+    // checkpoints, no faults — the PR 3/5 fault-free deterministic path.
+    spec.options.metrics = nullptr;
+    spec.telemetry = {};
+    spec.checkpoint = {};
+    spec.fault_injector = nullptr;
+    spec.max_recovery_attempts = 0;
+    InMemoryTraceStore scratch;
+    switch (options_.oracle) {
+      case OracleKind::kPredicate:
+        spec.analysis.breakpoint = options_.predicate;
+        spec.trace_store = &scratch;
+        if (spec.debug_config == nullptr) spec.debug_config = &probe_config_;
+        break;
+      case OracleKind::kSanitizer:
+        spec.sanitizer.enabled = true;
+        // Count findings over the whole (capped) run: fail-fast would make
+        // the finding count depend on scheduling, not on the graph.
+        spec.sanitizer.fail_on_violation = false;
+        spec.analysis.breakpoint.clear();
+        spec.debug_config = nullptr;
+        spec.trace_store = nullptr;
+        break;
+      case OracleKind::kFailure:
+        spec.analysis.breakpoint.clear();
+        spec.debug_config = nullptr;
+        spec.trace_store = nullptr;
+        break;
+    }
+    ++probes_;
+    GRAFT_ASSIGN_OR_RETURN(pregel::JobRunSummary summary,
+                           pregel::RunJob(std::move(spec)));
+    ProbeOutcome outcome;
+    outcome.supersteps = summary.stats.supersteps;
+    switch (options_.oracle) {
+      case OracleKind::kPredicate:
+        outcome.failed = summary.breakpoint_hits > 0;
+        break;
+      case OracleKind::kSanitizer:
+        if (options_.finding_kind.has_value()) {
+          const char* want = FindingKindName(*options_.finding_kind);
+          for (const auto& [kind, count] :
+               summary.stats.report.analysis.findings_by_kind) {
+            if (kind == want && count > 0) outcome.failed = true;
+          }
+        } else {
+          outcome.failed = summary.analysis_findings > 0;
+        }
+        break;
+      case OracleKind::kFailure:
+        outcome.failed = !summary.job_status.ok();
+        break;
+    }
+    if (outcome.failed) ++failing_probes_;
+    PublishProgress();
+    return outcome;
+  }
+
+  /// Fills the oracle-dependent codegen lines: the spec assignments that
+  /// re-arm the oracle and the assertions that fail while the bug is alive.
+  void FillOracleCodegen(debug::JobCodegenBinding* binding,
+                         int64_t superstep_cap) const {
+    if (superstep_cap > 0) binding->max_supersteps = superstep_cap;
+    switch (options_.oracle) {
+      case OracleKind::kPredicate: {
+        binding->with_capture = true;
+        binding->spec_lines.push_back("spec.analysis.breakpoint = \"" +
+                                      EscapeCppString(options_.predicate) +
+                                      "\";");
+        binding->assert_lines.push_back(
+            "EXPECT_EQ(summary->breakpoint_hits, 0u)\n      << \"predicate "
+            "'" +
+            EscapeCppString(options_.predicate) +
+            "' still fires on the minimized graph\";");
+        break;
+      }
+      case OracleKind::kSanitizer:
+        binding->spec_lines.push_back("spec.sanitizer.enabled = true;");
+        binding->spec_lines.push_back(
+            "spec.sanitizer.fail_on_violation = false;");
+        binding->assert_lines.push_back(
+            "EXPECT_EQ(summary->analysis_findings, 0u)\n      << \"the BSP "
+            "sanitizer still flags the minimized graph\";");
+        break;
+      case OracleKind::kFailure:
+        binding->assert_lines.push_back(
+            "EXPECT_TRUE(summary->job_status.ok())\n      << "
+            "summary->job_status.ToString();");
+        break;
+    }
+  }
+
+  /// Escapes a predicate for embedding in a generated C++ string literal.
+  static std::string EscapeCppString(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  SpecFactory spec_factory_;
+  std::vector<VertexT> vertices_;
+  MinimizerOptions options_;
+  MinimizerProgressFn progress_fn_;
+  MinimizerProgress progress_;
+  debug::ConfigurableDebugConfig<Traits> probe_config_;
+  int probes_ = 0;
+  int failing_probes_ = 0;
+};
+
+}  // namespace analysis
+}  // namespace graft
+
+#endif  // GRAFT_ANALYSIS_MINIMIZER_H_

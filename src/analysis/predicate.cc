@@ -1,0 +1,621 @@
+#include "analysis/predicate.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace graft {
+namespace analysis {
+namespace {
+
+enum class Type : uint8_t { kNum, kBool };
+
+const char* TypeName(Type t) { return t == Type::kNum ? "number" : "bool"; }
+
+enum class Op : uint8_t {
+  kOr, kAnd,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kNot, kNeg,
+};
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kOr: return "||";
+    case Op::kAnd: return "&&";
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kMod: return "%";
+    case Op::kNot: return "!";
+    case Op::kNeg: return "-";
+  }
+  return "?";
+}
+
+struct VarSpec {
+  const char* name;
+  PredicateVar bit;
+  Type type;
+};
+
+constexpr VarSpec kVars[] = {
+    {"value", kPredValue, Type::kNum},
+    {"value_before", kPredValueBefore, Type::kNum},
+    {"superstep", kPredSuperstep, Type::kNum},
+    {"id", kPredVertexId, Type::kNum},
+    {"out_degree", kPredOutDegree, Type::kNum},
+    {"in_degree", kPredInDegree, Type::kNum},
+    {"halted", kPredHalted, Type::kBool},
+    {"has_exception", kPredException, Type::kBool},
+    {"violations", kPredViolations, Type::kNum},
+    {"worker", kPredWorker, Type::kNum},
+};
+
+}  // namespace
+
+/// One compiled expression node. The tree is immutable after Compile and
+/// shared between Predicate copies.
+struct Predicate::Node {
+  enum class Kind : uint8_t { kNumLit, kBoolLit, kVar, kAgg, kUnary, kBinary };
+
+  Kind kind = Kind::kNumLit;
+  Type type = Type::kNum;
+  Op op = Op::kOr;                  // kUnary/kBinary
+  double number = 0.0;              // kNumLit
+  bool boolean = false;             // kBoolLit
+  PredicateVar var = kPredValue;    // kVar
+  std::string agg_name;             // kAgg
+  std::unique_ptr<Node> lhs;
+  std::unique_ptr<Node> rhs;
+};
+
+namespace {
+
+using Node = Predicate::Node;
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind : uint8_t {
+  kNumber, kIdent, kString, kOp, kLParen, kRParen, kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  size_t offset = 0;
+  double number = 0.0;
+  std::string text;  // ident name, string body, or operator spelling
+};
+
+Status TokenError(size_t offset, const std::string& what) {
+  return Status::InvalidArgument(
+      StrFormat("predicate: %s at offset %zu", what.c_str(), offset));
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (c == '(') {
+      token.kind = TokKind::kLParen;
+      ++i;
+    } else if (c == ')') {
+      token.kind = TokKind::kRParen;
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < text.size() &&
+                std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[j])) ||
+              text[j] == '.' || text[j] == 'e' || text[j] == 'E' ||
+              ((text[j] == '+' || text[j] == '-') && j > i &&
+               (text[j - 1] == 'e' || text[j - 1] == 'E')))) {
+        ++j;
+      }
+      const std::string literal(text.substr(i, j - i));
+      char* end = nullptr;
+      token.number = std::strtod(literal.c_str(), &end);
+      if (end != literal.c_str() + literal.size()) {
+        return TokenError(i, "bad number literal '" + literal + "'");
+      }
+      token.kind = TokKind::kNumber;
+      i = j;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_')) {
+        ++j;
+      }
+      token.kind = TokKind::kIdent;
+      token.text = std::string(text.substr(i, j - i));
+      i = j;
+    } else if (c == '"') {
+      size_t j = i + 1;
+      while (j < text.size() && text[j] != '"') ++j;
+      if (j >= text.size()) {
+        return TokenError(i, "unterminated string");
+      }
+      token.kind = TokKind::kString;
+      token.text = std::string(text.substr(i + 1, j - i - 1));
+      i = j + 1;
+    } else if (c == '&' || c == '|') {
+      if (i + 1 >= text.size() || text[i + 1] != c) {
+        return TokenError(i, std::string("bad token '") + c + "'");
+      }
+      token.kind = TokKind::kOp;
+      token.text = std::string(2, c);
+      i += 2;
+    } else if (c == '=' || c == '!' || c == '<' || c == '>') {
+      token.kind = TokKind::kOp;
+      if (i + 1 < text.size() && text[i + 1] == '=') {
+        token.text = std::string(1, c) + "=";
+        i += 2;
+      } else if (c == '=') {
+        return TokenError(i, "bad token '=' (use '==')");
+      } else {
+        token.text = std::string(1, c);
+        ++i;
+      }
+    } else if (c == '+' || c == '-' || c == '*' || c == '/' || c == '%') {
+      token.kind = TokKind::kOp;
+      token.text = std::string(1, c);
+      ++i;
+    } else {
+      return TokenError(i, std::string("bad token '") + c + "'");
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end_token;
+  end_token.kind = TokKind::kEnd;
+  end_token.offset = text.size();
+  tokens.push_back(std::move(end_token));
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser + type checker
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Node>> Parse() {
+    GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> root, ParseOr(0));
+    if (Peek().kind != TokKind::kEnd) {
+      return TokenError(Peek().offset, "trailing input");
+    }
+    return root;
+  }
+
+  uint32_t uses() const { return uses_; }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool ConsumeOp(std::string_view spelling) {
+    if (Peek().kind == TokKind::kOp && Peek().text == spelling) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static Status TypeMismatch(size_t offset, Op op, Type lhs, Type rhs) {
+    return TokenError(offset,
+                      StrFormat("type mismatch: '%s' applied to %s and %s",
+                                OpName(op), TypeName(lhs), TypeName(rhs)));
+  }
+
+  static std::unique_ptr<Node> MakeBinary(Op op, Type type,
+                                          std::unique_ptr<Node> lhs,
+                                          std::unique_ptr<Node> rhs) {
+    auto node = std::make_unique<Node>();
+    node->kind = Node::Kind::kBinary;
+    node->type = type;
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  Result<std::unique_ptr<Node>> ParseOr(int depth) {
+    GRAFT_RETURN_NOT_OK(CheckDepth(depth));
+    GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> lhs, ParseAnd(depth));
+    while (true) {
+      const size_t offset = Peek().offset;
+      if (!ConsumeOp("||")) return lhs;
+      GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> rhs, ParseAnd(depth));
+      if (lhs->type != Type::kBool || rhs->type != Type::kBool) {
+        return TypeMismatch(offset, Op::kOr, lhs->type, rhs->type);
+      }
+      lhs = MakeBinary(Op::kOr, Type::kBool, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Node>> ParseAnd(int depth) {
+    GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> lhs, ParseEquality(depth));
+    while (true) {
+      const size_t offset = Peek().offset;
+      if (!ConsumeOp("&&")) return lhs;
+      GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> rhs, ParseEquality(depth));
+      if (lhs->type != Type::kBool || rhs->type != Type::kBool) {
+        return TypeMismatch(offset, Op::kAnd, lhs->type, rhs->type);
+      }
+      lhs = MakeBinary(Op::kAnd, Type::kBool, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Node>> ParseEquality(int depth) {
+    GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> lhs, ParseRelational(depth));
+    while (true) {
+      const size_t offset = Peek().offset;
+      Op op;
+      if (ConsumeOp("==")) {
+        op = Op::kEq;
+      } else if (ConsumeOp("!=")) {
+        op = Op::kNe;
+      } else {
+        return lhs;
+      }
+      GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> rhs,
+                             ParseRelational(depth));
+      if (lhs->type != rhs->type) {
+        return TypeMismatch(offset, op, lhs->type, rhs->type);
+      }
+      lhs = MakeBinary(op, Type::kBool, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Node>> ParseRelational(int depth) {
+    GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> lhs, ParseSum(depth));
+    while (true) {
+      const size_t offset = Peek().offset;
+      Op op;
+      if (ConsumeOp("<")) {
+        op = Op::kLt;
+      } else if (ConsumeOp("<=")) {
+        op = Op::kLe;
+      } else if (ConsumeOp(">")) {
+        op = Op::kGt;
+      } else if (ConsumeOp(">=")) {
+        op = Op::kGe;
+      } else {
+        return lhs;
+      }
+      GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> rhs, ParseSum(depth));
+      if (lhs->type != Type::kNum || rhs->type != Type::kNum) {
+        return TypeMismatch(offset, op, lhs->type, rhs->type);
+      }
+      lhs = MakeBinary(op, Type::kBool, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Node>> ParseSum(int depth) {
+    GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> lhs, ParseTerm(depth));
+    while (true) {
+      const size_t offset = Peek().offset;
+      Op op;
+      if (ConsumeOp("+")) {
+        op = Op::kAdd;
+      } else if (ConsumeOp("-")) {
+        op = Op::kSub;
+      } else {
+        return lhs;
+      }
+      GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> rhs, ParseTerm(depth));
+      if (lhs->type != Type::kNum || rhs->type != Type::kNum) {
+        return TypeMismatch(offset, op, lhs->type, rhs->type);
+      }
+      lhs = MakeBinary(op, Type::kNum, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Node>> ParseTerm(int depth) {
+    GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> lhs, ParseUnary(depth));
+    while (true) {
+      const size_t offset = Peek().offset;
+      Op op;
+      if (ConsumeOp("*")) {
+        op = Op::kMul;
+      } else if (ConsumeOp("/")) {
+        op = Op::kDiv;
+      } else if (ConsumeOp("%")) {
+        op = Op::kMod;
+      } else {
+        return lhs;
+      }
+      GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> rhs, ParseUnary(depth));
+      if (lhs->type != Type::kNum || rhs->type != Type::kNum) {
+        return TypeMismatch(offset, op, lhs->type, rhs->type);
+      }
+      lhs = MakeBinary(op, Type::kNum, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Node>> ParseUnary(int depth) {
+    GRAFT_RETURN_NOT_OK(CheckDepth(depth));
+    const size_t offset = Peek().offset;
+    if (ConsumeOp("!")) {
+      GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> operand,
+                             ParseUnary(depth + 1));
+      if (operand->type != Type::kBool) {
+        return TokenError(offset, StrFormat("type mismatch: '!' applied to %s",
+                                            TypeName(operand->type)));
+      }
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::kUnary;
+      node->type = Type::kBool;
+      node->op = Op::kNot;
+      node->lhs = std::move(operand);
+      return node;
+    }
+    if (ConsumeOp("-")) {
+      GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> operand,
+                             ParseUnary(depth + 1));
+      if (operand->type != Type::kNum) {
+        return TokenError(offset,
+                          StrFormat("type mismatch: unary '-' applied to %s",
+                                    TypeName(operand->type)));
+      }
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::kUnary;
+      node->type = Type::kNum;
+      node->op = Op::kNeg;
+      node->lhs = std::move(operand);
+      return node;
+    }
+    return ParsePrimary(depth);
+  }
+
+  Result<std::unique_ptr<Node>> ParsePrimary(int depth) {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokKind::kNumber: {
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::kNumLit;
+        node->type = Type::kNum;
+        node->number = Next().number;
+        return node;
+      }
+      case TokKind::kLParen: {
+        Next();
+        GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> inner,
+                               ParseOr(depth + 1));
+        if (Peek().kind != TokKind::kRParen) {
+          return TokenError(Peek().offset, "expected ')'");
+        }
+        Next();
+        return inner;
+      }
+      case TokKind::kIdent:
+        return ParseIdent(depth);
+      default:
+        return TokenError(token.offset, "expected a value");
+    }
+  }
+
+  Result<std::unique_ptr<Node>> ParseIdent(int depth) {
+    (void)depth;
+    const Token token = Next();
+    if (token.text == "true" || token.text == "false") {
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::kBoolLit;
+      node->type = Type::kBool;
+      node->boolean = token.text == "true";
+      return node;
+    }
+    if (token.text == "agg") {
+      if (Peek().kind != TokKind::kLParen) {
+        return TokenError(Peek().offset, "expected '(' after 'agg'");
+      }
+      Next();
+      if (Peek().kind != TokKind::kString) {
+        return TokenError(Peek().offset,
+                          "expected a quoted aggregator name in agg(...)");
+      }
+      std::string name = Next().text;
+      if (Peek().kind != TokKind::kRParen) {
+        return TokenError(Peek().offset, "expected ')' after agg name");
+      }
+      Next();
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::kAgg;
+      node->type = Type::kNum;
+      node->agg_name = std::move(name);
+      uses_ |= kPredAggregator;
+      return node;
+    }
+    for (const VarSpec& spec : kVars) {
+      if (token.text == spec.name) {
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::kVar;
+        node->type = spec.type;
+        node->var = spec.bit;
+        uses_ |= spec.bit;
+        return node;
+      }
+    }
+    return TokenError(token.offset,
+                      "unknown variable '" + token.text + "'");
+  }
+
+  Status CheckDepth(int depth) const {
+    if (depth >= kMaxPredicateDepth) {
+      return Status::InvalidArgument(
+          StrFormat("predicate: nesting deeper than %d", kMaxPredicateDepth));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  uint32_t uses_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+double EvalNum(const Node& node, const PredicateInput& input);
+bool EvalBool(const Node& node, const PredicateInput& input);
+
+double EvalVarNum(PredicateVar var, const PredicateInput& input) {
+  switch (var) {
+    case kPredValue: return input.value;
+    case kPredValueBefore: return input.value_before;
+    case kPredSuperstep: return static_cast<double>(input.superstep);
+    case kPredVertexId: return static_cast<double>(input.vertex_id);
+    case kPredOutDegree: return static_cast<double>(input.out_degree);
+    case kPredInDegree: return static_cast<double>(input.in_degree);
+    case kPredViolations: return static_cast<double>(input.violations);
+    case kPredWorker: return static_cast<double>(input.worker);
+    default: return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+/// Aggregators are exposed as numbers: ints and doubles verbatim, bools as
+/// 0/1, text and absent names as NaN (so comparisons never match them).
+double EvalAgg(const std::string& name, const PredicateInput& input) {
+  if (input.aggregators == nullptr) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  auto it = input.aggregators->find(name);
+  if (it == input.aggregators->end()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const pregel::AggValue& value = it->second;
+  if (value.IsInt()) return static_cast<double>(value.AsInt());
+  if (value.IsDouble()) return value.AsDouble();
+  if (value.IsBool()) return value.AsBool() ? 1.0 : 0.0;
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double EvalNum(const Node& node, const PredicateInput& input) {
+  switch (node.kind) {
+    case Node::Kind::kNumLit:
+      return node.number;
+    case Node::Kind::kVar:
+      return EvalVarNum(node.var, input);
+    case Node::Kind::kAgg:
+      return EvalAgg(node.agg_name, input);
+    case Node::Kind::kUnary:
+      return -EvalNum(*node.lhs, input);
+    case Node::Kind::kBinary: {
+      const double lhs = EvalNum(*node.lhs, input);
+      const double rhs = EvalNum(*node.rhs, input);
+      switch (node.op) {
+        case Op::kAdd: return lhs + rhs;
+        case Op::kSub: return lhs - rhs;
+        case Op::kMul: return lhs * rhs;
+        case Op::kDiv: return lhs / rhs;
+        case Op::kMod: return std::fmod(lhs, rhs);
+        default: return std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+    default:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+bool EvalBool(const Node& node, const PredicateInput& input) {
+  switch (node.kind) {
+    case Node::Kind::kBoolLit:
+      return node.boolean;
+    case Node::Kind::kVar:
+      return node.var == kPredHalted ? input.halted : input.has_exception;
+    case Node::Kind::kUnary:
+      return !EvalBool(*node.lhs, input);
+    case Node::Kind::kBinary:
+      switch (node.op) {
+        case Op::kOr:
+          return EvalBool(*node.lhs, input) || EvalBool(*node.rhs, input);
+        case Op::kAnd:
+          return EvalBool(*node.lhs, input) && EvalBool(*node.rhs, input);
+        case Op::kEq:
+        case Op::kNe: {
+          bool equal;
+          if (node.lhs->type == Type::kBool) {
+            equal = EvalBool(*node.lhs, input) == EvalBool(*node.rhs, input);
+          } else {
+            // IEEE semantics: NaN compares unequal to everything, so a
+            // missing aggregator satisfies `!=` — intentional ("the value
+            // is not N" includes "there is no value").
+            equal = EvalNum(*node.lhs, input) == EvalNum(*node.rhs, input);
+          }
+          return node.op == Op::kEq ? equal : !equal;
+        }
+        case Op::kLt:
+          return EvalNum(*node.lhs, input) < EvalNum(*node.rhs, input);
+        case Op::kLe:
+          return EvalNum(*node.lhs, input) <= EvalNum(*node.rhs, input);
+        case Op::kGt:
+          return EvalNum(*node.lhs, input) > EvalNum(*node.rhs, input);
+        case Op::kGe:
+          return EvalNum(*node.lhs, input) >= EvalNum(*node.rhs, input);
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<Predicate> Predicate::Compile(std::string_view text) {
+  GRAFT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<Node> root, parser.Parse());
+  if (root->type != Type::kBool) {
+    return Status::InvalidArgument(
+        "predicate: expression is a number, not a condition (add a "
+        "comparison)");
+  }
+  return Predicate(std::shared_ptr<const Node>(std::move(root)),
+                   parser.uses(), std::string(text));
+}
+
+Status Predicate::Validate(std::string_view text) {
+  return Compile(text).status();
+}
+
+bool Predicate::Eval(const PredicateInput& input) const {
+  if (root_ == nullptr) return false;
+  return EvalBool(*root_, input);
+}
+
+Status Predicate::CheckInputSupport(bool numeric_vertex_value) const {
+  if (!numeric_vertex_value && (uses_ & (kPredValue | kPredValueBefore))) {
+    return Status::InvalidArgument(
+        "predicate reads 'value' but this job's vertex value type has no "
+        "numeric payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace analysis
+}  // namespace graft

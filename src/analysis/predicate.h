@@ -1,0 +1,176 @@
+#ifndef GRAFT_ANALYSIS_PREDICATE_H_
+#define GRAFT_ANALYSIS_PREDICATE_H_
+
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "debug/vertex_trace.h"
+#include "pregel/agg_value.h"
+#include "pregel/vertex.h"
+
+namespace graft {
+namespace analysis {
+
+/// Nesting limit for parenthesized/unary expressions — same DoS discipline
+/// as common/json_parser's depth limit for untrusted request bodies.
+inline constexpr int kMaxPredicateDepth = 64;
+
+/// The variables a predicate can reference. `uses()` reports which ones a
+/// compiled predicate actually reads, so callers can reject predicates that
+/// need data they cannot supply (e.g. `value` over a non-numeric vertex
+/// value type).
+enum PredicateVar : uint32_t {
+  kPredValue = 1u << 0,         // vertex value after Compute() (numeric)
+  kPredValueBefore = 1u << 1,   // vertex value at Compute() entry (numeric)
+  kPredSuperstep = 1u << 2,     // current superstep
+  kPredVertexId = 1u << 3,      // vertex id ("id")
+  kPredOutDegree = 1u << 4,     // out-edge count
+  kPredInDegree = 1u << 5,      // delivered-message count this superstep
+  kPredHalted = 1u << 6,        // bool: voted to halt
+  kPredException = 1u << 7,     // bool: Compute() threw
+  kPredViolations = 1u << 8,    // constraint violations recorded for the call
+  kPredWorker = 1u << 9,        // worker index (-1 when unknown)
+  kPredAggregator = 1u << 10,   // any agg("name") access
+};
+
+/// The evaluation context a predicate runs against: one vertex.compute()
+/// observation, either live (conditional breakpoint during capture) or
+/// re-read from a trace (TraceQuery filter, minimizer oracle). Non-numeric
+/// vertex values surface as NaN, which makes every comparison involving
+/// them false — arming a predicate that needs `value` over such a type is
+/// rejected up front (see Predicate::CheckInputSupport).
+struct PredicateInput {
+  double value = std::numeric_limits<double>::quiet_NaN();
+  double value_before = std::numeric_limits<double>::quiet_NaN();
+  int64_t superstep = 0;
+  VertexId vertex_id = 0;
+  int64_t out_degree = 0;
+  int64_t in_degree = 0;
+  bool halted = false;
+  bool has_exception = false;
+  int64_t violations = 0;
+  int worker = -1;
+  /// Aggregator values visible to the call (may be null = none visible).
+  const std::map<std::string, pregel::AggValue>* aggregators = nullptr;
+};
+
+/// A compiled boolean expression over PredicateInput (DESIGN.md §14):
+///
+///   expr    := or
+///   or      := and { "||" and }
+///   and     := eq { "&&" eq }
+///   eq      := rel { ("==" | "!=") rel }
+///   rel     := sum { ("<" | "<=" | ">" | ">=") sum }
+///   sum     := term { ("+" | "-") term }
+///   term    := unary { ("*" | "/" | "%") unary }
+///   unary   := "!" unary | "-" unary | primary
+///   primary := number | "true" | "false" | var
+///            | "agg" "(" string ")" | "(" expr ")"
+///
+/// Two types, checked at compile time: numbers (double) and booleans.
+/// Comparisons and arithmetic need numeric operands; `&&`/`||`/`!` need
+/// booleans; `==`/`!=` accept two numbers or two booleans. Missing
+/// aggregators and non-numeric vertex values evaluate to NaN, so every
+/// comparison touching them is false (a predicate never "errors" at eval
+/// time). Compile() rejects bad tokens, type mismatches, unknown variables,
+/// and nesting beyond kMaxPredicateDepth with an offset-bearing message.
+///
+/// Instances are immutable and cheap to copy (the compiled tree is shared);
+/// Eval is const and safe to call from concurrent worker threads.
+class Predicate {
+ public:
+  struct Node;  // defined in predicate.cc
+
+  /// An empty predicate matches nothing.
+  Predicate() = default;
+
+  static Result<Predicate> Compile(std::string_view text);
+
+  /// Parse-only validation (the C++ twin of bsp_lint.py's predicate-dsl
+  /// rule). OK iff Compile would succeed.
+  static Status Validate(std::string_view text);
+
+  bool Eval(const PredicateInput& input) const;
+
+  bool empty() const { return root_ == nullptr; }
+  /// Bitmask of PredicateVar bits the expression reads.
+  uint32_t uses() const { return uses_; }
+  bool Uses(PredicateVar var) const { return (uses_ & var) != 0; }
+  /// The source text the predicate was compiled from.
+  const std::string& text() const { return text_; }
+
+  /// InvalidArgument when the predicate reads `value`/`value_before` but
+  /// `numeric_vertex_value` is false (the Traits' vertex value has no
+  /// numeric payload, so those variables would be NaN on every call).
+  Status CheckInputSupport(bool numeric_vertex_value) const;
+
+ private:
+  Predicate(std::shared_ptr<const Node> root, uint32_t uses, std::string text)
+      : root_(std::move(root)), uses_(uses), text_(std::move(text)) {}
+
+  std::shared_ptr<const Node> root_;
+  uint32_t uses_ = 0;
+  std::string text_;
+};
+
+namespace predicate_internal {
+
+/// Matches value types carrying a numeric payload in the repo's
+/// `.value`-member convention (Int64Value, DoubleValue, ShortValue...).
+template <typename V>
+concept NumericPayload = requires(const V& v) {
+  { v.value } -> std::convertible_to<double>;
+};
+
+}  // namespace predicate_internal
+
+/// The numeric payload of a WritableValue, or NaN when the type has none
+/// (NullValue, TextValue). Compile-time dispatch: costs nothing per call.
+template <typename V>
+double NumericValueOf(const V& v) {
+  if constexpr (predicate_internal::NumericPayload<V>) {
+    return static_cast<double>(v.value);
+  } else {
+    (void)v;
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+/// True when `Traits::VertexValue` exposes a numeric payload — whether the
+/// `value`/`value_before` predicate variables are meaningful for this job.
+template <pregel::JobTraits Traits>
+inline constexpr bool kHasNumericVertexValue =
+    predicate_internal::NumericPayload<typename Traits::VertexValue>;
+
+/// Builds the evaluation context from a stored trace (TraceQuery filter and
+/// the minimizer's trace-reading oracle). `worker` is not recorded in the
+/// trace body; pass the manifest's worker index when known.
+template <pregel::JobTraits Traits>
+PredicateInput PredicateInputFromTrace(const debug::VertexTrace<Traits>& trace,
+                                       int worker = -1) {
+  PredicateInput input;
+  input.value = NumericValueOf(trace.value_after);
+  input.value_before = NumericValueOf(trace.value_before);
+  input.superstep = trace.superstep;
+  input.vertex_id = trace.id;
+  input.out_degree = static_cast<int64_t>(trace.edges.size());
+  input.in_degree = static_cast<int64_t>(trace.incoming.size());
+  input.halted = trace.halted_after;
+  input.has_exception = trace.exception.has_value();
+  input.violations = static_cast<int64_t>(trace.violations.size());
+  input.worker = worker;
+  input.aggregators = &trace.aggregators;
+  return input;
+}
+
+}  // namespace analysis
+}  // namespace graft
+
+#endif  // GRAFT_ANALYSIS_PREDICATE_H_

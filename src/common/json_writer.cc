@@ -125,6 +125,15 @@ void JsonWriter::Null() {
   out_ += "null";
 }
 
+void JsonWriter::Raw(std::string_view json) {
+  if (json.empty()) {
+    Null();
+    return;
+  }
+  BeforeValue();
+  out_ += json;
+}
+
 void JsonWriter::KV(std::string_view key, std::string_view value) {
   Key(key);
   String(value);

@@ -32,6 +32,10 @@ class JsonWriter {
   void Double(double value);
   void Bool(bool value);
   void Null();
+  /// Splices an already-serialized JSON value in verbatim (for nesting a
+  /// sub-document another writer produced). The caller owns its validity;
+  /// empty input becomes null so the document stays well-formed.
+  void Raw(std::string_view json);
 
   /// Convenience: Key(k) followed by the value.
   void KV(std::string_view key, std::string_view value);

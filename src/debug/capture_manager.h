@@ -27,6 +27,10 @@
 #include "pregel/vertex.h"
 
 namespace graft {
+namespace analysis {
+class Predicate;  // analysis/predicate.h; stored by pointer only
+}  // namespace analysis
+
 namespace debug {
 
 /// Trace-file naming convention inside the TraceStore (the stand-in for the
@@ -48,6 +52,7 @@ struct CaptureCounters {
   uint64_t violations = 0;
   uint64_t exceptions = 0;
   uint64_t dropped_by_limit = 0;
+  uint64_t breakpoint_hits = 0;
   double serialize_seconds = 0.0;
   TraceSinkStats sink;  // carries the producer-side append/flush accounting
 
@@ -154,6 +159,26 @@ class CaptureManager {
   }
   bool capture_all_active() const { return capture_all_active_; }
 
+  /// Arms a conditional breakpoint (DESIGN.md §14). `predicate` is not
+  /// owned and must outlive the manager; null disarms. Call before
+  /// Engine::Run — the pointer is read without synchronization by worker
+  /// threads.
+  void ArmBreakpoint(const analysis::Predicate* predicate) {
+    breakpoint_ = predicate;
+  }
+  const analysis::Predicate* breakpoint() const { return breakpoint_; }
+
+  /// Accounts one vertex.compute() call that satisfied the armed
+  /// breakpoint. Counted for every hit, including ones whose capture was
+  /// then dropped by the limit — the minimizer's oracle needs the true
+  /// count, not the recorded one.
+  void CountBreakpointHit() {
+    breakpoint_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t num_breakpoint_hits() const {
+    return breakpoint_hits_.load(std::memory_order_relaxed);
+  }
+
   /// True while the safety-net threshold has not been reached.
   bool UnderCaptureLimit() const {
     return captures_.load(std::memory_order_relaxed) < max_captures_;
@@ -223,6 +248,7 @@ class CaptureManager {
     c.violations = num_violations();
     c.exceptions = num_exceptions();
     c.dropped_by_limit = num_dropped_by_limit();
+    c.breakpoint_hits = num_breakpoint_hits();
     c.serialize_seconds = serialize_seconds();
     c.sink = sink_->stats();
     return c;
@@ -233,6 +259,7 @@ class CaptureManager {
     violations_.store(c.violations, std::memory_order_relaxed);
     exceptions_.store(c.exceptions, std::memory_order_relaxed);
     dropped_by_limit_.store(c.dropped_by_limit, std::memory_order_relaxed);
+    breakpoint_hits_.store(c.breakpoint_hits, std::memory_order_relaxed);
     serialize_seconds_.store(c.serialize_seconds, std::memory_order_relaxed);
     sink_->RestoreStats(c.sink);
   }
@@ -331,6 +358,8 @@ class CaptureManager {
         ->Increment(num_exceptions());
     registry->GetCounter("capture.dropped_by_limit_total")
         ->Increment(num_dropped_by_limit());
+    registry->GetCounter("capture.breakpoint_hits_total")
+        ->Increment(num_breakpoint_hits());
     registry->GetGauge("capture.serialize_seconds")
         ->Add(serialize_seconds());
     registry->GetGauge("capture.trace_bytes")
@@ -402,12 +431,14 @@ class CaptureManager {
   bool has_vertex_value_constraint_ = false;
   bool capture_all_active_ = false;
   uint64_t max_captures_ = 0;
+  const analysis::Predicate* breakpoint_ = nullptr;
 
   std::atomic<uint64_t> captures_{0};
   std::atomic<uint64_t> master_captures_{0};
   std::atomic<uint64_t> violations_{0};
   std::atomic<uint64_t> exceptions_{0};
   std::atomic<uint64_t> dropped_by_limit_{0};
+  std::atomic<uint64_t> breakpoint_hits_{0};
   std::atomic<double> serialize_seconds_{0.0};
 };
 

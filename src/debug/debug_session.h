@@ -4,12 +4,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/predicate.h"
 #include "common/result.h"
 #include "common/string_util.h"
 #include "debug/capture_manager.h"
@@ -29,6 +31,10 @@ struct TraceQuery {
   uint32_t reason_mask = 0;
   bool only_exceptions = false;
   bool only_violations = false;
+  /// Compiled predicate-DSL filter (DESIGN.md §14), evaluated against each
+  /// candidate trace via PredicateInputFromTrace. Null matches everything.
+  /// Shared so concurrent readers can reuse one compiled expression.
+  std::shared_ptr<const analysis::Predicate> predicate;
 };
 
 /// Loads the manifest of `job_id` if one was written. Absent manifests are
@@ -198,6 +204,11 @@ class DebugSession {
       }
       if (query.only_exceptions && !t.exception.has_value()) return false;
       if (query.only_violations && t.violations.empty()) return false;
+      if (query.predicate != nullptr &&
+          !query.predicate->Eval(
+              analysis::PredicateInputFromTrace<Traits>(t))) {
+        return false;
+      }
       return true;
     };
     if (query.vertex.has_value()) {

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/predicate.h"
 #include "debug/capture_manager.h"
 #include "debug/vertex_trace.h"
 #include "pregel/computation.h"
@@ -74,14 +75,17 @@ class InstrumentedComputation : public pregel::Computation<Traits> {
     const bool eager = target_reasons != 0 && under_limit;
     const bool check_msgs = selected && manager_->has_message_constraint();
     const bool check_vv = selected && manager_->has_vertex_value_constraint();
+    // Unarmed breakpoints cost exactly this null check per vertex (the
+    // BM_PageRankSocEpinionsBreakpointOff bench guards it).
+    const bool check_bp = selected && manager_->breakpoint() != nullptr;
     const bool catch_exceptions =
         selected && manager_->config().CaptureExceptions();
 
-    if (!eager && !check_msgs && !check_vv && !catch_exceptions) {
+    if (!eager && !check_msgs && !check_vv && !check_bp && !catch_exceptions) {
       inner_->Compute(ctx, vertex, messages);
       return;
     }
-    if (!eager && !check_msgs && !check_vv) {
+    if (!eager && !check_msgs && !check_vv && !check_bp) {
       // Exceptions-only path (the DC-sp floor for untargeted vertices):
       // beyond one RNG-state read, zero work until a throw actually
       // happens. The trace then snapshots the post-throw state
@@ -143,6 +147,24 @@ class InstrumentedComputation : public pregel::Computation<Traits> {
       violations.push_back(
           ViolationInfo{ViolationInfo::Kind::kVertexValue, vertex.id(), 0,
                         vertex.value().ToString()});
+    }
+    if (check_bp) {
+      analysis::PredicateInput bp_input;
+      bp_input.value = analysis::NumericValueOf(vertex.value());
+      bp_input.value_before = analysis::NumericValueOf(value_before);
+      bp_input.superstep = superstep;
+      bp_input.vertex_id = vertex.id();
+      bp_input.out_degree = static_cast<int64_t>(vertex.edges().size());
+      bp_input.in_degree = static_cast<int64_t>(messages.size());
+      bp_input.halted = vertex.halted();
+      bp_input.has_exception = exception.has_value();
+      bp_input.violations = static_cast<int64_t>(violations.size());
+      bp_input.worker = ctx.worker_index();
+      bp_input.aggregators = &ctx.VisibleAggregators();
+      if (manager_->breakpoint()->Eval(bp_input)) {
+        reasons |= kReasonBreakpoint;
+        manager_->CountBreakpointHit();
+      }
     }
 
     if (reasons != 0 && manager_->UnderCaptureLimit()) {

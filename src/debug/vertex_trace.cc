@@ -8,7 +8,7 @@ std::string CaptureReasonsToString(uint32_t reasons) {
       {kReasonSpecified, "spec"},    {kReasonRandom, "random"},
       {kReasonNeighbor, "nbr"},      {kReasonVertexValue, "vv"},
       {kReasonMessageValue, "msg"},  {kReasonException, "exc"},
-      {kReasonAllActive, "active"},
+      {kReasonAllActive, "active"},  {kReasonBreakpoint, "bp"},
   };
   std::string out;
   for (const auto& [bit, name] : kNames) {

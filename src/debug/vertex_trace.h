@@ -28,6 +28,7 @@ enum CaptureReason : uint32_t {
   kReasonMessageValue = 1u << 4,    // category 4: message-value constraint
   kReasonException = 1u << 5,       // category 5: Compute() threw
   kReasonAllActive = 1u << 6,       // capture-all-active mode
+  kReasonBreakpoint = 1u << 7,      // conditional breakpoint predicate fired
 };
 
 /// "spec|random|nbr|vv|msg|exc|active" style rendering of a reason mask.

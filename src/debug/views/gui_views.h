@@ -102,54 +102,6 @@ ViewResult BuildView(const SuperstepSnapshot<Traits>& snapshot,
                              request);
 }
 
-/// Search filter predicate kept for one release; the structured API applies
-/// the same matching via ViewRequest::search.
-template <pregel::JobTraits Traits>
-[[deprecated("use ViewRequest::search with BuildView/RenderView")]]
-bool TraceMatchesSearch(const VertexTrace<Traits>& trace,
-                        const std::string& query) {
-  return internal_views::RowMatchesSearch(MakeVertexRow(trace, {}), query);
-}
-
-/// Node-link View (§3.2, Figure 3). Deprecated shim over the structured
-/// view API; kept for one release.
-template <pregel::JobTraits Traits>
-[[deprecated("use BuildView(snapshot, job, {.kind = ViewKind::kNodeLink})")]]
-std::string RenderNodeLinkView(const SuperstepSnapshot<Traits>& snapshot,
-                               const std::string& job_id) {
-  ViewRequest request;
-  request.kind = ViewKind::kNodeLink;
-  request.limit = kViewNoLimit;
-  return BuildView(snapshot, job_id, request).ToText();
-}
-
-/// Tabular View (§3.2, Figure 4). Deprecated shim over the structured view
-/// API; kept for one release.
-template <pregel::JobTraits Traits>
-[[deprecated("use BuildView(snapshot, job, {.kind = ViewKind::kTabular})")]]
-std::string RenderTabularView(const SuperstepSnapshot<Traits>& snapshot,
-                              const std::string& job_id,
-                              const std::string& search = "") {
-  ViewRequest request;
-  request.kind = ViewKind::kTabular;
-  request.limit = kViewNoLimit;
-  request.search = search;
-  return BuildView(snapshot, job_id, request).ToText();
-}
-
-/// Violations and Exceptions View (§3.2, Figure 5). Deprecated shim over
-/// the structured view API; kept for one release.
-template <pregel::JobTraits Traits>
-[[deprecated(
-    "use BuildView(snapshot, job, {.kind = ViewKind::kViolations})")]]
-std::string RenderViolationsView(const SuperstepSnapshot<Traits>& snapshot,
-                                 const std::string& job_id) {
-  ViewRequest request;
-  request.kind = ViewKind::kViolations;
-  request.limit = kViewNoLimit;
-  return BuildView(snapshot, job_id, request).ToText();
-}
-
 /// Graphviz DOT export of the node-link view — captured vertices as labeled
 /// nodes (dimmed when inactive, paper-style), uncaptured neighbors as small
 /// id-only nodes.

@@ -131,8 +131,7 @@ struct ViewResult {
 namespace internal_views {
 
 /// Matches a trace by id, neighbor id, value substring, or message
-/// substring — the legacy TraceMatchesSearch predicate, against the
-/// stringified row.
+/// substring, against the stringified row (ViewRequest::search semantics).
 bool RowMatchesSearch(const ViewVertexRow& row, const std::string& query);
 
 }  // namespace internal_views

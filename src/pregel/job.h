@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/predicate.h"
 #include "analysis/sanitizer.h"
 #include "common/fault_injector.h"
 #include "common/result.h"
@@ -57,6 +58,18 @@ struct JobSpec {
   /// clock, no epoch stamps. Findings persist to `trace_store` when one is
   /// set, and always appear in the run report's analysis profile.
   analysis::SanitizerOptions sanitizer;
+
+  /// Automated localization hooks (DESIGN.md §14). `breakpoint` is a
+  /// predicate-DSL expression armed as a conditional trace breakpoint:
+  /// every vertex.compute() call satisfying it is captured with
+  /// kReasonBreakpoint and counted into JobRunSummary::breakpoint_hits —
+  /// the minimizer's cheapest failure oracle. Requires `debug_config` +
+  /// `trace_store`. Empty (the default) is unarmed: the instrumented path
+  /// pays one null check per vertex and the uninstrumented path nothing.
+  struct AnalysisOptions {
+    std::string breakpoint;
+  };
+  AnalysisOptions analysis;
 
   /// Graft capture configuration; null runs the job without instrumentation.
   /// Requires `trace_store`.
@@ -128,6 +141,9 @@ struct JobRunSummary {
   uint64_t exceptions = 0;
   uint64_t dropped_by_capture_limit = 0;
   uint64_t trace_bytes = 0;
+  /// vertex.compute() calls that satisfied the armed breakpoint predicate
+  /// (0 when JobSpec::analysis.breakpoint is empty).
+  uint64_t breakpoint_hits = 0;
   /// BSP contract violations recorded by the sanitizer (0 when disabled).
   uint64_t analysis_findings = 0;
   /// Engine runs executed (1 = no recovery happened).
@@ -161,6 +177,22 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
   if (spec.debug_config != nullptr && spec.trace_store == nullptr) {
     return Status::InvalidArgument(
         "JobSpec.debug_config requires JobSpec.trace_store");
+  }
+  // Conditional breakpoint: compile and type-check before anything runs, so
+  // a bad predicate is a spec error, not a mid-job surprise.
+  std::optional<analysis::Predicate> breakpoint;
+  if (!spec.analysis.breakpoint.empty()) {
+    if (spec.debug_config == nullptr) {
+      return Status::InvalidArgument(
+          "JobSpec.analysis.breakpoint requires JobSpec.debug_config and "
+          "JobSpec.trace_store");
+    }
+    GRAFT_ASSIGN_OR_RETURN(
+        analysis::Predicate compiled,
+        analysis::Predicate::Compile(spec.analysis.breakpoint));
+    GRAFT_RETURN_NOT_OK(compiled.CheckInputSupport(
+        analysis::kHasNumericVertexValue<Traits>));
+    breakpoint = std::move(compiled);
   }
   CheckpointOptions ckpt = spec.checkpoint;
   if (ckpt.store == nullptr) ckpt.store = spec.trace_store;
@@ -226,6 +258,7 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
     sink = MakeTraceSink(trace_store, spec.capture_io);
     manager.emplace(trace_store, sink.get(), spec.debug_config,
                     spec.options.job_id, spec.options.num_workers);
+    if (breakpoint) manager->ArmBreakpoint(&*breakpoint);
     manager->PrepareTargets(spec.vertices);
     // A stale manifest from an earlier run under this job id would satisfy
     // reads with the old index; captures start from a clean slate.
@@ -535,6 +568,7 @@ Result<JobRunSummary> RunJob(JobSpec<Traits> spec) {
     summary.exceptions = manager->num_exceptions();
     summary.dropped_by_capture_limit = manager->num_dropped_by_limit();
     summary.trace_bytes = manager->TraceBytes();
+    summary.breakpoint_hits = manager->num_breakpoint_hits();
     // Attach the capture-overhead half of the run report (the engine filled
     // the phase-timing half during Run).
     manager->FillCaptureProfile(&summary.stats.report.capture);

@@ -7,6 +7,8 @@
 #include "algos/connected_components.h"
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
+#include "common/string_util.h"
+#include "debug/codegen.h"
 #include "debug/debug_config.h"
 #include "debug/debug_session.h"
 #include "graph/generators.h"
@@ -62,7 +64,12 @@ Status RunWithCapture(const JobRequest& request, const RunEnv& env,
   return Status::OK();
 }
 
-Status RunPageRankJob(const JobRequest& request, const RunEnv& env) {
+/// Per-algo spec builders: graph + algorithm fields (vertices, computation,
+/// master, combiner) only. Runners layer the capture/telemetry scaffolding
+/// on top; the minimizer re-runs them bare, per probe.
+
+Result<pregel::JobSpec<algos::PageRankTraits>> BuildPageRankSpec(
+    const JobRequest& request) {
   using Traits = algos::PageRankTraits;
   using pregel::DoubleValue;
   GRAFT_ASSIGN_OR_RETURN(graph::SimpleGraph g, BuildRequestedGraph(request));
@@ -79,11 +86,11 @@ Status RunPageRankJob(const JobRequest& request, const RunEnv& env) {
   spec.master = [iterations]() -> std::unique_ptr<pregel::MasterCompute> {
     return std::make_unique<algos::PageRankMaster>(iterations);
   };
-  return RunWithCapture(request, env, std::move(spec));
+  return spec;
 }
 
-Status RunConnectedComponentsJob(const JobRequest& request,
-                                 const RunEnv& env) {
+Result<pregel::JobSpec<algos::CCTraits>> BuildConnectedComponentsSpec(
+    const JobRequest& request) {
   using Traits = algos::CCTraits;
   using pregel::Int64Value;
   GRAFT_ASSIGN_OR_RETURN(graph::SimpleGraph g, BuildRequestedGraph(request));
@@ -94,10 +101,11 @@ Status RunConnectedComponentsJob(const JobRequest& request,
   spec.vertices = pregel::LoadUnweighted<Traits>(
       g, [](VertexId) { return Int64Value{0}; });
   spec.computation = algos::MakeConnectedComponentsFactory();
-  return RunWithCapture(request, env, std::move(spec));
+  return spec;
 }
 
-Status RunSsspJob(const JobRequest& request, const RunEnv& env) {
+Result<pregel::JobSpec<algos::SsspTraits>> BuildSsspSpec(
+    const JobRequest& request) {
   using Traits = algos::SsspTraits;
   using pregel::DoubleValue;
   GRAFT_ASSIGN_OR_RETURN(graph::SimpleGraph g, BuildRequestedGraph(request));
@@ -115,7 +123,108 @@ Status RunSsspJob(const JobRequest& request, const RunEnv& env) {
   spec.computation = [source] {
     return std::make_unique<algos::SsspComputation>(source);
   };
+  return spec;
+}
+
+Status RunPageRankJob(const JobRequest& request, const RunEnv& env) {
+  GRAFT_ASSIGN_OR_RETURN(auto spec, BuildPageRankSpec(request));
   return RunWithCapture(request, env, std::move(spec));
+}
+
+Status RunConnectedComponentsJob(const JobRequest& request,
+                                 const RunEnv& env) {
+  GRAFT_ASSIGN_OR_RETURN(auto spec, BuildConnectedComponentsSpec(request));
+  return RunWithCapture(request, env, std::move(spec));
+}
+
+Status RunSsspJob(const JobRequest& request, const RunEnv& env) {
+  GRAFT_ASSIGN_OR_RETURN(auto spec, BuildSsspSpec(request));
+  return RunWithCapture(request, env, std::move(spec));
+}
+
+/// The shared minimizer scaffolding: rebuild the algo's spec skeleton from
+/// the request, hand the graph to JobMinimizer, and replay the request's
+/// engine knobs into both the probes and the generated reproducer.
+template <pregel::JobTraits Traits>
+Result<analysis::MinimizerReport> MinimizeJob(
+    Result<pregel::JobSpec<Traits>> (*build)(const JobRequest&),
+    const JobRequest& request, const analysis::MinimizerOptions& options,
+    const analysis::MinimizerProgressFn& progress,
+    debug::JobCodegenBinding binding) {
+  GRAFT_ASSIGN_OR_RETURN(pregel::JobSpec<Traits> skeleton, build(request));
+  std::vector<pregel::Vertex<Traits>> vertices = std::move(skeleton.vertices);
+  skeleton.vertices.clear();
+  skeleton.options.num_workers = request.workers;
+  skeleton.options.max_supersteps = request.max_supersteps;
+  skeleton.options.seed = request.engine_seed;
+  binding.num_workers = request.workers;
+  binding.seed = request.engine_seed;
+  auto shared =
+      std::make_shared<const pregel::JobSpec<Traits>>(std::move(skeleton));
+  analysis::JobMinimizer<Traits> minimizer([shared] { return *shared; },
+                                           std::move(vertices), options);
+  minimizer.set_progress(progress);
+  return minimizer.Run(std::move(binding));
+}
+
+Result<analysis::MinimizerReport> MinimizePageRankJob(
+    const JobRequest& request, const analysis::MinimizerOptions& options,
+    const analysis::MinimizerProgressFn& progress) {
+  debug::JobCodegenBinding binding;
+  binding.traits_type = "graft::algos::PageRankTraits";
+  binding.includes = {"algos/pagerank.h"};
+  binding.computation_factory = StrFormat(
+      "[] { return std::make_unique<graft::algos::PageRankComputation>(%lld);"
+      " }",
+      static_cast<long long>(request.iterations));
+  binding.master_factory = StrFormat(
+      "[]() -> std::unique_ptr<graft::pregel::MasterCompute> {\n"
+      "    return std::make_unique<graft::algos::PageRankMaster>(%lld);\n"
+      "  }",
+      static_cast<long long>(request.iterations));
+  binding.combiner =
+      "[](const graft::pregel::DoubleValue& a,\n"
+      "     const graft::pregel::DoubleValue& b) {\n"
+      "    return graft::pregel::DoubleValue{a.value + b.value};\n"
+      "  }";
+  return MinimizeJob<algos::PageRankTraits>(BuildPageRankSpec, request,
+                                            options, progress,
+                                            std::move(binding));
+}
+
+Result<analysis::MinimizerReport> MinimizeConnectedComponentsJob(
+    const JobRequest& request, const analysis::MinimizerOptions& options,
+    const analysis::MinimizerProgressFn& progress) {
+  debug::JobCodegenBinding binding;
+  binding.traits_type = "graft::algos::CCTraits";
+  binding.includes = {"algos/connected_components.h"};
+  binding.computation_factory =
+      "graft::algos::MakeConnectedComponentsFactory()";
+  binding.combiner =
+      "[](const graft::pregel::Int64Value& a,\n"
+      "     const graft::pregel::Int64Value& b) {\n"
+      "    return graft::pregel::Int64Value{std::min(a.value, b.value)};\n"
+      "  }";
+  return MinimizeJob<algos::CCTraits>(BuildConnectedComponentsSpec, request,
+                                      options, progress, std::move(binding));
+}
+
+Result<analysis::MinimizerReport> MinimizeSsspJob(
+    const JobRequest& request, const analysis::MinimizerOptions& options,
+    const analysis::MinimizerProgressFn& progress) {
+  debug::JobCodegenBinding binding;
+  binding.traits_type = "graft::algos::SsspTraits";
+  binding.includes = {"algos/sssp.h"};
+  binding.computation_factory = StrFormat(
+      "[] { return std::make_unique<graft::algos::SsspComputation>(%lld); }",
+      static_cast<long long>(request.source));
+  binding.combiner =
+      "[](const graft::pregel::DoubleValue& a,\n"
+      "     const graft::pregel::DoubleValue& b) {\n"
+      "    return graft::pregel::DoubleValue{std::min(a.value, b.value)};\n"
+      "  }";
+  return MinimizeJob<algos::SsspTraits>(BuildSsspSpec, request, options,
+                                        progress, std::move(binding));
 }
 
 template <pregel::JobTraits Traits>
@@ -134,17 +243,21 @@ Result<debug::ViewResult> ViewJob(const TraceStore& store,
 const AlgoCatalog& AlgoCatalog::Global() {
   static const AlgoCatalog* catalog = [] {
     auto* c = new AlgoCatalog();
-    c->Register("pagerank", RunPageRankJob,
-                ViewJob<algos::PageRankTraits>);
-    c->Register("cc", RunConnectedComponentsJob, ViewJob<algos::CCTraits>);
-    c->Register("sssp", RunSsspJob, ViewJob<algos::SsspTraits>);
+    c->Register("pagerank", RunPageRankJob, ViewJob<algos::PageRankTraits>,
+                MinimizePageRankJob);
+    c->Register("cc", RunConnectedComponentsJob, ViewJob<algos::CCTraits>,
+                MinimizeConnectedComponentsJob);
+    c->Register("sssp", RunSsspJob, ViewJob<algos::SsspTraits>,
+                MinimizeSsspJob);
     return c;
   }();
   return *catalog;
 }
 
-void AlgoCatalog::Register(std::string name, Runner runner, Viewer viewer) {
-  entries_[std::move(name)] = Entry{std::move(runner), std::move(viewer)};
+void AlgoCatalog::Register(std::string name, Runner runner, Viewer viewer,
+                           Minimizer minimizer) {
+  entries_[std::move(name)] =
+      Entry{std::move(runner), std::move(viewer), std::move(minimizer)};
 }
 
 std::vector<std::string> AlgoCatalog::Names() const {
@@ -174,6 +287,21 @@ Result<debug::ViewResult> AlgoCatalog::View(
     return Status::InvalidArgument("unknown algo '" + algo + "'");
   }
   return it->second.viewer(store, job_id, cache, request);
+}
+
+Result<analysis::MinimizerReport> AlgoCatalog::Minimize(
+    const std::string& algo, const JobRequest& request,
+    const analysis::MinimizerOptions& options,
+    const analysis::MinimizerProgressFn& progress) const {
+  auto it = entries_.find(algo);
+  if (it == entries_.end()) {
+    return Status::InvalidArgument("unknown algo '" + algo + "'");
+  }
+  if (it->second.minimizer == nullptr) {
+    return Status::Unimplemented("algo '" + algo +
+                                 "' does not support minimization");
+  }
+  return it->second.minimizer(request, options, progress);
 }
 
 }  // namespace service

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/minimizer.h"
 #include "common/result.h"
 #include "debug/views/view_api.h"
 #include "io/trace_block_cache.h"
@@ -37,13 +38,21 @@ class AlgoCatalog {
   using Viewer = std::function<Result<debug::ViewResult>(
       const TraceStore&, const std::string& job_id, TraceBlockCache*,
       const debug::ViewRequest&)>;
+  /// Rebuilds the request's job and delta-debugs it down to a
+  /// smallest-known failing subgraph (DESIGN.md §14). Blocking — meant for
+  /// a JobQueue worker; probes re-run the job against a private in-memory
+  /// store, so nothing it does touches the service's trace store.
+  using Minimizer = std::function<Result<analysis::MinimizerReport>(
+      const JobRequest&, const analysis::MinimizerOptions&,
+      const analysis::MinimizerProgressFn&)>;
 
   /// The built-in catalog: pagerank, cc, sssp.
   static const AlgoCatalog& Global();
 
   AlgoCatalog() = default;
 
-  void Register(std::string name, Runner runner, Viewer viewer);
+  void Register(std::string name, Runner runner, Viewer viewer,
+                Minimizer minimizer = nullptr);
 
   bool Has(const std::string& name) const {
     return entries_.count(name) != 0;
@@ -62,10 +71,18 @@ class AlgoCatalog {
                                  TraceBlockCache* cache,
                                  const debug::ViewRequest& request) const;
 
+  /// Re-runs `request`'s job under the minimizer with `algo`'s Traits.
+  /// kUnimplemented for algos registered without a Minimizer.
+  Result<analysis::MinimizerReport> Minimize(
+      const std::string& algo, const JobRequest& request,
+      const analysis::MinimizerOptions& options,
+      const analysis::MinimizerProgressFn& progress) const;
+
  private:
   struct Entry {
     Runner runner;
     Viewer viewer;
+    Minimizer minimizer;
   };
   std::map<std::string, Entry> entries_;
 };

@@ -113,6 +113,18 @@ void DebugService::RegisterRoutes(obs::TelemetryServer* server) {
                         [this](const HttpRequest& request) {
                           return HandleView(request, debug::ViewKind::kVertex);
                         });
+  server->RegisterRoute("POST", "/jobs/{id}/minimize",
+                        [this](const HttpRequest& request) {
+                          return HandleMinimizeSubmit(request);
+                        });
+  server->RegisterRoute("GET", "/jobs/{id}/minimize",
+                        [this](const HttpRequest& request) {
+                          return HandleMinimizeStatus(request);
+                        });
+  server->RegisterRoute("GET", "/jobs/{id}/minimize/reproducer",
+                        [this](const HttpRequest& request) {
+                          return HandleMinimizeReproducer(request);
+                        });
 }
 
 Result<JobRequest> DebugService::Submit(std::string_view body) {
@@ -139,7 +151,7 @@ Result<JobRequest> DebugService::Submit(std::string_view body) {
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_algos_[request.job_id] = request.algo;
+    job_requests_[request.job_id] = request;
   }
   // Visible as pending immediately; RunJob re-registers (replacing this
   // entry) when a worker picks the job up.
@@ -170,8 +182,143 @@ Result<JobRequest> DebugService::Submit(std::string_view body) {
 
 std::string DebugService::AlgoForJob(const std::string& job_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = job_algos_.find(job_id);
-  return it != job_algos_.end() ? it->second : "";
+  auto it = job_requests_.find(job_id);
+  return it != job_requests_.end() ? it->second.algo : "";
+}
+
+Status DebugService::SubmitMinimize(const std::string& job_id,
+                                    std::string_view body) {
+  JobRequest job_request;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = job_requests_.find(job_id);
+    if (it == job_requests_.end()) {
+      return Status::NotFound(
+          "job '" + job_id +
+          "' was not submitted through this service; minimize needs the "
+          "original job spec");
+    }
+    job_request = it->second;
+  }
+  // Minimization re-runs the job from its spec, so the original run must be
+  // over (same rule as debug reads; also keeps one job's probes from racing
+  // its own capture output).
+  GRAFT_RETURN_NOT_OK(CheckReadable(job_id));
+
+  analysis::MinimizerOptions minimize;
+  if (!body.empty()) {
+    GRAFT_ASSIGN_OR_RETURN(std::unique_ptr<JsonValue> spec, ParseJson(body));
+    GRAFT_ASSIGN_OR_RETURN(const std::string oracle,
+                           spec->GetString("oracle", "sanitizer"));
+    GRAFT_ASSIGN_OR_RETURN(minimize.oracle, analysis::ParseOracleKind(oracle));
+    GRAFT_ASSIGN_OR_RETURN(minimize.predicate,
+                           spec->GetString("predicate", ""));
+    GRAFT_ASSIGN_OR_RETURN(const std::string kind,
+                           spec->GetString("finding_kind", ""));
+    if (!kind.empty()) {
+      bool known = false;
+      for (int i = 0; i < analysis::kNumFindingKinds; ++i) {
+        const auto candidate = static_cast<analysis::FindingKind>(i);
+        if (kind == analysis::FindingKindName(candidate)) {
+          minimize.finding_kind = candidate;
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return Status::InvalidArgument("unknown finding_kind '" + kind + "'");
+      }
+    }
+    GRAFT_ASSIGN_OR_RETURN(const int64_t max_probes,
+                           spec->GetInt("max_probes", minimize.max_probes));
+    if (max_probes < 1) {
+      return Status::InvalidArgument("max_probes must be >= 1");
+    }
+    minimize.max_probes = static_cast<int>(max_probes);
+    GRAFT_ASSIGN_OR_RETURN(
+        minimize.bisect_supersteps,
+        spec->GetBool("bisect_supersteps", minimize.bisect_supersteps));
+    GRAFT_ASSIGN_OR_RETURN(
+        minimize.minimize_edges,
+        spec->GetBool("minimize_edges", minimize.minimize_edges));
+  }
+  if (minimize.oracle == analysis::OracleKind::kPredicate) {
+    // Fail bad predicates at submit time, not on the worker.
+    GRAFT_RETURN_NOT_OK(analysis::Predicate::Validate(minimize.predicate));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = minimizations_.find(job_id);
+    if (it != minimizations_.end() && it->second.state != "done" &&
+        it->second.state != "failed") {
+      return Status::AlreadyExists("a minimization of job '" + job_id +
+                                   "' is already " + it->second.state);
+    }
+    minimizations_[job_id] = MinimizeStatus{"pending", "", {}, "", ""};
+  }
+  Status submitted = queue_.Submit([this, job_id, job_request, minimize] {
+    RunMinimize(job_id, job_request, minimize);
+  });
+  if (!submitted.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    minimizations_.erase(job_id);
+    return submitted;
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("service.minimizer_jobs_total")->Increment();
+  }
+  return Status::OK();
+}
+
+void DebugService::RunMinimize(const std::string& job_id,
+                               const JobRequest& request,
+                               const analysis::MinimizerOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    minimizations_[job_id].state = "running";
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetGauge("service.minimizer_active")->Add(1);
+  }
+  analysis::MinimizerProgressFn progress =
+      [this, job_id](const analysis::MinimizerProgress& p) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        minimizations_[job_id].progress = p;
+      };
+  Result<analysis::MinimizerReport> report =
+      options_.catalog->Minimize(request.algo, request, options, progress);
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetGauge("service.minimizer_active")->Add(-1);
+    if (report.ok()) {
+      options_.metrics->GetCounter("service.minimizer_probes_total")
+          ->Increment(static_cast<uint64_t>(report->probes));
+    } else {
+      options_.metrics->GetCounter("service.minimizer_failed_total")
+          ->Increment();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  MinimizeStatus& state = minimizations_[job_id];
+  if (!report.ok()) {
+    state.state = "failed";
+    state.error = report.status().ToString();
+    return;
+  }
+  state.state = "done";
+  state.report_json = report->ToJson();
+  state.reproducer = std::move(report->reproducer_code);
+}
+
+Result<DebugService::MinimizeStatus> DebugService::MinimizeStatusForJob(
+    const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = minimizations_.find(job_id);
+  if (it == minimizations_.end()) {
+    return Status::NotFound("no minimization submitted for job '" + job_id +
+                            "'");
+  }
+  return it->second;
 }
 
 Status DebugService::CheckReadable(const std::string& job_id) const {
@@ -422,6 +569,84 @@ Response DebugService::HandleView(const HttpRequest& request,
         ->Increment();
   }
   return RenderedView(*result, view->format);
+}
+
+Response DebugService::HandleMinimizeSubmit(const HttpRequest& request) {
+  const std::string& job_id = request.params.at("id");
+  Status submitted = SubmitMinimize(job_id, request.body);
+  if (!submitted.ok()) {
+    return obs::TelemetryServer::ErrorResponse(submitted);
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("job_id", job_id);
+  w.KV("state", "pending");
+  w.Key("endpoints");
+  w.BeginObject();
+  w.KV("status", "/jobs/" + job_id + "/minimize");
+  w.KV("reproducer", "/jobs/" + job_id + "/minimize/reproducer");
+  w.EndObject();
+  w.EndObject();
+  return Response::Json(w.TakeString(), /*status=*/202);
+}
+
+Response DebugService::HandleMinimizeStatus(const HttpRequest& request) {
+  const std::string& job_id = request.params.at("id");
+  Result<MinimizeStatus> status = MinimizeStatusForJob(job_id);
+  if (!status.ok()) {
+    return obs::TelemetryServer::ErrorResponse(status.status());
+  }
+  if (status->state == "done") {
+    // The finished report verbatim, plus the lifecycle envelope.
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("job_id", job_id);
+    w.KV("state", status->state);
+    w.Key("report");
+    w.Raw(status->report_json);
+    w.EndObject();
+    return Response::Json(w.TakeString());
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("job_id", job_id);
+  w.KV("state", status->state);
+  if (!status->error.empty()) w.KV("error", status->error);
+  w.Key("progress");
+  w.BeginObject();
+  w.KV("phase", status->progress.phase);
+  w.KV("probes", static_cast<int64_t>(status->progress.probes));
+  w.KV("failing_probes",
+       static_cast<int64_t>(status->progress.failing_probes));
+  w.KV("current_vertices",
+       static_cast<uint64_t>(status->progress.current_vertices));
+  w.KV("current_edges",
+       static_cast<uint64_t>(status->progress.current_edges));
+  w.KV("superstep_cap", status->progress.superstep_cap);
+  w.EndObject();
+  w.EndObject();
+  return Response::Json(w.TakeString());
+}
+
+Response DebugService::HandleMinimizeReproducer(const HttpRequest& request) {
+  const std::string& job_id = request.params.at("id");
+  Result<MinimizeStatus> status = MinimizeStatusForJob(job_id);
+  if (!status.ok()) {
+    return obs::TelemetryServer::ErrorResponse(status.status());
+  }
+  if (status->state != "done") {
+    return obs::TelemetryServer::ErrorResponse(Status::NotFound(
+        "minimization of job '" + job_id + "' is " + status->state +
+        "; the reproducer exists only once it is done"));
+  }
+  if (status->reproducer.empty()) {
+    return obs::TelemetryServer::ErrorResponse(Status::NotFound(
+        "minimization of job '" + job_id +
+        "' did not reproduce the failure; no reproducer was generated"));
+  }
+  Response r;
+  r.body = status->reproducer;
+  return r;
 }
 
 }  // namespace service

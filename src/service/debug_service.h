@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "analysis/minimizer.h"
 #include "common/result.h"
 #include "io/trace_block_cache.h"
 #include "io/trace_store.h"
@@ -52,6 +53,16 @@ struct DebugServiceOptions {
 ///   GET  /jobs/{id}/debug/vertex/{vid}  point lookup / full history
 ///   GET  /jobs/{id}/debug/master     a superstep's master trace
 ///   GET  /jobs/{id}/debug/violations constraint violations + exceptions
+///   POST /jobs/{id}/minimize         delta-debug the job down to a
+///                                    smallest-known failing subgraph
+///                                    (body: {"oracle": "predicate|
+///                                    sanitizer|failure", "predicate": ...,
+///                                    "max_probes": N}); 202 accepted,
+///                                    404 unknown job, 409 job still
+///                                    running / minimization in flight
+///   GET  /jobs/{id}/minimize         minimization progress or final report
+///   GET  /jobs/{id}/minimize/reproducer  the generated gtest source
+///                                    (text/plain; 404 until done)
 ///
 /// Common read query parameters: superstep=N (default: first captured),
 /// offset / limit (limit=all disables), search=<q>, format=json|text.
@@ -86,6 +97,24 @@ class DebugService {
   /// jobs run outside this service).
   std::string AlgoForJob(const std::string& job_id) const;
 
+  /// Parses + enqueues one minimization for a previously-submitted job.
+  /// Exposed for tests and non-HTTP embedders; HTTP maps the error codes
+  /// (NotFound→404, FailedPrecondition/AlreadyExists→409, ...).
+  Status SubmitMinimize(const std::string& job_id, std::string_view body);
+
+  /// One minimization's lifecycle, snapshot for pollers.
+  struct MinimizeStatus {
+    std::string state;  // pending|running|done|failed
+    std::string error;
+    analysis::MinimizerProgress progress;
+    /// MinimizerReport::ToJson of the finished run ("" until done).
+    std::string report_json;
+    /// Generated gtest source ("" until done / bug not reproduced).
+    std::string reproducer;
+  };
+  /// kNotFound when no minimization was ever submitted for `job_id`.
+  Result<MinimizeStatus> MinimizeStatusForJob(const std::string& job_id) const;
+
  private:
   obs::TelemetryServer::Response HandleSubmit(
       const obs::HttpRequest& request);
@@ -95,6 +124,16 @@ class DebugService {
       const obs::HttpRequest& request);
   obs::TelemetryServer::Response HandleView(const obs::HttpRequest& request,
                                             debug::ViewKind kind);
+  obs::TelemetryServer::Response HandleMinimizeSubmit(
+      const obs::HttpRequest& request);
+  obs::TelemetryServer::Response HandleMinimizeStatus(
+      const obs::HttpRequest& request);
+  obs::TelemetryServer::Response HandleMinimizeReproducer(
+      const obs::HttpRequest& request);
+
+  /// Runs one accepted minimization on a queue worker.
+  void RunMinimize(const std::string& job_id, const JobRequest& request,
+                   const analysis::MinimizerOptions& options);
 
   /// kFailedPrecondition while the job is still pending/running/recovering,
   /// OK when finished or unknown to the registry (pre-existing traces).
@@ -104,7 +143,11 @@ class DebugService {
   JobQueue queue_;
   std::atomic<uint64_t> sequence_{0};
   mutable std::mutex mutex_;
-  std::map<std::string, std::string> job_algos_;
+  /// Everything a minimization needs to rebuild the job, kept per submitted
+  /// job id (minimize re-runs the whole job; the original request is the
+  /// recipe).
+  std::map<std::string, JobRequest> job_requests_;
+  std::map<std::string, MinimizeStatus> minimizations_;
 };
 
 }  // namespace service

@@ -1,0 +1,85 @@
+#ifndef GRAFT_TESTS_ANALYSIS_CORPUS_LINT_FODDER_H_
+#define GRAFT_TESTS_ANALYSIS_CORPUS_LINT_FODDER_H_
+
+// Deliberately bad vertex programs for the bsp_lint self-test
+// (tools/bsp_lint.py --expect-findings / --expect-rules): each block below
+// plants exactly one finding of a named rule. Never compiled into a test
+// binary — linted only, so the constructs stay minimal.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algos/pagerank.h"
+#include "pregel/computation.h"
+#include "pregel/compute_context.h"
+#include "pregel/vertex.h"
+
+namespace graft {
+namespace analysis_corpus {
+
+// [predicate-dsl] Breakpoint strings that do not parse: `=` instead of
+// `==`, a bool/num type mismatch, and an unknown variable.
+inline const char* BadBreakpointAssignment() {
+  struct Holder {
+    std::string breakpoint;
+  } spec;
+  spec.breakpoint = "value = 0";
+  spec.breakpoint = "halted < 3";
+  spec.breakpoint = "vertex_degree > 2";
+  return "value < 0 && superstep > 3";  // a valid one, for contrast
+}
+
+// [fp-agg] Floating-point aggregation without an allow() annotation.
+class FpAggPageRank : public pregel::Computation<algos::PageRankTraits> {
+ public:
+  void Compute(pregel::ComputeContext<algos::PageRankTraits>& ctx,
+               pregel::Vertex<algos::PageRankTraits>& vertex,
+               const std::vector<pregel::DoubleValue>& messages) override {
+    double sum = 0.0;
+    for (const pregel::DoubleValue& m : messages) sum += m.value;
+    ctx.Aggregate("fodder.sum", pregel::AggValue{sum * 0.5});
+    vertex.VoteToHalt();
+  }
+};
+
+// [unordered-iter] Walking an unordered_map inside Compute() orders the
+// sends by hash-table layout.
+class UnorderedIterPageRank : public pregel::Computation<algos::PageRankTraits> {
+ public:
+  void Compute(pregel::ComputeContext<algos::PageRankTraits>& ctx,
+               pregel::Vertex<algos::PageRankTraits>& vertex,
+               const std::vector<pregel::DoubleValue>& messages) override {
+    std::unordered_map<long long, int> neighbor_rank;
+    for (const auto& edge : vertex.edges()) {
+      neighbor_rank[edge.target] = 1;
+    }
+    for (const auto& [target, rank] : neighbor_rank) {
+      ctx.SendMessage(target, pregel::DoubleValue{static_cast<double>(rank)});
+    }
+    vertex.VoteToHalt();
+  }
+};
+
+// [unordered-agg] Aggregating in hash-table walk order: the float fold
+// depends on the container's layout, not just its contents.
+class UnorderedAggPageRank : public pregel::Computation<algos::PageRankTraits> {
+ public:
+  void Compute(pregel::ComputeContext<algos::PageRankTraits>& ctx,
+               pregel::Vertex<algos::PageRankTraits>& vertex,
+               const std::vector<pregel::DoubleValue>& messages) override {
+    std::unordered_map<long long, double> shares;
+    for (const auto& edge : vertex.edges()) {
+      shares[edge.target] = vertex.value().value;
+    }
+    for (const auto& [target, share] : shares) {
+      ctx.Aggregate("fodder.shares", pregel::AggValue{share});
+    }
+    vertex.VoteToHalt();
+  }
+};
+
+}  // namespace analysis_corpus
+}  // namespace graft
+
+#endif  // GRAFT_TESTS_ANALYSIS_CORPUS_LINT_FODDER_H_

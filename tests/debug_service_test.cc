@@ -440,6 +440,235 @@ TEST_F(DebugServiceTest, ConcurrentReadersZero5xxAndWarmCache) {
   EXPECT_GT(metrics_.GetGauge("tracecache.hit_rate")->value(), 0.5);
 }
 
+// ------------------------------------------------------- minimize routes --
+
+TEST_F(DebugServiceTest, MinimizeLifecycleEndToEnd) {
+  RunJob("cc", "min-1", /*vertices=*/24);
+  Response accepted = server_->Handle(
+      "POST", "/jobs/min-1/minimize",
+      "{\"oracle\":\"predicate\","
+      "\"predicate\":\"value == 0 && superstep >= 1\"}");
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  auto envelope = ParseJson(accepted.body);
+  ASSERT_TRUE(envelope.ok()) << envelope.status();
+  EXPECT_EQ((*envelope)->Get("job_id")->AsString(), "min-1");
+  EXPECT_EQ((*envelope)->Get("endpoints")->Get("status")->AsString(),
+            "/jobs/min-1/minimize");
+  EXPECT_EQ((*envelope)->Get("endpoints")->Get("reproducer")->AsString(),
+            "/jobs/min-1/minimize/reproducer");
+  service_->DrainJobs();
+
+  Response status = server_->Handle("GET", "/jobs/min-1/minimize");
+  ASSERT_EQ(status.status, 200) << status.body;
+  auto body = ParseJson(status.body);
+  ASSERT_TRUE(body.ok()) << body.status() << status.body;
+  EXPECT_EQ((*body)->Get("state")->AsString(), "done");
+  const auto* report = (*body)->Get("report");
+  ASSERT_NE(report, nullptr) << status.body;
+  EXPECT_TRUE(report->Get("reproduced")->AsBool());
+  EXPECT_EQ(report->Get("oracle")->AsString(), "predicate");
+  // Only vertex 0 carries component id 0, plus the one neighbor whose message
+  // wakes it past superstep 0: a two-vertex, one-edge witness.
+  EXPECT_EQ(*report->Get("final_vertices")->AsInt64(), 2);
+  EXPECT_EQ(*report->Get("final_edges")->AsInt64(), 1);
+  EXPECT_GT(*report->Get("probes")->AsInt64(), 1);
+  ASSERT_FALSE(report->Get("subgraph")->items().empty());
+  bool has_vertex_zero = false;
+  for (const auto& v : report->Get("subgraph")->items())
+    has_vertex_zero |= (*v->Get("id")->AsInt64() == 0);
+  EXPECT_TRUE(has_vertex_zero);
+
+  Response reproducer =
+      server_->Handle("GET", "/jobs/min-1/minimize/reproducer");
+  ASSERT_EQ(reproducer.status, 200) << reproducer.body;
+  EXPECT_NE(reproducer.body.find("TEST("), std::string::npos);
+  EXPECT_NE(reproducer.body.find("spec.analysis.breakpoint"),
+            std::string::npos);
+  EXPECT_GE(metrics_.GetCounter("service.minimizer_jobs_total")->value(), 1u);
+  EXPECT_GT(metrics_.GetCounter("service.minimizer_probes_total")->value(),
+            1u);
+}
+
+TEST_F(DebugServiceTest, MinimizeValidationAndUnknownJobs) {
+  // Minimize needs the original job spec: unknown jobs are 404.
+  EXPECT_EQ(server_->Handle("POST", "/jobs/ghost/minimize", "{}").status, 404);
+  EXPECT_EQ(server_->Handle("GET", "/jobs/ghost/minimize").status, 404);
+  EXPECT_EQ(
+      server_->Handle("GET", "/jobs/ghost/minimize/reproducer").status, 404);
+
+  RunJob("pagerank", "min-v");
+  // No minimization submitted yet: status and reproducer are 404.
+  EXPECT_EQ(server_->Handle("GET", "/jobs/min-v/minimize").status, 404);
+  EXPECT_EQ(
+      server_->Handle("GET", "/jobs/min-v/minimize/reproducer").status, 404);
+  // Malformed requests are rejected up front with 400.
+  EXPECT_EQ(
+      server_->Handle("POST", "/jobs/min-v/minimize", "{not json").status,
+      400);
+  EXPECT_EQ(server_->Handle("POST", "/jobs/min-v/minimize",
+                            "{\"oracle\":\"coin-flip\"}")
+                .status,
+            400);
+  EXPECT_EQ(server_->Handle("POST", "/jobs/min-v/minimize",
+                            "{\"oracle\":\"predicate\","
+                            "\"predicate\":\"value = 0\"}")
+                .status,
+            400);
+  EXPECT_EQ(server_->Handle("POST", "/jobs/min-v/minimize",
+                            "{\"max_probes\":0}")
+                .status,
+            400);
+  EXPECT_EQ(server_->Handle("POST", "/jobs/min-v/minimize",
+                            "{\"finding_kind\":\"bogus-kind\"}")
+                .status,
+            400);
+}
+
+TEST_F(DebugServiceTest, MinimizeOfRunningJobConflictsAndUnsupportedFails) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool started = false;
+  bool release = false;
+  AlgoCatalog catalog;
+  catalog.Register(
+      "slow",
+      [&](const JobRequest& request, const RunEnv& env) {
+        {
+          std::unique_lock<std::mutex> lock(gate_mutex);
+          started = true;
+          gate_cv.notify_all();
+          gate_cv.wait(lock, [&] { return release; });
+        }
+        env.registry->Find(request.job_id)->Finish(true, "slow done");
+        return Status::OK();
+      },
+      [](const TraceStore&, const std::string&, TraceBlockCache*,
+         const debug::ViewRequest&) -> Result<debug::ViewResult> {
+        return Status::NotFound("no captures");
+      });  // no minimizer registered
+  Recreate(/*workers=*/2, /*queue_capacity=*/16, &catalog);
+
+  Response submit =
+      server_->Handle("POST", "/jobs", "{\"algo\":\"slow\",\"job_id\":\"m1\"}");
+  ASSERT_EQ(submit.status, 202) << submit.body;
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return started; });
+  }
+  // The job is live: minimize conflicts just like debug reads do.
+  Response conflict = server_->Handle("POST", "/jobs/m1/minimize", "{}");
+  EXPECT_EQ(conflict.status, 409) << conflict.body;
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  service_->DrainJobs();
+
+  // Finished, but the algo has no registered minimizer: the minimization
+  // job is accepted and then fails with Unimplemented.
+  Response accepted = server_->Handle("POST", "/jobs/m1/minimize", "{}");
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  service_->DrainJobs();
+  Response status = server_->Handle("GET", "/jobs/m1/minimize");
+  ASSERT_EQ(status.status, 200) << status.body;
+  auto body = ParseJson(status.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ((*body)->Get("state")->AsString(), "failed");
+  EXPECT_NE((*body)->Get("error")->AsString().find("minimization"),
+            std::string::npos)
+      << status.body;
+  EXPECT_GE(metrics_.GetCounter("service.minimizer_failed_total")->value(),
+            1u);
+  EXPECT_EQ(
+      server_->Handle("GET", "/jobs/m1/minimize/reproducer").status, 404);
+}
+
+TEST_F(DebugServiceTest, MinimizeInFlightStatusAndDuplicateConflict) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool started = false;
+  bool release = false;
+  AlgoCatalog catalog;
+  catalog.Register(
+      "mini",
+      [](const JobRequest& request, const RunEnv& env) {
+        env.registry->Find(request.job_id)->Finish(true, "done");
+        return Status::OK();
+      },
+      [](const TraceStore&, const std::string&, TraceBlockCache*,
+         const debug::ViewRequest&) -> Result<debug::ViewResult> {
+        return Status::NotFound("no captures");
+      },
+      [&](const JobRequest&, const analysis::MinimizerOptions&,
+          const analysis::MinimizerProgressFn& progress)
+          -> Result<analysis::MinimizerReport> {
+        analysis::MinimizerProgress running;
+        running.phase = "ddmin-vertices";
+        running.probes = 7;
+        progress(running);
+        {
+          std::unique_lock<std::mutex> lock(gate_mutex);
+          started = true;
+          gate_cv.notify_all();
+          gate_cv.wait(lock, [&] { return release; });
+        }
+        analysis::MinimizerReport report;
+        report.reproduced = true;
+        report.oracle = "failure";
+        report.probes = 9;
+        report.final_vertices = 1;
+        report.reproducer_code = "// generated\nTEST(Mini, Repro) {}\n";
+        return report;
+      });
+  Recreate(/*workers=*/2, /*queue_capacity=*/16, &catalog);
+
+  Response submit =
+      server_->Handle("POST", "/jobs", "{\"algo\":\"mini\",\"job_id\":\"m2\"}");
+  ASSERT_EQ(submit.status, 202) << submit.body;
+  service_->DrainJobs();
+  ASSERT_EQ(server_->Handle("POST", "/jobs/m2/minimize", "{}").status, 202);
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return started; });
+  }
+  // While the minimization runs: live progress, a duplicate conflicts, and
+  // the reproducer does not exist yet.
+  Response status = server_->Handle("GET", "/jobs/m2/minimize");
+  ASSERT_EQ(status.status, 200) << status.body;
+  auto body = ParseJson(status.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ((*body)->Get("state")->AsString(), "running");
+  EXPECT_EQ((*body)->Get("progress")->Get("phase")->AsString(),
+            "ddmin-vertices");
+  EXPECT_EQ(*(*body)->Get("progress")->Get("probes")->AsInt64(), 7);
+  EXPECT_EQ(server_->Handle("POST", "/jobs/m2/minimize", "{}").status, 409);
+  EXPECT_EQ(
+      server_->Handle("GET", "/jobs/m2/minimize/reproducer").status, 404);
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  service_->DrainJobs();
+  Response done = server_->Handle("GET", "/jobs/m2/minimize");
+  ASSERT_EQ(done.status, 200);
+  auto done_body = ParseJson(done.body);
+  ASSERT_TRUE(done_body.ok());
+  EXPECT_EQ((*done_body)->Get("state")->AsString(), "done");
+  Response reproducer =
+      server_->Handle("GET", "/jobs/m2/minimize/reproducer");
+  ASSERT_EQ(reproducer.status, 200);
+  EXPECT_NE(reproducer.body.find("TEST(Mini, Repro)"), std::string::npos);
+  // A finished minimization can be re-run.
+  EXPECT_EQ(server_->Handle("POST", "/jobs/m2/minimize", "{}").status, 202);
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    release = true;  // let the second run straight through
+  }
+  service_->DrainJobs();
+}
+
 }  // namespace
 }  // namespace service
 }  // namespace graft

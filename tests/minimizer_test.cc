@@ -1,0 +1,403 @@
+// Tests for the ddmin bug localizer (DESIGN.md §14): the DdMin kernel, the
+// oracle plumbing, convergence on the buggy-twin corpus (smallest-known
+// failing subgraphs), probe budgets, progress reporting, and a compiler
+// syntax check over the generated whole-job reproducer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algos/connected_components.h"
+#include "algos/pagerank.h"
+#include "analysis/minimizer.h"
+#include "graph/generators.h"
+#include "pregel/job.h"
+#include "pregel/loader.h"
+
+#include "analysis_corpus/buggy_twins.h"
+
+namespace graft {
+namespace analysis {
+namespace {
+
+using algos::CCTraits;
+using algos::PageRankTraits;
+using pregel::DoubleValue;
+using pregel::Int64Value;
+
+// ------------------------------------------------------------ DdMin kernel --
+
+std::vector<size_t> Indices(size_t n) {
+  std::vector<size_t> items(n);
+  for (size_t i = 0; i < n; ++i) items[i] = i;
+  return items;
+}
+
+bool Contains(const std::vector<size_t>& items, size_t x) {
+  return std::find(items.begin(), items.end(), x) != items.end();
+}
+
+TEST(DdMinTest, IsolatesASingleCulprit) {
+  int calls = 0;
+  auto test = [&calls](const std::vector<size_t>& subset) -> Result<bool> {
+    ++calls;
+    return Contains(subset, 5);
+  };
+  auto result = minimizer_internal::DdMin(Indices(32), test,
+                                          [] { return true; });
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, std::vector<size_t>{5});
+  EXPECT_GT(calls, 0);
+}
+
+TEST(DdMinTest, IsolatesAnInteractingPair) {
+  // Fails only when 3 AND 6 are both present — the classic ddmin case where
+  // plain bisection cannot descend.
+  auto test = [](const std::vector<size_t>& subset) -> Result<bool> {
+    return Contains(subset, 3) && Contains(subset, 6);
+  };
+  auto result =
+      minimizer_internal::DdMin(Indices(16), test, [] { return true; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<size_t>{3, 6}));
+}
+
+TEST(DdMinTest, SingleItemStaysPut) {
+  auto test = [](const std::vector<size_t>&) -> Result<bool> { return true; };
+  auto result =
+      minimizer_internal::DdMin(Indices(1), test, [] { return true; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, std::vector<size_t>{0});
+}
+
+TEST(DdMinTest, ExhaustedBudgetReturnsBestSoFar) {
+  int calls = 0;
+  auto test = [&calls](const std::vector<size_t>& subset) -> Result<bool> {
+    ++calls;
+    return Contains(subset, 5);
+  };
+  auto result = minimizer_internal::DdMin(Indices(32), test,
+                                          [] { return false; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 32u);  // never probed, never shrunk
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(DdMinTest, TestErrorsPropagate) {
+  auto test = [](const std::vector<size_t>&) -> Result<bool> {
+    return Status::Internal("probe exploded");
+  };
+  auto result =
+      minimizer_internal::DdMin(Indices(8), test, [] { return true; });
+  EXPECT_FALSE(result.ok());
+}
+
+// ----------------------------------------------------------------- oracles --
+
+TEST(OracleKindTest, NamesRoundTrip) {
+  for (OracleKind kind : {OracleKind::kPredicate, OracleKind::kSanitizer,
+                          OracleKind::kFailure}) {
+    auto parsed = ParseOracleKind(OracleKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_TRUE(ParseOracleKind("coin-flip").status().IsInvalidArgument());
+}
+
+// ------------------------------------------------------------- job fixtures --
+
+/// Skeleton (graph-free) spec for the kSendAfterHalt PageRank twin. The cap
+/// matters: the twin's ghost activations never converge on their own.
+pregel::JobSpec<PageRankTraits> SendAfterHaltSkeleton() {
+  pregel::JobSpec<PageRankTraits> spec;
+  spec.options.num_workers = 2;
+  spec.options.max_supersteps = 4;
+  spec.computation = [] {
+    return std::make_unique<analysis_corpus::MessageAfterHaltPageRank>(2);
+  };
+  return spec;
+}
+
+/// Skeleton spec for the kMutationAfterHalt connected-components twin.
+pregel::JobSpec<CCTraits> MutationAfterHaltSkeleton() {
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.num_workers = 2;
+  spec.options.max_supersteps = 32;
+  spec.computation = [] {
+    return std::make_unique<analysis_corpus::MutationAfterHaltCC>();
+  };
+  return spec;
+}
+
+debug::JobCodegenBinding CCTwinBinding() {
+  debug::JobCodegenBinding binding;
+  binding.traits_type = "graft::algos::CCTraits";
+  binding.includes = {"analysis_corpus/buggy_twins.h"};
+  binding.computation_factory =
+      "[] { return "
+      "std::make_unique<graft::analysis_corpus::MutationAfterHaltCC>(); }";
+  return binding;
+}
+
+debug::JobCodegenBinding PageRankTwinBinding() {
+  debug::JobCodegenBinding binding;
+  binding.traits_type = "graft::algos::PageRankTraits";
+  binding.includes = {"analysis_corpus/buggy_twins.h"};
+  binding.computation_factory =
+      "[] { return std::make_unique<"
+      "graft::analysis_corpus::MessageAfterHaltPageRank>(2); }";
+  return binding;
+}
+
+// Printed so EXPERIMENTS.md's probe-count table can be refreshed from a test
+// run instead of hand-tracked numbers.
+void PrintReportLine(const char* label, const MinimizerReport& r) {
+  std::cerr << "[minimizer] " << label << ": " << r.initial_vertices << "v/"
+            << r.initial_edges << "e -> " << r.final_vertices << "v/"
+            << r.final_edges << "e cap=" << r.superstep_cap
+            << " probes=" << r.probes << " failing=" << r.failing_probes
+            << " wall=" << r.wall_seconds << "s\n";
+}
+
+// -------------------------------------------------- corpus convergence (a) --
+
+TEST(JobMinimizerTest, ShrinksSendAfterHaltToOneEdge) {
+  auto vertices = pregel::LoadUnweighted<PageRankTraits>(
+      graph::GenerateRing(8), [](VertexId) { return DoubleValue{0.0}; });
+  MinimizerOptions options;
+  options.oracle = OracleKind::kSanitizer;
+  options.finding_kind = FindingKind::kSendAfterHalt;
+  JobMinimizer<PageRankTraits> minimizer(
+      [] { return SendAfterHaltSkeleton(); }, std::move(vertices), options);
+
+  std::vector<std::string> phases;
+  minimizer.set_progress([&phases](const MinimizerProgress& p) {
+    if (phases.empty() || phases.back() != p.phase) phases.push_back(p.phase);
+  });
+
+  auto report = minimizer.Run(PageRankTwinBinding());
+  ASSERT_TRUE(report.ok()) << report.status();
+  PrintReportLine("send-after-halt", *report);
+  EXPECT_TRUE(report->reproduced);
+  EXPECT_EQ(report->oracle, "sanitizer");
+  EXPECT_EQ(report->oracle_detail, FindingKindName(FindingKind::kSendAfterHalt));
+  EXPECT_EQ(report->initial_vertices, 8u);
+  EXPECT_EQ(report->initial_edges, 16u);  // undirected ring
+  // The minimal witness is one halting vertex that still has somewhere to
+  // send: two vertices, one edge.
+  EXPECT_LE(report->final_vertices, 2u);
+  EXPECT_GE(report->final_vertices, 1u);
+  EXPECT_EQ(report->final_edges, 1u);
+  EXPECT_EQ(report->subgraph.size(), report->final_vertices);
+  // The halt vote lands at superstep 2, so 3 supersteps suffice — bisection
+  // must find a cap strictly below the uncapped 4.
+  EXPECT_GE(report->superstep_cap, 2);
+  EXPECT_LE(report->superstep_cap, 4);
+  EXPECT_GT(report->probes, 1);
+  EXPECT_GT(report->failing_probes, 0);
+  EXPECT_FALSE(report->probe_budget_exhausted);
+  EXPECT_GE(report->wall_seconds, 0.0);
+  EXPECT_FALSE(report->reproducer_code.empty());
+
+  // Phase order: every phase appears, "done" last.
+  const std::vector<std::string> expected = {
+      "initial", "bisect", "ddmin-vertices", "ddmin-edges", "codegen", "done"};
+  for (const std::string& want : expected) {
+    EXPECT_NE(std::find(phases.begin(), phases.end(), want), phases.end())
+        << "missing phase " << want;
+  }
+  ASSERT_FALSE(phases.empty());
+  EXPECT_EQ(phases.back(), "done");
+}
+
+// -------------------------------------------------- corpus convergence (d) --
+
+TEST(JobMinimizerTest, ShrinksMutationAfterHaltToOneVertex) {
+  auto vertices = pregel::LoadUnweighted<CCTraits>(
+      graph::GenerateRing(6), [](VertexId) { return Int64Value{0}; });
+  MinimizerOptions options;
+  options.oracle = OracleKind::kSanitizer;
+  options.finding_kind = FindingKind::kMutationAfterHalt;
+  JobMinimizer<CCTraits> minimizer([] { return MutationAfterHaltSkeleton(); },
+                                   std::move(vertices), options);
+  auto report = minimizer.Run(CCTwinBinding());
+  ASSERT_TRUE(report.ok()) << report.status();
+  PrintReportLine("mutation-after-halt", *report);
+  EXPECT_TRUE(report->reproduced);
+  // A lone vertex already reproduces: superstep 0 improves, superstep 1
+  // votes to halt and then writes its value back.
+  EXPECT_EQ(report->final_vertices, 1u);
+  EXPECT_EQ(report->final_edges, 0u);
+  ASSERT_EQ(report->subgraph.size(), 1u);
+  EXPECT_TRUE(report->subgraph[0].edges.empty());
+}
+
+// -------------------------------------------------------- predicate oracle --
+
+TEST(JobMinimizerTest, PredicateOracleShrinksToThePredicatedVertex) {
+  // Healthy CC; the "bug" is the breakpoint firing — localize which part of
+  // the graph makes `value == 0` reachable past superstep 0.
+  pregel::JobSpec<CCTraits> skeleton;
+  skeleton.options.num_workers = 2;
+  skeleton.computation = algos::MakeConnectedComponentsFactory();
+  auto vertices = pregel::LoadUnweighted<CCTraits>(
+      graph::GenerateRing(8), [](VertexId id) { return Int64Value{id}; });
+  MinimizerOptions options;
+  options.oracle = OracleKind::kPredicate;
+  options.predicate = "value == 0 && superstep >= 1";
+  JobMinimizer<CCTraits> minimizer([skeleton] { return skeleton; },
+                                   std::move(vertices), options);
+  debug::JobCodegenBinding binding;
+  binding.traits_type = "graft::algos::CCTraits";
+  binding.includes = {"algos/connected_components.h"};
+  binding.computation_factory =
+      "graft::algos::MakeConnectedComponentsFactory()";
+  auto report = minimizer.Run(binding);
+  ASSERT_TRUE(report.ok()) << report.status();
+  PrintReportLine("predicate value==0", *report);
+  EXPECT_TRUE(report->reproduced);
+  EXPECT_EQ(report->oracle, "predicate");
+  EXPECT_EQ(report->oracle_detail, "value == 0 && superstep >= 1");
+  // Only vertex 0 ever carries component id 0, and it needs one neighbor's
+  // message to wake it past superstep 0: the minimal witness is vertex 0 plus
+  // a single in-edge.
+  ASSERT_EQ(report->final_vertices, 2u);
+  EXPECT_EQ(report->final_edges, 1u);
+  bool has_vertex_zero = false;
+  for (const auto& v : report->subgraph) has_vertex_zero |= (v.id == 0);
+  EXPECT_TRUE(has_vertex_zero);
+  // The reproducer re-arms the breakpoint and asserts it stays silent.
+  EXPECT_NE(report->reproducer_code.find("spec.analysis.breakpoint"),
+            std::string::npos);
+  EXPECT_NE(report->reproducer_code.find("breakpoint_hits"),
+            std::string::npos);
+  EXPECT_NE(report->reproducer_code.find("ConfigurableDebugConfig"),
+            std::string::npos);
+}
+
+TEST(JobMinimizerTest, PredicateOracleRequiresAPredicate) {
+  auto vertices = pregel::LoadUnweighted<CCTraits>(
+      graph::GenerateRing(4), [](VertexId id) { return Int64Value{id}; });
+  MinimizerOptions options;
+  options.oracle = OracleKind::kPredicate;  // options.predicate left empty
+  pregel::JobSpec<CCTraits> skeleton;
+  skeleton.computation = algos::MakeConnectedComponentsFactory();
+  JobMinimizer<CCTraits> minimizer([skeleton] { return skeleton; },
+                                   std::move(vertices), options);
+  auto report = minimizer.Run(debug::JobCodegenBinding{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsInvalidArgument());
+}
+
+// ----------------------------------------------- non-reproduction / budget --
+
+TEST(JobMinimizerTest, HealthyJobReportsNotReproduced) {
+  pregel::JobSpec<CCTraits> skeleton;
+  skeleton.computation = algos::MakeConnectedComponentsFactory();
+  auto vertices = pregel::LoadUnweighted<CCTraits>(
+      graph::GenerateRing(6), [](VertexId id) { return Int64Value{id}; });
+  MinimizerOptions options;
+  options.oracle = OracleKind::kFailure;  // healthy CC never fails
+  JobMinimizer<CCTraits> minimizer([skeleton] { return skeleton; },
+                                   std::move(vertices), options);
+  auto report = minimizer.Run(debug::JobCodegenBinding{});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->reproduced);
+  EXPECT_EQ(report->probes, 1);
+  EXPECT_EQ(report->failing_probes, 0);
+  EXPECT_EQ(report->final_vertices, 0u);
+  EXPECT_TRUE(report->reproducer_code.empty());
+}
+
+TEST(JobMinimizerTest, ProbeBudgetBoundsTheSearch) {
+  auto vertices = pregel::LoadUnweighted<CCTraits>(
+      graph::GenerateRing(6), [](VertexId) { return Int64Value{0}; });
+  MinimizerOptions options;
+  options.oracle = OracleKind::kSanitizer;
+  options.max_probes = 1;  // the initial probe eats the whole budget
+  JobMinimizer<CCTraits> minimizer([] { return MutationAfterHaltSkeleton(); },
+                                   std::move(vertices), options);
+  auto report = minimizer.Run(CCTwinBinding());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->reproduced);
+  EXPECT_TRUE(report->probe_budget_exhausted);
+  // Best-so-far: nothing was shrunk, but the report is still well-formed.
+  EXPECT_EQ(report->final_vertices, report->initial_vertices);
+  EXPECT_EQ(report->probes, 1);
+  EXPECT_FALSE(report->reproducer_code.empty());
+}
+
+// ------------------------------------------------------------ report JSON --
+
+TEST(JobMinimizerTest, ReportJsonCarriesTheSubgraph) {
+  auto vertices = pregel::LoadUnweighted<CCTraits>(
+      graph::GenerateRing(6), [](VertexId) { return Int64Value{0}; });
+  MinimizerOptions options;
+  options.oracle = OracleKind::kSanitizer;
+  options.finding_kind = FindingKind::kMutationAfterHalt;
+  JobMinimizer<CCTraits> minimizer([] { return MutationAfterHaltSkeleton(); },
+                                   std::move(vertices), options);
+  auto report = minimizer.Run(CCTwinBinding());
+  ASSERT_TRUE(report.ok());
+  const std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"reproduced\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"oracle\":\"sanitizer\""), std::string::npos);
+  EXPECT_NE(json.find("\"final_vertices\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"subgraph\":["), std::string::npos);
+  EXPECT_NE(json.find("\"has_reproducer\":true"), std::string::npos);
+}
+
+// ----------------------------------------------- generated reproducer code --
+
+/// The §3.3 promise, extended to whole jobs: the reproducer the minimizer
+/// hands back must pass a real compiler front-end against this repository's
+/// headers (and it asserts the bug's ABSENCE, so it fails while the bug
+/// lives — a ready-made regression test).
+TEST(JobMinimizerTest, ReproducerCompiles) {
+  auto vertices = pregel::LoadUnweighted<PageRankTraits>(
+      graph::GenerateRing(8), [](VertexId) { return DoubleValue{0.0}; });
+  MinimizerOptions options;
+  options.oracle = OracleKind::kSanitizer;
+  options.finding_kind = FindingKind::kSendAfterHalt;
+  JobMinimizer<PageRankTraits> minimizer(
+      [] { return SendAfterHaltSkeleton(); }, std::move(vertices), options);
+  auto report = minimizer.Run(PageRankTwinBinding());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->reproduced);
+  const std::string& code = report->reproducer_code;
+  EXPECT_NE(code.find("spec.sanitizer.enabled = true;"), std::string::npos)
+      << code;
+  EXPECT_NE(code.find("EXPECT_EQ(summary->analysis_findings, 0u)"),
+            std::string::npos);
+  EXPECT_NE(code.find("spec.vertices.push_back"), std::string::npos);
+
+  std::string path = ::testing::TempDir() + "/graft_minimized_repro.cc";
+  std::ofstream out(path);
+  out << code;
+  out.close();
+  std::string command = "g++ -std=c++20 -fsyntax-only -I" +
+                        std::string(GRAFT_SOURCE_DIR) + "/src -I" +
+                        std::string(GRAFT_SOURCE_DIR) + "/tests -I" +
+                        std::string(GRAFT_GTEST_INCLUDE_DIR) + " " + path +
+                        " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string compiler_output;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    compiler_output += buffer;
+  }
+  int rc = pclose(pipe);
+  EXPECT_EQ(rc, 0) << "generated reproducer failed to compile:\n"
+                   << compiler_output << "\n--- generated code ---\n" << code;
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace graft

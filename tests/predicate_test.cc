@@ -1,0 +1,369 @@
+// Tests for the predicate breakpoint DSL (DESIGN.md §14): compile/eval
+// semantics, the error table shared with bsp_lint's predicate-dsl rule,
+// trace-derived inputs, the DebugSession Select filter, and the conditional
+// breakpoint wired through RunJob.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "algos/connected_components.h"
+#include "algos/pagerank.h"
+#include "analysis/predicate.h"
+#include "debug/debug_config.h"
+#include "debug/debug_session.h"
+#include "graph/generators.h"
+#include "io/trace_store.h"
+#include "pregel/job.h"
+#include "pregel/loader.h"
+
+namespace graft {
+namespace analysis {
+namespace {
+
+using algos::CCTraits;
+using algos::PageRankTraits;
+using pregel::DoubleValue;
+using pregel::Int64Value;
+
+PredicateInput Input() {
+  PredicateInput input;
+  input.value = 2.5;
+  input.value_before = 4.0;
+  input.superstep = 5;
+  input.vertex_id = 42;
+  input.out_degree = 3;
+  input.in_degree = 7;
+  input.halted = false;
+  input.has_exception = true;
+  input.violations = 1;
+  input.worker = 2;
+  return input;
+}
+
+bool Matches(const std::string& text, const PredicateInput& input) {
+  auto compiled = Predicate::Compile(text);
+  EXPECT_TRUE(compiled.ok()) << text << ": " << compiled.status();
+  return compiled.ok() && compiled->Eval(input);
+}
+
+// ------------------------------------------------------------- evaluation --
+
+TEST(PredicateTest, EvaluatesEveryVariable) {
+  const PredicateInput input = Input();
+  EXPECT_TRUE(Matches("value == 2.5", input));
+  EXPECT_TRUE(Matches("value_before == 4", input));
+  EXPECT_TRUE(Matches("superstep == 5", input));
+  EXPECT_TRUE(Matches("id == 42", input));
+  EXPECT_TRUE(Matches("out_degree == 3", input));
+  EXPECT_TRUE(Matches("in_degree == 7", input));
+  EXPECT_TRUE(Matches("!halted", input));
+  EXPECT_TRUE(Matches("has_exception", input));
+  EXPECT_TRUE(Matches("violations >= 1", input));
+  EXPECT_TRUE(Matches("worker == 2", input));
+}
+
+TEST(PredicateTest, ArithmeticAndPrecedence) {
+  const PredicateInput input = Input();
+  // * binds tighter than +, comparisons tighter than &&, && tighter than ||.
+  EXPECT_TRUE(Matches("value_before - value == 1.5", input));
+  EXPECT_TRUE(Matches("1 + 2 * 3 == 7", input));
+  EXPECT_TRUE(Matches("(1 + 2) * 3 == 9", input));
+  EXPECT_TRUE(Matches("7 % 4 == 3", input));
+  EXPECT_TRUE(Matches("-value == -2.5", input));
+  EXPECT_TRUE(Matches("superstep > 10 || in_degree * 2 >= 14", input));
+  EXPECT_TRUE(Matches("halted || !halted && superstep == 5", input));
+  EXPECT_FALSE(Matches("superstep > 10 && in_degree >= 2", input));
+  EXPECT_TRUE(Matches("value != 0 && value_before != 0", input));
+  EXPECT_TRUE(Matches("true != false", input));
+}
+
+TEST(PredicateTest, ExampleFromTheIssue) {
+  PredicateInput input = Input();
+  EXPECT_FALSE(Matches("value < 0 && superstep > 3 && in_degree >= 2", input));
+  input.value = -0.25;
+  EXPECT_TRUE(Matches("value < 0 && superstep > 3 && in_degree >= 2", input));
+}
+
+TEST(PredicateTest, AggregatorLookups) {
+  std::map<std::string, pregel::AggValue> aggs;
+  aggs["pr.delta"] = pregel::AggValue{0.125};
+  aggs["count"] = pregel::AggValue{int64_t{9}};
+  aggs["flag"] = pregel::AggValue{true};
+  aggs["label"] = pregel::AggValue{std::string("text")};
+  PredicateInput input = Input();
+  input.aggregators = &aggs;
+  EXPECT_TRUE(Matches("agg(\"pr.delta\") == 0.125", input));
+  EXPECT_TRUE(Matches("agg(\"count\") % 2 == 1", input));
+  EXPECT_TRUE(Matches("agg(\"flag\") == 1", input));
+  // Text aggregators and missing names are NaN: ordered comparisons and ==
+  // are false, != is true ("is not N" includes "has no value").
+  EXPECT_FALSE(Matches("agg(\"label\") == 0", input));
+  EXPECT_FALSE(Matches("agg(\"label\") <= 1e300", input));
+  EXPECT_FALSE(Matches("agg(\"ghost\") == agg(\"ghost\")", input));
+  EXPECT_TRUE(Matches("agg(\"ghost\") != 7", input));
+  // No aggregator map at all behaves like every name missing.
+  input.aggregators = nullptr;
+  EXPECT_FALSE(Matches("agg(\"count\") == 9", input));
+}
+
+TEST(PredicateTest, NanValueNeverMatchesComparisons) {
+  PredicateInput input;  // defaults: value/value_before NaN
+  EXPECT_FALSE(Matches("value < 0", input));
+  EXPECT_FALSE(Matches("value >= 0", input));
+  EXPECT_FALSE(Matches("value == value", input));
+  EXPECT_TRUE(Matches("value != value", input));
+}
+
+TEST(PredicateTest, EmptyPredicateMatchesNothing) {
+  Predicate empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.Eval(Input()));
+  EXPECT_EQ(empty.uses(), 0u);
+}
+
+TEST(PredicateTest, DeepButLegalNestingParses) {
+  std::string text(kMaxPredicateDepth - 2, '(');
+  text += "true";
+  text += std::string(kMaxPredicateDepth - 2, ')');
+  auto compiled = Predicate::Compile(text);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EXPECT_TRUE(compiled->Eval(Input()));
+}
+
+// ------------------------------------------------------------ error table --
+
+TEST(PredicateTest, CompileErrorTable) {
+  struct Case {
+    const char* text;
+    const char* want;  // substring of the error message
+  };
+  const Case kCases[] = {
+      {"", "expected a value"},
+      {"value = 0", "bad token '=' (use '==')"},
+      {"value & 1", "bad token '&'"},
+      {"value | 1", "bad token '|'"},
+      {"value @ 1", "bad token '@'"},
+      {"halted < 3", "type mismatch: '<' applied to bool and number"},
+      {"value && true", "type mismatch: '&&' applied to number and bool"},
+      {"true + 1", "type mismatch: '+' applied to bool and number"},
+      {"value == halted", "type mismatch: '==' applied to number and bool"},
+      {"!value", "type mismatch: '!' applied to number"},
+      {"-halted == 0", "type mismatch: unary '-' applied to bool"},
+      {"vertex_degree > 2", "unknown variable 'vertex_degree'"},
+      {"value < 0 extra", "trailing input"},
+      {"(value < 0", "expected ')'"},
+      {"value <", "expected a value"},
+      {"agg superstep", "expected '(' after 'agg'"},
+      {"agg(delta) > 0", "expected a quoted aggregator name"},
+      {"agg(\"delta\" > 0", "expected ')' after agg name"},
+      {"agg(\"unterminated > 0", "unterminated string"},
+      {"value + 1", "expression is a number, not a condition"},
+      {"3.25", "expression is a number, not a condition"},
+      {"1.2.3 > 0", "bad number literal"},
+  };
+  for (const Case& c : kCases) {
+    Status status = Predicate::Validate(c.text);
+    ASSERT_FALSE(status.ok()) << "'" << c.text << "' unexpectedly compiled";
+    EXPECT_TRUE(status.IsInvalidArgument()) << c.text;
+    EXPECT_NE(status.ToString().find(c.want), std::string::npos)
+        << "'" << c.text << "': got \"" << status.ToString() << "\", want \""
+        << c.want << "\"";
+  }
+}
+
+TEST(PredicateTest, ErrorMessagesCarryTheOffset) {
+  Status status = Predicate::Validate("value = 0");
+  EXPECT_NE(status.ToString().find("offset 6"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(PredicateTest, NestingBeyondTheLimitIsRejected) {
+  std::string text(kMaxPredicateDepth + 1, '(');
+  text += "true";
+  text += std::string(kMaxPredicateDepth + 1, ')');
+  Status status = Predicate::Validate(text);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("nesting deeper than"), std::string::npos);
+}
+
+// --------------------------------------------------------- uses / support --
+
+TEST(PredicateTest, UsesReportsExactlyTheReadVariables) {
+  auto compiled =
+      Predicate::Compile("value < 0 && superstep > 3 && agg(\"d\") != 0");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(compiled->Uses(kPredValue));
+  EXPECT_TRUE(compiled->Uses(kPredSuperstep));
+  EXPECT_TRUE(compiled->Uses(kPredAggregator));
+  EXPECT_FALSE(compiled->Uses(kPredHalted));
+  EXPECT_FALSE(compiled->Uses(kPredValueBefore));
+  EXPECT_EQ(compiled->text(), "value < 0 && superstep > 3 && agg(\"d\") != 0");
+}
+
+TEST(PredicateTest, CheckInputSupportRejectsValueOverNonNumericTypes) {
+  auto needs_value = Predicate::Compile("value_before > 0");
+  ASSERT_TRUE(needs_value.ok());
+  EXPECT_TRUE(needs_value->CheckInputSupport(true).ok());
+  Status status = needs_value->CheckInputSupport(false);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  auto no_value = Predicate::Compile("superstep > 0 && !halted");
+  ASSERT_TRUE(no_value.ok());
+  EXPECT_TRUE(no_value->CheckInputSupport(false).ok());
+}
+
+TEST(PredicateTest, NumericValueTraitDetection) {
+  static_assert(kHasNumericVertexValue<PageRankTraits>);
+  static_assert(kHasNumericVertexValue<CCTraits>);
+  EXPECT_TRUE(std::isnan(NumericValueOf(pregel::NullValue{})));
+  EXPECT_EQ(NumericValueOf(Int64Value{7}), 7.0);
+  EXPECT_EQ(NumericValueOf(DoubleValue{0.5}), 0.5);
+}
+
+// ------------------------------------------------------------ from traces --
+
+TEST(PredicateTest, PredicateInputFromTraceMapsEveryField) {
+  debug::VertexTrace<CCTraits> trace;
+  trace.superstep = 3;
+  trace.id = 11;
+  trace.value_before = Int64Value{20};
+  trace.value_after = Int64Value{10};
+  trace.edges.push_back({12, {}});
+  trace.edges.push_back({13, {}});
+  trace.incoming.push_back(Int64Value{1});
+  trace.halted_after = true;
+  trace.aggregators["cc.done"] = pregel::AggValue{int64_t{1}};
+  trace.violations.push_back(debug::ViolationInfo{
+      debug::ViolationInfo::Kind::kMessageValue, 11, 12, "detail"});
+  PredicateInput input = PredicateInputFromTrace<CCTraits>(trace, 4);
+  EXPECT_EQ(input.value, 10.0);
+  EXPECT_EQ(input.value_before, 20.0);
+  EXPECT_EQ(input.superstep, 3);
+  EXPECT_EQ(input.vertex_id, 11);
+  EXPECT_EQ(input.out_degree, 2);
+  EXPECT_EQ(input.in_degree, 1);
+  EXPECT_TRUE(input.halted);
+  EXPECT_FALSE(input.has_exception);
+  EXPECT_EQ(input.violations, 1);
+  EXPECT_EQ(input.worker, 4);
+  auto compiled = Predicate::Compile(
+      "value_before - value == 10 && halted && agg(\"cc.done\") == 1");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(compiled->Eval(input));
+}
+
+// ----------------------------------------------- breakpoints through jobs --
+
+pregel::JobSpec<CCTraits> RingCCSpec(const std::string& job_id,
+                                     const debug::DebugConfig<CCTraits>* config,
+                                     InMemoryTraceStore* store) {
+  pregel::JobSpec<CCTraits> spec;
+  spec.options.job_id = job_id;
+  spec.options.num_workers = 2;
+  spec.vertices = pregel::LoadUnweighted<CCTraits>(
+      graph::GenerateRing(8), [](VertexId id) { return Int64Value{id}; });
+  spec.computation = algos::MakeConnectedComponentsFactory();
+  spec.debug_config = config;
+  spec.trace_store = store;
+  return spec;
+}
+
+TEST(BreakpointTest, ArmedPredicateCapturesMatchingCalls) {
+  debug::ConfigurableDebugConfig<CCTraits> config;  // exceptions-only floor
+  InMemoryTraceStore store;
+  auto spec = RingCCSpec("bp-armed", &config, &store);
+  // CC on a ring converges every vertex to component id 0.
+  spec.analysis.breakpoint = "value == 0 && superstep >= 1";
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  ASSERT_TRUE(summary->job_status.ok());
+  EXPECT_GT(summary->breakpoint_hits, 0u);
+
+  auto session = debug::DebugSession<CCTraits>::Open(&store, "bp-armed");
+  ASSERT_TRUE(session.ok()) << session.status();
+  debug::TraceQuery hits;
+  hits.reason_mask = debug::kReasonBreakpoint;
+  auto traces = session->Select(hits);
+  ASSERT_TRUE(traces.ok()) << traces.status();
+  ASSERT_EQ(traces->size(), summary->breakpoint_hits);
+  for (const auto& trace : *traces) {
+    EXPECT_NE(trace.reasons & debug::kReasonBreakpoint, 0u);
+    EXPECT_EQ(trace.value_after, Int64Value{0});
+    EXPECT_GE(trace.superstep, 1);
+  }
+}
+
+TEST(BreakpointTest, UnarmedJobCountsNothing) {
+  debug::ConfigurableDebugConfig<CCTraits> config;
+  InMemoryTraceStore store;
+  auto summary = pregel::RunJob(RingCCSpec("bp-off", &config, &store));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->breakpoint_hits, 0u);
+}
+
+TEST(BreakpointTest, NeverMatchingPredicateCapturesNothing) {
+  debug::ConfigurableDebugConfig<CCTraits> config;
+  InMemoryTraceStore store;
+  auto spec = RingCCSpec("bp-miss", &config, &store);
+  spec.analysis.breakpoint = "value < -1";  // CC values are vertex ids >= 0
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->breakpoint_hits, 0u);
+}
+
+TEST(BreakpointTest, BadPredicateIsASpecError) {
+  debug::ConfigurableDebugConfig<CCTraits> config;
+  InMemoryTraceStore store;
+  auto spec = RingCCSpec("bp-bad", &config, &store);
+  spec.analysis.breakpoint = "value = 0";
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_FALSE(summary.ok());
+  EXPECT_TRUE(summary.status().IsInvalidArgument());
+}
+
+TEST(BreakpointTest, BreakpointWithoutDebugConfigIsRejected) {
+  pregel::JobSpec<CCTraits> spec = RingCCSpec("bp-naked", nullptr, nullptr);
+  spec.analysis.breakpoint = "superstep > 0";
+  auto summary = pregel::RunJob(std::move(spec));
+  ASSERT_FALSE(summary.ok());
+  EXPECT_TRUE(summary.status().IsInvalidArgument());
+  EXPECT_NE(summary.status().ToString().find("debug_config"),
+            std::string::npos);
+}
+
+// ------------------------------------------------- Select with predicates --
+
+TEST(SelectPredicateTest, FiltersTracesByCompiledPredicate) {
+  debug::ConfigurableDebugConfig<CCTraits> config;
+  config.set_capture_all_active(true);
+  InMemoryTraceStore store;
+  auto summary = pregel::RunJob(RingCCSpec("bp-select", &config, &store));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+
+  auto session = debug::DebugSession<CCTraits>::Open(&store, "bp-select");
+  ASSERT_TRUE(session.ok()) << session.status();
+  debug::TraceQuery all;
+  auto everything = session->Select(all);
+  ASSERT_TRUE(everything.ok());
+  ASSERT_GT(everything->size(), 0u);
+
+  auto compiled = Predicate::Compile("superstep == 0 && id % 2 == 0");
+  ASSERT_TRUE(compiled.ok());
+  debug::TraceQuery filtered;
+  filtered.predicate =
+      std::make_shared<const Predicate>(*std::move(compiled));
+  auto matches = session->Select(filtered);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 4u);  // vertices 0,2,4,6 at superstep 0
+  for (const auto& trace : *matches) {
+    EXPECT_EQ(trace.superstep, 0);
+    EXPECT_EQ(trace.id % 2, 0);
+  }
+  EXPECT_LT(matches->size(), everything->size());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace graft

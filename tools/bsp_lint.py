@@ -20,6 +20,15 @@ ever runs:
   raw-new            raw `new` inside a Compute() body: per-vertex manual
                      ownership leaks on the engine's error paths; use
                      std::make_unique or a value member.
+  predicate-dsl      breakpoint/minimizer predicate strings that do not parse
+                     under the predicate DSL grammar (src/analysis/predicate.h
+                     §14); caught at lint time instead of at job submit.
+  fp-agg             Aggregate() of a float/double value: floating-point
+                     reduction is not associative, so the aggregated result
+                     depends on merge order. Annotate deliberate uses.
+  unordered-iter     range-for over a std::unordered_{map,set} inside
+                     Compute(): any side effect ordered by the walk (messages,
+                     mutations) replays differently across layouts.
 
 Suppress a deliberate use with a trailing or preceding-line comment:
     // bsp-lint: allow(libc-rand)
@@ -28,10 +37,15 @@ Usage:
     tools/bsp_lint.py [paths...]          # default: src/algos examples
     tools/bsp_lint.py --expect-findings tests/analysis_corpus
         (self-test mode: exits 0 only if at least one finding IS present)
+    tools/bsp_lint.py --expect-rules predicate-dsl,fp-agg [paths...]
+        (self-test mode: every named rule must fire at least once)
+    tools/bsp_lint.py --clang-query-gate [paths...]
+        (required AST gate: clang-query matches diffed against
+         tools/clang_query_baseline.txt, run_clang_tidy-style ratchet)
 
-Exits 1 when findings are present (0 in --expect-findings mode), so CI can
-gate on it directly. If clang-query is on PATH, an AST pass double-checks the
-raw-new rule inside Compute() bodies; the regex rules never depend on it.
+Exits 1 when findings are present (0 in the self-test modes), so CI can gate
+on it directly. Without --clang-query-gate, a clang-query on PATH still runs
+as an advisory AST pass; the regex rules never depend on it.
 """
 
 from __future__ import annotations
@@ -46,6 +60,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_PATHS = ["src/algos", "examples"]
 SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+CLANG_QUERY_BASELINE = REPO_ROOT / "tools" / "clang_query_baseline.txt"
 
 ALLOW_RE = re.compile(r"//\s*bsp-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
 
@@ -73,6 +88,228 @@ LINE_RULES = [
         "timing-like behavior from ctx.superstep()",
     ),
 ]
+
+
+# --- predicate-DSL validation -------------------------------------------
+#
+# A faithful Python port of the grammar in src/analysis/predicate.{h,cc}:
+#
+#   expr := or ; or := and {"||" and} ; and := eq {"&&" eq}
+#   eq   := rel {("=="|"!=") rel} ; rel := sum {("<"|"<="|">"|">=") sum}
+#   sum  := term {("+"|"-") term} ; term := unary {("*"|"/"|"%") unary}
+#   unary := "!" unary | "-" unary | primary
+#   primary := number | "true" | "false" | var | agg "(" string ")"
+#            | "(" expr ")"
+#
+# Two types (num, bool), type-checked per operator; the top level must be a
+# condition (bool). Keep in sync with predicate.cc — predicate_test.cc pins
+# both sides to the same accept/reject table.
+
+PREDICATE_VARS = {
+    "value": "num", "value_before": "num", "superstep": "num", "id": "num",
+    "out_degree": "num", "in_degree": "num", "violations": "num",
+    "worker": "num", "halted": "bool", "has_exception": "bool",
+}
+PREDICATE_MAX_DEPTH = 64
+
+_PRED_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)"
+    r"|(?P<ident>[A-Za-z_]\w*)"
+    r'|(?P<str>"[^"]*")'
+    r"|(?P<op>\|\||&&|==|!=|<=|>=|[<>+\-*/%!()])"
+    r"|(?P<bad>\S))"
+)
+
+
+class PredicateError(ValueError):
+    pass
+
+
+def _pred_tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _PRED_TOKEN_RE.match(text, pos)
+        if m is None:
+            break
+        if m.group("bad"):
+            raise PredicateError(f"bad token '{m.group('bad')}' at offset {m.start('bad')}")
+        if m.group("num"):
+            tokens.append(("num", m.group("num")))
+        elif m.group("ident"):
+            tokens.append(("ident", m.group("ident")))
+        elif m.group("str"):
+            tokens.append(("str", m.group("str")[1:-1]))
+        else:
+            tokens.append(("op", m.group("op")))
+        pos = m.end()
+    tokens.append(("end", ""))
+    return tokens
+
+
+class _PredicateParser:
+    """Type-checking recursive-descent parser; raises PredicateError."""
+
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.i = 0
+        self.depth = 0
+
+    def peek_op(self) -> str | None:
+        kind, text = self.tokens[self.i]
+        return text if kind == "op" else None
+
+    def eat_op(self, *ops: str) -> str | None:
+        if self.peek_op() in ops:
+            op = self.tokens[self.i][1]
+            self.i += 1
+            return op
+        return None
+
+    def enter(self):
+        self.depth += 1
+        if self.depth > PREDICATE_MAX_DEPTH:
+            raise PredicateError(f"nesting deeper than {PREDICATE_MAX_DEPTH}")
+
+    def parse(self) -> str:
+        t = self.parse_or()
+        kind, text = self.tokens[self.i]
+        if kind != "end":
+            raise PredicateError(f"trailing input at '{text}'")
+        if t != "bool":
+            raise PredicateError("expression is a number, not a condition (add a comparison)")
+        return t
+
+    def parse_or(self) -> str:
+        t = self.parse_and()
+        while self.eat_op("||"):
+            r = self.parse_and()
+            if t != "bool" or r != "bool":
+                raise PredicateError("type mismatch: '||' needs bool operands")
+        return t
+
+    def parse_and(self) -> str:
+        t = self.parse_eq()
+        while self.eat_op("&&"):
+            r = self.parse_eq()
+            if t != "bool" or r != "bool":
+                raise PredicateError("type mismatch: '&&' needs bool operands")
+        return t
+
+    def parse_eq(self) -> str:
+        t = self.parse_rel()
+        while True:
+            op = self.eat_op("==", "!=")
+            if not op:
+                return t
+            r = self.parse_rel()
+            if t != r:
+                raise PredicateError(f"type mismatch: '{op}' applied to {t} and {r}")
+            t = "bool"
+
+    def parse_rel(self) -> str:
+        t = self.parse_sum()
+        while True:
+            op = self.eat_op("<", "<=", ">", ">=")
+            if not op:
+                return t
+            r = self.parse_sum()
+            if t != "num" or r != "num":
+                raise PredicateError(f"type mismatch: '{op}' needs num operands")
+            t = "bool"
+
+    def parse_sum(self) -> str:
+        t = self.parse_term()
+        while True:
+            op = self.eat_op("+", "-")
+            if not op:
+                return t
+            r = self.parse_term()
+            if t != "num" or r != "num":
+                raise PredicateError(f"type mismatch: '{op}' needs num operands")
+            t = "num"
+
+    def parse_term(self) -> str:
+        t = self.parse_unary()
+        while True:
+            op = self.eat_op("*", "/", "%")
+            if not op:
+                return t
+            r = self.parse_unary()
+            if t != "num" or r != "num":
+                raise PredicateError(f"type mismatch: '{op}' needs num operands")
+            t = "num"
+
+    def parse_unary(self) -> str:
+        if self.eat_op("!"):
+            self.enter()
+            t = self.parse_unary()
+            self.depth -= 1
+            if t != "bool":
+                raise PredicateError("type mismatch: '!' needs a bool operand")
+            return "bool"
+        if self.eat_op("-"):
+            self.enter()
+            t = self.parse_unary()
+            self.depth -= 1
+            if t != "num":
+                raise PredicateError("type mismatch: unary '-' needs a num operand")
+            return "num"
+        return self.parse_primary()
+
+    def parse_primary(self) -> str:
+        kind, text = self.tokens[self.i]
+        if kind == "num":
+            self.i += 1
+            return "num"
+        if kind == "ident":
+            self.i += 1
+            if text in ("true", "false"):
+                return "bool"
+            if text == "agg":
+                if not self.eat_op("("):
+                    raise PredicateError("agg needs a quoted aggregator name: agg(\"name\")")
+                k, _ = self.tokens[self.i]
+                if k != "str":
+                    raise PredicateError("agg needs a quoted aggregator name: agg(\"name\")")
+                self.i += 1
+                if not self.eat_op(")"):
+                    raise PredicateError("missing ')' after agg(\"name\"")
+                return "num"
+            if text not in PREDICATE_VARS:
+                raise PredicateError(f"unknown variable '{text}'")
+            return PREDICATE_VARS[text]
+        if kind == "op" and text == "(":
+            self.i += 1
+            self.enter()
+            t = self.parse_or()
+            self.depth -= 1
+            if not self.eat_op(")"):
+                raise PredicateError("missing ')'")
+            return t
+        raise PredicateError(f"expected a value at '{text or 'end of input'}'")
+
+
+def validate_predicate(text: str) -> str | None:
+    """None when `text` is a valid DSL predicate, else the parse error."""
+    try:
+        _PredicateParser(_pred_tokenize(text)).parse()
+        return None
+    except PredicateError as err:
+        return str(err)
+
+
+# Sites whose string argument must parse as a DSL predicate. The capture is
+# the raw C++ string literal (escapes resolved below).
+PREDICATE_SITES = [
+    re.compile(r'\.breakpoint\s*=\s*"((?:[^"\\]|\\.)*)"'),
+    re.compile(r'Predicate::(?:Compile|Validate)\s*\(\s*"((?:[^"\\]|\\.)*)"'),
+    re.compile(r'"predicate"\s*:\s*"((?:[^"\\]|\\.)*)"'),
+]
+
+
+def unescape_cpp(literal: str) -> str:
+    return re.sub(r"\\(.)", r"\1", literal)
 
 
 def strip_noncode(line: str) -> str:
@@ -193,6 +430,9 @@ def lint_file(path: Path) -> list[Finding]:
 
     # unordered-agg: a range-for over an unordered container within the same
     # Compute() body as (and at most 10 lines above) an Aggregate() call.
+    # unordered-iter: the same loops regardless of aggregation — side effects
+    # ordered by the walk (messages, mutations) replay differently across
+    # hash-table layouts. unordered-agg wins when both would fire.
     unordered_re = re.compile(r"for\s*\(.*:\s*\w*.*unordered_(?:map|set)|:\s*\w+_unordered\b")
     unordered_decl_re = re.compile(r"unordered_(?:map|set)\s*<")
     agg_re = re.compile(r"\bAggregate\s*\(")
@@ -206,16 +446,86 @@ def lint_file(path: Path) -> list[Finding]:
         ]
         agg_lines = [i for i in body if agg_re.search(code_lines[i])]
         for li in loop_lines:
-            if any(li <= ai <= li + 10 for ai in agg_lines) and "unordered-agg" not in allowed_rules(raw_lines, li):
+            if any(li <= ai <= li + 10 for ai in agg_lines):
+                if "unordered-agg" not in allowed_rules(raw_lines, li):
+                    findings.append(
+                        Finding(
+                            path,
+                            li + 1,
+                            "unordered-agg",
+                            "iteration order of unordered containers is "
+                            "layout-dependent; aggregating in that order makes "
+                            "the fold nondeterministic — use std::map or sort first",
+                            raw_lines[li],
+                        )
+                    )
+            elif "unordered-iter" not in allowed_rules(raw_lines, li):
                 findings.append(
                     Finding(
                         path,
                         li + 1,
-                        "unordered-agg",
-                        "iteration order of unordered containers is "
-                        "layout-dependent; aggregating in that order makes "
-                        "the fold nondeterministic — use std::map or sort first",
+                        "unordered-iter",
+                        "range-for over an unordered container in Compute(): "
+                        "side effects ordered by the walk replay differently "
+                        "across hash-table layouts — use std::map or sort first",
                         raw_lines[li],
+                    )
+                )
+
+    # fp-agg: Aggregate() of a floating-point value. FP addition is not
+    # associative, so the reduced value depends on merge order (worker count,
+    # combiner tree shape). The argument may wrap; scan the call's next few
+    # lines for float evidence.
+    fp_evidence_re = re.compile(
+        r"\b(?:double|float|Double|fabs|DoubleValue)\b|\d\.\d|\d\.[eEf)]"
+    )
+    file_has_double_vertex = "DoubleValue" in text
+    for idx, code in enumerate(code_lines):
+        if not agg_re.search(code):
+            continue
+        arg_text = " ".join(code_lines[idx : idx + 3])
+        # Second-order evidence: aggregating vertex.value() in a file whose
+        # vertex values are DoubleValue.
+        if not fp_evidence_re.search(arg_text) and not (
+            file_has_double_vertex and "vertex.value()" in arg_text
+        ):
+            continue
+        if "fp-agg" in allowed_rules(raw_lines, idx):
+            continue
+        findings.append(
+            Finding(
+                path,
+                idx + 1,
+                "fp-agg",
+                "aggregating a float/double: FP reduction is order-dependent "
+                "across workers; aggregate integers/fixed-point, or annotate "
+                "the tolerance with bsp-lint: allow(fp-agg)",
+                raw_lines[idx],
+            )
+        )
+
+    # predicate-dsl: string literals at breakpoint/minimizer sites must parse
+    # under the predicate grammar. Validated from the RAW line (strip_noncode
+    # blanks string literals).
+    for idx, raw in enumerate(raw_lines):
+        for site in PREDICATE_SITES:
+            for m in site.finditer(raw):
+                text = unescape_cpp(m.group(1))
+                if not text:
+                    continue  # empty = unarmed breakpoint, always legal
+                error = validate_predicate(text)
+                if error is None:
+                    continue
+                if "predicate-dsl" in allowed_rules(raw_lines, idx):
+                    continue
+                findings.append(
+                    Finding(
+                        path,
+                        idx + 1,
+                        "predicate-dsl",
+                        f"predicate does not parse: {error} "
+                        "(grammar: src/analysis/predicate.h)",
+                        raw_lines[idx],
                     )
                 )
     return findings
@@ -232,25 +542,118 @@ def _iterates_unordered(code_lines: list[str], loop_idx: int, decl_re: re.Patter
     return any(decl.search(l) for l in code_lines[:loop_idx])
 
 
-def clang_query_pass(paths: list[Path]) -> None:
-    """Optional deeper AST check; advisory only (regex pass is the gate)."""
+# The AST matchers behind the clang-query gate. Named so baseline
+# fingerprints (`relative/path.cc:matcher-name`) survive line churn, exactly
+# like the run_clang_tidy ratchet.
+CLANG_QUERY_MATCHERS = [
+    (
+        "new-in-compute",
+        'match cxxNewExpr(hasAncestor(cxxMethodDecl(hasName("Compute"))))',
+    ),
+    (
+        "rand-in-compute",
+        'match callExpr(callee(functionDecl(hasAnyName("rand", "srand", '
+        '"drand48", "lrand48"))), '
+        'hasAncestor(cxxMethodDecl(hasName("Compute"))))',
+    ),
+]
+
+
+def run_clang_query(binary: str, matcher: str, files: list[str]) -> str:
+    proc = subprocess.run(
+        [binary, "-c", matcher, *files, "--", f"-I{REPO_ROOT}/src",
+         "-std=c++20"],
+        check=False,
+        timeout=300,
+        capture_output=True,
+        text=True,
+    )
+    return proc.stdout
+
+
+_MATCH_LOC_RE = re.compile(r"^(?P<path>/[^:\s]+):\d+:\d+:", re.MULTILINE)
+
+
+def clang_query_fingerprints(paths: list[Path]) -> set[str] | None:
+    """`relpath:matcher-name` per match, or None when clang-query is absent
+    or unusable."""
     binary = shutil.which("clang-query")
     if binary is None:
-        return
-    matcher = (
-        "match cxxNewExpr(hasAncestor(cxxMethodDecl(hasName(\"Compute\"))))"
-    )
+        return None
     files = [str(p) for p in paths if p.suffix in SOURCE_SUFFIXES]
     if not files:
-        return
-    try:
-        subprocess.run(
-            [binary, "-c", matcher, *files, "--", f"-I{REPO_ROOT}/src", "-std=c++20"],
-            check=False,
-            timeout=120,
+        return set()
+    fingerprints: set[str] = set()
+    for name, matcher in CLANG_QUERY_MATCHERS:
+        try:
+            out = run_clang_query(binary, matcher, files)
+        except (OSError, subprocess.TimeoutExpired) as err:
+            print(f"bsp_lint: clang-query failed: {err}", file=sys.stderr)
+            return None
+        for m in _MATCH_LOC_RE.finditer(out):
+            p = Path(m.group("path"))
+            try:
+                rel = p.resolve().relative_to(REPO_ROOT)
+            except ValueError:
+                rel = p
+            fingerprints.add(f"{rel}:{name}")
+    return fingerprints
+
+
+def clang_query_gate(paths: list[Path], update_baseline: bool) -> int:
+    """Required AST gate: diff clang-query matches against the checked-in
+    baseline. New fingerprints fail; fixed ones are reported for shrinking.
+    Exit 2 when clang-query is not installed — CI installs clang-tools, so
+    absence there is a broken gate, not a pass."""
+    current = clang_query_fingerprints(paths)
+    if current is None:
+        print(
+            "bsp_lint: --clang-query-gate requires clang-query on PATH "
+            "(apt install clang-tools)",
+            file=sys.stderr,
         )
-    except (OSError, subprocess.TimeoutExpired) as err:
-        print(f"bsp_lint: clang-query pass skipped: {err}", file=sys.stderr)
+        return 2
+    if update_baseline:
+        CLANG_QUERY_BASELINE.write_text(
+            "".join(f"{fp}\n" for fp in sorted(current))
+        )
+        print(f"bsp_lint: clang-query baseline rewritten with {len(current)} entries")
+        return 0
+    baseline = (
+        {
+            l.strip()
+            for l in CLANG_QUERY_BASELINE.read_text().splitlines()
+            if l.strip() and not l.startswith("#")
+        }
+        if CLANG_QUERY_BASELINE.exists()
+        else set()
+    )
+    new = sorted(current - baseline)
+    fixed = sorted(baseline - current)
+    if fixed:
+        print("bsp_lint: baselined clang-query matches no longer fire (shrink the baseline):")
+        for fp in fixed:
+            print(f"  - {fp}")
+    if new:
+        print("bsp_lint: NEW clang-query matches not in the baseline:", file=sys.stderr)
+        for fp in new:
+            print(f"  + {fp}", file=sys.stderr)
+        return 1
+    print(
+        f"bsp_lint: clang-query gate clean — {len(current)} match(es), all baselined"
+    )
+    return 0
+
+
+def clang_query_pass(paths: list[Path]) -> None:
+    """Advisory AST echo for local runs; --clang-query-gate is the real CI
+    gate."""
+    fingerprints = clang_query_fingerprints(paths)
+    if not fingerprints:
+        return
+    print("bsp_lint: clang-query (advisory):", file=sys.stderr)
+    for fp in sorted(fingerprints):
+        print(f"  {fp}", file=sys.stderr)
 
 
 def collect(paths: list[str]) -> list[Path]:
@@ -278,11 +681,32 @@ def main() -> int:
         "(used by CI against tests/analysis_corpus)",
     )
     parser.add_argument(
+        "--expect-rules",
+        default="",
+        help="comma-separated rules that must each fire at least once "
+        "(self-test mode, implies success on findings)",
+    )
+    parser.add_argument(
         "--no-clang-query", action="store_true", help="skip the optional AST pass"
+    )
+    parser.add_argument(
+        "--clang-query-gate",
+        action="store_true",
+        help="run ONLY the required clang-query ratchet against "
+        "tools/clang_query_baseline.txt (exit 2 if clang-query is missing)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --clang-query-gate: rewrite the baseline with the "
+        "current matches",
     )
     args = parser.parse_args()
 
     files = collect(args.paths or DEFAULT_PATHS)
+
+    if args.clang_query_gate:
+        return clang_query_gate(files, args.update_baseline)
     findings: list[Finding] = []
     for f in files:
         findings.extend(lint_file(f))
@@ -296,6 +720,18 @@ def main() -> int:
     if not args.no_clang_query and findings:
         clang_query_pass(files)
 
+    if args.expect_rules:
+        wanted = {r.strip() for r in args.expect_rules.split(",") if r.strip()}
+        fired = {f.rule for f in findings}
+        missing = sorted(wanted - fired)
+        if missing:
+            print(
+                "bsp_lint: self-test FAILED — expected rule(s) never fired: "
+                + ", ".join(missing),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     if args.expect_findings:
         if findings:
             return 0

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""CI smoke for the automated bug localizer (DESIGN.md §14).
+
+Starts the debug_service_demo example and drives the minimize surface over
+HTTP, end to end:
+
+  1. POST /jobs submits a small connected-components job and polls it to
+     "done";
+  2. POST /jobs/<id>/minimize with a predicate oracle (202 + endpoints
+     envelope); a duplicate submit while it runs may answer 409, never 5xx;
+  3. GET /jobs/<id>/minimize is polled until state=done, checking the
+     progress envelope shape on the way;
+  4. the report must say reproduced=true and shrink the graph to two
+     vertices and one edge (the predicate `value == 0 && superstep >= 1`
+     only ever matches vertex 0, which needs one neighbor's message to wake
+     it past superstep 0);
+  5. GET /jobs/<id>/minimize/reproducer returns a gtest source that re-arms
+     the breakpoint and asserts it stays silent (i.e. fails while the bug
+     reproduces), and that source passes `g++ -fsyntax-only` against the
+     repository headers;
+  6. error semantics: minimize of an unknown job 404, bad oracle 400, bad
+     predicate 400;
+  7. /metrics exports the minimizer counters.
+
+Usage: tools/minimize_smoke.py ./build/examples/debug_service_demo
+Exits non-zero with a diagnostic on the first violated check.
+"""
+
+import glob
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JOB_ID = "smoke-min"
+VERTICES = 24
+PREDICATE = "value == 0 && superstep >= 1"
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(port, path, body=None, method=None):
+    """Returns (status, text). HTTP errors are returned, not raised."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body.encode("utf-8") if body is not None else None,
+        method=method or ("POST" if body is not None else "GET"),
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode("utf-8")
+
+
+def get_json(port, path, want_status=200):
+    status, text = request(port, path)
+    if status != want_status:
+        fail(f"GET {path} answered {status} (want {want_status}): {text}")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as err:
+        fail(f"GET {path} is not JSON ({err}): {text!r}")
+
+
+def poll_job_done(port, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    state = None
+    while time.monotonic() < deadline:
+        listing = get_json(port, "/jobs")
+        entry = next(
+            (j for j in listing.get("jobs", [])
+             if j.get("job_id") == job_id), None)
+        state = entry.get("state") if entry else None
+        if state in ("done", "failed"):
+            break
+        time.sleep(0.1)
+    if state != "done":
+        fail(f"job {job_id} did not finish: state={state}")
+
+
+def syntax_check(code, demo_path):
+    """g++ -fsyntax-only the reproducer against the repo headers."""
+    gxx = shutil.which("g++")
+    if gxx is None:
+        print("NOTE: g++ not found; skipping the reproducer compile check")
+        return
+    build_dir = os.path.dirname(os.path.dirname(os.path.abspath(demo_path)))
+    candidates = glob.glob(
+        os.path.join(build_dir, "_deps", "googletest-src", "googletest",
+                     "include"))
+    # FetchContent build tree first, then the GTest_DIR the build resolved
+    # (<prefix>/lib/cmake/GTest -> <prefix>/include), then the system path.
+    cache = os.path.join(build_dir, "CMakeCache.txt")
+    if os.path.exists(cache):
+        with open(cache, encoding="utf-8") as fh:
+            for line in fh:
+                if line.startswith("GTest_DIR:PATH="):
+                    prefix = line.split("=", 1)[1].strip()
+                    for _ in range(3):
+                        prefix = os.path.dirname(prefix)
+                    candidates.append(os.path.join(prefix, "include"))
+    candidates.append("/usr/include")
+    gtest_includes = [
+        d for d in candidates
+        if os.path.exists(os.path.join(d, "gtest", "gtest.h"))]
+    if not gtest_includes:
+        print("NOTE: gtest headers not found; "
+              "skipping the reproducer compile check")
+        return
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "minimized_repro.cc")
+        with open(path, "w", encoding="utf-8") as out:
+            out.write(code)
+        proc = subprocess.run(
+            [gxx, "-std=c++20", "-fsyntax-only",
+             "-I", os.path.join(REPO_ROOT, "src"),
+             "-I", gtest_includes[0], path],
+            capture_output=True, text=True, timeout=300)
+        if proc.returncode != 0:
+            fail(f"reproducer failed to compile:\n{proc.stderr}\n"
+                 f"--- generated code ---\n{code}")
+    print("reproducer compile check OK")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    demo = subprocess.Popen(
+        [sys.argv[1]],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        header = demo.stdout.readline().strip()
+        match = re.match(r"DEBUG_SERVICE port=(\d+)", header)
+        if not match:
+            fail(f"unexpected demo header line: {header!r}")
+        port = int(match.group(1))
+
+        # -- run the job to completion --------------------------------------
+        spec = {
+            "algo": "cc",
+            "job_id": JOB_ID,
+            "graph": {"generator": "erdos-renyi", "vertices": VERTICES,
+                      "edges": VERTICES * 3, "seed": 5},
+            "journal": False,
+        }
+        status, text = request(port, "/jobs", body=json.dumps(spec))
+        if status != 202:
+            fail(f"POST /jobs answered {status}: {text}")
+        poll_job_done(port, JOB_ID)
+
+        # -- error semantics before the real submit -------------------------
+        status, text = request(port, "/jobs/ghost/minimize", body="{}")
+        if status != 404:
+            fail(f"minimize of unknown job answered {status}: {text}")
+        status, text = request(
+            port, f"/jobs/{JOB_ID}/minimize",
+            body=json.dumps({"oracle": "coin-flip"}))
+        if status != 400:
+            fail(f"bad oracle answered {status}: {text}")
+        status, text = request(
+            port, f"/jobs/{JOB_ID}/minimize",
+            body=json.dumps({"oracle": "predicate", "predicate": "value = 0"}))
+        if status != 400:
+            fail(f"bad predicate answered {status}: {text}")
+        status, text = request(port, f"/jobs/{JOB_ID}/minimize")
+        if status != 404:
+            fail(f"minimize status before submit answered {status}: {text}")
+
+        # -- submit the minimization ----------------------------------------
+        body = json.dumps({"oracle": "predicate", "predicate": PREDICATE})
+        status, text = request(port, f"/jobs/{JOB_ID}/minimize", body=body)
+        if status != 202:
+            fail(f"POST minimize answered {status}: {text}")
+        envelope = json.loads(text)
+        if envelope.get("endpoints", {}).get("reproducer") != \
+                f"/jobs/{JOB_ID}/minimize/reproducer":
+            fail(f"minimize envelope lacks endpoints: {envelope}")
+        # A duplicate while pending/running conflicts; once done it re-runs.
+        status, _ = request(port, f"/jobs/{JOB_ID}/minimize", body=body)
+        if status not in (202, 409):
+            fail(f"duplicate minimize answered {status}")
+
+        # -- poll the minimization to done ----------------------------------
+        deadline = time.monotonic() + 60.0
+        state = None
+        while time.monotonic() < deadline:
+            progress = get_json(port, f"/jobs/{JOB_ID}/minimize")
+            state = progress.get("state")
+            if state in ("done", "failed"):
+                break
+            if "progress" in progress:
+                phase = progress["progress"].get("phase")
+                if phase is None:
+                    fail(f"running status lacks a phase: {progress}")
+            time.sleep(0.1)
+        if state != "done":
+            fail(f"minimization did not finish: {state}")
+
+        report = get_json(port, f"/jobs/{JOB_ID}/minimize").get("report")
+        if not report:
+            fail("done status lacks the report")
+        if report.get("reproduced") is not True:
+            fail(f"minimizer did not reproduce the predicate: {report}")
+        # Vertex 0 plus the one neighbor whose message wakes it past
+        # superstep 0: a two-vertex, one-edge witness.
+        if report.get("final_vertices") != 2:
+            fail(f"expected a 2-vertex witness, got {report}")
+        if report.get("final_edges") != 1:
+            fail(f"expected a 1-edge witness, got {report}")
+        if report.get("probes", 0) < 2:
+            fail(f"suspiciously few probes: {report}")
+        if not report.get("has_reproducer"):
+            fail(f"report lacks a reproducer: {report}")
+        print(
+            f"minimized {report['initial_vertices']} vertices -> "
+            f"{report['final_vertices']} in {report['probes']} probes "
+            f"({report['wall_seconds']:.2f}s)"
+        )
+
+        # -- the reproducer is a failing regression test --------------------
+        status, code = request(port, f"/jobs/{JOB_ID}/minimize/reproducer")
+        if status != 200:
+            fail(f"reproducer answered {status}: {code}")
+        if "TEST(" not in code or "spec.analysis.breakpoint" not in code:
+            fail(f"reproducer does not re-arm the breakpoint:\n{code}")
+        if "EXPECT_EQ(summary->breakpoint_hits, 0u)" not in code:
+            fail(f"reproducer does not assert the bug's absence:\n{code}")
+        syntax_check(code, sys.argv[1])
+
+        # -- metrics --------------------------------------------------------
+        status, metrics = request(port, "/metrics")
+        if status != 200:
+            fail(f"/metrics answered {status}")
+        if "graft_service_minimizer_jobs_total" not in metrics:
+            fail("minimizer counters not exported")
+        print("minimize smoke PASSED")
+    finally:
+        try:
+            demo.stdin.close()
+        except OSError:
+            pass
+        demo.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    main()
